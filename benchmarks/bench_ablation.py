@@ -1,0 +1,181 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the library's own design
+decisions:
+
+* upper-bound pruning on vs off for the max-score algorithm;
+* sorted-postings (galloping) intersection vs a hash-set oracle;
+* thread-depth bound d ∈ {1, 2, 4, 8} (Algorithm 1's cost knob);
+* buffer-pool size effect on metadata-DB cache behaviour;
+* index-backed query processing vs the brute-force full scan and the
+  IR-tree baseline (the index family the paper's related work targets);
+* sound compounding global bound vs the paper's literal Definition 11.
+"""
+
+import pytest
+
+from repro.core.scoring import (
+    upper_bound_popularity,
+    upper_bound_popularity_literal,
+)
+from repro.core.thread import ThreadBuilder
+from repro.index.postings import intersect_many
+from repro.query.baseline import BruteForceProcessor
+
+
+class TestPruningAblation:
+    def test_pruning_on(self, benchmark, context):
+        engine = context.engine(4)
+        query = engine.make_query(context.workload.sample_location(),
+                                  radius_km=50.0, keywords=["restaurant"],
+                                  k=5)
+        processor = engine.processor("max", use_pruning=True)
+
+        def run():
+            engine.threads.clear_cache()
+            return processor.search(query)
+
+        result = benchmark(run)
+        assert result.stats.threads_pruned >= 0
+
+    def test_pruning_off(self, benchmark, context):
+        engine = context.engine(4)
+        query = engine.make_query(context.workload.sample_location(),
+                                  radius_km=50.0, keywords=["restaurant"],
+                                  k=5)
+        processor = engine.processor("max", use_pruning=False)
+
+        def run():
+            engine.threads.clear_cache()
+            return processor.search(query)
+
+        result = benchmark(run)
+        assert result.stats.threads_pruned == 0
+
+
+class TestIntersectionAblation:
+    @pytest.fixture(scope="class")
+    def lists(self):
+        dense = [(tid, 1) for tid in range(0, 60000, 3)]
+        sparse = [(tid, 1) for tid in range(0, 60000, 131)]
+        return [dense, sparse]
+
+    def test_galloping_intersection(self, benchmark, lists):
+        result = benchmark(intersect_many, lists)
+        assert result
+
+    def test_hash_set_intersection(self, benchmark, lists):
+        def hash_intersect(lists):
+            sets = [dict(lst) for lst in lists]
+            common = set(sets[0])
+            for mapping in sets[1:]:
+                common &= set(mapping)
+            return sorted((tid, [m[tid] for m in sets]) for tid in common)
+
+        result = benchmark(hash_intersect, lists)
+        assert result
+
+
+class TestThreadDepthAblation:
+    @pytest.mark.parametrize("depth", [1, 2, 4, 8])
+    def test_depth(self, benchmark, context, depth):
+        engine = context.engine(4)
+        builder = ThreadBuilder(engine.database, depth=depth, cache=False)
+        # A fixed sample of root tweets.
+        roots = [post.sid for post in context.corpus.posts[:300]
+                 if post.rsid is None][:100]
+
+        def run():
+            return sum(builder.popularity(sid) for sid in roots)
+
+        total = benchmark(run)
+        assert total >= 0.0
+
+
+class TestBufferPoolAblation:
+    @pytest.mark.parametrize("pool_size", [4, 32, 512])
+    def test_pool_size(self, benchmark, context, pool_size):
+        """Thread-construction cost as the metadata DB's buffer pool
+        shrinks below the working set."""
+        from repro.query.engine import EngineConfig, TkLUSEngine
+        posts = context.corpus.posts[:1500]
+        engine = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(pool_size=pool_size),
+            precompute_bounds=False)
+        builder = ThreadBuilder(engine.database, depth=6, cache=False)
+        roots = [post.sid for post in posts if post.rsid is None][:80]
+
+        def run():
+            return sum(builder.popularity(sid) for sid in roots)
+
+        benchmark(run)
+        misses = engine.database.stats.get("rsid_index").cache_misses
+        assert misses >= 0
+
+
+class TestIndexVsFullScan:
+    def test_indexed_query(self, benchmark, context):
+        engine = context.engine(4)
+        query = engine.make_query(context.workload.sample_location(),
+                                  radius_km=20.0, keywords=["hotel"], k=10)
+
+        def run():
+            engine.threads.clear_cache()
+            return engine.search_sum(query)
+
+        benchmark(run)
+
+    def test_brute_force_scan(self, benchmark, context):
+        processor = BruteForceProcessor(context.corpus.to_dataset())
+        engine = context.engine(4)
+        query = engine.make_query(context.workload.sample_location(),
+                                  radius_km=20.0, keywords=["hotel"], k=10)
+
+        benchmark(processor.search_sum, query)
+
+
+class TestIRTreeBaseline:
+    @pytest.fixture(scope="class")
+    def irtree_processor(self, context):
+        from repro.baselines.irtree import IRTreeProcessor
+        return IRTreeProcessor(context.corpus.to_dataset())
+
+    def test_irtree_query(self, benchmark, context, irtree_processor):
+        engine = context.engine(4)
+        query = engine.make_query(context.workload.sample_location(),
+                                  radius_km=20.0, keywords=["hotel"], k=10)
+        benchmark(irtree_processor.search_sum, query)
+
+    def test_irtree_build(self, benchmark, context):
+        from repro.baselines.irtree import IRTree
+        posts = list(context.corpus.posts)
+
+        def build():
+            return IRTree(max_entries=16).build(posts)
+
+        tree = benchmark.pedantic(build, rounds=3, iterations=1)
+        assert len(tree) == len(posts)
+
+
+class TestGlobalBoundVariants:
+    def test_bound_tightness_report(self, benchmark, context, save_rows):
+        """Not a timing: records how loose each Definition 11 reading is
+        relative to the tightest hot-keyword bound."""
+        engine = context.engine(4)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        fanout = engine.database.max_reply_fanout
+        depth = engine.threads.depth
+        rows = [{
+            "t_m": fanout,
+            "depth": depth,
+            "compounding_bound": upper_bound_popularity(fanout, depth),
+            "literal_bound": upper_bound_popularity_literal(fanout, depth),
+            "max_hot_keyword_bound": max(
+                engine.bounds.keyword_bounds.values()),
+        }]
+        save_rows("ablation_bounds", rows,
+                  "Ablation — Definition 11 readings vs hot-keyword bounds")
+        assert rows[0]["compounding_bound"] >= rows[0]["literal_bound"]
+
+    def test_compounding_bound_cost(self, benchmark):
+        benchmark(upper_bound_popularity, 50, 6)

@@ -1,0 +1,50 @@
+"""Benchmarks for the scatter-gather distributed executor and the DFS
+content store (the serving-path pieces of Figure 3)."""
+
+import pytest
+
+from repro.dfs.contentstore import ContentStore
+from repro.query.distributed import DistributedExecutor
+
+
+@pytest.fixture(scope="module")
+def executor(context):
+    engine = context.engine(4)
+    return DistributedExecutor(engine.index, engine.database,
+                               engine.threads, engine.config.scoring,
+                               engine.metric, max_workers=4)
+
+
+def test_distributed_query_benchmark(benchmark, context, executor):
+    query = context.workload.bind(context.workload.specs(1)[0],
+                                  radius_km=25.0, k=10)
+
+    def run():
+        context.engine(4).threads.clear_cache()
+        return executor.search(query, aggregate="sum")
+
+    result = benchmark(run)
+    assert result.stats.servers_involved >= 1
+
+
+def test_single_node_query_benchmark(benchmark, context):
+    """Same query, single-node path, for direct comparison."""
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(1)[0],
+                                  radius_km=25.0, k=10)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_sum(query)
+
+    benchmark(run)
+
+
+def test_content_store_lookup_benchmark(benchmark, context):
+    engine = context.engine(4)
+    store = ContentStore(engine.index.cluster, prefix="/bench-contents")
+    store.write_batch(context.corpus.posts)
+    sids = [post.sid for post in context.corpus.posts[::251]][:20]
+
+    result = benchmark(store.collect, sids)
+    assert len(result) == len(sids)

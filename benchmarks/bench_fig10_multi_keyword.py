@@ -1,0 +1,52 @@
+"""Fig 10: multi-keyword query efficiency under AND/OR semantics.
+
+Paper shapes: "more keywords in the query incur longer query processing
+time in OR semantic while the opposite in AND semantic" (AND filters
+more candidates), and max-score ranking helps most under OR at 20-50 km.
+"""
+
+from repro.core.model import Semantics
+from repro.eval.experiments import fig10_multi_keyword
+
+
+def test_fig10_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig10_multi_keyword, args=(context,),
+                              rounds=1, iterations=1)
+    save_rows("fig10_multi_keyword", rows,
+              "Fig 10 — multi-keyword efficiency (AND/OR)")
+
+    def mean_time(keywords, semantics):
+        matching = [row["sum_seconds"] for row in rows
+                    if row["keywords"] == keywords
+                    and row["semantics"] == semantics]
+        return sum(matching) / len(matching)
+
+    # Shape: AND with 3 keywords is faster than OR with 3 keywords
+    # (the intersection discards almost everything).
+    assert mean_time(3, "and") < mean_time(3, "or")
+    # Shape: AND time shrinks as keywords are added.
+    assert mean_time(3, "and") <= mean_time(2, "and") * 1.2
+
+
+def test_fig10_and_query_benchmark(benchmark, context):
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(2)[0],
+                                  radius_km=20.0, semantics=Semantics.AND)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_max(query)
+
+    benchmark(run)
+
+
+def test_fig10_or_query_benchmark(benchmark, context):
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(2)[0],
+                                  radius_km=20.0, semantics=Semantics.OR)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_max(query)
+
+    benchmark(run)

@@ -1,0 +1,48 @@
+"""Fig 12: effect of hot-keyword-specific popularity bounds on the
+max-score ranking algorithm.
+
+Paper shape: "using such specific popularity bound of hot keywords
+fastens the query processing for both semantics. As the query range
+increases, the performance gain becomes more visible."
+"""
+
+from repro.eval.experiments import fig12_specific_bounds
+
+
+def test_fig12_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig12_specific_bounds, args=(context,),
+                              rounds=1, iterations=1)
+    save_rows("fig12_specific_bounds", rows,
+              "Fig 12 — hot-keyword-specific popularity bounds")
+    # Shape 1: the specific bounds prune strictly more thread builds
+    # than the (far looser) global bound, for both semantics.
+    for semantics in ("and", "or"):
+        semantic_rows = [row for row in rows if row["semantics"] == semantics]
+        hot = sum(row["hot_bound_pruned"] for row in semantic_rows)
+        global_ = sum(row["global_bound_pruned"] for row in semantic_rows)
+        assert hot > global_
+    # Shape 2: pruning grows with radius (compare smallest vs largest).
+    for semantics in ("and", "or"):
+        semantic_rows = sorted(
+            (row for row in rows if row["semantics"] == semantics),
+            key=lambda row: row["radius_km"])
+        assert (semantic_rows[-1]["hot_bound_pruned"]
+                >= semantic_rows[0]["hot_bound_pruned"])
+    # Shape 3: total time with specific bounds is no worse than global.
+    hot_time = sum(row["hot_bound_seconds"] for row in rows)
+    global_time = sum(row["global_bound_seconds"] for row in rows)
+    assert hot_time <= global_time * 1.1
+
+
+def test_fig12_hot_bound_query_benchmark(benchmark, context):
+    """Benchmarked unit: one hot-keyword query with specific bounds."""
+    engine = context.engine(4)
+    query = engine.make_query(context.workload.sample_location(),
+                              radius_km=20.0, keywords=["restaurant"], k=5)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_max(query)
+
+    result = benchmark(run)
+    assert result.stats.candidates >= 0

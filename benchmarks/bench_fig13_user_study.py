@@ -1,0 +1,43 @@
+"""Fig 13: (simulated) user-study precision of both ranking methods.
+
+Paper shapes: precision 60-80 % for query ranges up to 10 km, roughly
+decreasing with the query range; top-5 precision above top-10.
+"""
+
+from repro.eval.experiments import fig13_user_study
+
+
+def test_fig13_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig13_user_study, args=(context,),
+                              rounds=1, iterations=1)
+    save_rows("fig13_user_study", rows,
+              "Fig 13 — (simulated) user study precision")
+
+    def rows_for(method):
+        return sorted((row for row in rows if row["method"] == method),
+                      key=lambda row: row["radius_km"])
+
+    for method in ("sum", "max"):
+        method_rows = rows_for(method)
+        # Shape 1: small-radius precision in the paper's 60-80+% band.
+        assert method_rows[0]["precision_top5"] >= 0.55
+        # Shape 2: precision decays from 5 km to 20 km.
+        assert (method_rows[-1]["precision_top10"]
+                <= method_rows[0]["precision_top10"] + 0.05)
+        # Shape 3: top-5 >= top-10 on average.
+        mean5 = sum(r["precision_top5"] for r in method_rows) / len(method_rows)
+        mean10 = sum(r["precision_top10"] for r in method_rows) / len(method_rows)
+        assert mean5 >= mean10 - 0.05
+
+
+def test_fig13_judgement_benchmark(benchmark, context):
+    """Benchmarked unit: a full top-10 judgement round for one query."""
+    from repro.eval.userstudy import SimulatedUserStudy, StudyConfig
+    engine = context.engine(4)
+    study = SimulatedUserStudy(context.corpus.to_dataset(), StudyConfig())
+    query = context.workload.bind(context.workload.specs(1)[0],
+                                  radius_km=10.0, k=10)
+    ranking = engine.search_max(query).ranking()
+
+    result = benchmark(study.precision_at, ranking, query)
+    assert set(result) == {5, 10}

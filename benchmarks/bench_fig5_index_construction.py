@@ -1,0 +1,34 @@
+"""Fig 5: index construction time vs geohash encoding length.
+
+Paper shape: construction time is insensitive to the geohash
+configuration (~850 min for 514M tweets on their 3-node cluster; our
+absolute numbers are laptop-scale over the synthetic corpus).
+"""
+
+from repro.dfs.cluster import paper_cluster
+from repro.eval.experiments import fig5_index_construction_time
+from repro.index.builder import IndexConfig
+from repro.index.hybrid import HybridIndex
+
+
+def test_fig5_construction_time_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig5_index_construction_time,
+                              args=(context.corpus,), rounds=1, iterations=1)
+    save_rows("fig5_index_construction", rows,
+              "Fig 5 — index construction time vs geohash length")
+    times = [row["construction_seconds"] for row in rows]
+    # Paper shape: steady across lengths (allow 2x wobble at small scale).
+    assert max(times) <= 2.0 * min(times)
+
+
+def test_fig5_build_benchmark(benchmark, context):
+    """The benchmarked unit: one full MapReduce index build at the
+    paper's chosen 4-length configuration."""
+
+    def build():
+        return HybridIndex.build(context.corpus.posts, paper_cluster(),
+                                 config=IndexConfig(geohash_length=4,
+                                                    workers=2))
+
+    index = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(index.forward) > 0

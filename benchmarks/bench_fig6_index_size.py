@@ -1,0 +1,33 @@
+"""Fig 6: index size vs geohash encoding length.
+
+Paper shape: the hybrid index size is "very steady as the Geohash
+configuration varies" (~3.5 GB for their corpus); every posting exists
+at every length, so only key-space fragmentation differs.
+"""
+
+from repro.eval.experiments import fig6_index_size
+
+
+def test_fig6_index_size_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig6_index_size, args=(context.corpus,),
+                              rounds=1, iterations=1)
+    save_rows("fig6_index_size", rows, "Fig 6 — index size vs geohash length")
+    sizes = [row["inverted_bytes"] for row in rows]
+    assert max(sizes) <= 1.2 * min(sizes)  # steady, paper shape
+    for row in rows:
+        # Forward index stays small relative to the inverted index
+        # (the paper keeps it under 12 MB in RAM).
+        assert row["forward_bytes"] < row["stored_bytes_with_replication"]
+
+
+def test_fig6_size_measurement_benchmark(benchmark, context):
+    """Benchmarked unit: measuring the resident index sizes of the
+    already-built default engine."""
+    engine = context.engine(4)
+
+    def measure():
+        return (engine.index.inverted_size_bytes(),
+                engine.index.forward_size_bytes())
+
+    inverted, forward = benchmark(measure)
+    assert inverted > 0 and forward > 0

@@ -1,0 +1,50 @@
+"""Fig 7: effect of geohash encoding length on query time.
+
+Paper shape: for the practical 5-20 km radii, longer encodings benefit
+TkLUS query processing (coarser grids force each query to scan many
+non-candidate points per cell); the paper settles on 4-length encoding.
+"""
+
+from repro.eval.experiments import fig7_geohash_length
+
+
+def test_fig7_geohash_length_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig7_geohash_length, args=(context,),
+                              rounds=1, iterations=1)
+    save_rows("fig7_geohash_length", rows,
+              "Fig 7 — query time vs geohash length (radii 5-20 km)")
+    # Shape: averaged over the evaluated radii, length 4 beats length 1.
+    mean = {}
+    for row in rows:
+        mean.setdefault(row["geohash_length"], []).append(row["mean_seconds"])
+    mean_1 = sum(mean[1]) / len(mean[1])
+    mean_4 = sum(mean[4]) / len(mean[4])
+    assert mean_4 <= mean_1 * 1.1  # length 4 at least competitive
+
+
+def test_fig7_query_benchmark_length4(benchmark, context):
+    """Benchmarked unit: one 10 km query on the 4-length index."""
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(1)[0],
+                                  radius_km=10.0)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_max(query)
+
+    result = benchmark(run)
+    assert result.stats.cells_covered > 0
+
+
+def test_fig7_query_benchmark_length1(benchmark, context):
+    """Same query against the coarsest (1-length) index for contrast."""
+    engine = context.engine(1)
+    query = context.workload.bind(context.workload.specs(1)[0],
+                                  radius_km=10.0)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_max(query)
+
+    result = benchmark(run)
+    assert result.stats.cells_covered >= 1

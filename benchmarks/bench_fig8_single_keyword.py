@@ -1,0 +1,45 @@
+"""Fig 8: single-keyword query efficiency, sum vs max ranking.
+
+Paper shape: the two methods perform closely up to 20 km; for larger
+radii the max-score method wins thanks to its upper-bound pruning
+("the pruning power ... works more visibly when there are more
+candidates involved in large query ranges").
+"""
+
+from repro.eval.experiments import fig8_single_keyword
+
+
+def test_fig8_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig8_single_keyword, args=(context,),
+                              rounds=1, iterations=1)
+    save_rows("fig8_single_keyword", rows,
+              "Fig 8 — single-keyword efficiency (sum vs max)")
+    # Shape: summed over the large radii (>= 50 km), max <= sum.
+    large = [row for row in rows if row["radius_km"] >= 50.0]
+    sum_large = sum(row["sum_seconds"] for row in large)
+    max_large = sum(row["max_seconds"] for row in large)
+    assert max_large <= sum_large * 1.15  # max at least competitive
+
+
+def test_fig8_sum_query_benchmark(benchmark, context):
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(1)[1],
+                                  radius_km=50.0)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_sum(query)
+
+    benchmark(run)
+
+
+def test_fig8_max_query_benchmark(benchmark, context):
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(1)[1],
+                                  radius_km=50.0)
+
+    def run():
+        engine.threads.clear_cache()
+        return engine.search_max(query)
+
+    benchmark(run)

@@ -1,0 +1,35 @@
+"""Fig 9: Kendall tau between sum- and max-ranked results, single
+keyword, top-5 and top-10.
+
+Paper shape: "In all tested settings, the Kendall tau coefficient is
+higher than 0.863" — the two rankings are highly consistent.
+"""
+
+from repro.eval.experiments import fig9_kendall_single
+from repro.eval.kendall import kendall_tau
+
+
+def test_fig9_table(benchmark, context, save_rows):
+    rows = benchmark.pedantic(fig9_kendall_single, args=(context,),
+                              rounds=1, iterations=1)
+    save_rows("fig9_kendall_single", rows,
+              "Fig 9 — Kendall tau, single keyword")
+    taus = [row["mean_tau"] for row in rows
+            if row["queries_with_results"] > 0]
+    assert taus, "no queries produced results"
+    # Paper shape: high consistency (laptop-scale tolerance: >= 0.6 on
+    # every point, mean >= 0.8).
+    assert min(taus) >= 0.6
+    assert sum(taus) / len(taus) >= 0.8
+
+
+def test_fig9_tau_computation_benchmark(benchmark, context):
+    """Benchmarked unit: one sum-vs-max tau for a top-10 query."""
+    engine = context.engine(4)
+    query = context.workload.bind(context.workload.specs(1)[2],
+                                  radius_km=10.0, k=10)
+    rho_b = engine.search_sum(query).ranking()
+    rho_d = engine.search_max(query).ranking()
+
+    tau = benchmark(kendall_tau, rho_b, rho_d)
+    assert -1.0 <= tau <= 1.0

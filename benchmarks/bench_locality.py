@@ -1,0 +1,62 @@
+"""Data-locality benchmark: geohash range partitioning vs hash
+partitioning (Section IV-B1's distributed-layout claim).
+
+"In a distributed environment, data indexed by geohash will have all
+points for a given rectangular area in one computer. Such advantage
+could save I/O and communication cost in query evaluation."
+"""
+
+import random
+
+from repro.dfs.cluster import paper_cluster
+from repro.index.builder import IndexConfig
+from repro.index.hybrid import HybridIndex
+from repro.index.locality import measure_query_locality
+from repro.text import Analyzer
+
+
+def _queries(context, count=12, radius=15.0):
+    analyzer = Analyzer()
+    rng = random.Random(9)
+    result = []
+    for spec in context.workload.specs(1)[:count]:
+        terms = analyzer.analyze_query_keywords(spec.keywords)
+        result.append((context.corpus.sample_location(rng), radius, terms))
+    return result
+
+
+def test_locality_comparison_table(benchmark, context, save_rows):
+    def run():
+        queries = _queries(context)
+        rows = []
+        for mode in ("hash", "range"):
+            index = HybridIndex.build(
+                context.corpus.posts, paper_cluster(),
+                config=IndexConfig(partitioning=mode, num_reduce_tasks=8))
+            report = measure_query_locality(index, queries)
+            row = {"partitioning": mode}
+            row.update(report.as_row())
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_rows("locality_partitioning", rows,
+              "Locality — part files / datanodes touched per query")
+    by_mode = {row["partitioning"]: row for row in rows}
+    assert (by_mode["range"]["mean_part_files"]
+            <= by_mode["hash"]["mean_part_files"])
+
+
+def test_range_partitioned_query_benchmark(benchmark, context):
+    """Per-query latency on a range-partitioned index."""
+    index = HybridIndex.build(
+        context.corpus.posts, paper_cluster(),
+        config=IndexConfig(partitioning="range", num_reduce_tasks=8))
+    queries = _queries(context, count=4)
+
+    def run():
+        for location, radius, terms in queries:
+            cells = index.cover(location, radius)
+            index.postings_for_query(cells, terms)
+
+    benchmark(run)

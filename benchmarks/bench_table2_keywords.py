@@ -1,0 +1,17 @@
+"""Table II: top-10 frequent keywords of the corpus.
+
+The benchmarked unit is the corpus-wide keyword-frequency aggregation
+(the statistic the paper's Table II reports); the reproduced table is
+written to benchmarks/results/.
+"""
+
+from repro.eval.experiments import table2_keyword_frequencies
+
+
+def test_table2_keyword_frequencies(benchmark, context, save_rows):
+    rows = benchmark(table2_keyword_frequencies, context.corpus)
+    save_rows("table2_keywords", rows, "Table II — top-10 frequent keywords")
+    # Shape assertions: 10 rows, frequency-ranked.
+    assert len(rows) == 10
+    counts = [row["frequency"] for row in rows]
+    assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,19 @@
+"""Table IV: geohash encodings of the paper's example coordinate at
+lengths 1-4, plus a raw geohash-encoding throughput benchmark."""
+
+from repro.eval.experiments import table4_geohash_lengths
+from repro.geo import geohash
+
+
+def test_table4_geohash_lengths(benchmark, save_rows):
+    rows = benchmark(table4_geohash_lengths)
+    save_rows("table4_geohash", rows,
+              "Table IV — geohash encoding length example")
+    assert [row["geohash"] for row in rows] == ["6", "6g", "6gx", "6gxp"]
+
+
+def test_geohash_encode_throughput(benchmark):
+    """Raw cost of one length-4 encode (runs millions of times during
+    index construction)."""
+    result = benchmark(geohash.encode, -23.994140625, -46.23046875, 4)
+    assert result == "6gxp"

@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures.
+
+One moderate-scale corpus + engine set is built per session and shared
+by every figure benchmark; each benchmark file also writes its figure's
+row table to ``benchmarks/results/`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.experiments import ExperimentContext
+from repro.eval.report import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Benchmark corpus scale.  Large enough for every figure's effect to
+#: show, small enough that the full suite runs in a few minutes.
+NUM_USERS = 600
+NUM_ROOT_TWEETS = 3000
+QUERIES_PER_POINT = 6
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext.create(num_users=NUM_USERS,
+                                    num_root_tweets=NUM_ROOT_TWEETS,
+                                    seed=42,
+                                    queries_per_point=QUERIES_PER_POINT)
+
+
+@pytest.fixture(scope="session")
+def save_rows():
+    """Callable fixture: persist and echo a figure's row table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, rows, title: str) -> None:
+        text = format_table(rows, title)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

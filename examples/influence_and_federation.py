@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Social influence and cross-platform federation.
+
+Two more extensions the paper motivates:
+
+1. **Social influence** (Section I: "Twitter maintains the social
+   relationships among users, which can be exploited to score the
+   users") — a PageRank over the reply/forward graph, blended into the
+   TkLUS ranking with a weight beta.
+2. **Cross-platform search** (Section VIII: "make the search for local
+   users across the platform boundary") — one query fanned out over
+   several per-platform engines, with normalised score merging.
+
+Usage:  python examples/influence_and_federation.py
+"""
+
+from repro import TkLUSEngine, generate_corpus
+from repro.core.influence import InfluenceModel, blend_influence
+from repro.query.federation import FederatedEngine
+
+TORONTO = (43.6532, -79.3832)
+
+
+def influence_demo(engine, dataset) -> None:
+    print("=" * 64)
+    print("1. Blending social influence into the ranking")
+    print("=" * 64)
+    model = InfluenceModel.from_dataset(dataset)
+    print("\nMost influential users (PageRank over replies/forwards):")
+    for uid, score in model.top(5):
+        print(f"  user {uid:5d}  influence {score:.4f}")
+
+    query = engine.make_query(TORONTO, 15.0, ["restaurant"], k=10)
+    result = engine.search_max(query)
+    print(f"\nPlain TkLUS top-5:   "
+          f"{[uid for uid, _s in result.users[:5]]}")
+    for beta in (0.2, 0.5):
+        blended = blend_influence(result.users, model, beta=beta)
+        print(f"beta = {beta}: top-5 ->  "
+              f"{[uid for uid, _s in blended[:5]]}")
+
+
+def federation_demo() -> None:
+    print()
+    print("=" * 64)
+    print("2. Federated search across two platforms")
+    print("=" * 64)
+    twitter = TkLUSEngine.from_posts(
+        generate_corpus(num_users=400, num_root_tweets=2000, seed=100).posts)
+    weibo = TkLUSEngine.from_posts(
+        generate_corpus(num_users=400, num_root_tweets=2000, seed=200).posts)
+    federation = FederatedEngine({"twitter": twitter, "weibo": weibo})
+
+    query = twitter.make_query(TORONTO, 15.0, ["hotel"], k=8)
+    result = federation.search(query)
+    print(f"\nMerged top-{len(result.users)} for 'hotel' near Toronto "
+          f"({result.elapsed_seconds * 1000:.0f} ms total):")
+    for rank, user in enumerate(result.users, start=1):
+        print(f"  #{rank}  {user.platform:8s} user {user.uid:5d}  "
+              f"score {user.score:.4f}")
+    for platform, stats in sorted(result.per_platform_stats.items()):
+        print(f"  [{platform}: {stats.candidates} candidates, "
+              f"{stats.threads_built} threads]")
+
+
+def main() -> None:
+    corpus = generate_corpus(num_users=500, num_root_tweets=2500, seed=3)
+    engine = TkLUSEngine.from_posts(corpus.posts)
+    influence_demo(engine, corpus.to_dataset())
+    federation_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's Section VI.
+
+Runs the full experiment harness on a laptop-scale corpus and prints
+one text table per table/figure.  This is the script behind
+EXPERIMENTS.md; the benchmark suite (``pytest benchmarks/
+--benchmark-only``) wraps the same functions with pytest-benchmark
+timing.
+
+Usage:
+    python examples/run_all_experiments.py            # default scale
+    python examples/run_all_experiments.py --small    # quick pass
+"""
+
+import sys
+import time
+
+from repro.eval.experiments import (
+    ExperimentContext,
+    fig5_index_construction_time,
+    fig6_index_size,
+    fig7_geohash_length,
+    fig8_single_keyword,
+    fig9_kendall_single,
+    fig10_multi_keyword,
+    fig11_kendall_multi,
+    fig12_specific_bounds,
+    fig13_user_study,
+    table2_keyword_frequencies,
+    table4_geohash_lengths,
+)
+from repro.eval.plots import line_chart, series_from_rows
+from repro.eval.report import print_table
+
+
+def print_chart(rows, x_key, y_key, group_key, title):
+    xs, series = series_from_rows(rows, x_key, y_key, group_key)
+    if xs:
+        print(line_chart(xs, series, title=title))
+        print()
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    if small:
+        context = ExperimentContext.create(
+            num_users=300, num_root_tweets=1500, queries_per_point=4)
+    else:
+        context = ExperimentContext.create(
+            num_users=800, num_root_tweets=4000, queries_per_point=10)
+    print(f"Corpus: {len(context.corpus.posts)} posts "
+          f"({'small' if small else 'default'} scale)\n")
+
+    start = time.time()
+    print_table(table2_keyword_frequencies(context.corpus),
+                "Table II — top-10 frequent keywords")
+    print_table(table4_geohash_lengths(),
+                "Table IV — geohash encoding length example")
+    print_table(fig5_index_construction_time(context.corpus),
+                "Fig 5 — index construction time vs geohash length")
+    print_table(fig6_index_size(context.corpus),
+                "Fig 6 — index size vs geohash length")
+    fig7 = fig7_geohash_length(context)
+    print_table(fig7, "Fig 7 — query time vs geohash length (radii 5-20 km)")
+    print_chart(fig7, "radius_km", "mean_seconds", "geohash_length",
+                "Fig 7 chart: seconds vs radius, one series per length")
+    fig8 = fig8_single_keyword(context)
+    print_table(fig8, "Fig 8 — single-keyword efficiency (sum vs max)")
+    xs, sum_series = series_from_rows(fig8, "radius_km", "sum_seconds")
+    _xs, max_series = series_from_rows(fig8, "radius_km", "max_seconds")
+    print(line_chart(xs, {"sum": sum_series["sum_seconds"],
+                          "max": max_series["max_seconds"]},
+                     title="Fig 8 chart: mean seconds vs radius"))
+    print()
+    print_table(fig9_kendall_single(context),
+                "Fig 9 — Kendall tau, single keyword")
+    print_table(fig10_multi_keyword(context),
+                "Fig 10 — multi-keyword efficiency (AND/OR)")
+    print_table(fig11_kendall_multi(context),
+                "Fig 11 — Kendall tau, multi-keyword (AND/OR)")
+    print_table(fig12_specific_bounds(context),
+                "Fig 12 — hot-keyword-specific popularity bounds")
+    fig13 = fig13_user_study(context)
+    print_table(fig13, "Fig 13 — (simulated) user study precision")
+    print_chart(fig13, "radius_km", "precision_top10", "method",
+                "Fig 13 chart: precision@10 vs radius")
+    print(f"All experiments regenerated in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario (Section I): "A couple with kids
+moving to Seoul may ask: Are there any good babysitters in Seoul?"
+
+The right answer, the paper argues, is not a pile of raw tweets but a
+short list of *local users* who are demonstrably engaged on the topic —
+people the couple can contact directly.  This example:
+
+1. generates a world-wide corpus and plants a handful of Seoul-local
+   "babysitter" users with different engagement levels (tweet counts
+   and reply cascades), plus decoys in other cities;
+2. runs the TkLUS query at Seoul city hall with both ranking methods
+   and radii, and shows that the planted local experts surface while
+   the out-of-town decoys do not;
+3. demonstrates the AND/OR semantics on "babysitter recommendation".
+
+Usage:  python examples/seoul_babysitter.py
+"""
+
+from repro import TkLUSEngine, generate_corpus
+from repro.core.model import EdgeKind, Post, Semantics
+from repro.text import Analyzer
+
+SEOUL = (37.5665, 126.9780)
+LONDON = (51.5074, -0.1278)
+
+
+def plant_babysitter_scene(base_posts):
+    """Append planted users on top of the organic corpus.
+
+    * uids 9001-9003: Seoul locals tweeting about babysitting, with
+      increasing engagement (9003 runs a popular thread);
+    * uid 9100: a London user tweeting about babysitters (wrong city);
+    * uid 9200: a Seoul user tweeting about unrelated topics.
+    """
+    analyzer = Analyzer()
+    posts = list(base_posts)
+    sid = posts[-1].sid + 1
+    uid_of = {}
+
+    def add(uid, lat, lon, text, rsid=None, ruid=None, kind=None):
+        nonlocal sid
+        posts.append(Post(sid=sid, uid=uid, location=(lat, lon),
+                          words=tuple(analyzer.analyze(text)), text=text,
+                          rsid=rsid, ruid=ruid, kind=kind))
+        uid_of[sid] = uid
+        sid += 1
+        return sid - 1
+
+    # Casual local: one mention.
+    add(9001, 37.561, 126.975, "looking for a babysitter near city hall")
+    # Engaged local: three on-topic tweets.
+    for text in ("our babysitter recommendation: weekday evenings work best",
+                 "babysitter tips for new parents in seoul",
+                 "great babysitter co-op meeting today"):
+        add(9002, 37.570, 126.982, text)
+    # The local authority: a babysitter tweet with a real cascade.
+    root = add(9003, 37.565, 126.976,
+               "I run a vetted babysitter network in Seoul - "
+               "babysitter recommendation thread, ask me anything")
+    children = []
+    for i in range(5):
+        child = add(9300 + i, 37.56 + i * 0.002, 126.97,
+                    "can you recommend a sitter for jongno-gu?",
+                    rsid=root, ruid=9003, kind=EdgeKind.REPLY)
+        children.append(child)
+    for i in range(4):
+        add(9350 + i, 37.558, 126.968, "following this thread",
+            rsid=children[i % 5], ruid=uid_of[children[i % 5]],
+            kind=EdgeKind.FORWARD)
+    # Decoys.
+    add(9100, LONDON[0], LONDON[1],
+        "babysitter wanted in camden, babysitter please")
+    for text in ("seoul traffic is wild today", "great coffee in seoul"):
+        add(9200, 37.567, 126.979, text)
+    return posts
+
+
+def show(title, result):
+    print(f"\n{title}")
+    if not result.users:
+        print("  (no local users found)")
+    for rank, (uid, score) in enumerate(result.users, start=1):
+        tag = {9001: "casual local", 9002: "engaged local",
+               9003: "local authority", 9100: "LONDON DECOY",
+               9200: "off-topic local"}.get(uid, "organic user")
+        print(f"  #{rank}  user {uid:5d}  score {score:.4f}  [{tag}]")
+
+
+def main() -> None:
+    print("Generating organic corpus and planting the Seoul scene...")
+    corpus = generate_corpus(num_users=600, num_root_tweets=3000, seed=7)
+    posts = plant_babysitter_scene(corpus.posts)
+    engine = TkLUSEngine.from_posts(posts)
+
+    query = engine.make_query(SEOUL, radius_km=10.0,
+                              keywords=["babysitter"], k=5)
+    result_sum = engine.search_sum(query)
+    result_max = engine.search_max(query)
+    show("Top-5 'babysitter' locals within 10 km of Seoul city hall (sum):",
+         result_sum)
+    show("Same query, max-score ranking:", result_max)
+
+    returned = {uid for uid, _ in result_sum.users}
+    assert 9100 not in returned, "London decoy must not appear"
+    assert 9200 not in returned, "off-topic local must not appear"
+    assert {9002, 9003} <= returned, "planted locals must surface"
+    print("\nPlanted Seoul locals surfaced; decoys filtered.  ✓")
+
+    # AND vs OR on a two-keyword ask.
+    for semantics in (Semantics.AND, Semantics.OR):
+        query2 = engine.make_query(SEOUL, radius_km=10.0,
+                                   keywords=["babysitter", "recommendation"],
+                                   k=5, semantics=semantics)
+        result = engine.search_max(query2)
+        show(f"'babysitter recommendation' ({semantics.value.upper()}), "
+             f"{result.stats.candidates} candidates:", result)
+
+    # Radius effect: at 500 km the London decoy is still out of reach,
+    # but scores of distant users drop.
+    wide = engine.make_query(SEOUL, radius_km=50.0,
+                             keywords=["babysitter"], k=5)
+    show("Widening to 50 km:", engine.search_max(wide))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — a full reproduction of "Finding Top-k Local Users in
+Geo-Tagged Social Media Data" (Jiang, Lu, Yang, Cui; ICDE 2015).
+
+The package implements the paper's TkLUS query system end to end:
+
+* :mod:`repro.core` — data model, tweet threads, scoring (Sections II-III);
+* :mod:`repro.geo` — geohash/quadtree/Z-order spatial substrate (Section IV-B1);
+* :mod:`repro.text` — tokenizer, stop words, Porter stemmer;
+* :mod:`repro.storage` — page/B+-tree metadata database (Section IV-A);
+* :mod:`repro.dfs` — simulated HDFS;
+* :mod:`repro.mapreduce` — mini MapReduce engine;
+* :mod:`repro.index` — the hybrid spatial-keyword index (Section IV-B);
+* :mod:`repro.query` — Algorithms 4 and 5 with upper-bound pruning (Section V);
+* :mod:`repro.data` — synthetic corpus and query workloads;
+* :mod:`repro.eval` — experiment harness reproducing Section VI.
+
+Quickstart::
+
+    from repro import TkLUSEngine, TkLUSQuery, generate_corpus
+
+    corpus = generate_corpus(num_users=1000, num_root_tweets=5000)
+    engine = TkLUSEngine.from_posts(corpus.posts)
+    query = engine.make_query((43.65, -79.38), radius_km=10,
+                              keywords=["hotel"], k=5)
+    for uid, score in engine.search(query).users:
+        print(uid, score)
+"""
+
+from .core import (
+    Dataset,
+    Post,
+    RecencyModel,
+    ScoringConfig,
+    Semantics,
+    SocialNetwork,
+    TemporalSpec,
+    TimeWindow,
+    TkLUSQuery,
+    TweetThread,
+)
+from .data import QueryWorkload, generate_corpus
+from .index import HybridIndex, IndexConfig
+from .query import (
+    BruteForceProcessor,
+    EngineConfig,
+    QueryResult,
+    TkLUSEngine,
+)
+from .query.persistence import load_engine, save_engine
+from .storage import MetadataDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForceProcessor",
+    "Dataset",
+    "EngineConfig",
+    "HybridIndex",
+    "IndexConfig",
+    "MetadataDatabase",
+    "Post",
+    "QueryResult",
+    "QueryWorkload",
+    "RecencyModel",
+    "ScoringConfig",
+    "Semantics",
+    "SocialNetwork",
+    "TemporalSpec",
+    "TimeWindow",
+    "TkLUSEngine",
+    "TkLUSQuery",
+    "TweetThread",
+    "generate_corpus",
+    "load_engine",
+    "save_engine",
+]

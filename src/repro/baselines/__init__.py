@@ -1,0 +1,7 @@
+"""Comparison baselines: the R-tree / IR-tree family the paper's
+related work positions itself against (Section VII-A)."""
+
+from .irtree import IRTree, IRTreeProcessor
+from .rtree import MBR, RTree
+
+__all__ = ["IRTree", "IRTreeProcessor", "MBR", "RTree"]

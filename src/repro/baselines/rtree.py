@@ -1,0 +1,268 @@
+"""An in-memory R-tree over latitude/longitude points.
+
+The paper's related work (Section VII-A) positions the hybrid geohash
+index against the IR-tree family — R-trees whose nodes carry inverted
+files [5], [14].  To compare against that family honestly we first need
+an R-tree; this is a quadratic-split Guttman R-tree specialised to point
+data, supporting rectangle and circle queries and a best-first nearest
+traversal (the building block of IR-tree top-k search).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from ..geo.distance import (
+    DEFAULT_METRIC,
+    Metric,
+    haversine_km,
+    min_distance_to_rect_km,
+)
+
+T = TypeVar("T")
+
+Coordinate = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class MBR:
+    """Minimum bounding rectangle in (lat, lon) space."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    @classmethod
+    def of_point(cls, lat: float, lon: float) -> "MBR":
+        return cls(lat, lon, lat, lon)
+
+    def area(self) -> float:
+        return (self.max_lat - self.min_lat) * (self.max_lon - self.min_lon)
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(min(self.min_lat, other.min_lat),
+                   min(self.min_lon, other.min_lon),
+                   max(self.max_lat, other.max_lat),
+                   max(self.max_lon, other.max_lon))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area growth needed to absorb ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "MBR") -> bool:
+        return not (other.max_lat < self.min_lat
+                    or other.min_lat > self.max_lat
+                    or other.max_lon < self.min_lon
+                    or other.min_lon > self.max_lon)
+
+    def contains_point(self, lat: float, lon: float) -> bool:
+        return (self.min_lat <= lat <= self.max_lat
+                and self.min_lon <= lon <= self.max_lon)
+
+    def min_distance_km(self, point: Coordinate,
+                        metric: Metric = DEFAULT_METRIC) -> float:
+        """Distance from ``point`` to the nearest point of this MBR.
+
+        Exact for the haversine metric (the nearest point of a meridian
+        edge can lie poleward of the clamped latitude when the longitude
+        gap exceeds 90 degrees); other metrics fall back to coordinate
+        clamping, which is exact for them in planar/equirectangular
+        geometry.
+        """
+        rect = (self.min_lat, self.min_lon, self.max_lat, self.max_lon)
+        if metric is haversine_km:
+            return min_distance_to_rect_km(point, rect)
+        lat = min(max(point[0], self.min_lat), self.max_lat)
+        lon = min(max(point[1], self.min_lon), self.max_lon)
+        return metric(point, (lat, lon))
+
+
+@dataclass
+class _Entry(Generic[T]):
+    mbr: MBR
+    child: Optional["_Node[T]"] = None  # internal entries
+    value: Optional[T] = None           # leaf entries
+
+
+@dataclass
+class _Node(Generic[T]):
+    is_leaf: bool
+    entries: List[_Entry[T]] = field(default_factory=list)
+
+    def mbr(self) -> MBR:
+        box = self.entries[0].mbr
+        for entry in self.entries[1:]:
+            box = box.union(entry.mbr)
+        return box
+
+
+class RTree(Generic[T]):
+    """Guttman R-tree with quadratic split, specialised to points."""
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4: {max_entries}")
+        self._max = max_entries
+        self._min = max(2, max_entries // 2)
+        self._root: _Node[T] = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, lat: float, lon: float, value: T) -> None:
+        entry = _Entry(MBR.of_point(lat, lon), value=value)
+        split = self._insert(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(is_leaf=False, entries=[
+                _Entry(old_root.mbr(), child=old_root),
+                _Entry(split.mbr(), child=split),
+            ])
+        self._size += 1
+
+    def _insert(self, node: _Node[T], entry: _Entry[T]) -> Optional[_Node[T]]:
+        if node.is_leaf:
+            node.entries.append(entry)
+        else:
+            best = min(node.entries,
+                       key=lambda e: (e.mbr.enlargement(entry.mbr),
+                                      e.mbr.area()))
+            split = self._insert(best.child, entry)  # type: ignore[arg-type]
+            best.mbr = best.child.mbr()  # type: ignore[union-attr]
+            if split is not None:
+                node.entries.append(_Entry(split.mbr(), child=split))
+        if len(node.entries) > self._max:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node[T]) -> _Node[T]:
+        """Quadratic split: seed with the pair wasting the most area."""
+        entries = node.entries
+        worst = -1.0
+        seeds = (0, 1)
+        for i, j in itertools.combinations(range(len(entries)), 2):
+            waste = (entries[i].mbr.union(entries[j].mbr).area()
+                     - entries[i].mbr.area() - entries[j].mbr.area())
+            if waste > worst:
+                worst = waste
+                seeds = (i, j)
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        rest = [entry for index, entry in enumerate(entries)
+                if index not in seeds]
+        box_a = group_a[0].mbr
+        box_b = group_b[0].mbr
+        for entry in rest:
+            # Honour minimum fill.
+            remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+            if len(group_a) + remaining <= self._min:
+                group_a.append(entry)
+                box_a = box_a.union(entry.mbr)
+                continue
+            if len(group_b) + remaining <= self._min:
+                group_b.append(entry)
+                box_b = box_b.union(entry.mbr)
+                continue
+            if box_a.enlargement(entry.mbr) <= box_b.enlargement(entry.mbr):
+                group_a.append(entry)
+                box_a = box_a.union(entry.mbr)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry.mbr)
+        node.entries = group_a
+        return _Node(is_leaf=node.is_leaf, entries=group_b)
+
+    # -- queries ----------------------------------------------------------
+
+    def query_rect(self, rect: MBR) -> Iterator[Tuple[Coordinate, T]]:
+        if self._size == 0:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if not rect.intersects(entry.mbr):
+                    continue
+                if node.is_leaf:
+                    point = (entry.mbr.min_lat, entry.mbr.min_lon)
+                    if rect.contains_point(*point):
+                        yield (point, entry.value)  # type: ignore[misc]
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+
+    def query_circle(self, center: Coordinate, radius_km: float,
+                     metric: Metric = DEFAULT_METRIC
+                     ) -> Iterator[Tuple[Coordinate, T]]:
+        if self._size == 0:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.mbr.min_distance_km(center, metric) > radius_km:
+                    continue
+                if node.is_leaf:
+                    point = (entry.mbr.min_lat, entry.mbr.min_lon)
+                    if metric(center, point) <= radius_km:
+                        yield (point, entry.value)  # type: ignore[misc]
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+
+    def nearest_first(self, center: Coordinate,
+                      metric: Metric = DEFAULT_METRIC
+                      ) -> Iterator[Tuple[float, Coordinate, T]]:
+        """Best-first traversal yielding ``(distance_km, point, value)``
+        in non-decreasing distance order — the backbone of IR-tree
+        top-k search."""
+        if self._size == 0:
+            return
+        counter = itertools.count()
+        heap: List[Tuple[float, int, object]] = [
+            (0.0, next(counter), self._root)]
+        while heap:
+            distance, _tie, item = heapq.heappop(heap)
+            if isinstance(item, _Node):
+                for entry in item.entries:
+                    if item.is_leaf:
+                        point = (entry.mbr.min_lat, entry.mbr.min_lon)
+                        heapq.heappush(heap, (metric(center, point),
+                                              next(counter),
+                                              (point, entry.value)))
+                    else:
+                        heapq.heappush(
+                            heap, (entry.mbr.min_distance_km(center, metric),
+                                   next(counter), entry.child))
+            else:
+                point, value = item  # type: ignore[misc]
+                yield (distance, point, value)
+
+    # -- validation ----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Structural validation used by property tests."""
+        count = self._check(self._root, is_root=True)
+        if count != self._size:
+            raise AssertionError(f"size mismatch: {count} != {self._size}")
+
+    def _check(self, node: _Node[T], is_root: bool) -> int:
+        if not is_root and not (self._min <= len(node.entries) <= self._max):
+            raise AssertionError(
+                f"node fill {len(node.entries)} outside "
+                f"[{self._min}, {self._max}]")
+        if node.is_leaf:
+            return len(node.entries)
+        total = 0
+        for entry in node.entries:
+            child = entry.child
+            assert child is not None
+            if entry.mbr != child.mbr():
+                raise AssertionError("stale parent MBR")
+            total += self._check(child, is_root=False)
+        return total

@@ -1,0 +1,209 @@
+"""Command-line interface for the TkLUS reproduction.
+
+Subcommands mirror the operational pipeline of the paper's Figure 3:
+
+* ``generate``     — synthesise a geo-tagged corpus to JSON lines
+                     (the "crawl" stage);
+* ``build``        — run ETL + index construction and save the built
+                     deployment to a directory;
+* ``query``        — answer TkLUS queries against a saved deployment
+                     (or build one on the fly from a corpus file);
+* ``stats``        — corpus statistics (Table II style);
+* ``experiments``  — regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.cli generate -o corpus.jsonl --users 500 --roots 2000
+    python -m repro.cli build corpus.jsonl -o deployment/
+    python -m repro.cli query deployment/ --lat 43.65 --lon -79.38 \\
+        --radius 10 --keywords hotel --k 5 --method max
+    python -m repro.cli experiments --small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.model import Semantics
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .data.etl import dump_posts
+    from .data.generator import generate_corpus
+
+    corpus = generate_corpus(num_users=args.users,
+                             num_root_tweets=args.roots, seed=args.seed)
+    with open(args.output, "w") as handle:
+        count = dump_posts(corpus.posts, handle)
+    print(f"wrote {count} posts to {args.output}")
+    return 0
+
+
+def _load_corpus(path: str):
+    from .data.etl import load_posts
+
+    with open(path) as handle:
+        posts = load_posts(handle)
+    if not posts:
+        print(f"error: no geo-tagged posts in {path}", file=sys.stderr)
+        raise SystemExit(2)
+    return posts
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .index.builder import IndexConfig
+    from .query.engine import EngineConfig, TkLUSEngine
+    from .query.persistence import save_engine
+
+    posts = _load_corpus(args.corpus)
+    config = EngineConfig(index=IndexConfig(geohash_length=args.geohash_length))
+    engine = TkLUSEngine.from_posts(posts, config=config)
+    save_engine(engine, args.output)
+    report = engine.index_report()
+    print(f"built index over {report['tweets']} tweets "
+          f"(geohash length {report['geohash_length']}); "
+          f"saved to {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .query.persistence import load_engine
+
+    if args.corpus:
+        from .query.engine import TkLUSEngine
+        engine = TkLUSEngine.from_posts(_load_corpus(args.corpus))
+    else:
+        engine = load_engine(args.deployment)
+    semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
+    query = engine.make_query((args.lat, args.lon), args.radius,
+                              args.keywords, k=args.k, semantics=semantics)
+    result = engine.search(query, method=args.method)
+    if not result.users:
+        print("no local users found")
+        return 0
+    for rank, (uid, score) in enumerate(result.users, start=1):
+        print(f"#{rank}\tuser {uid}\tscore {score:.6f}")
+    stats = result.stats
+    print(f"({stats.candidates} candidates, {stats.threads_built} threads "
+          f"built, {stats.threads_pruned} pruned, "
+          f"{stats.elapsed_seconds * 1000:.1f} ms)", file=sys.stderr)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from collections import Counter
+
+    posts = _load_corpus(args.corpus)
+    users = {post.uid for post in posts}
+    replies = sum(1 for post in posts if post.rsid is not None)
+    terms = Counter()
+    for post in posts:
+        terms.update(post.words)
+    print(f"posts:   {len(posts)}")
+    print(f"users:   {len(users)}")
+    print(f"replies: {replies} ({replies / len(posts):.1%})")
+    print("top keywords:")
+    for rank, (term, count) in enumerate(terms.most_common(args.top), 1):
+        print(f"  {rank:2d}. {term:15s} {count}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .eval.experiments import (
+        ExperimentContext,
+        fig5_index_construction_time,
+        fig6_index_size,
+        fig7_geohash_length,
+        fig8_single_keyword,
+        fig9_kendall_single,
+        fig10_multi_keyword,
+        fig11_kendall_multi,
+        fig12_specific_bounds,
+        fig13_user_study,
+        table2_keyword_frequencies,
+        table4_geohash_lengths,
+    )
+    from .eval.report import print_table
+
+    if args.small:
+        context = ExperimentContext.create(num_users=300,
+                                           num_root_tweets=1500,
+                                           queries_per_point=4)
+    else:
+        context = ExperimentContext.create()
+    print_table(table2_keyword_frequencies(context.corpus), "Table II")
+    print_table(table4_geohash_lengths(), "Table IV")
+    print_table(fig5_index_construction_time(context.corpus), "Fig 5")
+    print_table(fig6_index_size(context.corpus), "Fig 6")
+    print_table(fig7_geohash_length(context), "Fig 7")
+    print_table(fig8_single_keyword(context), "Fig 8")
+    print_table(fig9_kendall_single(context), "Fig 9")
+    print_table(fig10_multi_keyword(context), "Fig 10")
+    print_table(fig11_kendall_multi(context), "Fig 11")
+    print_table(fig12_specific_bounds(context), "Fig 12")
+    print_table(fig13_user_study(context), "Fig 13")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TkLUS: top-k local user search (ICDE 2015 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate",
+                                   help="synthesise a geo-tagged corpus")
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--users", type=int, default=800)
+    generate.add_argument("--roots", type=int, default=4000)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.set_defaults(func=_cmd_generate)
+
+    build = commands.add_parser("build",
+                                help="build and save a TkLUS deployment")
+    build.add_argument("corpus", help="JSON-lines corpus file")
+    build.add_argument("-o", "--output", required=True,
+                       help="deployment directory")
+    build.add_argument("--geohash-length", type=int, default=4)
+    build.set_defaults(func=_cmd_build)
+
+    query = commands.add_parser("query", help="run a TkLUS query")
+    query.add_argument("deployment", nargs="?", default="",
+                       help="saved deployment directory")
+    query.add_argument("--corpus", default="",
+                       help="build from this corpus file instead")
+    query.add_argument("--lat", type=float, required=True)
+    query.add_argument("--lon", type=float, required=True)
+    query.add_argument("--radius", type=float, required=True,
+                       help="radius in km")
+    query.add_argument("--keywords", nargs="+", required=True)
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--method", choices=("sum", "max"), default="max")
+    query.add_argument("--semantics", choices=("and", "or"), default="or")
+    query.set_defaults(func=_cmd_query)
+
+    stats = commands.add_parser("stats", help="corpus statistics")
+    stats.add_argument("corpus")
+    stats.add_argument("--top", type=int, default=10)
+    stats.set_defaults(func=_cmd_stats)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures")
+    experiments.add_argument("--small", action="store_true")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "query" and not args.deployment and not args.corpus:
+        parser.error("query needs a deployment directory or --corpus")
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

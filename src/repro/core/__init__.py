@@ -1,0 +1,81 @@
+"""The paper's core concepts: data model, tweet threads, scoring.
+
+Sections II and III of the paper: Definition 1 (post), Definition 2
+(social network), the TkLUS problem definition, tweet threads
+(Definition 3), popularity (Definition 4) and the tweet/user scoring
+functions (Definitions 5-11).
+"""
+
+from .errors import DatasetError, QueryError, ReproError
+from .model import (
+    Dataset,
+    EdgeKind,
+    Post,
+    Semantics,
+    SocialNetwork,
+    TkLUSQuery,
+)
+from .influence import InfluenceConfig, InfluenceModel, blend_influence
+from .temporal import (
+    NO_TEMPORAL,
+    RecencyModel,
+    TemporalSpec,
+    TimeWindow,
+)
+from .scoring import (
+    DEFAULT_CONFIG,
+    ScoringConfig,
+    distance_score,
+    keyword_match_count,
+    keyword_relevance,
+    max_score,
+    sum_score,
+    thread_popularity,
+    upper_bound_popularity,
+    upper_bound_user_score,
+    user_distance_score,
+    user_score,
+)
+from .thread import (
+    DEFAULT_DEPTH,
+    DEFAULT_EPSILON,
+    DatasetThreadBuilder,
+    ThreadBuilder,
+    TweetThread,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "InfluenceConfig",
+    "InfluenceModel",
+    "NO_TEMPORAL",
+    "RecencyModel",
+    "TemporalSpec",
+    "TimeWindow",
+    "DEFAULT_DEPTH",
+    "DEFAULT_EPSILON",
+    "Dataset",
+    "DatasetError",
+    "DatasetThreadBuilder",
+    "EdgeKind",
+    "Post",
+    "QueryError",
+    "ReproError",
+    "ScoringConfig",
+    "Semantics",
+    "SocialNetwork",
+    "ThreadBuilder",
+    "TkLUSQuery",
+    "TweetThread",
+    "distance_score",
+    "keyword_match_count",
+    "keyword_relevance",
+    "max_score",
+    "sum_score",
+    "thread_popularity",
+    "blend_influence",
+    "upper_bound_popularity",
+    "upper_bound_user_score",
+    "user_distance_score",
+    "user_score",
+]

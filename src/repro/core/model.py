@@ -1,0 +1,207 @@
+"""The social-media data model of Section II.
+
+* :class:`Post` — Definition 1's 4-tuple ``p = (uid, t, l, W)`` plus the
+  reply/forward linkage (``ruid``/``rsid``) the metadata relation carries;
+* :class:`SocialNetwork` — Definition 2's directed graph with reply and
+  forward edge sets and their post-label mappings;
+* :class:`Dataset` — ``D = (P, U, G)``;
+* :class:`TkLUSQuery` — the query ``q(l, r, W)`` with result size ``k``
+  and keyword semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .errors import DatasetError, QueryError
+from .temporal import NO_TEMPORAL, TemporalSpec
+
+Coordinate = Tuple[float, float]
+
+
+class EdgeKind(enum.Enum):
+    """The two interaction kinds Definition 2 distinguishes."""
+
+    REPLY = "reply"
+    FORWARD = "forward"
+
+
+@dataclass(frozen=True)
+class Post:
+    """A social media post (Definition 1) with reply/forward linkage.
+
+    ``sid`` doubles as the timestamp ``t`` ("the tweet ID ... is
+    essentially the tweet timestamp", Section IV-A).  ``words`` is the
+    analysed term bag of the content; ``text`` retains the raw content for
+    presentation (the user-study output lines).
+    """
+
+    sid: int
+    uid: int
+    location: Coordinate
+    words: Tuple[str, ...]
+    text: str = ""
+    ruid: Optional[int] = None
+    rsid: Optional[int] = None
+    kind: Optional[EdgeKind] = None  # how this post references rsid, if at all
+
+    @property
+    def timestamp(self) -> int:
+        return self.sid
+
+    @property
+    def is_response(self) -> bool:
+        """True when this post replies to or forwards another post."""
+        return self.rsid is not None
+
+    def word_bag(self) -> Dict[str, int]:
+        """Term -> occurrence count (p.W is a bag/multiset, Definition 6)."""
+        bag: Dict[str, int] = {}
+        for word in self.words:
+            bag[word] = bag.get(word, 0) + 1
+        return bag
+
+
+@dataclass
+class SocialNetwork:
+    """Definition 2's graph ``G = (U, E_reply, l_reply, E_forward,
+    l_forward)``.
+
+    Edge label maps return the posts in which ``u1`` replies to /
+    forwards ``u2``, keyed by the ``(u1, u2)`` user pair.
+    """
+
+    users: Set[int] = field(default_factory=set)
+    reply_edges: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    forward_edges: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+
+    def add_user(self, uid: int) -> None:
+        self.users.add(uid)
+
+    def add_interaction(self, from_uid: int, to_uid: int, post_sid: int,
+                        kind: EdgeKind) -> None:
+        """Record that ``from_uid`` replied to / forwarded ``to_uid`` in
+        post ``post_sid``."""
+        self.users.add(from_uid)
+        self.users.add(to_uid)
+        edges = self.reply_edges if kind is EdgeKind.REPLY else self.forward_edges
+        edges.setdefault((from_uid, to_uid), []).append(post_sid)
+
+    def l_reply(self, u1: int, u2: int) -> List[int]:
+        """Posts in which ``u1`` replies to ``u2`` (Definition 2.3)."""
+        return list(self.reply_edges.get((u1, u2), []))
+
+    def l_forward(self, u1: int, u2: int) -> List[int]:
+        """Posts of ``u2`` forwarded by ``u1`` (Definition 2.5)."""
+        return list(self.forward_edges.get((u1, u2), []))
+
+    def out_degree(self, uid: int) -> int:
+        """Number of distinct users ``uid`` has replied to or forwarded."""
+        targets = {pair[1] for pair in self.reply_edges if pair[0] == uid}
+        targets |= {pair[1] for pair in self.forward_edges if pair[0] == uid}
+        return len(targets)
+
+    def in_degree(self, uid: int) -> int:
+        """Number of distinct users who replied to or forwarded ``uid``."""
+        sources = {pair[0] for pair in self.reply_edges if pair[1] == uid}
+        sources |= {pair[0] for pair in self.forward_edges if pair[1] == uid}
+        return len(sources)
+
+
+@dataclass
+class Dataset:
+    """Geo-tagged social media data ``D = (P, U, G)``."""
+
+    posts: Dict[int, Post] = field(default_factory=dict)
+    network: SocialNetwork = field(default_factory=SocialNetwork)
+    _posts_by_user: Dict[int, List[int]] = field(default_factory=dict)
+
+    @property
+    def users(self) -> Set[int]:
+        return self.network.users
+
+    def __len__(self) -> int:
+        return len(self.posts)
+
+    def add_post(self, post: Post) -> None:
+        if post.sid in self.posts:
+            raise DatasetError(f"duplicate post sid {post.sid}")
+        if post.is_response:
+            parent = self.posts.get(post.rsid)  # type: ignore[arg-type]
+            if parent is None:
+                raise DatasetError(
+                    f"post {post.sid} references unknown post {post.rsid}")
+            kind = post.kind if post.kind is not None else EdgeKind.REPLY
+            self.network.add_interaction(post.uid, parent.uid, post.sid, kind)
+        self.posts[post.sid] = post
+        self.network.add_user(post.uid)
+        self._posts_by_user.setdefault(post.uid, []).append(post.sid)
+
+    def extend(self, posts: Iterable[Post]) -> None:
+        for post in posts:
+            self.add_post(post)
+
+    def posts_of(self, uid: int) -> List[Post]:
+        """``P_u``: all posts by user ``uid``."""
+        return [self.posts[sid] for sid in self._posts_by_user.get(uid, [])]
+
+    def post_count_of(self, uid: int) -> int:
+        return len(self._posts_by_user.get(uid, []))
+
+    def get(self, sid: int) -> Optional[Post]:
+        return self.posts.get(sid)
+
+
+class Semantics(enum.Enum):
+    """Multi-keyword matching semantics (Section V-A): AND requires all
+    query keywords in a result, OR requires at least one."""
+
+    AND = "and"
+    OR = "or"
+
+
+@dataclass(frozen=True)
+class TkLUSQuery:
+    """A top-k local user search query ``q(l, r, W)``.
+
+    ``keywords`` should already be normalised through the same
+    :class:`~repro.text.Analyzer` used at indexing time; the query engine
+    does this for callers passing raw strings.
+    """
+
+    location: Coordinate
+    radius_km: float
+    keywords: FrozenSet[str]
+    k: int = 10
+    semantics: Semantics = Semantics.OR
+    temporal: TemporalSpec = NO_TEMPORAL
+
+    def __post_init__(self) -> None:
+        if self.radius_km <= 0:
+            raise QueryError(f"radius must be positive: {self.radius_km}")
+        if not self.keywords:
+            raise QueryError("query needs at least one keyword")
+        if self.k < 1:
+            raise QueryError(f"k must be >= 1: {self.k}")
+        lat, lon = self.location
+        if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+            raise QueryError(f"invalid query location: {self.location}")
+
+    @classmethod
+    def create(cls, location: Coordinate, radius_km: float, keywords,
+               k: int = 10, semantics: Semantics = Semantics.OR,
+               temporal: TemporalSpec = NO_TEMPORAL,
+               analyzer=None) -> "TkLUSQuery":
+        """Build a query from raw keyword strings, normalising them
+        through ``analyzer`` (defaults to the shared pipeline)."""
+        if analyzer is None:
+            from ..text import DEFAULT_ANALYZER
+            analyzer = DEFAULT_ANALYZER
+        if isinstance(keywords, str):
+            keywords = [keywords]
+        terms = analyzer.analyze_query_keywords(keywords)
+        return cls(location=location, radius_km=radius_km,
+                   keywords=frozenset(terms), k=k, semantics=semantics,
+                   temporal=temporal)

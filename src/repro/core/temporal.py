@@ -1,0 +1,103 @@
+"""Temporal extensions to TkLUS queries (the paper's first future-work
+direction, Section VIII):
+
+    "we can define a query for a particular period of time and only
+    search the tweets that are posted in that period. Also, we can
+    still search all tweets but give priority to more recent tweets
+    (and their users) in ranking."
+
+Both are implemented:
+
+* a **time window** ``[time_start, time_end]`` restricts candidates to
+  tweets posted in the period.  Because tweet ids are timestamps and
+  postings lists are tid-sorted, the window is applied directly on the
+  postings with a binary search — no metadata I/O for out-of-window
+  tweets;
+* a **recency half-life** multiplies each tweet's keyword relevance by
+  ``0.5 ** ((t_ref - t) / half_life)`` where ``t_ref`` is the window end
+  (or the newest tweet considered), prioritising recent tweets and
+  their users.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .errors import QueryError
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """An inclusive tweet-timestamp interval."""
+
+    start: Optional[int] = None  # None = unbounded
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.start is not None and self.end is not None
+                and self.start > self.end):
+            raise QueryError(
+                f"empty time window: start {self.start} > end {self.end}")
+
+    @property
+    def unbounded(self) -> bool:
+        return self.start is None and self.end is None
+
+    def contains(self, timestamp: int) -> bool:
+        if self.start is not None and timestamp < self.start:
+            return False
+        if self.end is not None and timestamp > self.end:
+            return False
+        return True
+
+    def clip_postings(self, postings: Sequence[Tuple[int, int]]
+                      ) -> List[Tuple[int, int]]:
+        """Restrict a tid-sorted postings list to the window via binary
+        search (tweet ids are timestamps)."""
+        if self.unbounded or not postings:
+            return list(postings)
+        tids = [tid for tid, _tf in postings]
+        lo = 0 if self.start is None else bisect.bisect_left(tids, self.start)
+        hi = len(tids) if self.end is None else bisect.bisect_right(tids, self.end)
+        return list(postings[lo:hi])
+
+
+@dataclass(frozen=True)
+class RecencyModel:
+    """Exponential recency decay on keyword relevance.
+
+    ``weight(t) = 0.5 ** ((reference - t) / half_life)`` — a tweet
+    posted ``half_life`` timestamp units before the reference contributes
+    half the relevance of one posted at the reference.
+    """
+
+    half_life: float
+    reference: Optional[int] = None  # None = newest tweet in the data set
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise QueryError(f"half_life must be positive: {self.half_life}")
+
+    def weight(self, timestamp: int, reference: int) -> float:
+        age = max(0, reference - timestamp)
+        return 0.5 ** (age / self.half_life)
+
+    def resolve_reference(self, newest_candidate: int) -> int:
+        return self.reference if self.reference is not None else newest_candidate
+
+
+@dataclass(frozen=True)
+class TemporalSpec:
+    """Bundle of temporal options attached to a query."""
+
+    window: TimeWindow = TimeWindow()
+    recency: Optional[RecencyModel] = None
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.window.unbounded and self.recency is None
+
+
+NO_TEMPORAL = TemporalSpec()

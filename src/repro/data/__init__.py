@@ -1,0 +1,45 @@
+"""Data substrate: synthetic corpus generation, query workloads, ETL.
+
+Substitutes for the paper's real Twitter crawl and AOL query log — see
+the Substitutions section of DESIGN.md.
+"""
+
+from .etl import dump_posts, iter_posts, load_posts, parse_post, post_to_json
+from .generator import (
+    City,
+    CorpusGenerator,
+    DEFAULT_CITIES,
+    GeneratedUser,
+    GeneratorConfig,
+    SyntheticCorpus,
+    generate_corpus,
+)
+from .queries import MEANINGFUL_KEYWORDS, QuerySpec, QueryWorkload
+from .vocabulary import (
+    EXTRA_MEANINGFUL_KEYWORDS,
+    MODIFIER_WORDS,
+    TABLE2_KEYWORDS,
+    ZipfVocabulary,
+)
+
+__all__ = [
+    "City",
+    "CorpusGenerator",
+    "DEFAULT_CITIES",
+    "EXTRA_MEANINGFUL_KEYWORDS",
+    "GeneratedUser",
+    "GeneratorConfig",
+    "MEANINGFUL_KEYWORDS",
+    "MODIFIER_WORDS",
+    "QuerySpec",
+    "QueryWorkload",
+    "SyntheticCorpus",
+    "TABLE2_KEYWORDS",
+    "ZipfVocabulary",
+    "dump_posts",
+    "generate_corpus",
+    "iter_posts",
+    "load_posts",
+    "parse_post",
+    "post_to_json",
+]

@@ -1,0 +1,98 @@
+"""ETL: loading and storing corpora as JSON-lines.
+
+The paper's pipeline crawls JSON from the Twitter REST API and runs ETL
+into the metadata database (Figure 3).  This module provides the same
+boundary for our system: posts serialise to one JSON object per line
+(a faithful subset of a tweet's JSON), and :func:`load_posts` parses them
+back, tolerating records without coordinates (which real crawls are
+dominated by — the <1 % geo-tagged filter happens here).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, List, Optional
+
+from ..core.model import EdgeKind, Post
+from ..text.analyzer import Analyzer
+
+
+def post_to_json(post: Post) -> str:
+    """Serialise one post to a JSON line (tweet-like field names)."""
+    obj = {
+        "id": post.sid,
+        "user_id": post.uid,
+        "coordinates": [post.location[0], post.location[1]],
+        "text": post.text,
+        "words": list(post.words),
+    }
+    if post.rsid is not None:
+        obj["in_reply_to_status_id"] = post.rsid
+        obj["in_reply_to_user_id"] = post.ruid
+        obj["interaction"] = (post.kind or EdgeKind.REPLY).value
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def dump_posts(posts: Iterable[Post], stream: IO[str]) -> int:
+    """Write posts as JSON lines; returns the count written."""
+    count = 0
+    for post in posts:
+        stream.write(post_to_json(post))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def parse_post(line: str, analyzer: Optional[Analyzer] = None) -> Optional[Post]:
+    """Parse one JSON line into a :class:`Post`.
+
+    Returns None for posts without coordinates (non-geo-tagged tweets are
+    out of scope, Section II-A).  If the record carries no pre-analysed
+    ``words``, the text is analysed on the fly.
+    """
+    obj = json.loads(line)
+    coordinates = obj.get("coordinates")
+    if not coordinates:
+        return None
+    lat, lon = float(coordinates[0]), float(coordinates[1])
+    words = obj.get("words")
+    text = obj.get("text", "")
+    if words is None:
+        if analyzer is None:
+            analyzer = Analyzer()
+        words = analyzer.analyze(text)
+    kind_raw = obj.get("interaction")
+    kind = EdgeKind(kind_raw) if kind_raw else None
+    rsid = obj.get("in_reply_to_status_id")
+    ruid = obj.get("in_reply_to_user_id")
+    return Post(
+        sid=int(obj["id"]), uid=int(obj["user_id"]), location=(lat, lon),
+        words=tuple(words), text=text,
+        ruid=int(ruid) if ruid is not None else None,
+        rsid=int(rsid) if rsid is not None else None,
+        kind=kind,
+    )
+
+
+def load_posts(stream: IO[str], analyzer: Optional[Analyzer] = None) -> List[Post]:
+    """Parse a JSON-lines stream, dropping non-geo-tagged records."""
+    posts = []
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        post = parse_post(line, analyzer)
+        if post is not None:
+            posts.append(post)
+    return posts
+
+
+def iter_posts(stream: IO[str], analyzer: Optional[Analyzer] = None) -> Iterator[Post]:
+    """Streaming variant of :func:`load_posts`."""
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        post = parse_post(line, analyzer)
+        if post is not None:
+            yield post

@@ -1,0 +1,246 @@
+"""Gazetteer-based geocoding of implicit spatial mentions.
+
+The paper's second future-work direction (Section VIII): "There are also
+tweets that lack longitude/latitude in the metadata but mention place
+name(s) in the short content. It is worth studying how to exploit the
+implicit spatial information in such tweets."
+
+This module implements that pipeline:
+
+* a :class:`Gazetteer` of place names (multi-word names supported, e.g.
+  "new york"), each with coordinates, a population weight for
+  disambiguation, and optional alternate names;
+* :class:`Geocoder` — extracts toponym mentions from post text with a
+  greedy longest-match scan over the analysed token stream, then
+  resolves ambiguity by (1) proximity to a context location (e.g. the
+  posting user's known home or earlier geo-tagged posts) and
+  (2) population weight;
+* :func:`geotag_posts` — fills in missing locations for a post stream
+  so those posts can flow into the normal indexing pipeline, tagging
+  confidence so callers can threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.model import Post
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..text.analyzer import Analyzer
+
+Coordinate = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class PlaceEntry:
+    """One gazetteer record."""
+
+    name: str                 # canonical (analysed) name, space-joined
+    location: Coordinate
+    population: float = 1.0   # disambiguation weight
+    country: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("place name must be non-empty")
+        if self.population <= 0:
+            raise ValueError(f"population must be positive: {self.population}")
+
+
+@dataclass(frozen=True)
+class GeocodeResult:
+    """A resolved toponym mention."""
+
+    mention: str          # matched (analysed) surface form
+    place: PlaceEntry
+    confidence: float     # in (0, 1]
+
+
+class Gazetteer:
+    """Dictionary of places keyed by analysed name tokens.
+
+    Names are normalised through the same analyzer as post text, so
+    "New York" matches the token stream of a tweet mentioning it
+    regardless of case or inflection.
+    """
+
+    def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
+        self._analyzer = analyzer if analyzer is not None else Analyzer(
+            use_stopwords=False)
+        self._by_tokens: Dict[Tuple[str, ...], List[PlaceEntry]] = {}
+        self._max_name_tokens = 1
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_tokens.values())
+
+    def add(self, name: str, location: Coordinate, population: float = 1.0,
+            country: str = "", aliases: Sequence[str] = ()) -> PlaceEntry:
+        """Register a place under its name and any aliases."""
+        tokens = tuple(self._analyzer.analyze(name))
+        if not tokens:
+            raise ValueError(f"name {name!r} analyses to nothing")
+        entry = PlaceEntry(" ".join(tokens), location, population, country)
+        for surface in (name, *aliases):
+            key = tuple(self._analyzer.analyze(surface))
+            if not key:
+                continue
+            self._by_tokens.setdefault(key, []).append(entry)
+            self._max_name_tokens = max(self._max_name_tokens, len(key))
+        return entry
+
+    def candidates(self, tokens: Tuple[str, ...]) -> List[PlaceEntry]:
+        return list(self._by_tokens.get(tokens, []))
+
+    @property
+    def max_name_tokens(self) -> int:
+        return self._max_name_tokens
+
+    @property
+    def analyzer(self) -> Analyzer:
+        return self._analyzer
+
+
+def default_gazetteer() -> Gazetteer:
+    """A small world-city gazetteer matching the corpus generator's
+    cities plus a few classic ambiguity cases."""
+    gazetteer = Gazetteer()
+    gazetteer.add("toronto", (43.6532, -79.3832), 2_930_000, "ca")
+    gazetteer.add("new york", (40.7128, -74.0060), 8_336_000, "us",
+                  aliases=("nyc", "new york city"))
+    gazetteer.add("los angeles", (34.0522, -118.2437), 3_979_000, "us",
+                  aliases=("la",))
+    gazetteer.add("chicago", (41.8781, -87.6298), 2_693_000, "us")
+    gazetteer.add("london", (51.5074, -0.1278), 8_982_000, "gb")
+    gazetteer.add("london ontario", (42.9849, -81.2453), 383_000, "ca")
+    gazetteer.add("seoul", (37.5665, 126.9780), 9_776_000, "kr")
+    gazetteer.add("sao paulo", (-23.5505, -46.6333), 12_325_000, "br")
+    gazetteer.add("sydney", (-33.8688, 151.2093), 5_312_000, "au")
+    gazetteer.add("paris", (48.8566, 2.3522), 2_161_000, "fr")
+    gazetteer.add("paris texas", (33.6609, -95.5555), 24_000, "us")
+    return gazetteer
+
+
+class Geocoder:
+    """Resolves place mentions in post text to coordinates."""
+
+    def __init__(self, gazetteer: Optional[Gazetteer] = None,
+                 metric: Metric = DEFAULT_METRIC,
+                 context_scale_km: float = 500.0) -> None:
+        self.gazetteer = gazetteer if gazetteer is not None else default_gazetteer()
+        self.metric = metric
+        self.context_scale_km = context_scale_km
+
+    # -- extraction ----------------------------------------------------------
+
+    def extract_mentions(self, text: str) -> List[Tuple[Tuple[str, ...],
+                                                        List[PlaceEntry]]]:
+        """Greedy longest-match scan for gazetteer names in the text.
+
+        Returns ``(matched_tokens, candidate_places)`` pairs, left to
+        right, without overlaps.
+        """
+        tokens = tuple(self.gazetteer.analyzer.analyze(text))
+        mentions = []
+        index = 0
+        limit = self.gazetteer.max_name_tokens
+        while index < len(tokens):
+            matched = None
+            for span in range(min(limit, len(tokens) - index), 0, -1):
+                window = tokens[index:index + span]
+                candidates = self.gazetteer.candidates(window)
+                if candidates:
+                    matched = (window, candidates)
+                    index += span
+                    break
+            if matched is not None:
+                mentions.append(matched)
+            else:
+                index += 1
+        return mentions
+
+    # -- disambiguation --------------------------------------------------------
+
+    def _score(self, place: PlaceEntry, context: Optional[Coordinate],
+               max_population: float) -> float:
+        population_part = place.population / max_population
+        if context is None:
+            return population_part
+        distance = self.metric(context, place.location)
+        proximity_part = 1.0 / (1.0 + distance / self.context_scale_km)
+        # Proximity dominates when a context location is known.
+        return 0.3 * population_part + 0.7 * proximity_part
+
+    def resolve(self, text: str,
+                context: Optional[Coordinate] = None) -> Optional[GeocodeResult]:
+        """Geocode the text's most confident place mention, if any."""
+        mentions = self.extract_mentions(text)
+        best: Optional[GeocodeResult] = None
+        for tokens, candidates in mentions:
+            max_population = max(place.population for place in candidates)
+            scored = sorted(
+                ((self._score(place, context, max_population), place)
+                 for place in candidates),
+                key=lambda pair: -pair[0])
+            top_score, top_place = scored[0]
+            # Confidence: margin over the runner-up candidate, scaled by
+            # the specificity of the mention (longer names are safer).
+            margin = (top_score - scored[1][0]) if len(scored) > 1 else 1.0
+            specificity = min(1.0, len(tokens) / 2.0)
+            confidence = max(0.05, min(1.0, 0.5 * (margin + specificity)))
+            result = GeocodeResult(" ".join(tokens), top_place, confidence)
+            if best is None or result.confidence > best.confidence:
+                best = result
+        return best
+
+    # -- post enrichment --------------------------------------------------------
+
+    def geotag_post(self, post: Post,
+                    context: Optional[Coordinate] = None) -> Optional[Post]:
+        """Return a located copy of a location-less post, or None when no
+        place mention resolves."""
+        result = self.resolve(post.text, context)
+        if result is None:
+            return None
+        return replace(post, location=result.place.location)
+
+
+def geotag_posts(posts: Iterable[Post], geocoder: Optional[Geocoder] = None,
+                 min_confidence: float = 0.3,
+                 user_context: Optional[Dict[int, Coordinate]] = None
+                 ) -> Tuple[List[Post], int]:
+    """Fill in locations for posts missing them (marked with location
+    ``(None, None)``-style sentinel is not used — posts with a location
+    pass through unchanged; posts whose location is the ``UNLOCATED``
+    sentinel get geocoded).
+
+    Returns ``(posts_with_locations, geocoded_count)``; unresolvable
+    posts are dropped, mirroring the <1 % geo-tagged filter of the
+    paper's ETL.
+    """
+    if geocoder is None:
+        geocoder = Geocoder()
+    user_context = user_context or {}
+    located: List[Post] = []
+    geocoded = 0
+    for post in posts:
+        if not is_unlocated(post.location):
+            located.append(post)
+            continue
+        context = user_context.get(post.uid)
+        result = geocoder.resolve(post.text, context)
+        if result is None or result.confidence < min_confidence:
+            continue
+        located.append(replace(post, location=result.place.location))
+        geocoded += 1
+    return located, geocoded
+
+
+#: Sentinel location for posts lacking coordinates.
+UNLOCATED: Coordinate = (float("nan"), float("nan"))
+
+
+def is_unlocated(location: Coordinate) -> bool:
+    """True when either coordinate is NaN (the UNLOCATED sentinel)."""
+    lat, lon = location
+    return lat != lat or lon != lon

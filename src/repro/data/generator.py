@@ -1,0 +1,300 @@
+"""Synthetic geo-tagged tweet corpus generator.
+
+Substitutes for the paper's 514M-tweet Twitter crawl (see DESIGN.md).
+The generator reproduces the workload *shapes* the algorithms are
+sensitive to:
+
+* **spatial clustering** — users live around real city centres with a
+  Gaussian spread, and post near home (plus occasional travel);
+* **Zipf keyword skew** — hot keywords (Table II) dominate, with a long
+  filler tail;
+* **heavy-tailed conversation cascades** — each root tweet seeds a
+  branching process whose offspring counts are geometric with occasional
+  "viral" boosts, producing the deep threads the popularity score and
+  upper bounds care about;
+* **skewed user activity** — per-user post counts are Zipf-distributed.
+
+Everything is driven by one seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import Dataset, EdgeKind, Post
+from ..geo.distance import km_to_degrees_lat, km_to_degrees_lon
+from ..storage.records import TweetRecord
+from ..text.analyzer import Analyzer
+from .vocabulary import ZipfVocabulary
+
+Coordinate = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class City:
+    name: str
+    lat: float
+    lon: float
+    weight: float  # relative population / tweet volume
+
+
+#: Default city mix; Toronto first to honour the paper's running example.
+DEFAULT_CITIES: Tuple[City, ...] = (
+    City("toronto", 43.6532, -79.3832, 3.0),
+    City("new_york", 40.7128, -74.0060, 5.0),
+    City("los_angeles", 34.0522, -118.2437, 4.0),
+    City("chicago", 41.8781, -87.6298, 2.5),
+    City("london", 51.5074, -0.1278, 4.0),
+    City("seoul", 37.5665, 126.9780, 3.0),
+    City("sao_paulo", -23.5505, -46.6333, 3.0),
+    City("sydney", -33.8688, 151.2093, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Corpus-shape parameters."""
+
+    num_users: int = 2000
+    num_root_tweets: int = 10000
+    seed: int = 42
+    cities: Tuple[City, ...] = DEFAULT_CITIES
+    city_sigma_km: float = 8.0        # user home spread around city centre
+    user_sigma_km: float = 3.0        # post spread around user home
+    travel_probability: float = 0.05  # post from a random other city
+    words_per_post: Tuple[int, int] = (3, 9)
+    reply_mean_children: float = 0.45  # geometric branching mean
+    viral_probability: float = 0.02    # chance a root gets a fanout boost
+    viral_children: Tuple[int, int] = (8, 25)
+    max_thread_depth: int = 6
+    forward_fraction: float = 0.35     # of responses, how many are forwards
+    user_activity_exponent: float = 1.2
+    # Topic emphasis: venue-style posts repeat their subject term ("Pizza
+    # pizza place, best pizza in town"), giving hot-keyword tweets tf >= 2.
+    # This is both realistic and what lets the max-score algorithm's
+    # upper-bound pruning differentiate candidates (Section V-B).
+    emphasis_probability: float = 0.3
+    emphasis_repeats: Tuple[int, int] = (1, 2)
+
+    def __post_init__(self) -> None:
+        if self.num_users < 2:
+            raise ValueError("need at least 2 users")
+        if self.num_root_tweets < 1:
+            raise ValueError("need at least 1 root tweet")
+        if not self.cities:
+            raise ValueError("need at least one city")
+
+
+@dataclass
+class GeneratedUser:
+    uid: int
+    city_index: int
+    home: Coordinate
+    activity: float
+
+
+@dataclass
+class SyntheticCorpus:
+    """The generator's output: posts (sid-ordered) plus provenance."""
+
+    posts: List[Post]
+    users: List[GeneratedUser]
+    config: GeneratorConfig
+    _dataset: Optional[Dataset] = field(default=None, repr=False)
+
+    def to_dataset(self) -> Dataset:
+        """Materialise as an in-memory :class:`Dataset` (cached)."""
+        if self._dataset is None:
+            dataset = Dataset()
+            dataset.extend(self.posts)
+            self._dataset = dataset
+        return self._dataset
+
+    def to_records(self) -> List[TweetRecord]:
+        """Project onto the metadata relation (sid, uid, lat, lon, ruid,
+        rsid) for loading into the metadata database."""
+        records = []
+        for post in self.posts:
+            records.append(TweetRecord(
+                sid=post.sid, uid=post.uid,
+                lat=post.location[0], lon=post.location[1],
+                ruid=post.ruid if post.ruid is not None else -1,
+                rsid=post.rsid if post.rsid is not None else -1,
+            ))
+        return records
+
+    def keyword_frequencies(self) -> Dict[str, int]:
+        """Corpus-wide term frequencies (the Table II statistic)."""
+        counts: Dict[str, int] = {}
+        for post in self.posts:
+            for word in post.words:
+                counts[word] = counts.get(word, 0) + 1
+        return counts
+
+    def sample_location(self, rng: random.Random) -> Coordinate:
+        """A location drawn from the corpus's spatial distribution — the
+        paper samples query locations "according to the spatial
+        distribution in our data set"."""
+        post = self.posts[rng.randrange(len(self.posts))]
+        return post.location
+
+
+class CorpusGenerator:
+    """Deterministic corpus builder; see :class:`GeneratorConfig`."""
+
+    def __init__(self, config: Optional[GeneratorConfig] = None,
+                 analyzer: Optional[Analyzer] = None) -> None:
+        self.config = config if config is not None else GeneratorConfig()
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.vocabulary = ZipfVocabulary()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _jitter(self, rng: random.Random, center: Coordinate,
+                sigma_km: float) -> Coordinate:
+        lat = center[0] + rng.gauss(0.0, km_to_degrees_lat(sigma_km))
+        lon = center[1] + rng.gauss(
+            0.0, km_to_degrees_lon(sigma_km, center[0]))
+        return (max(-89.9, min(89.9, lat)),
+                max(-179.9, min(179.9, lon)))
+
+    def _pick_city(self, rng: random.Random) -> int:
+        total = sum(city.weight for city in self.config.cities)
+        u = rng.random() * total
+        running = 0.0
+        for index, city in enumerate(self.config.cities):
+            running += city.weight
+            if u <= running:
+                return index
+        return len(self.config.cities) - 1
+
+    def _make_users(self, rng: random.Random) -> List[GeneratedUser]:
+        users = []
+        for uid in range(1, self.config.num_users + 1):
+            city_index = self._pick_city(rng)
+            city = self.config.cities[city_index]
+            home = self._jitter(rng, (city.lat, city.lon),
+                                self.config.city_sigma_km)
+            rank = rng.randrange(1, self.config.num_users + 1)
+            activity = 1.0 / math.pow(rank, self.config.user_activity_exponent)
+            users.append(GeneratedUser(uid, city_index, home, activity))
+        return users
+
+    def _pick_user(self, rng: random.Random, users: Sequence[GeneratedUser],
+                   cumulative: List[float]) -> GeneratedUser:
+        u = rng.random() * cumulative[-1]
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return users[lo]
+
+    def _compose_text(self, rng: random.Random,
+                      anchor: Optional[str] = None) -> str:
+        lo, hi = self.config.words_per_post
+        count = rng.randint(lo, hi)
+        words = self.vocabulary.sample_many(rng, count)
+        if anchor is not None:
+            words[0] = anchor
+        if words and rng.random() < self.config.emphasis_probability:
+            subject = anchor if anchor is not None else rng.choice(words)
+            repeats = rng.randint(*self.config.emphasis_repeats)
+            for _ in range(repeats):
+                words.insert(rng.randrange(len(words) + 1), subject)
+        return " ".join(words)
+
+    def _post_location(self, rng: random.Random,
+                       user: GeneratedUser) -> Coordinate:
+        if rng.random() < self.config.travel_probability:
+            city = self.config.cities[self._pick_city(rng)]
+            return self._jitter(rng, (city.lat, city.lon),
+                                self.config.city_sigma_km)
+        return self._jitter(rng, user.home, self.config.user_sigma_km)
+
+    def _num_children(self, rng: random.Random, depth: int,
+                      is_viral_root: bool) -> int:
+        if depth >= self.config.max_thread_depth:
+            return 0
+        if is_viral_root and depth == 1:
+            return rng.randint(*self.config.viral_children)
+        # Geometric distribution with the configured mean, thinning with
+        # depth so cascades die out.
+        mean = self.config.reply_mean_children / depth
+        p = 1.0 / (1.0 + mean)
+        count = 0
+        while rng.random() > p and count < 50:
+            count += 1
+        return count
+
+    # -- main entry point ----------------------------------------------------
+
+    def generate(self) -> SyntheticCorpus:
+        rng = random.Random(self.config.seed)
+        users = self._make_users(rng)
+        cumulative: List[float] = []
+        running = 0.0
+        for user in users:
+            running += user.activity
+            cumulative.append(running)
+
+        posts: List[Post] = []
+        next_sid = 1
+
+        def new_post(user: GeneratedUser, parent: Optional[Post],
+                     kind: Optional[EdgeKind],
+                     anchor: Optional[str] = None) -> Post:
+            nonlocal next_sid
+            text = self._compose_text(rng, anchor)
+            words = tuple(self.analyzer.analyze(text))
+            post = Post(
+                sid=next_sid, uid=user.uid,
+                location=self._post_location(rng, user),
+                words=words, text=text,
+                ruid=parent.uid if parent is not None else None,
+                rsid=parent.sid if parent is not None else None,
+                kind=kind,
+            )
+            next_sid += 1
+            posts.append(post)
+            return post
+
+        from .vocabulary import TABLE2_KEYWORDS
+
+        for _root in range(self.config.num_root_tweets):
+            author = self._pick_user(rng, users, cumulative)
+            is_viral = rng.random() < self.config.viral_probability
+            # Viral conversations cluster on popular topics: anchor viral
+            # roots on a hot keyword so the corpus has the dense
+            # hot-keyword thread mass real Twitter shows.
+            anchor = rng.choice(TABLE2_KEYWORDS) if is_viral else None
+            root = new_post(author, None, None, anchor)
+            frontier = [root]
+            depth = 1
+            while frontier and depth < self.config.max_thread_depth:
+                next_frontier: List[Post] = []
+                for parent in frontier:
+                    for _child in range(self._num_children(rng, depth, is_viral)):
+                        responder = self._pick_user(rng, users, cumulative)
+                        kind = (EdgeKind.FORWARD
+                                if rng.random() < self.config.forward_fraction
+                                else EdgeKind.REPLY)
+                        next_frontier.append(new_post(responder, parent, kind))
+                frontier = next_frontier
+                depth += 1
+
+        return SyntheticCorpus(posts=posts, users=users, config=self.config)
+
+
+def generate_corpus(num_users: int = 2000, num_root_tweets: int = 10000,
+                    seed: int = 42, **overrides) -> SyntheticCorpus:
+    """Convenience one-call generator."""
+    config = GeneratorConfig(num_users=num_users,
+                             num_root_tweets=num_root_tweets,
+                             seed=seed, **overrides)
+    return CorpusGenerator(config).generate()

@@ -1,0 +1,115 @@
+"""Query workload generation (Section VI-B1).
+
+The paper selects "30 meaningful keywords including the top-10 frequent
+ones", builds 1-keyword queries from that set, 2- and 3-keyword queries
+from AOL query-log phrases containing a hot keyword (e.g. "restaurant
+seafood"), samples each query's location from the data set's spatial
+distribution, and forms a 90-query set — 30 per keyword count.
+
+Our AOL substitute pairs a meaningful keyword with modifier words, which
+reproduces the structural property that matters: multi-keyword queries
+contain one frequent anchor term plus rarer qualifiers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.model import Semantics, TkLUSQuery
+from ..text.analyzer import Analyzer
+from .generator import SyntheticCorpus
+from .vocabulary import EXTRA_MEANINGFUL_KEYWORDS, MODIFIER_WORDS, TABLE2_KEYWORDS
+
+Coordinate = Tuple[float, float]
+
+#: The paper's 30 meaningful keywords: Table II's 10 plus 20 more.
+MEANINGFUL_KEYWORDS: List[str] = TABLE2_KEYWORDS + EXTRA_MEANINGFUL_KEYWORDS
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A location-free query template: raw keyword strings plus how many
+    keywords it has.  Bound to a location/radius/k at issue time."""
+
+    keywords: Tuple[str, ...]
+
+    @property
+    def num_keywords(self) -> int:
+        return len(self.keywords)
+
+
+class QueryWorkload:
+    """The 90-query workload of Section VI-B1, bound to a corpus.
+
+    ``specs(n)`` returns the 30 templates with ``n`` keywords; ``bind``
+    attaches a location sampled from the corpus's spatial distribution.
+    """
+
+    def __init__(self, corpus: SyntheticCorpus, seed: int = 7,
+                 analyzer: Optional[Analyzer] = None) -> None:
+        self._corpus = corpus
+        self._rng = random.Random(seed)
+        self._analyzer = analyzer if analyzer is not None else Analyzer()
+        self._specs: dict = {1: [], 2: [], 3: []}
+        self._build_specs()
+
+    def _build_specs(self) -> None:
+        rng = self._rng
+        # 30 single-keyword queries: one draw per meaningful keyword.
+        singles = list(MEANINGFUL_KEYWORDS)
+        rng.shuffle(singles)
+        self._specs[1] = [QuerySpec((keyword,)) for keyword in singles[:30]]
+        # 30 two-keyword and 30 three-keyword queries: anchor + modifiers,
+        # AOL style ("restaurant seafood", "morroccan restaurants houston").
+        for count in (2, 3):
+            specs = []
+            while len(specs) < 30:
+                anchor = rng.choice(MEANINGFUL_KEYWORDS)
+                modifiers = rng.sample(MODIFIER_WORDS, count - 1)
+                keywords = tuple([anchor] + modifiers)
+                spec = QuerySpec(keywords)
+                if spec not in specs:
+                    specs.append(spec)
+            self._specs[count] = specs
+
+    def specs(self, num_keywords: int) -> List[QuerySpec]:
+        if num_keywords not in self._specs:
+            raise ValueError(f"workload has 1-3 keyword queries, not {num_keywords}")
+        return list(self._specs[num_keywords])
+
+    def all_specs(self) -> List[QuerySpec]:
+        """The full 90-template set."""
+        return self.specs(1) + self.specs(2) + self.specs(3)
+
+    def sample_location(self) -> Coordinate:
+        return self._corpus.sample_location(self._rng)
+
+    def bind(self, spec: QuerySpec, radius_km: float, k: int = 10,
+             semantics: Semantics = Semantics.OR,
+             location: Optional[Coordinate] = None) -> TkLUSQuery:
+        """Bind a template to a concrete query."""
+        if location is None:
+            location = self.sample_location()
+        return TkLUSQuery.create(
+            location=location, radius_km=radius_km, keywords=list(spec.keywords),
+            k=k, semantics=semantics, analyzer=self._analyzer)
+
+    def make_queries(self, num_keywords: int, radius_km: float, k: int = 10,
+                     semantics: Semantics = Semantics.OR,
+                     limit: Optional[int] = None) -> List[TkLUSQuery]:
+        """Bind all (or the first ``limit``) templates of one keyword
+        count, each at a freshly sampled location."""
+        specs = self.specs(num_keywords)
+        if limit is not None:
+            specs = specs[:limit]
+        return [self.bind(spec, radius_km, k, semantics) for spec in specs]
+
+    def random_queries(self, count: int, radius_km: float, k: int = 10,
+                       semantics: Semantics = Semantics.OR) -> List[TkLUSQuery]:
+        """``count`` queries drawn at random from the 90-template set —
+        how the geohash-length experiment (Fig 7) samples its queries."""
+        pool = self.all_specs()
+        chosen = [pool[self._rng.randrange(len(pool))] for _ in range(count)]
+        return [self.bind(spec, radius_km, k, semantics) for spec in chosen]

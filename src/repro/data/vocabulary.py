@@ -1,0 +1,90 @@
+"""Vocabulary model for the synthetic corpus.
+
+Seeded with the paper's Table II hot keywords and a pool of venue/topic
+and filler words; term frequencies follow a Zipf law, which is the
+rank-frequency shape of real microblog text and the property the hot-
+keyword upper-bound optimisation (Section V-B) exploits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence
+
+#: Table II: the top-10 frequent keywords of the paper's data set, in
+#: frequency-rank order.
+TABLE2_KEYWORDS: List[str] = [
+    "restaurant", "game", "cafe", "shop", "hotel",
+    "club", "coffee", "film", "pizza", "mall",
+]
+
+#: The remaining 20 of the paper's "30 meaningful keywords" are not
+#: listed in the paper; these are plausible venue/activity terms of the
+#: same flavour.
+EXTRA_MEANINGFUL_KEYWORDS: List[str] = [
+    "museum", "park", "beach", "concert", "bar",
+    "gym", "airport", "library", "theater", "market",
+    "sushi", "burger", "bakery", "zoo", "stadium",
+    "spa", "gallery", "church", "bridge", "tower",
+]
+
+#: Modifier words used to build 2/3-keyword queries the way the paper
+#: draws them from AOL logs ("restaurant seafood", "morroccan
+#: restaurants houston").
+MODIFIER_WORDS: List[str] = [
+    "seafood", "mexican", "italian", "french", "cheap", "luxury", "best",
+    "downtown", "night", "live", "family", "romantic", "vegan", "rooftop",
+    "historic", "local", "famous", "quiet", "busy", "new",
+]
+
+#: Generic filler vocabulary for the long Zipf tail.
+FILLER_WORDS: List[str] = """
+love great amazing awesome beautiful happy fun nice good time day place
+city street music food drink friends weekend morning evening sunny rain
+walk view photo trip visit work home lunch dinner breakfast party dance
+show travel flight train station building window door table chair light
+river lake mountain garden flower tree winter summer spring autumn snow
+run bike drive road corner square plaza avenue block neighborhood crowd
+smile laugh story book movie song band artist stage ticket seat line wait
+open close early late fresh sweet spicy salty warm cold hot cool
+""".split()
+
+
+class ZipfVocabulary:
+    """Draws words with Zipf(s) rank-frequency over a fixed word list.
+
+    The word list is the concatenation of hot keywords (ranks 1-10, per
+    Table II), meaningful keywords, modifiers, and filler — so hot
+    keywords really are the most frequent terms in the corpus.
+    """
+
+    def __init__(self, exponent: float = 1.0,
+                 words: Sequence[str] = ()) -> None:
+        if not words:
+            words = (TABLE2_KEYWORDS + EXTRA_MEANINGFUL_KEYWORDS
+                     + MODIFIER_WORDS + FILLER_WORDS)
+        self.words = list(words)
+        weights = [1.0 / math.pow(rank, exponent)
+                   for rank in range(1, len(self.words) + 1)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+
+    def sample(self, rng: random.Random) -> str:
+        """Draw one word."""
+        u = rng.random()
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.words[lo]
+
+    def sample_many(self, rng: random.Random, count: int) -> List[str]:
+        return [self.sample(rng) for _ in range(count)]

@@ -1,0 +1,30 @@
+"""Simulated distributed file system (HDFS stand-in).
+
+Files are sequences of fixed-size blocks replicated across datanodes; a
+namenode owns the namespace and placement.  See DESIGN.md for why this
+substitution preserves the behaviour the paper's experiments depend on.
+"""
+
+from .block import DEFAULT_BLOCK_SIZE, DEFAULT_REPLICATION, BlockId, BlockInfo
+from .cluster import DFSCluster, paper_cluster
+from .contentstore import ContentStore, ContentStoreError
+from .datanode import DataNode, DataNodeError
+from .files import DFSReader, DFSWriter
+from .namenode import DFSError, NameNode
+
+__all__ = [
+    "BlockId",
+    "BlockInfo",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_REPLICATION",
+    "ContentStore",
+    "ContentStoreError",
+    "DFSCluster",
+    "DFSError",
+    "DFSReader",
+    "DFSWriter",
+    "DataNode",
+    "DataNodeError",
+    "NameNode",
+    "paper_cluster",
+]

@@ -1,0 +1,135 @@
+"""The DFS cluster facade: one namenode plus N datanodes.
+
+The paper's evaluation cluster is one master and two slaves (Table III);
+:func:`paper_cluster` builds that topology.  The client API mirrors the
+small slice of HDFS the system needs: create/append, positional read,
+list, delete, and size accounting for the index-size experiment (Fig 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .block import DEFAULT_BLOCK_SIZE, DEFAULT_REPLICATION, BlockInfo
+from .datanode import DataNode, DataNodeError
+from .files import DFSReader, DFSWriter
+from .namenode import DFSError, NameNode
+
+
+class DFSCluster:
+    """A simulated HDFS deployment."""
+
+    def __init__(self, num_datanodes: int = 3,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = DEFAULT_REPLICATION,
+                 seed: int = 0) -> None:
+        if num_datanodes < 1:
+            raise DFSError("cluster needs at least one datanode")
+        if block_size < 1:
+            raise DFSError(f"block size must be positive: {block_size}")
+        self.block_size = block_size
+        self._datanodes: Dict[str, DataNode] = {
+            f"dn{i}": DataNode(f"dn{i}") for i in range(num_datanodes)
+        }
+        self.namenode = NameNode(sorted(self._datanodes), replication, seed)
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def datanodes(self) -> List[DataNode]:
+        return [self._datanodes[node_id] for node_id in sorted(self._datanodes)]
+
+    def datanode(self, node_id: str) -> DataNode:
+        node = self._datanodes.get(node_id)
+        if node is None:
+            raise DFSError(f"no such datanode: {node_id}")
+        return node
+
+    def _alive_node_ids(self) -> List[str]:
+        return [node_id for node_id in sorted(self._datanodes)
+                if self._datanodes[node_id].alive]
+
+    # -- client API ----------------------------------------------------------
+
+    def create(self, path: str) -> DFSWriter:
+        """Create a file and return a sequential writer for it."""
+        self.namenode.create_file(path)
+        return DFSWriter(self, path)
+
+    def open(self, path: str) -> DFSReader:
+        """Open a file for positional reads."""
+        self.namenode.get_file(path)  # raises if missing
+        return DFSReader(self, path)
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def delete(self, path: str) -> None:
+        for block in self.namenode.delete_file(path):
+            for node_id in block.replicas:
+                node = self._datanodes.get(node_id)
+                if node is not None:
+                    node.drop_block(block.block_id)
+
+    def list_files(self, prefix: str = "") -> List[str]:
+        return self.namenode.list_files(prefix)
+
+    def file_size(self, path: str) -> int:
+        return self.namenode.get_file(path).size
+
+    def total_bytes(self) -> int:
+        """Logical bytes stored (single copy)."""
+        return self.namenode.total_bytes()
+
+    def total_stored_bytes(self) -> int:
+        """Physical bytes across all replicas (what ``du`` on the cluster
+        would report, the basis of the paper's Fig 6)."""
+        return self.namenode.total_stored_bytes()
+
+    # -- internal block I/O (used by DFSWriter / DFSReader) -----------------
+
+    def _store_block(self, path: str, data: bytes) -> BlockInfo:
+        alive = self._alive_node_ids()
+        info = self.namenode.allocate_block(path, len(data), alive)
+        for node_id in info.replicas:
+            self._datanodes[node_id].store(info.block_id, data)
+        return info
+
+    def _read_at(self, path: str, offset: int, length: int) -> bytes:
+        info = self.namenode.locate(path, offset)
+        if info is None:
+            return b""
+        entry = self.namenode.get_file(path)
+        block_start = 0
+        for block in entry.blocks:
+            if block.block_id == info.block_id:
+                break
+            block_start += block.length
+        within = offset - block_start
+        want = min(length, info.length - within)
+        node = self._pick_replica(info)
+        if node is None:
+            raise DataNodeError(
+                f"all replicas of {info.block_id} are unreachable")
+        return node.read_range(info.block_id, within, want)
+
+    def _pick_replica(self, info: BlockInfo) -> Optional[DataNode]:
+        for node_id in info.replicas:
+            node = self._datanodes.get(node_id)
+            if node is not None and node.alive:
+                return node
+        return None
+
+    # -- reporting ----------------------------------------------------------
+
+    def io_report(self) -> Dict[str, Dict[str, int]]:
+        return {node_id: self._datanodes[node_id].stats.snapshot()
+                for node_id in sorted(self._datanodes)}
+
+
+def paper_cluster(block_size: int = DEFAULT_BLOCK_SIZE, seed: int = 0) -> DFSCluster:
+    """The paper's Table III topology: 1 master + 2 slaves = 3 datanodes
+    (the master also stores blocks in small Hadoop deployments), with
+    replication capped at cluster size."""
+    return DFSCluster(num_datanodes=3, block_size=block_size,
+                      replication=DEFAULT_REPLICATION, seed=seed)

@@ -1,0 +1,140 @@
+"""Tweet-content storage on the DFS.
+
+Figure 3: "The tweet contents/texts are stored in HDFS as well ... the
+system collects the tweet contents according to the postings lists for
+later user study" — result lines shown to raters are ``(userId, tweet
+content)`` pairs, so the serving path needs random access from tweet id
+to raw text.
+
+:class:`ContentStore` writes contents as sorted runs of length-prefixed
+``(sid, uid, utf-8 text)`` records in DFS files, one file per batch,
+with an in-memory sparse offset index (every ``index_stride``-th sid) —
+the classic sorted-run + sparse-index layout.  Lookup seeks to the
+preceding indexed offset and scans forward at most ``index_stride``
+records.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.model import Post
+from .cluster import DFSCluster
+
+_HEADER = struct.Struct("<qqI")  # sid, uid, text byte length
+
+
+class ContentStoreError(RuntimeError):
+    """Raised on malformed content files or unsorted writes."""
+
+
+class ContentStore:
+    """Sorted-run tweet-content files with sparse in-memory indexes."""
+
+    def __init__(self, cluster: DFSCluster, prefix: str = "/contents",
+                 index_stride: int = 32) -> None:
+        if index_stride < 1:
+            raise ValueError(f"index_stride must be >= 1: {index_stride}")
+        self.cluster = cluster
+        self.prefix = prefix
+        self.index_stride = index_stride
+        # Per run: (sorted sid anchors, their offsets, path, max sid).
+        self._runs: List[Tuple[List[int], List[int], str, int]] = []
+        self._next_run = 0
+        self._record_count = 0
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+    # -- writes ----------------------------------------------------------
+
+    def write_batch(self, posts: Iterable[Post]) -> str:
+        """Write one batch (must be sid-sorted, the ingestion order) as a
+        new run; returns the DFS path."""
+        ordered = list(posts)
+        if not ordered:
+            raise ValueError("cannot write an empty batch")
+        previous = None
+        for post in ordered:
+            if previous is not None and post.sid <= previous:
+                raise ContentStoreError(
+                    f"batch not sid-sorted: {post.sid} after {previous}")
+            previous = post.sid
+        path = f"{self.prefix}/run-{self._next_run:05d}"
+        self._next_run += 1
+        anchors: List[int] = []
+        offsets: List[int] = []
+        with self.cluster.create(path) as writer:
+            for position, post in enumerate(ordered):
+                encoded = post.text.encode()
+                offset = writer.write(_HEADER.pack(post.sid, post.uid,
+                                                   len(encoded)))
+                writer.write(encoded)
+                if position % self.index_stride == 0:
+                    anchors.append(post.sid)
+                    offsets.append(offset)
+        self._runs.append((anchors, offsets, path, ordered[-1].sid))
+        self._record_count += len(ordered)
+        return path
+
+    # -- reads ----------------------------------------------------------
+
+    def get(self, sid: int) -> Optional[Tuple[int, str]]:
+        """Fetch ``(uid, text)`` for a tweet id, or None if absent."""
+        for anchors, offsets, path, max_sid in self._runs:
+            if sid < anchors[0] or sid > max_sid:
+                continue
+            position = bisect.bisect_right(anchors, sid) - 1
+            found = self._scan_run(path, offsets[position], sid)
+            if found is not None:
+                return found
+        return None
+
+    def _scan_run(self, path: str, offset: int,
+                  wanted: int) -> Optional[Tuple[int, str]]:
+        reader = self.cluster.open(path)
+        for _ in range(self.index_stride):
+            header = reader.pread(offset, _HEADER.size)
+            if len(header) < _HEADER.size:
+                return None
+            sid, uid, length = _HEADER.unpack(header)
+            if sid == wanted:
+                text = reader.pread(offset + _HEADER.size, length)
+                if len(text) != length:
+                    raise ContentStoreError(
+                        f"truncated record for sid {sid} in {path}")
+                return (uid, text.decode())
+            if sid > wanted:
+                return None
+            offset += _HEADER.size + length
+        return None
+
+    def collect(self, sids: Iterable[int]) -> Dict[int, Tuple[int, str]]:
+        """Batch fetch: the "collect the tweet contents according to the
+        postings lists" step feeding the user study."""
+        result: Dict[int, Tuple[int, str]] = {}
+        for sid in sids:
+            found = self.get(sid)
+            if found is not None:
+                result[sid] = found
+        return result
+
+    def result_lines(self, ranking: Iterable[Tuple[int, int]]) -> List[str]:
+        """Format the user-study lines: each ``(uid, sid)`` pair becomes
+        the "(userId, tweet content)" line the raters judge."""
+        lines = []
+        for uid, sid in ranking:
+            found = self.get(sid)
+            text = found[1] if found is not None else "<content missing>"
+            lines.append(f"(u{uid}, {text})")
+        return lines
+
+    def total_bytes(self) -> int:
+        return sum(self.cluster.file_size(path)
+                   for _a, _o, path, _m in self._runs)

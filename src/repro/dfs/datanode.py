@@ -1,0 +1,104 @@
+"""Datanodes: block storage servers in the simulated DFS.
+
+Each datanode stores block replicas and accounts for the I/O it serves,
+so experiments can observe the data-locality effect the paper relies on
+("data indexed by geohash will have all points for a given rectangular
+area in one computer. Such advantage could save I/O and communication
+cost").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .block import BlockId
+
+
+class DataNodeError(RuntimeError):
+    """Raised on missing blocks or writes to dead nodes."""
+
+
+@dataclass
+class DataNodeStats:
+    blocks_written: int = 0
+    blocks_read: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    partial_reads: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "blocks_written": self.blocks_written,
+            "blocks_read": self.blocks_read,
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "partial_reads": self.partial_reads,
+        }
+
+
+@dataclass
+class DataNode:
+    """One storage node.
+
+    Blocks live in memory (this is a simulation of a remote disk, and the
+    interesting quantity is the I/O accounting, not durability).  A node
+    can be marked dead to exercise replica failover.
+    """
+
+    node_id: str
+    alive: bool = True
+    _blocks: Dict[BlockId, bytes] = field(default_factory=dict)
+    stats: DataNodeStats = field(default_factory=DataNodeStats)
+
+    def store(self, block_id: BlockId, data: bytes) -> None:
+        if not self.alive:
+            raise DataNodeError(f"datanode {self.node_id} is dead")
+        self._blocks[block_id] = data
+        self.stats.blocks_written += 1
+        self.stats.bytes_written += len(data)
+
+    def read(self, block_id: BlockId) -> bytes:
+        if not self.alive:
+            raise DataNodeError(f"datanode {self.node_id} is dead")
+        data = self._blocks.get(block_id)
+        if data is None:
+            raise DataNodeError(f"datanode {self.node_id} has no block {block_id}")
+        self.stats.blocks_read += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def read_range(self, block_id: BlockId, offset: int, length: int) -> bytes:
+        """Read a byte range within a block (HDFS positional read)."""
+        if not self.alive:
+            raise DataNodeError(f"datanode {self.node_id} is dead")
+        data = self._blocks.get(block_id)
+        if data is None:
+            raise DataNodeError(f"datanode {self.node_id} has no block {block_id}")
+        if offset < 0 or offset > len(data):
+            raise DataNodeError(
+                f"offset {offset} out of range for block {block_id} (len {len(data)})")
+        self.stats.partial_reads += 1
+        self.stats.bytes_read += min(length, len(data) - offset)
+        return data[offset:offset + length]
+
+    def has_block(self, block_id: BlockId) -> bool:
+        return block_id in self._blocks
+
+    def drop_block(self, block_id: BlockId) -> None:
+        self._blocks.pop(block_id, None)
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(len(data) for data in self._blocks.values())
+
+    def kill(self) -> None:
+        """Simulate node failure; stored replicas become unreachable."""
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True

@@ -1,0 +1,108 @@
+"""Streaming writers and positional readers for DFS files."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import DFSCluster
+
+
+class DFSWriter:
+    """Sequential writer: buffers bytes and cuts blocks at the cluster's
+    block size, replicating each block as it is sealed.
+
+    Use as a context manager; the final partial block is sealed on close.
+    """
+
+    def __init__(self, cluster: "DFSCluster", path: str) -> None:
+        self._cluster = cluster
+        self._path = path
+        self._buffer = bytearray()
+        self._written = 0
+        self._closed = False
+
+    @property
+    def bytes_written(self) -> int:
+        """Total bytes accepted so far (including the unsealed buffer)."""
+        return self._written + len(self._buffer)
+
+    def write(self, data: bytes) -> int:
+        """Append bytes; returns the file offset the data starts at."""
+        if self._closed:
+            raise RuntimeError(f"writer for {self._path} is closed")
+        offset = self.bytes_written
+        self._buffer.extend(data)
+        block_size = self._cluster.block_size
+        while len(self._buffer) >= block_size:
+            self._seal(bytes(self._buffer[:block_size]))
+            del self._buffer[:block_size]
+        return offset
+
+    def _seal(self, data: bytes) -> None:
+        self._cluster._store_block(self._path, data)
+        self._written += len(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._buffer:
+            self._seal(bytes(self._buffer))
+            self._buffer.clear()
+        self._closed = True
+
+    def __enter__(self) -> "DFSWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class DFSReader:
+    """Positional reader over a DFS file.
+
+    ``pread(offset, length)`` locates the covering block(s) via the
+    namenode, picks an alive replica for each and serves the byte range —
+    the "random access to inverted index in HDFS" of Section VI-B1.
+    """
+
+    def __init__(self, cluster: "DFSCluster", path: str) -> None:
+        self._cluster = cluster
+        self._path = path
+        self._size = cluster.file_size(path)
+        self._position = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= self._size:
+            raise ValueError(f"seek offset {offset} outside [0, {self._size}]")
+        self._position = offset
+
+    def tell(self) -> int:
+        return self._position
+
+    def read(self, length: int = -1) -> bytes:
+        """Sequential read from the current position."""
+        if length < 0:
+            length = self._size - self._position
+        data = self.pread(self._position, length)
+        self._position += len(data)
+        return data
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Positional read of up to ``length`` bytes at ``offset``."""
+        if offset < 0:
+            raise ValueError(f"negative offset {offset}")
+        end = min(offset + length, self._size)
+        chunks = []
+        position = offset
+        while position < end:
+            chunk = self._cluster._read_at(self._path, position, end - position)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            position += len(chunk)
+        return b"".join(chunks)

@@ -1,0 +1,120 @@
+"""The namenode: file-system namespace and block placement.
+
+Maps file paths to ordered block lists and each block to its replica set,
+mirroring HDFS's master metadata service (the paper's cluster runs one
+master and two slaves, Table III).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .block import BlockId, BlockInfo
+
+
+class DFSError(RuntimeError):
+    """Namespace-level errors: missing files, duplicate creation, etc."""
+
+
+@dataclass
+class FileEntry:
+    path: str
+    blocks: List[BlockInfo] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(block.length for block in self.blocks)
+
+
+class NameNode:
+    """Namespace plus block-placement policy.
+
+    Placement picks ``replication`` distinct alive datanodes for each
+    block.  Consecutive blocks of the same file start their replica
+    pipeline on consecutive nodes (round-robin), which spreads load the
+    way HDFS's default policy does in a small homogeneous cluster.
+    """
+
+    def __init__(self, datanode_ids: List[str], replication: int,
+                 seed: int = 0) -> None:
+        if not datanode_ids:
+            raise DFSError("cluster needs at least one datanode")
+        self._datanode_ids = list(datanode_ids)
+        self.replication = min(replication, len(datanode_ids))
+        self._files: Dict[str, FileEntry] = {}
+        self._next_block = 0
+        self._cursor = 0
+        self._rng = random.Random(seed)
+
+    # -- namespace ---------------------------------------------------------
+
+    def create_file(self, path: str) -> FileEntry:
+        if path in self._files:
+            raise DFSError(f"file exists: {path}")
+        entry = FileEntry(path)
+        self._files[path] = entry
+        return entry
+
+    def get_file(self, path: str) -> FileEntry:
+        entry = self._files.get(path)
+        if entry is None:
+            raise DFSError(f"no such file: {path}")
+        return entry
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete_file(self, path: str) -> List[BlockInfo]:
+        """Remove a file from the namespace, returning its blocks so the
+        cluster can reclaim replicas."""
+        entry = self._files.pop(path, None)
+        if entry is None:
+            raise DFSError(f"no such file: {path}")
+        return entry.blocks
+
+    def list_files(self, prefix: str = "") -> List[str]:
+        return sorted(path for path in self._files if path.startswith(prefix))
+
+    def total_bytes(self) -> int:
+        """Logical namespace size (one copy of each block)."""
+        return sum(entry.size for entry in self._files.values())
+
+    def total_stored_bytes(self) -> int:
+        """Physical size including replication."""
+        return sum(block.length * len(block.replicas)
+                   for entry in self._files.values()
+                   for block in entry.blocks)
+
+    # -- placement ----------------------------------------------------------
+
+    def allocate_block(self, path: str, length: int,
+                       alive_nodes: List[str]) -> BlockInfo:
+        """Allocate a block for ``path`` and choose its replica targets."""
+        entry = self.get_file(path)
+        if not alive_nodes:
+            raise DFSError("no alive datanodes for block placement")
+        block_id = BlockId(self._next_block)
+        self._next_block += 1
+        targets = self._pick_targets(alive_nodes)
+        info = BlockInfo(block_id, length, targets)
+        entry.blocks.append(info)
+        return info
+
+    def _pick_targets(self, alive_nodes: List[str]) -> List[str]:
+        count = min(self.replication, len(alive_nodes))
+        start = self._cursor % len(alive_nodes)
+        self._cursor += 1
+        ordered = alive_nodes[start:] + alive_nodes[:start]
+        return ordered[:count]
+
+    def locate(self, path: str, offset: int) -> Optional[BlockInfo]:
+        """Find the block containing byte ``offset`` of ``path``."""
+        entry = self.get_file(path)
+        position = 0
+        for block in entry.blocks:
+            if position <= offset < position + block.length:
+                return block
+            position += block.length
+        return None

@@ -1,0 +1,407 @@
+"""The experiment harness: one function per table/figure of Section VI.
+
+Every function returns a list of row dicts — the same rows the paper's
+plot would show — so benchmarks and example scripts can both print and
+assert on them.  Absolute times are laptop-scale; EXPERIMENTS.md records
+how the *shapes* compare with the paper.
+
+Caching policy: the paper runs with HDFS and database caches off.  The
+harness therefore clears the thread-popularity cache before every timed
+query and builds indexes with postings caching disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.model import Semantics, TkLUSQuery
+from ..data.generator import SyntheticCorpus, generate_corpus
+from ..data.queries import QueryWorkload
+from ..data.vocabulary import TABLE2_KEYWORDS
+from ..dfs.cluster import paper_cluster
+from ..geo import geohash as geohash_mod
+from ..index.builder import IndexConfig
+from ..index.hybrid import HybridIndex
+from ..query.bounds import BoundsManager
+from ..query.engine import EngineConfig, TkLUSEngine
+from ..query.max_ranking import MaxScoreProcessor
+from .kendall import kendall_tau
+from .userstudy import SimulatedUserStudy, StudyConfig
+
+Row = Dict[str, object]
+
+#: Radii used by the paper's query-processing experiments (km).
+SMALL_RADII = (5.0, 10.0, 15.0, 20.0)
+LARGE_RADII = (5.0, 10.0, 20.0, 50.0, 100.0)
+MULTI_RADII = (5.0, 10.0, 20.0, 50.0)
+
+#: Geohash encoding lengths evaluated (Table IV / Figs 5-7).
+GEOHASH_LENGTHS = (1, 2, 3, 4)
+
+
+@dataclass
+class ExperimentContext:
+    """Shared setup for the query-processing experiments: the corpus,
+    the workload, and a cached engine per geohash length."""
+
+    corpus: SyntheticCorpus
+    workload: QueryWorkload
+    queries_per_point: int = 10
+    _engines: Dict[int, TkLUSEngine] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, num_users: int = 800, num_root_tweets: int = 4000,
+               seed: int = 42, queries_per_point: int = 10) -> "ExperimentContext":
+        corpus = generate_corpus(num_users=num_users,
+                                 num_root_tweets=num_root_tweets, seed=seed)
+        return cls(corpus=corpus, workload=QueryWorkload(corpus, seed=seed),
+                   queries_per_point=queries_per_point)
+
+    def engine(self, geohash_length: int = 4) -> TkLUSEngine:
+        engine = self._engines.get(geohash_length)
+        if engine is None:
+            config = EngineConfig(
+                index=IndexConfig(geohash_length=geohash_length))
+            engine = TkLUSEngine.from_posts(self.corpus.posts, config=config,
+                                            cluster=paper_cluster())
+            self._engines[geohash_length] = engine
+        return engine
+
+    def timed_search(self, engine: TkLUSEngine, query: TkLUSQuery,
+                     method: str) -> float:
+        """One cold-cache query; returns elapsed seconds."""
+        engine.threads.clear_cache()
+        start = time.perf_counter()
+        engine.search(query, method=method)
+        return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table2_keyword_frequencies(corpus: SyntheticCorpus, top: int = 10) -> List[Row]:
+    """Table II: the top frequent keywords of the corpus."""
+    frequencies = corpus.keyword_frequencies()
+    ranked = sorted(frequencies.items(), key=lambda item: (-item[1], item[0]))
+    return [
+        {"rank": rank, "keyword": keyword, "frequency": count}
+        for rank, (keyword, count) in enumerate(ranked[:top], start=1)
+    ]
+
+
+def table4_geohash_lengths(lat: float = -23.994140625,
+                           lon: float = -46.23046875) -> List[Row]:
+    """Table IV: the paper's worked geohash example at lengths 1-4."""
+    return [
+        {"length": length, "geohash": geohash_mod.encode(lat, lon, length)}
+        for length in GEOHASH_LENGTHS
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figures 5-6: index construction
+# ---------------------------------------------------------------------------
+
+def fig5_index_construction_time(corpus: SyntheticCorpus,
+                                 lengths: Sequence[int] = GEOHASH_LENGTHS,
+                                 workers: int = 2) -> List[Row]:
+    """Fig 5: index construction time vs geohash length.
+
+    Expected shape: roughly flat — construction cost is dominated by
+    tokenisation and the shuffle, not the encoding length.
+    """
+    rows: List[Row] = []
+    for length in lengths:
+        cluster = paper_cluster()
+        config = IndexConfig(geohash_length=length, workers=workers)
+        start = time.perf_counter()
+        HybridIndex.build(corpus.posts, cluster, config=config)
+        elapsed = time.perf_counter() - start
+        rows.append({"geohash_length": length,
+                     "construction_seconds": elapsed,
+                     "tweets": len(corpus.posts)})
+    return rows
+
+
+def fig6_index_size(corpus: SyntheticCorpus,
+                    lengths: Sequence[int] = GEOHASH_LENGTHS) -> List[Row]:
+    """Fig 6: index size vs geohash length.
+
+    Expected shape: near-flat (every posting exists at every length; only
+    key-space fragmentation varies).
+    """
+    rows: List[Row] = []
+    for length in lengths:
+        cluster = paper_cluster()
+        index = HybridIndex.build(corpus.posts, cluster,
+                                  config=IndexConfig(geohash_length=length))
+        rows.append({
+            "geohash_length": length,
+            "inverted_bytes": index.inverted_size_bytes(),
+            "forward_bytes": index.forward_size_bytes(),
+            "stored_bytes_with_replication": cluster.total_stored_bytes(),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: geohash length vs query time
+# ---------------------------------------------------------------------------
+
+def fig7_geohash_length(context: ExperimentContext,
+                        lengths: Sequence[int] = GEOHASH_LENGTHS,
+                        radii: Sequence[float] = SMALL_RADII,
+                        method: str = "max") -> List[Row]:
+    """Fig 7: average query time per geohash length and radius.
+
+    Expected shape: longer encodings are faster at the paper's 5-20 km
+    radii (fewer non-candidates processed per cell).
+    """
+    rows: List[Row] = []
+    for radius in radii:
+        queries = context.workload.random_queries(
+            context.queries_per_point, radius_km=radius)
+        for length in lengths:
+            engine = context.engine(length)
+            total = sum(context.timed_search(engine, query, method)
+                        for query in queries)
+            rows.append({"radius_km": radius, "geohash_length": length,
+                         "mean_seconds": total / len(queries)})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-9: single-keyword efficiency and consistency
+# ---------------------------------------------------------------------------
+
+def fig8_single_keyword(context: ExperimentContext,
+                        radii: Sequence[float] = LARGE_RADII,
+                        k: int = 10) -> List[Row]:
+    """Fig 8: sum vs max query time on single-keyword queries.
+
+    Expected shape: comparable at <= 20 km; max clearly faster at large
+    radii (more candidates -> more pruning opportunity).
+    """
+    engine = context.engine(4)
+    rows: List[Row] = []
+    for radius in radii:
+        queries = [context.workload.bind(spec, radius_km=radius, k=k)
+                   for spec in context.workload.specs(1)[:context.queries_per_point]]
+        sum_total = sum(context.timed_search(engine, query, "sum")
+                        for query in queries)
+        max_total = sum(context.timed_search(engine, query, "max")
+                        for query in queries)
+        rows.append({"radius_km": radius,
+                     "sum_seconds": sum_total / len(queries),
+                     "max_seconds": max_total / len(queries)})
+    return rows
+
+
+def fig9_kendall_single(context: ExperimentContext,
+                        radii: Sequence[float] = SMALL_RADII,
+                        ks: Sequence[int] = (5, 10)) -> List[Row]:
+    """Fig 9: Kendall tau between sum and max rankings, single keyword.
+
+    Expected shape: consistently high (paper: > 0.863 everywhere).
+    """
+    engine = context.engine(4)
+    rows: List[Row] = []
+    for k in ks:
+        for radius in radii:
+            queries = [context.workload.bind(spec, radius_km=radius, k=k)
+                       for spec in context.workload.specs(1)[:context.queries_per_point]]
+            taus = []
+            for query in queries:
+                rho_b = engine.search_sum(query).ranking()
+                rho_d = engine.search_max(query).ranking()
+                if not rho_b and not rho_d:
+                    continue  # no candidates at this location/radius
+                taus.append(kendall_tau(rho_b, rho_d))
+            rows.append({"k": k, "radius_km": radius,
+                         "mean_tau": sum(taus) / len(taus) if taus else 1.0,
+                         "queries_with_results": len(taus)})
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 10-11: multi-keyword queries
+# ---------------------------------------------------------------------------
+
+def fig10_multi_keyword(context: ExperimentContext,
+                        radii: Sequence[float] = MULTI_RADII,
+                        k: int = 10) -> List[Row]:
+    """Fig 10: query time by keyword count and semantics.
+
+    Expected shapes: OR time grows with keyword count, AND time shrinks;
+    max beats sum most visibly under OR at 20-50 km.
+    """
+    engine = context.engine(4)
+    rows: List[Row] = []
+    for num_keywords in (1, 2, 3):
+        semantics_options = ([Semantics.OR] if num_keywords == 1
+                             else [Semantics.AND, Semantics.OR])
+        for semantics in semantics_options:
+            for radius in radii:
+                specs = context.workload.specs(num_keywords)[:context.queries_per_point]
+                queries = [context.workload.bind(spec, radius_km=radius, k=k,
+                                                 semantics=semantics)
+                           for spec in specs]
+                sum_total = sum(context.timed_search(engine, query, "sum")
+                                for query in queries)
+                max_total = sum(context.timed_search(engine, query, "max")
+                                for query in queries)
+                rows.append({
+                    "keywords": num_keywords,
+                    "semantics": semantics.value,
+                    "radius_km": radius,
+                    "sum_seconds": sum_total / len(queries),
+                    "max_seconds": max_total / len(queries),
+                })
+    return rows
+
+
+def fig11_kendall_multi(context: ExperimentContext,
+                        radii: Sequence[float] = MULTI_RADII,
+                        k: int = 10) -> List[Row]:
+    """Fig 11: Kendall tau by keyword count and semantics.
+
+    Expected shape: AND taus > 0.95; OR taus lower but >= ~0.8.
+    """
+    engine = context.engine(4)
+    rows: List[Row] = []
+    for num_keywords in (1, 2, 3):
+        semantics_options = ([Semantics.OR] if num_keywords == 1
+                             else [Semantics.AND, Semantics.OR])
+        for semantics in semantics_options:
+            for radius in radii:
+                specs = context.workload.specs(num_keywords)[:context.queries_per_point]
+                taus = []
+                for spec in specs:
+                    query = context.workload.bind(spec, radius_km=radius, k=k,
+                                                  semantics=semantics)
+                    rho_b = engine.search_sum(query).ranking()
+                    rho_d = engine.search_max(query).ranking()
+                    if not rho_b and not rho_d:
+                        continue
+                    taus.append(kendall_tau(rho_b, rho_d))
+                rows.append({
+                    "keywords": num_keywords,
+                    "semantics": semantics.value,
+                    "radius_km": radius,
+                    "mean_tau": sum(taus) / len(taus) if taus else 1.0,
+                    "queries_with_results": len(taus),
+                })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: hot-keyword-specific popularity bounds
+# ---------------------------------------------------------------------------
+
+def fig12_specific_bounds(context: ExperimentContext,
+                          radii: Sequence[float] = MULTI_RADII,
+                          k: int = 5) -> List[Row]:
+    """Fig 12: max-ranking query time with hot-keyword bounds vs the
+    global bound only, on queries containing hot keywords.
+
+    Queries are drawn as single hot keywords and hot-keyword pairs
+    ("queries that contain those hot keywords", Section VI-B5); the
+    AND semantics uses the smallest per-keyword bound, OR the largest.
+    Expected shape: specific bounds prune thread constructions the
+    global bound cannot (it is far looser), increasingly so at larger
+    radii.  Pruned-thread counts are reported alongside times since at
+    laptop scale pruning shows more reliably in work counts than in
+    sub-millisecond timings.
+    """
+    engine = context.engine(4)
+    global_only = BoundsManager(engine.bounds.global_bound)
+    hot_processor = engine.processor("max")
+    global_processor = MaxScoreProcessor(
+        engine.index, engine.database, engine.threads, global_only,
+        engine.config.scoring, engine.metric)
+
+    # Hot-keyword query pool: every hot keyword alone plus adjacent pairs.
+    from ..data.queries import QuerySpec
+    hot = list(TABLE2_KEYWORDS)
+    specs = [QuerySpec((keyword,)) for keyword in hot]
+    specs += [QuerySpec((hot[i], hot[(i + 1) % len(hot)]))
+              for i in range(len(hot))]
+    specs = specs[:max(context.queries_per_point * 2, 10)]
+
+    rows: List[Row] = []
+    for semantics in (Semantics.AND, Semantics.OR):
+        for radius in radii:
+            hot_time = 0.0
+            global_time = 0.0
+            hot_pruned = 0
+            global_pruned = 0
+            for index, spec in enumerate(specs):
+                query = context.workload.bind(
+                    spec, radius_km=radius, k=k, semantics=semantics,
+                    location=context.workload.sample_location())
+                engine.threads.clear_cache()
+                start = time.perf_counter()
+                result = hot_processor.search(query)
+                hot_time += time.perf_counter() - start
+                hot_pruned += result.stats.threads_pruned
+                engine.threads.clear_cache()
+                start = time.perf_counter()
+                result = global_processor.search(query)
+                global_time += time.perf_counter() - start
+                global_pruned += result.stats.threads_pruned
+            rows.append({
+                "semantics": semantics.value,
+                "radius_km": radius,
+                "hot_bound_seconds": hot_time / max(1, len(specs)),
+                "global_bound_seconds": global_time / max(1, len(specs)),
+                "hot_bound_pruned": hot_pruned,
+                "global_bound_pruned": global_pruned,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: user study
+# ---------------------------------------------------------------------------
+
+def fig13_user_study(context: ExperimentContext,
+                     radii: Sequence[float] = SMALL_RADII,
+                     num_queries: int = 30,
+                     study_config: Optional[StudyConfig] = None) -> List[Row]:
+    """Fig 13: precision of both rankings at top-5 / top-10 per radius.
+
+    Expected shape: 60-80 % precision at <= 10 km, decaying with radius;
+    top-5 precision >= top-10 precision.
+    """
+    engine = context.engine(4)
+    study = SimulatedUserStudy(context.corpus.to_dataset(),
+                               study_config or StudyConfig())
+    # 30 queries with 1-3 keywords, issued at random (paper protocol).
+    specs = (context.workload.specs(1)[:10] + context.workload.specs(2)[:10]
+             + context.workload.specs(3)[:10])[:num_queries]
+    rows: List[Row] = []
+    for method in ("sum", "max"):
+        for radius in radii:
+            precisions_5: List[float] = []
+            precisions_10: List[float] = []
+            for spec in specs:
+                query = context.workload.bind(spec, radius_km=radius, k=10)
+                ranking = engine.search(query, method=method).ranking()
+                if not ranking:
+                    continue
+                at = study.precision_at(ranking, query, cutoffs=(5, 10))
+                precisions_5.append(at[5])
+                precisions_10.append(at[10])
+            rows.append({
+                "method": method,
+                "radius_km": radius,
+                "precision_top5": (sum(precisions_5) / len(precisions_5)
+                                   if precisions_5 else 0.0),
+                "precision_top10": (sum(precisions_10) / len(precisions_10)
+                                    if precisions_10 else 0.0),
+                "queries_with_results": len(precisions_5),
+            })
+    return rows

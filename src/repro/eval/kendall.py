@@ -1,0 +1,95 @@
+"""The paper's variant Kendall tau rank-correlation coefficient
+(Section VI-B3).
+
+Two top-k results from different ranking functions need not contain the
+same users.  The paper pads each ranking with the other's missing
+elements, all sharing the next rank: for k = 3, rho_b = <A, B, C> and
+rho_d = <B, D, E> become <A, B, C, D, E> and <B, D, E, A, C> with D, E
+both ranked 4th in rho_b (and A, C both 4th in rho_d).
+
+A pair is *concordant* when one element is "ranked before (after or in
+tie with)" the other in both rankings — i.e. ordered the same way, or
+tied in both.  Discordant pairs are ordered oppositely.  Pairs tied in
+exactly one ranking are neither.  The coefficient is
+
+    tau = (cp - dp) / (0.5 * m * (m - 1))
+
+with ``m`` the padded length (the paper writes ``k``; its own k = 3
+example pads to 5 elements, and normalising by the padded pair count is
+the reading that keeps tau within [-1, 1]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def padded_ranks(primary: Sequence[int], other: Sequence[int]) -> Dict[int, int]:
+    """Rank map (1-based) of ``primary`` padded with the elements of
+    ``other`` it lacks, all at rank ``len(primary) + 1``."""
+    ranks: Dict[int, int] = {}
+    for position, element in enumerate(primary, start=1):
+        if element in ranks:
+            raise ValueError(f"duplicate element {element!r} in ranking")
+        ranks[element] = position
+    pad_rank = len(primary) + 1
+    for element in other:
+        if element not in ranks:
+            ranks[element] = pad_rank
+    return ranks
+
+
+def kendall_tau(rho_b: Sequence[int], rho_d: Sequence[int]) -> float:
+    """The paper's variant Kendall tau between two top-k rankings.
+
+    Returns 1.0 for two empty rankings (nothing disagrees).
+    """
+    ranks_b = padded_ranks(rho_b, rho_d)
+    ranks_d = padded_ranks(rho_d, rho_b)
+    elements: List[int] = sorted(ranks_b)  # identical key sets by construction
+    m = len(elements)
+    if m < 2:
+        return 1.0
+    concordant = 0
+    discordant = 0
+    for i in range(m):
+        for j in range(i + 1, m):
+            delta_b = ranks_b[elements[i]] - ranks_b[elements[j]]
+            delta_d = ranks_d[elements[i]] - ranks_d[elements[j]]
+            if delta_b == 0 and delta_d == 0:
+                concordant += 1
+            elif delta_b * delta_d > 0:
+                concordant += 1
+            elif delta_b != 0 and delta_d != 0:
+                discordant += 1
+            # tied in exactly one ranking: neither concordant nor discordant
+    return (concordant - discordant) / (0.5 * m * (m - 1))
+
+
+def kendall_tau_classic(rho_b: Sequence[int], rho_d: Sequence[int]) -> float:
+    """Classic Kendall tau for two permutations of the same element set
+    (no padding, no ties).  Raises ValueError when the sets differ —
+    use :func:`kendall_tau` for top-k lists from different rankers.
+    """
+    if set(rho_b) != set(rho_d):
+        raise ValueError("classic tau needs identical element sets")
+    k = len(rho_b)
+    if k < 2:
+        return 1.0
+    position_d = {element: index for index, element in enumerate(rho_d)}
+    concordant = 0
+    discordant = 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            if position_d[rho_b[i]] < position_d[rho_b[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (0.5 * k * (k - 1))
+
+
+def average_tau(pairs: Sequence[Tuple[Sequence[int], Sequence[int]]]) -> float:
+    """Mean variant-tau over ranking pairs (one per query)."""
+    if not pairs:
+        return 1.0
+    return sum(kendall_tau(b, d) for b, d in pairs) / len(pairs)

@@ -1,0 +1,121 @@
+"""ASCII rendering of experiment figures.
+
+The paper presents Figs 5-13 as charts; this module renders the same
+series as terminal-friendly ASCII so ``run_all_experiments.py`` output
+reads like the paper's evaluation section.  Pure string manipulation —
+no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def bar_chart(items: Sequence[Tuple[str, float]], width: int = 50,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart: one ``(label, value)`` bar per row."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not items:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(value for _label, value in items)
+    label_width = max(len(label) for label, _value in items)
+    for label, value in items:
+        length = 0 if peak <= 0 else int(round(width * value / peak))
+        bar = "#" * max(length, 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(x_values: Sequence[float],
+               series: Dict[str, Sequence[float]],
+               height: int = 12, width: int = 60,
+               title: str = "") -> str:
+    """Multi-series line chart on a character grid.
+
+    Each series gets a marker (its name's first letter, upper-cased;
+    collisions fall back to digits).  Axes show the value range and the
+    x extent.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not x_values or not series:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, "
+                f"expected {len(x_values)}")
+
+    all_values = [value for values in series.values() for value in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    used = set()
+    for index, name in enumerate(sorted(series)):
+        marker = name[:1].upper() or "?"
+        if marker in used:
+            marker = str(index % 10)
+        used.add(marker)
+        markers[name] = marker
+
+    for name in sorted(series):
+        values = series[name]
+        for x, value in zip(x_values, values):
+            column = int(round((x - x_lo) / x_span * (width - 1)))
+            row = int(round((value - lo) / (hi - lo) * (height - 1)))
+            grid[height - 1 - row][column] = markers[name]
+
+    value_width = max(len(f"{hi:g}"), len(f"{lo:g}"))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:g}".rjust(value_width)
+        elif row_index == height - 1:
+            label = f"{lo:g}".rjust(value_width)
+        else:
+            label = " " * value_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * value_width + " +" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(" " * value_width + "  " + x_axis)
+    legend = "   ".join(f"{markers[name]}={name}" for name in sorted(series))
+    lines.append(" " * value_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def series_from_rows(rows: Sequence[Dict[str, object]], x_key: str,
+                     y_key: str, group_key: str = ""
+                     ) -> Tuple[List[float], Dict[str, List[float]]]:
+    """Pivot experiment row dicts into ``line_chart`` inputs.
+
+    Without ``group_key`` the result has a single series named after
+    ``y_key``.  With it, one series per distinct group value (rows must
+    share the same x grid per group).
+    """
+    if not rows:
+        return [], {}
+    if not group_key:
+        xs = [float(row[x_key]) for row in rows]  # type: ignore[arg-type]
+        return xs, {y_key: [float(row[y_key]) for row in rows]}  # type: ignore[arg-type]
+    grouped: Dict[str, Dict[float, float]] = {}
+    x_set: List[float] = []
+    for row in rows:
+        group = str(row[group_key])
+        x = float(row[x_key])  # type: ignore[arg-type]
+        grouped.setdefault(group, {})[x] = float(row[y_key])  # type: ignore[arg-type]
+        if x not in x_set:
+            x_set.append(x)
+    x_set.sort()
+    series = {}
+    for group, points in grouped.items():
+        series[group] = [points.get(x, 0.0) for x in x_set]
+    return x_set, series

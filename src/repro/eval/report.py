@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100 or value == int(value):
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.4f}"
+        return f"{value:.6f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 title: str = "") -> str:
+    """Render row dicts as an aligned text table (column order = key
+    order of the first row)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    cells: List[List[str]] = [[_format_value(row.get(col, "")) for col in columns]
+                              for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells))
+              for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i])
+                                for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]], title: str = "") -> None:
+    print(format_table(rows, title))
+    print()

@@ -1,0 +1,75 @@
+"""Timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class TimingResult:
+    """Aggregate of repeated timings (seconds)."""
+
+    samples: List[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+
+def time_callable(fn: Callable[[], object], repeats: int = 1) -> TimingResult:
+    """Run ``fn`` ``repeats`` times, wall-clock timing each run."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1: {repeats}")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(samples)
+
+
+class Stopwatch:
+    """Accumulating stopwatch for instrumenting phases inside a run."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float = -1.0
+
+    def start(self) -> None:
+        if self._started >= 0:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started < 0:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started
+        self.elapsed += delta
+        self._started = -1.0
+        return delta
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

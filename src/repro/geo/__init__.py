@@ -1,0 +1,42 @@
+"""Spatial substrate: geohash encoding, Z-order curves, quadtrees, tries,
+distance metrics and circle covers.
+
+This package implements the spatial machinery of Section IV-B of the paper:
+the quadtree-derived geohash encoding, the Z-order prefix covers used to
+answer circle queries, and supporting structures.
+"""
+
+from .cover import circle_cover, cover_area_ratio, cover_cells_fully_inside
+from .distance import (
+    DEFAULT_METRIC,
+    EARTH_RADIUS_KM,
+    Metric,
+    bounding_box,
+    equirectangular_km,
+    euclidean_degrees,
+    haversine_km,
+)
+from .geohash import GeohashError, decode, decode_cell, encode, neighbors
+from .quadtree import QuadTree, Rect
+from .trie import GeohashTrie
+
+__all__ = [
+    "DEFAULT_METRIC",
+    "EARTH_RADIUS_KM",
+    "GeohashError",
+    "GeohashTrie",
+    "Metric",
+    "QuadTree",
+    "Rect",
+    "bounding_box",
+    "circle_cover",
+    "cover_area_ratio",
+    "cover_cells_fully_inside",
+    "decode",
+    "decode_cell",
+    "encode",
+    "equirectangular_km",
+    "euclidean_degrees",
+    "haversine_km",
+    "neighbors",
+]

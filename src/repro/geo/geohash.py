@@ -1,0 +1,190 @@
+"""Geohash encoding and decoding.
+
+The paper (Section IV-B1) derives its encoding from a full-height quadtree:
+each level appends two bits to the parent code, and groups of five bits are
+mapped to the Base32 alphabet that omits ``a``, ``i``, ``l`` and ``o``.  The
+result coincides with the standard geohash scheme — an interleaving of
+longitude and latitude bisection bits, longitude first — which is what we
+implement here, from scratch (no external geohash library).
+
+The paper's worked example — the coordinate ``(-23.994140625,
+-46.23046875)`` encodes to ``6gxp`` at length 4 — is covered by a unit test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+#: The geohash Base32 alphabet (digits plus letters, excluding a, i, l, o).
+BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+_CHAR_TO_VALUE = {char: value for value, char in enumerate(BASE32)}
+
+#: Bits of precision per geohash character.
+BITS_PER_CHAR = 5
+
+#: Longest supported geohash (12 chars resolves to roughly 3.7 cm x 1.8 cm).
+MAX_LENGTH = 12
+
+
+class GeohashError(ValueError):
+    """Raised for malformed geohash strings or out-of-range coordinates."""
+
+
+def _validate_coordinate(lat: float, lon: float) -> None:
+    if not -90.0 <= lat <= 90.0:
+        raise GeohashError(f"latitude out of range [-90, 90]: {lat!r}")
+    if not -180.0 <= lon <= 180.0:
+        raise GeohashError(f"longitude out of range [-180, 180]: {lon!r}")
+
+
+def _validate_length(length: int) -> None:
+    if not 1 <= length <= MAX_LENGTH:
+        raise GeohashError(f"geohash length must be in [1, {MAX_LENGTH}]: {length!r}")
+
+
+def encode(lat: float, lon: float, length: int = 4) -> str:
+    """Encode a latitude/longitude pair to a geohash of ``length`` chars.
+
+    ``length`` follows the paper's "Geohash configuration": length 1 is the
+    coarsest grid evaluated and length 4 the finest (Section VI-B2).
+    """
+    _validate_coordinate(lat, lon)
+    _validate_length(length)
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    chars: List[str] = []
+    value = 0
+    bit = 0
+    even = True  # geohash interleaves longitude bits first
+    while len(chars) < length:
+        if even:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                value = (value << 1) | 1
+                lon_lo = mid
+            else:
+                value <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                value = (value << 1) | 1
+                lat_lo = mid
+            else:
+                value <<= 1
+                lat_hi = mid
+        even = not even
+        bit += 1
+        if bit == BITS_PER_CHAR:
+            chars.append(BASE32[value])
+            value = 0
+            bit = 0
+    return "".join(chars)
+
+
+def decode_cell(geohash: str) -> Tuple[float, float, float, float]:
+    """Decode a geohash to its bounding cell.
+
+    Returns ``(min_lat, min_lon, max_lat, max_lon)``.
+    """
+    if not geohash:
+        raise GeohashError("empty geohash")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even = True
+    for char in geohash:
+        try:
+            value = _CHAR_TO_VALUE[char]
+        except KeyError:
+            raise GeohashError(f"invalid geohash character {char!r} in {geohash!r}") from None
+        for shift in range(BITS_PER_CHAR - 1, -1, -1):
+            bit = (value >> shift) & 1
+            if even:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even = not even
+    return (lat_lo, lon_lo, lat_hi, lon_hi)
+
+
+def decode(geohash: str) -> Tuple[float, float]:
+    """Decode a geohash to the centre point of its cell."""
+    lat_lo, lon_lo, lat_hi, lon_hi = decode_cell(geohash)
+    return ((lat_lo + lat_hi) / 2.0, (lon_lo + lon_hi) / 2.0)
+
+
+def cell_dimensions_degrees(length: int) -> Tuple[float, float]:
+    """Return ``(lat_span, lon_span)`` in degrees of a length-``length`` cell."""
+    _validate_length(length)
+    total_bits = length * BITS_PER_CHAR
+    lon_bits = (total_bits + 1) // 2
+    lat_bits = total_bits // 2
+    return (180.0 / (1 << lat_bits), 360.0 / (1 << lon_bits))
+
+
+def neighbors(geohash: str) -> List[str]:
+    """Return the up-to-eight neighbouring cells of ``geohash``.
+
+    Neighbours are computed by decoding the cell, stepping one cell width in
+    each compass direction and re-encoding; cells falling off the poles are
+    dropped, and longitudes wrap around the antimeridian.
+    """
+    lat_lo, lon_lo, lat_hi, lon_hi = decode_cell(geohash)
+    lat_span = lat_hi - lat_lo
+    lon_span = lon_hi - lon_lo
+    center_lat = (lat_lo + lat_hi) / 2.0
+    center_lon = (lon_lo + lon_hi) / 2.0
+    result: List[str] = []
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            lat = center_lat + dy * lat_span
+            lon = center_lon + dx * lon_span
+            if not -90.0 <= lat <= 90.0:
+                continue
+            if lon > 180.0:
+                lon -= 360.0
+            elif lon < -180.0:
+                lon += 360.0
+            neighbor = encode(lat, lon, len(geohash))
+            if neighbor != geohash and neighbor not in result:
+                result.append(neighbor)
+    return result
+
+
+def expand(geohash: str) -> List[str]:
+    """Return ``geohash`` plus its neighbours (a 3x3 search block)."""
+    return [geohash] + neighbors(geohash)
+
+
+def children(geohash: str) -> Iterator[str]:
+    """Iterate over the 32 child cells one character longer than ``geohash``."""
+    if len(geohash) >= MAX_LENGTH:
+        raise GeohashError(f"cannot extend geohash beyond length {MAX_LENGTH}")
+    for char in BASE32:
+        yield geohash + char
+
+
+def is_prefix_of(prefix: str, geohash: str) -> bool:
+    """True when cell ``prefix`` spatially contains cell ``geohash``."""
+    return geohash.startswith(prefix)
+
+
+def common_prefix(a: str, b: str) -> str:
+    """Longest common prefix of two geohashes (their smallest shared cell)."""
+    end = 0
+    for ca, cb in zip(a, b):
+        if ca != cb:
+            break
+        end += 1
+    return a[:end]

@@ -1,0 +1,167 @@
+"""A point quadtree over latitude/longitude space.
+
+The paper's geohash encoding is "generally derived from quadtree index"
+(Section IV-B1): each split halves the parent cell along both axes and the
+four children are labelled with two bits.  This module provides the actual
+tree structure — used by the data generator for spatial sampling statistics,
+by tests as an oracle for geohash cell containment, and available to users
+as a standalone in-memory spatial index supporting range and circle queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .distance import DEFAULT_METRIC, Metric, bounding_box
+
+T = TypeVar("T")
+
+Coordinate = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle in (lat, lon) space, inclusive bounds."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def contains(self, lat: float, lon: float) -> bool:
+        return (self.min_lat <= lat <= self.max_lat
+                and self.min_lon <= lon <= self.max_lon)
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (other.max_lat < self.min_lat or other.min_lat > self.max_lat
+                    or other.max_lon < self.min_lon or other.min_lon > self.max_lon)
+
+    def center(self) -> Coordinate:
+        return ((self.min_lat + self.max_lat) / 2.0,
+                (self.min_lon + self.max_lon) / 2.0)
+
+    def quadrants(self) -> Tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into (upper-left, upper-right, bottom-left, bottom-right),
+        matching the paper's 00/10/01/11 child labelling."""
+        mid_lat, mid_lon = self.center()
+        return (
+            Rect(mid_lat, self.min_lon, self.max_lat, mid_lon),  # upper-left
+            Rect(mid_lat, mid_lon, self.max_lat, self.max_lon),  # upper-right
+            Rect(self.min_lat, self.min_lon, mid_lat, mid_lon),  # bottom-left
+            Rect(self.min_lat, mid_lon, mid_lat, self.max_lon),  # bottom-right
+        )
+
+
+WORLD = Rect(-90.0, -180.0, 90.0, 180.0)
+
+
+@dataclass
+class _Node(Generic[T]):
+    bounds: Rect
+    depth: int
+    points: List[Tuple[float, float, T]] = field(default_factory=list)
+    children: Optional[List["_Node[T]"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree(Generic[T]):
+    """A bucketed point quadtree.
+
+    Leaves hold up to ``capacity`` points and split (up to ``max_depth``)
+    when they overflow.  Points lying exactly on split lines go to the
+    quadrant whose ``contains`` test matches first, which keeps insertion
+    deterministic.
+    """
+
+    def __init__(self, capacity: int = 16, max_depth: int = 20,
+                 bounds: Rect = WORLD) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1: {max_depth}")
+        self._capacity = capacity
+        self._max_depth = max_depth
+        self._root: _Node[T] = _Node(bounds, depth=0)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, lat: float, lon: float, value: T) -> None:
+        """Insert a point; raises ValueError if outside the tree bounds."""
+        if not self._root.bounds.contains(lat, lon):
+            raise ValueError(f"point ({lat}, {lon}) outside bounds {self._root.bounds}")
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, lat, lon)
+        node.points.append((lat, lon, value))
+        self._size += 1
+        if len(node.points) > self._capacity and node.depth < self._max_depth:
+            self._split(node)
+
+    def _child_for(self, node: _Node[T], lat: float, lon: float) -> _Node[T]:
+        assert node.children is not None
+        for child in node.children:
+            if child.bounds.contains(lat, lon):
+                return child
+        # Floating-point edge: snap to the last quadrant.
+        return node.children[-1]
+
+    def _split(self, node: _Node[T]) -> None:
+        node.children = [_Node(q, node.depth + 1) for q in node.bounds.quadrants()]
+        points, node.points = node.points, []
+        for lat, lon, value in points:
+            self._child_for(node, lat, lon).points.append((lat, lon, value))
+
+    def query_rect(self, rect: Rect) -> Iterator[Tuple[float, float, T]]:
+        """Yield all points inside ``rect``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bounds.intersects(rect):
+                continue
+            if node.is_leaf:
+                for lat, lon, value in node.points:
+                    if rect.contains(lat, lon):
+                        yield (lat, lon, value)
+            else:
+                assert node.children is not None
+                stack.extend(node.children)
+
+    def query_circle(self, center: Coordinate, radius_km: float,
+                     metric: Metric = DEFAULT_METRIC) -> Iterator[Tuple[float, float, T]]:
+        """Yield all points within ``radius_km`` of ``center`` under ``metric``.
+
+        Prunes with the bounding box of the circle, then verifies with the
+        exact metric.
+        """
+        min_lat, min_lon, max_lat, max_lon = bounding_box(center, radius_km)
+        rect = Rect(min_lat, min_lon, max_lat, max_lon)
+        for lat, lon, value in self.query_rect(rect):
+            if metric(center, (lat, lon)) <= radius_km:
+                yield (lat, lon, value)
+
+    def depth(self) -> int:
+        """Maximum depth of any node currently in the tree."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            best = max(best, node.depth)
+            if node.children is not None:
+                stack.extend(node.children)
+        return best
+
+    def __iter__(self) -> Iterator[Tuple[float, float, T]]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.points
+            else:
+                assert node.children is not None
+                stack.extend(node.children)

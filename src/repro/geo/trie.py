@@ -1,0 +1,126 @@
+"""A prefix tree (trie) over geohash strings.
+
+"Points in proximity mostly will have the same prefix so that a trie, or
+prefix tree could be used for indexing the geohash" (Section IV-B1).  The
+forward index uses this structure to answer "which indexed (geohash, term)
+cells fall under this query prefix" without scanning every entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class _TrieNode(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode[V]"] = {}
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class GeohashTrie(Generic[V]):
+    """Maps geohash strings to values with prefix-walk queries."""
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[V] = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: str) -> bool:
+        node = self._find(key)
+        return node is not None and node.has_value
+
+    def put(self, key: str, value: V) -> None:
+        """Insert or replace the value stored at ``key``."""
+        if not key:
+            raise ValueError("empty geohash key")
+        node = self._root
+        for char in key:
+            node = node.children.setdefault(char, _TrieNode())
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def get(self, key: str, default: Optional[V] = None) -> Optional[V]:
+        node = self._find(key)
+        if node is not None and node.has_value:
+            return node.value
+        return default
+
+    def remove(self, key: str) -> bool:
+        """Remove ``key``; returns True if it was present.
+
+        Empty branches are pruned so the trie does not accumulate dead
+        nodes under churn.
+        """
+        path: List[Tuple[_TrieNode[V], str]] = []
+        node = self._root
+        for char in key:
+            child = node.children.get(char)
+            if child is None:
+                return False
+            path.append((node, char))
+            node = child
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._size -= 1
+        for parent, char in reversed(path):
+            child = parent.children[char]
+            if child.has_value or child.children:
+                break
+            del parent.children[char]
+        return True
+
+    def _find(self, key: str) -> Optional[_TrieNode[V]]:
+        node = self._root
+        for char in key:
+            node = node.children.get(char)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    def items_under_prefix(self, prefix: str) -> Iterator[Tuple[str, V]]:
+        """Yield ``(key, value)`` for every stored key extending ``prefix``
+        (including ``prefix`` itself), in lexicographic — i.e. Z-order —
+        key order."""
+        start = self._find(prefix) if prefix else self._root
+        if start is None:
+            return
+        stack: List[Tuple[str, _TrieNode[V]]] = [(prefix, start)]
+        while stack:
+            key, node = stack.pop()
+            if node.has_value:
+                assert node.value is not None or node.has_value
+                yield (key, node.value)  # type: ignore[misc]
+            for char in sorted(node.children, reverse=True):
+                stack.append((key + char, node.children[char]))
+
+    def keys_under_prefix(self, prefix: str) -> Iterator[str]:
+        for key, _value in self.items_under_prefix(prefix):
+            yield key
+
+    def longest_prefix_value(self, key: str) -> Optional[V]:
+        """Value stored at the longest stored prefix of ``key``, if any."""
+        node = self._root
+        best: Optional[V] = None
+        if node.has_value:
+            best = node.value
+        for char in key:
+            node = node.children.get(char)  # type: ignore[assignment]
+            if node is None:
+                break
+            if node.has_value:
+                best = node.value
+        return best
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self.keys_under_prefix("")

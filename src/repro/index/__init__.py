@@ -1,0 +1,49 @@
+"""The hybrid spatial-keyword index of Section IV-B.
+
+Forward index in memory, inverted index on the (simulated) DFS, built by
+the MapReduce job of Algorithms 2-3.
+"""
+
+from .builder import (
+    IndexConfig,
+    IndexMapper,
+    IndexReducer,
+    build_hybrid_index,
+    rebuild_forward_index,
+    run_index_job,
+    write_partitions,
+)
+from .forward import ForwardIndex, PostingsRef
+from .hybrid import HybridIndex, IndexStats
+from .postings import (
+    ENTRY_SIZE,
+    Posting,
+    decode_postings,
+    encode_postings,
+    intersect_many,
+    intersect_two,
+    merge_postings,
+    union_many,
+)
+
+__all__ = [
+    "ENTRY_SIZE",
+    "ForwardIndex",
+    "HybridIndex",
+    "IndexConfig",
+    "IndexMapper",
+    "IndexReducer",
+    "IndexStats",
+    "Posting",
+    "PostingsRef",
+    "build_hybrid_index",
+    "decode_postings",
+    "encode_postings",
+    "intersect_many",
+    "intersect_two",
+    "merge_postings",
+    "rebuild_forward_index",
+    "run_index_job",
+    "union_many",
+    "write_partitions",
+]

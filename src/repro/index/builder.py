@@ -1,0 +1,165 @@
+"""MapReduce construction of the hybrid index (Algorithms 2 and 3).
+
+* :class:`IndexMapper` — Algorithm 2: tokenize and stem the post content,
+  filter stop words, count term frequencies, geohash the post location,
+  and emit ``((geohash, term), (timestamp, tf))``.
+* :class:`IndexReducer` — Algorithm 3: gather the postings of each
+  ``(geohash, term)`` key, sort them by timestamp, and emit the list.
+* :func:`build_hybrid_index` — runs the job, writes each reduce
+  partition's (key-sorted) postings into a DFS part file, and builds the
+  in-memory forward index recording each list's position, mirroring the
+  second MapReduce job of Section IV-B2.
+
+Because reduce output is key-sorted and keys lead with the geohash,
+postings for nearby cells with the same prefix land contiguously in the
+part files — the locality property the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.model import Post
+from ..dfs.cluster import DFSCluster
+from ..geo import geohash as geohash_mod
+from ..mapreduce import Job, JobResult, Mapper, MapReduceRuntime, Reducer
+from ..text.analyzer import Analyzer
+from .forward import ForwardIndex, PostingsRef
+from .postings import Posting, encode_postings
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Knobs of the hybrid index build.
+
+    ``partitioning`` selects how ``(geohash, term)`` keys map to reduce
+    partitions (and hence part files): ``"hash"`` scatters keys evenly,
+    ``"range"`` keeps nearby cells in the same partition — the locality
+    layout Section IV-B1 argues for (see :mod:`repro.index.locality`).
+    """
+
+    geohash_length: int = 4
+    num_map_tasks: int = 4
+    num_reduce_tasks: int = 4
+    workers: int = 1
+    output_prefix: str = "/index"
+    partitioning: str = "hash"
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.geohash_length <= geohash_mod.MAX_LENGTH:
+            raise ValueError(f"geohash_length out of range: {self.geohash_length}")
+        if self.partitioning not in ("hash", "range"):
+            raise ValueError(
+                f"partitioning must be 'hash' or 'range': {self.partitioning!r}")
+
+
+class IndexMapper(Mapper):
+    """Algorithm 2.  Input records are ``(sid, Post)``; emits
+    ``((geohash, term), (timestamp, tf))``."""
+
+    def __init__(self, analyzer: Analyzer, geohash_length: int) -> None:
+        self._analyzer = analyzer
+        self._length = geohash_length
+
+    def map(self, key, value, emit, context) -> None:
+        post: Post = value
+        # Posts may arrive pre-analysed (words already normalised) or raw.
+        if post.words:
+            frequencies = post.word_bag()
+        else:
+            frequencies = self._analyzer.term_frequencies(post.text)
+        if not frequencies:
+            return
+        lat, lon = post.location
+        cell = geohash_mod.encode(lat, lon, self._length)
+        for term, tf in frequencies.items():
+            emit((cell, term), (post.timestamp, tf))
+
+
+class IndexReducer(Reducer):
+    """Algorithm 3: sort each key's postings by timestamp and emit the
+    final list."""
+
+    def reduce(self, key, values, emit, context) -> None:
+        postings: List[Posting] = sorted(values)
+        emit(key, postings)
+
+
+def run_index_job(posts: Iterable[Post], analyzer: Analyzer,
+                  config: IndexConfig) -> JobResult:
+    """Run the Algorithm 2/3 MapReduce job and return its raw result."""
+    inputs = [(post.sid, post) for post in posts]
+    if config.partitioning == "range":
+        from .locality import GeohashRangePartitioner
+        partitioner = GeohashRangePartitioner()
+    else:
+        from ..mapreduce.types import HashPartitioner
+        partitioner = HashPartitioner()
+    job = Job(
+        name="hybrid-index-build",
+        mapper_factory=lambda: IndexMapper(analyzer, config.geohash_length),
+        reducer_factory=IndexReducer,
+        inputs=inputs,
+        num_map_tasks=config.num_map_tasks,
+        num_reduce_tasks=config.num_reduce_tasks,
+        partitioner=partitioner,
+    )
+    return MapReduceRuntime(workers=config.workers).run(job)
+
+
+def write_partitions(result: JobResult, cluster: DFSCluster,
+                     config: IndexConfig) -> ForwardIndex:
+    """Write each reduce partition to a DFS part file and build the
+    forward index of postings-list positions (the second MapReduce job
+    of Section IV-B2, which "keeps track of the position of each
+    postings list in HDFS")."""
+    forward = ForwardIndex()
+    for partition_no, pairs in enumerate(result.outputs):
+        path = f"{config.output_prefix}/part-{partition_no:05d}"
+        with cluster.create(path) as writer:
+            for (cell, term), postings in pairs:
+                data = encode_postings(postings)
+                offset = writer.write(data)
+                forward.add(cell, term,
+                            PostingsRef(path, offset, len(data), len(postings)))
+    return forward
+
+
+def build_hybrid_index(posts: Iterable[Post], cluster: DFSCluster,
+                       analyzer: Optional[Analyzer] = None,
+                       config: Optional[IndexConfig] = None
+                       ) -> Tuple[ForwardIndex, JobResult]:
+    """End-to-end index construction: MapReduce build + DFS write +
+    forward index.  Returns ``(forward_index, job_result)`` — the job
+    result carries the counters experiments report."""
+    if analyzer is None:
+        analyzer = Analyzer()
+    if config is None:
+        config = IndexConfig()
+    result = run_index_job(posts, analyzer, config)
+    forward = write_partitions(result, cluster, config)
+    return forward, result
+
+
+def rebuild_forward_index(cluster: DFSCluster, result: JobResult,
+                          config: IndexConfig) -> ForwardIndex:
+    """Reconstruct the forward index by re-scanning the part files'
+    logical layout.  Exercises the recovery path: positions are recomputed
+    from list lengths in partition order, then verified against the DFS
+    file sizes."""
+    forward = ForwardIndex()
+    for partition_no, pairs in enumerate(result.outputs):
+        path = f"{config.output_prefix}/part-{partition_no:05d}"
+        offset = 0
+        for (cell, term), postings in pairs:
+            data_length = len(postings) * 12
+            forward.add(cell, term,
+                        PostingsRef(path, offset, data_length, len(postings)))
+            offset += data_length
+        actual = cluster.file_size(path)
+        if actual != offset:
+            raise RuntimeError(
+                f"forward-index rebuild mismatch for {path}: "
+                f"computed {offset} bytes, file has {actual}")
+    return forward

@@ -1,0 +1,130 @@
+"""The forward index: ``(geohash, term) -> postings-list location``.
+
+Section IV-B1: "Each entry in the forward index is in the format of
+``<ge_i, kw_i>`` ... The forward index associates each of its entry to a
+postings list in the inverted index that is stored in Hadoop HDFS ...
+the forward index size is less than 12 MB ... Therefore, it is kept in
+the main memory."
+
+Entries map to a :class:`PostingsRef` — the DFS file, byte offset, length
+and entry count of the postings list — following the postings-forward-
+index design of Lin et al. [16].  A per-term geohash trie supports
+prefix queries (all indexed cells under a coarser prefix).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..geo.trie import GeohashTrie
+
+
+@dataclass(frozen=True)
+class PostingsRef:
+    """Location of one postings list inside the DFS-resident inverted
+    index."""
+
+    path: str
+    offset: int
+    length: int
+    count: int  # number of postings entries
+
+
+class ForwardIndex:
+    """In-memory map from ``(geohash, term)`` to :class:`PostingsRef`."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], PostingsRef] = {}
+        self._term_tries: Dict[str, GeohashTrie] = {}
+        self._cell_terms: Dict[str, Set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, geohash: str, term: str, ref: PostingsRef) -> None:
+        key = (geohash, term)
+        if key in self._entries:
+            raise ValueError(f"duplicate forward-index entry {key}")
+        self._entries[key] = ref
+        trie = self._term_tries.get(term)
+        if trie is None:
+            trie = GeohashTrie()
+            self._term_tries[term] = trie
+        trie.put(geohash, ref)
+        self._cell_terms.setdefault(geohash, set()).add(term)
+
+    def lookup(self, geohash: str, term: str) -> Optional[PostingsRef]:
+        """Exact ``(geohash, term)`` lookup — the fetch at line 6 of
+        Algorithms 4/5."""
+        return self._entries.get((geohash, term))
+
+    def lookup_prefix(self, prefix: str, term: str) -> List[Tuple[str, PostingsRef]]:
+        """All indexed cells for ``term`` underneath geohash ``prefix``.
+
+        Lets a coarse-cover query reach an index built at a finer
+        encoding length.
+        """
+        trie = self._term_tries.get(term)
+        if trie is None:
+            return []
+        return list(trie.items_under_prefix(prefix))
+
+    def terms_in_cell(self, geohash: str) -> Set[str]:
+        return set(self._cell_terms.get(geohash, set()))
+
+    def cells_for_term(self, term: str) -> List[str]:
+        trie = self._term_tries.get(term)
+        if trie is None:
+            return []
+        return list(trie.keys_under_prefix(""))
+
+    def vocabulary(self) -> Set[str]:
+        return set(self._term_tries)
+
+    def items(self) -> Iterator[Tuple[Tuple[str, str], PostingsRef]]:
+        yield from self._entries.items()
+
+    def size_bytes(self) -> int:
+        """Approximate resident size if serialised: the quantity the
+        paper keeps under 12 MB to justify holding it in RAM."""
+        total = 0
+        for (geohash, term), ref in self._entries.items():
+            total += len(geohash) + len(term) + 2  # keys + separators
+            total += len(ref.path) + 8 + 4 + 4     # path, offset, length, count
+        return total
+
+    # -- serialisation (so the forward index can be persisted / shipped) ---
+
+    _HEADER = struct.Struct("<I")
+
+    def serialize(self) -> bytes:
+        """Compact binary serialisation."""
+        out = bytearray()
+        out.extend(self._HEADER.pack(len(self._entries)))
+        for (geohash, term), ref in sorted(self._entries.items()):
+            for text in (geohash, term, ref.path):
+                encoded = text.encode()
+                out.extend(struct.pack("<H", len(encoded)))
+                out.extend(encoded)
+            out.extend(struct.pack("<QII", ref.offset, ref.length, ref.count))
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "ForwardIndex":
+        index = cls()
+        (count,) = cls._HEADER.unpack_from(data, 0)
+        position = cls._HEADER.size
+        for _ in range(count):
+            fields = []
+            for _field in range(3):
+                (length,) = struct.unpack_from("<H", data, position)
+                position += 2
+                fields.append(data[position:position + length].decode())
+                position += length
+            offset, length, entry_count = struct.unpack_from("<QII", data, position)
+            position += struct.calcsize("<QII")
+            geohash, term, path = fields
+            index.add(geohash, term, PostingsRef(path, offset, length, entry_count))
+        return index

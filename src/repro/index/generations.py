@@ -1,0 +1,190 @@
+"""Periodic batch ingestion: generational hybrid indexes.
+
+Section IV-A: "we can periodically (e.g., one day) collect the spatial
+tweets and then build the index for these tweets" — the system is
+batch-oriented, so new data arrives as whole batches, not single-tweet
+updates (contrast with the real-time systems of Section VII-B).
+
+:class:`GenerationalIndex` implements that lifecycle:
+
+* ``ingest(posts)`` — builds a fresh hybrid-index *generation* for the
+  batch (its own MapReduce job and DFS part files under a per-generation
+  prefix) and appends the batch's records to the shared metadata
+  database;
+* ``postings(cell, term)`` — merges the tid-sorted postings of every
+  live generation (tweets are globally unique, so the merge is a simple
+  sorted union);
+* ``compact()`` — rebuilds all live generations into a single one,
+  reclaiming per-generation lookup overhead (the paper's daily rebuild).
+
+Queries through :class:`GenerationalIndex` are answer-identical to a
+single monolithic build over the concatenated batches — a fact the tests
+verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.model import Post
+from ..dfs.cluster import DFSCluster
+from ..geo.cover import circle_cover
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..text.analyzer import Analyzer
+from .builder import IndexConfig, build_hybrid_index
+from .hybrid import HybridIndex
+from .postings import Posting, merge_postings
+
+
+@dataclass
+class Generation:
+    """One ingested batch."""
+
+    number: int
+    index: HybridIndex
+    post_count: int
+
+
+class GenerationalIndex:
+    """A stack of hybrid-index generations with merged query access.
+
+    Exposes the same query surface as :class:`HybridIndex`
+    (``cover`` / ``postings`` / ``postings_for_query``), so the query
+    processors can run against it unchanged.
+    """
+
+    def __init__(self, cluster: DFSCluster,
+                 analyzer: Optional[Analyzer] = None,
+                 config: Optional[IndexConfig] = None) -> None:
+        self.cluster = cluster
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.base_config = config if config is not None else IndexConfig()
+        self._generations: List[Generation] = []
+        self._next_number = 0
+        self.compactions = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _generation_config(self, number: int) -> IndexConfig:
+        return IndexConfig(
+            geohash_length=self.base_config.geohash_length,
+            num_map_tasks=self.base_config.num_map_tasks,
+            num_reduce_tasks=self.base_config.num_reduce_tasks,
+            workers=self.base_config.workers,
+            output_prefix=f"{self.base_config.output_prefix}/gen-{number:05d}",
+            partitioning=self.base_config.partitioning,
+        )
+
+    def ingest(self, posts: Iterable[Post]) -> Generation:
+        """Build one new generation from a batch of posts."""
+        posts = list(posts)
+        if not posts:
+            raise ValueError("cannot ingest an empty batch")
+        number = self._next_number
+        self._next_number += 1
+        config = self._generation_config(number)
+        forward, _result = build_hybrid_index(posts, self.cluster,
+                                              self.analyzer, config)
+        index = HybridIndex(forward, self.cluster, config, self.analyzer)
+        generation = Generation(number, index, len(posts))
+        self._generations.append(generation)
+        return generation
+
+    @property
+    def generations(self) -> List[Generation]:
+        return list(self._generations)
+
+    @property
+    def generation_count(self) -> int:
+        return len(self._generations)
+
+    @property
+    def post_count(self) -> int:
+        return sum(generation.post_count for generation in self._generations)
+
+    # -- queries (HybridIndex-compatible surface) ----------------------------
+
+    @property
+    def geohash_length(self) -> int:
+        return self.base_config.geohash_length
+
+    def cover(self, location: Tuple[float, float], radius_km: float,
+              metric: Metric = DEFAULT_METRIC) -> List[str]:
+        return circle_cover(location, radius_km,
+                            self.base_config.geohash_length, metric)
+
+    def postings(self, cell: str, term: str) -> List[Posting]:
+        """Merged tid-sorted postings across all generations."""
+        per_generation = [generation.index.postings(cell, term)
+                          for generation in self._generations]
+        non_empty = [postings for postings in per_generation if postings]
+        if not non_empty:
+            return []
+        if len(non_empty) == 1:
+            return non_empty[0]
+        return merge_postings(non_empty)
+
+    def postings_for_query(self, cells: List[str], terms: List[str]
+                           ) -> Dict[str, Dict[str, List[Posting]]]:
+        result: Dict[str, Dict[str, List[Posting]]] = {}
+        for cell in cells:
+            per_term: Dict[str, List[Posting]] = {}
+            for term in terms:
+                postings = self.postings(cell, term)
+                if postings:
+                    per_term[term] = postings
+            if per_term:
+                result[cell] = per_term
+        return result
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self, posts: Iterable[Post]) -> Generation:
+        """Merge all generations into one fresh build over ``posts``
+        (the caller supplies the full post set — the paper's setting
+        re-reads the day's collected tweets from the central store).
+
+        Old generations' DFS files are deleted.
+        """
+        posts = list(posts)
+        old = self._generations
+        self._generations = []
+        generation = self.ingest(posts)
+        for stale in old:
+            prefix = stale.index.config.output_prefix
+            for path in self.cluster.list_files(prefix):
+                self.cluster.delete(path)
+        self.compactions += 1
+        return generation
+
+    # -- reporting ----------------------------------------------------------
+
+    def inverted_size_bytes(self) -> int:
+        return sum(generation.index.inverted_size_bytes()
+                   for generation in self._generations)
+
+    def forward_size_bytes(self) -> int:
+        return sum(generation.index.forward_size_bytes()
+                   for generation in self._generations)
+
+    def reset_stats(self) -> None:
+        for generation in self._generations:
+            generation.index.reset_stats()
+
+    @property
+    def stats(self):
+        """Aggregate per-generation fetch statistics."""
+        @dataclass
+        class _Aggregate:
+            postings_fetches: int = 0
+            postings_entries_read: int = 0
+            bytes_read: int = 0
+
+        total = _Aggregate()
+        for generation in self._generations:
+            stats = generation.index.stats
+            total.postings_fetches += stats.postings_fetches
+            total.postings_entries_read += stats.postings_entries_read
+            total.bytes_read += stats.bytes_read
+        return total

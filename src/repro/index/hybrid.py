@@ -1,0 +1,140 @@
+"""The hybrid index facade used by query processing.
+
+Bundles the in-memory forward index, the DFS cluster holding the inverted
+index, and the build configuration.  Query algorithms call
+:meth:`HybridIndex.postings` per ``(cell, keyword)`` pair (Algorithms 4/5,
+line 6); reads go through DFS positional reads, with an optional
+postings cache (the paper switches HDFS caches *off* for its experiments,
+so the cache defaults to disabled).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.model import Post
+from ..dfs.cluster import DFSCluster
+from ..geo.cover import circle_cover
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..text.analyzer import Analyzer
+from .builder import IndexConfig, build_hybrid_index
+from .forward import ForwardIndex
+from .postings import Posting, decode_postings
+
+
+@dataclass
+class IndexStats:
+    """Counters for one index instance's query-time behaviour."""
+
+    postings_fetches: int = 0
+    postings_entries_read: int = 0
+    bytes_read: int = 0
+    cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.postings_fetches = 0
+        self.postings_entries_read = 0
+        self.bytes_read = 0
+        self.cache_hits = 0
+
+
+class HybridIndex:
+    """Forward index (RAM) + inverted index (DFS)."""
+
+    def __init__(self, forward: ForwardIndex, cluster: DFSCluster,
+                 config: IndexConfig, analyzer: Analyzer,
+                 cache_size: int = 0) -> None:
+        self.forward = forward
+        self.cluster = cluster
+        self.config = config
+        self.analyzer = analyzer
+        self.stats = IndexStats()
+        self._readers: Dict[str, object] = {}
+        self._cache: "OrderedDict[Tuple[str, str], List[Posting]]" = OrderedDict()
+        self._cache_size = cache_size
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, posts: Iterable[Post], cluster: Optional[DFSCluster] = None,
+              analyzer: Optional[Analyzer] = None,
+              config: Optional[IndexConfig] = None,
+              cache_size: int = 0) -> "HybridIndex":
+        """Build the full hybrid index over ``posts``."""
+        if cluster is None:
+            from ..dfs.cluster import paper_cluster
+            cluster = paper_cluster()
+        if analyzer is None:
+            analyzer = Analyzer()
+        if config is None:
+            config = IndexConfig()
+        forward, _result = build_hybrid_index(posts, cluster, analyzer, config)
+        return cls(forward, cluster, config, analyzer, cache_size)
+
+    # -- lookups ----------------------------------------------------------
+
+    @property
+    def geohash_length(self) -> int:
+        return self.config.geohash_length
+
+    def cover(self, location: Tuple[float, float], radius_km: float,
+              metric: Metric = DEFAULT_METRIC) -> List[str]:
+        """``GeoHashCircleQuery(q, r)`` at this index's encoding length."""
+        return circle_cover(location, radius_km, self.config.geohash_length, metric)
+
+    def postings(self, cell: str, term: str) -> List[Posting]:
+        """Fetch the postings list for ``(cell, term)``; empty when the
+        pair is unindexed."""
+        if self._cache_size > 0:
+            cached = self._cache.get((cell, term))
+            if cached is not None:
+                self._cache.move_to_end((cell, term))
+                self.stats.cache_hits += 1
+                return cached
+        ref = self.forward.lookup(cell, term)
+        if ref is None:
+            return []
+        reader = self._readers.get(ref.path)
+        if reader is None:
+            reader = self.cluster.open(ref.path)
+            self._readers[ref.path] = reader
+        data = reader.pread(ref.offset, ref.length)  # type: ignore[attr-defined]
+        postings = decode_postings(data)
+        self.stats.postings_fetches += 1
+        self.stats.postings_entries_read += len(postings)
+        self.stats.bytes_read += len(data)
+        if self._cache_size > 0:
+            self._cache[(cell, term)] = postings
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return postings
+
+    def postings_for_query(self, cells: List[str], terms: List[str]
+                           ) -> Dict[str, Dict[str, List[Posting]]]:
+        """Lines 4-7 of Algorithms 4/5: fetch the postings list for every
+        ``(cell, term)`` pair, grouped by cell then term."""
+        result: Dict[str, Dict[str, List[Posting]]] = {}
+        for cell in cells:
+            per_term: Dict[str, List[Posting]] = {}
+            for term in terms:
+                postings = self.postings(cell, term)
+                if postings:
+                    per_term[term] = postings
+            if per_term:
+                result[cell] = per_term
+        return result
+
+    # -- reporting ----------------------------------------------------------
+
+    def inverted_size_bytes(self) -> int:
+        """Logical size of the inverted index on DFS (Fig 6's quantity)."""
+        return sum(self.cluster.file_size(path)
+                   for path in self.cluster.list_files(self.config.output_prefix))
+
+    def forward_size_bytes(self) -> int:
+        return self.forward.size_bytes()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

@@ -1,0 +1,116 @@
+"""Geohash range partitioning and the data-locality experiment.
+
+Section IV-B1: "data indexed by geohash will have all points for a given
+rectangular area in contiguous slices. In a distributed environment,
+data indexed by geohash will have all points for a given rectangular
+area in one computer. Such advantage could save I/O and communication
+cost in query evaluation."
+
+The default MapReduce partitioner hashes ``(geohash, term)`` keys, which
+scatters a query region's postings across every part file (and hence
+every datanode).  :class:`GeohashRangePartitioner` instead range-
+partitions on the geohash, so one query's cover cells concentrate in
+one or two part files — the locality the paper banks on.
+
+:func:`measure_query_locality` quantifies the difference: for a query
+workload, it reports how many distinct part files and datanodes each
+query touches under a given index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..dfs.cluster import DFSCluster
+from ..geo.geohash import BASE32
+from ..mapreduce.types import Partitioner
+from .hybrid import HybridIndex
+
+_CHAR_RANK = {char: rank for rank, char in enumerate(BASE32)}
+
+
+class GeohashRangePartitioner(Partitioner):
+    """Range-partitions composite ``(geohash, term)`` keys on the
+    geohash's position in Z-order.
+
+    The geohash string is read as a base-32 fraction in [0, 1); the
+    partition is that fraction scaled by the partition count.  Nearby
+    cells — sharing prefixes — therefore land in the same partition,
+    keeping a query region's postings contiguous.
+    """
+
+    def partition(self, key, num_partitions: int) -> int:
+        geohash = key[0] if isinstance(key, tuple) else str(key)
+        fraction = 0.0
+        scale = 1.0 / 32.0
+        for char in geohash:
+            rank = _CHAR_RANK.get(char)
+            if rank is None:
+                raise ValueError(f"non-geohash character {char!r} in key {key!r}")
+            fraction += rank * scale
+            scale /= 32.0
+        index = int(fraction * num_partitions)
+        return min(index, num_partitions - 1)
+
+
+@dataclass
+class LocalityReport:
+    """Per-query locality statistics, averaged over a workload."""
+
+    queries: int
+    mean_part_files: float
+    mean_datanodes: float
+    max_part_files: int
+    max_datanodes: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "queries": self.queries,
+            "mean_part_files": self.mean_part_files,
+            "mean_datanodes": self.mean_datanodes,
+            "max_part_files": self.max_part_files,
+            "max_datanodes": self.max_datanodes,
+        }
+
+
+def _datanode_read_counts(cluster: DFSCluster) -> Dict[str, int]:
+    return {node.node_id: node.stats.blocks_read + node.stats.partial_reads
+            for node in cluster.datanodes}
+
+
+def measure_query_locality(index: HybridIndex,
+                           queries: Sequence[Tuple[Tuple[float, float],
+                                                   float, List[str]]]
+                           ) -> LocalityReport:
+    """For each ``(location, radius_km, terms)`` query, fetch all its
+    postings and record how many distinct part files and datanodes
+    served it."""
+    part_file_counts: List[int] = []
+    datanode_counts: List[int] = []
+    for location, radius_km, terms in queries:
+        cells = index.cover(location, radius_km)
+        before = _datanode_read_counts(index.cluster)
+        paths = set()
+        for cell in cells:
+            for term in terms:
+                ref = index.forward.lookup(cell, term)
+                if ref is None:
+                    continue
+                paths.add(ref.path)
+                index.postings(cell, term)
+        after = _datanode_read_counts(index.cluster)
+        touched = sum(1 for node_id in after
+                      if after[node_id] > before.get(node_id, 0))
+        part_file_counts.append(len(paths))
+        datanode_counts.append(touched)
+    count = len(queries)
+    if count == 0:
+        return LocalityReport(0, 0.0, 0.0, 0, 0)
+    return LocalityReport(
+        queries=count,
+        mean_part_files=sum(part_file_counts) / count,
+        mean_datanodes=sum(datanode_counts) / count,
+        max_part_files=max(part_file_counts),
+        max_datanodes=max(datanode_counts),
+    )

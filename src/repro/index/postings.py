@@ -1,0 +1,159 @@
+"""Postings lists: ``(tid, tf)`` pairs sorted by tweet id.
+
+"Each entry in a postings list is a pair <TID, TF>. Specifically, TID is
+the tweet ID that is essentially the tweet timestamp and TF represents
+the term frequency" (Section IV-B1).  Postings are kept sorted by TID
+(Algorithm 3 sorts before emitting) so that "the subsequent intersection
+operations on the sorted postings can be very efficient".
+
+Binary layout: consecutive 12-byte entries ``<qI`` (int64 tid, uint32 tf).
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Posting = Tuple[int, int]  # (tid, tf)
+
+_ENTRY = struct.Struct("<qI")
+
+ENTRY_SIZE = _ENTRY.size
+
+
+def encode_postings(postings: Sequence[Posting]) -> bytes:
+    """Serialise a tid-sorted postings list to bytes."""
+    out = bytearray()
+    previous = None
+    for tid, tf in postings:
+        if previous is not None and tid < previous:
+            raise ValueError(f"postings not sorted: {tid} after {previous}")
+        previous = tid
+        out.extend(_ENTRY.pack(tid, tf))
+    return bytes(out)
+
+
+def decode_postings(data: bytes) -> List[Posting]:
+    """Inverse of :func:`encode_postings`."""
+    if len(data) % ENTRY_SIZE != 0:
+        raise ValueError(f"postings bytes not a multiple of {ENTRY_SIZE}: {len(data)}")
+    return [
+        _ENTRY.unpack_from(data, offset)
+        for offset in range(0, len(data), ENTRY_SIZE)
+    ]
+
+
+def _gallop(postings: Sequence[Posting], target: int, start: int) -> int:
+    """Smallest index >= start with postings[index][0] >= target, found by
+    galloping (doubling) search — efficient when list sizes are skewed."""
+    n = len(postings)
+    if start >= n or postings[start][0] >= target:
+        return start
+    step = 1
+    lo = start
+    hi = start + step
+    while hi < n and postings[hi][0] < target:
+        lo = hi
+        step *= 2
+        hi = start + step
+    hi = min(hi, n)
+    # Binary search in (lo, hi].
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if postings[mid][0] < target:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def intersect_two(a: Sequence[Posting], b: Sequence[Posting]) -> List[Tuple[int, int, int]]:
+    """Intersect two sorted postings lists.
+
+    Returns ``(tid, tf_a, tf_b)`` triples.  Uses galloping from the
+    smaller list into the larger.
+    """
+    if len(a) > len(b):
+        swapped = intersect_two(b, a)
+        return [(tid, tf_b, tf_a) for tid, tf_a, tf_b in swapped]
+    result: List[Tuple[int, int, int]] = []
+    j = 0
+    for tid, tf_a in a:
+        j = _gallop(b, tid, j)
+        if j >= len(b):
+            break
+        if b[j][0] == tid:
+            result.append((tid, tf_a, b[j][1]))
+            j += 1
+    return result
+
+
+def intersect_many(lists: Sequence[Sequence[Posting]]) -> List[Tuple[int, List[int]]]:
+    """Intersect k sorted postings lists, smallest-first.
+
+    Returns ``(tid, [tf per input list, in original order])``.
+    """
+    if not lists:
+        return []
+    if any(len(lst) == 0 for lst in lists):
+        return []
+    order = sorted(range(len(lists)), key=lambda i: len(lists[i]))
+    base_index = order[0]
+    # Accumulate as {tid: {list_index: tf}} seeded from the smallest list.
+    survivors: List[Tuple[int, Dict[int, int]]] = [
+        (tid, {base_index: tf}) for tid, tf in lists[base_index]
+    ]
+    for list_index in order[1:]:
+        current = lists[list_index]
+        next_survivors: List[Tuple[int, Dict[int, int]]] = []
+        j = 0
+        for tid, tfs in survivors:
+            j = _gallop(current, tid, j)
+            if j >= len(current):
+                break
+            if current[j][0] == tid:
+                tfs[list_index] = current[j][1]
+                next_survivors.append((tid, tfs))
+                j += 1
+        survivors = next_survivors
+        if not survivors:
+            return []
+    return [(tid, [tfs[i] for i in range(len(lists))]) for tid, tfs in survivors]
+
+
+def union_many(lists: Sequence[Sequence[Posting]]) -> List[Tuple[int, List[int]]]:
+    """Union k sorted postings lists via k-way merge.
+
+    Returns ``(tid, [tf per input list; 0 where absent])`` sorted by tid.
+    """
+    if not lists:
+        return []
+    merged: List[Tuple[int, List[int]]] = []
+    heap: List[Tuple[int, int, int]] = []  # (tid, list_index, position)
+    for list_index, lst in enumerate(lists):
+        if lst:
+            heapq.heappush(heap, (lst[0][0], list_index, 0))
+    current_tid = None
+    current_tfs: List[int] = []
+    while heap:
+        tid, list_index, position = heapq.heappop(heap)
+        if tid != current_tid:
+            if current_tid is not None:
+                merged.append((current_tid, current_tfs))
+            current_tid = tid
+            current_tfs = [0] * len(lists)
+        current_tfs[list_index] += lists[list_index][position][1]
+        if position + 1 < len(lists[list_index]):
+            heapq.heappush(heap, (lists[list_index][position + 1][0],
+                                  list_index, position + 1))
+    if current_tid is not None:
+        merged.append((current_tid, current_tfs))
+    return merged
+
+
+def merge_postings(lists: Iterable[Sequence[Posting]]) -> List[Posting]:
+    """Merge sorted postings lists for the *same* key (e.g. the same term
+    across several cover cells), summing term frequencies on tid ties."""
+    combined = union_many(list(lists))
+    return [(tid, sum(tfs)) for tid, tfs in combined]

@@ -1,0 +1,48 @@
+"""Mini MapReduce engine (Hadoop stand-in).
+
+Jobs declare mapper/combiner/reducer factories and a partitioner; the
+runtime executes map tasks, a sort-based shuffle with k-way merge, and
+reduce tasks — optionally on a thread pool — with Hadoop-style counters.
+"""
+
+from .counters import Counters
+from .io import DFSLineInputFormat, load_job_inputs, write_job_output
+from .job import Job
+from .lib import (
+    IdentityMapper,
+    IdentityReducer,
+    MaxReducer,
+    SumReducer,
+    TokenCountMapper,
+)
+from .runtime import JobResult, MapReduceRuntime, run_job
+from .types import (
+    Emitter,
+    HashPartitioner,
+    Mapper,
+    Partitioner,
+    Reducer,
+    TaskContext,
+)
+
+__all__ = [
+    "Counters",
+    "DFSLineInputFormat",
+    "Emitter",
+    "HashPartitioner",
+    "IdentityMapper",
+    "IdentityReducer",
+    "Job",
+    "JobResult",
+    "MapReduceRuntime",
+    "Mapper",
+    "MaxReducer",
+    "Partitioner",
+    "Reducer",
+    "SumReducer",
+    "TaskContext",
+    "TokenCountMapper",
+    "load_job_inputs",
+    "write_job_output",
+    "run_job",
+]

@@ -1,0 +1,37 @@
+"""Job counters, in the style of Hadoop's counter framework."""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Dict
+
+
+class Counters:
+    """Thread-safe named counters grouped by component.
+
+    The runtime maintains the standard counters (``map_input_records``,
+    ``map_output_records``, ``combine_output_records``,
+    ``shuffle_bytes``, ``reduce_input_groups``, ``reduce_output_records``);
+    user code can increment its own via :meth:`increment`.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._values)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.snapshot().items()))
+        return f"Counters({parts})"

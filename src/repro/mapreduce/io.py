@@ -1,0 +1,108 @@
+"""DFS input/output connectors for MapReduce jobs.
+
+Closes the loop of Figure 3: the crawled corpus lives in the DFS as
+JSON-lines files, and MapReduce jobs read their input splits from those
+files (one split per block, Hadoop's alignment) and can write their
+outputs back.
+
+* :class:`DFSLineInputFormat` — splits a set of DFS files into
+  block-aligned line splits and materialises each split's records;
+* :func:`load_job_inputs` — convenience: ``(path, line_no) -> line``
+  records for a whole directory, ready to hand to a
+  :class:`~repro.mapreduce.job.Job`;
+* :func:`write_job_output` — write a job's partition outputs back to
+  DFS part files as tab-separated lines.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from ..dfs.cluster import DFSCluster
+
+
+class DFSLineInputFormat:
+    """Block-aligned line splits over DFS files.
+
+    A record spanning a block boundary belongs to the split where it
+    *starts* (Hadoop's convention); the following split skips its first
+    partial line.
+    """
+
+    def __init__(self, cluster: DFSCluster) -> None:
+        self.cluster = cluster
+
+    def splits(self, paths: Sequence[str]) -> List[Tuple[str, int, int]]:
+        """Compute ``(path, start_offset, end_offset)`` splits, one per
+        block of each file."""
+        result = []
+        block_size = self.cluster.block_size
+        for path in paths:
+            size = self.cluster.file_size(path)
+            offset = 0
+            while offset < size:
+                end = min(offset + block_size, size)
+                result.append((path, offset, end))
+                offset = end
+        return result
+
+    def read_split(self, split: Tuple[str, int, int]) -> List[str]:
+        """Materialise the complete lines belonging to a split."""
+        path, start, end = split
+        reader = self.cluster.open(path)
+        # Read to the end of the file but stop emitting once a line
+        # *starts* at or beyond `end`.
+        size = reader.size
+        data = reader.pread(start, size - start)
+        text = data.decode()
+        lines: List[str] = []
+        position = start
+        buffered = text.splitlines(keepends=True)
+        # Skip the first chunk only when the split begins mid-line (the
+        # previous split owns the spanning line).  A split starting right
+        # after a newline owns its first line.
+        skip_first = start > 0 and reader.pread(start - 1, 1) != b"\n"
+        for raw in buffered:
+            line_start = position
+            position += len(raw.encode())
+            if skip_first:
+                # This line started in the previous block.
+                skip_first = False
+                continue
+            if line_start >= end:
+                break
+            line = raw.rstrip("\n")
+            if line:
+                lines.append(line)
+        return lines
+
+    def read_all(self, paths: Sequence[str]) -> List[Tuple[Hashable, str]]:
+        """All records of all files as ``((path, index), line)`` pairs in
+        split order — exactly the union of every split's lines."""
+        records: List[Tuple[Hashable, str]] = []
+        for split in self.splits(paths):
+            for index, line in enumerate(self.read_split(split)):
+                records.append(((split[0], split[1], index), line))
+        return records
+
+
+def load_job_inputs(cluster: DFSCluster, prefix: str
+                    ) -> List[Tuple[Hashable, str]]:
+    """Read every file under ``prefix`` into MapReduce input records."""
+    paths = cluster.list_files(prefix)
+    return DFSLineInputFormat(cluster).read_all(paths)
+
+
+def write_job_output(cluster: DFSCluster, prefix: str,
+                     outputs: Iterable[Sequence[Tuple[Hashable, object]]]
+                     ) -> List[str]:
+    """Write each partition's (key, value) pairs to a DFS part file as
+    tab-separated lines; returns the written paths."""
+    paths = []
+    for partition_no, pairs in enumerate(outputs):
+        path = f"{prefix}/part-{partition_no:05d}"
+        with cluster.create(path) as writer:
+            for key, value in pairs:
+                writer.write(f"{key}\t{value}\n".encode())
+        paths.append(path)
+    return paths

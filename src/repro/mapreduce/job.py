@@ -1,0 +1,61 @@
+"""Job configuration for the MapReduce engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from .types import HashPartitioner, Mapper, Partitioner, Reducer
+
+
+@dataclass
+class Job:
+    """Everything needed to run one MapReduce job.
+
+    Parameters mirror a Hadoop job configuration:
+
+    * ``mapper_factory`` / ``reducer_factory`` — zero-arg callables
+      producing fresh :class:`Mapper` / :class:`Reducer` instances, one
+      per task (tasks must not share mutable state);
+    * ``combiner_factory`` — optional map-side reducer;
+    * ``inputs`` — the input records as ``(key, value)`` pairs (an
+      in-memory stand-in for input splits read from the DFS);
+    * ``num_map_tasks`` / ``num_reduce_tasks`` — task parallelism;
+    * ``partitioner`` — key routing, default hash partitioning.
+    """
+
+    name: str
+    mapper_factory: Any
+    reducer_factory: Any
+    inputs: Sequence[Tuple[Hashable, Any]]
+    combiner_factory: Optional[Any] = None
+    num_map_tasks: int = 4
+    num_reduce_tasks: int = 4
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+
+    def validate(self) -> None:
+        if self.num_map_tasks < 1:
+            raise ValueError(f"num_map_tasks must be >= 1: {self.num_map_tasks}")
+        if self.num_reduce_tasks < 1:
+            raise ValueError(f"num_reduce_tasks must be >= 1: {self.num_reduce_tasks}")
+        probe = self.mapper_factory()
+        if not isinstance(probe, Mapper):
+            raise TypeError(f"mapper_factory must build Mapper, got {type(probe)!r}")
+        probe = self.reducer_factory()
+        if not isinstance(probe, Reducer):
+            raise TypeError(f"reducer_factory must build Reducer, got {type(probe)!r}")
+
+    def input_splits(self) -> Iterable[Sequence[Tuple[Hashable, Any]]]:
+        """Partition the input into ``num_map_tasks`` contiguous splits.
+
+        Contiguous (rather than round-robin) splitting mirrors how HDFS
+        input splits map to file blocks.
+        """
+        records = list(self.inputs)
+        if not records:
+            yield []
+            return
+        tasks = min(self.num_map_tasks, len(records))
+        split_size = (len(records) + tasks - 1) // tasks
+        for start in range(0, len(records), split_size):
+            yield records[start:start + split_size]

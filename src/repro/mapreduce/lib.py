@@ -1,0 +1,59 @@
+"""Reusable mappers and reducers (the equivalent of Hadoop's
+``mapreduce.lib``): word count, identity, sum — used in tests and by the
+data-statistics jobs (e.g. the Table II keyword-frequency job).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable
+
+from .types import Emitter, Mapper, Reducer, TaskContext
+
+
+class IdentityMapper(Mapper):
+    """Passes records through unchanged."""
+
+    def map(self, key: Hashable, value: Any, emit: Emitter,
+            context: TaskContext) -> None:
+        emit(key, value)
+
+
+class IdentityReducer(Reducer):
+    """Emits each (key, value) of the group unchanged."""
+
+    def reduce(self, key: Hashable, values: Iterable[Any], emit: Emitter,
+               context: TaskContext) -> None:
+        for value in values:
+            emit(key, value)
+
+
+class TokenCountMapper(Mapper):
+    """Emits ``(token, 1)`` for every token produced by an analyzer.
+
+    The value of each input record is expected to be raw text; the
+    analyzer is injected so tests can use a trivial one.
+    """
+
+    def __init__(self, analyzer) -> None:
+        self._analyzer = analyzer
+
+    def map(self, key: Hashable, value: Any, emit: Emitter,
+            context: TaskContext) -> None:
+        for token in self._analyzer.analyze(value):
+            emit(token, 1)
+
+
+class SumReducer(Reducer):
+    """Sums integer values per key (usable as a combiner too)."""
+
+    def reduce(self, key: Hashable, values: Iterable[Any], emit: Emitter,
+               context: TaskContext) -> None:
+        emit(key, sum(values))
+
+
+class MaxReducer(Reducer):
+    """Keeps the maximum value per key."""
+
+    def reduce(self, key: Hashable, values: Iterable[Any], emit: Emitter,
+               context: TaskContext) -> None:
+        emit(key, max(values))

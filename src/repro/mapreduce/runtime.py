@@ -1,0 +1,168 @@
+"""The MapReduce job runner.
+
+Executes a :class:`~repro.mapreduce.job.Job` through the full pipeline:
+
+1. **map** — each map task runs the mapper over its input split and
+   partitions emitted pairs by the job's partitioner;
+2. **combine** — if configured, the combiner runs over each map task's
+   sorted partition output (map-side aggregation);
+3. **shuffle** — per-partition sorted spills are merged with a k-way
+   merge, yielding each reduce task a key-sorted stream;
+4. **reduce** — groups of equal keys are reduced; outputs are collected
+   per partition in key order (Hadoop's sorted-output guarantee that
+   Section IV-B2 relies on).
+
+Map and reduce tasks can run on a thread pool (``workers > 1``) to model
+the paper's multi-node cluster; results are deterministic either way.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Sequence, Tuple
+
+from .counters import Counters
+from .job import Job
+from .shuffle import MapSpill, group_by_key, merge_spills
+from .types import TaskContext
+
+KeyValue = Tuple[Hashable, Any]
+
+
+@dataclass
+class JobResult:
+    """Outcome of a job run."""
+
+    name: str
+    outputs: List[List[KeyValue]]  # one key-sorted list per reduce partition
+    counters: Counters = field(default_factory=Counters)
+
+    def all_pairs(self) -> List[KeyValue]:
+        """All output pairs, globally sorted by key (Hadoop's part files
+        are each sorted; total order additionally needs a merge, which we
+        provide for convenience)."""
+        merged: List[KeyValue] = []
+        for partition in self.outputs:
+            merged.extend(partition)
+        merged.sort(key=lambda pair: pair[0])
+        return merged
+
+    def as_dict(self) -> Dict[Hashable, Any]:
+        """Outputs as a dict (requires unique output keys)."""
+        result: Dict[Hashable, Any] = {}
+        for key, value in self.all_pairs():
+            if key in result:
+                raise ValueError(f"duplicate output key: {key!r}")
+            result[key] = value
+        return result
+
+
+class MapReduceRuntime:
+    """Runs jobs with a configurable number of worker threads."""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        self.workers = workers
+
+    def run(self, job: Job) -> JobResult:
+        job.validate()
+        counters = Counters()
+        splits = list(job.input_splits())
+
+        if self.workers == 1:
+            map_results = [
+                self._run_map_task(job, counters, task_no, split)
+                for task_no, split in enumerate(splits)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                map_results = list(pool.map(
+                    lambda args: self._run_map_task(job, counters, *args),
+                    list(enumerate(splits))))
+
+        # Gather spills per reduce partition.
+        partitions: List[List[MapSpill]] = [[] for _ in range(job.num_reduce_tasks)]
+        for spills in map_results:
+            for partition_no, spill in enumerate(spills):
+                counters.increment("shuffle_bytes", spill.approx_bytes())
+                partitions[partition_no].append(spill)
+
+        if self.workers == 1:
+            outputs = [
+                self._run_reduce_task(job, counters, task_no, spills)
+                for task_no, spills in enumerate(partitions)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outputs = list(pool.map(
+                    lambda args: self._run_reduce_task(job, counters, *args),
+                    list(enumerate(partitions))))
+
+        return JobResult(name=job.name, outputs=outputs, counters=counters)
+
+    # -- map side ------------------------------------------------------------
+
+    def _run_map_task(self, job: Job, counters: Counters, task_no: int,
+                      split: Sequence[KeyValue]) -> List[MapSpill]:
+        context = TaskContext(f"map-{task_no:04d}", counters)
+        mapper = job.mapper_factory()
+        buckets: List[List[KeyValue]] = [[] for _ in range(job.num_reduce_tasks)]
+
+        def emit(key: Hashable, value: Any) -> None:
+            counters.increment("map_output_records")
+            partition = job.partitioner.partition(key, job.num_reduce_tasks)
+            buckets[partition].append((key, value))
+
+        mapper.setup(context)
+        for key, value in split:
+            counters.increment("map_input_records")
+            mapper.map(key, value, emit, context)
+        mapper.cleanup(emit, context)
+
+        spills = [MapSpill(bucket) for bucket in buckets]
+        if job.combiner_factory is not None:
+            spills = [self._combine(job, counters, task_no, spill)
+                      for spill in spills]
+        return spills
+
+    def _combine(self, job: Job, counters: Counters, task_no: int,
+                 spill: MapSpill) -> MapSpill:
+        context = TaskContext(f"combine-{task_no:04d}", counters)
+        combiner = job.combiner_factory()
+        combined: List[KeyValue] = []
+
+        def emit(key: Hashable, value: Any) -> None:
+            counters.increment("combine_output_records")
+            combined.append((key, value))
+
+        combiner.setup(context)
+        for key, values in group_by_key(iter(spill.pairs)):
+            combiner.reduce(key, values, emit, context)
+        combiner.cleanup(emit, context)
+        return MapSpill(combined)
+
+    # -- reduce side -----------------------------------------------------------
+
+    def _run_reduce_task(self, job: Job, counters: Counters, task_no: int,
+                         spills: List[MapSpill]) -> List[KeyValue]:
+        context = TaskContext(f"reduce-{task_no:04d}", counters)
+        reducer = job.reducer_factory()
+        output: List[KeyValue] = []
+
+        def emit(key: Hashable, value: Any) -> None:
+            counters.increment("reduce_output_records")
+            output.append((key, value))
+
+        reducer.setup(context)
+        for key, values in group_by_key(merge_spills(spills)):
+            counters.increment("reduce_input_groups")
+            reducer.reduce(key, values, emit, context)
+        reducer.cleanup(emit, context)
+        return output
+
+
+def run_job(job: Job, workers: int = 1) -> JobResult:
+    """Convenience wrapper: run one job on a fresh runtime."""
+    return MapReduceRuntime(workers=workers).run(job)

@@ -1,0 +1,72 @@
+"""The sort-based shuffle between map and reduce.
+
+Hadoop guarantees that each reduce task sees its keys in sorted order —
+the property the paper's index construction leans on: "the Hadoop
+MapReduce framework can guarantee that the key of the inverted index is
+sorted", so ``(geohash, term)`` postings for nearby cells land in
+contiguous output (Section IV-B2).
+
+Map tasks spill partitioned, sorted runs; each reduce partition merges its
+runs with a k-way merge and groups equal keys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Hashable, Iterator, List, Tuple
+
+KeyValue = Tuple[Hashable, Any]
+
+
+class MapSpill:
+    """Sorted output of one map task for one reduce partition."""
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs: List[KeyValue]) -> None:
+        # Sort by key only: values may not be comparable, and Hadoop
+        # sorts on keys (secondary sort would use composite keys).
+        self.pairs = sorted(pairs, key=lambda pair: pair[0])
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def approx_bytes(self) -> int:
+        """Rough shuffle volume estimate used for the shuffle counter."""
+        return sum(len(repr(key)) + len(repr(value)) for key, value in self.pairs)
+
+
+def merge_spills(spills: List[MapSpill]) -> Iterator[KeyValue]:
+    """K-way merge of sorted spills into one sorted (key, value) stream.
+
+    Ties across spills are broken by spill index, keeping the merge
+    stable and the stream deterministic.
+    """
+    streams = []
+    for index, spill in enumerate(spills):
+        if spill.pairs:
+            streams.append(
+                ((pair[0], index, position, pair[1])
+                 for position, pair in enumerate(spill.pairs)))
+    for key, _index, _position, value in heapq.merge(*streams):
+        yield (key, value)
+
+
+def group_by_key(stream: Iterator[KeyValue]) -> Iterator[Tuple[Hashable, List[Any]]]:
+    """Group a key-sorted stream into ``(key, [values...])`` runs."""
+    current_key: Any = None
+    values: List[Any] = []
+    first = True
+    for key, value in stream:
+        if first:
+            current_key = key
+            values = [value]
+            first = False
+        elif key == current_key:
+            values.append(value)
+        else:
+            yield (current_key, values)
+            current_key = key
+            values = [value]
+    if not first:
+        yield (current_key, values)

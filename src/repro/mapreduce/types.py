@@ -1,0 +1,77 @@
+"""Core MapReduce abstractions: mappers, reducers, partitioners.
+
+User code subclasses :class:`Mapper` and :class:`Reducer` exactly as with
+Hadoop's Java API — the paper's Algorithms 2 and 3 translate line-by-line
+into :class:`repro.index.builder.IndexMapper` / ``IndexReducer``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Tuple
+
+#: Emitted intermediate/final pairs.
+KeyValue = Tuple[Hashable, Any]
+
+#: ``emit(key, value)`` callback handed to map/reduce functions.
+Emitter = Callable[[Hashable, Any], None]
+
+
+class Mapper:
+    """Transforms one input record into zero or more (key, value) pairs."""
+
+    def setup(self, context: "TaskContext") -> None:
+        """Called once per map task before any records."""
+
+    def map(self, key: Hashable, value: Any, emit: Emitter,
+            context: "TaskContext") -> None:
+        raise NotImplementedError
+
+    def cleanup(self, emit: Emitter, context: "TaskContext") -> None:
+        """Called once per map task after all records (for in-mapper
+        combining patterns)."""
+
+
+class Reducer:
+    """Reduces all values sharing a key into zero or more output pairs."""
+
+    def setup(self, context: "TaskContext") -> None:
+        """Called once per reduce task."""
+
+    def reduce(self, key: Hashable, values: Iterable[Any], emit: Emitter,
+               context: "TaskContext") -> None:
+        raise NotImplementedError
+
+    def cleanup(self, emit: Emitter, context: "TaskContext") -> None:
+        """Called once per reduce task after the last group."""
+
+
+class Partitioner:
+    """Routes an intermediate key to a reduce partition."""
+
+    def partition(self, key: Hashable, num_partitions: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Default partitioner: stable hash of the key modulo partitions.
+
+    Python's ``hash`` on strings is salted per process, which would make
+    partition assignment non-deterministic across runs; a small FNV-1a
+    over ``repr(key)`` keeps runs reproducible.
+    """
+
+    def partition(self, key: Hashable, num_partitions: int) -> int:
+        text = repr(key).encode()
+        value = 0xCBF29CE484222325
+        for byte in text:
+            value ^= byte
+            value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return value % num_partitions
+
+
+class TaskContext:
+    """Per-task handle exposing the job's counters and task identity."""
+
+    def __init__(self, task_id: str, counters) -> None:
+        self.task_id = task_id
+        self.counters = counters

@@ -1,0 +1,38 @@
+"""Query processing: Algorithms 4 (sum) and 5 (max with upper-bound
+pruning), AND/OR semantics, bounds, and the engine facade."""
+
+from .baseline import BruteForceProcessor
+from .bounds import BoundsManager, make_bounds_manager, precompute_keyword_bounds
+from .distributed import DistributedExecutor, ScatterStats
+from .engine import EngineConfig, TkLUSEngine
+from .explain import Explainer, TweetExplanation, UserExplanation
+from .federation import FederatedEngine, FederatedResult, FederatedUser
+from .max_ranking import MaxScoreProcessor
+from .results import QueryResult, QueryStats
+from .semantics import Candidate, candidates_from_postings
+from .sum_ranking import SumScoreProcessor
+from .topk import TopKUserQueue
+
+__all__ = [
+    "BoundsManager",
+    "BruteForceProcessor",
+    "Candidate",
+    "DistributedExecutor",
+    "EngineConfig",
+    "Explainer",
+    "FederatedEngine",
+    "FederatedResult",
+    "FederatedUser",
+    "MaxScoreProcessor",
+    "QueryResult",
+    "QueryStats",
+    "ScatterStats",
+    "SumScoreProcessor",
+    "TkLUSEngine",
+    "TopKUserQueue",
+    "TweetExplanation",
+    "UserExplanation",
+    "candidates_from_postings",
+    "make_bounds_manager",
+    "precompute_keyword_bounds",
+]

@@ -1,0 +1,105 @@
+"""Upper-bound popularity management (Definition 11 and Section V-B).
+
+The max-score algorithm prunes thread construction with an upper bound
+on any candidate thread's popularity:
+
+* the **global bound** uses ``t_m``, the maximum reply fanout in the
+  database (Definition 11);
+* **hot-keyword bounds** are pre-computed offline per frequent keyword —
+  "for each top frequent keyword, a specific upper bound popularity is
+  pre-computed by offline constructing tweet threads and selecting the
+  largest thread score" — and are tighter than the global bound.
+
+For multi-keyword queries: "'AND' semantic uses the smallest upper bound
+among the query keywords whereas 'OR' semantic chooses the largest".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+from ..core.model import Dataset, Semantics
+from ..core.scoring import upper_bound_popularity
+from ..core.thread import DEFAULT_DEPTH, DEFAULT_EPSILON, DatasetThreadBuilder
+from ..storage.metadata import MetadataDatabase
+
+
+class BoundsManager:
+    """Supplies the popularity bound for a query's keywords."""
+
+    def __init__(self, global_bound: float,
+                 keyword_bounds: Optional[Dict[str, float]] = None) -> None:
+        if global_bound < 0:
+            raise ValueError(f"global bound must be non-negative: {global_bound}")
+        self.global_bound = global_bound
+        self.keyword_bounds: Dict[str, float] = dict(keyword_bounds or {})
+
+    @classmethod
+    def from_database(cls, database: MetadataDatabase,
+                      depth: int = DEFAULT_DEPTH) -> "BoundsManager":
+        """Global bound only, from the database's observed ``t_m``."""
+        return cls(upper_bound_popularity(database.max_reply_fanout, depth))
+
+    def add_keyword_bound(self, keyword: str, bound: float) -> None:
+        if bound < 0:
+            raise ValueError(f"bound must be non-negative: {bound}")
+        self.keyword_bounds[keyword] = bound
+
+    def bound_for_keyword(self, keyword: str) -> float:
+        """Specific bound when the keyword is hot, else the global bound."""
+        return self.keyword_bounds.get(keyword, self.global_bound)
+
+    def bound_for_query(self, keywords: FrozenSet[str],
+                        semantics: Semantics) -> float:
+        """Section VI-B5's combination rule.
+
+        AND takes the smallest per-keyword bound (every keyword must
+        appear, so the tightest constraint applies); OR takes the
+        largest (any single keyword could carry the match).  Queries with
+        no hot keyword fall back to the global bound on every keyword,
+        making both choices equal to it.
+        """
+        per_keyword = [self.bound_for_keyword(keyword) for keyword in keywords]
+        if not per_keyword:
+            return self.global_bound
+        if semantics is Semantics.AND:
+            return min(per_keyword)
+        return max(per_keyword)
+
+
+def precompute_keyword_bounds(dataset: Dataset, keywords: Iterable[str],
+                              depth: int = DEFAULT_DEPTH,
+                              epsilon: float = DEFAULT_EPSILON) -> Dict[str, float]:
+    """Offline pre-computation of hot-keyword bounds (Section V-B).
+
+    For each keyword, construct the thread of every tweet containing it
+    and keep the largest popularity.  Run once against the corpus; the
+    result feeds a :class:`BoundsManager`.
+    """
+    wanted = set(keywords)
+    builder = DatasetThreadBuilder(dataset, depth=depth, epsilon=epsilon)
+    bounds: Dict[str, float] = {keyword: 0.0 for keyword in wanted}
+    for post in dataset.posts.values():
+        present = wanted.intersection(post.words)
+        if not present:
+            continue
+        popularity = builder.popularity(post.sid)
+        for keyword in present:
+            if popularity > bounds[keyword]:
+                bounds[keyword] = popularity
+    return bounds
+
+
+def make_bounds_manager(database: MetadataDatabase, dataset: Optional[Dataset],
+                        hot_keywords: Iterable[str] = (),
+                        depth: int = DEFAULT_DEPTH,
+                        epsilon: float = DEFAULT_EPSILON) -> BoundsManager:
+    """Build a manager with the global bound plus (when a dataset is
+    available for offline analysis) hot-keyword bounds."""
+    manager = BoundsManager.from_database(database, depth)
+    hot = list(hot_keywords)
+    if dataset is not None and hot:
+        for keyword, bound in precompute_keyword_bounds(
+                dataset, hot, depth, epsilon).items():
+            manager.add_keyword_bound(keyword, bound)
+    return manager

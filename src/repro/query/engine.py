@@ -1,0 +1,174 @@
+"""The TkLUS engine: one object wiring every subsystem together.
+
+This is the library's primary entry point.  It owns
+
+* the **metadata database** (heap file + B+-trees) loaded with the
+  tweet relation,
+* the **hybrid index** (forward index in RAM, inverted index on the
+  simulated DFS) built by the MapReduce job,
+* the **thread builder** (Algorithm 1) with its depth bound,
+* the **bounds manager** (global + hot-keyword upper bounds), and
+* the two query processors (Algorithms 4 and 5).
+
+Typical use::
+
+    corpus = generate_corpus(num_users=2000, num_root_tweets=10000)
+    engine = TkLUSEngine.from_posts(corpus.posts)
+    query = TkLUSQuery.create((43.68, -79.37), radius_km=10,
+                              keywords=["hotel"], k=5)
+    result = engine.search(query, method="max")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..core.model import Dataset, Post, TkLUSQuery
+from ..core.scoring import ScoringConfig
+from ..core.thread import DEFAULT_DEPTH, ThreadBuilder
+from ..data.vocabulary import TABLE2_KEYWORDS
+from ..dfs.cluster import DFSCluster, paper_cluster
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..index.builder import IndexConfig
+from ..index.hybrid import HybridIndex
+from ..storage.metadata import MetadataDatabase
+from ..storage.records import TweetRecord
+from ..text.analyzer import Analyzer
+from .bounds import BoundsManager, make_bounds_manager
+from .max_ranking import MaxScoreProcessor
+from .results import QueryResult
+from .sum_ranking import SumScoreProcessor
+
+
+@dataclass
+class EngineConfig:
+    """End-to-end configuration of a TkLUS deployment."""
+
+    index: IndexConfig = field(default_factory=IndexConfig)
+    scoring: ScoringConfig = field(default_factory=ScoringConfig)
+    thread_depth: int = DEFAULT_DEPTH
+    hot_keywords: Sequence[str] = field(
+        default_factory=lambda: list(TABLE2_KEYWORDS))
+    pool_size: int = 512
+    thread_cache: bool = True
+
+
+class TkLUSEngine:
+    """A fully wired TkLUS query system."""
+
+    def __init__(self, database: MetadataDatabase, index: HybridIndex,
+                 thread_builder: ThreadBuilder, bounds: BoundsManager,
+                 config: EngineConfig, metric: Metric = DEFAULT_METRIC) -> None:
+        self.database = database
+        self.index = index
+        self.threads = thread_builder
+        self.bounds = bounds
+        self.config = config
+        self.metric = metric
+        self._sum = SumScoreProcessor(index, database, thread_builder,
+                                      config.scoring, metric)
+        self._max = MaxScoreProcessor(index, database, thread_builder, bounds,
+                                      config.scoring, metric)
+
+    @classmethod
+    def from_posts(cls, posts: Iterable[Post],
+                   config: Optional[EngineConfig] = None,
+                   cluster: Optional[DFSCluster] = None,
+                   analyzer: Optional[Analyzer] = None,
+                   metric: Metric = DEFAULT_METRIC,
+                   precompute_bounds: bool = True) -> "TkLUSEngine":
+        """Stand up the full system from a post collection.
+
+        Builds the metadata database, the hybrid index (via MapReduce onto
+        the DFS cluster), the thread builder and — when
+        ``precompute_bounds`` — the offline hot-keyword popularity bounds.
+        """
+        if config is None:
+            config = EngineConfig()
+        if cluster is None:
+            cluster = paper_cluster()
+        if analyzer is None:
+            analyzer = Analyzer()
+        posts = list(posts)
+
+        database = MetadataDatabase.in_memory(pool_size=config.pool_size)
+        for post in posts:
+            database.insert(TweetRecord(
+                sid=post.sid, uid=post.uid,
+                lat=post.location[0], lon=post.location[1],
+                ruid=post.ruid if post.ruid is not None else -1,
+                rsid=post.rsid if post.rsid is not None else -1))
+
+        index = HybridIndex.build(posts, cluster, analyzer, config.index)
+
+        thread_builder = ThreadBuilder(database, depth=config.thread_depth,
+                                       epsilon=config.scoring.epsilon,
+                                       cache=config.thread_cache)
+
+        dataset: Optional[Dataset] = None
+        if precompute_bounds and config.hot_keywords:
+            dataset = Dataset()
+            dataset.extend(posts)
+        hot_terms = analyzer.analyze_query_keywords(config.hot_keywords)
+        bounds = make_bounds_manager(database, dataset, hot_terms,
+                                     depth=config.thread_depth,
+                                     epsilon=config.scoring.epsilon)
+        return cls(database, index, thread_builder, bounds, config, metric)
+
+    # -- search ----------------------------------------------------------
+
+    def search(self, query: TkLUSQuery, method: str = "max") -> QueryResult:
+        """Run a TkLUS query.
+
+        ``method`` is ``"sum"`` (Algorithm 4) or ``"max"`` (Algorithm 5).
+        """
+        if method == "sum":
+            return self._sum.search(query)
+        if method == "max":
+            return self._max.search(query)
+        raise ValueError(f"unknown ranking method {method!r} "
+                         "(expected 'sum' or 'max')")
+
+    def search_sum(self, query: TkLUSQuery) -> QueryResult:
+        return self._sum.search(query)
+
+    def search_max(self, query: TkLUSQuery) -> QueryResult:
+        return self._max.search(query)
+
+    def make_query(self, location, radius_km: float, keywords,
+                   k: int = 10, semantics=None) -> TkLUSQuery:
+        """Build a query whose keywords are normalised with this engine's
+        analyzer."""
+        from ..core.model import Semantics
+        if semantics is None:
+            semantics = Semantics.OR
+        return TkLUSQuery.create(location, radius_km, keywords, k, semantics,
+                                 analyzer=self.index.analyzer)
+
+    # -- introspection -------------------------------------------------------
+
+    def processor(self, method: str, use_pruning: bool = True):
+        """Expose a raw processor (for ablations).  A fresh
+        :class:`MaxScoreProcessor` is returned when pruning is disabled so
+        the shared one keeps its configuration."""
+        if method == "sum":
+            return self._sum
+        if method == "max":
+            if use_pruning:
+                return self._max
+            return MaxScoreProcessor(self.index, self.database, self.threads,
+                                     self.bounds, self.config.scoring,
+                                     self.metric, use_pruning=False)
+        raise ValueError(f"unknown ranking method {method!r}")
+
+    def index_report(self) -> dict:
+        """Sizes and build facts for the index experiments (Figs 5-6)."""
+        return {
+            "geohash_length": self.index.geohash_length,
+            "forward_entries": len(self.index.forward),
+            "forward_bytes": self.index.forward_size_bytes(),
+            "inverted_bytes": self.index.inverted_size_bytes(),
+            "dfs_stored_bytes": self.index.cluster.total_stored_bytes(),
+            "tweets": len(self.database),
+        }

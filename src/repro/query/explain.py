@@ -1,0 +1,177 @@
+"""Score explanations: why did a user rank where they did?
+
+A recommendation system answering "who should I contact about X near
+here" needs to justify its answers — the user study's raters judged
+``(userId, tweet content)`` lines for exactly this reason.  The explain
+API decomposes a user's score for a query into the paper's terms:
+
+* each matching in-radius tweet with its distance, distance score
+  (Definition 5), thread level sizes and popularity (Definition 4),
+  keyword occurrences and relevance contribution (Definition 6);
+* the keyword aggregate under both Definition 7 (sum) and Definition 8
+  (max);
+* the user distance score over all their posts (Definition 9);
+* the final blended scores (Definition 10).
+
+The explanation recomputes from first principles against the dataset
+(not the index), so tests can also use it as a cross-check of the
+engine's scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.model import Dataset, Semantics, TkLUSQuery
+from ..core.scoring import (
+    ScoringConfig,
+    distance_score,
+    keyword_match_count,
+    user_distance_score,
+    user_score,
+)
+from ..core.thread import DatasetThreadBuilder
+from ..geo.distance import DEFAULT_METRIC, Metric
+
+
+@dataclass
+class TweetExplanation:
+    """One matching tweet's contribution."""
+
+    sid: int
+    text: str
+    distance_km: float
+    distance_score: float       # Definition 5
+    keyword_occurrences: int    # |q.W ∩ p.W|, bag model
+    thread_levels: List[int]    # |T_1|, |T_2|, ...
+    popularity: float           # Definition 4
+    relevance: float            # Definition 6
+
+    def describe(self) -> str:
+        return (f"tweet {self.sid}: {self.keyword_occurrences} keyword "
+                f"hit(s), thread levels {self.thread_levels} -> "
+                f"popularity {self.popularity:.3f}, "
+                f"{self.distance_km:.2f} km away -> "
+                f"relevance {self.relevance:.4f}")
+
+
+@dataclass
+class UserExplanation:
+    """The full decomposition of a user's score for one query."""
+
+    uid: int
+    query_keywords: List[str]
+    tweets: List[TweetExplanation] = field(default_factory=list)
+    total_posts: int = 0
+    sum_keyword_score: float = 0.0      # Definition 7 (in-radius scope)
+    max_keyword_score: float = 0.0      # Definition 8
+    distance_part: float = 0.0          # Definition 9
+    sum_user_score: float = 0.0         # Definition 10 with rho_s
+    max_user_score: float = 0.0         # Definition 10 with rho_m
+
+    @property
+    def matching_tweets(self) -> int:
+        return len(self.tweets)
+
+    def describe(self) -> str:
+        lines = [
+            f"user {self.uid}: {self.matching_tweets} matching in-radius "
+            f"tweet(s) of {self.total_posts} total post(s)",
+        ]
+        for tweet in self.tweets:
+            lines.append("  " + tweet.describe())
+        lines.append(
+            f"  keyword score: sum={self.sum_keyword_score:.4f} "
+            f"max={self.max_keyword_score:.4f}")
+        lines.append(f"  distance score delta(u,q)={self.distance_part:.4f} "
+                     f"(avg over all {self.total_posts} posts)")
+        lines.append(
+            f"  final: sum-ranking {self.sum_user_score:.4f}, "
+            f"max-ranking {self.max_user_score:.4f}")
+        return "\n".join(lines)
+
+
+class Explainer:
+    """Builds :class:`UserExplanation` objects against a dataset."""
+
+    def __init__(self, dataset: Dataset,
+                 config: ScoringConfig = ScoringConfig(),
+                 metric: Metric = DEFAULT_METRIC, depth: int = 6) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.metric = metric
+        self.threads = DatasetThreadBuilder(dataset, depth=depth,
+                                            epsilon=config.epsilon)
+
+    def explain(self, query: TkLUSQuery, uid: int) -> UserExplanation:
+        """Decompose ``uid``'s score for ``query``."""
+        posts = self.dataset.posts_of(uid)
+        explanation = UserExplanation(
+            uid=uid, query_keywords=sorted(query.keywords),
+            total_posts=len(posts))
+        relevances: List[float] = []
+        window = query.temporal.window
+        recency = query.temporal.recency
+        reference = 0
+        if recency is not None:
+            reference = recency.resolve_reference(
+                max(self.dataset.posts) if self.dataset.posts else 0)
+
+        for post in posts:
+            if not window.contains(post.sid):
+                continue
+            bag = post.word_bag()
+            occurrences = keyword_match_count(bag, query.keywords)
+            if occurrences == 0:
+                continue
+            present = [kw for kw in query.keywords if bag.get(kw)]
+            if (query.semantics is Semantics.AND
+                    and len(present) != len(query.keywords)):
+                continue
+            distance = self.metric(query.location, post.location)
+            if distance > query.radius_km:
+                continue
+            thread = self.threads.build(post.sid)
+            popularity = thread.popularity(self.config.epsilon)
+            relevance = (occurrences / self.config.keyword_normalizer
+                         ) * popularity
+            if recency is not None:
+                relevance *= recency.weight(post.sid, reference)
+            explanation.tweets.append(TweetExplanation(
+                sid=post.sid, text=post.text,
+                distance_km=distance,
+                distance_score=distance_score(post.location, query.location,
+                                              query.radius_km, self.metric),
+                keyword_occurrences=occurrences,
+                thread_levels=thread.level_sizes(),
+                popularity=popularity,
+                relevance=relevance,
+            ))
+            relevances.append(relevance)
+
+        explanation.sum_keyword_score = sum(relevances)
+        explanation.max_keyword_score = max(relevances, default=0.0)
+        explanation.distance_part = user_distance_score(
+            [post.location for post in posts], query.location,
+            query.radius_km, self.metric)
+        explanation.sum_user_score = user_score(
+            explanation.sum_keyword_score, explanation.distance_part,
+            self.config)
+        explanation.max_user_score = user_score(
+            explanation.max_keyword_score, explanation.distance_part,
+            self.config)
+        return explanation
+
+    def explain_ranking(self, query: TkLUSQuery,
+                        ranking: List[int]) -> List[UserExplanation]:
+        """Explanations for a whole result list, in rank order."""
+        return [self.explain(query, uid) for uid in ranking]
+
+    def top_contributor(self, query: TkLUSQuery,
+                        uid: int) -> Optional[TweetExplanation]:
+        """The single tweet dominating this user's max score, if any."""
+        explanation = self.explain(query, uid)
+        if not explanation.tweets:
+            return None
+        return max(explanation.tweets, key=lambda tweet: tweet.relevance)

@@ -1,0 +1,125 @@
+"""Cross-platform federated TkLUS search.
+
+The paper's third future-work direction (Section VIII): "it is also
+interesting to make the search for local users across the platform
+boundary, such that more informative query results can be obtained by
+involving different social networks."
+
+:class:`FederatedEngine` wraps several per-platform engines (each with
+its own corpus, index and user-id space) and answers one TkLUS query
+against all of them:
+
+* each platform runs the query locally (its own index, bounds, thread
+  builder);
+* per-platform scores are optionally normalised (platforms differ in
+  thread-size distributions, so raw keyword scores are not directly
+  comparable — min-max normalisation within each platform's result list
+  puts them on a shared [0, 1] scale);
+* results merge into a single top-k of ``(platform, uid)`` pairs.
+
+User identities never collide across platforms: results carry the
+platform name alongside the platform-local uid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.model import TkLUSQuery
+from .engine import TkLUSEngine
+from .results import QueryStats
+
+
+@dataclass(frozen=True)
+class FederatedUser:
+    """A user qualified by their platform."""
+
+    platform: str
+    uid: int
+    score: float
+
+
+@dataclass
+class FederatedResult:
+    """Merged top-k across platforms plus per-platform statistics."""
+
+    users: List[FederatedUser]
+    per_platform_stats: Dict[str, QueryStats] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def ranking(self) -> List[Tuple[str, int]]:
+        return [(user.platform, user.uid) for user in self.users]
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def _min_max_normalise(scores: List[float]) -> List[float]:
+    """Min-max scale to [0, 1]; a constant list maps to all-ones (every
+    result is equally best within its platform)."""
+    if not scores:
+        return []
+    lo, hi = min(scores), max(scores)
+    if hi == lo:
+        return [1.0] * len(scores)
+    return [(score - lo) / (hi - lo) for score in scores]
+
+
+class FederatedEngine:
+    """A federation of named per-platform TkLUS engines."""
+
+    def __init__(self, platforms: Dict[str, TkLUSEngine],
+                 normalise: bool = True,
+                 platform_weights: Optional[Dict[str, float]] = None) -> None:
+        if not platforms:
+            raise ValueError("federation needs at least one platform")
+        self.platforms = dict(platforms)
+        self.normalise = normalise
+        self.platform_weights = dict(platform_weights or {})
+        for name, weight in self.platform_weights.items():
+            if name not in self.platforms:
+                raise ValueError(f"weight for unknown platform {name!r}")
+            if weight <= 0:
+                raise ValueError(f"platform weight must be positive: {weight}")
+
+    def add_platform(self, name: str, engine: TkLUSEngine,
+                     weight: float = 1.0) -> None:
+        if name in self.platforms:
+            raise ValueError(f"platform {name!r} already registered")
+        if weight <= 0:
+            raise ValueError(f"platform weight must be positive: {weight}")
+        self.platforms[name] = engine
+        self.platform_weights[name] = weight
+
+    def search(self, query: TkLUSQuery, method: str = "max",
+               per_platform_k: Optional[int] = None) -> FederatedResult:
+        """Run the query on every platform and merge the top-k.
+
+        ``per_platform_k`` caps what each platform contributes before
+        merging (defaults to the query's k — enough to fill any final
+        top-k regardless of how the merge falls out).
+        """
+        start = time.perf_counter()
+        contribution_k = per_platform_k if per_platform_k is not None else query.k
+        merged: List[FederatedUser] = []
+        stats: Dict[str, QueryStats] = {}
+        for name in sorted(self.platforms):
+            engine = self.platforms[name]
+            local_query = TkLUSQuery(
+                location=query.location, radius_km=query.radius_km,
+                keywords=query.keywords, k=contribution_k,
+                semantics=query.semantics, temporal=query.temporal)
+            result = engine.search(local_query, method=method)
+            stats[name] = result.stats
+            scores = [score for _uid, score in result.users]
+            if self.normalise:
+                scores = _min_max_normalise(scores)
+            weight = self.platform_weights.get(name, 1.0)
+            for (uid, _raw), score in zip(result.users, scores):
+                merged.append(FederatedUser(name, uid, weight * score))
+        merged.sort(key=lambda user: (-user.score, user.platform, user.uid))
+        return FederatedResult(users=merged[:query.k],
+                               per_platform_stats=stats,
+                               elapsed_seconds=time.perf_counter() - start)

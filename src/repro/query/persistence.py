@@ -1,0 +1,172 @@
+"""Saving and loading a built TkLUS deployment.
+
+The paper's pipeline builds its index in a batch job and serves queries
+later; this module provides that operational boundary for the library:
+
+* :func:`save_engine` — persist a built engine to a directory: the
+  metadata relation + B+-trees (as page files), every inverted-index
+  part file (dumped out of the simulated DFS), the serialised forward
+  index, and a JSON manifest with scoring/index configuration and the
+  pre-computed popularity bounds;
+* :func:`load_engine` — reconstruct a fully functional engine from that
+  directory without re-running the MapReduce build or the bound
+  pre-computation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..core.scoring import ScoringConfig
+from ..core.thread import ThreadBuilder
+from ..dfs.cluster import DFSCluster, paper_cluster
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..index.builder import IndexConfig
+from ..index.forward import ForwardIndex
+from ..index.hybrid import HybridIndex
+from ..storage.metadata import MetadataDatabase
+from ..text.analyzer import Analyzer
+from .bounds import BoundsManager
+from .engine import EngineConfig, TkLUSEngine
+
+MANIFEST_NAME = "manifest.json"
+FORWARD_NAME = "forward.bin"
+PARTS_DIR = "inverted"
+METADATA_DIR = "metadata"
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised on malformed or incompatible saved engines."""
+
+
+def save_engine(engine: TkLUSEngine, directory: str) -> None:
+    """Persist ``engine`` under ``directory`` (created if needed)."""
+    os.makedirs(directory, exist_ok=True)
+
+    # 1. Metadata relation: copy into a disk-backed database.
+    disk_db = MetadataDatabase.open_directory(
+        os.path.join(directory, METADATA_DIR),
+        pool_size=engine.config.pool_size)
+    if len(disk_db) != 0:
+        raise PersistenceError(
+            f"{directory} already holds a metadata database")
+    for record in engine.database.scan():
+        disk_db.insert(record)
+    disk_db.flush()
+
+    # 2. Inverted-index part files, dumped out of the DFS.
+    parts_dir = os.path.join(directory, PARTS_DIR)
+    os.makedirs(parts_dir, exist_ok=True)
+    prefix = engine.index.config.output_prefix
+    part_names = []
+    for path in engine.index.cluster.list_files(prefix):
+        reader = engine.index.cluster.open(path)
+        name = path.rsplit("/", 1)[-1]
+        part_names.append(name)
+        with open(os.path.join(parts_dir, name), "wb") as handle:
+            handle.write(reader.pread(0, reader.size))
+
+    # 3. Forward index.
+    with open(os.path.join(directory, FORWARD_NAME), "wb") as handle:
+        handle.write(engine.index.forward.serialize())
+
+    # 4. Manifest: configs and bounds.
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "index": {
+            "geohash_length": engine.index.config.geohash_length,
+            "num_map_tasks": engine.index.config.num_map_tasks,
+            "num_reduce_tasks": engine.index.config.num_reduce_tasks,
+            "output_prefix": engine.index.config.output_prefix,
+        },
+        "scoring": {
+            "alpha": engine.config.scoring.alpha,
+            "keyword_normalizer": engine.config.scoring.keyword_normalizer,
+            "epsilon": engine.config.scoring.epsilon,
+        },
+        "thread_depth": engine.config.thread_depth,
+        "pool_size": engine.config.pool_size,
+        "bounds": {
+            "global": engine.bounds.global_bound,
+            "keywords": engine.bounds.keyword_bounds,
+        },
+        "parts": part_names,
+        "tweets": len(engine.database),
+    }
+    with open(os.path.join(directory, MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+
+
+def load_engine(directory: str, cluster: Optional[DFSCluster] = None,
+                analyzer: Optional[Analyzer] = None,
+                metric: Metric = DEFAULT_METRIC) -> TkLUSEngine:
+    """Reconstruct a saved engine.
+
+    The inverted index is re-uploaded into a fresh (or supplied) DFS
+    cluster; the metadata database reopens its page files directly.
+    """
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise PersistenceError(f"no manifest at {manifest_path}")
+    with open(manifest_path) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {manifest.get('format_version')}")
+
+    if cluster is None:
+        cluster = paper_cluster()
+    if analyzer is None:
+        analyzer = Analyzer()
+
+    index_config = IndexConfig(
+        geohash_length=manifest["index"]["geohash_length"],
+        num_map_tasks=manifest["index"]["num_map_tasks"],
+        num_reduce_tasks=manifest["index"]["num_reduce_tasks"],
+        output_prefix=manifest["index"]["output_prefix"],
+    )
+    scoring = ScoringConfig(
+        alpha=manifest["scoring"]["alpha"],
+        keyword_normalizer=manifest["scoring"]["keyword_normalizer"],
+        epsilon=manifest["scoring"]["epsilon"],
+    )
+
+    # 1. Metadata database from its page files.
+    database = MetadataDatabase.open_directory(
+        os.path.join(directory, METADATA_DIR),
+        pool_size=manifest["pool_size"])
+    if len(database) != manifest["tweets"]:
+        raise PersistenceError(
+            f"metadata database holds {len(database)} tweets, "
+            f"manifest says {manifest['tweets']}")
+
+    # 2. Re-upload part files into the DFS.
+    for name in manifest["parts"]:
+        local = os.path.join(directory, PARTS_DIR, name)
+        with open(local, "rb") as handle:
+            data = handle.read()
+        with cluster.create(f"{index_config.output_prefix}/{name}") as writer:
+            writer.write(data)
+
+    # 3. Forward index.
+    with open(os.path.join(directory, FORWARD_NAME), "rb") as handle:
+        forward = ForwardIndex.deserialize(handle.read())
+
+    index = HybridIndex(forward, cluster, index_config, analyzer)
+    engine_config = EngineConfig(
+        index=index_config, scoring=scoring,
+        thread_depth=manifest["thread_depth"],
+        pool_size=manifest["pool_size"],
+        hot_keywords=sorted(manifest["bounds"]["keywords"]),
+    )
+    thread_builder = ThreadBuilder(database,
+                                   depth=engine_config.thread_depth,
+                                   epsilon=scoring.epsilon)
+    bounds = BoundsManager(manifest["bounds"]["global"],
+                           manifest["bounds"]["keywords"])
+    return TkLUSEngine(database, index, thread_builder, bounds,
+                       engine_config, metric)

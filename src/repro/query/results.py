@@ -1,0 +1,45 @@
+"""Result and statistics types shared by the query algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class QueryStats:
+    """Work accounting for one query execution."""
+
+    cells_covered: int = 0
+    postings_lists_fetched: int = 0
+    candidates: int = 0
+    candidates_in_radius: int = 0
+    threads_built: int = 0
+    threads_pruned: int = 0
+    distance_checks_skipped: int = 0
+    elapsed_seconds: float = 0.0
+    io_delta: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of in-radius candidates whose thread construction was
+        skipped by the upper bound."""
+        total = self.threads_built + self.threads_pruned
+        if total == 0:
+            return 0.0
+        return self.threads_pruned / total
+
+
+@dataclass
+class QueryResult:
+    """A ranked top-k user list plus execution statistics."""
+
+    users: List[Tuple[int, float]]  # (uid, score), best first
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def ranking(self) -> List[int]:
+        """Just the uid ranking (input to the Kendall tau comparison)."""
+        return [uid for uid, _score in self.users]
+
+    def __len__(self) -> int:
+        return len(self.users)

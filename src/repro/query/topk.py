@@ -1,0 +1,96 @@
+"""The top-k user priority queue of Algorithm 5.
+
+A bounded min-heap keyed by user score with by-user updates:
+``topKUser.peek()`` returns the smallest score currently in the top-k
+(the pruning threshold), and offering a user already present replaces
+their score only when the new one is larger (lines 22-33).
+
+Updates use lazy deletion: superseded heap entries are skipped on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+
+class TopKUserQueue:
+    """Bounded priority queue of ``(uid, score)`` with max-per-user
+    semantics."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1: {k}")
+        self.k = k
+        self._scores: Dict[int, float] = {}
+        self._heap: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._scores
+
+    @property
+    def full(self) -> bool:
+        return len(self._scores) >= self.k
+
+    def score_of(self, uid: int) -> Optional[float]:
+        return self._scores.get(uid)
+
+    def _compact(self) -> None:
+        """Drop stale heap heads (entries superseded by a later offer)."""
+        while self._heap:
+            score, uid = self._heap[0]
+            if self._scores.get(uid) == score:
+                return
+            heapq.heappop(self._heap)
+
+    def peek(self) -> float:
+        """The smallest score in the queue (``topKUser.peek()``);
+        requires a non-empty queue."""
+        self._compact()
+        if not self._heap:
+            raise IndexError("peek on empty queue")
+        return self._heap[0][0]
+
+    def threshold(self) -> float:
+        """Pruning threshold: the k-th score when full, else -inf (no
+        pruning until the queue fills, Algorithm 5 line 18)."""
+        if not self.full:
+            return float("-inf")
+        return self.peek()
+
+    def offer(self, uid: int, score: float) -> bool:
+        """Offer a candidate (lines 22-33).  Returns True when the queue
+        changed.
+
+        * present user: score is raised if the offer is larger;
+        * absent user, queue not full: inserted;
+        * absent user, queue full: replaces the minimum only when the
+          offer beats it.
+        """
+        current = self._scores.get(uid)
+        if current is not None:
+            if score <= current:
+                return False
+            self._scores[uid] = score
+            heapq.heappush(self._heap, (score, uid))
+            return True
+        if not self.full:
+            self._scores[uid] = score
+            heapq.heappush(self._heap, (score, uid))
+            return True
+        self._compact()
+        if not self._heap or score <= self._heap[0][0]:
+            return False
+        _evicted_score, evicted_uid = heapq.heappop(self._heap)
+        del self._scores[evicted_uid]
+        self._scores[uid] = score
+        heapq.heappush(self._heap, (score, uid))
+        return True
+
+    def ranked(self) -> List[Tuple[int, float]]:
+        """Contents sorted by descending score (ties by uid for
+        determinism)."""
+        return sorted(self._scores.items(), key=lambda item: (-item[1], item[0]))

@@ -1,0 +1,34 @@
+"""Storage engine substrate: slotted pages, buffer pool, heap files,
+B+-trees, and the tweet metadata database of Section IV-A.
+"""
+
+from .bptree import BPlusTree, BPlusTreeError, DuplicateKeyError
+from .heapfile import HeapFile
+from .iostats import IOStats, StatsRegistry
+from .metadata import MetadataDatabase, MetadataError
+from .page import PAGE_SIZE, Page, PageError, SlottedPage
+from .pager import BufferPool, FilePager, MemoryPager, PagerError
+from .records import NO_REF, RECORD_SIZE, TweetRecord, make_record
+
+__all__ = [
+    "BPlusTree",
+    "BPlusTreeError",
+    "BufferPool",
+    "DuplicateKeyError",
+    "FilePager",
+    "HeapFile",
+    "IOStats",
+    "MemoryPager",
+    "MetadataDatabase",
+    "MetadataError",
+    "NO_REF",
+    "PAGE_SIZE",
+    "Page",
+    "PageError",
+    "PagerError",
+    "RECORD_SIZE",
+    "SlottedPage",
+    "StatsRegistry",
+    "TweetRecord",
+    "make_record",
+]

@@ -1,0 +1,474 @@
+"""A disk-backed B+-tree.
+
+The paper's metadata database builds "a B+-tree" on the primary key ``sid``
+and "another B+-tree ... on attribute 'rsid'" to accelerate tweet-thread
+construction ("select all where rsid equals to Id", Algorithm 1 line 7).
+
+Keys are pairs of signed 64-bit integers compared lexicographically, which
+supports both unique indexes (``(sid, 0)``) and duplicate-key indexes
+(``(rsid, sid)`` — duplicates of ``rsid`` are disambiguated by ``sid`` and
+retrieved with a prefix range scan).  Values are signed 64-bit integers
+(packed record pointers).
+
+Nodes serialise into buffer-pool pages; page 0 of the tree's file is a
+metadata page holding the root pointer, height and entry count.  Deletion
+implements full rebalancing (borrow from siblings, merge, root collapse).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .page import INVALID_PAGE, PAGE_SIZE, Page
+from .pager import BufferPool
+
+Key = Tuple[int, int]
+
+_META = struct.Struct("<8sIIQ")  # magic, root page, height, size
+_MAGIC = b"BPTREE01"
+
+_NODE_HEADER = struct.Struct("<BHI")  # type, key count, next-leaf page
+_LEAF_ENTRY = struct.Struct("<qqq")   # k1, k2, value
+_KEY = struct.Struct("<qq")
+_CHILD = struct.Struct("<I")
+
+_TYPE_LEAF = 0
+_TYPE_INTERNAL = 1
+
+#: Maximum entries per leaf: header + n * 24 bytes <= PAGE_SIZE.
+LEAF_MAX = (PAGE_SIZE - _NODE_HEADER.size) // _LEAF_ENTRY.size
+#: Maximum keys per internal node: header + n * 16 + (n + 1) * 4 <= PAGE_SIZE.
+INTERNAL_MAX = (PAGE_SIZE - _NODE_HEADER.size - _CHILD.size) // (_KEY.size + _CHILD.size)
+
+LEAF_MIN = LEAF_MAX // 2
+INTERNAL_MIN = INTERNAL_MAX // 2
+
+MIN_KEY: Key = (-(1 << 63), -(1 << 63))
+MAX_KEY: Key = ((1 << 63) - 1, (1 << 63) - 1)
+
+
+class BPlusTreeError(RuntimeError):
+    """Raised on structural corruption or misuse."""
+
+
+class DuplicateKeyError(BPlusTreeError):
+    """Raised when inserting an existing key into a unique tree."""
+
+
+@dataclass
+class _Node:
+    page_no: int
+    is_leaf: bool
+    keys: List[Key]
+    # Leaf: values[i] pairs with keys[i].  Internal: children has
+    # len(keys) + 1 entries.
+    values: List[int]
+    children: List[int]
+    next_leaf: int = INVALID_PAGE
+
+
+def _serialize(node: _Node, page: Page) -> None:
+    buffer = page.data
+    node_type = _TYPE_LEAF if node.is_leaf else _TYPE_INTERNAL
+    _NODE_HEADER.pack_into(buffer, 0, node_type, len(node.keys), node.next_leaf)
+    offset = _NODE_HEADER.size
+    if node.is_leaf:
+        for key, value in zip(node.keys, node.values):
+            _LEAF_ENTRY.pack_into(buffer, offset, key[0], key[1], value)
+            offset += _LEAF_ENTRY.size
+    else:
+        for key in node.keys:
+            _KEY.pack_into(buffer, offset, key[0], key[1])
+            offset += _KEY.size
+        for child in node.children:
+            _CHILD.pack_into(buffer, offset, child)
+            offset += _CHILD.size
+    page.mark_dirty()
+
+
+def _deserialize(page: Page) -> _Node:
+    node_type, count, next_leaf = _NODE_HEADER.unpack_from(page.data, 0)
+    offset = _NODE_HEADER.size
+    if node_type == _TYPE_LEAF:
+        keys: List[Key] = []
+        values: List[int] = []
+        for _ in range(count):
+            k1, k2, value = _LEAF_ENTRY.unpack_from(page.data, offset)
+            offset += _LEAF_ENTRY.size
+            keys.append((k1, k2))
+            values.append(value)
+        return _Node(page.page_no, True, keys, values, [], next_leaf)
+    if node_type == _TYPE_INTERNAL:
+        keys = []
+        for _ in range(count):
+            k1, k2 = _KEY.unpack_from(page.data, offset)
+            offset += _KEY.size
+            keys.append((k1, k2))
+        children = []
+        for _ in range(count + 1):
+            (child,) = _CHILD.unpack_from(page.data, offset)
+            offset += _CHILD.size
+            children.append(child)
+        return _Node(page.page_no, False, keys, [], children, INVALID_PAGE)
+    raise BPlusTreeError(f"page {page.page_no} has invalid node type {node_type}")
+
+
+def _bisect_keys(keys: List[Key], key: Key) -> int:
+    """Index of the first element in ``keys`` >= ``key``."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class BPlusTree:
+    """A B+-tree over a :class:`~repro.storage.pager.BufferPool`.
+
+    Parameters
+    ----------
+    pool:
+        Buffer pool the tree's pages live in.  The tree assumes exclusive
+        ownership of the underlying pager's page space.
+    unique:
+        When True (default), inserting an existing key raises
+        :class:`DuplicateKeyError`.  Duplicate-key indexes should encode
+        the duplicate dimension into the second key component instead.
+    """
+
+    def __init__(self, pool: BufferPool, unique: bool = True) -> None:
+        self._pool = pool
+        self.unique = unique
+        if self._pool._pager.page_count == 0:
+            meta = self._pool.allocate_page()
+            try:
+                root = self._pool.allocate_page()
+                try:
+                    _serialize(_Node(root.page_no, True, [], [], []), root)
+                    self._root_page = root.page_no
+                    self._height = 1
+                    self._size = 0
+                    self._write_meta(meta)
+                finally:
+                    self._pool.unpin(root)
+            finally:
+                self._pool.unpin(meta)
+        else:
+            with self._pool.pinned(0) as meta:
+                magic, root_page, height, size = _META.unpack_from(meta.data, 0)
+                if magic != _MAGIC:
+                    raise BPlusTreeError("page 0 is not a B+-tree metadata page")
+                self._root_page = root_page
+                self._height = height
+                self._size = size
+
+    # -- metadata ----------------------------------------------------------
+
+    def _write_meta(self, page: Optional[Page] = None) -> None:
+        if page is not None:
+            _META.pack_into(page.data, 0, _MAGIC, self._root_page, self._height, self._size)
+            page.mark_dirty()
+            return
+        with self._pool.pinned(0) as meta:
+            _META.pack_into(meta.data, 0, _MAGIC, self._root_page, self._height, self._size)
+            meta.mark_dirty()
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    # -- node I/O ------------------------------------------------------------
+
+    def _load(self, page_no: int) -> _Node:
+        with self._pool.pinned(page_no) as page:
+            return _deserialize(page)
+
+    def _store(self, node: _Node) -> None:
+        with self._pool.pinned(node.page_no) as page:
+            _serialize(node, page)
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        page = self._pool.allocate_page()
+        try:
+            node = _Node(page.page_no, is_leaf, [], [], [])
+            _serialize(node, page)
+            return node
+        finally:
+            self._pool.unpin(page)
+
+    # -- search ----------------------------------------------------------
+
+    def _descend_to_leaf(self, key: Key) -> Tuple[_Node, List[Tuple[_Node, int]]]:
+        """Walk from root to the leaf for ``key``, returning the leaf and
+        the path of ``(internal_node, child_index)`` taken."""
+        path: List[Tuple[_Node, int]] = []
+        node = self._load(self._root_page)
+        while not node.is_leaf:
+            index = _bisect_keys(node.keys, key)
+            # Internal separator keys direct equal keys to the right child.
+            if index < len(node.keys) and node.keys[index] == key:
+                index += 1
+            path.append((node, index))
+            node = self._load(node.children[index])
+        return node, path
+
+    def get(self, key: Key) -> Optional[int]:
+        """Return the value stored at ``key``, or None."""
+        leaf, _path = self._descend_to_leaf(key)
+        index = _bisect_keys(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return None
+
+    def __contains__(self, key: Key) -> bool:
+        return self.get(key) is not None
+
+    def range(self, lo: Key = MIN_KEY, hi: Key = MAX_KEY) -> Iterator[Tuple[Key, int]]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi`` in order."""
+        if lo > hi:
+            return
+        leaf, _path = self._descend_to_leaf(lo)
+        index = _bisect_keys(leaf.keys, lo)
+        while True:
+            while index < len(leaf.keys):
+                key = leaf.keys[index]
+                if key > hi:
+                    return
+                yield (key, leaf.values[index])
+                index += 1
+            if leaf.next_leaf == INVALID_PAGE:
+                return
+            leaf = self._load(leaf.next_leaf)
+            index = 0
+
+    def prefix(self, first: int) -> Iterator[Tuple[Key, int]]:
+        """All entries whose first key component equals ``first`` — the
+        duplicate-key lookup used for ``rsid`` scans."""
+        yield from self.range((first, MIN_KEY[1]), (first, MAX_KEY[1]))
+
+    def items(self) -> Iterator[Tuple[Key, int]]:
+        yield from self.range()
+
+    # -- insert ----------------------------------------------------------
+
+    def insert(self, key: Key, value: int) -> None:
+        """Insert ``key -> value``.
+
+        In a unique tree, an existing key raises
+        :class:`DuplicateKeyError`; in a non-unique tree the old value is
+        overwritten (callers encode duplicates into the key).
+        """
+        leaf, path = self._descend_to_leaf(key)
+        index = _bisect_keys(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            if self.unique:
+                raise DuplicateKeyError(f"key {key} already present")
+            leaf.values[index] = value
+            self._store(leaf)
+            return
+        leaf.keys.insert(index, key)
+        leaf.values.insert(index, value)
+        self._size += 1
+        if len(leaf.keys) <= LEAF_MAX:
+            self._store(leaf)
+            self._write_meta()
+            return
+        self._split_leaf(leaf, path)
+        self._write_meta()
+
+    def _split_leaf(self, leaf: _Node, path: List[Tuple[_Node, int]]) -> None:
+        mid = len(leaf.keys) // 2
+        right = self._new_node(is_leaf=True)
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        right.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        leaf.next_leaf = right.page_no
+        self._store(leaf)
+        self._store(right)
+        self._insert_into_parent(leaf, right.keys[0], right, path)
+
+    def _insert_into_parent(self, left: _Node, separator: Key, right: _Node,
+                            path: List[Tuple[_Node, int]]) -> None:
+        if not path:
+            root = self._new_node(is_leaf=False)
+            root.keys = [separator]
+            root.children = [left.page_no, right.page_no]
+            self._store(root)
+            self._root_page = root.page_no
+            self._height += 1
+            return
+        parent, child_index = path[-1]
+        parent.keys.insert(child_index, separator)
+        parent.children.insert(child_index + 1, right.page_no)
+        if len(parent.keys) <= INTERNAL_MAX:
+            self._store(parent)
+            return
+        mid = len(parent.keys) // 2
+        up_key = parent.keys[mid]
+        new_right = self._new_node(is_leaf=False)
+        new_right.keys = parent.keys[mid + 1:]
+        new_right.children = parent.children[mid + 1:]
+        parent.keys = parent.keys[:mid]
+        parent.children = parent.children[:mid + 1]
+        self._store(parent)
+        self._store(new_right)
+        self._insert_into_parent(parent, up_key, new_right, path[:-1])
+
+    # -- delete ----------------------------------------------------------
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        leaf, path = self._descend_to_leaf(key)
+        index = _bisect_keys(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        del leaf.keys[index]
+        del leaf.values[index]
+        self._size -= 1
+        self._store(leaf)
+        if len(leaf.keys) < LEAF_MIN and path:
+            self._rebalance(leaf, path)
+        elif not path:
+            pass  # root leaf may be arbitrarily small
+        self._write_meta()
+        return True
+
+    def _rebalance(self, node: _Node, path: List[Tuple[_Node, int]]) -> None:
+        parent, child_index = path[-1]
+        min_keys = LEAF_MIN if node.is_leaf else INTERNAL_MIN
+        if len(node.keys) >= min_keys:
+            return
+
+        # Try borrowing from the left sibling.
+        if child_index > 0:
+            left = self._load(parent.children[child_index - 1])
+            if len(left.keys) > min_keys:
+                self._borrow_from_left(node, left, parent, child_index)
+                return
+        # Try borrowing from the right sibling.
+        if child_index < len(parent.children) - 1:
+            right = self._load(parent.children[child_index + 1])
+            if len(right.keys) > min_keys:
+                self._borrow_from_right(node, right, parent, child_index)
+                return
+        # Merge with a sibling.
+        if child_index > 0:
+            left = self._load(parent.children[child_index - 1])
+            self._merge(left, node, parent, child_index - 1)
+        else:
+            right = self._load(parent.children[child_index + 1])
+            self._merge(node, right, parent, child_index)
+
+        if len(path) > 1:
+            self._rebalance(parent, path[:-1])
+        elif not parent.keys:
+            # Root has become empty: collapse one level and reclaim it.
+            old_root = self._root_page
+            self._root_page = parent.children[0]
+            self._height -= 1
+            self._pool.free_page(old_root)
+
+    def _borrow_from_left(self, node: _Node, left: _Node, parent: _Node,
+                          child_index: int) -> None:
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            node.values.insert(0, left.values.pop())
+            parent.keys[child_index - 1] = node.keys[0]
+        else:
+            node.keys.insert(0, parent.keys[child_index - 1])
+            parent.keys[child_index - 1] = left.keys.pop()
+            node.children.insert(0, left.children.pop())
+        self._store(left)
+        self._store(node)
+        self._store(parent)
+
+    def _borrow_from_right(self, node: _Node, right: _Node, parent: _Node,
+                           child_index: int) -> None:
+        if node.is_leaf:
+            node.keys.append(right.keys.pop(0))
+            node.values.append(right.values.pop(0))
+            parent.keys[child_index] = right.keys[0]
+        else:
+            node.keys.append(parent.keys[child_index])
+            parent.keys[child_index] = right.keys.pop(0)
+            node.children.append(right.children.pop(0))
+        self._store(right)
+        self._store(node)
+        self._store(parent)
+
+    def _merge(self, left: _Node, right: _Node, parent: _Node,
+               separator_index: int) -> None:
+        """Merge ``right`` into ``left``; both are children of ``parent``
+        separated by ``parent.keys[separator_index]``."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[separator_index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[separator_index]
+        del parent.children[separator_index + 1]
+        self._store(left)
+        self._store(parent)
+        # Reclaim the merged-away node's page for future allocations.
+        self._pool.free_page(right.page_no)
+
+    # -- maintenance ------------------------------------------------------
+
+    def flush(self) -> None:
+        self._write_meta()
+        self._pool.flush_all()
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises :class:`BPlusTreeError`
+        on violation.  Used by property-based tests."""
+        count = self._check_node(self._root_page, MIN_KEY, MAX_KEY,
+                                 depth=1, is_root=True)
+        if count != self._size:
+            raise BPlusTreeError(f"size mismatch: counted {count}, recorded {self._size}")
+        # All leaves must be chained in key order.
+        previous: Optional[Key] = None
+        for key, _value in self.items():
+            if previous is not None and key <= previous:
+                raise BPlusTreeError(f"leaf chain out of order: {previous} !< {key}")
+            previous = key
+
+    def _check_node(self, page_no: int, lo: Key, hi: Key, depth: int,
+                    is_root: bool) -> int:
+        node = self._load(page_no)
+        if node.is_leaf:
+            if depth != self._height:
+                raise BPlusTreeError(
+                    f"leaf {page_no} at depth {depth}, expected {self._height}")
+            if not is_root and len(node.keys) < LEAF_MIN:
+                raise BPlusTreeError(f"leaf {page_no} underfull: {len(node.keys)}")
+            for key in node.keys:
+                if not lo <= key <= hi:
+                    raise BPlusTreeError(f"leaf key {key} outside ({lo}, {hi})")
+            if node.keys != sorted(node.keys):
+                raise BPlusTreeError(f"leaf {page_no} keys unsorted")
+            return len(node.keys)
+        if not is_root and len(node.keys) < INTERNAL_MIN:
+            raise BPlusTreeError(f"internal {page_no} underfull: {len(node.keys)}")
+        if is_root and not node.keys:
+            raise BPlusTreeError("internal root has no keys")
+        if node.keys != sorted(node.keys):
+            raise BPlusTreeError(f"internal {page_no} keys unsorted")
+        total = 0
+        bounds = [lo] + node.keys + [hi]
+        for i, child in enumerate(node.children):
+            total += self._check_node(child, bounds[i], bounds[i + 1],
+                                      depth + 1, is_root=False)
+        return total

@@ -1,0 +1,76 @@
+"""Heap files: unordered collections of records over slotted pages.
+
+The tweet metadata relation is stored in a heap file; the B+-tree indexes
+on ``sid`` and ``rsid`` map keys to packed ``(page, slot)`` record ids
+pointing into it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .page import PageError, SlottedPage, pack_record_id, unpack_record_id
+from .pager import BufferPool
+
+
+class HeapFile:
+    """Append-mostly record heap.
+
+    Insertions go to the current tail page, allocating a new page on
+    overflow.  This gives the timestamp-ordered physical layout the paper's
+    tweet relation has naturally (``sid`` is the ingestion timestamp), so
+    primary-key range scans touch contiguous pages.
+    """
+
+    def __init__(self, pool: BufferPool) -> None:
+        self._pool = pool
+        page_count = pool._pager.page_count
+        self._tail_page: Optional[int] = page_count - 1 if page_count > 0 else None
+
+    @property
+    def page_count(self) -> int:
+        return self._pool._pager.page_count
+
+    def insert(self, record: bytes) -> int:
+        """Insert a record and return its packed record id."""
+        if self._tail_page is not None:
+            page = self._pool.get_page(self._tail_page)
+            try:
+                slotted = SlottedPage(page)
+                try:
+                    slot = slotted.insert(record)
+                    return pack_record_id(page.page_no, slot)
+                except PageError:
+                    pass  # full: fall through to allocate
+            finally:
+                self._pool.unpin(page)
+        page = self._pool.allocate_page()
+        try:
+            slotted = SlottedPage(page)
+            slot = slotted.insert(record)
+            self._tail_page = page.page_no
+            return pack_record_id(page.page_no, slot)
+        finally:
+            self._pool.unpin(page)
+
+    def read(self, record_id: int) -> bytes:
+        """Fetch the record with the given packed id."""
+        page_no, slot = unpack_record_id(record_id)
+        with self._pool.pinned(page_no) as page:
+            return SlottedPage(page).read(slot)
+
+    def delete(self, record_id: int) -> None:
+        page_no, slot = unpack_record_id(record_id)
+        with self._pool.pinned(page_no) as page:
+            SlottedPage(page).delete(slot)
+
+    def scan(self) -> Iterator[Tuple[int, bytes]]:
+        """Full scan yielding ``(record_id, record_bytes)``."""
+        for page_no in range(self.page_count):
+            with self._pool.pinned(page_no) as page:
+                records = list(SlottedPage(page).records())
+            for slot, data in records:
+                yield (pack_record_id(page_no, slot), data)
+
+    def flush(self) -> None:
+        self._pool.flush_all()

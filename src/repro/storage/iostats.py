@@ -1,0 +1,91 @@
+"""I/O accounting for the storage engine.
+
+The paper's analysis is I/O-centric: thread construction "will cost several
+I/Os" per posting (Section V-B), and the B+-trees on ``sid``/``rsid`` exist
+to bound those I/Os.  Every physical page read/write in the storage layer
+is counted here so experiments can report logical work alongside wall-clock
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class IOStats:
+    """Mutable counters for one storage component."""
+
+    page_reads: int = 0
+    page_writes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+
+    def record_read(self) -> None:
+        self.page_reads += 1
+
+    def record_write(self) -> None:
+        self.page_writes += 1
+
+    def record_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_miss(self) -> None:
+        self.cache_misses += 1
+
+    def record_eviction(self) -> None:
+        self.evictions += 1
+
+    @property
+    def total_ios(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def reset(self) -> None:
+        self.page_reads = 0
+        self.page_writes = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.evictions = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "page_reads": self.page_reads,
+            "page_writes": self.page_writes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+        }
+
+    def delta_since(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Difference between the current counters and an earlier
+        :meth:`snapshot`."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}
+
+
+@dataclass
+class StatsRegistry:
+    """Named collection of :class:`IOStats`, one per storage component,
+    so an experiment can report e.g. metadata-DB I/O separately from
+    index I/O."""
+
+    components: Dict[str, IOStats] = field(default_factory=dict)
+
+    def get(self, name: str) -> IOStats:
+        stats = self.components.get(name)
+        if stats is None:
+            stats = IOStats()
+            self.components[name] = stats
+        return stats
+
+    def reset_all(self) -> None:
+        for stats in self.components.values():
+            stats.reset()
+
+    def total_ios(self) -> int:
+        return sum(stats.total_ios for stats in self.components.values())
+
+    def report(self) -> Dict[str, Dict[str, int]]:
+        return {name: stats.snapshot() for name, stats in self.components.items()}

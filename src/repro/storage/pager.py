@@ -1,0 +1,262 @@
+"""Page storage backends and the buffer pool.
+
+Two backends implement physical page I/O:
+
+* :class:`FilePager` — pages live in a real file on disk;
+* :class:`MemoryPager` — pages live in a dict (for tests and for
+  experiments that want deterministic "I/O" counts without disk noise).
+
+:class:`BufferPool` sits on top of either, caching up to ``capacity`` pages
+with LRU eviction of unpinned pages, and tracking hits/misses/evictions in
+an :class:`~repro.storage.iostats.IOStats`.  The experiments on thread-
+construction cost (the bottleneck identified in Section V-B) read their
+I/O numbers from here.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from .iostats import IOStats
+from .page import PAGE_SIZE, Page
+
+
+class PagerError(RuntimeError):
+    """Raised for invalid page accesses at the backend level."""
+
+
+class MemoryPager:
+    """In-memory page store with the same interface as :class:`FilePager`."""
+
+    def __init__(self, stats: Optional[IOStats] = None) -> None:
+        self._pages: Dict[int, bytes] = {}
+        self._next_page = 0
+        self._free_list: List[int] = []
+        self.stats = stats if stats is not None else IOStats()
+
+    @property
+    def page_count(self) -> int:
+        return self._next_page
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free_list)
+
+    def allocate(self) -> int:
+        if self._free_list:
+            page_no = self._free_list.pop()
+        else:
+            page_no = self._next_page
+            self._next_page += 1
+        self._pages[page_no] = bytes(PAGE_SIZE)
+        self.stats.record_write()
+        return page_no
+
+    def free_page(self, page_no: int) -> None:
+        """Return a page to the allocator for reuse."""
+        if page_no not in self._pages:
+            raise PagerError(f"cannot free unallocated page {page_no}")
+        if page_no in self._free_list:
+            raise PagerError(f"double free of page {page_no}")
+        self._free_list.append(page_no)
+
+    def read_page(self, page_no: int) -> Page:
+        data = self._pages.get(page_no)
+        if data is None:
+            raise PagerError(f"page {page_no} was never allocated")
+        self.stats.record_read()
+        return Page(page_no, data)
+
+    def write_page(self, page: Page) -> None:
+        if page.page_no not in self._pages:
+            raise PagerError(f"page {page.page_no} was never allocated")
+        self._pages[page.page_no] = bytes(page.data)
+        self.stats.record_write()
+
+    def close(self) -> None:
+        self._pages.clear()
+
+    def sync(self) -> None:
+        """No-op for the memory backend."""
+
+
+class FilePager:
+    """File-backed page store.
+
+    The file grows by whole pages; page numbers are file offsets divided by
+    :data:`PAGE_SIZE`.
+    """
+
+    def __init__(self, path: str, stats: Optional[IOStats] = None) -> None:
+        self.path = path
+        flags = "r+b" if os.path.exists(path) else "w+b"
+        self._file = open(path, flags)
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE != 0:
+            raise PagerError(f"{path} is not page-aligned ({size} bytes)")
+        self._next_page = size // PAGE_SIZE
+        # The free list is process-local: pages freed in this session are
+        # reused, but are conservatively leaked across reopen (persisting
+        # it would need an on-disk free map).
+        self._free_list: List[int] = []
+        self.stats = stats if stats is not None else IOStats()
+
+    @property
+    def page_count(self) -> int:
+        return self._next_page
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free_list)
+
+    def allocate(self) -> int:
+        if self._free_list:
+            page_no = self._free_list.pop()
+        else:
+            page_no = self._next_page
+            self._next_page += 1
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(bytes(PAGE_SIZE))
+        self.stats.record_write()
+        return page_no
+
+    def free_page(self, page_no: int) -> None:
+        """Return a page to the allocator (session-local free list)."""
+        if not 0 <= page_no < self._next_page:
+            raise PagerError(f"cannot free unallocated page {page_no}")
+        if page_no in self._free_list:
+            raise PagerError(f"double free of page {page_no}")
+        self._free_list.append(page_no)
+
+    def read_page(self, page_no: int) -> Page:
+        if not 0 <= page_no < self._next_page:
+            raise PagerError(f"page {page_no} out of range [0, {self._next_page})")
+        self._file.seek(page_no * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise PagerError(f"short read on page {page_no}")
+        self.stats.record_read()
+        return Page(page_no, data)
+
+    def write_page(self, page: Page) -> None:
+        if not 0 <= page.page_no < self._next_page:
+            raise PagerError(f"page {page.page_no} out of range [0, {self._next_page})")
+        self._file.seek(page.page_no * PAGE_SIZE)
+        self._file.write(bytes(page.data))
+        self.stats.record_write()
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class BufferPool:
+    """LRU page cache with pinning.
+
+    ``get_page`` pins the returned page; callers must balance every get
+    with :meth:`unpin` (or use :meth:`pinned`, a context manager).  Dirty
+    pages are written back on eviction and on :meth:`flush_all`.
+    """
+
+    def __init__(self, pager, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer pool capacity must be >= 1: {capacity}")
+        self._pager = pager
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, Page]" = OrderedDict()
+
+    @property
+    def stats(self) -> IOStats:
+        return self._pager.stats
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def allocate_page(self) -> Page:
+        """Allocate a fresh page and return it pinned."""
+        page_no = self._pager.allocate()
+        page = Page(page_no)
+        page.pin_count = 1
+        self._install(page_no, page)
+        return page
+
+    def get_page(self, page_no: int) -> Page:
+        """Fetch a page (from cache or backend), pinned."""
+        page = self._frames.get(page_no)
+        if page is not None:
+            self._frames.move_to_end(page_no)
+            page.pin_count += 1
+            self.stats.record_hit()
+            return page
+        self.stats.record_miss()
+        page = self._pager.read_page(page_no)
+        page.pin_count = 1
+        self._install(page_no, page)
+        return page
+
+    def unpin(self, page: Page) -> None:
+        if page.pin_count <= 0:
+            raise RuntimeError(f"page {page.page_no} is not pinned")
+        page.pin_count -= 1
+
+    def free_page(self, page_no: int) -> None:
+        """Discard a page: drop any cached frame (its contents are dead)
+        and hand the slot back to the pager for reuse."""
+        frame = self._frames.pop(page_no, None)
+        if frame is not None and frame.pin_count > 0:
+            raise RuntimeError(f"cannot free pinned page {page_no}")
+        self._pager.free_page(page_no)
+
+    def pinned(self, page_no: int):
+        """Context manager yielding a pinned page and unpinning on exit."""
+        pool = self
+
+        class _Pinned:
+            def __enter__(self) -> Page:
+                self.page = pool.get_page(page_no)
+                return self.page
+
+            def __exit__(self, *exc) -> None:
+                pool.unpin(self.page)
+
+        return _Pinned()
+
+    def _install(self, page_no: int, page: Page) -> None:
+        if len(self._frames) >= self._capacity:
+            self._evict_one()
+        self._frames[page_no] = page
+
+    def _evict_one(self) -> None:
+        for victim_no, victim in self._frames.items():
+            if victim.pin_count == 0:
+                if victim.dirty:
+                    self._pager.write_page(victim)
+                    victim.dirty = False
+                del self._frames[victim_no]
+                self.stats.record_eviction()
+                return
+        # All pages pinned: allow the pool to exceed capacity rather than
+        # deadlock.  This mirrors what real buffer managers do under
+        # pin-pressure and keeps the engine usable with tiny pools.
+
+    def flush_all(self) -> None:
+        for page in self._frames.values():
+            if page.dirty:
+                self._pager.write_page(page)
+                page.dirty = False
+        self._pager.sync()
+
+    def close(self) -> None:
+        self.flush_all()
+        self._frames.clear()
+        self._pager.close()
+
+    def cached_pages(self) -> int:
+        return len(self._frames)

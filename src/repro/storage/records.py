@@ -1,0 +1,66 @@
+"""Serialisation of tweet metadata records.
+
+All tweets form "a relation with the schema of (sid, uid, lat, lon, ruid,
+rsid)" (Section IV-A):
+
+* ``sid``  — tweet id, "essentially the tweet timestamp" (primary key);
+* ``uid``  — posting user's id;
+* ``lat``/``lon`` — coordinates of the post;
+* ``ruid`` — user whose tweet this one replies to / forwards, or NONE;
+* ``rsid`` — the tweet replied to / forwarded, or NONE.
+
+Records are fixed-size binary for cheap slotted-page storage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+#: Sentinel for "no reply/forward target".
+NO_REF = -1
+
+_RECORD = struct.Struct("<qqddqq")
+
+RECORD_SIZE = _RECORD.size
+
+
+@dataclass(frozen=True)
+class TweetRecord:
+    """One row of the tweet metadata relation."""
+
+    sid: int
+    uid: int
+    lat: float
+    lon: float
+    ruid: int = NO_REF
+    rsid: int = NO_REF
+
+    @property
+    def is_reply_or_forward(self) -> bool:
+        return self.rsid != NO_REF
+
+    def pack(self) -> bytes:
+        return _RECORD.pack(self.sid, self.uid, self.lat, self.lon,
+                            self.ruid, self.rsid)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TweetRecord":
+        sid, uid, lat, lon, ruid, rsid = _RECORD.unpack(data)
+        return cls(sid=sid, uid=uid, lat=lat, lon=lon, ruid=ruid, rsid=rsid)
+
+    def replace_location(self, lat: float, lon: float) -> "TweetRecord":
+        return TweetRecord(self.sid, self.uid, lat, lon, self.ruid, self.rsid)
+
+
+def make_record(sid: int, uid: int, lat: float, lon: float,
+                ruid: Optional[int] = None,
+                rsid: Optional[int] = None) -> TweetRecord:
+    """Convenience constructor mapping ``None`` reply targets to the
+    :data:`NO_REF` sentinel."""
+    return TweetRecord(
+        sid=sid, uid=uid, lat=lat, lon=lon,
+        ruid=NO_REF if ruid is None else ruid,
+        rsid=NO_REF if rsid is None else rsid,
+    )

@@ -1,0 +1,20 @@
+"""Text-analysis substrate: tokenizer, stop words and Porter stemmer.
+
+Implements the text normalisation applied by Algorithm 2 of the paper
+("tokenized ... stemmed ... stop words are filtered out").
+"""
+
+from .analyzer import DEFAULT_ANALYZER, Analyzer
+from .porter import PorterStemmer, stem
+from .stopwords import ENGLISH_STOPWORDS, is_stopword
+from .tokenizer import tokenize
+
+__all__ = [
+    "DEFAULT_ANALYZER",
+    "Analyzer",
+    "ENGLISH_STOPWORDS",
+    "PorterStemmer",
+    "is_stopword",
+    "stem",
+    "tokenize",
+]

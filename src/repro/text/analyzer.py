@@ -1,0 +1,75 @@
+"""The full text-analysis pipeline: tokenize -> stop-filter -> stem.
+
+This is the single entry point used by index construction (Algorithm 2),
+query parsing, and the data generator, so that query keywords and indexed
+terms always pass through identical normalisation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+from .porter import PorterStemmer
+from .stopwords import is_stopword
+from .tokenizer import tokenize
+
+
+class Analyzer:
+    """Configurable analysis pipeline producing normalised terms.
+
+    Parameters
+    ----------
+    use_stemming:
+        Apply the Porter stemmer to each surviving token (paper default).
+    use_stopwords:
+        Drop stop words before stemming (paper default).
+    min_token_length:
+        Tokens shorter than this are dropped (single letters are noise in
+        microblog text).
+    """
+
+    def __init__(self, use_stemming: bool = True, use_stopwords: bool = True,
+                 min_token_length: int = 2,
+                 stemmer: Optional[PorterStemmer] = None) -> None:
+        self.use_stemming = use_stemming
+        self.use_stopwords = use_stopwords
+        self.min_token_length = min_token_length
+        self._stemmer = stemmer if stemmer is not None else PorterStemmer()
+
+    def analyze(self, text: str) -> List[str]:
+        """Normalise raw text to a list of terms (order preserved,
+        duplicates kept — the bag model of Definition 6)."""
+        terms: List[str] = []
+        for token in tokenize(text):
+            if len(token) < self.min_token_length:
+                continue
+            if self.use_stopwords and is_stopword(token):
+                continue
+            if self.use_stemming:
+                token = self._stemmer.stem(token)
+            if token:
+                terms.append(token)
+        return terms
+
+    def term_frequencies(self, text: str) -> Dict[str, int]:
+        """Term -> frequency map of the analysed text: the associative
+        array ``H`` of Algorithm 2."""
+        return dict(Counter(self.analyze(text)))
+
+    def analyze_query_keywords(self, keywords) -> List[str]:
+        """Normalise query keywords through the same pipeline, preserving
+        order and de-duplicating (``q.W`` is a set, Definition 6)."""
+        seen = set()
+        result: List[str] = []
+        for keyword in keywords:
+            for term in self.analyze(keyword):
+                if term not in seen:
+                    seen.add(term)
+                    result.append(term)
+        return result
+
+
+#: Shared default pipeline.  Modules that need one-off analysis use this
+#: instance so the stemmer cache is shared process-wide.
+DEFAULT_ANALYZER = Analyzer()

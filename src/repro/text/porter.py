@@ -1,0 +1,221 @@
+"""The Porter stemming algorithm, implemented from scratch.
+
+Algorithm 2 of the paper stems each term during index construction ("each
+term is stemmed").  This is a faithful implementation of Porter's original
+1980 algorithm ("An algorithm for suffix stripping", *Program* 14(3)),
+steps 1a through 5b, without the later "Porter2" revisions.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    """Porter's consonant test: a, e, i, o, u are vowels; y is a consonant
+    only when it follows a vowel-position character."""
+    char = word[i]
+    if char in _VOWELS:
+        return False
+    if char == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The measure m of a stem: the number of VC (vowel-consonant) blocks
+    in its [C](VC)^m[V] form."""
+    m = 0
+    i = 0
+    n = len(stem)
+    # Skip initial consonant run.
+    while i < n and _is_consonant(stem, i):
+        i += 1
+    while i < n:
+        # Vowel run.
+        while i < n and not _is_consonant(stem, i):
+            i += 1
+        if i >= n:
+            break
+        # Consonant run terminates one VC block.
+        while i < n and _is_consonant(stem, i):
+            i += 1
+        m += 1
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (len(word) >= 2 and word[-1] == word[-2]
+            and _is_consonant(word, len(word) - 1))
+
+
+def _ends_cvc(word: str) -> bool:
+    """True for a consonant-vowel-consonant ending where the final
+    consonant is not w, x or y (Porter's *o condition)."""
+    if len(word) < 3:
+        return False
+    n = len(word)
+    return (_is_consonant(word, n - 3)
+            and not _is_consonant(word, n - 2)
+            and _is_consonant(word, n - 1)
+            and word[-1] not in "wxy")
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str, min_measure: int) -> str:
+    """If ``word`` ends with ``suffix`` and the remaining stem has measure
+    greater than ``min_measure``, swap the suffix; otherwise return ``word``."""
+    stem = word[: len(word) - len(suffix)]
+    if _measure(stem) > min_measure:
+        return stem + replacement
+    return word
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed") and _contains_vowel(word[:-2]):
+        word = word[:-2]
+        flag = True
+    elif word.endswith("ing") and _contains_vowel(word[:-3]):
+        word = word[:-3]
+        flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2_RULES = (
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+)
+
+_STEP3_RULES = (
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+)
+
+_STEP4_SUFFIXES = (
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+)
+
+
+def _step_2(word: str) -> str:
+    for suffix, replacement in _STEP2_RULES:
+        if word.endswith(suffix):
+            return _replace_suffix(word, suffix, replacement, 0)
+    return word
+
+
+def _step_3(word: str) -> str:
+    for suffix, replacement in _STEP3_RULES:
+        if word.endswith(suffix):
+            return _replace_suffix(word, suffix, replacement, 0)
+    return word
+
+
+def _step_4(word: str) -> str:
+    for suffix in _STEP4_SUFFIXES:
+        if word.endswith(suffix):
+            stem = word[: len(word) - len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        m = _measure(stem)
+        if m > 1 or (m == 1 and not _ends_cvc(stem)):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if word.endswith("ll") and _measure(word) > 1:
+        return word[:-1]
+    return word
+
+
+def stem(word: str) -> str:
+    """Stem a single lowercase word with the Porter algorithm.
+
+    Words of length <= 2 are returned unchanged, per Porter's original
+    guard.
+    """
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    word = _step_2(word)
+    word = _step_3(word)
+    word = _step_4(word)
+    word = _step_5a(word)
+    word = _step_5b(word)
+    return word
+
+
+class PorterStemmer:
+    """Object wrapper around :func:`stem` with a memo cache.
+
+    Social-media corpora repeat terms heavily (Zipf), so caching the
+    stem of each distinct surface form removes nearly all stemming cost
+    from index construction.
+    """
+
+    def __init__(self, cache_size: int = 65536) -> None:
+        self._cache: dict = {}
+        self._cache_size = cache_size
+
+    def stem(self, word: str) -> str:
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        result = stem(word)
+        if len(self._cache) < self._cache_size:
+            self._cache[word] = result
+        return result
+
+    def __call__(self, word: str) -> str:
+        return self.stem(word)

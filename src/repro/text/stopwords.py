@@ -1,0 +1,44 @@
+"""English stop-word list.
+
+The paper assumes a vocabulary "that excludes popular stop words (e.g.,
+this and that)" (Definition 1) and filters stop words during tokenization
+in the index-construction mapper (Algorithm 2).  This is the classic
+Van Rijsbergen / SMART-derived list commonly shipped with IR systems,
+augmented with a handful of microblog artefacts (``rt``, ``via``, ``amp``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset("""
+a about above after again against all am an and any are aren arent as at
+be because been before being below between both but by
+can cannot cant could couldn couldnt
+did didn didnt do does doesn doesnt doing don dont down during
+each
+few for from further
+had hadn hadnt has hasn hasnt have haven havent having he hed hell hes her
+here heres hers herself him himself his how hows
+i id ill im ive if in into is isn isnt it its itself
+just
+lets
+me more most mustn mustnt my myself
+no nor not now
+of off on once only or other ought our ours ourselves out over own
+same shan shant she shed shell shes should shouldn shouldnt so some such
+than that thats the their theirs them themselves then there theres these
+they theyd theyll theyre theyve this those through to too
+under until up
+very
+was wasn wasnt we wed well were weren werent weve what whats when whens
+where wheres which while who whos whom why whys will with won wont would
+wouldn wouldnt
+you youd youll youre youve your yours yourself yourselves
+rt via amp http https www
+""".split())
+
+
+def is_stopword(word: str) -> bool:
+    """True when ``word`` (already lowercased) is a stop word."""
+    return word in ENGLISH_STOPWORDS

@@ -1,0 +1,46 @@
+"""Tokenization of social-media post text.
+
+Algorithm 2 of the paper: "the content of each post is tokenized and each
+term is stemmed. Stop words are filtered out during the tokenization
+process."  The tokenizer here is microblog-aware: it strips URLs and
+user mentions, keeps hashtag bodies, lowercases, and splits on
+non-alphanumeric boundaries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+", re.IGNORECASE)
+_MENTION_RE = re.compile(r"@\w+")
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+_APOSTROPHE_RE = re.compile(r"'[a-z]+$")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split raw post text into lowercase word tokens.
+
+    URLs and @-mentions are removed entirely; hashtags contribute their
+    word body (``#toronto`` -> ``toronto``); possessive/clitic suffixes
+    (``marriott's`` -> ``marriott``) are dropped; purely numeric tokens
+    are kept (they can be meaningful, e.g. postcodes).
+    """
+    text = _URL_RE.sub(" ", text)
+    text = _MENTION_RE.sub(" ", text)
+    tokens = []
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = _APOSTROPHE_RE.sub("", match.group(0))
+        if token:
+            tokens.append(token)
+    return tokens
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Streaming variant of :func:`tokenize`."""
+    text = _URL_RE.sub(" ", text)
+    text = _MENTION_RE.sub(" ", text)
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = _APOSTROPHE_RE.sub("", match.group(0))
+        if token:
+            yield token

@@ -1,0 +1,40 @@
+"""Shared fixtures: a small deterministic corpus and a fully wired engine.
+
+Session-scoped because engine construction (MapReduce index build +
+metadata load + bound pre-computation) is the expensive part; tests that
+mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.data.queries import QueryWorkload
+from repro.query.baseline import BruteForceProcessor
+from repro.query.engine import TkLUSEngine
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return generate_corpus(num_users=300, num_root_tweets=1500, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def dataset(corpus):
+    return corpus.to_dataset()
+
+
+@pytest.fixture(scope="session")
+def engine(corpus):
+    return TkLUSEngine.from_posts(corpus.posts)
+
+
+@pytest.fixture(scope="session")
+def workload(corpus):
+    return QueryWorkload(corpus, seed=99)
+
+
+@pytest.fixture(scope="session")
+def oracle(dataset):
+    return BruteForceProcessor(dataset)

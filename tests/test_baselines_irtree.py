@@ -1,0 +1,95 @@
+"""Tests for the IR-tree baseline, including ranking agreement with the
+hybrid-index engine (both implement identical TkLUS semantics)."""
+
+import pytest
+
+from repro.baselines.irtree import IRTree, IRTreeProcessor
+from repro.core.model import Semantics
+from repro.geo.distance import haversine_km
+
+
+@pytest.fixture(scope="module")
+def processor(dataset):
+    return IRTreeProcessor(dataset)
+
+
+class TestIRTreeStructure:
+    def test_build_and_stats(self, dataset):
+        tree = IRTree(max_entries=8).build(dataset.posts.values())
+        stats = tree.stats()
+        assert stats["points"] == len(dataset.posts)
+        assert stats["nodes"] >= stats["leaves"] >= 1
+        assert stats["distinct_terms_at_root"] > 0
+
+    def test_query_before_build_rejected(self, workload):
+        tree = IRTree()
+        query = workload.bind(workload.specs(1)[0], radius_km=10.0)
+        with pytest.raises(RuntimeError):
+            list(tree.candidates(query))
+
+    def test_root_terms_cover_all_words(self, dataset):
+        tree = IRTree(max_entries=8).build(dataset.posts.values())
+        every_word = set()
+        for post in dataset.posts.values():
+            every_word.update(post.words)
+        assert tree.node_terms(tree._tree._root) == every_word
+
+
+class TestCandidateRetrieval:
+    def test_matches_scan_or(self, dataset, processor, workload):
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0)
+        got = {post.sid for post, _m in
+               processor.tree.candidates(query)}
+        expected = {
+            post.sid for post in dataset.posts.values()
+            if query.keywords.intersection(post.words)
+            and haversine_km(query.location, post.location) <= query.radius_km
+        }
+        assert got == expected
+
+    def test_matches_scan_and(self, dataset, processor, workload):
+        query = workload.bind(workload.specs(2)[0], radius_km=30.0,
+                              semantics=Semantics.AND)
+        got = {post.sid for post, _m in processor.tree.candidates(query)}
+        expected = {
+            post.sid for post in dataset.posts.values()
+            if query.keywords <= set(post.words)
+            and haversine_km(query.location, post.location) <= query.radius_km
+        }
+        assert got == expected
+
+    def test_match_counts_bag_model(self, dataset, processor, workload):
+        query = workload.bind(workload.specs(1)[1], radius_km=20.0)
+        for post, match_count in processor.tree.candidates(query):
+            bag = post.word_bag()
+            assert match_count == sum(bag.get(kw, 0) for kw in query.keywords)
+            assert match_count >= 1
+
+
+class TestRankingAgreement:
+    """The IR-tree baseline must produce the same rankings as the
+    hybrid-index engine — same scoring, different access path."""
+
+    @pytest.mark.parametrize("radius", [10.0, 30.0])
+    def test_sum_agreement(self, engine, processor, workload, radius):
+        for spec in workload.specs(1)[:5]:
+            query = workload.bind(spec, radius_km=radius)
+            a = engine.search_sum(query).users
+            b = processor.search_sum(query).users
+            assert [(u, pytest.approx(s)) for u, s in a] == b
+
+    @pytest.mark.parametrize("radius", [10.0, 30.0])
+    def test_max_agreement(self, engine, processor, workload, radius):
+        for spec in workload.specs(1)[:5]:
+            query = workload.bind(spec, radius_km=radius)
+            a = engine.search_max(query).users
+            b = processor.search_max(query).users
+            assert [(u, pytest.approx(s)) for u, s in a] == b
+
+    def test_and_semantics_agreement(self, engine, processor, workload):
+        for spec in workload.specs(2)[:4]:
+            query = workload.bind(spec, radius_km=25.0,
+                                  semantics=Semantics.AND)
+            a = engine.search_sum(query).users
+            b = processor.search_sum(query).users
+            assert [(u, pytest.approx(s)) for u, s in a] == b

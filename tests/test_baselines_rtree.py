@@ -1,0 +1,126 @@
+"""Tests for the R-tree baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.rtree import MBR, RTree
+from repro.geo.distance import haversine_km
+
+points = st.lists(
+    st.tuples(st.floats(min_value=-80, max_value=80, allow_nan=False),
+              st.floats(min_value=-170, max_value=170, allow_nan=False)),
+    min_size=0, max_size=150)
+
+
+class TestMBR:
+    def test_point_mbr(self):
+        box = MBR.of_point(10.0, 20.0)
+        assert box.area() == 0.0
+        assert box.contains_point(10.0, 20.0)
+
+    def test_union(self):
+        box = MBR(0, 0, 1, 1).union(MBR(2, 2, 3, 3))
+        assert box == MBR(0, 0, 3, 3)
+
+    def test_enlargement(self):
+        base = MBR(0, 0, 1, 1)
+        assert base.enlargement(MBR(0, 0, 1, 1)) == 0.0
+        assert base.enlargement(MBR(0, 0, 2, 1)) == pytest.approx(1.0)
+
+    def test_intersects(self):
+        assert MBR(0, 0, 2, 2).intersects(MBR(1, 1, 3, 3))
+        assert MBR(0, 0, 1, 1).intersects(MBR(1, 1, 2, 2))  # touching
+        assert not MBR(0, 0, 1, 1).intersects(MBR(2, 2, 3, 3))
+
+    def test_min_distance_inside_zero(self):
+        box = MBR(0, 0, 10, 10)
+        assert box.min_distance_km((5.0, 5.0)) == 0.0
+
+    def test_min_distance_outside(self):
+        box = MBR(0, 0, 1, 1)
+        direct = haversine_km((3.0, 0.5), (1.0, 0.5))
+        assert box.min_distance_km((3.0, 0.5)) == pytest.approx(direct)
+
+
+class TestRTreeStructure:
+    def test_min_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_insert_many_invariants(self):
+        tree = RTree(max_entries=8)
+        rng = random.Random(1)
+        for i in range(500):
+            tree.insert(rng.uniform(-80, 80), rng.uniform(-170, 170), i)
+        assert len(tree) == 500
+        tree.check_invariants()
+
+    def test_duplicate_points(self):
+        tree = RTree(max_entries=4)
+        for i in range(30):
+            tree.insert(5.0, 5.0, i)
+        tree.check_invariants()
+        got = {v for _p, v in tree.query_rect(MBR(4, 4, 6, 6))}
+        assert got == set(range(30))
+
+    @given(points)
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_random(self, pts):
+        tree = RTree(max_entries=6)
+        for index, (lat, lon) in enumerate(pts):
+            tree.insert(lat, lon, index)
+        tree.check_invariants()
+
+
+class TestQueries:
+    @given(points)
+    @settings(max_examples=25, deadline=None)
+    def test_rect_query_matches_scan(self, pts):
+        tree = RTree(max_entries=6)
+        for index, (lat, lon) in enumerate(pts):
+            tree.insert(lat, lon, index)
+        rect = MBR(-20, -50, 45, 60)
+        got = sorted(v for _p, v in tree.query_rect(rect))
+        expected = sorted(i for i, (lat, lon) in enumerate(pts)
+                          if rect.contains_point(lat, lon))
+        assert got == expected
+
+    @given(points)
+    @settings(max_examples=25, deadline=None)
+    def test_circle_query_matches_scan(self, pts):
+        tree = RTree(max_entries=6)
+        for index, (lat, lon) in enumerate(pts):
+            tree.insert(lat, lon, index)
+        center = (20.0, 30.0)
+        radius = 1500.0
+        got = sorted(v for _p, v in tree.query_circle(center, radius))
+        expected = sorted(i for i, p in enumerate(pts)
+                          if haversine_km(center, p) <= radius)
+        assert got == expected
+
+    @given(points)
+    @settings(max_examples=20, deadline=None)
+    def test_nearest_first_order(self, pts):
+        tree = RTree(max_entries=6)
+        for index, (lat, lon) in enumerate(pts):
+            tree.insert(lat, lon, index)
+        center = (0.0, 0.0)
+        distances = [d for d, _p, _v in tree.nearest_first(center)]
+        assert distances == sorted(distances)
+        assert len(distances) == len(pts)
+
+    def test_nearest_first_yields_closest_first(self):
+        tree = RTree(max_entries=4)
+        tree.insert(0.0, 0.0, "origin")
+        tree.insert(10.0, 10.0, "far")
+        tree.insert(1.0, 1.0, "near")
+        order = [v for _d, _p, v in tree.nearest_first((0.0, 0.0))]
+        assert order == ["origin", "near", "far"]
+
+    def test_empty_tree_queries(self):
+        tree = RTree()
+        assert list(tree.query_rect(MBR(-90, -180, 90, 180))) == []
+        assert list(tree.query_circle((0, 0), 100)) == []
+        assert list(tree.nearest_first((0, 0))) == []

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def corpus_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    exit_code = main(["generate", "-o", str(path),
+                      "--users", "80", "--roots", "300", "--seed", "5"])
+    assert exit_code == 0
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_query_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--lat", "0", "--lon", "0",
+                  "--radius", "5", "--keywords", "x"])
+
+
+class TestGenerate(object):
+    def test_generates_jsonl(self, corpus_file):
+        assert os.path.getsize(corpus_file) > 0
+        with open(corpus_file) as handle:
+            first = handle.readline()
+        assert first.startswith("{")
+
+    def test_deterministic(self, tmp_path, corpus_file):
+        other = tmp_path / "again.jsonl"
+        main(["generate", "-o", str(other),
+              "--users", "80", "--roots", "300", "--seed", "5"])
+        assert open(corpus_file).read() == open(str(other)).read()
+
+
+class TestStats:
+    def test_prints_summary(self, corpus_file, capsys):
+        assert main(["stats", corpus_file, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "posts:" in out and "top keywords:" in out
+        assert "restaur" in out  # rank-1 keyword
+
+
+class TestBuildAndQuery:
+    def test_build_then_query(self, corpus_file, tmp_path, capsys):
+        deployment = str(tmp_path / "deployment")
+        assert main(["build", corpus_file, "-o", deployment]) == 0
+        capsys.readouterr()
+        assert main(["query", deployment,
+                     "--lat", "43.65", "--lon", "-79.38",
+                     "--radius", "25", "--keywords", "restaurant",
+                     "--k", "3", "--method", "sum"]) == 0
+        out = capsys.readouterr().out
+        assert "#1" in out and "user" in out
+
+    def test_query_from_corpus_directly(self, corpus_file, capsys):
+        assert main(["query", "--corpus", corpus_file,
+                     "--lat", "40.71", "--lon", "-74.00",
+                     "--radius", "25", "--keywords", "game",
+                     "--semantics", "or"]) == 0
+        out = capsys.readouterr().out
+        assert "user" in out or "no local users" in out
+
+    def test_and_semantics_flag(self, corpus_file, capsys):
+        assert main(["query", "--corpus", corpus_file,
+                     "--lat", "40.71", "--lon", "-74.00",
+                     "--radius", "30", "--keywords", "game", "night",
+                     "--semantics", "and"]) == 0
+
+    def test_empty_corpus_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["stats", str(empty)])

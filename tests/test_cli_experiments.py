@@ -1,0 +1,27 @@
+"""Smoke test for the CLI experiments subcommand (tiny scale)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("flag", [["--small"]])
+def test_experiments_subcommand_smoke(flag, capsys, monkeypatch):
+    """Run the CLI experiments path against a micro context by patching
+    the context factory — the full --small run is exercised by
+    examples/run_all_experiments.py and the benchmark suite."""
+    from repro.eval.experiments import ExperimentContext
+
+    original = ExperimentContext.create
+
+    def tiny(cls=None, **kwargs):
+        return original(num_users=120, num_root_tweets=400,
+                        queries_per_point=2)
+
+    monkeypatch.setattr(ExperimentContext, "create",
+                        classmethod(lambda cls, **kw: tiny()))
+    assert main(["experiments", *flag]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "Fig 13" in out
+    assert "6gxp" in out  # Table IV reproduced

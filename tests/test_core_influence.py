@@ -1,0 +1,129 @@
+"""Tests for the social-influence (PageRank) extension."""
+
+import pytest
+
+from repro.core.influence import (
+    InfluenceConfig,
+    InfluenceModel,
+    blend_influence,
+)
+from repro.core.model import Dataset, EdgeKind, Post, SocialNetwork
+
+
+def star_network(center=1, spokes=(2, 3, 4, 5)):
+    """Everyone replies to the centre."""
+    network = SocialNetwork()
+    sid = 100
+    for spoke in spokes:
+        network.add_interaction(spoke, center, sid, EdgeKind.REPLY)
+        sid += 1
+    return network
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        dict(damping=0.0), dict(damping=1.0),
+        dict(max_iterations=0), dict(forward_weight=0.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            InfluenceConfig(**kwargs)
+
+
+class TestPageRank:
+    def test_empty_network(self):
+        model = InfluenceModel(SocialNetwork())
+        assert len(model) == 0
+        assert model.influence(42) == 0.0
+
+    def test_star_center_dominates(self):
+        model = InfluenceModel(star_network())
+        assert model.influence(1) == 1.0  # normalised peak
+        for spoke in (2, 3, 4, 5):
+            assert model.influence(spoke) < model.influence(1)
+
+    def test_spokes_symmetric(self):
+        model = InfluenceModel(star_network())
+        values = {model.influence(spoke) for spoke in (2, 3, 4, 5)}
+        assert len(values) == 1
+
+    def test_chain_monotone(self):
+        """a -> b -> c: influence grows along the chain."""
+        network = SocialNetwork()
+        network.add_interaction(1, 2, 10, EdgeKind.REPLY)
+        network.add_interaction(2, 3, 11, EdgeKind.REPLY)
+        model = InfluenceModel(network)
+        assert model.influence(3) > model.influence(2) > model.influence(1)
+
+    def test_forward_weighting(self):
+        """A forward endorses more than a reply under the default config."""
+        network = SocialNetwork()
+        # User 1 interacts with 2 (reply) and 3 (forward), equally often.
+        network.add_interaction(1, 2, 10, EdgeKind.REPLY)
+        network.add_interaction(1, 3, 11, EdgeKind.FORWARD)
+        model = InfluenceModel(network)
+        assert model.influence(3) > model.influence(2)
+
+    def test_interaction_count_matters(self):
+        network = SocialNetwork()
+        for sid in range(5):
+            network.add_interaction(1, 2, sid, EdgeKind.REPLY)
+        network.add_interaction(1, 3, 99, EdgeKind.REPLY)
+        model = InfluenceModel(network)
+        assert model.influence(2) > model.influence(3)
+
+    def test_scores_in_unit_interval(self, dataset):
+        model = InfluenceModel.from_dataset(dataset)
+        for _uid, value in model.top(50):
+            assert 0.0 <= value <= 1.0
+        assert model.top(1)[0][1] == 1.0
+
+    def test_convergence_on_real_dataset(self, dataset):
+        tight = InfluenceModel.from_dataset(
+            dataset, InfluenceConfig(max_iterations=200, tolerance=1e-12))
+        loose = InfluenceModel.from_dataset(
+            dataset, InfluenceConfig(max_iterations=200, tolerance=1e-6))
+        for uid, value in tight.top(20):
+            assert loose.influence(uid) == pytest.approx(value, abs=1e-3)
+
+    def test_viral_thread_roots_are_influential(self, corpus, dataset):
+        """Users whose tweets spawned the largest cascades should rank
+        high on influence."""
+        model = InfluenceModel.from_dataset(dataset)
+        reply_counts = {}
+        by_sid = {p.sid: p for p in corpus.posts}
+        for post in corpus.posts:
+            if post.rsid is not None:
+                root_author = by_sid[post.rsid].uid
+                reply_counts[root_author] = reply_counts.get(root_author, 0) + 1
+        most_replied = max(reply_counts, key=reply_counts.get)
+        influential = {uid for uid, _v in model.top(len(model) // 5)}
+        assert most_replied in influential
+
+
+class TestBlend:
+    def test_beta_zero_is_identity_order(self):
+        ranked = [(1, 0.9), (2, 0.5), (3, 0.1)]
+        model = InfluenceModel(star_network())
+        assert blend_influence(ranked, model, beta=0.0) == ranked
+
+    def test_beta_one_is_pure_influence(self):
+        ranked = [(2, 0.9), (1, 0.1)]  # spoke ranked above center
+        model = InfluenceModel(star_network())
+        blended = blend_influence(ranked, model, beta=1.0)
+        assert blended[0][0] == 1  # the star centre wins
+
+    def test_invalid_beta(self):
+        model = InfluenceModel(star_network())
+        with pytest.raises(ValueError):
+            blend_influence([], model, beta=1.5)
+
+    def test_blend_with_engine_results(self, engine, workload, dataset):
+        model = InfluenceModel.from_dataset(dataset)
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0, k=10)
+        result = engine.search_max(query)
+        blended = blend_influence(result.users, model, beta=0.3)
+        assert len(blended) == len(result.users)
+        assert {uid for uid, _s in blended} == {uid for uid, _s in result.users}
+        scores = [score for _uid, score in blended]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,136 @@
+"""Tests for the data model (Definitions 1-2, the TkLUS query)."""
+
+import pytest
+
+from repro.core.errors import DatasetError, QueryError
+from repro.core.model import (
+    Dataset,
+    EdgeKind,
+    Post,
+    Semantics,
+    SocialNetwork,
+    TkLUSQuery,
+)
+
+
+def post(sid, uid, words=("hotel",), rsid=None, ruid=None,
+         kind=None, location=(43.65, -79.38)):
+    return Post(sid=sid, uid=uid, location=location, words=tuple(words),
+                text=" ".join(words), rsid=rsid, ruid=ruid, kind=kind)
+
+
+class TestPost:
+    def test_timestamp_is_sid(self):
+        assert post(42, 1).timestamp == 42
+
+    def test_is_response(self):
+        assert not post(1, 1).is_response
+        assert post(2, 2, rsid=1, ruid=1).is_response
+
+    def test_word_bag(self):
+        bag = post(1, 1, words=("pizza", "pizza", "place")).word_bag()
+        assert bag == {"pizza": 2, "place": 1}
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            post(1, 1).sid = 2  # type: ignore[misc]
+
+
+class TestSocialNetwork:
+    def test_reply_edges_and_labels(self):
+        network = SocialNetwork()
+        network.add_interaction(2, 1, post_sid=10, kind=EdgeKind.REPLY)
+        network.add_interaction(2, 1, post_sid=11, kind=EdgeKind.REPLY)
+        assert network.l_reply(2, 1) == [10, 11]
+        assert network.l_reply(1, 2) == []
+        assert network.users == {1, 2}
+
+    def test_forward_edges_separate(self):
+        network = SocialNetwork()
+        network.add_interaction(3, 1, post_sid=20, kind=EdgeKind.FORWARD)
+        assert network.l_forward(3, 1) == [20]
+        assert network.l_reply(3, 1) == []
+
+    def test_degrees(self):
+        network = SocialNetwork()
+        network.add_interaction(2, 1, 10, EdgeKind.REPLY)
+        network.add_interaction(3, 1, 11, EdgeKind.FORWARD)
+        network.add_interaction(2, 3, 12, EdgeKind.REPLY)
+        assert network.in_degree(1) == 2
+        assert network.out_degree(2) == 2
+        assert network.out_degree(1) == 0
+
+
+class TestDataset:
+    def test_add_and_lookup(self):
+        dataset = Dataset()
+        dataset.add_post(post(1, 7))
+        assert dataset.get(1).uid == 7
+        assert len(dataset) == 1
+        assert 7 in dataset.users
+
+    def test_duplicate_sid_rejected(self):
+        dataset = Dataset()
+        dataset.add_post(post(1, 7))
+        with pytest.raises(DatasetError):
+            dataset.add_post(post(1, 8))
+
+    def test_dangling_reply_rejected(self):
+        dataset = Dataset()
+        with pytest.raises(DatasetError):
+            dataset.add_post(post(2, 8, rsid=1, ruid=7))
+
+    def test_reply_builds_network_edge(self):
+        dataset = Dataset()
+        dataset.add_post(post(1, 7))
+        dataset.add_post(post(2, 8, rsid=1, ruid=7, kind=EdgeKind.REPLY))
+        assert dataset.network.l_reply(8, 7) == [2]
+
+    def test_forward_kind_routes_to_forward_edges(self):
+        dataset = Dataset()
+        dataset.add_post(post(1, 7))
+        dataset.add_post(post(2, 8, rsid=1, ruid=7, kind=EdgeKind.FORWARD))
+        assert dataset.network.l_forward(8, 7) == [2]
+        assert dataset.network.l_reply(8, 7) == []
+
+    def test_posts_of(self):
+        dataset = Dataset()
+        dataset.extend([post(1, 7), post(2, 7), post(3, 8)])
+        assert [p.sid for p in dataset.posts_of(7)] == [1, 2]
+        assert dataset.post_count_of(7) == 2
+        assert dataset.posts_of(99) == []
+
+
+class TestTkLUSQuery:
+    def test_valid_query(self):
+        query = TkLUSQuery(location=(43.65, -79.38), radius_km=10.0,
+                           keywords=frozenset({"hotel"}), k=5)
+        assert query.k == 5
+        assert query.semantics is Semantics.OR
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(location=(43.65, -79.38), radius_km=0.0,
+             keywords=frozenset({"a"})),
+        dict(location=(43.65, -79.38), radius_km=-1.0,
+             keywords=frozenset({"a"})),
+        dict(location=(43.65, -79.38), radius_km=1.0, keywords=frozenset()),
+        dict(location=(43.65, -79.38), radius_km=1.0,
+             keywords=frozenset({"a"}), k=0),
+        dict(location=(95.0, 0.0), radius_km=1.0, keywords=frozenset({"a"})),
+    ])
+    def test_invalid_queries(self, kwargs):
+        with pytest.raises(QueryError):
+            TkLUSQuery(**kwargs)
+
+    def test_create_normalises_keywords(self):
+        query = TkLUSQuery.create((43.65, -79.38), 10.0,
+                                  ["Hotels", "restaurants"])
+        assert query.keywords == frozenset({"hotel", "restaur"})
+
+    def test_create_accepts_single_string(self):
+        query = TkLUSQuery.create((43.65, -79.38), 10.0, "hotel")
+        assert query.keywords == frozenset({"hotel"})
+
+    def test_create_multiword_string_splits(self):
+        query = TkLUSQuery.create((43.65, -79.38), 10.0, ["spicy restaurant"])
+        assert query.keywords == frozenset({"spici", "restaur"})

@@ -1,0 +1,187 @@
+"""Tests for the scoring functions (Definitions 4-11)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scoring import (
+    DEFAULT_CONFIG,
+    ScoringConfig,
+    distance_score,
+    keyword_match_count,
+    keyword_relevance,
+    max_score,
+    sum_score,
+    thread_popularity,
+    upper_bound_popularity,
+    upper_bound_popularity_literal,
+    upper_bound_user_score,
+    user_distance_score,
+    user_score,
+)
+from repro.geo.distance import haversine_km
+
+
+class TestScoringConfig:
+    def test_paper_defaults(self):
+        assert DEFAULT_CONFIG.alpha == 0.5
+        assert DEFAULT_CONFIG.keyword_normalizer == 40.0
+        assert DEFAULT_CONFIG.epsilon == 0.1
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(alpha=-0.1), dict(alpha=1.1),
+        dict(keyword_normalizer=0.0), dict(epsilon=-1.0),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ScoringConfig(**kwargs)
+
+
+class TestThreadPopularity:
+    def test_paper_figure2(self):
+        """3*(1/2) + 4*(1/3) + 2*(1/4) = 10/3."""
+        assert thread_popularity([1, 3, 4, 2]) == pytest.approx(10.0 / 3.0)
+
+    def test_singleton_epsilon(self):
+        assert thread_popularity([1], epsilon=0.1) == 0.1
+        assert thread_popularity([], epsilon=0.3) == 0.3
+
+    def test_two_levels(self):
+        assert thread_popularity([1, 4]) == pytest.approx(2.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=2,
+                    max_size=8))
+    def test_monotone_in_level_sizes(self, sizes):
+        sizes = [1] + sizes
+        bigger = [1] + [s + 1 for s in sizes[1:]]
+        assert thread_popularity(bigger) >= thread_popularity(sizes)
+
+
+class TestDistanceScore:
+    QUERY = (43.65, -79.38)
+
+    def test_at_query_location(self):
+        assert distance_score(self.QUERY, self.QUERY, 10.0) == 1.0
+
+    def test_outside_radius_zero(self):
+        far = (44.80, -79.38)  # > 100 km north
+        assert distance_score(far, self.QUERY, 10.0) == 0.0
+
+    def test_linear_decay(self):
+        # A point at exactly half the radius scores 0.5.
+        point = (self.QUERY[0] + 0.0449662, self.QUERY[1])  # ~5 km north
+        d = haversine_km(self.QUERY, point)
+        expected = (10.0 - d) / 10.0
+        assert distance_score(point, self.QUERY, 10.0) == pytest.approx(expected)
+
+    @given(st.floats(min_value=-0.5, max_value=0.5),
+           st.floats(min_value=-0.5, max_value=0.5),
+           st.floats(min_value=1.0, max_value=100.0))
+    def test_range_is_unit_interval(self, dlat, dlon, radius):
+        point = (self.QUERY[0] + dlat, self.QUERY[1] + dlon)
+        score = distance_score(point, self.QUERY, radius)
+        assert 0.0 <= score <= 1.0
+
+
+class TestKeywordRelevance:
+    def test_paper_bag_example(self):
+        """Query "spicy restaurant", tweet with one "spicy" and two
+        "restaurant": occurrence count is 3 (Definition 6)."""
+        bag = {"spici": 1, "restaur": 2}
+        assert keyword_match_count(bag, frozenset({"spici", "restaur"})) == 3
+
+    def test_no_match(self):
+        assert keyword_match_count({"cafe": 2}, frozenset({"hotel"})) == 0
+
+    def test_relevance_formula(self):
+        bag = {"hotel": 2}
+        got = keyword_relevance(bag, frozenset({"hotel"}), popularity=4.0)
+        assert got == pytest.approx((2 / 40.0) * 4.0)
+
+    def test_relevance_may_exceed_one(self):
+        bag = {"hotel": 10}
+        got = keyword_relevance(bag, frozenset({"hotel"}), popularity=100.0)
+        assert got > 1.0
+
+
+class TestUserAggregates:
+    def test_sum_and_max(self):
+        values = [0.2, 0.9, 0.5]
+        assert sum_score(values) == pytest.approx(1.6)
+        assert max_score(values) == 0.9
+
+    def test_empty(self):
+        assert sum_score([]) == 0.0
+        assert max_score([]) == 0.0
+
+    def test_user_distance_average(self):
+        query = (43.65, -79.38)
+        locations = [query, (50.0, 0.0)]  # one perfect, one outside
+        assert user_distance_score(locations, query, 10.0) == pytest.approx(0.5)
+
+    def test_user_distance_empty(self):
+        assert user_distance_score([], (0.0, 0.0), 10.0) == 0.0
+
+
+class TestUserScore:
+    def test_alpha_blend(self):
+        config = ScoringConfig(alpha=0.3)
+        assert user_score(1.0, 0.5, config) == pytest.approx(
+            0.3 * 1.0 + 0.7 * 0.5)
+
+    def test_alpha_extremes(self):
+        assert user_score(0.8, 0.2, ScoringConfig(alpha=1.0)) == 0.8
+        assert user_score(0.8, 0.2, ScoringConfig(alpha=0.0)) == 0.2
+
+
+class TestUpperBounds:
+    def test_compounding_bound(self):
+        # depth 3, fanout 2: levels hold <= 2 and 4 -> 2/2 + 4/3.
+        assert upper_bound_popularity(2, 3) == pytest.approx(1.0 + 4.0 / 3.0)
+
+    def test_literal_bound(self):
+        # t_m at every level: 2/2 + 2/3.
+        assert upper_bound_popularity_literal(2, 3) == pytest.approx(
+            1.0 + 2.0 / 3.0)
+
+    def test_zero_fanout(self):
+        assert upper_bound_popularity(0, 5) == 0.0
+        assert upper_bound_popularity_literal(0, 5) == 0.0
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=2, max_value=6))
+    def test_compounding_dominates_literal(self, fanout, depth):
+        assert (upper_bound_popularity(fanout, depth)
+                >= upper_bound_popularity_literal(fanout, depth))
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=4),
+           st.integers(min_value=1, max_value=5))
+    def test_bound_dominates_any_thread(self, child_counts, fanout):
+        """Any thread whose per-node fanout is at most ``fanout`` has
+        popularity below the compounding bound."""
+        depth = len(child_counts) + 1
+        sizes = [1]
+        for count in child_counts:
+            sizes.append(sizes[-1] * min(count, fanout))
+            if sizes[-1] == 0:
+                sizes.pop()
+                break
+        popularity = thread_popularity(sizes, epsilon=0.0)
+        assert popularity <= upper_bound_popularity(fanout, depth) + 1e-9
+
+    def test_upper_bound_user_score(self):
+        config = ScoringConfig(alpha=0.5, keyword_normalizer=40.0)
+        got = upper_bound_user_score(8.0, 2, config)
+        assert got == pytest.approx(0.5 * (2 / 40.0) * 8.0 + 0.5)
+
+    def test_upper_bound_user_score_dominates_actual(self):
+        config = DEFAULT_CONFIG
+        popularity = 3.0
+        bound = upper_bound_user_score(popularity, 2, config)
+        actual = user_score(
+            keyword_relevance({"hotel": 2}, frozenset({"hotel"}), popularity,
+                              config),
+            0.95, config)
+        assert bound >= actual

@@ -1,0 +1,176 @@
+"""Tests for the temporal TkLUS extension (Section VIII future work)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import QueryError
+from repro.core.model import Semantics, TkLUSQuery
+from repro.core.temporal import (
+    NO_TEMPORAL,
+    RecencyModel,
+    TemporalSpec,
+    TimeWindow,
+)
+
+posting_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1000),
+              st.integers(min_value=1, max_value=5)),
+    max_size=60,
+).map(lambda pairs: sorted(dict(pairs).items()))
+
+
+class TestTimeWindow:
+    def test_unbounded(self):
+        window = TimeWindow()
+        assert window.unbounded
+        assert window.contains(0) and window.contains(10**12)
+
+    def test_bounds_inclusive(self):
+        window = TimeWindow(10, 20)
+        assert window.contains(10) and window.contains(20)
+        assert not window.contains(9) and not window.contains(21)
+
+    def test_half_open_variants(self):
+        assert TimeWindow(start=5).contains(10**9)
+        assert not TimeWindow(start=5).contains(4)
+        assert TimeWindow(end=5).contains(0)
+        assert not TimeWindow(end=5).contains(6)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(QueryError):
+            TimeWindow(10, 5)
+
+    def test_clip_postings(self):
+        postings = [(1, 1), (5, 2), (9, 1), (12, 3)]
+        assert TimeWindow(5, 9).clip_postings(postings) == [(5, 2), (9, 1)]
+        assert TimeWindow(6, 8).clip_postings(postings) == []
+        assert TimeWindow().clip_postings(postings) == postings
+
+    @given(posting_lists,
+           st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_clip_matches_filter(self, postings, a, b):
+        start, end = min(a, b), max(a, b)
+        window = TimeWindow(start, end)
+        expected = [(tid, tf) for tid, tf in postings
+                    if start <= tid <= end]
+        assert window.clip_postings(postings) == expected
+
+
+class TestRecencyModel:
+    def test_half_life_semantics(self):
+        model = RecencyModel(half_life=10)
+        assert model.weight(100, reference=100) == 1.0
+        assert model.weight(90, reference=100) == pytest.approx(0.5)
+        assert model.weight(80, reference=100) == pytest.approx(0.25)
+
+    def test_future_timestamps_capped(self):
+        model = RecencyModel(half_life=10)
+        assert model.weight(110, reference=100) == 1.0
+
+    def test_invalid_half_life(self):
+        with pytest.raises(QueryError):
+            RecencyModel(half_life=0)
+
+    def test_reference_resolution(self):
+        assert RecencyModel(10).resolve_reference(55) == 55
+        assert RecencyModel(10, reference=70).resolve_reference(55) == 70
+
+
+class TestTemporalSpec:
+    def test_trivial(self):
+        assert NO_TEMPORAL.is_trivial
+        assert not TemporalSpec(window=TimeWindow(1, 2)).is_trivial
+        assert not TemporalSpec(recency=RecencyModel(5)).is_trivial
+
+
+class TestTemporalQueries:
+    """End-to-end behaviour through the engine (vs the oracle)."""
+
+    def _mid_window(self, corpus):
+        sids = [post.sid for post in corpus.posts]
+        return TimeWindow(sids[len(sids) // 4], sids[len(sids) // 2])
+
+    def test_window_restricts_candidates(self, corpus, engine, workload):
+        spec = workload.specs(1)[0]
+        base = workload.bind(spec, radius_km=30.0)
+        window = self._mid_window(corpus)
+        windowed = TkLUSQuery(location=base.location, radius_km=30.0,
+                              keywords=base.keywords, k=10,
+                              temporal=TemporalSpec(window=window))
+        full = engine.search_sum(base)
+        narrow = engine.search_sum(windowed)
+        assert narrow.stats.candidates <= full.stats.candidates
+
+    def test_window_agreement_with_oracle(self, corpus, engine, workload,
+                                          oracle):
+        window = self._mid_window(corpus)
+        for spec in workload.specs(1)[:5]:
+            base = workload.bind(spec, radius_km=25.0)
+            query = TkLUSQuery(location=base.location, radius_km=25.0,
+                               keywords=base.keywords, k=10,
+                               temporal=TemporalSpec(window=window))
+            indexed = engine.search_sum(query)
+            exact = oracle.search_sum(query)
+            assert [u for u, _s in indexed.users] == [u for u, _s in exact.users]
+
+    def test_window_results_only_contain_windowed_tweets(
+            self, corpus, engine, workload, dataset):
+        from repro.geo.distance import haversine_km
+        window = self._mid_window(corpus)
+        base = workload.bind(workload.specs(1)[1], radius_km=30.0)
+        query = TkLUSQuery(location=base.location, radius_km=30.0,
+                           keywords=base.keywords, k=10,
+                           temporal=TemporalSpec(window=window))
+        result = engine.search_sum(query)
+        for uid, _score in result.users:
+            assert any(
+                window.contains(post.sid)
+                and query.keywords.intersection(post.words)
+                and haversine_km(query.location, post.location) <= 30.0
+                for post in dataset.posts_of(uid))
+
+    def test_recency_agreement_with_oracle(self, engine, workload, oracle):
+        temporal = TemporalSpec(recency=RecencyModel(half_life=500.0))
+        for spec in workload.specs(1)[:4]:
+            base = workload.bind(spec, radius_km=25.0)
+            query = TkLUSQuery(location=base.location, radius_km=25.0,
+                               keywords=base.keywords, k=10,
+                               temporal=temporal)
+            indexed = engine.search_sum(query)
+            exact = oracle.search_sum(query)
+            for (ua, sa), (ub, sb) in zip(indexed.users, exact.users):
+                assert sa == pytest.approx(sb)
+
+    def test_recency_prefers_newer_on_max(self, engine, workload, oracle):
+        """With a tiny half-life, older tweets' keyword contribution
+        vanishes — the winner must hold a recent matching tweet."""
+        temporal = TemporalSpec(recency=RecencyModel(half_life=50.0))
+        base = workload.bind(workload.specs(1)[2], radius_km=30.0)
+        query = TkLUSQuery(location=base.location, radius_km=30.0,
+                           keywords=base.keywords, k=10, temporal=temporal)
+        plain = TkLUSQuery(location=base.location, radius_km=30.0,
+                           keywords=base.keywords, k=10)
+        weighted = engine.search_max(query)
+        unweighted = engine.search_max(plain)
+        # Scores can only shrink under a <= 1 multiplicative weight.
+        weighted_scores = dict(weighted.users)
+        unweighted_scores = dict(unweighted.users)
+        for uid in set(weighted_scores) & set(unweighted_scores):
+            assert weighted_scores[uid] <= unweighted_scores[uid] + 1e-9
+
+    def test_max_pruning_still_sound_under_recency(self, engine, workload):
+        temporal = TemporalSpec(recency=RecencyModel(half_life=200.0))
+        pruned = engine.processor("max", use_pruning=True)
+        unpruned = engine.processor("max", use_pruning=False)
+        for spec in workload.specs(1)[:4]:
+            base = workload.bind(spec, radius_km=30.0)
+            query = TkLUSQuery(location=base.location, radius_km=30.0,
+                               keywords=base.keywords, k=10,
+                               temporal=temporal)
+            engine.threads.clear_cache()
+            a = pruned.search(query)
+            engine.threads.clear_cache()
+            b = unpruned.search(query)
+            assert [u for u, _s in a.users] == [u for u, _s in b.users]

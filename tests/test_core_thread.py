@@ -1,0 +1,137 @@
+"""Tests for tweet threads and Algorithm 1 (Definitions 3-4)."""
+
+import pytest
+
+from repro.core.model import Dataset, Post
+from repro.core.thread import (
+    DatasetThreadBuilder,
+    ThreadBuilder,
+    TweetThread,
+)
+from repro.storage.metadata import MetadataDatabase
+from repro.storage.records import make_record
+
+
+def paper_figure2_records():
+    """The thread of Figure 2: root p1; p2, p3, p4 reply to p1;
+    level 3 has 4 tweets; level 4 has 2."""
+    records = [make_record(1, 1, 0.0, 0.0)]
+    sid = 2
+    for _ in range(3):  # level 2
+        records.append(make_record(sid, sid, 0.0, 0.0, ruid=1, rsid=1))
+        sid += 1
+    level2 = [2, 3, 4]
+    for i in range(4):  # level 3: attach to level-2 tweets
+        parent = level2[i % 3]
+        records.append(make_record(sid, sid, 0.0, 0.0, ruid=parent,
+                                   rsid=parent))
+        sid += 1
+    level3 = [5, 6, 7, 8]
+    for i in range(2):  # level 4
+        parent = level3[i]
+        records.append(make_record(sid, sid, 0.0, 0.0, ruid=parent,
+                                   rsid=parent))
+        sid += 1
+    return records
+
+
+@pytest.fixture()
+def figure2_db():
+    db = MetadataDatabase.in_memory()
+    db.bulk_load(paper_figure2_records())
+    return db
+
+
+class TestTweetThread:
+    def test_paper_figure2_popularity(self, figure2_db):
+        """The paper computes 3/2 + 4/3 + 2/4 = 10/3 for Figure 2."""
+        builder = ThreadBuilder(figure2_db, depth=6, epsilon=0.1)
+        assert builder.popularity(1) == pytest.approx(10.0 / 3.0)
+
+    def test_figure2_structure(self, figure2_db):
+        thread = ThreadBuilder(figure2_db).build(1)
+        assert thread.height == 4
+        assert thread.level_sizes() == [1, 3, 4, 2]
+        assert thread.size == 10
+
+    def test_singleton_gets_epsilon(self, figure2_db):
+        builder = ThreadBuilder(figure2_db, epsilon=0.25)
+        assert builder.popularity(10) == 0.25  # leaf tweet, no replies
+
+    def test_depth_bound_truncates(self, figure2_db):
+        builder = ThreadBuilder(figure2_db, depth=2, epsilon=0.1)
+        # Only level 2 counted: 3/2.
+        assert builder.popularity(1) == pytest.approx(1.5)
+        assert builder.build(1).height == 2
+
+    def test_depth_one_always_epsilon(self, figure2_db):
+        builder = ThreadBuilder(figure2_db, depth=1, epsilon=0.1)
+        assert builder.popularity(1) == 0.1
+
+    def test_bad_depth_rejected(self, figure2_db):
+        with pytest.raises(ValueError):
+            ThreadBuilder(figure2_db, depth=0)
+
+    def test_thread_object_popularity_matches(self, figure2_db):
+        builder = ThreadBuilder(figure2_db)
+        thread = builder.build(1)
+        assert thread.popularity(0.1) == pytest.approx(builder.popularity(1))
+
+
+class TestCaching:
+    def test_cache_avoids_io(self, figure2_db):
+        builder = ThreadBuilder(figure2_db, cache=True)
+        builder.popularity(1)
+        built_before = builder.threads_built
+        builder.popularity(1)
+        assert builder.threads_built == built_before  # served from cache
+
+    def test_cache_disabled(self, figure2_db):
+        builder = ThreadBuilder(figure2_db, cache=False)
+        builder.popularity(1)
+        builder.popularity(1)
+        assert builder.threads_built == 2
+
+    def test_clear_cache(self, figure2_db):
+        builder = ThreadBuilder(figure2_db, cache=True)
+        builder.popularity(1)
+        builder.clear_cache()
+        builder.popularity(1)
+        assert builder.threads_built == 2
+
+
+class TestDatasetThreadBuilder:
+    def make_dataset(self):
+        dataset = Dataset()
+        posts = []
+        for record in paper_figure2_records():
+            posts.append(Post(
+                sid=record.sid, uid=record.uid, location=(0.0, 0.0),
+                words=("x",), text="x",
+                rsid=record.rsid if record.rsid != -1 else None,
+                ruid=record.ruid if record.ruid != -1 else None))
+        dataset.extend(posts)
+        return dataset
+
+    def test_matches_storage_builder(self, figure2_db):
+        dataset_builder = DatasetThreadBuilder(self.make_dataset())
+        storage_builder = ThreadBuilder(figure2_db)
+        for sid in range(1, 11):
+            assert dataset_builder.popularity(sid) == pytest.approx(
+                storage_builder.popularity(sid))
+
+    def test_depth_bound(self):
+        builder = DatasetThreadBuilder(self.make_dataset(), depth=3)
+        assert builder.build(1).height == 3
+
+
+class TestThreadIOCost:
+    def test_thread_construction_costs_ios(self, figure2_db):
+        """The Section V-B premise: every thread construction reads the
+        rsid index and heap."""
+        figure2_db.stats.reset_all()
+        builder = ThreadBuilder(figure2_db, cache=False)
+        builder.popularity(1)
+        # Every expanded tweet needs at least the rsid-tree descent.
+        assert figure2_db.stats.get("rsid_index").cache_hits \
+            + figure2_db.stats.get("rsid_index").cache_misses > 0

@@ -1,0 +1,106 @@
+"""Tests for the JSON-lines ETL boundary."""
+
+import io
+import json
+
+from repro.core.model import EdgeKind, Post
+from repro.data.etl import (
+    dump_posts,
+    iter_posts,
+    load_posts,
+    parse_post,
+    post_to_json,
+)
+
+
+def make_post(sid=1, rsid=None):
+    return Post(sid=sid, uid=7, location=(43.65, -79.38),
+                words=("hotel", "toronto"), text="hotel toronto",
+                rsid=rsid, ruid=3 if rsid else None,
+                kind=EdgeKind.FORWARD if rsid else None)
+
+
+class TestSerialise:
+    def test_roundtrip_root_post(self):
+        post = make_post()
+        back = parse_post(post_to_json(post))
+        assert back.sid == post.sid
+        assert back.uid == post.uid
+        assert back.location == post.location
+        assert back.words == post.words
+        assert back.rsid is None and back.kind is None
+
+    def test_roundtrip_reply_post(self):
+        post = make_post(sid=2, rsid=1)
+        back = parse_post(post_to_json(post))
+        assert back.rsid == 1 and back.ruid == 3
+        assert back.kind is EdgeKind.FORWARD
+
+    def test_json_field_names_tweet_like(self):
+        obj = json.loads(post_to_json(make_post(sid=2, rsid=1)))
+        assert {"id", "user_id", "coordinates", "text",
+                "in_reply_to_status_id"} <= set(obj)
+
+
+class TestParse:
+    def test_non_geotagged_dropped(self):
+        line = json.dumps({"id": 5, "user_id": 1, "text": "no geo",
+                           "coordinates": None})
+        assert parse_post(line) is None
+
+    def test_words_recomputed_when_missing(self):
+        line = json.dumps({"id": 5, "user_id": 1,
+                           "coordinates": [43.0, -79.0],
+                           "text": "Great Hotels!"})
+        post = parse_post(line)
+        assert post.words == ("great", "hotel")
+
+    def test_reply_defaults_to_reply_kind_when_unlabelled(self):
+        line = json.dumps({"id": 5, "user_id": 1,
+                           "coordinates": [43.0, -79.0], "text": "x",
+                           "in_reply_to_status_id": 2,
+                           "in_reply_to_user_id": 9})
+        post = parse_post(line)
+        assert post.rsid == 2
+        assert post.kind is None  # kind only set when labelled
+
+
+class TestStreams:
+    def test_dump_load_roundtrip(self):
+        posts = [make_post(sid=1), make_post(sid=2, rsid=1),
+                 make_post(sid=3)]
+        buffer = io.StringIO()
+        assert dump_posts(posts, buffer) == 3
+        buffer.seek(0)
+        loaded = load_posts(buffer)
+        assert [p.sid for p in loaded] == [1, 2, 3]
+        assert loaded[1].rsid == 1
+
+    def test_load_skips_blank_lines_and_non_geo(self):
+        lines = [
+            post_to_json(make_post(sid=1)),
+            "",
+            json.dumps({"id": 9, "user_id": 2, "text": "no geo",
+                        "coordinates": None}),
+            post_to_json(make_post(sid=2)),
+        ]
+        loaded = load_posts(io.StringIO("\n".join(lines)))
+        assert [p.sid for p in loaded] == [1, 2]
+
+    def test_iter_posts_streaming(self):
+        buffer = io.StringIO()
+        dump_posts([make_post(sid=i) for i in range(1, 6)], buffer)
+        buffer.seek(0)
+        sids = [post.sid for post in iter_posts(buffer)]
+        assert sids == [1, 2, 3, 4, 5]
+
+    def test_corpus_roundtrip(self, corpus):
+        buffer = io.StringIO()
+        dump_posts(corpus.posts[:200], buffer)
+        buffer.seek(0)
+        loaded = load_posts(buffer)
+        assert len(loaded) == 200
+        for original, back in zip(corpus.posts[:200], loaded):
+            assert back.sid == original.sid
+            assert back.words == original.words
+            assert back.location == original.location

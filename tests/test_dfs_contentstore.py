@@ -1,0 +1,136 @@
+"""Tests for the DFS tweet-content store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Post
+from repro.dfs.cluster import DFSCluster, paper_cluster
+from repro.dfs.contentstore import ContentStore, ContentStoreError
+
+
+def post(sid, uid=1, text=None):
+    return Post(sid=sid, uid=uid, location=(43.0, -79.0), words=(),
+                text=text if text is not None else f"tweet number {sid}")
+
+
+class TestWriteBatch:
+    def test_roundtrip(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1), post(5), post(9)])
+        assert store.get(5) == (1, "tweet number 5")
+        assert store.get(1) == (1, "tweet number 1")
+        assert store.get(9) == (1, "tweet number 9")
+        assert len(store) == 3
+
+    def test_missing_sid(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1), post(5)])
+        assert store.get(3) is None
+        assert store.get(100) is None
+
+    def test_unsorted_batch_rejected(self):
+        store = ContentStore(paper_cluster())
+        with pytest.raises(ContentStoreError):
+            store.write_batch([post(5), post(1)])
+
+    def test_duplicate_sid_rejected(self):
+        store = ContentStore(paper_cluster())
+        with pytest.raises(ContentStoreError):
+            store.write_batch([post(5), post(5)])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            ContentStore(paper_cluster()).write_batch([])
+
+    def test_multiple_runs(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1), post(2)])
+        store.write_batch([post(10), post(20)])
+        assert store.run_count == 2
+        assert store.get(2) == (1, "tweet number 2")
+        assert store.get(20) == (1, "tweet number 20")
+
+    def test_unicode_content(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1, text="café in 서울 ☕")])
+        assert store.get(1) == (1, "café in 서울 ☕")
+
+    def test_uid_stored(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(7, uid=42)])
+        assert store.get(7) == (42, "tweet number 7")
+
+
+class TestSparseIndex:
+    def test_stride_one_indexes_everything(self):
+        store = ContentStore(paper_cluster(), index_stride=1)
+        store.write_batch([post(i) for i in range(1, 50)])
+        for sid in (1, 25, 49):
+            assert store.get(sid) is not None
+
+    def test_large_stride_still_finds_all(self):
+        store = ContentStore(paper_cluster(), index_stride=100)
+        store.write_batch([post(i) for i in range(1, 200)])
+        for sid in (1, 99, 100, 101, 199):
+            assert store.get(sid) == (1, f"tweet number {sid}")
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            ContentStore(paper_cluster(), index_stride=0)
+
+    @given(st.sets(st.integers(min_value=1, max_value=10**6),
+                   min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=40))
+    @settings(max_examples=25, deadline=None)
+    def test_random_sids_roundtrip(self, sids, stride):
+        store = ContentStore(DFSCluster(num_datanodes=2, block_size=256),
+                             index_stride=stride)
+        ordered = sorted(sids)
+        store.write_batch([post(sid) for sid in ordered])
+        for sid in ordered:
+            assert store.get(sid) == (1, f"tweet number {sid}")
+        # Absent sids between existing ones resolve to None.
+        probe = ordered[0] + 1
+        if probe not in sids:
+            assert store.get(probe) is None
+
+
+class TestCollectAndResultLines:
+    def test_collect(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1), post(2), post(3)])
+        got = store.collect([1, 3, 99])
+        assert set(got) == {1, 3}
+
+    def test_result_lines_format(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1, uid=7, text="best hotel downtown")])
+        lines = store.result_lines([(7, 1), (8, 99)])
+        assert lines[0] == "(u7, best hotel downtown)"
+        assert "content missing" in lines[1]
+
+    def test_total_bytes_positive(self):
+        store = ContentStore(paper_cluster())
+        store.write_batch([post(1)])
+        assert store.total_bytes() > 0
+
+
+class TestEndToEndWithEngine:
+    def test_user_study_lines_from_query(self, corpus, engine, workload):
+        """The full Figure 3 flow: query -> ranking -> collect contents
+        -> formatted result lines."""
+        store = ContentStore(engine.index.cluster, prefix="/study-contents")
+        store.write_batch(corpus.posts)
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0, k=5)
+        result = engine.search_max(query)
+        if not result.users:
+            pytest.skip("query matched nothing")
+        by_uid = {}
+        for post_obj in corpus.posts:
+            if query.keywords.intersection(post_obj.words):
+                by_uid.setdefault(post_obj.uid, post_obj.sid)
+        pairs = [(uid, by_uid[uid]) for uid, _s in result.users
+                 if uid in by_uid]
+        lines = store.result_lines(pairs)
+        assert len(lines) == len(pairs)
+        assert all(line.startswith("(u") for line in lines)

@@ -1,0 +1,127 @@
+"""Smoke and shape tests for the experiment harness (one per figure)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    ExperimentContext,
+    fig5_index_construction_time,
+    fig6_index_size,
+    fig7_geohash_length,
+    fig8_single_keyword,
+    fig9_kendall_single,
+    fig10_multi_keyword,
+    fig11_kendall_multi,
+    fig12_specific_bounds,
+    fig13_user_study,
+    table2_keyword_frequencies,
+    table4_geohash_lengths,
+)
+from repro.eval.report import format_table
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext.create(num_users=200, num_root_tweets=900,
+                                    seed=77, queries_per_point=3)
+
+
+class TestTables:
+    def test_table2_rows(self, context):
+        rows = table2_keyword_frequencies(context.corpus)
+        assert len(rows) == 10
+        counts = [row["frequency"] for row in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert rows[0]["rank"] == 1
+
+    def test_table4_matches_paper(self):
+        rows = table4_geohash_lengths()
+        assert [row["geohash"] for row in rows] == ["6", "6g", "6gx", "6gxp"]
+
+
+class TestIndexFigures:
+    def test_fig5_rows(self, context):
+        rows = fig5_index_construction_time(context.corpus, lengths=(2, 4))
+        assert len(rows) == 2
+        assert all(row["construction_seconds"] > 0 for row in rows)
+
+    def test_fig6_size_flat_in_length(self, context):
+        rows = fig6_index_size(context.corpus, lengths=(1, 2, 3, 4))
+        sizes = [row["inverted_bytes"] for row in rows]
+        assert all(size > 0 for size in sizes)
+        # The paper's shape: size steady across geohash configurations
+        # (identical postings, only key fragmentation differs).
+        assert max(sizes) <= 1.2 * min(sizes)
+
+    def test_fig6_replication_overhead(self, context):
+        rows = fig6_index_size(context.corpus, lengths=(4,))
+        row = rows[0]
+        assert row["stored_bytes_with_replication"] >= row["inverted_bytes"]
+
+
+class TestQueryFigures:
+    def test_fig7_rows(self, context):
+        rows = fig7_geohash_length(context, lengths=(2, 4), radii=(5.0, 10.0))
+        assert len(rows) == 4
+        assert all(row["mean_seconds"] > 0 for row in rows)
+
+    def test_fig8_rows(self, context):
+        rows = fig8_single_keyword(context, radii=(5.0, 20.0))
+        assert {row["radius_km"] for row in rows} == {5.0, 20.0}
+        assert all(row["sum_seconds"] > 0 and row["max_seconds"] > 0
+                   for row in rows)
+
+    def test_fig9_tau_in_range(self, context):
+        rows = fig9_kendall_single(context, radii=(10.0,), ks=(5, 10))
+        for row in rows:
+            assert -1.0 <= row["mean_tau"] <= 1.0
+
+    def test_fig10_covers_configurations(self, context):
+        rows = fig10_multi_keyword(context, radii=(10.0,))
+        configurations = {(row["keywords"], row["semantics"]) for row in rows}
+        assert (1, "or") in configurations
+        assert (2, "and") in configurations and (2, "or") in configurations
+        assert (3, "and") in configurations and (3, "or") in configurations
+
+    def test_fig11_tau_rows(self, context):
+        rows = fig11_kendall_multi(context, radii=(10.0,))
+        assert len(rows) == 5  # 1xOR + 2x(AND,OR)
+        for row in rows:
+            assert -1.0 <= row["mean_tau"] <= 1.0
+
+    def test_fig12_bounds_comparison(self, context):
+        rows = fig12_specific_bounds(context, radii=(20.0,))
+        assert {row["semantics"] for row in rows} == {"and", "or"}
+        for row in rows:
+            # Hot bounds can only prune at least as much as the global
+            # bound (which is looser).
+            assert row["hot_bound_pruned"] >= row["global_bound_pruned"]
+
+    def test_fig13_precisions(self, context):
+        rows = fig13_user_study(context, radii=(5.0, 20.0), num_queries=8)
+        for row in rows:
+            assert 0.0 <= row["precision_top5"] <= 1.0
+            assert 0.0 <= row["precision_top10"] <= 1.0
+
+
+class TestContext:
+    def test_engine_cached_per_length(self, context):
+        assert context.engine(4) is context.engine(4)
+        assert context.engine(4) is not context.engine(3)
+
+    def test_timed_search_positive(self, context):
+        query = context.workload.bind(context.workload.specs(1)[0],
+                                      radius_km=10.0)
+        assert context.timed_search(context.engine(4), query, "sum") > 0
+
+
+class TestReport:
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 0.5}, {"a": 22, "b": 0.25}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], title="x")

@@ -1,0 +1,112 @@
+"""Tests for the variant Kendall tau (Section VI-B3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.kendall import (
+    average_tau,
+    kendall_tau,
+    kendall_tau_classic,
+    padded_ranks,
+)
+
+rankings = st.lists(st.integers(min_value=0, max_value=30), min_size=0,
+                    max_size=10, unique=True)
+
+
+class TestPaddedRanks:
+    def test_paper_example_padding(self):
+        """k=3, rho_b=<A,B,C>, rho_d=<B,D,E>: D and E both rank 4th in
+        rho_b; A and C both rank 4th in rho_d."""
+        rho_b = ["A", "B", "C"]
+        rho_d = ["B", "D", "E"]
+        ranks_b = padded_ranks(rho_b, rho_d)
+        ranks_d = padded_ranks(rho_d, rho_b)
+        assert ranks_b == {"A": 1, "B": 2, "C": 3, "D": 4, "E": 4}
+        assert ranks_d == {"B": 1, "D": 2, "E": 3, "A": 4, "C": 4}
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            padded_ranks(["A", "A"], [])
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        assert kendall_tau([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_disjoint_rankings(self):
+        """Fully disjoint top-k lists are not anti-correlated: each list's
+        own elements precede the other's padding, which the two rankings
+        disagree about, but pad-pad ties agree."""
+        tau = kendall_tau([1, 2], [3, 4])
+        assert -1.0 <= tau < 1.0
+
+    def test_paper_example_value(self):
+        rho_b = ["A", "B", "C"]
+        rho_d = ["B", "D", "E"]
+        # m = 5 -> 10 pairs.  Concordant: (B,C)? B(2)<C(3) in b, B(1)<C(4)
+        # in d -> concordant; (A,C): 1<3, 4=4 tie in d -> neither;
+        # (D,E): tie in b, 2<3 in d -> neither; etc.
+        tau = kendall_tau(rho_b, rho_d)
+        assert -1.0 <= tau <= 1.0
+        # Hand count: pairs (A,B):b 1<2, d 4>1 discordant; (A,C): neither;
+        # (A,D):1<4, 4>2 discordant; (A,E):1<4,4>3 discordant;
+        # (B,C):2<3,1<4 concordant; (B,D):2<4,1<2 concordant;
+        # (B,E):2<4,1<3 concordant; (C,D):3<4,4>2 discordant;
+        # (C,E):3<4,4>3 discordant; (D,E): neither.
+        # cp=3, dp=5 -> tau = (3-5)/10 = -0.2
+        assert tau == pytest.approx(-0.2)
+
+    def test_single_common_swap(self):
+        assert kendall_tau([1, 2], [2, 1]) == pytest.approx(-1.0)
+
+    def test_empty(self):
+        assert kendall_tau([], []) == 1.0
+
+    def test_singleton(self):
+        assert kendall_tau([5], [5]) == 1.0
+
+    @given(rankings, rankings)
+    @settings(max_examples=80, deadline=None)
+    def test_bounded(self, a, b):
+        assert -1.0 <= kendall_tau(a, b) <= 1.0
+
+    @given(rankings, rankings)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric(self, a, b):
+        assert kendall_tau(a, b) == pytest.approx(kendall_tau(b, a))
+
+    @given(rankings)
+    @settings(max_examples=40, deadline=None)
+    def test_self_tau_is_one(self, a):
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+
+
+class TestClassicTau:
+    def test_matches_variant_on_identical_sets(self):
+        a = [1, 2, 3, 4]
+        b = [2, 1, 3, 4]
+        assert kendall_tau_classic(a, b) == pytest.approx(kendall_tau(a, b))
+
+    def test_requires_same_elements(self):
+        with pytest.raises(ValueError):
+            kendall_tau_classic([1, 2], [1, 3])
+
+    @given(st.permutations(list(range(6))))
+    @settings(max_examples=40, deadline=None)
+    def test_against_variant(self, permuted):
+        base = list(range(6))
+        assert kendall_tau_classic(base, list(permuted)) == pytest.approx(
+            kendall_tau(base, list(permuted)))
+
+
+class TestAverageTau:
+    def test_empty_defaults_to_one(self):
+        assert average_tau([]) == 1.0
+
+    def test_mean(self):
+        pairs = [([1, 2], [1, 2]), ([1, 2], [2, 1])]
+        assert average_tau(pairs) == pytest.approx(0.0)

@@ -1,0 +1,84 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.plots import bar_chart, line_chart, series_from_rows
+
+
+class TestBarChart:
+    def test_basic(self):
+        text = bar_chart([("sum", 10.0), ("max", 5.0)], width=20, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("sum")
+        # sum's bar is twice max's.
+        assert lines[1].count("#") == 2 * lines[2].count("#")
+
+    def test_zero_values(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "(no data)" not in text
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([])
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart([("q", 3.0)], unit="ms")
+
+
+class TestLineChart:
+    def test_markers_and_legend(self):
+        text = line_chart([1, 2, 3], {"sum": [1, 2, 3], "max": [3, 2, 1]})
+        assert "S" in text and "M" in text
+        assert "S=sum" in text and "M=max" in text
+
+    def test_extremes_on_grid(self):
+        text = line_chart([0, 10], {"x": [0.0, 100.0]}, height=5, width=20)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("100")
+        assert "0 |" in lines[4]
+
+    def test_constant_series(self):
+        text = line_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "F" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2, 3], {"s": [1, 2]})
+
+    def test_empty(self):
+        assert "(no data)" in line_chart([], {})
+
+    def test_marker_collision_resolved(self):
+        text = line_chart([1, 2], {"sum": [1, 2], "sigma": [2, 1]})
+        # Two series starting with 's': second gets a digit marker.
+        assert "=sum" in text and "=sigma" in text
+
+
+class TestSeriesFromRows:
+    ROWS = [
+        {"radius_km": 5.0, "sum_seconds": 0.1, "semantics": "and"},
+        {"radius_km": 10.0, "sum_seconds": 0.2, "semantics": "and"},
+        {"radius_km": 5.0, "sum_seconds": 0.3, "semantics": "or"},
+        {"radius_km": 10.0, "sum_seconds": 0.4, "semantics": "or"},
+    ]
+
+    def test_single_series(self):
+        xs, series = series_from_rows(self.ROWS[:2], "radius_km",
+                                      "sum_seconds")
+        assert xs == [5.0, 10.0]
+        assert series == {"sum_seconds": [0.1, 0.2]}
+
+    def test_grouped(self):
+        xs, series = series_from_rows(self.ROWS, "radius_km", "sum_seconds",
+                                      group_key="semantics")
+        assert xs == [5.0, 10.0]
+        assert series == {"and": [0.1, 0.2], "or": [0.3, 0.4]}
+
+    def test_empty(self):
+        assert series_from_rows([], "x", "y") == ([], {})
+
+    def test_pipeline_with_line_chart(self):
+        xs, series = series_from_rows(self.ROWS, "radius_km", "sum_seconds",
+                                      group_key="semantics")
+        text = line_chart(xs, series, title="Fig 10")
+        assert text.startswith("Fig 10")

@@ -1,0 +1,50 @@
+"""Tests for table formatting (number rendering, alignment)."""
+
+from repro.eval.report import format_table, print_table
+
+
+class TestValueFormatting:
+    def test_large_float_one_decimal(self):
+        text = format_table([{"x": 1234.5678}])
+        assert "1234.6" in text
+
+    def test_mid_float_four_decimals(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.1235" in text
+
+    def test_tiny_float_six_decimals(self):
+        text = format_table([{"x": 0.0000123}])
+        assert "0.000012" in text
+
+    def test_integral_float(self):
+        text = format_table([{"x": 5.0}])
+        assert "5.0" in text
+
+    def test_int_and_str_passthrough(self):
+        text = format_table([{"a": 7, "b": "label"}])
+        assert "7" in text and "label" in text
+
+
+class TestLayout:
+    def test_column_order_from_first_row(self):
+        rows = [{"beta": 1, "alpha": 2}]
+        header = format_table(rows).splitlines()[0]
+        assert header.index("beta") < header.index("alpha")
+
+    def test_missing_key_renders_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        lines = format_table(rows).splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_alignment(self):
+        rows = [{"name": "x", "value": 1}, {"name": "longer", "value": 22}]
+        lines = format_table(rows).splitlines()
+        # All rows share the same separator column position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_print_table_smoke(self, capsys):
+        print_table([{"a": 1}], title="T")
+        out = capsys.readouterr().out
+        assert out.startswith("T\n")
+        assert out.endswith("\n\n")

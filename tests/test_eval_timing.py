@@ -1,0 +1,76 @@
+"""Tests for timing utilities and result/stat value objects."""
+
+import time
+
+import pytest
+
+from repro.eval.timing import Stopwatch, TimingResult, time_callable
+from repro.query.results import QueryResult, QueryStats
+
+
+class TestTimeCallable:
+    def test_repeats(self):
+        calls = []
+        result = time_callable(lambda: calls.append(1), repeats=5)
+        assert len(calls) == 5
+        assert len(result.samples) == 5
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_aggregates(self):
+        result = TimingResult(samples=[1.0, 2.0, 3.0])
+        assert result.mean == pytest.approx(2.0)
+        assert result.median == 2.0
+        assert result.minimum == 1.0
+        assert result.maximum == 3.0
+        assert result.total == 6.0
+
+    def test_measures_real_time(self):
+        result = time_callable(lambda: time.sleep(0.01), repeats=2)
+        assert result.minimum >= 0.009
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.005)
+        first = watch.elapsed
+        with watch:
+            time.sleep(0.005)
+        assert watch.elapsed > first
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_stop_returns_delta(self):
+        watch = Stopwatch()
+        watch.start()
+        delta = watch.stop()
+        assert delta >= 0.0
+        assert watch.elapsed == delta
+
+
+class TestQueryStats:
+    def test_prune_rate(self):
+        stats = QueryStats(threads_built=6, threads_pruned=4)
+        assert stats.prune_rate == pytest.approx(0.4)
+
+    def test_prune_rate_no_work(self):
+        assert QueryStats().prune_rate == 0.0
+
+
+class TestQueryResult:
+    def test_ranking_and_len(self):
+        result = QueryResult(users=[(3, 0.9), (1, 0.5)])
+        assert result.ranking() == [3, 1]
+        assert len(result) == 2

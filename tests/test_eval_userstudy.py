@@ -1,0 +1,113 @@
+"""Tests for the simulated user study (Fig 13's protocol)."""
+
+import pytest
+
+from repro.core.model import Dataset, Post, TkLUSQuery
+from repro.eval.userstudy import (
+    RATERS_PER_LINE,
+    SimulatedUserStudy,
+    StudyConfig,
+    VOTES_REQUIRED,
+)
+
+
+def build_dataset():
+    """Users at increasing distances from the query point, all with one
+    'hotel' tweet; one user with no matching tweets."""
+    dataset = Dataset()
+    query_location = (43.65, -79.38)
+    offsets_km = {1: 0.2, 2: 3.0, 3: 9.0, 4: 18.0}
+    sid = 1
+    for uid, offset in offsets_km.items():
+        lat = query_location[0] + offset / 111.0
+        dataset.add_post(Post(sid, uid, (lat, query_location[1]),
+                              ("hotel",), "hotel here"))
+        sid += 1
+    dataset.add_post(Post(sid, 99, query_location, ("cafe",), "just cafe"))
+    return dataset, query_location
+
+
+@pytest.fixture()
+def study_setup():
+    dataset, location = build_dataset()
+    study = SimulatedUserStudy(dataset, StudyConfig(seed=11, noise=0.0))
+    query = TkLUSQuery(location=location, radius_km=20.0,
+                       keywords=frozenset({"hotel"}), k=10)
+    return study, query
+
+
+class TestRelevanceOracle:
+    def test_protocol_constants_match_paper(self):
+        assert RATERS_PER_LINE == 4
+        assert VOTES_REQUIRED == 2
+
+    def test_probability_decays_with_distance(self, study_setup):
+        study, query = study_setup
+        probabilities = [study._relevance_probability(uid, query)
+                         for uid in (1, 2, 3, 4)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_no_matching_tweets_low_probability(self, study_setup):
+        study, query = study_setup
+        assert study._relevance_probability(99, query) < 0.1
+
+    def test_probability_bounded(self, study_setup):
+        study, query = study_setup
+        for uid in (1, 2, 3, 4, 99):
+            assert 0.0 <= study._relevance_probability(uid, query) <= 0.97
+
+    def test_topical_fraction_matters(self):
+        dataset, location = build_dataset()
+        study = SimulatedUserStudy(dataset, StudyConfig(seed=11))
+        single = TkLUSQuery(location=location, radius_km=20.0,
+                            keywords=frozenset({"hotel"}), k=10)
+        double = TkLUSQuery(location=location, radius_km=20.0,
+                            keywords=frozenset({"hotel", "pool"}), k=10)
+        # User 1 matches 1 of 2 keywords of `double`: lower probability.
+        assert (study._relevance_probability(1, double)
+                < study._relevance_probability(1, single))
+
+
+class TestJudgements:
+    def test_near_user_usually_relevant(self, study_setup):
+        study, query = study_setup
+        votes = sum(study.judge_user(1, query) for _ in range(50))
+        assert votes > 35
+
+    def test_far_nonmatching_user_usually_irrelevant(self, study_setup):
+        study, query = study_setup
+        votes = sum(study.judge_user(99, query) for _ in range(50))
+        assert votes < 15
+
+    def test_precision_range(self, study_setup):
+        study, query = study_setup
+        precision = study.precision([1, 2, 3, 4, 99], query)
+        assert 0.0 <= precision <= 1.0
+
+    def test_precision_empty_ranking(self, study_setup):
+        study, query = study_setup
+        assert study.precision([], query) == 0.0
+
+    def test_precision_at_cutoffs(self, study_setup):
+        study, query = study_setup
+        at = study.precision_at([1, 2, 3, 4, 99] * 2, query, cutoffs=(5, 10))
+        assert set(at) == {5, 10}
+        assert 0.0 <= at[5] <= 1.0 and 0.0 <= at[10] <= 1.0
+
+
+class TestEndToEndTrend:
+    def test_precision_decays_with_radius(self, corpus, engine, workload):
+        """The Fig 13 macro-trend on the real pipeline: precision at 5 km
+        is at least that at 20 km (averaged over queries)."""
+        study = SimulatedUserStudy(corpus.to_dataset(), StudyConfig(seed=5))
+        small_values, large_values = [], []
+        for spec in workload.specs(1)[:8]:
+            for radius, sink in ((5.0, small_values), (20.0, large_values)):
+                query = workload.bind(spec, radius_km=radius, k=10)
+                ranking = engine.search_max(query).ranking()
+                if ranking:
+                    sink.append(study.precision(ranking, query))
+        if small_values and large_values:
+            mean_small = sum(small_values) / len(small_values)
+            mean_large = sum(large_values) / len(large_values)
+            assert mean_small >= mean_large - 0.15  # allow rater noise

@@ -1,0 +1,148 @@
+"""Failure-injection tests: node deaths, corrupted data, tiny caches,
+crashing user code."""
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.dfs.cluster import DFSCluster
+from repro.dfs.datanode import DataNodeError
+from repro.index.builder import IndexConfig
+from repro.mapreduce import Job, Mapper, SumReducer, run_job
+from repro.query.engine import EngineConfig, TkLUSEngine
+
+TORONTO = (43.6532, -79.3832)
+
+
+@pytest.fixture(scope="module")
+def small_posts():
+    return generate_corpus(num_users=100, num_root_tweets=400, seed=17).posts
+
+
+class TestDFSFailover:
+    def build(self, posts, replication=3):
+        cluster = DFSCluster(num_datanodes=3, replication=replication)
+        engine = TkLUSEngine.from_posts(posts, cluster=cluster,
+                                        precompute_bounds=False)
+        return cluster, engine
+
+    def test_queries_survive_single_node_death(self, small_posts):
+        cluster, engine = self.build(small_posts)
+        query = engine.make_query(TORONTO, 20.0, ["restaurant"], k=5)
+        before = engine.search_sum(query).users
+        cluster.datanode("dn0").kill()
+        after = engine.search_sum(query).users
+        assert after == before
+
+    def test_queries_survive_two_node_deaths(self, small_posts):
+        cluster, engine = self.build(small_posts)
+        query = engine.make_query(TORONTO, 20.0, ["restaurant"], k=5)
+        before = engine.search_sum(query).users
+        cluster.datanode("dn0").kill()
+        cluster.datanode("dn1").kill()
+        assert engine.search_sum(query).users == before
+
+    def test_total_outage_raises(self, small_posts):
+        cluster, engine = self.build(small_posts)
+        query = engine.make_query(TORONTO, 20.0, ["restaurant"], k=5)
+        for node in cluster.datanodes:
+            node.kill()
+        with pytest.raises(DataNodeError):
+            engine.search_sum(query)
+
+    def test_recovery_after_revival(self, small_posts):
+        cluster, engine = self.build(small_posts)
+        query = engine.make_query(TORONTO, 20.0, ["restaurant"], k=5)
+        before = engine.search_sum(query).users
+        for node in cluster.datanodes:
+            node.kill()
+        for node in cluster.datanodes:
+            node.revive()
+        assert engine.search_sum(query).users == before
+
+    def test_unreplicated_cluster_fragile(self, small_posts):
+        cluster, engine = self.build(small_posts, replication=1)
+        query = engine.make_query(TORONTO, 20.0, ["restaurant"], k=5)
+        result = engine.search_sum(query)
+        if not result.users:
+            pytest.skip("query matched nothing; pick a denser keyword")
+        cluster.datanode("dn0").kill()
+        cluster.datanode("dn1").kill()
+        cluster.datanode("dn2").kill()
+        with pytest.raises(DataNodeError):
+            engine.search_sum(query)
+
+
+class TestTinyBufferPool:
+    def test_correct_with_minimal_pool(self, small_posts):
+        """A pool far smaller than the working set must still produce
+        identical results — just with more physical I/O."""
+        roomy = TkLUSEngine.from_posts(
+            small_posts, config=EngineConfig(pool_size=512),
+            precompute_bounds=False)
+        cramped = TkLUSEngine.from_posts(
+            small_posts, config=EngineConfig(pool_size=2),
+            precompute_bounds=False)
+        for keywords in (["restaurant"], ["hotel"], ["game"]):
+            query_a = roomy.make_query(TORONTO, 25.0, keywords, k=10)
+            query_b = cramped.make_query(TORONTO, 25.0, keywords, k=10)
+            assert (roomy.search_sum(query_a).users
+                    == cramped.search_sum(query_b).users)
+        cramped_stats = cramped.database.stats
+        roomy_stats = roomy.database.stats
+        assert (cramped_stats.get("sid_index").cache_misses
+                >= roomy_stats.get("sid_index").cache_misses)
+
+
+class TestMapReduceFailures:
+    class ExplodingMapper(Mapper):
+        def map(self, key, value, emit, context):
+            if value == "boom":
+                raise RuntimeError("mapper exploded")
+            emit(value, 1)
+
+    def test_mapper_exception_propagates_sequential(self):
+        job = Job("explode", mapper_factory=self.ExplodingMapper,
+                  reducer_factory=SumReducer,
+                  inputs=[(1, "fine"), (2, "boom")])
+        with pytest.raises(RuntimeError, match="mapper exploded"):
+            run_job(job)
+
+    def test_mapper_exception_propagates_parallel(self):
+        job = Job("explode", mapper_factory=self.ExplodingMapper,
+                  reducer_factory=SumReducer,
+                  inputs=[(i, "boom" if i == 7 else "x") for i in range(10)],
+                  num_map_tasks=4)
+        with pytest.raises(RuntimeError, match="mapper exploded"):
+            run_job(job, workers=4)
+
+
+class TestCorruptedIndex:
+    def test_truncated_part_file_detected(self, small_posts, tmp_path):
+        """A part file that lost bytes after save is caught on load or on
+        the first postings fetch — never silently mis-decoded."""
+        import os
+        from repro.query.persistence import save_engine, load_engine
+
+        engine = TkLUSEngine.from_posts(small_posts, precompute_bounds=False)
+        directory = str(tmp_path / "corrupt")
+        save_engine(engine, directory)
+        # Truncate a part file by a non-multiple of the entry size.
+        parts_dir = os.path.join(directory, "inverted")
+        victim = sorted(os.listdir(parts_dir))[0]
+        path = os.path.join(parts_dir, victim)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-5])
+
+        loaded = load_engine(directory)
+        # Find an entry whose postings live at the truncated tail of the
+        # victim part file and fetch it: decode must reject the short read
+        # (postings bytes are fixed 12-byte entries).
+        victim_path = f"/index/{victim}"
+        tail_entry = max(
+            ((cell, term, ref) for (cell, term), ref in loaded.index.forward.items()
+             if ref.path == victim_path),
+            key=lambda item: item[2].offset + item[2].length)
+        cell, term, _ref = tail_entry
+        with pytest.raises(ValueError):
+            loaded.index.postings(cell, term)

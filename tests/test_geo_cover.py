@@ -1,0 +1,119 @@
+"""Tests for circle covers (GeoHashCircleQuery, Algorithms 4/5 line 1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import cover, geohash
+from repro.geo.distance import (
+    haversine_km,
+    km_to_degrees_lat,
+    km_to_degrees_lon,
+)
+
+centers = st.tuples(
+    st.floats(min_value=-60.0, max_value=60.0, allow_nan=False),
+    st.floats(min_value=-170.0, max_value=170.0, allow_nan=False),
+)
+radii = st.floats(min_value=0.5, max_value=120.0, allow_nan=False)
+lengths = st.integers(min_value=1, max_value=5)
+
+
+def random_point_in_circle(rng, center, radius_km):
+    """Rejection-sample a point within radius_km of center."""
+    while True:
+        angle = rng.uniform(0, 2 * math.pi)
+        r = radius_km * math.sqrt(rng.random())
+        lat = center[0] + math.sin(angle) * km_to_degrees_lat(r)
+        lon = center[1] + math.cos(angle) * km_to_degrees_lon(r, center[0])
+        if abs(lat) <= 90 and abs(lon) <= 180:
+            if haversine_km(center, (lat, lon)) <= radius_km:
+                return (lat, lon)
+
+
+class TestCircleCover:
+    def test_zero_radius_single_cell(self):
+        cells = cover.circle_cover((43.65, -79.38), 0.0, 4)
+        assert cells == [geohash.encode(43.65, -79.38, 4)]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            cover.circle_cover((0, 0), -1.0, 4)
+
+    def test_sorted_zorder(self):
+        cells = cover.circle_cover((43.65, -79.38), 30.0, 4)
+        assert cells == sorted(cells)
+
+    def test_center_cell_included(self):
+        cells = cover.circle_cover((43.65, -79.38), 10.0, 4)
+        assert geohash.encode(43.65, -79.38, 4) in cells
+
+    @given(centers, radii, lengths)
+    @settings(max_examples=40, deadline=None)
+    def test_completeness(self, center, radius, length):
+        """Every point inside the circle lies in a cover cell."""
+        cells = set(cover.circle_cover(center, radius, length))
+        rng = random.Random(0)
+        for _ in range(20):
+            point = random_point_in_circle(rng, center, radius)
+            assert geohash.encode(point[0], point[1], length) in cells
+
+    @given(centers, radii)
+    @settings(max_examples=40, deadline=None)
+    def test_minimality_at_cell_granularity(self, center, radius):
+        """Every cover cell intersects the circle (min distance within
+        radius)."""
+        for code in cover.circle_cover(center, radius, 4):
+            cell = geohash.decode_cell(code)
+            assert cover.min_distance_to_cell(center, cell) <= radius + 1e-6
+
+    def test_shorter_length_fewer_cells(self):
+        center = (43.65, -79.38)
+        counts = [len(cover.circle_cover(center, 15.0, n)) for n in (2, 3, 4)]
+        assert counts[0] <= counts[1] <= counts[2]
+
+
+class TestInsideBoundarySplit:
+    def test_split_partitions_cover(self):
+        center = (43.65, -79.38)
+        inside, boundary = cover.cover_cells_fully_inside(center, 40.0, 4)
+        full = cover.circle_cover(center, 40.0, 4)
+        assert sorted(inside + boundary) == full
+
+    def test_inside_cells_really_inside(self):
+        center = (43.65, -79.38)
+        inside, _boundary = cover.cover_cells_fully_inside(center, 40.0, 4)
+        for code in inside:
+            cell = geohash.decode_cell(code)
+            assert cover.max_distance_to_cell(center, cell) <= 40.0 + 1e-6
+
+
+class TestDistanceToCell:
+    def test_point_inside_cell_distance_zero(self):
+        cell = geohash.decode_cell("dpz8")
+        center = geohash.decode("dpz8")
+        assert cover.min_distance_to_cell(center, cell) == 0.0
+
+    def test_min_le_max(self):
+        cell = geohash.decode_cell("dpz8")
+        point = (50.0, -70.0)
+        assert (cover.min_distance_to_cell(point, cell)
+                <= cover.max_distance_to_cell(point, cell))
+
+
+class TestAreaRatio:
+    def test_ratio_at_least_one(self):
+        ratio = cover.cover_area_ratio((43.65, -79.38), 20.0, 4)
+        assert ratio >= 0.99  # covers the circle (1.0 up to metric wobble)
+
+    def test_finer_cells_tighter_cover(self):
+        center = (43.65, -79.38)
+        coarse = cover.cover_area_ratio(center, 20.0, 2)
+        fine = cover.cover_area_ratio(center, 20.0, 4)
+        assert fine < coarse
+
+    def test_zero_radius_rejected(self):
+        with pytest.raises(ValueError):
+            cover.cover_area_ratio((0, 0), 0.0, 4)

@@ -1,0 +1,142 @@
+"""Tests for distance metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import distance as d
+
+coords = st.tuples(
+    st.floats(min_value=-89.0, max_value=89.0, allow_nan=False),
+    st.floats(min_value=-179.0, max_value=179.0, allow_nan=False),
+)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert d.haversine_km((43.65, -79.38), (43.65, -79.38)) == 0.0
+
+    def test_known_distance_toronto_nyc(self):
+        # Toronto to New York is ~551 km great-circle.
+        got = d.haversine_km((43.6532, -79.3832), (40.7128, -74.0060))
+        assert 540 < got < 560
+
+    def test_one_degree_latitude(self):
+        got = d.haversine_km((0.0, 0.0), (1.0, 0.0))
+        assert abs(got - d.KM_PER_DEGREE) < 0.5
+
+    def test_antipodal(self):
+        got = d.haversine_km((0.0, 0.0), (0.0, 180.0))
+        assert abs(got - math.pi * d.EARTH_RADIUS_KM) < 1.0
+
+    @given(coords, coords)
+    def test_symmetry(self, a, b):
+        assert math.isclose(d.haversine_km(a, b), d.haversine_km(b, a),
+                            rel_tol=1e-12, abs_tol=1e-9)
+
+    @given(coords, coords)
+    def test_non_negative(self, a, b):
+        assert d.haversine_km(a, b) >= 0.0
+
+    @given(coords, coords, coords)
+    def test_triangle_inequality(self, a, b, c):
+        ab = d.haversine_km(a, b)
+        bc = d.haversine_km(b, c)
+        ac = d.haversine_km(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestEquirectangular:
+    @given(coords)
+    def test_close_to_haversine_at_short_range(self, a):
+        b = (a[0] + 0.05, a[1] + 0.05)
+        if abs(b[0]) > 89.5:
+            return
+        hav = d.haversine_km(a, b)
+        eq = d.equirectangular_km(a, b)
+        assert abs(hav - eq) < max(0.02 * hav, 0.05)
+
+
+class TestEuclideanDegrees:
+    def test_is_plain_hypot(self):
+        assert d.euclidean_degrees((0, 0), (3, 4)) == 5.0
+
+
+class TestConversions:
+    def test_km_to_degrees_lat_roundtrip(self):
+        degrees = d.km_to_degrees_lat(111.0)
+        assert abs(degrees - 111.0 / d.KM_PER_DEGREE) < 1e-12
+
+    def test_lon_degrees_grow_with_latitude(self):
+        assert d.km_to_degrees_lon(10, 60.0) > d.km_to_degrees_lon(10, 0.0)
+
+    def test_lon_degrees_capped_at_pole(self):
+        assert d.km_to_degrees_lon(10, 90.0) == 360.0
+
+    def test_bounding_box_contains_circle(self):
+        center = (43.65, -79.38)
+        radius = 25.0
+        min_lat, min_lon, max_lat, max_lon = d.bounding_box(center, radius)
+        # Walk the circle rim; every rim point must be inside the box.
+        for step in range(36):
+            angle = step * math.pi / 18
+            lat = center[0] + math.sin(angle) * d.km_to_degrees_lat(radius)
+            lon = center[1] + math.cos(angle) * d.km_to_degrees_lon(
+                radius, center[0])
+            point_on_rim = (lat, lon)
+            if d.haversine_km(center, point_on_rim) <= radius:
+                assert min_lat <= lat <= max_lat
+                assert min_lon <= lon <= max_lon
+
+    def test_bounding_box_clamps_latitude(self):
+        box = d.bounding_box((89.9, 0.0), 100.0)
+        assert box[2] == 90.0
+
+
+class TestDefaultMetric:
+    def test_default_is_haversine(self):
+        assert d.DEFAULT_METRIC is d.haversine_km
+
+
+class TestMinDistanceToRect:
+    """The exact spherical point-to-rectangle distance (used as the
+    lower bound in R-tree best-first search and circle covers)."""
+
+    @given(coords,
+           st.floats(min_value=-85, max_value=80, allow_nan=False),
+           st.floats(min_value=-175, max_value=170, allow_nan=False),
+           st.floats(min_value=0.1, max_value=40, allow_nan=False),
+           st.floats(min_value=0.1, max_value=40, allow_nan=False))
+    def test_lower_bounds_all_contained_points(self, point, lat0, lon0,
+                                               dlat, dlon):
+        rect = (lat0, lon0, min(89.0, lat0 + dlat), min(179.0, lon0 + dlon))
+        bound = d.min_distance_to_rect_km(point, rect)
+        # Sample a grid of points inside the rectangle.
+        for i in range(5):
+            for j in range(5):
+                lat = rect[0] + (rect[2] - rect[0]) * i / 4
+                lon = rect[1] + (rect[3] - rect[1]) * j / 4
+                assert bound <= d.haversine_km(point, (lat, lon)) + 1e-6
+
+    def test_inside_rect_is_zero(self):
+        assert d.min_distance_to_rect_km((5.0, 5.0), (0, 0, 10, 10)) == 0.0
+
+    def test_wide_longitude_gap_regression(self):
+        """The case coordinate clamping gets wrong: with a >90 degree
+        longitude gap, the nearest point of a meridian edge lies
+        poleward of the clamped latitude."""
+        point = (0.0, 0.0)
+        rect = (0.0, 95.0, 26.0, 95.0)  # a meridian segment
+        bound = d.min_distance_to_rect_km(point, rect)
+        clamped = d.haversine_km(point, (0.0, 95.0))
+        interior = d.haversine_km(point, (26.0, 95.0))
+        assert bound <= min(clamped, interior) + 1e-9
+        assert bound < clamped  # strictly better than clamping here
+
+    def test_matches_clamping_for_small_gaps(self):
+        point = (43.0, -80.0)
+        rect = (44.0, -79.0, 45.0, -78.0)
+        bound = d.min_distance_to_rect_km(point, rect)
+        clamped = d.haversine_km(point, (44.0, -79.0))
+        assert bound == pytest.approx(clamped, rel=1e-9)

@@ -1,0 +1,150 @@
+"""Tests for geohash encoding/decoding (Section IV-B1, Table IV)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import geohash as gh
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0,
+                      allow_nan=False, allow_infinity=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0,
+                       allow_nan=False, allow_infinity=False)
+lengths = st.integers(min_value=1, max_value=gh.MAX_LENGTH)
+
+
+class TestPaperExample:
+    """Table IV: (-23.994140625, -46.23046875) at lengths 1-4."""
+
+    LAT, LON = -23.994140625, -46.23046875
+
+    @pytest.mark.parametrize("length,expected", [
+        (1, "6"), (2, "6g"), (3, "6gx"), (4, "6gxp"),
+    ])
+    def test_table4(self, length, expected):
+        assert gh.encode(self.LAT, self.LON, length) == expected
+
+    def test_cell_contains_point(self):
+        min_lat, min_lon, max_lat, max_lon = gh.decode_cell("6gxp")
+        assert min_lat <= self.LAT <= max_lat
+        assert min_lon <= self.LON <= max_lon
+
+
+class TestEncodeDecode:
+    def test_known_cities(self):
+        # Reference values from the standard geohash scheme.
+        assert gh.encode(43.6532, -79.3832, 4) == "dpz8"    # Toronto
+        assert gh.encode(51.5074, -0.1278, 5) == "gcpvj"    # London
+        assert gh.encode(40.7128, -74.0060, 5) == "dr5re"   # New York
+        lat, lon = gh.decode(gh.encode(43.6532, -79.3832, 6))
+        assert abs(lat - 43.6532) < 0.05
+        assert abs(lon + 79.3832) < 0.05
+
+    def test_alphabet_excludes_ailo(self):
+        for char in "ailo":
+            assert char not in gh.BASE32
+        assert len(gh.BASE32) == 32
+
+    @given(latitudes, longitudes, lengths)
+    def test_roundtrip_within_cell(self, lat, lon, length):
+        code = gh.encode(lat, lon, length)
+        assert len(code) == length
+        min_lat, min_lon, max_lat, max_lon = gh.decode_cell(code)
+        assert min_lat <= lat <= max_lat
+        assert min_lon <= lon <= max_lon
+
+    @given(latitudes, longitudes)
+    def test_prefix_property(self, lat, lon):
+        """Shorter encodings are prefixes of longer ones (the quadtree
+        derivation the paper describes)."""
+        full = gh.encode(lat, lon, 8)
+        for length in range(1, 8):
+            assert gh.encode(lat, lon, length) == full[:length]
+
+    @given(latitudes, longitudes, st.integers(min_value=1, max_value=6))
+    def test_decode_center_reencodes(self, lat, lon, length):
+        code = gh.encode(lat, lon, length)
+        center = gh.decode(code)
+        assert gh.encode(center[0], center[1], length) == code
+
+    def test_invalid_inputs(self):
+        with pytest.raises(gh.GeohashError):
+            gh.encode(91.0, 0.0, 4)
+        with pytest.raises(gh.GeohashError):
+            gh.encode(0.0, 181.0, 4)
+        with pytest.raises(gh.GeohashError):
+            gh.encode(0.0, 0.0, 0)
+        with pytest.raises(gh.GeohashError):
+            gh.encode(0.0, 0.0, gh.MAX_LENGTH + 1)
+        with pytest.raises(gh.GeohashError):
+            gh.decode_cell("")
+        with pytest.raises(gh.GeohashError):
+            gh.decode_cell("a1")  # 'a' not in the alphabet
+
+
+class TestCellGeometry:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4])
+    def test_cell_dimensions(self, length):
+        lat_span, lon_span = gh.cell_dimensions_degrees(length)
+        min_lat, min_lon, max_lat, max_lon = gh.decode_cell(
+            gh.encode(10.0, 20.0, length))
+        assert math.isclose(max_lat - min_lat, lat_span, rel_tol=1e-9)
+        assert math.isclose(max_lon - min_lon, lon_span, rel_tol=1e-9)
+
+    def test_longer_is_finer(self):
+        spans = [gh.cell_dimensions_degrees(n) for n in range(1, 7)]
+        for coarse, fine in zip(spans, spans[1:]):
+            assert fine[0] < coarse[0]
+            assert fine[1] < coarse[1]
+
+
+class TestNeighbors:
+    def test_neighbor_count_interior(self):
+        assert len(gh.neighbors("6gxp")) == 8
+
+    def test_neighbors_are_adjacent(self):
+        base = gh.decode_cell("6gxp")
+        for code in gh.neighbors("6gxp"):
+            cell = gh.decode_cell(code)
+            # Cells must touch or overlap-adjacent in both axes.
+            assert cell[2] >= base[0] - 1e-9 and cell[0] <= base[2] + 1e-9
+            assert cell[3] >= base[1] - 1e-9 and cell[1] <= base[3] + 1e-9
+
+    def test_expand_includes_self(self):
+        block = gh.expand("6gxp")
+        assert block[0] == "6gxp"
+        assert len(block) == 9
+
+    def test_pole_cell_has_fewer_neighbors(self):
+        north = gh.encode(89.99, 0.0, 3)
+        assert len(gh.neighbors(north)) < 8
+
+    def test_antimeridian_wrap(self):
+        east = gh.encode(0.0, 179.99, 2)
+        neighbors = gh.neighbors(east)
+        assert len(neighbors) == 8  # wraps rather than truncating
+
+
+class TestPrefixHelpers:
+    def test_children_count(self):
+        kids = list(gh.children("6g"))
+        assert len(kids) == 32
+        assert all(k.startswith("6g") and len(k) == 3 for k in kids)
+
+    def test_children_of_max_length_rejected(self):
+        with pytest.raises(gh.GeohashError):
+            list(gh.children("6" * gh.MAX_LENGTH))
+
+    def test_is_prefix_of(self):
+        assert gh.is_prefix_of("6g", "6gxp")
+        assert not gh.is_prefix_of("6gxp", "6g")
+
+    @given(latitudes, longitudes, latitudes, longitudes)
+    def test_common_prefix_is_shared_cell(self, lat1, lon1, lat2, lon2):
+        a = gh.encode(lat1, lon1, 6)
+        b = gh.encode(lat2, lon2, 6)
+        prefix = gh.common_prefix(a, b)
+        assert a.startswith(prefix) and b.startswith(prefix)
+        if len(prefix) < 6:
+            assert a[len(prefix)] != b[len(prefix)]

@@ -1,0 +1,112 @@
+"""Tests for the point quadtree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.distance import haversine_km
+from repro.geo.quadtree import QuadTree, Rect, WORLD
+
+points = st.lists(
+    st.tuples(st.floats(min_value=-89, max_value=89, allow_nan=False),
+              st.floats(min_value=-179, max_value=179, allow_nan=False)),
+    min_size=0, max_size=200)
+
+
+class TestRect:
+    def test_contains_boundary(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains(0, 0)
+        assert rect.contains(10, 10)
+        assert not rect.contains(10.001, 5)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 15, 15))
+        assert a.intersects(Rect(10, 10, 20, 20))  # touching counts
+        assert not a.intersects(Rect(11, 11, 20, 20))
+
+    def test_quadrants_partition(self):
+        rect = Rect(0, 0, 10, 10)
+        quadrants = rect.quadrants()
+        assert len(quadrants) == 4
+        # Union of quadrant areas equals parent area.
+        area = sum((q.max_lat - q.min_lat) * (q.max_lon - q.min_lon)
+                   for q in quadrants)
+        assert abs(area - 100.0) < 1e-9
+
+
+class TestQuadTree:
+    def test_insert_and_len(self):
+        tree = QuadTree(capacity=4)
+        for i in range(20):
+            tree.insert(i * 1.0, i * 1.0, i)
+        assert len(tree) == 20
+
+    def test_out_of_bounds_rejected(self):
+        tree = QuadTree()
+        with pytest.raises(ValueError):
+            tree.insert(95.0, 0.0, "x")
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            QuadTree(capacity=0)
+        with pytest.raises(ValueError):
+            QuadTree(max_depth=0)
+
+    def test_splits_on_overflow(self):
+        tree = QuadTree(capacity=2)
+        for i in range(50):
+            tree.insert(i * 0.1, i * 0.1, i)
+        assert tree.depth() > 0
+
+    def test_duplicate_points_allowed(self):
+        tree = QuadTree(capacity=2, max_depth=3)
+        for i in range(10):
+            tree.insert(5.0, 5.0, i)
+        assert len(tree) == 10
+        got = list(tree.query_rect(Rect(4, 4, 6, 6)))
+        assert len(got) == 10
+
+    @given(points)
+    @settings(max_examples=30, deadline=None)
+    def test_rect_query_matches_scan(self, pts):
+        tree = QuadTree(capacity=8)
+        for index, (lat, lon) in enumerate(pts):
+            tree.insert(lat, lon, index)
+        rect = Rect(-30, -60, 40, 70)
+        got = sorted(v for _lat, _lon, v in tree.query_rect(rect))
+        expected = sorted(i for i, (lat, lon) in enumerate(pts)
+                          if rect.contains(lat, lon))
+        assert got == expected
+
+    @given(points)
+    @settings(max_examples=30, deadline=None)
+    def test_circle_query_matches_scan(self, pts):
+        tree = QuadTree(capacity=8)
+        for index, (lat, lon) in enumerate(pts):
+            tree.insert(lat, lon, index)
+        center = (10.0, 10.0)
+        radius = 800.0
+        got = sorted(v for _lat, _lon, v in tree.query_circle(center, radius))
+        expected = sorted(i for i, p in enumerate(pts)
+                          if haversine_km(center, p) <= radius)
+        assert got == expected
+
+    def test_iteration_yields_all(self):
+        tree = QuadTree(capacity=3)
+        rng = random.Random(5)
+        inserted = set()
+        for i in range(100):
+            lat, lon = rng.uniform(-80, 80), rng.uniform(-170, 170)
+            tree.insert(lat, lon, i)
+            inserted.add(i)
+        assert {v for _a, _b, v in tree} == inserted
+
+    def test_max_depth_respected(self):
+        tree = QuadTree(capacity=1, max_depth=3)
+        for i in range(100):
+            tree.insert(1.0 + i * 1e-9, 1.0, i)  # nearly identical points
+        assert tree.depth() <= 3
+        assert len(tree) == 100

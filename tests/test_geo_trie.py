@@ -1,0 +1,112 @@
+"""Tests for the geohash trie."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.geohash import BASE32
+from repro.geo.trie import GeohashTrie
+
+geohash_keys = st.text(alphabet=BASE32, min_size=1, max_size=8)
+
+
+class TestBasicOperations:
+    def test_put_get(self):
+        trie = GeohashTrie()
+        trie.put("6gxp", 1)
+        assert trie.get("6gxp") == 1
+        assert trie.get("6gx") is None
+        assert trie.get("zzzz", default=-1) == -1
+
+    def test_put_overwrites(self):
+        trie = GeohashTrie()
+        trie.put("6g", "a")
+        trie.put("6g", "b")
+        assert trie.get("6g") == "b"
+        assert len(trie) == 1
+
+    def test_empty_key_rejected(self):
+        trie = GeohashTrie()
+        with pytest.raises(ValueError):
+            trie.put("", 1)
+
+    def test_contains(self):
+        trie = GeohashTrie()
+        trie.put("dpz8", 5)
+        assert "dpz8" in trie
+        assert "dpz" not in trie  # prefix of a key is not itself a key
+
+    def test_remove(self):
+        trie = GeohashTrie()
+        trie.put("6gxp", 1)
+        trie.put("6gxq", 2)
+        assert trie.remove("6gxp")
+        assert not trie.remove("6gxp")
+        assert len(trie) == 1
+        assert trie.get("6gxq") == 2
+
+    def test_remove_prunes_branches(self):
+        trie = GeohashTrie()
+        trie.put("abcdef".replace("a", "b"), 1)  # "bbcdef"
+        assert trie.remove("bbcdef")
+        assert len(trie) == 0
+        # Root must have no children left.
+        assert not trie._root.children
+
+    def test_remove_keeps_shared_prefix(self):
+        trie = GeohashTrie()
+        trie.put("6g", 1)
+        trie.put("6gxp", 2)
+        assert trie.remove("6gxp")
+        assert trie.get("6g") == 1
+
+
+class TestPrefixQueries:
+    def test_items_under_prefix_sorted(self):
+        trie = GeohashTrie()
+        for key in ["6gxp", "6gxq", "6gy0", "7abc", "6g"]:
+            trie.put(key, key)
+        got = list(trie.keys_under_prefix("6g"))
+        assert got == sorted(["6g", "6gxp", "6gxq", "6gy0"])
+
+    def test_empty_prefix_returns_all(self):
+        trie = GeohashTrie()
+        keys = ["dpz8", "dr5r", "6gxp"]
+        for key in keys:
+            trie.put(key, 1)
+        assert sorted(trie.keys_under_prefix("")) == sorted(keys)
+        assert sorted(trie) == sorted(keys)
+
+    def test_missing_prefix(self):
+        trie = GeohashTrie()
+        trie.put("6gxp", 1)
+        assert list(trie.keys_under_prefix("zz")) == []
+
+    def test_longest_prefix_value(self):
+        trie = GeohashTrie()
+        trie.put("6", "continent")
+        trie.put("6gx", "city")
+        assert trie.longest_prefix_value("6gxp") == "city"
+        assert trie.longest_prefix_value("6abc") == "continent"
+        assert trie.longest_prefix_value("zabc") is None
+
+    @given(st.dictionaries(geohash_keys, st.integers(), max_size=50),
+           geohash_keys)
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_query_matches_filter(self, mapping, prefix):
+        trie = GeohashTrie()
+        for key, value in mapping.items():
+            trie.put(key, value)
+        got = dict(trie.items_under_prefix(prefix))
+        expected = {key: value for key, value in mapping.items()
+                    if key.startswith(prefix)}
+        assert got == expected
+
+    @given(st.dictionaries(geohash_keys, st.integers(), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_size_and_roundtrip(self, mapping):
+        trie = GeohashTrie()
+        for key, value in mapping.items():
+            trie.put(key, value)
+        assert len(trie) == len(mapping)
+        for key, value in mapping.items():
+            assert trie.get(key) == value

@@ -1,0 +1,120 @@
+"""Tests for Z-order (Morton) utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo import zorder as z
+
+BITS = 8
+cells = st.integers(min_value=0, max_value=(1 << BITS) - 1)
+
+
+class TestInterleave:
+    @given(cells, cells)
+    def test_roundtrip(self, x, y):
+        code = z.interleave(x, y, BITS)
+        assert z.deinterleave(code, BITS) == (x, y)
+
+    def test_known_values(self):
+        assert z.interleave(0, 0, 4) == 0
+        assert z.interleave(1, 0, 4) == 1
+        assert z.interleave(0, 1, 4) == 2
+        assert z.interleave(1, 1, 4) == 3
+        assert z.interleave(2, 0, 4) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            z.interleave(-1, 0, 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            z.interleave(16, 0, 4)
+
+    @given(cells, cells, cells, cells)
+    def test_order_preserved_within_quadrant(self, x1, y1, x2, y2):
+        """Within the same quadrant prefix, Morton order refines point
+        order consistently (monotone in the high bits)."""
+        c1 = z.interleave(x1, y1, BITS)
+        c2 = z.interleave(x2, y2, BITS)
+        if (x1 >> 4, y1 >> 4) == (x2 >> 4, y2 >> 4):
+            # Same 16x16 quadrant: high bits of codes agree.
+            assert (c1 >> 8) == (c2 >> 8)
+
+
+class TestLatLonQuantisation:
+    def test_corner_cells(self):
+        assert z.lat_lon_to_cell(-90.0, -180.0, 4) == (0, 0)
+        assert z.lat_lon_to_cell(90.0, 180.0, 4) == (15, 15)
+
+    def test_center(self):
+        x, y = z.lat_lon_to_cell(0.0, 0.0, 4)
+        assert (x, y) == (8, 8)
+
+    @given(st.floats(min_value=-90, max_value=90, allow_nan=False),
+           st.floats(min_value=-180, max_value=180, allow_nan=False))
+    def test_in_range(self, lat, lon):
+        x, y = z.lat_lon_to_cell(lat, lon, 6)
+        assert 0 <= x < 64 and 0 <= y < 64
+
+
+class TestRanges:
+    def test_full_rectangle_is_one_range(self):
+        n = 1 << 4
+        ranges = z.zorder_ranges(0, 0, n - 1, n - 1, bits=4)
+        assert ranges == [(0, n * n - 1)]
+
+    def test_single_cell(self):
+        ranges = z.zorder_ranges(3, 5, 3, 5, bits=4)
+        code = z.interleave(3, 5, 4)
+        assert ranges == [(code, code)]
+
+    def test_empty_rectangle(self):
+        assert z.zorder_ranges(5, 5, 4, 4, bits=4) == []
+
+    @given(st.integers(0, 15), st.integers(0, 15),
+           st.integers(0, 15), st.integers(0, 15))
+    def test_cover_complete_and_ordered(self, x1, y1, x2, y2):
+        min_x, max_x = sorted((x1, x2))
+        min_y, max_y = sorted((y1, y2))
+        ranges = z.zorder_ranges(min_x, min_y, max_x, max_y, bits=4,
+                                 max_ranges=1000)
+        covered = set()
+        for lo, hi in ranges:
+            assert lo <= hi
+            covered.update(range(lo, hi + 1))
+        wanted = {z.interleave(x, y, 4)
+                  for x in range(min_x, max_x + 1)
+                  for y in range(min_y, max_y + 1)}
+        assert wanted <= covered
+        # With an unconstrained budget the cover is exact.
+        assert covered == wanted
+        # Ranges are sorted and disjoint.
+        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2
+
+    def test_budget_merges_ranges(self):
+        ranges = z.zorder_ranges(1, 1, 14, 14, bits=4, max_ranges=4)
+        assert len(ranges) <= 4
+        # Still complete.
+        covered = set()
+        for lo, hi in ranges:
+            covered.update(range(lo, hi + 1))
+        wanted = {z.interleave(x, y, 4)
+                  for x in range(1, 15) for y in range(1, 15)}
+        assert wanted <= covered
+
+
+class TestMergeRanges:
+    def test_adjacent_merge(self):
+        assert z.merge_ranges([(0, 3), (4, 7)]) == [(0, 7)]
+
+    def test_gap_preserved(self):
+        assert z.merge_ranges([(0, 3), (5, 7)]) == [(0, 3), (5, 7)]
+
+    def test_overlap_merge(self):
+        assert z.merge_ranges([(0, 5), (3, 7)]) == [(0, 7)]
+
+
+class TestIterCodes:
+    def test_iterates_all(self):
+        assert list(z.iter_codes([(0, 2), (5, 6)])) == [0, 1, 2, 5, 6]

@@ -1,0 +1,136 @@
+"""Tests for MapReduce index construction (Algorithms 2-3)."""
+
+import pytest
+
+from repro.core.model import Post
+from repro.dfs.cluster import DFSCluster, paper_cluster
+from repro.geo import geohash
+from repro.index.builder import (
+    IndexConfig,
+    build_hybrid_index,
+    rebuild_forward_index,
+    run_index_job,
+    write_partitions,
+)
+from repro.index.postings import decode_postings
+from repro.text import Analyzer
+
+
+def post(sid, text, lat=43.65, lon=-79.38, uid=1):
+    analyzer = Analyzer()
+    return Post(sid=sid, uid=uid, location=(lat, lon),
+                words=tuple(analyzer.analyze(text)), text=text)
+
+
+TORONTO = (43.6532, -79.3832)
+LONDON = (51.5074, -0.1278)
+
+
+@pytest.fixture()
+def posts():
+    return [
+        post(1, "marriott hotel downtown"),
+        post(2, "the grand hotel hotel"),          # tf(hotel) = 2
+        post(3, "best cafe in town"),
+        post(4, "london hotel by the thames", lat=LONDON[0], lon=LONDON[1]),
+    ]
+
+
+class TestIndexJob:
+    def test_postings_grouped_by_cell_and_term(self, posts):
+        result = run_index_job(posts, Analyzer(), IndexConfig())
+        pairs = dict(result.all_pairs())
+        toronto_cell = geohash.encode(43.65, -79.38, 4)
+        london_cell = geohash.encode(LONDON[0], LONDON[1], 4)
+        assert pairs[(toronto_cell, "hotel")] == [(1, 1), (2, 2)]
+        assert pairs[(london_cell, "hotel")] == [(4, 1)]
+        assert pairs[(toronto_cell, "cafe")] == [(3, 1)]
+
+    def test_postings_sorted_by_timestamp(self, posts):
+        # Insert out of sid order; reducer must sort (Algorithm 3).
+        shuffled = [posts[1], posts[0]]
+        result = run_index_job(shuffled, Analyzer(), IndexConfig())
+        toronto_cell = geohash.encode(43.65, -79.38, 4)
+        postings = dict(result.all_pairs())[(toronto_cell, "hotel")]
+        assert postings == sorted(postings)
+
+    def test_stop_words_excluded(self, posts):
+        result = run_index_job(posts, Analyzer(), IndexConfig())
+        terms = {term for (_cell, term), _p in result.all_pairs()}
+        assert "the" not in terms and "in" not in terms
+
+    def test_geohash_length_respected(self, posts):
+        for length in (1, 2, 3):
+            result = run_index_job(posts, Analyzer(),
+                                   IndexConfig(geohash_length=length))
+            for (cell, _term), _postings in result.all_pairs():
+                assert len(cell) == length
+
+    def test_empty_posts_produce_nothing(self):
+        silent = Post(sid=1, uid=1, location=(0.0, 0.0), words=(),
+                      text="the and of")
+        result = run_index_job([silent], Analyzer(), IndexConfig())
+        assert result.all_pairs() == []
+
+
+class TestWriteAndForward:
+    def test_forward_entries_resolve_postings(self, posts):
+        cluster = paper_cluster(block_size=256)
+        forward, result = build_hybrid_index(posts, cluster)
+        toronto_cell = geohash.encode(43.65, -79.38, 4)
+        reference = forward.lookup(toronto_cell, "hotel")
+        assert reference is not None
+        reader = cluster.open(reference.path)
+        data = reader.pread(reference.offset, reference.length)
+        assert decode_postings(data) == [(1, 1), (2, 2)]
+        assert reference.count == 2
+
+    def test_every_entry_readable(self, posts):
+        cluster = paper_cluster(block_size=128)
+        forward, _result = build_hybrid_index(posts, cluster)
+        for (_cell, _term), reference in forward.items():
+            reader = cluster.open(reference.path)
+            data = reader.pread(reference.offset, reference.length)
+            postings = decode_postings(data)
+            assert len(postings) == reference.count
+
+    def test_part_files_created_per_partition(self, posts):
+        cluster = paper_cluster()
+        config = IndexConfig(num_reduce_tasks=3)
+        build_hybrid_index(posts, cluster, config=config)
+        files = cluster.list_files("/index")
+        assert files == [f"/index/part-{i:05d}" for i in range(3)]
+
+    def test_rebuild_forward_index_matches(self, posts):
+        cluster = paper_cluster()
+        config = IndexConfig()
+        result = run_index_job(posts, Analyzer(), config)
+        original = write_partitions(result, cluster, config)
+        rebuilt = rebuild_forward_index(cluster, result, config)
+        assert len(rebuilt) == len(original)
+        for (cell, term), reference in original.items():
+            assert rebuilt.lookup(cell, term) == reference
+
+    def test_zorder_contiguity(self):
+        """Postings of nearby cells with the same prefix land contiguously
+        (same part file, adjacent offsets) thanks to the sorted shuffle."""
+        near_posts = [
+            post(sid, "pizza place", lat=43.65 + sid * 1e-4, lon=-79.38)
+            for sid in range(1, 6)
+        ]
+        cluster = paper_cluster()
+        config = IndexConfig(geohash_length=6, num_reduce_tasks=1)
+        forward, _result = build_hybrid_index(near_posts, cluster,
+                                              config=config)
+        refs = sorted((r.offset, cell) for (cell, term), r in forward.items()
+                      if term == "pizza")
+        cells_in_offset_order = [cell for _offset, cell in refs]
+        assert cells_in_offset_order == sorted(cells_in_offset_order)
+
+
+class TestConfigValidation:
+    def test_bad_geohash_length(self):
+        with pytest.raises(ValueError):
+            IndexConfig(geohash_length=0)
+        with pytest.raises(ValueError):
+            IndexConfig(geohash_length=99)

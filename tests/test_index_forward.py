@@ -1,0 +1,88 @@
+"""Tests for the in-memory forward index."""
+
+import pytest
+
+from repro.index.forward import ForwardIndex, PostingsRef
+
+
+def ref(path="/index/part-00000", offset=0, length=24, count=2):
+    return PostingsRef(path, offset, length, count)
+
+
+class TestForwardIndex:
+    def test_add_lookup(self):
+        index = ForwardIndex()
+        index.add("6gxp", "hotel", ref())
+        assert index.lookup("6gxp", "hotel") == ref()
+        assert index.lookup("6gxp", "cafe") is None
+        assert index.lookup("6gxq", "hotel") is None
+        assert len(index) == 1
+
+    def test_duplicate_rejected(self):
+        index = ForwardIndex()
+        index.add("6gxp", "hotel", ref())
+        with pytest.raises(ValueError):
+            index.add("6gxp", "hotel", ref(offset=48))
+
+    def test_prefix_lookup(self):
+        index = ForwardIndex()
+        index.add("6gxp", "hotel", ref(offset=0))
+        index.add("6gxq", "hotel", ref(offset=24))
+        index.add("6hyy", "hotel", ref(offset=48))
+        index.add("6gxp", "cafe", ref(offset=72))
+        under = index.lookup_prefix("6g", "hotel")
+        assert sorted(cell for cell, _r in under) == ["6gxp", "6gxq"]
+        assert index.lookup_prefix("zz", "hotel") == []
+        assert index.lookup_prefix("6g", "missing") == []
+
+    def test_terms_in_cell(self):
+        index = ForwardIndex()
+        index.add("6gxp", "hotel", ref(offset=0))
+        index.add("6gxp", "cafe", ref(offset=24))
+        assert index.terms_in_cell("6gxp") == {"hotel", "cafe"}
+        assert index.terms_in_cell("none") == set()
+
+    def test_cells_for_term(self):
+        index = ForwardIndex()
+        index.add("aaaa", "pizza", ref(offset=0))
+        index.add("bbbb", "pizza", ref(offset=24))
+        assert sorted(index.cells_for_term("pizza")) == ["aaaa", "bbbb"]
+
+    def test_vocabulary(self):
+        index = ForwardIndex()
+        index.add("aaaa", "pizza", ref(offset=0))
+        index.add("aaaa", "mall", ref(offset=24))
+        assert index.vocabulary() == {"pizza", "mall"}
+
+    def test_size_bytes_positive_and_growing(self):
+        index = ForwardIndex()
+        index.add("6gxp", "hotel", ref())
+        small = index.size_bytes()
+        index.add("6gxq", "restaurant", ref(offset=24))
+        assert index.size_bytes() > small > 0
+
+
+class TestSerialisation:
+    def build(self):
+        index = ForwardIndex()
+        index.add("6gxp", "hotel", ref(offset=0, length=24, count=2))
+        index.add("6gxq", "cafe", ref(path="/index/part-00001",
+                                      offset=100, length=12, count=1))
+        index.add("dpz8", "hotel", ref(offset=200, length=36, count=3))
+        return index
+
+    def test_roundtrip(self):
+        index = self.build()
+        back = ForwardIndex.deserialize(index.serialize())
+        assert len(back) == len(index)
+        for (cell, term), reference in index.items():
+            assert back.lookup(cell, term) == reference
+
+    def test_roundtrip_preserves_tries(self):
+        back = ForwardIndex.deserialize(self.build().serialize())
+        assert sorted(cell for cell, _r in back.lookup_prefix("6g", "hotel")) \
+            == ["6gxp"]
+
+    def test_empty_roundtrip(self):
+        back = ForwardIndex.deserialize(ForwardIndex().serialize())
+        assert len(back) == 0

@@ -1,0 +1,153 @@
+"""Tests for generational (periodic-batch) index ingestion."""
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.dfs.cluster import paper_cluster
+from repro.index.builder import IndexConfig
+from repro.index.generations import GenerationalIndex
+from repro.index.hybrid import HybridIndex
+
+
+@pytest.fixture(scope="module")
+def batches():
+    corpus = generate_corpus(num_users=150, num_root_tweets=600, seed=77)
+    posts = corpus.posts
+    third = len(posts) // 3
+    return [posts[:third], posts[third:2 * third], posts[2 * third:]]
+
+
+@pytest.fixture()
+def generational(batches):
+    index = GenerationalIndex(paper_cluster())
+    for batch in batches:
+        index.ingest(batch)
+    return index
+
+
+@pytest.fixture(scope="module")
+def monolithic(batches):
+    all_posts = [post for batch in batches for post in batch]
+    return HybridIndex.build(all_posts, paper_cluster())
+
+
+class TestIngestion:
+    def test_generation_count(self, generational, batches):
+        assert generational.generation_count == 3
+        assert generational.post_count == sum(len(b) for b in batches)
+
+    def test_empty_batch_rejected(self):
+        index = GenerationalIndex(paper_cluster())
+        with pytest.raises(ValueError):
+            index.ingest([])
+
+    def test_generations_have_distinct_prefixes(self, generational):
+        prefixes = {generation.index.config.output_prefix
+                    for generation in generational.generations}
+        assert len(prefixes) == 3
+
+    def test_part_files_per_generation(self, generational):
+        files = generational.cluster.list_files("/index")
+        assert any("gen-00000" in path for path in files)
+        assert any("gen-00002" in path for path in files)
+
+
+class TestMergedQueries:
+    def test_postings_match_monolithic(self, generational, monolithic):
+        """Merged postings across generations equal a single build's."""
+        checked = 0
+        for (cell, term), _ref in list(monolithic.forward.items())[:300]:
+            merged = generational.postings(cell, term)
+            single = monolithic.postings(cell, term)
+            assert merged == single, (cell, term)
+            checked += 1
+        assert checked > 0
+
+    def test_no_extra_postings(self, generational, monolithic):
+        """Every generational posting also exists monolithically."""
+        for generation in generational.generations:
+            for (cell, term), _ref in list(generation.index.forward.items())[:100]:
+                merged = generational.postings(cell, term)
+                assert merged == monolithic.postings(cell, term)
+
+    def test_cover_matches(self, generational, monolithic):
+        center = (43.6532, -79.3832)
+        assert generational.cover(center, 15.0) == monolithic.cover(center, 15.0)
+
+    def test_postings_for_query_shape(self, generational):
+        cells = generational.cover((43.6532, -79.3832), 15.0)
+        grouped = generational.postings_for_query(cells, ["restaur", "hotel"])
+        for per_term in grouped.values():
+            for postings in per_term.values():
+                tids = [tid for tid, _tf in postings]
+                assert tids == sorted(tids)
+
+
+class TestEngineEquivalence:
+    def test_query_results_match_monolithic_engine(self, batches):
+        """An engine over the generational index answers exactly like an
+        engine over one monolithic build."""
+        from repro.query.engine import TkLUSEngine
+
+        all_posts = [post for batch in batches for post in batch]
+        mono_engine = TkLUSEngine.from_posts(all_posts,
+                                             precompute_bounds=False)
+
+        gen_engine = TkLUSEngine.from_posts(all_posts,
+                                            precompute_bounds=False)
+        generational = GenerationalIndex(paper_cluster())
+        for batch in batches:
+            generational.ingest(batch)
+        # Swap the index behind the processors.
+        gen_engine.index = generational  # type: ignore[assignment]
+        gen_engine._sum.index = generational  # type: ignore[assignment]
+        gen_engine._max.index = generational  # type: ignore[assignment]
+
+        for keywords in (["restaurant"], ["hotel"], ["coffee"]):
+            query = mono_engine.make_query((43.6532, -79.3832), 25.0,
+                                           keywords, k=10)
+            assert (gen_engine.search_sum(query).users
+                    == mono_engine.search_sum(query).users)
+            assert (gen_engine.search_max(query).users
+                    == mono_engine.search_max(query).users)
+
+
+class TestCompaction:
+    def test_compact_to_single_generation(self, batches):
+        index = GenerationalIndex(paper_cluster())
+        for batch in batches:
+            index.ingest(batch)
+        all_posts = [post for batch in batches for post in batch]
+        before = {}
+        for generation in index.generations:
+            for (cell, term), _ref in generation.index.forward.items():
+                before[(cell, term)] = index.postings(cell, term)
+
+        index.compact(all_posts)
+        assert index.generation_count == 1
+        assert index.compactions == 1
+        for (cell, term), expected in list(before.items())[:200]:
+            assert index.postings(cell, term) == expected
+
+    def test_compact_reclaims_files(self, batches):
+        index = GenerationalIndex(paper_cluster())
+        for batch in batches:
+            index.ingest(batch)
+        all_posts = [post for batch in batches for post in batch]
+        files_before = len(index.cluster.list_files("/index"))
+        size_before = index.inverted_size_bytes()
+        index.compact(all_posts)
+        files_after = len(index.cluster.list_files("/index"))
+        assert files_after < files_before
+        # Same data, one generation: logical size unchanged.
+        assert index.inverted_size_bytes() == size_before
+
+
+class TestConfigPropagation:
+    def test_geohash_length_inherited(self, batches):
+        index = GenerationalIndex(paper_cluster(),
+                                  config=IndexConfig(geohash_length=3))
+        index.ingest(batches[0])
+        for (cell, _term), _ref in index.generations[0].index.forward.items():
+            assert len(cell) == 3
+            break

@@ -1,0 +1,107 @@
+"""Tests for the hybrid index facade."""
+
+import pytest
+
+from repro.core.model import Post
+from repro.dfs.cluster import paper_cluster
+from repro.geo import geohash
+from repro.index.builder import IndexConfig
+from repro.index.hybrid import HybridIndex
+from repro.text import Analyzer
+
+TORONTO = (43.6532, -79.3832)
+
+
+def make_posts():
+    analyzer = Analyzer()
+    texts = [
+        (1, "hotel by the lake", 43.65, -79.38),
+        (2, "hotel hotel downtown", 43.66, -79.39),
+        (3, "cozy cafe", 43.64, -79.37),
+        (4, "beach hotel", -33.89, 151.27),
+    ]
+    return [Post(sid=sid, uid=sid, location=(lat, lon),
+                 words=tuple(analyzer.analyze(text)), text=text)
+            for sid, text, lat, lon in texts]
+
+
+@pytest.fixture()
+def index():
+    return HybridIndex.build(make_posts(), paper_cluster())
+
+
+class TestPostingsAccess:
+    def test_postings_fetch(self, index):
+        cell = geohash.encode(43.65, -79.38, 4)
+        postings = index.postings(cell, "hotel")
+        assert postings == [(1, 1), (2, 2)]
+
+    def test_unindexed_pair_empty(self, index):
+        assert index.postings("zzzz", "hotel") == []
+        cell = geohash.encode(43.65, -79.38, 4)
+        assert index.postings(cell, "nonexistent") == []
+
+    def test_stats_updated(self, index):
+        cell = geohash.encode(43.65, -79.38, 4)
+        index.reset_stats()
+        index.postings(cell, "hotel")
+        assert index.stats.postings_fetches == 1
+        assert index.stats.postings_entries_read == 2
+        assert index.stats.bytes_read == 24
+
+    def test_postings_for_query_groups(self, index):
+        cells = index.cover(TORONTO, 10.0)
+        grouped = index.postings_for_query(cells, ["hotel", "cafe"])
+        all_terms = {term for per_term in grouped.values()
+                     for term in per_term}
+        assert all_terms == {"hotel", "cafe"}
+
+
+class TestCache:
+    def test_cache_disabled_by_default(self):
+        index = HybridIndex.build(make_posts(), paper_cluster())
+        cell = geohash.encode(43.65, -79.38, 4)
+        index.postings(cell, "hotel")
+        index.postings(cell, "hotel")
+        assert index.stats.cache_hits == 0
+        assert index.stats.postings_fetches == 2
+
+    def test_cache_hits_when_enabled(self):
+        index = HybridIndex.build(make_posts(), paper_cluster(),
+                                  cache_size=8)
+        cell = geohash.encode(43.65, -79.38, 4)
+        first = index.postings(cell, "hotel")
+        second = index.postings(cell, "hotel")
+        assert first == second
+        assert index.stats.cache_hits == 1
+        assert index.stats.postings_fetches == 1
+
+    def test_cache_eviction(self):
+        index = HybridIndex.build(make_posts(), paper_cluster(),
+                                  cache_size=1)
+        cell = geohash.encode(43.65, -79.38, 4)
+        index.postings(cell, "hotel")
+        index.postings(cell, "cafe")   # evicts hotel
+        index.postings(cell, "hotel")  # miss again
+        assert index.stats.postings_fetches == 3
+
+
+class TestCoverIntegration:
+    def test_cover_uses_index_length(self):
+        for length in (2, 3, 4):
+            index = HybridIndex.build(
+                make_posts(), paper_cluster(),
+                config=IndexConfig(geohash_length=length))
+            for cell in index.cover(TORONTO, 10.0):
+                assert len(cell) == length
+
+
+class TestSizeReporting:
+    def test_inverted_size_counts_postings(self, index):
+        # 5 postings entries total (hotel x3 tweets across 2 cells,
+        # cafe x1, beach x1, plus per-term entries) -> 12 bytes each.
+        total_entries = sum(ref.count for _k, ref in index.forward.items())
+        assert index.inverted_size_bytes() == total_entries * 12
+
+    def test_forward_size_positive(self, index):
+        assert index.forward_size_bytes() > 0

@@ -1,0 +1,110 @@
+"""Tests for geohash range partitioning and the data-locality claim."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfs.cluster import paper_cluster
+from repro.geo.geohash import BASE32
+from repro.index.builder import IndexConfig
+from repro.index.hybrid import HybridIndex
+from repro.index.locality import (
+    GeohashRangePartitioner,
+    measure_query_locality,
+)
+from repro.text import Analyzer
+
+geohashes = st.text(alphabet=BASE32, min_size=1, max_size=6)
+
+
+class TestRangePartitioner:
+    @given(geohashes, st.integers(min_value=1, max_value=64))
+    def test_in_range(self, geohash, partitions):
+        partitioner = GeohashRangePartitioner()
+        assert 0 <= partitioner.partition((geohash, "term"), partitions) \
+            < partitions
+
+    @given(geohashes, geohashes, st.integers(min_value=2, max_value=16))
+    @settings(max_examples=80, deadline=None)
+    def test_order_preserving(self, a, b, partitions):
+        """Lexicographically ordered geohashes map to ordered (or equal)
+        partitions — the property that keeps regions contiguous."""
+        partitioner = GeohashRangePartitioner()
+        pa = partitioner.partition((a, "x"), partitions)
+        pb = partitioner.partition((b, "x"), partitions)
+        if a <= b:
+            assert pa <= pb
+        else:
+            assert pa >= pb
+
+    def test_term_ignored(self):
+        partitioner = GeohashRangePartitioner()
+        assert (partitioner.partition(("6gxp", "hotel"), 8)
+                == partitioner.partition(("6gxp", "pizza"), 8))
+
+    def test_prefix_neighbours_share_partition(self):
+        partitioner = GeohashRangePartitioner()
+        base = partitioner.partition(("dpz8", "x"), 4)
+        assert partitioner.partition(("dpz9", "x"), 4) == base
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError):
+            GeohashRangePartitioner().partition(("aXcd", "x"), 4)
+
+
+class TestIndexConfigPartitioning:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            IndexConfig(partitioning="zorder")
+
+    def test_range_build_answers_match_hash_build(self, corpus):
+        hash_index = HybridIndex.build(
+            corpus.posts, paper_cluster(),
+            config=IndexConfig(partitioning="hash"))
+        range_index = HybridIndex.build(
+            corpus.posts, paper_cluster(),
+            config=IndexConfig(partitioning="range"))
+        for (cell, term), _ref in list(hash_index.forward.items())[:200]:
+            assert (range_index.postings(cell, term)
+                    == hash_index.postings(cell, term))
+
+
+class TestLocalityMeasurement:
+    @pytest.fixture(scope="class")
+    def queries(self, corpus, workload):
+        analyzer = Analyzer()
+        rng = random.Random(3)
+        result = []
+        for spec in workload.specs(1)[:10]:
+            terms = analyzer.analyze_query_keywords(spec.keywords)
+            result.append((corpus.sample_location(rng), 15.0, terms))
+        return result
+
+    def test_range_beats_hash(self, corpus, queries):
+        hash_index = HybridIndex.build(
+            corpus.posts, paper_cluster(),
+            config=IndexConfig(partitioning="hash", num_reduce_tasks=8))
+        range_index = HybridIndex.build(
+            corpus.posts, paper_cluster(),
+            config=IndexConfig(partitioning="range", num_reduce_tasks=8))
+        hash_report = measure_query_locality(hash_index, queries)
+        range_report = measure_query_locality(range_index, queries)
+        # The paper's claim: geohash layout keeps a query region's data
+        # together.
+        assert range_report.mean_part_files < hash_report.mean_part_files
+        assert range_report.mean_part_files <= 1.5
+
+    def test_empty_workload(self, corpus):
+        index = HybridIndex.build(corpus.posts[:100], paper_cluster())
+        report = measure_query_locality(index, [])
+        assert report.queries == 0
+        assert report.mean_part_files == 0.0
+
+    def test_report_row_shape(self, corpus, queries):
+        index = HybridIndex.build(
+            corpus.posts, paper_cluster(),
+            config=IndexConfig(partitioning="range"))
+        row = measure_query_locality(index, queries).as_row()
+        assert set(row) == {"queries", "mean_part_files", "mean_datanodes",
+                            "max_part_files", "max_datanodes"}

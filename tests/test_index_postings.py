@@ -1,0 +1,156 @@
+"""Tests for postings lists: serialisation, intersection, union."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.postings import (
+    ENTRY_SIZE,
+    decode_postings,
+    encode_postings,
+    intersect_many,
+    intersect_two,
+    merge_postings,
+    union_many,
+)
+
+posting_lists = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10**6),
+              st.integers(min_value=1, max_value=50)),
+    max_size=100,
+).map(lambda pairs: sorted(dict(pairs).items()))
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        postings = [(1, 2), (5, 1), (100, 7)]
+        assert decode_postings(encode_postings(postings)) == postings
+
+    def test_empty(self):
+        assert encode_postings([]) == b""
+        assert decode_postings(b"") == []
+
+    def test_entry_size(self):
+        assert len(encode_postings([(1, 1)])) == ENTRY_SIZE
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            encode_postings([(5, 1), (3, 1)])
+
+    def test_misaligned_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            decode_postings(b"\x00" * (ENTRY_SIZE + 1))
+
+    @given(posting_lists)
+    def test_roundtrip_random(self, postings):
+        assert decode_postings(encode_postings(postings)) == postings
+
+
+class TestIntersectTwo:
+    def test_basic(self):
+        a = [(1, 1), (3, 2), (5, 1)]
+        b = [(3, 4), (5, 5), (9, 1)]
+        assert intersect_two(a, b) == [(3, 2, 4), (5, 1, 5)]
+
+    def test_disjoint(self):
+        assert intersect_two([(1, 1)], [(2, 1)]) == []
+
+    def test_empty_sides(self):
+        assert intersect_two([], [(1, 1)]) == []
+        assert intersect_two([(1, 1)], []) == []
+
+    def test_skewed_sizes_gallop(self):
+        small = [(500, 1), (999999, 2)]
+        large = [(i, 1) for i in range(0, 1000000, 7)]
+        got = intersect_two(small, large)
+        expected = [(tid, tf, 1) for tid, tf in small if tid % 7 == 0]
+        assert got == expected
+
+    @given(posting_lists, posting_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_set_oracle(self, a, b):
+        got = {tid for tid, _ta, _tb in intersect_two(a, b)}
+        expected = {tid for tid, _tf in a} & {tid for tid, _tf in b}
+        assert got == expected
+
+    @given(posting_lists, posting_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_tf_sides_correct(self, a, b):
+        tf_a = dict(a)
+        tf_b = dict(b)
+        for tid, ta, tb in intersect_two(a, b):
+            assert ta == tf_a[tid] and tb == tf_b[tid]
+
+
+class TestIntersectMany:
+    def test_three_lists(self):
+        lists = [[(1, 1), (2, 2), (3, 3)],
+                 [(2, 5), (3, 1)],
+                 [(2, 7), (4, 1)]]
+        assert intersect_many(lists) == [(2, [2, 5, 7])]
+
+    def test_single_list(self):
+        assert intersect_many([[(1, 4)]]) == [(1, [4])]
+
+    def test_empty_cases(self):
+        assert intersect_many([]) == []
+        assert intersect_many([[(1, 1)], []]) == []
+
+    @given(st.lists(posting_lists, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_oracle(self, lists):
+        got = {tid for tid, _tfs in intersect_many(lists)}
+        sets = [{tid for tid, _tf in lst} for lst in lists]
+        expected = set.intersection(*sets) if sets else set()
+        assert got == expected
+
+    @given(st.lists(posting_lists, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_output_sorted_and_tfs_ordered(self, lists):
+        result = intersect_many(lists)
+        tids = [tid for tid, _tfs in result]
+        assert tids == sorted(tids)
+        maps = [dict(lst) for lst in lists]
+        for tid, tfs in result:
+            assert tfs == [m[tid] for m in maps]
+
+
+class TestUnionMany:
+    def test_basic(self):
+        lists = [[(1, 1), (3, 1)], [(2, 2), (3, 4)]]
+        assert union_many(lists) == [(1, [1, 0]), (2, [0, 2]), (3, [1, 4])]
+
+    def test_empty(self):
+        assert union_many([]) == []
+        assert union_many([[], []]) == []
+
+    @given(st.lists(posting_lists, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_oracle(self, lists):
+        got = {tid for tid, _tfs in union_many(lists)}
+        expected = set()
+        for lst in lists:
+            expected |= {tid for tid, _tf in lst}
+        assert got == expected
+
+    @given(st.lists(posting_lists, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_sorted_and_complete_tfs(self, lists):
+        result = union_many(lists)
+        tids = [tid for tid, _tfs in result]
+        assert tids == sorted(tids)
+        maps = [dict(lst) for lst in lists]
+        for tid, tfs in result:
+            assert tfs == [m.get(tid, 0) for m in maps]
+
+
+class TestMergePostings:
+    def test_sums_tf_on_collision(self):
+        merged = merge_postings([[(1, 2), (5, 1)], [(1, 3), (9, 9)]])
+        assert merged == [(1, 5), (5, 1), (9, 9)]
+
+    @given(st.lists(posting_lists, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_total_tf_preserved(self, lists):
+        merged = merge_postings(lists)
+        assert sum(tf for _tid, tf in merged) == sum(
+            tf for lst in lists for _tid, tf in lst)

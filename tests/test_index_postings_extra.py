@@ -1,0 +1,77 @@
+"""Additional edge-case tests for postings operations and the hybrid
+index under adversarial inputs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.postings import (
+    _gallop,
+    intersect_many,
+    intersect_two,
+    union_many,
+)
+
+
+class TestGallop:
+    def test_finds_first_geq(self):
+        postings = [(2, 1), (4, 1), (8, 1), (16, 1)]
+        assert _gallop(postings, 1, 0) == 0
+        assert _gallop(postings, 2, 0) == 0
+        assert _gallop(postings, 3, 0) == 1
+        assert _gallop(postings, 16, 0) == 3
+        assert _gallop(postings, 17, 0) == 4
+
+    def test_start_beyond_end(self):
+        assert _gallop([(1, 1)], 0, 5) == 5
+
+    def test_respects_start(self):
+        postings = [(1, 1), (3, 1), (5, 1)]
+        assert _gallop(postings, 1, 2) == 2
+
+    @given(st.lists(st.integers(0, 1000), unique=True, max_size=80),
+           st.integers(0, 1000),
+           st.integers(0, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_linear_scan(self, tids, target, start):
+        postings = [(tid, 1) for tid in sorted(tids)]
+        start = min(start, len(postings))
+        got = _gallop(postings, target, start)
+        expected = start
+        while expected < len(postings) and postings[expected][0] < target:
+            expected += 1
+        assert got == expected
+
+
+class TestIntersectionAlgebra:
+    lists3 = st.lists(
+        st.lists(st.tuples(st.integers(0, 200), st.integers(1, 3)),
+                 max_size=40).map(lambda p: sorted(dict(p).items())),
+        min_size=2, max_size=3)
+
+    @given(lists3)
+    @settings(max_examples=40, deadline=None)
+    def test_intersect_commutative_on_tids(self, lists):
+        forward = {tid for tid, _tfs in intersect_many(lists)}
+        backward = {tid for tid, _tfs in intersect_many(lists[::-1])}
+        assert forward == backward
+
+    @given(lists3)
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_subset_of_union(self, lists):
+        inter = {tid for tid, _tfs in intersect_many(lists)}
+        union = {tid for tid, _tfs in union_many(lists)}
+        assert inter <= union
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 3)),
+                    max_size=40).map(lambda p: sorted(dict(p).items())))
+    @settings(max_examples=40, deadline=None)
+    def test_self_intersection_identity(self, postings):
+        got = intersect_two(postings, postings)
+        assert [(tid, tf) for tid, tf, _tf2 in got] == postings
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 3)),
+                    max_size=40).map(lambda p: sorted(dict(p).items())))
+    @settings(max_examples=40, deadline=None)
+    def test_union_with_empty_is_identity(self, postings):
+        got = union_many([postings, []])
+        assert [(tid, tfs[0]) for tid, tfs in got] == postings

@@ -1,0 +1,121 @@
+"""Property-based integration tests of the full retrieval pipeline:
+random mini-corpora, indexed and queried, checked against brute force."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Post, Semantics, TkLUSQuery
+from repro.dfs.cluster import paper_cluster
+from repro.geo.distance import haversine_km
+from repro.index.builder import IndexConfig
+from repro.index.hybrid import HybridIndex
+from repro.query.semantics import candidates_from_postings
+
+TERMS = ["hotel", "cafe", "pizza", "game", "mall"]
+
+mini_posts = st.lists(
+    st.tuples(
+        st.floats(min_value=42.0, max_value=45.0, allow_nan=False),   # lat
+        st.floats(min_value=-81.0, max_value=-78.0, allow_nan=False),  # lon
+        st.lists(st.sampled_from(TERMS), min_size=1, max_size=4),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def build_posts(raw):
+    posts = []
+    for sid, (lat, lon, words) in enumerate(raw, start=1):
+        posts.append(Post(sid=sid, uid=sid % 7 + 1, location=(lat, lon),
+                          words=tuple(words), text=" ".join(words)))
+    return posts
+
+
+class TestRetrievalCompleteness:
+    """The index + cover + semantics pipeline must retrieve exactly the
+    tweets a full scan would."""
+
+    @given(mini_posts,
+           st.sampled_from(TERMS),
+           st.floats(min_value=5.0, max_value=120.0, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_or_single_keyword(self, raw, term, radius):
+        posts = build_posts(raw)
+        index = HybridIndex.build(posts, paper_cluster(),
+                                  config=IndexConfig(num_reduce_tasks=2))
+        center = (43.65, -79.38)
+        cells = index.cover(center, radius)
+        per_cell = index.postings_for_query(cells, [term])
+        candidates = candidates_from_postings(per_cell, [term], Semantics.OR)
+        retrieved = set()
+        by_sid = {post.sid: post for post in posts}
+        for candidate in candidates:
+            post = by_sid[candidate.tid]
+            if haversine_km(center, post.location) <= radius:
+                retrieved.add(candidate.tid)
+        expected = {
+            post.sid for post in posts
+            if term in post.words
+            and haversine_km(center, post.location) <= radius
+        }
+        assert retrieved == expected
+
+    @given(mini_posts,
+           st.floats(min_value=10.0, max_value=150.0, allow_nan=False))
+    @settings(max_examples=20, deadline=None)
+    def test_and_two_keywords(self, raw, radius):
+        posts = build_posts(raw)
+        index = HybridIndex.build(posts, paper_cluster(),
+                                  config=IndexConfig(num_reduce_tasks=3))
+        center = (43.65, -79.38)
+        terms = ["hotel", "cafe"]
+        cells = index.cover(center, radius)
+        per_cell = index.postings_for_query(cells, terms)
+        candidates = candidates_from_postings(per_cell, terms, Semantics.AND)
+        by_sid = {post.sid: post for post in posts}
+        retrieved = {
+            c.tid for c in candidates
+            if haversine_km(center, by_sid[c.tid].location) <= radius
+        }
+        expected = {
+            post.sid for post in posts
+            if {"hotel", "cafe"} <= set(post.words)
+            and haversine_km(center, post.location) <= radius
+        }
+        assert retrieved == expected
+
+    @given(mini_posts, st.sampled_from(TERMS))
+    @settings(max_examples=20, deadline=None)
+    def test_match_counts_are_term_frequencies(self, raw, term):
+        posts = build_posts(raw)
+        index = HybridIndex.build(posts, paper_cluster())
+        center = (43.65, -79.38)
+        cells = index.cover(center, 500.0)  # cover everything
+        per_cell = index.postings_for_query(cells, [term])
+        candidates = candidates_from_postings(per_cell, [term], Semantics.OR)
+        by_sid = {post.sid: post for post in posts}
+        for candidate in candidates:
+            expected_tf = list(by_sid[candidate.tid].words).count(term)
+            assert candidate.match_count == expected_tf
+
+
+class TestEndToEndScoresFinite:
+    @given(mini_posts,
+           st.sampled_from(TERMS),
+           st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=15, deadline=None)
+    def test_engine_never_produces_nan_or_negative(self, raw, term, radius, k):
+        from repro.query.engine import TkLUSEngine
+        posts = build_posts(raw)
+        engine = TkLUSEngine.from_posts(posts, precompute_bounds=False)
+        query = TkLUSQuery(location=(43.65, -79.38), radius_km=radius,
+                           keywords=frozenset({term}), k=k)
+        for method in ("sum", "max"):
+            result = engine.search(query, method=method)
+            assert len(result.users) <= k
+            for _uid, score in result.users:
+                assert math.isfinite(score)
+                assert score >= 0.0

@@ -1,0 +1,246 @@
+"""Tests for the MapReduce engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce import (
+    HashPartitioner,
+    IdentityMapper,
+    IdentityReducer,
+    Job,
+    MapReduceRuntime,
+    Mapper,
+    MaxReducer,
+    Reducer,
+    SumReducer,
+    TokenCountMapper,
+    run_job,
+)
+from repro.mapreduce.shuffle import MapSpill, group_by_key, merge_spills
+from repro.text import Analyzer
+
+
+class SplitWordsMapper(Mapper):
+    def map(self, key, value, emit, context):
+        for word in value.split():
+            emit(word, 1)
+
+
+def word_count_job(texts, **kwargs):
+    return Job("wc", mapper_factory=SplitWordsMapper,
+               reducer_factory=SumReducer,
+               inputs=list(enumerate(texts)), **kwargs)
+
+
+class TestWordCount:
+    TEXTS = ["a b a", "b c", "a"]
+
+    def test_basic(self):
+        result = run_job(word_count_job(self.TEXTS))
+        assert result.as_dict() == {"a": 3, "b": 2, "c": 1}
+
+    def test_with_combiner(self):
+        result = run_job(word_count_job(self.TEXTS,
+                                        combiner_factory=SumReducer))
+        assert result.as_dict() == {"a": 3, "b": 2, "c": 1}
+        # Combiner must shrink (or match) shuffled record count.
+        assert (result.counters.get("combine_output_records")
+                <= result.counters.get("map_output_records"))
+
+    def test_parallel_matches_sequential(self):
+        sequential = run_job(word_count_job(self.TEXTS))
+        parallel = MapReduceRuntime(workers=4).run(word_count_job(self.TEXTS))
+        assert sequential.as_dict() == parallel.as_dict()
+
+    @pytest.mark.parametrize("maps,reduces", [(1, 1), (2, 3), (7, 2), (10, 10)])
+    def test_task_counts_irrelevant_to_result(self, maps, reduces):
+        result = run_job(word_count_job(self.TEXTS, num_map_tasks=maps,
+                                        num_reduce_tasks=reduces))
+        assert result.as_dict() == {"a": 3, "b": 2, "c": 1}
+
+
+class TestSortedOutput:
+    def test_partition_outputs_key_sorted(self):
+        texts = ["zeta alpha m m", "beta alpha zeta q"]
+        result = run_job(word_count_job(texts, num_reduce_tasks=3))
+        for partition in result.outputs:
+            keys = [key for key, _v in partition]
+            assert keys == sorted(keys)
+
+    def test_all_pairs_globally_sorted(self):
+        result = run_job(word_count_job(["d c b a"]))
+        assert [k for k, _v in result.all_pairs()] == ["a", "b", "c", "d"]
+
+
+class TestCounters:
+    def test_standard_counters(self):
+        result = run_job(word_count_job(["x y", "y z"]))
+        counters = result.counters
+        assert counters.get("map_input_records") == 2
+        assert counters.get("map_output_records") == 4
+        assert counters.get("reduce_input_groups") == 3
+        assert counters.get("reduce_output_records") == 3
+        assert counters.get("shuffle_bytes") > 0
+
+
+class TestValidation:
+    def test_bad_mapper_factory(self):
+        job = Job("bad", mapper_factory=lambda: object(),
+                  reducer_factory=SumReducer, inputs=[])
+        with pytest.raises(TypeError):
+            run_job(job)
+
+    def test_bad_task_counts(self):
+        job = word_count_job(["a"], num_map_tasks=0)
+        with pytest.raises(ValueError):
+            run_job(job)
+
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            MapReduceRuntime(workers=0)
+
+    def test_empty_input(self):
+        result = run_job(word_count_job([]))
+        assert result.all_pairs() == []
+
+
+class TestLibraryComponents:
+    def test_identity_pipeline(self):
+        job = Job("id", mapper_factory=IdentityMapper,
+                  reducer_factory=IdentityReducer,
+                  inputs=[("k1", "v1"), ("k2", "v2"), ("k1", "v3")])
+        result = run_job(job)
+        assert sorted(result.all_pairs()) == [
+            ("k1", "v1"), ("k1", "v3"), ("k2", "v2")]
+
+    def test_max_reducer(self):
+        job = Job("max", mapper_factory=IdentityMapper,
+                  reducer_factory=MaxReducer,
+                  inputs=[("k", 3), ("k", 9), ("k", 1)])
+        assert run_job(job).as_dict() == {"k": 9}
+
+    def test_token_count_mapper_with_analyzer(self):
+        analyzer = Analyzer()
+        job = Job("tokens",
+                  mapper_factory=lambda: TokenCountMapper(analyzer),
+                  reducer_factory=SumReducer,
+                  inputs=[(1, "the hotels near THE hotel")])
+        assert run_job(job).as_dict() == {"hotel": 2, "near": 1}
+
+
+class TestPartitioner:
+    def test_deterministic(self):
+        partitioner = HashPartitioner()
+        assert (partitioner.partition(("6gxp", "hotel"), 8)
+                == partitioner.partition(("6gxp", "hotel"), 8))
+
+    def test_in_range(self):
+        partitioner = HashPartitioner()
+        for key in ["a", ("b", 1), 42, ("6gxp", "hotel")]:
+            assert 0 <= partitioner.partition(key, 5) < 5
+
+    @given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_spreads_keys(self, keys):
+        partitioner = HashPartitioner()
+        buckets = {partitioner.partition(key, 4) for key in set(keys)}
+        if len(set(keys)) >= 20:
+            assert len(buckets) >= 2  # not everything in one partition
+
+
+class TestShuffleInternals:
+    def test_spill_sorts(self):
+        spill = MapSpill([("b", 2), ("a", 1), ("c", 3)])
+        assert [k for k, _v in spill.pairs] == ["a", "b", "c"]
+
+    def test_merge_spills_sorted(self):
+        spills = [MapSpill([("a", 1), ("c", 3)]), MapSpill([("b", 2)])]
+        assert [k for k, _v in merge_spills(spills)] == ["a", "b", "c"]
+
+    def test_group_by_key(self):
+        stream = iter([("a", 1), ("a", 2), ("b", 3)])
+        groups = list(group_by_key(stream))
+        assert groups == [("a", [1, 2]), ("b", [3])]
+
+    def test_group_by_key_empty(self):
+        assert list(group_by_key(iter([]))) == []
+
+    def test_merge_stable_on_ties(self):
+        spills = [MapSpill([("k", "first")]), MapSpill([("k", "second")])]
+        values = [v for _k, v in merge_spills(spills)]
+        assert values == ["first", "second"]
+
+    @given(st.lists(st.lists(st.tuples(st.integers(0, 20), st.integers()),
+                             max_size=30), max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_is_total_and_sorted(self, raw_spills):
+        spills = [MapSpill(list(pairs)) for pairs in raw_spills]
+        merged = list(merge_spills(spills))
+        assert len(merged) == sum(len(pairs) for pairs in raw_spills)
+        keys = [k for k, _v in merged]
+        assert keys == sorted(keys)
+
+
+class TestDeterminism:
+    @given(st.lists(st.text(alphabet="abcdef ", min_size=0, max_size=30),
+                    max_size=20),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_result_independent_of_parallelism(self, texts, maps, reduces):
+        job1 = word_count_job(texts, num_map_tasks=maps,
+                              num_reduce_tasks=reduces)
+        job2 = word_count_job(texts, num_map_tasks=1, num_reduce_tasks=1)
+        assert run_job(job1).as_dict() == run_job(job2).as_dict()
+
+
+class TestCountersThreadSafety:
+    def test_concurrent_increments(self):
+        import threading
+        from repro.mapreduce.counters import Counters
+        counters = Counters()
+
+        def bump():
+            for _ in range(2000):
+                counters.increment("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counters.get("hits") == 16000
+
+    def test_snapshot_isolated(self):
+        from repro.mapreduce.counters import Counters
+        counters = Counters()
+        counters.increment("a", 3)
+        snap = counters.snapshot()
+        counters.increment("a")
+        assert snap["a"] == 3
+
+    def test_repr_sorted(self):
+        from repro.mapreduce.counters import Counters
+        counters = Counters()
+        counters.increment("zz")
+        counters.increment("aa")
+        text = repr(counters)
+        assert text.index("aa") < text.index("zz")
+
+
+class TestInputSplits:
+    def test_contiguous_splits(self):
+        job = word_count_job([f"r{i}" for i in range(10)], num_map_tasks=3)
+        splits = list(job.input_splits())
+        flattened = [record for split in splits for record in split]
+        assert flattened == list(enumerate(f"r{i}" for i in range(10)))
+        assert len(splits) == 3
+
+    def test_more_tasks_than_records(self):
+        job = word_count_job(["only"], num_map_tasks=10)
+        splits = [s for s in job.input_splits() if s]
+        assert len(splits) == 1
+
+    def test_empty_input_single_empty_split(self):
+        job = word_count_job([], num_map_tasks=4)
+        assert list(job.input_splits()) == [[]]

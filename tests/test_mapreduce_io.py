@@ -1,0 +1,105 @@
+"""Tests for DFS-backed MapReduce input/output connectors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dfs.cluster import DFSCluster
+from repro.mapreduce import Job, SumReducer, run_job
+from repro.mapreduce.io import (
+    DFSLineInputFormat,
+    load_job_inputs,
+    write_job_output,
+)
+from repro.mapreduce.types import Mapper
+
+
+def cluster_with_file(lines, block_size=32, path="/in/data"):
+    cluster = DFSCluster(num_datanodes=2, block_size=block_size)
+    with cluster.create(path) as writer:
+        for line in lines:
+            writer.write((line + "\n").encode())
+    return cluster
+
+
+class TestSplits:
+    def test_one_split_per_block(self):
+        lines = [f"line-{i:03d}" for i in range(20)]
+        cluster = cluster_with_file(lines, block_size=64)
+        input_format = DFSLineInputFormat(cluster)
+        splits = input_format.splits(["/in/data"])
+        size = cluster.file_size("/in/data")
+        assert len(splits) == (size + 63) // 64
+        assert splits[0][1] == 0
+        assert splits[-1][2] == size
+
+    def test_empty_file(self):
+        cluster = DFSCluster(block_size=64)
+        cluster.create("/in/empty").close()
+        assert DFSLineInputFormat(cluster).splits(["/in/empty"]) == []
+
+
+class TestSplitReading:
+    @given(st.lists(st.text(alphabet="abcdefgh0123456789", min_size=1,
+                            max_size=30),
+                    min_size=1, max_size=60),
+           st.integers(min_value=8, max_value=128))
+    @settings(max_examples=40, deadline=None)
+    def test_no_record_lost_or_duplicated(self, lines, block_size):
+        """The block-boundary convention must partition lines exactly."""
+        cluster = cluster_with_file(lines, block_size=block_size)
+        input_format = DFSLineInputFormat(cluster)
+        collected = []
+        for split in input_format.splits(["/in/data"]):
+            collected.extend(input_format.read_split(split))
+        assert collected == lines
+
+    def test_boundary_exactly_on_newline(self):
+        # Craft lines so a block boundary lands right after a newline.
+        lines = ["a" * 31, "b" * 10]  # first line + \n = 32 = block size
+        cluster = cluster_with_file(lines, block_size=32)
+        input_format = DFSLineInputFormat(cluster)
+        collected = []
+        for split in input_format.splits(["/in/data"]):
+            collected.extend(input_format.read_split(split))
+        assert collected == lines
+
+    def test_line_spanning_blocks(self):
+        lines = ["x" * 100, "tail"]
+        cluster = cluster_with_file(lines, block_size=32)
+        input_format = DFSLineInputFormat(cluster)
+        collected = []
+        for split in input_format.splits(["/in/data"]):
+            collected.extend(input_format.read_split(split))
+        assert collected == lines
+
+    def test_read_all_keys_unique(self):
+        lines = [f"row {i}" for i in range(25)]
+        cluster = cluster_with_file(lines, block_size=16)
+        records = DFSLineInputFormat(cluster).read_all(["/in/data"])
+        keys = [key for key, _line in records]
+        assert len(keys) == len(set(keys)) == 25
+
+
+class TestEndToEndJob:
+    class WordMapper(Mapper):
+        def map(self, key, value, emit, context):
+            for word in value.split():
+                emit(word, 1)
+
+    def test_wordcount_from_dfs_to_dfs(self):
+        lines = ["hotel cafe", "hotel", "cafe cafe pizza"]
+        cluster = cluster_with_file(lines, block_size=16)
+        inputs = load_job_inputs(cluster, "/in")
+        job = Job("dfs-wc", mapper_factory=self.WordMapper,
+                  reducer_factory=SumReducer, inputs=inputs,
+                  num_reduce_tasks=2)
+        result = run_job(job)
+        assert result.as_dict() == {"hotel": 2, "cafe": 3, "pizza": 1}
+
+        paths = write_job_output(cluster, "/out/wc", result.outputs)
+        assert paths == ["/out/wc/part-00000", "/out/wc/part-00001"]
+        combined = b"".join(
+            cluster.open(path).pread(0, cluster.file_size(path))
+            for path in paths)
+        text = combined.decode()
+        assert "hotel\t2" in text and "cafe\t3" in text

@@ -1,0 +1,109 @@
+"""Tests for upper-bound management (Definition 11, Section V-B)."""
+
+import pytest
+
+from repro.core.model import Dataset, Post, Semantics
+from repro.core.scoring import upper_bound_popularity
+from repro.core.thread import DatasetThreadBuilder
+from repro.query.bounds import (
+    BoundsManager,
+    make_bounds_manager,
+    precompute_keyword_bounds,
+)
+from repro.storage.metadata import MetadataDatabase
+from repro.storage.records import make_record
+
+
+def tiny_dataset():
+    """Two threads: a 'hotel' root with 3 replies, a 'cafe' singleton."""
+    dataset = Dataset()
+    dataset.add_post(Post(1, 1, (0.0, 0.0), ("hotel",), "hotel"))
+    for sid in (2, 3, 4):
+        dataset.add_post(Post(sid, sid, (0.0, 0.0), ("reply",), "reply",
+                              ruid=1, rsid=1))
+    dataset.add_post(Post(5, 5, (0.0, 0.0), ("cafe",), "cafe"))
+    return dataset
+
+
+class TestBoundsManager:
+    def test_global_fallback(self):
+        manager = BoundsManager(global_bound=100.0)
+        assert manager.bound_for_keyword("anything") == 100.0
+
+    def test_keyword_bound_preferred(self):
+        manager = BoundsManager(100.0, {"hotel": 5.0})
+        assert manager.bound_for_keyword("hotel") == 5.0
+        assert manager.bound_for_keyword("cafe") == 100.0
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoundsManager(-1.0)
+        manager = BoundsManager(1.0)
+        with pytest.raises(ValueError):
+            manager.add_keyword_bound("x", -0.5)
+
+    def test_and_takes_min_or_takes_max(self):
+        """Section VI-B5's 'Mexican restaurant' rule."""
+        manager = BoundsManager(100.0, {"restaur": 20.0, "mexican": 5.0})
+        keywords = frozenset({"restaur", "mexican"})
+        assert manager.bound_for_query(keywords, Semantics.AND) == 5.0
+        assert manager.bound_for_query(keywords, Semantics.OR) == 20.0
+
+    def test_query_with_non_hot_keyword(self):
+        manager = BoundsManager(100.0, {"restaur": 20.0})
+        keywords = frozenset({"restaur", "quiet"})
+        # "quiet" falls back to the global bound.
+        assert manager.bound_for_query(keywords, Semantics.AND) == 20.0
+        assert manager.bound_for_query(keywords, Semantics.OR) == 100.0
+
+    def test_empty_keywords(self):
+        manager = BoundsManager(7.0)
+        assert manager.bound_for_query(frozenset(), Semantics.OR) == 7.0
+
+
+class TestPrecomputeKeywordBounds:
+    def test_bound_is_max_thread_popularity(self):
+        dataset = tiny_dataset()
+        bounds = precompute_keyword_bounds(dataset, ["hotel", "cafe"],
+                                           depth=6, epsilon=0.1)
+        builder = DatasetThreadBuilder(dataset, depth=6, epsilon=0.1)
+        assert bounds["hotel"] == pytest.approx(builder.popularity(1))
+        assert bounds["cafe"] == pytest.approx(0.1)  # singleton -> epsilon
+
+    def test_absent_keyword_zero(self):
+        bounds = precompute_keyword_bounds(tiny_dataset(), ["pizza"])
+        assert bounds["pizza"] == 0.0
+
+    def test_bounds_dominate_every_thread(self, corpus, dataset):
+        """Property: the precomputed bound for a keyword is >= the
+        popularity of every thread rooted at a tweet containing it."""
+        keywords = ["restaur", "hotel"]
+        bounds = precompute_keyword_bounds(dataset, keywords)
+        builder = DatasetThreadBuilder(dataset)
+        checked = 0
+        for post in list(dataset.posts.values())[:500]:
+            for keyword in keywords:
+                if keyword in post.words:
+                    assert builder.popularity(post.sid) <= bounds[keyword] + 1e-9
+                    checked += 1
+        assert checked > 0
+
+
+class TestFromDatabase:
+    def test_global_bound_uses_fanout(self):
+        db = MetadataDatabase.in_memory()
+        db.insert(make_record(1, 1, 0.0, 0.0))
+        for sid in (2, 3, 4):
+            db.insert(make_record(sid, sid, 0.0, 0.0, ruid=1, rsid=1))
+        manager = BoundsManager.from_database(db, depth=4)
+        assert manager.global_bound == pytest.approx(
+            upper_bound_popularity(3, 4))
+
+    def test_make_bounds_manager_combines(self):
+        db = MetadataDatabase.in_memory()
+        db.insert(make_record(1, 1, 0.0, 0.0))
+        for sid in (2, 3):
+            db.insert(make_record(sid, sid, 0.0, 0.0, ruid=1, rsid=1))
+        manager = make_bounds_manager(db, tiny_dataset(), ["hotel"])
+        assert "hotel" in manager.keyword_bounds
+        assert manager.keyword_bounds["hotel"] < manager.global_bound

@@ -1,0 +1,72 @@
+"""Tests for the inside/boundary cell-containment optimization."""
+
+import pytest
+
+from repro.query.max_ranking import MaxScoreProcessor
+from repro.query.sum_ranking import SumScoreProcessor
+
+
+def make_processors(engine, use_containment):
+    sum_processor = SumScoreProcessor(
+        engine.index, engine.database, engine.threads,
+        engine.config.scoring, engine.metric,
+        use_cell_containment=use_containment)
+    max_processor = MaxScoreProcessor(
+        engine.index, engine.database, engine.threads, engine.bounds,
+        engine.config.scoring, engine.metric,
+        use_cell_containment=use_containment)
+    return sum_processor, max_processor
+
+
+class TestAnswerPreservation:
+    @pytest.mark.parametrize("radius", [10.0, 30.0, 60.0])
+    def test_rankings_identical(self, engine, workload, radius):
+        with_sum, with_max = make_processors(engine, True)
+        without_sum, without_max = make_processors(engine, False)
+        for spec in workload.specs(1)[:6]:
+            query = workload.bind(spec, radius_km=radius, k=10)
+            engine.threads.clear_cache()
+            a = with_sum.search(query)
+            engine.threads.clear_cache()
+            b = without_sum.search(query)
+            assert a.users == b.users
+            engine.threads.clear_cache()
+            c = with_max.search(query)
+            engine.threads.clear_cache()
+            d = without_max.search(query)
+            assert c.users == d.users
+
+    def test_candidate_counts_identical(self, engine, workload):
+        with_sum, _ = make_processors(engine, True)
+        without_sum, _ = make_processors(engine, False)
+        for spec in workload.specs(1)[:6]:
+            query = workload.bind(spec, radius_km=40.0, k=10)
+            a = with_sum.search(query)
+            b = without_sum.search(query)
+            assert a.stats.candidates_in_radius == b.stats.candidates_in_radius
+
+
+class TestSkipAccounting:
+    def test_skips_happen_at_large_radius(self, engine, workload):
+        """Radii well above the cell size produce fully-inside cells, so
+        some distance checks must be skipped."""
+        with_sum, _ = make_processors(engine, True)
+        total_skipped = 0
+        for spec in workload.specs(1)[:8]:
+            query = workload.bind(spec, radius_km=60.0, k=10)
+            total_skipped += with_sum.search(query).stats.distance_checks_skipped
+        assert total_skipped > 0
+
+    def test_no_skips_when_disabled(self, engine, workload):
+        _, without_max = make_processors(engine, False)
+        query = workload.bind(workload.specs(1)[0], radius_km=60.0, k=10)
+        assert without_max.search(query).stats.distance_checks_skipped == 0
+
+    def test_small_radius_may_have_no_inside_cells(self, engine, workload):
+        """At radii below the cell size, no cell is fully inside — the
+        optimization silently degrades to the baseline behaviour."""
+        with_sum, _ = make_processors(engine, True)
+        query = workload.bind(workload.specs(1)[0], radius_km=2.0, k=10)
+        result = with_sum.search(query)
+        # Works either way; just must not crash or alter shape.
+        assert result.stats.distance_checks_skipped >= 0

@@ -1,0 +1,123 @@
+"""Tests for scatter-gather distributed query execution."""
+
+import pytest
+
+from repro.index.builder import IndexConfig
+from repro.query.distributed import DistributedExecutor
+from repro.query.engine import EngineConfig, TkLUSEngine
+
+
+@pytest.fixture(scope="module")
+def executor(engine):
+    return DistributedExecutor(engine.index, engine.database,
+                               engine.threads, engine.config.scoring,
+                               engine.metric, max_workers=4)
+
+
+def same_ranking(a, b):
+    """uid order identical; scores equal up to float summation order."""
+    assert len(a) == len(b)
+    for (uid_a, score_a), (uid_b, score_b) in zip(a, b):
+        assert uid_a == uid_b
+        assert score_a == pytest.approx(score_b, rel=1e-9, abs=1e-12)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("radius", [10.0, 30.0])
+    def test_sum_matches_single_node(self, engine, executor, workload,
+                                     radius):
+        for spec in workload.specs(1)[:6]:
+            query = workload.bind(spec, radius_km=radius, k=10)
+            distributed = executor.search(query, aggregate="sum")
+            single = engine.search_sum(query)
+            same_ranking(distributed.users, single.users)
+
+    def test_max_matches_unpruned_single_node(self, engine, executor,
+                                              workload):
+        unpruned = engine.processor("max", use_pruning=False)
+        for spec in workload.specs(1)[:5]:
+            query = workload.bind(spec, radius_km=25.0, k=10)
+            distributed = executor.search(query, aggregate="max")
+            engine.threads.clear_cache()
+            single = unpruned.search(query)
+            same_ranking(distributed.users, single.users)
+
+    def test_multi_keyword_and(self, engine, executor, workload):
+        from repro.core.model import Semantics
+        for spec in workload.specs(2)[:4]:
+            query = workload.bind(spec, radius_km=30.0,
+                                  semantics=Semantics.AND)
+            same_ranking(executor.search(query, aggregate="sum").users,
+                         engine.search_sum(query).users)
+
+    def test_temporal_queries_supported(self, engine, executor, workload,
+                                        corpus):
+        from repro.core.model import TkLUSQuery
+        from repro.core.temporal import TemporalSpec, TimeWindow
+        sids = [post.sid for post in corpus.posts]
+        window = TimeWindow(sids[len(sids) // 4], sids[len(sids) // 2])
+        base = workload.bind(workload.specs(1)[0], radius_km=25.0)
+        query = TkLUSQuery(location=base.location, radius_km=25.0,
+                           keywords=base.keywords, k=10,
+                           temporal=TemporalSpec(window=window))
+        same_ranking(executor.search(query, aggregate="sum").users,
+                     engine.search_sum(query).users)
+
+
+class TestScatterShape:
+    def test_server_count_reported(self, executor, workload):
+        query = workload.bind(workload.specs(1)[0], radius_km=25.0)
+        result = executor.search(query)
+        assert result.stats.servers_involved >= 1
+        assert result.stats.partial_results == result.stats.servers_involved
+
+    def test_invalid_aggregate(self, executor, workload):
+        query = workload.bind(workload.specs(1)[0], radius_km=10.0)
+        with pytest.raises(ValueError):
+            executor.search(query, aggregate="median")
+
+    def test_no_matching_cells(self, executor, engine):
+        query = engine.make_query((-33.86, 151.21), 1.0,
+                                  ["zzzunindexed"], k=5)
+        result = executor.search(query)
+        assert result.users == []
+        assert result.stats.servers_involved == 0
+
+    def test_range_partitioning_narrows_scatter(self, corpus, workload):
+        """Under geohash range partitioning each query involves fewer
+        servers than under hash partitioning."""
+        hash_engine = TkLUSEngine.from_posts(
+            corpus.posts,
+            config=EngineConfig(index=IndexConfig(partitioning="hash",
+                                                  num_reduce_tasks=8)),
+            precompute_bounds=False)
+        range_engine = TkLUSEngine.from_posts(
+            corpus.posts,
+            config=EngineConfig(index=IndexConfig(partitioning="range",
+                                                  num_reduce_tasks=8)),
+            precompute_bounds=False)
+        hash_exec = DistributedExecutor(hash_engine.index,
+                                        hash_engine.database,
+                                        hash_engine.threads)
+        range_exec = DistributedExecutor(range_engine.index,
+                                         range_engine.database,
+                                         range_engine.threads)
+        hash_servers = 0
+        range_servers = 0
+        for spec in workload.specs(1)[:8]:
+            query = workload.bind(spec, radius_km=15.0)
+            hash_servers += hash_exec.search(query).stats.servers_involved
+            range_servers += range_exec.search(query).stats.servers_involved
+        assert range_servers <= hash_servers
+
+    def test_parallel_matches_serial_execution(self, engine, workload):
+        serial = DistributedExecutor(engine.index, engine.database,
+                                     engine.threads, engine.config.scoring,
+                                     engine.metric, max_workers=1)
+        parallel = DistributedExecutor(engine.index, engine.database,
+                                       engine.threads, engine.config.scoring,
+                                       engine.metric, max_workers=8)
+        for spec in workload.specs(1)[:5]:
+            query = workload.bind(spec, radius_km=30.0)
+            same_ranking(serial.search(query).users,
+                         parallel.search(query).users)

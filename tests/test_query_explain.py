@@ -1,0 +1,119 @@
+"""Tests for the score-explanation API, including cross-checks of the
+engine's actual scores against the first-principles recomputation."""
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.query.explain import Explainer
+
+
+@pytest.fixture(scope="module")
+def explainer(dataset):
+    return Explainer(dataset)
+
+
+class TestExplanationStructure:
+    def test_basic_fields(self, engine, workload, explainer):
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0, k=5)
+        result = engine.search_sum(query)
+        if not result.users:
+            pytest.skip("query matched nothing")
+        uid = result.users[0][0]
+        explanation = explainer.explain(query, uid)
+        assert explanation.uid == uid
+        assert explanation.matching_tweets >= 1
+        assert explanation.total_posts >= explanation.matching_tweets
+        for tweet in explanation.tweets:
+            assert tweet.distance_km <= query.radius_km
+            assert tweet.keyword_occurrences >= 1
+            assert tweet.thread_levels[0] == 1  # root level
+            assert 0.0 <= tweet.distance_score <= 1.0
+
+    def test_unmatched_user_empty(self, workload, explainer):
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0)
+        explanation = explainer.explain(query, uid=999999)
+        assert explanation.matching_tweets == 0
+        assert explanation.sum_keyword_score == 0.0
+        assert explanation.max_keyword_score == 0.0
+        assert explanation.sum_user_score == 0.0
+
+    def test_describe_readable(self, engine, workload, explainer):
+        query = workload.bind(workload.specs(1)[1], radius_km=20.0, k=3)
+        result = engine.search_sum(query)
+        if not result.users:
+            pytest.skip("query matched nothing")
+        text = explainer.explain(query, result.users[0][0]).describe()
+        assert "keyword score" in text
+        assert "final" in text
+
+
+class TestScoreCrossCheck:
+    """Explanations recompute from first principles; they must match the
+    engine's reported scores exactly."""
+
+    def test_sum_scores_match_engine(self, engine, workload, explainer):
+        checked = 0
+        for spec in workload.specs(1)[:6]:
+            query = workload.bind(spec, radius_km=25.0, k=10)
+            for uid, score in engine.search_sum(query).users:
+                explanation = explainer.explain(query, uid)
+                assert explanation.sum_user_score == pytest.approx(score)
+                checked += 1
+        assert checked > 0
+
+    def test_max_scores_match_engine(self, engine, workload, explainer):
+        checked = 0
+        for spec in workload.specs(1)[:6]:
+            query = workload.bind(spec, radius_km=25.0, k=10)
+            for uid, score in engine.search_max(query).users:
+                explanation = explainer.explain(query, uid)
+                assert explanation.max_user_score == pytest.approx(score)
+                checked += 1
+        assert checked > 0
+
+    def test_and_semantics_respected(self, engine, workload, explainer):
+        for spec in workload.specs(2)[:4]:
+            query = workload.bind(spec, radius_km=30.0,
+                                  semantics=Semantics.AND)
+            for uid, score in engine.search_sum(query).users:
+                explanation = explainer.explain(query, uid)
+                assert explanation.sum_user_score == pytest.approx(score)
+                for tweet in explanation.tweets:
+                    # Every explained tweet carries all AND keywords.
+                    assert tweet.keyword_occurrences >= len(query.keywords)
+
+    def test_temporal_scores_match_engine(self, corpus, engine, workload,
+                                          explainer):
+        from repro.core.model import TkLUSQuery
+        from repro.core.temporal import RecencyModel, TemporalSpec
+        temporal = TemporalSpec(recency=RecencyModel(half_life=800.0))
+        base = workload.bind(workload.specs(1)[2], radius_km=25.0)
+        query = TkLUSQuery(location=base.location, radius_km=25.0,
+                           keywords=base.keywords, k=10, temporal=temporal)
+        for uid, score in engine.search_sum(query).users:
+            explanation = explainer.explain(query, uid)
+            assert explanation.sum_user_score == pytest.approx(score)
+
+
+class TestHelpers:
+    def test_explain_ranking_order(self, engine, workload, explainer):
+        query = workload.bind(workload.specs(1)[3], radius_km=25.0, k=5)
+        ranking = engine.search_sum(query).ranking()
+        explanations = explainer.explain_ranking(query, ranking)
+        assert [e.uid for e in explanations] == ranking
+
+    def test_top_contributor(self, engine, workload, explainer):
+        query = workload.bind(workload.specs(1)[4], radius_km=25.0, k=5)
+        result = engine.search_max(query)
+        if not result.users:
+            pytest.skip("query matched nothing")
+        uid = result.users[0][0]
+        best = explainer.top_contributor(query, uid)
+        assert best is not None
+        explanation = explainer.explain(query, uid)
+        assert best.relevance == pytest.approx(
+            explanation.max_keyword_score)
+
+    def test_top_contributor_none_for_stranger(self, workload, explainer):
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0)
+        assert explainer.top_contributor(query, 987654) is None

@@ -1,0 +1,124 @@
+"""Tests for cross-platform federated search."""
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.query.engine import TkLUSEngine
+from repro.query.federation import (
+    FederatedEngine,
+    FederatedUser,
+    _min_max_normalise,
+)
+
+TORONTO = (43.6532, -79.3832)
+
+
+@pytest.fixture(scope="module")
+def federation():
+    twitter = TkLUSEngine.from_posts(
+        generate_corpus(num_users=150, num_root_tweets=600, seed=1).posts,
+        precompute_bounds=False)
+    weibo = TkLUSEngine.from_posts(
+        generate_corpus(num_users=150, num_root_tweets=600, seed=2).posts,
+        precompute_bounds=False)
+    return FederatedEngine({"twitter": twitter, "weibo": weibo})
+
+
+class TestNormalisation:
+    def test_min_max(self):
+        assert _min_max_normalise([2.0, 4.0, 3.0]) == [0.0, 1.0, 0.5]
+
+    def test_constant_list(self):
+        assert _min_max_normalise([5.0, 5.0]) == [1.0, 1.0]
+
+    def test_empty(self):
+        assert _min_max_normalise([]) == []
+
+
+class TestConstruction:
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedEngine({})
+
+    def test_unknown_weight_rejected(self, federation):
+        with pytest.raises(ValueError):
+            FederatedEngine(dict(federation.platforms),
+                            platform_weights={"myspace": 1.0})
+
+    def test_duplicate_platform_rejected(self, federation):
+        with pytest.raises(ValueError):
+            federation.add_platform("twitter", None)  # type: ignore[arg-type]
+
+    def test_bad_weight_rejected(self, federation):
+        with pytest.raises(ValueError):
+            FederatedEngine(dict(federation.platforms),
+                            platform_weights={"twitter": 0.0})
+
+
+class TestSearch:
+    def make_query(self, federation, **kwargs):
+        engine = federation.platforms["twitter"]
+        defaults = dict(radius_km=25.0, keywords=["restaurant"], k=10)
+        defaults.update(kwargs)
+        return engine.make_query(TORONTO, **defaults)
+
+    def test_merges_across_platforms(self, federation):
+        query = self.make_query(federation)
+        result = federation.search(query)
+        platforms = {user.platform for user in result.users}
+        assert platforms <= {"twitter", "weibo"}
+        assert len(platforms) == 2  # both corpora have Toronto users
+        assert len(result.users) <= query.k
+
+    def test_scores_descending(self, federation):
+        result = federation.search(self.make_query(federation))
+        scores = [user.score for user in result.users]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_per_platform_stats(self, federation):
+        result = federation.search(self.make_query(federation))
+        assert set(result.per_platform_stats) == {"twitter", "weibo"}
+        for stats in result.per_platform_stats.values():
+            assert stats.cells_covered > 0
+
+    def test_platform_weights_bias_merge(self, federation):
+        query = self.make_query(federation)
+        biased = FederatedEngine(dict(federation.platforms),
+                                 platform_weights={"weibo": 100.0,
+                                                   "twitter": 0.001})
+        result = biased.search(query)
+        weibo_users = [u for u in result.users if u.platform == "weibo"]
+        # With overwhelming weight, weibo fills the head of the ranking.
+        head = result.users[:len(weibo_users)]
+        assert all(user.platform == "weibo" for user in head)
+
+    def test_unnormalised_uses_raw_scores(self, federation):
+        query = self.make_query(federation, k=5)
+        raw = FederatedEngine(dict(federation.platforms), normalise=False)
+        result = raw.search(query)
+        # Raw scores must equal what each platform reports.
+        for user in result.users:
+            local = federation.platforms[user.platform].search_max(
+                federation.platforms[user.platform].make_query(
+                    TORONTO, 25.0, ["restaurant"], k=5))
+            local_scores = dict(local.users)
+            if user.uid in local_scores:
+                assert user.score == pytest.approx(local_scores[user.uid])
+
+    def test_sum_method_supported(self, federation):
+        result = federation.search(self.make_query(federation), method="sum")
+        assert isinstance(result.users, list)
+
+    def test_ranking_pairs(self, federation):
+        result = federation.search(self.make_query(federation))
+        for platform, uid in result.ranking():
+            assert platform in {"twitter", "weibo"}
+            assert isinstance(uid, int)
+
+
+class TestFederatedUser:
+    def test_value_object(self):
+        user = FederatedUser("twitter", 42, 0.5)
+        assert user.platform == "twitter"
+        with pytest.raises(AttributeError):
+            user.score = 1.0  # type: ignore[misc]

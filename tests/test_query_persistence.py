@@ -1,0 +1,105 @@
+"""Tests for saving/loading a built engine."""
+
+import json
+import os
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.query.engine import TkLUSEngine
+from repro.query.persistence import (
+    MANIFEST_NAME,
+    PersistenceError,
+    load_engine,
+    save_engine,
+)
+
+
+@pytest.fixture(scope="module")
+def built_engine():
+    corpus = generate_corpus(num_users=120, num_root_tweets=500, seed=31)
+    return corpus, TkLUSEngine.from_posts(corpus.posts)
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_rankings(self, built_engine, tmp_path):
+        corpus, engine = built_engine
+        directory = str(tmp_path / "deployment")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+
+        for keywords, radius in ((["restaurant"], 15.0), (["hotel"], 30.0)):
+            query = engine.make_query((43.6532, -79.3832), radius, keywords,
+                                      k=10)
+            original = engine.search_sum(query).users
+            reloaded = loaded.search_sum(query).users
+            assert [(u, pytest.approx(s)) for u, s in original] == reloaded
+            original_max = engine.search_max(query).users
+            reloaded_max = loaded.search_max(query).users
+            assert [(u, pytest.approx(s)) for u, s in original_max] \
+                == reloaded_max
+
+    def test_bounds_preserved(self, built_engine, tmp_path):
+        _corpus, engine = built_engine
+        directory = str(tmp_path / "bounds")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        assert loaded.bounds.global_bound == engine.bounds.global_bound
+        assert loaded.bounds.keyword_bounds == engine.bounds.keyword_bounds
+
+    def test_database_size_preserved(self, built_engine, tmp_path):
+        corpus, engine = built_engine
+        directory = str(tmp_path / "db")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        assert len(loaded.database) == len(corpus.posts)
+        loaded.database.check_invariants()
+
+    def test_manifest_contents(self, built_engine, tmp_path):
+        _corpus, engine = built_engine
+        directory = str(tmp_path / "manifest")
+        save_engine(engine, directory)
+        with open(os.path.join(directory, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["index"]["geohash_length"] == 4
+        assert manifest["scoring"]["alpha"] == 0.5
+        assert manifest["parts"]
+
+
+class TestErrors:
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_engine(str(tmp_path / "nothing"))
+
+    def test_double_save_rejected(self, built_engine, tmp_path):
+        _corpus, engine = built_engine
+        directory = str(tmp_path / "twice")
+        save_engine(engine, directory)
+        with pytest.raises(PersistenceError):
+            save_engine(engine, directory)
+
+    def test_bad_version_rejected(self, built_engine, tmp_path):
+        _corpus, engine = built_engine
+        directory = str(tmp_path / "versioned")
+        save_engine(engine, directory)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["format_version"] = 999
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(PersistenceError):
+            load_engine(directory)
+
+    def test_tweet_count_mismatch_rejected(self, built_engine, tmp_path):
+        _corpus, engine = built_engine
+        directory = str(tmp_path / "mismatch")
+        save_engine(engine, directory)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        manifest["tweets"] += 1
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        with pytest.raises(PersistenceError):
+            load_engine(directory)

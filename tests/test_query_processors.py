@@ -1,0 +1,172 @@
+"""End-to-end tests of the query processors (Algorithms 4 and 5)
+against the exhaustive brute-force oracle, plus pruning soundness."""
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.query.bounds import BoundsManager
+from repro.query.max_ranking import MaxScoreProcessor
+
+
+def rankings_equivalent(a, b, tolerance=1e-9):
+    """Two rankings agree when scores match pairwise and uids match
+    except possibly inside tied-score groups."""
+    if len(a) != len(b):
+        return False
+    for (uid_a, score_a), (uid_b, score_b) in zip(a, b):
+        if abs(score_a - score_b) > tolerance:
+            return False
+        if uid_a != uid_b and abs(score_a - score_b) > tolerance:
+            return False
+    return True
+
+
+def make_queries(workload, radius, k=10, semantics=Semantics.OR,
+                 num_keywords=1, limit=6):
+    return [workload.bind(spec, radius_km=radius, k=k, semantics=semantics)
+            for spec in workload.specs(num_keywords)[:limit]]
+
+
+class TestSumMatchesOracle:
+    @pytest.mark.parametrize("radius", [5.0, 15.0, 40.0])
+    def test_single_keyword(self, engine, workload, oracle, radius):
+        for query in make_queries(workload, radius):
+            indexed = engine.search_sum(query)
+            exact = oracle.search_sum(query)
+            assert rankings_equivalent(indexed.users, exact.users), \
+                f"query {query.keywords} radius {radius}"
+
+    @pytest.mark.parametrize("semantics", [Semantics.AND, Semantics.OR])
+    def test_multi_keyword(self, engine, workload, oracle, semantics):
+        for num_keywords in (2, 3):
+            for query in make_queries(workload, 20.0, semantics=semantics,
+                                      num_keywords=num_keywords, limit=4):
+                indexed = engine.search_sum(query)
+                exact = oracle.search_sum(query)
+                assert rankings_equivalent(indexed.users, exact.users)
+
+
+class TestMaxMatchesOracle:
+    @pytest.mark.parametrize("radius", [5.0, 15.0, 40.0])
+    def test_single_keyword(self, engine, workload, oracle, radius):
+        for query in make_queries(workload, radius):
+            indexed = engine.search_max(query)
+            exact = oracle.search_max(query)
+            assert rankings_equivalent(indexed.users, exact.users)
+
+    @pytest.mark.parametrize("semantics", [Semantics.AND, Semantics.OR])
+    def test_multi_keyword(self, engine, workload, oracle, semantics):
+        for num_keywords in (2, 3):
+            for query in make_queries(workload, 20.0, semantics=semantics,
+                                      num_keywords=num_keywords, limit=4):
+                indexed = engine.search_max(query)
+                exact = oracle.search_max(query)
+                assert rankings_equivalent(indexed.users, exact.users)
+
+
+class TestPruningSoundness:
+    """Pruned and unpruned max ranking must agree exactly."""
+
+    def test_pruning_preserves_results(self, engine, workload):
+        unpruned = engine.processor("max", use_pruning=False)
+        pruned = engine.processor("max", use_pruning=True)
+        for radius in (10.0, 30.0):
+            for query in make_queries(workload, radius, limit=6):
+                engine.threads.clear_cache()
+                with_pruning = pruned.search(query)
+                engine.threads.clear_cache()
+                without = unpruned.search(query)
+                assert rankings_equivalent(with_pruning.users, without.users)
+
+    def test_pruning_reduces_thread_builds(self, engine):
+        """Across hot-keyword queries at city centres (where candidates
+        are dense), pruning must skip at least some thread constructions.
+
+        Uses fixed locations rather than the shared workload RNG so the
+        outcome is independent of test execution order."""
+        from repro.data.generator import DEFAULT_CITIES
+        from repro.data.vocabulary import TABLE2_KEYWORDS
+        pruned = engine.processor("max", use_pruning=True)
+        total_pruned = 0
+        for city in DEFAULT_CITIES[:4]:
+            for keyword in TABLE2_KEYWORDS[:5]:
+                query = engine.make_query((city.lat, city.lon), 40.0,
+                                          [keyword], k=5)
+                engine.threads.clear_cache()
+                result = pruned.search(query)
+                total_pruned += result.stats.threads_pruned
+        assert total_pruned > 0
+
+    def test_unpruned_builds_every_candidate_thread(self, engine, workload):
+        unpruned = engine.processor("max", use_pruning=False)
+        query = make_queries(workload, 20.0, limit=1)[0]
+        engine.threads.clear_cache()
+        result = unpruned.search(query)
+        assert result.stats.threads_pruned == 0
+        assert result.stats.threads_built == result.stats.candidates_in_radius
+
+
+class TestSemanticsRelationships:
+    def test_and_results_subset_of_or_candidates(self, engine, workload):
+        for spec in workload.specs(2)[:5]:
+            query_and = workload.bind(spec, radius_km=25.0, k=10,
+                                      semantics=Semantics.AND)
+            query_or = workload.bind(spec, radius_km=25.0, k=10,
+                                     semantics=Semantics.OR,
+                                     location=query_and.location)
+            result_and = engine.search_sum(query_and)
+            result_or = engine.search_sum(query_or)
+            assert (result_and.stats.candidates
+                    <= result_or.stats.candidates)
+
+
+class TestResultShape:
+    def test_at_most_k_users(self, engine, workload):
+        for k in (1, 3, 10):
+            query = workload.bind(workload.specs(1)[0], radius_km=15.0, k=k)
+            assert len(engine.search_sum(query)) <= k
+            assert len(engine.search_max(query)) <= k
+
+    def test_scores_descending(self, engine, workload):
+        query = workload.bind(workload.specs(1)[1], radius_km=20.0, k=10)
+        for method in ("sum", "max"):
+            users = engine.search(query, method=method).users
+            scores = [score for _uid, score in users]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_every_result_user_has_matching_tweet_in_radius(
+            self, engine, workload, dataset):
+        from repro.geo.distance import haversine_km
+        query = workload.bind(workload.specs(1)[2], radius_km=20.0, k=10)
+        result = engine.search_sum(query)
+        for uid, _score in result.users:
+            satisfied = any(
+                query.keywords.intersection(post.words)
+                and haversine_km(query.location, post.location) <= query.radius_km
+                for post in dataset.posts_of(uid))
+            assert satisfied, f"user {uid} violates problem condition 1"
+
+    def test_stats_populated(self, engine, workload):
+        query = workload.bind(workload.specs(1)[0], radius_km=15.0)
+        result = engine.search_sum(query)
+        assert result.stats.cells_covered > 0
+        assert result.stats.elapsed_seconds > 0
+        assert result.stats.candidates >= result.stats.candidates_in_radius
+
+    def test_unknown_method_rejected(self, engine, workload):
+        query = workload.bind(workload.specs(1)[0], radius_km=15.0)
+        with pytest.raises(ValueError):
+            engine.search(query, method="median")
+        with pytest.raises(ValueError):
+            engine.processor("median")
+
+
+class TestSumVsMaxRelationship:
+    def test_sum_scores_dominate_max_scores(self, engine, workload):
+        """For every user, sum keyword score >= max keyword score, so the
+        sum-based user score dominates pointwise (same distance part)."""
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0, k=10)
+        sum_scores = dict(engine.search_sum(query).users)
+        max_scores = dict(engine.search_max(query).users)
+        for uid in set(sum_scores) & set(max_scores):
+            assert sum_scores[uid] >= max_scores[uid] - 1e-9

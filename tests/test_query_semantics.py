@@ -1,0 +1,81 @@
+"""Tests for AND/OR candidate formation."""
+
+from repro.core.model import Semantics
+from repro.query.semantics import Candidate, candidates_from_postings
+
+
+def per_cell(**cells):
+    """Helper: cells maps cell name -> {term: postings}."""
+    return dict(cells)
+
+
+class TestORSemantics:
+    def test_union_within_cell(self):
+        cells = {"aaaa": {"hotel": [(1, 1), (2, 2)], "cafe": [(2, 1), (3, 1)]}}
+        got = candidates_from_postings(cells, ["cafe", "hotel"], Semantics.OR)
+        by_tid = {c.tid: c for c in got}
+        assert set(by_tid) == {1, 2, 3}
+        assert by_tid[2].match_count == 3  # 2 hotel + 1 cafe
+        assert by_tid[2].terms_matched == 2
+        assert by_tid[1].terms_matched == 1
+
+    def test_across_cells_concatenated(self):
+        cells = {
+            "aaaa": {"hotel": [(1, 1)]},
+            "bbbb": {"hotel": [(9, 1)]},
+        }
+        got = candidates_from_postings(cells, ["hotel"], Semantics.OR)
+        assert [c.tid for c in got] == [1, 9]
+
+    def test_missing_term_in_cell_ok(self):
+        cells = {"aaaa": {"hotel": [(1, 1)]}}
+        got = candidates_from_postings(cells, ["hotel", "cafe"], Semantics.OR)
+        assert len(got) == 1
+
+
+class TestANDSemantics:
+    def test_intersection_within_cell(self):
+        cells = {"aaaa": {"hotel": [(1, 1), (2, 2)], "cafe": [(2, 1), (3, 1)]}}
+        got = candidates_from_postings(cells, ["cafe", "hotel"], Semantics.AND)
+        assert len(got) == 1
+        assert got[0].tid == 2
+        assert got[0].match_count == 3
+        assert got[0].terms_matched == 2
+
+    def test_cell_missing_a_term_excluded(self):
+        cells = {
+            "aaaa": {"hotel": [(1, 1)]},  # no cafe postings at all
+            "bbbb": {"hotel": [(5, 1)], "cafe": [(5, 2)]},
+        }
+        got = candidates_from_postings(cells, ["cafe", "hotel"], Semantics.AND)
+        assert [c.tid for c in got] == [5]
+
+    def test_and_returns_subset_of_or(self):
+        cells = {
+            "aaaa": {"hotel": [(1, 1), (2, 1)], "cafe": [(2, 1), (4, 3)]},
+            "bbbb": {"hotel": [(7, 2)], "cafe": [(8, 1)]},
+        }
+        and_tids = {c.tid for c in candidates_from_postings(
+            cells, ["cafe", "hotel"], Semantics.AND)}
+        or_tids = {c.tid for c in candidates_from_postings(
+            cells, ["cafe", "hotel"], Semantics.OR)}
+        assert and_tids <= or_tids
+        assert and_tids == {2}
+        assert or_tids == {1, 2, 4, 7, 8}
+
+
+class TestOrdering:
+    def test_cells_visited_in_zorder(self):
+        cells = {"zzzz": {"hotel": [(1, 1)]}, "aaaa": {"hotel": [(2, 1)]}}
+        got = candidates_from_postings(cells, ["hotel"], Semantics.OR)
+        assert [c.tid for c in got] == [2, 1]  # aaaa first
+
+    def test_empty_input(self):
+        assert candidates_from_postings({}, ["hotel"], Semantics.OR) == []
+        assert candidates_from_postings({}, ["hotel"], Semantics.AND) == []
+
+
+class TestCandidate:
+    def test_frozen_value_object(self):
+        candidate = Candidate(1, 2, 1)
+        assert candidate.tid == 1 and candidate.match_count == 2

@@ -1,0 +1,126 @@
+"""Tests for the top-k user priority queue (Algorithm 5's topKUser)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.query.topk import TopKUserQueue
+
+
+class TestBasics:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopKUserQueue(0)
+
+    def test_fills_to_k(self):
+        queue = TopKUserQueue(3)
+        for uid in range(3):
+            assert queue.offer(uid, float(uid))
+        assert queue.full
+        assert len(queue) == 3
+
+    def test_peek_is_minimum(self):
+        queue = TopKUserQueue(3)
+        for uid, score in [(1, 0.5), (2, 0.2), (3, 0.9)]:
+            queue.offer(uid, score)
+        assert queue.peek() == 0.2
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            TopKUserQueue(3).peek()
+
+    def test_threshold_before_full(self):
+        queue = TopKUserQueue(3)
+        queue.offer(1, 0.5)
+        assert queue.threshold() == float("-inf")
+        queue.offer(2, 0.6)
+        queue.offer(3, 0.7)
+        assert queue.threshold() == 0.5
+
+
+class TestReplacement:
+    def test_better_candidate_evicts_minimum(self):
+        queue = TopKUserQueue(2)
+        queue.offer(1, 0.1)
+        queue.offer(2, 0.2)
+        assert queue.offer(3, 0.5)
+        assert 1 not in queue
+        assert sorted(queue._scores) == [2, 3]
+
+    def test_worse_candidate_rejected_when_full(self):
+        queue = TopKUserQueue(2)
+        queue.offer(1, 0.3)
+        queue.offer(2, 0.4)
+        assert not queue.offer(3, 0.1)
+        assert not queue.offer(3, 0.3)  # tie with min also rejected
+        assert 3 not in queue
+
+    def test_existing_user_score_raised(self):
+        queue = TopKUserQueue(2)
+        queue.offer(1, 0.3)
+        assert queue.offer(1, 0.7)
+        assert queue.score_of(1) == 0.7
+        assert len(queue) == 1
+
+    def test_existing_user_score_never_lowered(self):
+        queue = TopKUserQueue(2)
+        queue.offer(1, 0.7)
+        assert not queue.offer(1, 0.3)
+        assert queue.score_of(1) == 0.7
+
+    def test_raise_after_stale_heap_entries(self):
+        queue = TopKUserQueue(2)
+        queue.offer(1, 0.1)
+        queue.offer(1, 0.5)
+        queue.offer(2, 0.3)
+        # Min must be 0.3, not the stale 0.1.
+        assert queue.peek() == 0.3
+
+
+class TestRanked:
+    def test_descending_order(self):
+        queue = TopKUserQueue(5)
+        for uid, score in [(1, 0.2), (2, 0.9), (3, 0.5)]:
+            queue.offer(uid, score)
+        assert queue.ranked() == [(2, 0.9), (3, 0.5), (1, 0.2)]
+
+    def test_ties_broken_by_uid(self):
+        queue = TopKUserQueue(5)
+        queue.offer(9, 0.5)
+        queue.offer(3, 0.5)
+        assert queue.ranked() == [(3, 0.5), (9, 0.5)]
+
+
+offers = st.lists(st.tuples(st.integers(0, 30),
+                            st.floats(min_value=0, max_value=1,
+                                      allow_nan=False)),
+                  min_size=1, max_size=200)
+
+
+class TestPropertyBased:
+    @given(offers, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_oracle(self, sequence, k):
+        queue = TopKUserQueue(k)
+        best = {}
+        for uid, score in sequence:
+            queue.offer(uid, score)
+            best[uid] = max(best.get(uid, float("-inf")), score)
+        expected = sorted(best.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        got = queue.ranked()
+        # Score multiset must match exactly; uid sets can differ only on
+        # ties at the k-th score.
+        assert [score for _u, score in got] == [score for _u, score in expected]
+        expected_above_cut = {uid for uid, score in expected
+                              if score > expected[-1][1]}
+        got_uids = {uid for uid, _s in got}
+        assert expected_above_cut <= got_uids
+
+    @given(offers, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_size_never_exceeds_k(self, sequence, k):
+        queue = TopKUserQueue(k)
+        for uid, score in sequence:
+            queue.offer(uid, score)
+            assert len(queue) <= k

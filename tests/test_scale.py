@@ -1,0 +1,79 @@
+"""A moderate-scale end-to-end run: the full pipeline on a corpus an
+order of magnitude larger than the unit-test fixtures.
+
+Keeps total runtime in tens of seconds; exercises index construction,
+metadata loading, bound pre-computation, and a mixed query workload at
+a scale where splits, multi-level B+-trees and multi-block DFS files all
+actually occur.
+"""
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.data.generator import generate_corpus
+from repro.data.queries import QueryWorkload
+from repro.query.engine import TkLUSEngine
+
+
+@pytest.fixture(scope="module")
+def scale_corpus():
+    return generate_corpus(num_users=2000, num_root_tweets=10000, seed=2025)
+
+
+@pytest.fixture(scope="module")
+def scale_engine(scale_corpus):
+    return TkLUSEngine.from_posts(scale_corpus.posts)
+
+
+class TestScale:
+    def test_corpus_size(self, scale_corpus):
+        assert len(scale_corpus.posts) > 15000
+
+    def test_index_structures_nontrivial(self, scale_engine):
+        report = scale_engine.index_report()
+        assert report["forward_entries"] > 5000
+        assert report["inverted_bytes"] > 100_000
+        # Multi-level B+-trees at this scale.
+        assert scale_engine.database._sid_tree.height >= 2
+
+    def test_metadata_invariants(self, scale_engine):
+        scale_engine.database.check_invariants()
+
+    def test_mixed_workload_runs_clean(self, scale_corpus, scale_engine):
+        workload = QueryWorkload(scale_corpus, seed=5)
+        results = 0
+        for num_keywords in (1, 2, 3):
+            for semantics in (Semantics.AND, Semantics.OR):
+                for spec in workload.specs(num_keywords)[:3]:
+                    query = workload.bind(spec, radius_km=20.0, k=10,
+                                          semantics=semantics)
+                    for method in ("sum", "max"):
+                        result = scale_engine.search(query, method=method)
+                        assert len(result.users) <= 10
+                        scores = [s for _u, s in result.users]
+                        assert scores == sorted(scores, reverse=True)
+                        results += len(result.users)
+        assert results > 0
+
+    def test_sampled_oracle_agreement(self, scale_corpus, scale_engine):
+        """Spot-check three queries against brute force at scale."""
+        from repro.query.baseline import BruteForceProcessor
+        oracle = BruteForceProcessor(scale_corpus.to_dataset())
+        workload = QueryWorkload(scale_corpus, seed=6)
+        for spec in workload.specs(1)[:3]:
+            query = workload.bind(spec, radius_km=15.0, k=10)
+            indexed = scale_engine.search_sum(query)
+            exact = oracle.search_sum(query)
+            assert ([u for u, _s in indexed.users]
+                    == [u for u, _s in exact.users])
+
+    def test_pruning_active_at_scale(self, scale_corpus, scale_engine):
+        from repro.data.generator import DEFAULT_CITIES
+        total_pruned = 0
+        for city in DEFAULT_CITIES[:3]:
+            query = scale_engine.make_query((city.lat, city.lon), 30.0,
+                                            ["restaurant"], k=5)
+            scale_engine.threads.clear_cache()
+            total_pruned += scale_engine.search_max(
+                query).stats.threads_pruned
+        assert total_pruned > 0

@@ -1,0 +1,157 @@
+"""Tests for the tweet metadata database (Section IV-A)."""
+
+import random
+
+import pytest
+
+from repro.storage.metadata import MetadataDatabase, MetadataError
+from repro.storage.records import make_record
+
+
+def build_db(records):
+    db = MetadataDatabase.in_memory()
+    db.bulk_load(records)
+    return db
+
+
+def chain_records():
+    """sid 1 <- 2, 3; 2 <- 4; plus standalone 5."""
+    return [
+        make_record(1, 10, 43.0, -79.0),
+        make_record(2, 11, 43.1, -79.1, ruid=10, rsid=1),
+        make_record(3, 12, 43.2, -79.2, ruid=10, rsid=1),
+        make_record(4, 13, 43.3, -79.3, ruid=11, rsid=2),
+        make_record(5, 10, 44.0, -80.0),
+    ]
+
+
+class TestInsertAndLookup:
+    def test_point_lookup(self):
+        db = build_db(chain_records())
+        record = db.get(3)
+        assert record is not None and record.uid == 12
+
+    def test_missing_sid(self):
+        db = build_db(chain_records())
+        assert db.get(999) is None
+        assert db.user_of(999) is None
+
+    def test_duplicate_sid_rejected(self):
+        db = build_db(chain_records())
+        with pytest.raises(MetadataError):
+            db.insert(make_record(1, 99, 0.0, 0.0))
+
+    def test_user_of(self):
+        db = build_db(chain_records())
+        assert db.user_of(4) == 13
+
+    def test_size(self):
+        db = build_db(chain_records())
+        assert len(db) == 5
+
+
+class TestReplyIndex:
+    def test_replies_to(self):
+        db = build_db(chain_records())
+        children = db.replies_to(1)
+        assert sorted(r.sid for r in children) == [2, 3]
+        assert db.replies_to(2)[0].sid == 4
+        assert db.replies_to(5) == []
+
+    def test_reply_count(self):
+        db = build_db(chain_records())
+        assert db.reply_count(1) == 2
+        assert db.reply_count(5) == 0
+
+    def test_max_reply_fanout(self):
+        db = build_db(chain_records())
+        assert db.max_reply_fanout == 2
+        # Adding more replies to sid 2 raises the maximum.
+        for sid in range(6, 10):
+            db.insert(make_record(sid, 20, 0.0, 0.0, ruid=11, rsid=2))
+        assert db.max_reply_fanout == 5
+
+
+class TestUserIndex:
+    def test_posts_of_user(self):
+        db = build_db(chain_records())
+        sids = [r.sid for r in db.posts_of_user(10)]
+        assert sids == [1, 5]
+        assert db.post_count_of_user(10) == 2
+        assert db.posts_of_user(999) == []
+
+    def test_posts_sorted_by_sid(self):
+        records = [make_record(sid, 7, 0.0, 0.0) for sid in (9, 3, 6, 1)]
+        db = MetadataDatabase.in_memory()
+        for record in sorted(records, key=lambda r: -r.sid):
+            db.insert(record)
+        assert [r.sid for r in db.posts_of_user(7)] == [1, 3, 6, 9]
+
+
+class TestScans:
+    def test_full_scan_order(self):
+        db = build_db(chain_records())
+        assert [r.sid for r in db.scan()] == [1, 2, 3, 4, 5]
+
+    def test_sid_range(self):
+        db = build_db(chain_records())
+        assert [r.sid for r in db.sid_range(2, 4)] == [2, 3, 4]
+
+
+class TestIOAccounting:
+    def test_io_happens_on_thread_style_queries(self):
+        rng = random.Random(0)
+        records = [make_record(sid, sid % 13, rng.uniform(-80, 80),
+                               rng.uniform(-170, 170),
+                               rsid=rng.randrange(1, sid) if sid > 1
+                               and rng.random() < 0.4 else None)
+                   for sid in range(1, 1500)]
+        db = MetadataDatabase.in_memory(pool_size=8)  # tiny pool: real churn
+        db.bulk_load([r if r.rsid != 0 else r for r in records])
+        before = db.stats.total_ios()
+        for sid in range(1, 100):
+            db.replies_to(sid)
+        assert db.stats.total_ios() >= before  # lookups may hit cache or disk
+        assert db.stats.get("rsid_index").cache_misses >= 0
+
+    def test_components_tracked_separately(self):
+        db = build_db(chain_records())
+        report = db.stats.report()
+        assert {"heap", "sid_index", "rsid_index", "uid_index"} <= set(report)
+
+
+class TestPersistence:
+    def test_reopen_directory(self, tmp_path):
+        directory = str(tmp_path / "db")
+        db = MetadataDatabase.open_directory(directory)
+        db.bulk_load(chain_records())
+        db.flush()
+
+        reopened = MetadataDatabase.open_directory(directory)
+        assert len(reopened) == 5
+        assert reopened.user_of(4) == 13
+        assert sorted(r.sid for r in reopened.replies_to(1)) == [2, 3]
+        # The fanout cache is rebuilt on open.
+        assert reopened.max_reply_fanout == 2
+        reopened.check_invariants()
+
+
+class TestInvariantsUnderLoad:
+    def test_random_bulk(self):
+        rng = random.Random(42)
+        records = []
+        for sid in range(1, 3000):
+            rsid = rng.randrange(1, sid) if sid > 1 and rng.random() < 0.3 else None
+            records.append(make_record(sid, sid % 101, 0.0, 0.0,
+                                       rsid=rsid,
+                                       ruid=(rsid % 101) if rsid else None))
+        db = build_db(records)
+        db.check_invariants()
+        # Spot-check reply counts against a dict oracle.
+        oracle = {}
+        for record in records:
+            if record.rsid != -1:
+                oracle[record.rsid] = oracle.get(record.rsid, 0) + 1
+        for sid in rng.sample(range(1, 3000), 50):
+            assert db.reply_count(sid) == oracle.get(sid, 0)
+        assert db.max_reply_fanout == max(oracle.values())

@@ -1,0 +1,124 @@
+"""Tests for slotted pages and record-id packing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.page import (
+    INVALID_PAGE,
+    PAGE_SIZE,
+    Page,
+    PageError,
+    SlottedPage,
+    pack_record_id,
+    unpack_record_id,
+)
+
+
+class TestPage:
+    def test_fresh_page_zeroed(self):
+        page = Page(0)
+        assert len(page.data) == PAGE_SIZE
+        assert not page.dirty
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(PageError):
+            Page(0, b"short")
+
+    def test_mark_dirty(self):
+        page = Page(3)
+        page.mark_dirty()
+        assert page.dirty
+
+
+class TestSlottedPage:
+    def test_insert_read(self):
+        slotted = SlottedPage(Page(0))
+        slot = slotted.insert(b"hello")
+        assert slotted.read(slot) == b"hello"
+        assert slotted.slot_count == 1
+
+    def test_multiple_records(self):
+        slotted = SlottedPage(Page(0))
+        slots = [slotted.insert(f"record-{i}".encode()) for i in range(10)]
+        for i, slot in enumerate(slots):
+            assert slotted.read(slot) == f"record-{i}".encode()
+
+    def test_empty_record_rejected(self):
+        slotted = SlottedPage(Page(0))
+        with pytest.raises(PageError):
+            slotted.insert(b"")
+
+    def test_overflow_raises(self):
+        slotted = SlottedPage(Page(0))
+        big = b"x" * 1000
+        with pytest.raises(PageError):
+            for _ in range(10):
+                slotted.insert(big)
+
+    def test_delete_tombstones(self):
+        slotted = SlottedPage(Page(0))
+        slot = slotted.insert(b"doomed")
+        keep = slotted.insert(b"keeper")
+        slotted.delete(slot)
+        with pytest.raises(KeyError):
+            slotted.read(slot)
+        assert slotted.read(keep) == b"keeper"
+        assert slotted.live_count() == 1
+        assert slotted.slot_count == 2  # slot directory keeps the tombstone
+
+    def test_double_delete_raises(self):
+        slotted = SlottedPage(Page(0))
+        slot = slotted.insert(b"x")
+        slotted.delete(slot)
+        with pytest.raises(KeyError):
+            slotted.delete(slot)
+
+    def test_out_of_range_slot(self):
+        slotted = SlottedPage(Page(0))
+        with pytest.raises(KeyError):
+            slotted.read(0)
+        with pytest.raises(KeyError):
+            slotted.delete(5)
+
+    def test_records_iteration_skips_deleted(self):
+        slotted = SlottedPage(Page(0))
+        slots = [slotted.insert(bytes([65 + i]) * 3) for i in range(5)]
+        slotted.delete(slots[2])
+        live = dict(slotted.records())
+        assert set(live) == {0, 1, 3, 4}
+
+    def test_free_space_decreases(self):
+        slotted = SlottedPage(Page(0))
+        before = slotted.free_space()
+        slotted.insert(b"abcdef")
+        assert slotted.free_space() < before
+
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_many(self, records):
+        slotted = SlottedPage(Page(0))
+        stored = []
+        for record in records:
+            try:
+                stored.append((slotted.insert(record), record))
+            except PageError:
+                break
+        for slot, record in stored:
+            assert slotted.read(slot) == record
+
+
+class TestRecordId:
+    @given(st.integers(min_value=0, max_value=2**30),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_pack_roundtrip(self, page_no, slot):
+        assert unpack_record_id(pack_record_id(page_no, slot)) == (page_no, slot)
+
+    def test_bad_components(self):
+        with pytest.raises(ValueError):
+            pack_record_id(-1, 0)
+        with pytest.raises(ValueError):
+            pack_record_id(0, 0x10000)
+
+    def test_invalid_page_sentinel_distinct(self):
+        assert INVALID_PAGE == 0xFFFFFFFF

@@ -1,0 +1,229 @@
+"""Tests for page backends and the buffer pool."""
+
+import os
+
+import pytest
+
+from repro.storage.iostats import IOStats, StatsRegistry
+from repro.storage.page import PAGE_SIZE
+from repro.storage.pager import BufferPool, FilePager, MemoryPager, PagerError
+
+
+class TestMemoryPager:
+    def test_allocate_and_rw(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        page = pager.read_page(page_no)
+        page.data[0:5] = b"hello"
+        pager.write_page(page)
+        assert bytes(pager.read_page(page_no).data[0:5]) == b"hello"
+
+    def test_unallocated_read_rejected(self):
+        pager = MemoryPager()
+        with pytest.raises(PagerError):
+            pager.read_page(0)
+
+    def test_stats_counted(self):
+        stats = IOStats()
+        pager = MemoryPager(stats)
+        page_no = pager.allocate()
+        pager.read_page(page_no)
+        assert stats.page_reads == 1
+        assert stats.page_writes == 1  # the allocation write
+
+
+class TestFilePager:
+    def test_persistence(self, tmp_path):
+        path = str(tmp_path / "data.pages")
+        pager = FilePager(path)
+        page_no = pager.allocate()
+        page = pager.read_page(page_no)
+        page.data[:3] = b"abc"
+        pager.write_page(page)
+        pager.close()
+
+        reopened = FilePager(path)
+        assert reopened.page_count == 1
+        assert bytes(reopened.read_page(page_no).data[:3]) == b"abc"
+        reopened.close()
+
+    def test_out_of_range(self, tmp_path):
+        pager = FilePager(str(tmp_path / "x.pages"))
+        with pytest.raises(PagerError):
+            pager.read_page(0)
+        pager.close()
+
+    def test_unaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.pages"
+        path.write_bytes(b"x" * (PAGE_SIZE + 1))
+        with pytest.raises(PagerError):
+            FilePager(str(path))
+
+    def test_file_grows_by_pages(self, tmp_path):
+        path = str(tmp_path / "grow.pages")
+        pager = FilePager(path)
+        for _ in range(3):
+            pager.allocate()
+        pager.sync()
+        assert os.path.getsize(path) == 3 * PAGE_SIZE
+        pager.close()
+
+
+class TestBufferPool:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(MemoryPager(), capacity=0)
+
+    def test_hit_and_miss_accounting(self):
+        pool = BufferPool(MemoryPager(), capacity=4)
+        page = pool.allocate_page()
+        pool.unpin(page)
+        again = pool.get_page(page.page_no)
+        pool.unpin(again)
+        assert pool.stats.cache_hits == 1
+
+        # Force eviction, then re-read: a miss.
+        for _ in range(4):
+            extra = pool.allocate_page()
+            pool.unpin(extra)
+        pool.get_page(page.page_no)
+        assert pool.stats.cache_misses >= 1
+
+    def test_dirty_page_written_back_on_eviction(self):
+        pager = MemoryPager()
+        pool = BufferPool(pager, capacity=2)
+        page = pool.allocate_page()
+        page.data[:4] = b"keep"
+        page.mark_dirty()
+        pool.unpin(page)
+        # Evict by filling the pool.
+        for _ in range(3):
+            extra = pool.allocate_page()
+            pool.unpin(extra)
+        assert bytes(pager.read_page(page.page_no).data[:4]) == b"keep"
+
+    def test_pinned_pages_not_evicted(self):
+        pool = BufferPool(MemoryPager(), capacity=2)
+        pinned = pool.allocate_page()  # stays pinned
+        pinned.data[:3] = b"pin"
+        for _ in range(5):
+            extra = pool.allocate_page()
+            pool.unpin(extra)
+        # The pinned frame is still the same object in the pool.
+        again = pool.get_page(pinned.page_no)
+        assert again is pinned
+        pool.unpin(again)
+        pool.unpin(pinned)
+
+    def test_unpin_underflow_raises(self):
+        pool = BufferPool(MemoryPager(), capacity=2)
+        page = pool.allocate_page()
+        pool.unpin(page)
+        with pytest.raises(RuntimeError):
+            pool.unpin(page)
+
+    def test_pinned_context_manager(self):
+        pool = BufferPool(MemoryPager(), capacity=2)
+        page = pool.allocate_page()
+        pool.unpin(page)
+        with pool.pinned(page.page_no) as pinned:
+            assert pinned.pin_count == 1
+        assert pinned.pin_count == 0
+
+    def test_flush_all_persists(self, tmp_path):
+        path = str(tmp_path / "pool.pages")
+        pool = BufferPool(FilePager(path), capacity=8)
+        page = pool.allocate_page()
+        page.data[:5] = b"flush"
+        page.mark_dirty()
+        pool.unpin(page)
+        pool.flush_all()
+
+        fresh = FilePager(path)
+        assert bytes(fresh.read_page(page.page_no).data[:5]) == b"flush"
+        fresh.close()
+
+
+class TestStatsRegistry:
+    def test_named_components(self):
+        registry = StatsRegistry()
+        registry.get("heap").record_read()
+        registry.get("heap").record_read()
+        registry.get("index").record_write()
+        assert registry.get("heap").page_reads == 2
+        assert registry.total_ios() == 3
+        report = registry.report()
+        assert report["index"]["page_writes"] == 1
+
+    def test_reset_all(self):
+        registry = StatsRegistry()
+        registry.get("a").record_read()
+        registry.reset_all()
+        assert registry.total_ios() == 0
+
+    def test_delta_since(self):
+        stats = IOStats()
+        stats.record_read()
+        snapshot = stats.snapshot()
+        stats.record_read()
+        stats.record_write()
+        delta = stats.delta_since(snapshot)
+        assert delta["page_reads"] == 1
+        assert delta["page_writes"] == 1
+
+
+class TestFreeList:
+    def test_memory_free_and_reuse(self):
+        pager = MemoryPager()
+        first = pager.allocate()
+        second = pager.allocate()
+        pager.free_page(first)
+        assert pager.free_count == 1
+        reused = pager.allocate()
+        assert reused == first
+        assert pager.free_count == 0
+        assert pager.page_count == 2  # no growth
+        assert second == 1
+
+    def test_freed_page_comes_back_zeroed(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        page = pager.read_page(page_no)
+        page.data[:4] = b"junk"
+        pager.write_page(page)
+        pager.free_page(page_no)
+        reused = pager.allocate()
+        assert bytes(pager.read_page(reused).data[:4]) == b"\x00" * 4
+
+    def test_double_free_rejected(self):
+        pager = MemoryPager()
+        page_no = pager.allocate()
+        pager.free_page(page_no)
+        with pytest.raises(PagerError):
+            pager.free_page(page_no)
+
+    def test_free_unallocated_rejected(self):
+        with pytest.raises(PagerError):
+            MemoryPager().free_page(3)
+
+    def test_file_pager_free_and_reuse(self, tmp_path):
+        pager = FilePager(str(tmp_path / "fl.pages"))
+        first = pager.allocate()
+        pager.allocate()
+        pager.free_page(first)
+        assert pager.allocate() == first
+        pager.close()
+
+    def test_buffer_pool_free_drops_frame(self):
+        pool = BufferPool(MemoryPager(), capacity=4)
+        page = pool.allocate_page()
+        pool.unpin(page)
+        pool.free_page(page.page_no)
+        assert pool.cached_pages() == 0
+
+    def test_buffer_pool_refuses_to_free_pinned(self):
+        pool = BufferPool(MemoryPager(), capacity=4)
+        page = pool.allocate_page()  # pinned
+        with pytest.raises(RuntimeError):
+            pool.free_page(page.page_no)
+        pool.unpin(page)

@@ -1,0 +1,128 @@
+"""Hypothesis stateful tests for the storage engine: random operation
+interleavings against model oracles, with invariant checks."""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.storage.bptree import BPlusTree, DuplicateKeyError
+from repro.storage.pager import BufferPool, MemoryPager
+
+KEYS = st.integers(min_value=-1000, max_value=1000)
+
+
+class BPlusTreeMachine(RuleBasedStateMachine):
+    """The tree must behave exactly like a dict under any interleaving
+    of inserts, deletes and lookups, and keep its structure valid."""
+
+    @initialize(capacity=st.integers(min_value=2, max_value=48))
+    def setup(self, capacity):
+        self.tree = BPlusTree(BufferPool(MemoryPager(), capacity=capacity))
+        self.model = {}
+
+    @rule(key=KEYS, value=st.integers(min_value=0, max_value=10**9))
+    def insert(self, key, value):
+        composite = (key, 0)
+        if composite in self.model:
+            try:
+                self.tree.insert(composite, value)
+                raise AssertionError("duplicate insert must raise")
+            except DuplicateKeyError:
+                pass
+        else:
+            self.tree.insert(composite, value)
+            self.model[composite] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        composite = (key, 0)
+        assert self.tree.delete(composite) == (composite in self.model)
+        self.model.pop(composite, None)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        composite = (key, 0)
+        assert self.tree.get(composite) == self.model.get(composite)
+
+    @rule(lo=KEYS, hi=KEYS)
+    def range_scan(self, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        got = [k for k, _v in self.tree.range((lo, 0), (hi, 0))]
+        expected = sorted(k for k in self.model if lo <= k[0] <= hi)
+        assert got == expected
+
+    @invariant()
+    def size_matches(self):
+        if hasattr(self, "tree"):
+            assert len(self.tree) == len(self.model)
+
+    @precondition(lambda self: hasattr(self, "tree") and len(self.model) % 7 == 0)
+    @rule()
+    def check_structure(self):
+        self.tree.check_invariants()
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    """The buffer pool must preserve page contents across arbitrary
+    allocate/write/read/evict sequences."""
+
+    @initialize(capacity=st.integers(min_value=1, max_value=6))
+    def setup(self, capacity):
+        self.pool = BufferPool(MemoryPager(), capacity=capacity)
+        self.contents = {}
+
+    @rule(payload=st.binary(min_size=1, max_size=16))
+    def allocate_and_write(self, payload):
+        page = self.pool.allocate_page()
+        page.data[:len(payload)] = payload
+        page.mark_dirty()
+        self.pool.unpin(page)
+        self.contents[page.page_no] = payload
+
+    @rule(data=st.data())
+    def read_back(self, data):
+        if not self.contents:
+            return
+        page_no = data.draw(st.sampled_from(sorted(self.contents)))
+        with self.pool.pinned(page_no) as page:
+            payload = self.contents[page_no]
+            assert bytes(page.data[:len(payload)]) == payload
+
+    @rule(payload=st.binary(min_size=1, max_size=16), data=st.data())
+    def overwrite(self, payload, data):
+        if not self.contents:
+            return
+        page_no = data.draw(st.sampled_from(sorted(self.contents)))
+        with self.pool.pinned(page_no) as page:
+            page.data[:16] = bytes(16)
+            page.data[:len(payload)] = payload
+            page.mark_dirty()
+        self.contents[page_no] = payload
+
+    @rule()
+    def flush(self):
+        self.pool.flush_all()
+
+    @rule(data=st.data())
+    def free(self, data):
+        if not self.contents:
+            return
+        page_no = data.draw(st.sampled_from(sorted(self.contents)))
+        self.pool.free_page(page_no)
+        del self.contents[page_no]
+
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None)
+
+TestBufferPoolStateful = BufferPoolMachine.TestCase
+TestBufferPoolStateful.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None)

@@ -1,0 +1,119 @@
+"""System-level invariants of the full TkLUS pipeline."""
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.data.generator import generate_corpus
+from repro.dfs.cluster import paper_cluster
+from repro.index.builder import IndexConfig
+from repro.query.engine import EngineConfig, TkLUSEngine
+
+
+class TestTopKProperties:
+    def test_smaller_k_is_prefix(self, engine, workload):
+        """The top-5 must be a prefix of the top-10 (same query)."""
+        for spec in workload.specs(1)[:5]:
+            big = workload.bind(spec, radius_km=25.0, k=10)
+            small = workload.bind(spec, radius_km=25.0, k=5,
+                                  location=big.location)
+            for method in ("sum", "max"):
+                top10 = engine.search(big, method=method).users
+                top5 = engine.search(small, method=method).users
+                assert top10[:len(top5)] == top5
+
+    def test_radius_monotone_candidates(self, engine, workload):
+        """Growing the radius can only add candidates."""
+        for spec in workload.specs(1)[:5]:
+            inner = workload.bind(spec, radius_km=10.0)
+            outer = workload.bind(spec, radius_km=30.0,
+                                  location=inner.location)
+            assert (engine.search_sum(outer).stats.candidates_in_radius
+                    >= engine.search_sum(inner).stats.candidates_in_radius)
+
+    def test_every_user_appears_once(self, engine, workload):
+        for spec in workload.specs(1)[:5]:
+            query = workload.bind(spec, radius_km=25.0, k=10)
+            for method in ("sum", "max"):
+                uids = [uid for uid, _s in engine.search(query, method=method).users]
+                assert len(uids) == len(set(uids))
+
+
+class TestBuildDeterminism:
+    @pytest.fixture(scope="class")
+    def posts(self):
+        return generate_corpus(num_users=100, num_root_tweets=400,
+                               seed=23).posts
+
+    def _rankings(self, engine, keywords=("restaurant",)):
+        query = engine.make_query((43.6532, -79.3832), 25.0, list(keywords),
+                                  k=10)
+        return engine.search_sum(query).users
+
+    def test_rebuild_identical(self, posts):
+        a = TkLUSEngine.from_posts(posts, precompute_bounds=False)
+        b = TkLUSEngine.from_posts(posts, precompute_bounds=False)
+        assert self._rankings(a) == self._rankings(b)
+
+    def test_parallel_build_identical(self, posts):
+        sequential = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(index=IndexConfig(workers=1)),
+            precompute_bounds=False)
+        parallel = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(index=IndexConfig(workers=4)),
+            precompute_bounds=False)
+        assert self._rankings(sequential) == self._rankings(parallel)
+
+    def test_task_count_invariant(self, posts):
+        few = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(index=IndexConfig(
+                num_map_tasks=1, num_reduce_tasks=1)),
+            precompute_bounds=False)
+        many = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(index=IndexConfig(
+                num_map_tasks=8, num_reduce_tasks=7)),
+            precompute_bounds=False)
+        assert self._rankings(few) == self._rankings(many)
+
+    def test_geohash_length_invariant_results(self, posts):
+        """The encoding length changes performance, never answers."""
+        engines = [
+            TkLUSEngine.from_posts(
+                posts, cluster=paper_cluster(),
+                config=EngineConfig(index=IndexConfig(geohash_length=n)),
+                precompute_bounds=False)
+            for n in (2, 3, 4)
+        ]
+        baseline = self._rankings(engines[0])
+        for engine in engines[1:]:
+            assert self._rankings(engine) == baseline
+
+
+class TestScoreSemantics:
+    def test_alpha_zero_ranks_by_distance_only(self, workload):
+        from repro.core.scoring import ScoringConfig
+        posts = generate_corpus(num_users=100, num_root_tweets=400,
+                                seed=29).posts
+        engine = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(scoring=ScoringConfig(alpha=0.0)),
+            precompute_bounds=False)
+        query = engine.make_query((43.6532, -79.3832), 25.0,
+                                  ["restaurant"], k=10)
+        result = engine.search_sum(query)
+        # With alpha = 0 the score is exactly delta(u, q) <= 1.
+        for _uid, score in result.users:
+            assert 0.0 <= score <= 1.0
+
+    def test_alpha_one_ignores_distance_part(self):
+        from repro.core.scoring import ScoringConfig
+        posts = generate_corpus(num_users=100, num_root_tweets=400,
+                                seed=29).posts
+        keyword_only = TkLUSEngine.from_posts(
+            posts, config=EngineConfig(scoring=ScoringConfig(alpha=1.0)),
+            precompute_bounds=False)
+        query = keyword_only.make_query((43.6532, -79.3832), 25.0,
+                                        ["restaurant"], k=10)
+        result = keyword_only.search_sum(query)
+        # Scores are pure keyword relevance sums: strictly positive for
+        # every returned user.
+        for _uid, score in result.users:
+            assert score > 0.0

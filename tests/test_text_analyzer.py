@@ -1,0 +1,80 @@
+"""Tests for the analysis pipeline and stop words."""
+
+from repro.text.analyzer import Analyzer, DEFAULT_ANALYZER
+from repro.text.stopwords import ENGLISH_STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_paper_examples(self):
+        # Definition 1 names "this" and "that" as excluded stop words.
+        assert is_stopword("this")
+        assert is_stopword("that")
+
+    def test_common_words(self):
+        for word in ["the", "a", "and", "is", "at"]:
+            assert is_stopword(word)
+
+    def test_content_words_kept(self):
+        for word in ["hotel", "restaurant", "babysitter", "toronto"]:
+            assert not is_stopword(word)
+
+    def test_microblog_noise(self):
+        assert is_stopword("rt")
+        assert is_stopword("via")
+
+    def test_list_is_lowercase(self):
+        assert all(word == word.lower() for word in ENGLISH_STOPWORDS)
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        terms = Analyzer().analyze("I'm at the Four Seasons Hotels in Toronto!")
+        assert "hotel" in terms          # stemmed plural
+        assert "toronto" in terms
+        assert "the" not in terms        # stop word
+        assert "in" not in terms
+
+    def test_bag_semantics_preserved(self):
+        terms = Analyzer().analyze("pizza pizza pizza place")
+        assert terms.count("pizza") == 3
+
+    def test_no_stemming_option(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert "hotels" in analyzer.analyze("nice hotels")
+
+    def test_no_stopwords_option(self):
+        analyzer = Analyzer(use_stopwords=False)
+        assert "the" in analyzer.analyze("the hotel")
+
+    def test_min_token_length(self):
+        analyzer = Analyzer(min_token_length=3)
+        terms = analyzer.analyze("go to big cafe")
+        assert "go" not in terms
+        assert "big" in terms
+
+    def test_term_frequencies(self):
+        freqs = Analyzer().term_frequencies("spicy restaurant, spicy!")
+        assert freqs["spici"] == 2
+        assert freqs["restaur"] == 1
+
+    def test_query_keyword_analysis_deduplicates(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze_query_keywords(["restaurants", "restaurant"])
+        assert terms == ["restaur"]
+
+    def test_query_keywords_preserve_order(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze_query_keywords(["hotel", "spicy restaurant"])
+        assert terms == ["hotel", "spici", "restaur"]
+
+    def test_query_matches_document_normalisation(self):
+        """The core IR invariant: a query keyword must hit the indexed
+        form of the same surface word."""
+        analyzer = DEFAULT_ANALYZER
+        doc_terms = analyzer.analyze("Best restaurants in town")
+        query_terms = analyzer.analyze_query_keywords(["restaurant"])
+        assert set(query_terms) & set(doc_terms)
+
+    def test_empty_input(self):
+        assert Analyzer().analyze("") == []
+        assert Analyzer().term_frequencies("") == {}

@@ -1,0 +1,114 @@
+"""Tests for the Porter stemmer against the algorithm's published
+reference examples (Porter 1980, "An algorithm for suffix stripping")."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.porter import PorterStemmer, stem
+
+words = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15)
+
+#: (input, expected) pairs straight from the steps of Porter's paper.
+REFERENCE = [
+    # Step 1a
+    ("caresses", "caress"), ("ponies", "poni"), ("ties", "ti"),
+    ("caress", "caress"), ("cats", "cat"),
+    # Step 1b
+    ("feed", "feed"), ("agreed", "agre"), ("plastered", "plaster"),
+    ("bled", "bled"), ("motoring", "motor"), ("sing", "sing"),
+    ("conflated", "conflat"), ("troubled", "troubl"), ("sized", "size"),
+    ("hopping", "hop"), ("tanned", "tan"), ("falling", "fall"),
+    ("hissing", "hiss"), ("fizzed", "fizz"), ("failing", "fail"),
+    ("filing", "file"),
+    # Step 1c
+    ("happy", "happi"), ("sky", "sky"),
+    # Step 2
+    ("relational", "relat"), ("conditional", "condit"),
+    ("rational", "ration"), ("valenci", "valenc"), ("hesitanci", "hesit"),
+    ("digitizer", "digit"), ("conformabli", "conform"),
+    ("radicalli", "radic"), ("differentli", "differ"), ("vileli", "vile"),
+    ("analogousli", "analog"), ("vietnamization", "vietnam"),
+    ("predication", "predic"), ("operator", "oper"),
+    ("feudalism", "feudal"), ("decisiveness", "decis"),
+    ("hopefulness", "hope"), ("callousness", "callous"),
+    ("formaliti", "formal"), ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # Step 3
+    ("triplicate", "triplic"), ("formative", "form"),
+    ("formalize", "formal"), ("electriciti", "electr"),
+    ("electrical", "electr"), ("hopeful", "hope"), ("goodness", "good"),
+    # Step 4
+    ("revival", "reviv"), ("allowance", "allow"), ("inference", "infer"),
+    ("airliner", "airlin"), ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"), ("defensible", "defens"),
+    ("irritant", "irrit"), ("replacement", "replac"),
+    ("adjustment", "adjust"), ("dependent", "depend"),
+    ("adoption", "adopt"), ("communism", "commun"),
+    ("activate", "activ"), ("angulariti", "angular"),
+    ("homologous", "homolog"), ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # Step 5
+    ("probate", "probat"), ("rate", "rate"), ("cease", "ceas"),
+    ("controll", "control"), ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE)
+def test_reference_vector(word, expected):
+    assert stem(word) == expected
+
+
+class TestDomainWords:
+    """The corpus vocabulary words the library depends on."""
+
+    @pytest.mark.parametrize("word,expected", [
+        ("restaurant", "restaur"), ("restaurants", "restaur"),
+        ("hotels", "hotel"), ("hotel", "hotel"),
+        ("coffee", "coffe"), ("games", "game"), ("shopping", "shop"),
+    ])
+    def test_hot_keywords(self, word, expected):
+        assert stem(word) == expected
+
+    def test_query_and_document_forms_agree(self):
+        # The crucial IR property: inflections collapse together.
+        assert stem("restaurants") == stem("restaurant")
+        assert stem("hotels") == stem("hotel")
+        assert stem("babysitters") == stem("babysitter")
+
+
+class TestGuards:
+    def test_short_words_unchanged(self):
+        assert stem("a") == "a"
+        assert stem("at") == "at"
+        assert stem("is") == "is"
+
+    @given(words)
+    def test_never_longer_than_input(self, word):
+        result = stem(word)
+        assert len(result) <= len(word) + 1  # +1 for the 'e' restorations
+
+    @given(words)
+    def test_deterministic(self, word):
+        assert stem(word) == stem(word)
+
+    @given(words)
+    def test_output_nonempty(self, word):
+        assert stem(word)
+
+
+class TestStemmerObject:
+    def test_caching_consistent(self):
+        stemmer = PorterStemmer(cache_size=4)
+        values = [stemmer("running"), stemmer("running"), stemmer("runs")]
+        assert values[0] == values[1] == "run"
+        assert values[2] == "run"
+
+    def test_cache_size_bounded(self):
+        stemmer = PorterStemmer(cache_size=2)
+        for word in ["alpha", "beta", "gamma", "delta"]:
+            stemmer(word)
+        assert len(stemmer._cache) <= 2
+
+    @given(words)
+    def test_matches_function(self, word):
+        assert PorterStemmer()(word) == stem(word)

@@ -1,0 +1,57 @@
+"""Tests for the microblog tokenizer."""
+
+from repro.text.tokenizer import iter_tokens, tokenize
+
+
+class TestBasicTokenization:
+    def test_simple_sentence(self):
+        assert tokenize("I'm at Four Seasons Hotel Toronto") == [
+            "i", "at", "four", "seasons", "hotel", "toronto"]
+
+    def test_lowercasing(self):
+        assert tokenize("HOTEL Hotel hotel") == ["hotel"] * 3
+
+    def test_punctuation_split(self):
+        assert tokenize("Finally Toronto (at Clarion Hotel).") == [
+            "finally", "toronto", "at", "clarion", "hotel"]
+
+    def test_numbers_kept(self):
+        assert tokenize("meet at gate 42") == ["meet", "at", "gate", "42"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   !!! ...") == []
+
+
+class TestMicroblogArtifacts:
+    def test_urls_removed(self):
+        assert tokenize("great pizza http://t.co/abc123 downtown") == [
+            "great", "pizza", "downtown"]
+        assert tokenize("see www.example.com now") == ["see", "now"]
+
+    def test_mentions_removed(self):
+        assert tokenize("@alice let's meet @bob_smith at the cafe") == [
+            "let", "meet", "at", "the", "cafe"]
+
+    def test_hashtags_keep_body(self):
+        tokens = tokenize("Saturday night #fashion #style #toronto")
+        assert "fashion" in tokens and "style" in tokens and "toronto" in tokens
+        assert "#fashion" not in tokens
+
+    def test_possessives_stripped(self):
+        assert tokenize("marriott's rooftop") == ["marriott", "rooftop"]
+
+    def test_paper_table1_tweet(self):
+        tokens = tokenize(
+            "And that was the best massage I've ever had."
+            "(@ The Spa at Four Seasons Hotel Toronto)")
+        assert "hotel" in tokens
+        assert "massage" in tokens
+        # "I've" keeps its head word only.
+        assert "i" in tokens and "ve" not in tokens
+
+
+class TestIterTokens:
+    def test_matches_tokenize(self):
+        text = "Veal, lemon ricotta gnocchi @ Four Seasons Hotel Toronto."
+        assert list(iter_tokens(text)) == tokenize(text)
