@@ -4,14 +4,23 @@ One moderate-scale corpus + engine set is built per session and shared
 by every figure benchmark; each benchmark file also writes its figure's
 row table to ``benchmarks/results/`` so a full ``pytest benchmarks/
 --benchmark-only`` run leaves the reproduced tables on disk.
+
+Every benchmark additionally runs with the metrics half of
+``repro.obs`` enabled (spans off — they would accumulate memory over
+benchmark rounds) and its counter/histogram snapshot is written to
+``benchmarks/results/metrics_<test>.json``, so the perf trajectory
+carries I/O and pruning columns alongside wall-clock numbers.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 
 import pytest
 
+from repro import obs
 from repro.eval.experiments import ExperimentContext
 from repro.eval.report import format_table
 
@@ -30,6 +39,33 @@ def context():
                                     num_root_tweets=NUM_ROOT_TWEETS,
                                     seed=42,
                                     queries_per_point=QUERIES_PER_POINT)
+
+
+def _slug(nodeid: str) -> str:
+    name = nodeid.split("::", 1)[-1]
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+@pytest.fixture(autouse=True)
+def emit_metrics(request):
+    """Run each benchmark under the obs metrics registry.
+
+    Spans are disabled (``capture_spans=False``) because benchmark
+    rounds would otherwise accumulate thousands of span objects; the
+    counter/histogram snapshot alone is written to
+    ``results/metrics_<test>.json`` after the test.
+    """
+    with obs.observed(capture_spans=False) as (_tracer, registry):
+        yield
+    snapshot = registry.snapshot()
+    if not any(snapshot.values()):
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"metrics_{_slug(request.node.nodeid)}.json")
+    with open(path, "w") as handle:
+        json.dump({"test": request.node.nodeid, "metrics": snapshot},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture(scope="session")

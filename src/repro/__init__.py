@@ -12,7 +12,9 @@ The package implements the paper's TkLUS query system end to end:
 * :mod:`repro.index` — the hybrid spatial-keyword index (Section IV-B);
 * :mod:`repro.query` — Algorithms 4 and 5 with upper-bound pruning (Section V);
 * :mod:`repro.data` — synthetic corpus and query workloads;
-* :mod:`repro.eval` — experiment harness reproducing Section VI.
+* :mod:`repro.eval` — experiment harness reproducing Section VI;
+* :mod:`repro.obs` — tracing spans, metrics, per-query profiles
+  (see ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -40,6 +42,7 @@ from .core import (
 )
 from .data import QueryWorkload, generate_corpus
 from .index import HybridIndex, IndexConfig
+from .obs import QueryProfile
 from .query import (
     BruteForceProcessor,
     EngineConfig,
@@ -59,6 +62,7 @@ __all__ = [
     "IndexConfig",
     "MetadataDatabase",
     "Post",
+    "QueryProfile",
     "QueryResult",
     "QueryWorkload",
     "RecencyModel",

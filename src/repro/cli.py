@@ -8,8 +8,13 @@ Subcommands mirror the operational pipeline of the paper's Figure 3:
                      deployment to a directory;
 * ``query``        — answer TkLUS queries against a saved deployment
                      (or build one on the fly from a corpus file);
+* ``profile``      — run one query with tracing on and print the span
+                     tree, the per-query profile, and the metrics dump;
 * ``stats``        — corpus statistics (Table II style);
 * ``experiments``  — regenerate the paper's tables and figures.
+
+``query``, ``profile`` and ``experiments`` accept ``--trace FILE`` to
+write the collected spans as JSON lines (see docs/OBSERVABILITY.md).
 
 Examples::
 
@@ -17,7 +22,8 @@ Examples::
     python -m repro.cli build corpus.jsonl -o deployment/
     python -m repro.cli query deployment/ --lat 43.65 --lon -79.38 \\
         --radius 10 --keywords hotel --k 5 --method max
-    python -m repro.cli experiments --small
+    python -m repro.cli profile --synthetic --keywords hotel --radius 20
+    python -m repro.cli experiments --small --trace spans.jsonl
 """
 
 from __future__ import annotations
@@ -68,7 +74,16 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(path: str, spans) -> None:
+    from .obs import write_spans_jsonl
+
+    with open(path, "w") as handle:
+        count = write_spans_jsonl(spans, handle)
+    print(f"wrote {count} spans to {path}", file=sys.stderr)
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    from . import obs
     from .query.persistence import load_engine
 
     if args.corpus:
@@ -79,7 +94,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
     semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
     query = engine.make_query((args.lat, args.lon), args.radius,
                               args.keywords, k=args.k, semantics=semantics)
-    result = engine.search(query, method=args.method)
+    if args.trace:
+        with obs.observed() as (tracer, _registry):
+            result = engine.search(query, method=args.method)
+        _write_trace(args.trace, tracer.roots())
+    else:
+        result = engine.search(query, method=args.method)
     if not result.users:
         print("no local users found")
         return 0
@@ -89,6 +109,58 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"({stats.candidates} candidates, {stats.threads_built} threads "
           f"built, {stats.threads_pruned} pruned, "
           f"{stats.elapsed_seconds * 1000:.1f} ms)", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from . import obs
+    from .query.engine import TkLUSEngine
+
+    if args.synthetic:
+        from .data.generator import generate_corpus
+        from .data.queries import QueryWorkload
+
+        corpus = generate_corpus(num_users=args.users,
+                                 num_root_tweets=args.roots, seed=args.seed)
+        engine = TkLUSEngine.from_posts(corpus.posts)
+        location = (args.lat, args.lon)
+        if args.lat is None or args.lon is None:
+            location = QueryWorkload(corpus, seed=args.seed).sample_location()
+    elif args.corpus:
+        engine = TkLUSEngine.from_posts(_load_corpus(args.corpus))
+        location = (args.lat, args.lon)
+    else:
+        from .query.persistence import load_engine
+        engine = load_engine(args.deployment)
+        location = (args.lat, args.lon)
+    if location[0] is None or location[1] is None:
+        print("error: --lat/--lon are required unless --synthetic",
+              file=sys.stderr)
+        return 2
+
+    semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
+    query = engine.make_query(location, args.radius, args.keywords,
+                              k=args.k, semantics=semantics)
+    result, spans, registry = engine.profile_search(query, method=args.method)
+
+    for rank, (uid, score) in enumerate(result.users, start=1):
+        print(f"#{rank}\tuser {uid}\tscore {score:.6f}")
+    if not result.users:
+        print("no local users found")
+    print()
+    print("── span tree " + "─" * 47)
+    print(obs.render_span_tree(spans))
+    print()
+    print("── query profile " + "─" * 43)
+    print(result.profile.describe())
+    print()
+    print("── metrics " + "─" * 49)
+    if args.prometheus:
+        print(obs.to_prometheus_text(registry), end="")
+    else:
+        print(obs.render_metrics(registry))
+    if args.trace:
+        _write_trace(args.trace, spans)
     return 0
 
 
@@ -111,6 +183,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from . import obs
     from .eval.experiments import (
         ExperimentContext,
         fig5_index_construction_time,
@@ -133,17 +206,27 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                                            queries_per_point=4)
     else:
         context = ExperimentContext.create()
-    print_table(table2_keyword_frequencies(context.corpus), "Table II")
-    print_table(table4_geohash_lengths(), "Table IV")
-    print_table(fig5_index_construction_time(context.corpus), "Fig 5")
-    print_table(fig6_index_size(context.corpus), "Fig 6")
-    print_table(fig7_geohash_length(context), "Fig 7")
-    print_table(fig8_single_keyword(context), "Fig 8")
-    print_table(fig9_kendall_single(context), "Fig 9")
-    print_table(fig10_multi_keyword(context), "Fig 10")
-    print_table(fig11_kendall_multi(context), "Fig 11")
-    print_table(fig12_specific_bounds(context), "Fig 12")
-    print_table(fig13_user_study(context), "Fig 13")
+
+    def run_all() -> None:
+        print_table(table2_keyword_frequencies(context.corpus), "Table II")
+        print_table(table4_geohash_lengths(), "Table IV")
+        print_table(fig5_index_construction_time(context.corpus), "Fig 5")
+        print_table(fig6_index_size(context.corpus), "Fig 6")
+        print_table(fig7_geohash_length(context), "Fig 7")
+        print_table(fig8_single_keyword(context), "Fig 8")
+        print_table(fig9_kendall_single(context), "Fig 9")
+        print_table(fig10_multi_keyword(context), "Fig 10")
+        print_table(fig11_kendall_multi(context), "Fig 11")
+        print_table(fig12_specific_bounds(context), "Fig 12")
+        print_table(fig13_user_study(context), "Fig 13")
+
+    if args.trace:
+        with obs.observed() as (tracer, registry):
+            run_all()
+        _write_trace(args.trace, tracer.roots())
+        print(obs.render_metrics(registry), file=sys.stderr)
+    else:
+        run_all()
     return 0
 
 
@@ -182,7 +265,37 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=10)
     query.add_argument("--method", choices=("sum", "max"), default="max")
     query.add_argument("--semantics", choices=("and", "or"), default="or")
+    query.add_argument("--trace", default="", metavar="FILE",
+                       help="write tracing spans to FILE as JSON lines")
     query.set_defaults(func=_cmd_query)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run one query with tracing on; print span tree + metrics")
+    profile.add_argument("deployment", nargs="?", default="",
+                         help="saved deployment directory")
+    profile.add_argument("--corpus", default="",
+                         help="build from this corpus file instead")
+    profile.add_argument("--synthetic", action="store_true",
+                         help="build from a generated mini-corpus")
+    profile.add_argument("--users", type=int, default=200,
+                         help="synthetic corpus users (with --synthetic)")
+    profile.add_argument("--roots", type=int, default=1000,
+                         help="synthetic corpus root tweets (with --synthetic)")
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument("--lat", type=float, default=None)
+    profile.add_argument("--lon", type=float, default=None)
+    profile.add_argument("--radius", type=float, default=20.0,
+                         help="radius in km")
+    profile.add_argument("--keywords", nargs="+", required=True)
+    profile.add_argument("--k", type=int, default=10)
+    profile.add_argument("--method", choices=("sum", "max"), default="max")
+    profile.add_argument("--semantics", choices=("and", "or"), default="or")
+    profile.add_argument("--prometheus", action="store_true",
+                         help="dump metrics in Prometheus text format")
+    profile.add_argument("--trace", default="", metavar="FILE",
+                         help="also write the spans to FILE as JSON lines")
+    profile.set_defaults(func=_cmd_profile)
 
     stats = commands.add_parser("stats", help="corpus statistics")
     stats.add_argument("corpus")
@@ -192,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures")
     experiments.add_argument("--small", action="store_true")
+    experiments.add_argument("--trace", default="", metavar="FILE",
+                             help="trace the full run; write spans to FILE "
+                                  "as JSON lines (can be large)")
     experiments.set_defaults(func=_cmd_experiments)
 
     return parser
@@ -202,6 +318,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "query" and not args.deployment and not args.corpus:
         parser.error("query needs a deployment directory or --corpus")
+    if (args.command == "profile" and not args.deployment
+            and not args.corpus and not args.synthetic):
+        parser.error(
+            "profile needs a deployment directory, --corpus or --synthetic")
     return args.func(args)
 
 

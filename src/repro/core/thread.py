@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..storage.metadata import MetadataDatabase
 
 #: Paper defaults: epsilon = 0.1 (Section VI-B1); the depth bound is the
@@ -85,18 +86,21 @@ class ThreadBuilder:
     def build(self, root_sid: int) -> TweetThread:
         """Materialise the thread rooted at ``root_sid`` down to the
         configured depth (Algorithm 1's traversal, keeping the tweets)."""
-        thread = TweetThread(root=root_sid, levels=[[root_sid]])
-        frontier = [root_sid]
-        for _level in range(1, self.depth):
-            next_level: List[int] = []
-            for sid in frontier:
-                for record in self._db.replies_to(sid):
-                    next_level.append(record.sid)
-            if not next_level:
-                break
-            thread.levels.append(next_level)
-            frontier = next_level
-        self.threads_built += 1
+        with obs.trace("query.thread_build", root=root_sid) as span:
+            thread = TweetThread(root=root_sid, levels=[[root_sid]])
+            frontier = [root_sid]
+            for _level in range(1, self.depth):
+                next_level: List[int] = []
+                for sid in frontier:
+                    for record in self._db.replies_to(sid):
+                        next_level.append(record.sid)
+                if not next_level:
+                    break
+                thread.levels.append(next_level)
+                frontier = next_level
+            self.threads_built += 1
+            span.set(size=thread.size, height=thread.height)
+        obs.inc("query.threads_built")
         return thread
 
     def popularity(self, root_sid: int) -> float:

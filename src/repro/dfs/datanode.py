@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from .. import obs
 from .block import BlockId
 
 
@@ -57,6 +58,8 @@ class DataNode:
         self._blocks[block_id] = data
         self.stats.blocks_written += 1
         self.stats.bytes_written += len(data)
+        obs.inc("dfs.blocks_written")
+        obs.inc("dfs.bytes_written", len(data))
 
     def read(self, block_id: BlockId) -> bytes:
         if not self.alive:
@@ -66,6 +69,8 @@ class DataNode:
             raise DataNodeError(f"datanode {self.node_id} has no block {block_id}")
         self.stats.blocks_read += 1
         self.stats.bytes_read += len(data)
+        obs.inc("dfs.blocks_read")
+        obs.inc("dfs.bytes_read", len(data))
         return data
 
     def read_range(self, block_id: BlockId, offset: int, length: int) -> bytes:
@@ -78,8 +83,11 @@ class DataNode:
         if offset < 0 or offset > len(data):
             raise DataNodeError(
                 f"offset {offset} out of range for block {block_id} (len {len(data)})")
+        read = min(length, len(data) - offset)
         self.stats.partial_reads += 1
-        self.stats.bytes_read += min(length, len(data) - offset)
+        self.stats.bytes_read += read
+        obs.inc("dfs.partial_reads")
+        obs.inc("dfs.bytes_read", read)
         return data[offset:offset + length]
 
     def has_block(self, block_id: BlockId) -> bool:

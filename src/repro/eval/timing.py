@@ -1,4 +1,10 @@
-"""Timing utilities for the experiment harness."""
+"""Timing utilities for the experiment harness.
+
+For new code, prefer :mod:`repro.obs` spans over the ad-hoc
+:class:`Stopwatch`: spans nest across subsystem boundaries, attach
+attributes, and feed the exporters.  ``Stopwatch`` remains as a
+backward-compatible shim (now re-entrant, so nested phases no longer
+blow up)."""
 
 from __future__ import annotations
 
@@ -48,23 +54,48 @@ def time_callable(fn: Callable[[], object], repeats: int = 1) -> TimingResult:
 
 
 class Stopwatch:
-    """Accumulating stopwatch for instrumenting phases inside a run."""
+    """Accumulating, re-entrant stopwatch.
+
+    .. deprecated::
+        ``Stopwatch`` predates the unified observability layer and is
+        kept as a thin backward-compatibility shim.  New instrumentation
+        should use :func:`repro.obs.trace` spans, which nest, carry
+        attributes, and export to the span tree / JSONL / metrics
+        outputs (see ``docs/OBSERVABILITY.md``).
+
+    ``start``/``stop`` calls may nest: only the **outermost** pair
+    accrues into :attr:`elapsed` (inner pairs are already covered by the
+    outer interval), so a phase that times itself can safely be called
+    from a larger timed phase sharing the same watch.  ``stop`` returns
+    the elapsed time since the matching ``start``.
+    """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
-        self._started: float = -1.0
+        self._depth = 0
+        self._starts: List[float] = []
+
+    @property
+    def running(self) -> bool:
+        return self._depth > 0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 when idle)."""
+        return self._depth
 
     def start(self) -> None:
-        if self._started >= 0:
-            raise RuntimeError("stopwatch already running")
-        self._started = time.perf_counter()
+        self._depth += 1
+        self._starts.append(time.perf_counter())
 
     def stop(self) -> float:
-        if self._started < 0:
+        if self._depth == 0:
             raise RuntimeError("stopwatch not running")
-        delta = time.perf_counter() - self._started
-        self.elapsed += delta
-        self._started = -1.0
+        started = self._starts.pop()
+        self._depth -= 1
+        delta = time.perf_counter() - started
+        if self._depth == 0:
+            self.elapsed += delta
         return delta
 
     def __enter__(self) -> "Stopwatch":

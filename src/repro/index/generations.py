@@ -33,7 +33,7 @@ from ..geo.cover import circle_cover
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..text.analyzer import Analyzer
 from .builder import IndexConfig, build_hybrid_index
-from .hybrid import HybridIndex
+from .hybrid import HybridIndex, IndexStats
 from .postings import Posting, merge_postings
 
 
@@ -173,18 +173,18 @@ class GenerationalIndex:
             generation.index.reset_stats()
 
     @property
-    def stats(self):
-        """Aggregate per-generation fetch statistics."""
-        @dataclass
-        class _Aggregate:
-            postings_fetches: int = 0
-            postings_entries_read: int = 0
-            bytes_read: int = 0
+    def stats(self) -> IndexStats:
+        """Aggregate per-generation fetch statistics.
 
-        total = _Aggregate()
+        Returned as an :class:`~repro.index.hybrid.IndexStats` so callers
+        (e.g. the query profiler) can use ``snapshot()``/``diff()``
+        exactly as with a monolithic index.
+        """
+        total = IndexStats()
         for generation in self._generations:
             stats = generation.index.stats
             total.postings_fetches += stats.postings_fetches
             total.postings_entries_read += stats.postings_entries_read
             total.bytes_read += stats.bytes_read
+            total.cache_hits += stats.cache_hits
         return total

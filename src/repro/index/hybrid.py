@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import obs
 from ..core.model import Post
 from ..dfs.cluster import DFSCluster
 from ..geo.cover import circle_cover
@@ -38,6 +39,20 @@ class IndexStats:
         self.postings_entries_read = 0
         self.bytes_read = 0
         self.cache_hits = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "postings_fetches": self.postings_fetches,
+            "postings_entries_read": self.postings_entries_read,
+            "bytes_read": self.bytes_read,
+            "cache_hits": self.cache_hits,
+        }
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counter deltas since an earlier :meth:`snapshot` (per-query
+        accounting without resetting session totals)."""
+        now = self.snapshot()
+        return {key: now[key] - earlier.get(key, 0) for key in now}
 
 
 class HybridIndex:
@@ -105,6 +120,9 @@ class HybridIndex:
         self.stats.postings_fetches += 1
         self.stats.postings_entries_read += len(postings)
         self.stats.bytes_read += len(data)
+        obs.inc("index.postings_fetches")
+        obs.inc("index.postings_entries_read", len(postings))
+        obs.inc("index.bytes_read", len(data))
         if self._cache_size > 0:
             self._cache[(cell, term)] = postings
             if len(self._cache) > self._cache_size:
@@ -115,15 +133,22 @@ class HybridIndex:
                            ) -> Dict[str, Dict[str, List[Posting]]]:
         """Lines 4-7 of Algorithms 4/5: fetch the postings list for every
         ``(cell, term)`` pair, grouped by cell then term."""
-        result: Dict[str, Dict[str, List[Posting]]] = {}
-        for cell in cells:
-            per_term: Dict[str, List[Posting]] = {}
-            for term in terms:
-                postings = self.postings(cell, term)
-                if postings:
-                    per_term[term] = postings
-            if per_term:
-                result[cell] = per_term
+        with obs.trace("query.postings_scan", cells=len(cells),
+                       terms=len(terms)) as span:
+            before = self.stats.snapshot()
+            result: Dict[str, Dict[str, List[Posting]]] = {}
+            for cell in cells:
+                per_term: Dict[str, List[Posting]] = {}
+                for term in terms:
+                    postings = self.postings(cell, term)
+                    if postings:
+                        per_term[term] = postings
+                if per_term:
+                    result[cell] = per_term
+            delta = self.stats.diff(before)
+            span.set(fetches=delta["postings_fetches"],
+                     entries=delta["postings_entries_read"],
+                     bytes=delta["bytes_read"])
         return result
 
     # -- reporting ----------------------------------------------------------

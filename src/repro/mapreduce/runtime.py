@@ -22,6 +22,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Sequence, Tuple
 
+from .. import obs
 from .counters import Counters
 from .job import Job
 from .shuffle import MapSpill, group_by_key, merge_spills
@@ -71,35 +72,49 @@ class MapReduceRuntime:
         counters = Counters()
         splits = list(job.input_splits())
 
-        if self.workers == 1:
-            map_results = [
-                self._run_map_task(job, counters, task_no, split)
-                for task_no, split in enumerate(splits)
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                map_results = list(pool.map(
-                    lambda args: self._run_map_task(job, counters, *args),
-                    list(enumerate(splits))))
+        with obs.trace("mapreduce.job", job=job.name, splits=len(splits),
+                       reduce_tasks=job.num_reduce_tasks,
+                       workers=self.workers):
+            if self.workers == 1:
+                map_results = [
+                    self._run_map_task(job, counters, task_no, split)
+                    for task_no, split in enumerate(splits)
+                ]
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    map_results = list(pool.map(
+                        lambda args: self._run_map_task(job, counters, *args),
+                        list(enumerate(splits))))
 
-        # Gather spills per reduce partition.
-        partitions: List[List[MapSpill]] = [[] for _ in range(job.num_reduce_tasks)]
-        for spills in map_results:
-            for partition_no, spill in enumerate(spills):
-                counters.increment("shuffle_bytes", spill.approx_bytes())
-                partitions[partition_no].append(spill)
+            # Gather spills per reduce partition.
+            with obs.trace("mapreduce.shuffle", job=job.name) as shuffle_span:
+                partitions: List[List[MapSpill]] = [
+                    [] for _ in range(job.num_reduce_tasks)]
+                shuffle_bytes = 0
+                for spills in map_results:
+                    for partition_no, spill in enumerate(spills):
+                        size = spill.approx_bytes()
+                        counters.increment("shuffle_bytes", size)
+                        shuffle_bytes += size
+                        partitions[partition_no].append(spill)
+                shuffle_span.set(bytes=shuffle_bytes)
 
-        if self.workers == 1:
-            outputs = [
-                self._run_reduce_task(job, counters, task_no, spills)
-                for task_no, spills in enumerate(partitions)
-            ]
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                outputs = list(pool.map(
-                    lambda args: self._run_reduce_task(job, counters, *args),
-                    list(enumerate(partitions))))
+            if self.workers == 1:
+                outputs = [
+                    self._run_reduce_task(job, counters, task_no, spills)
+                    for task_no, spills in enumerate(partitions)
+                ]
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    outputs = list(pool.map(
+                        lambda args: self._run_reduce_task(job, counters, *args),
+                        list(enumerate(partitions))))
 
+        # Mirror the job's counters into the metrics registry so one dump
+        # covers storage, index and MapReduce alike.
+        if obs.is_enabled():
+            obs.merge_counter_dict(obs.get_registry(), "mapreduce",
+                                   counters.snapshot())
         return JobResult(name=job.name, outputs=outputs, counters=counters)
 
     # -- map side ------------------------------------------------------------
@@ -115,16 +130,18 @@ class MapReduceRuntime:
             partition = job.partitioner.partition(key, job.num_reduce_tasks)
             buckets[partition].append((key, value))
 
-        mapper.setup(context)
-        for key, value in split:
-            counters.increment("map_input_records")
-            mapper.map(key, value, emit, context)
-        mapper.cleanup(emit, context)
+        with obs.trace("mapreduce.map", job=job.name, task=task_no,
+                       records=len(split)):
+            mapper.setup(context)
+            for key, value in split:
+                counters.increment("map_input_records")
+                mapper.map(key, value, emit, context)
+            mapper.cleanup(emit, context)
 
-        spills = [MapSpill(bucket) for bucket in buckets]
-        if job.combiner_factory is not None:
-            spills = [self._combine(job, counters, task_no, spill)
-                      for spill in spills]
+            spills = [MapSpill(bucket) for bucket in buckets]
+            if job.combiner_factory is not None:
+                spills = [self._combine(job, counters, task_no, spill)
+                          for spill in spills]
         return spills
 
     def _combine(self, job: Job, counters: Counters, task_no: int,
@@ -155,11 +172,16 @@ class MapReduceRuntime:
             counters.increment("reduce_output_records")
             output.append((key, value))
 
-        reducer.setup(context)
-        for key, values in group_by_key(merge_spills(spills)):
-            counters.increment("reduce_input_groups")
-            reducer.reduce(key, values, emit, context)
-        reducer.cleanup(emit, context)
+        with obs.trace("mapreduce.reduce", job=job.name, task=task_no,
+                       spills=len(spills)) as span:
+            reducer.setup(context)
+            groups = 0
+            for key, values in group_by_key(merge_spills(spills)):
+                counters.increment("reduce_input_groups")
+                groups += 1
+                reducer.reduce(key, values, emit, context)
+            reducer.cleanup(emit, context)
+            span.set(groups=groups, output_records=len(output))
         return output
 
 

@@ -1,0 +1,184 @@
+"""repro.obs — unified observability: tracing spans, metrics, profiles.
+
+One switch controls the whole layer.  Instrumented code throughout the
+system (storage buffer pools, the hybrid index, MapReduce tasks, DFS
+datanodes, the query processors) calls the module-level helpers below;
+while observability is **disabled** (the default) every helper is a
+no-op that allocates nothing, so the instrumentation stays resident in
+hot paths at negligible cost.
+
+Enable it for a region of code with :func:`observed`::
+
+    from repro import obs
+
+    with obs.observed() as (tracer, registry):
+        engine.search(query, method="max")
+    print(obs.render_span_tree(tracer.roots()))
+    print(obs.render_metrics(registry))
+
+or globally with :func:`enable` / :func:`disable` (what the CLI's
+``--trace`` flag does).
+
+Span names used by the built-in instrumentation are documented in
+``docs/OBSERVABILITY.md`` (``query.*``, ``mapreduce.*``,
+``storage.page_read``), as are the metric names and units.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Optional, Tuple
+
+from .exporters import (
+    render_metrics,
+    render_span_tree,
+    span_to_dict,
+    spans_to_dicts,
+    to_prometheus_text,
+    write_spans_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_counter_dict,
+)
+from .profile import QueryProfile
+from .tracer import NULL_SPAN, NULL_SPAN_CONTEXT, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_SPAN_CONTEXT",
+    "QueryProfile",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "event",
+    "get_registry",
+    "get_tracer",
+    "inc",
+    "is_enabled",
+    "merge_counter_dict",
+    "observe",
+    "observed",
+    "render_metrics",
+    "render_span_tree",
+    "set_gauge",
+    "span_to_dict",
+    "spans_to_dicts",
+    "to_prometheus_text",
+    "trace",
+    "write_spans_jsonl",
+]
+
+
+class _State:
+    __slots__ = ("active", "tracer", "registry", "capture_spans")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.tracer = Tracer()
+        self.registry = MetricsRegistry()
+        self.capture_spans = True
+
+
+_STATE = _State()
+
+
+def enable(tracer: Optional[Tracer] = None,
+           registry: Optional[MetricsRegistry] = None,
+           capture_spans: bool = True) -> Tuple[Tracer, MetricsRegistry]:
+    """Switch observability on, installing fresh collectors by default.
+
+    ``capture_spans=False`` records metrics only — the right mode for
+    benchmark runs that want counters without accumulating span trees in
+    memory.
+    """
+    _STATE.tracer = tracer if tracer is not None else Tracer()
+    _STATE.registry = registry if registry is not None else MetricsRegistry()
+    _STATE.capture_spans = capture_spans
+    _STATE.active = True
+    return _STATE.tracer, _STATE.registry
+
+
+def disable() -> None:
+    """Switch observability off (helpers become no-ops again)."""
+    _STATE.active = False
+
+
+def is_enabled() -> bool:
+    return _STATE.active
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (even while disabled)."""
+    return _STATE.tracer
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed metrics registry (even while disabled)."""
+    return _STATE.registry
+
+
+@contextmanager
+def observed(tracer: Optional[Tracer] = None,
+             registry: Optional[MetricsRegistry] = None,
+             capture_spans: bool = True):
+    """Enable observability for a ``with`` block, restoring the previous
+    state (including any previously installed collectors) on exit.
+
+    Yields ``(tracer, registry)`` for inspection after the block.
+    """
+    previous = (_STATE.active, _STATE.tracer, _STATE.registry,
+                _STATE.capture_spans)
+    pair = enable(tracer, registry, capture_spans)
+    try:
+        yield pair
+    finally:
+        (_STATE.active, _STATE.tracer, _STATE.registry,
+         _STATE.capture_spans) = previous
+
+
+# -- hot-path helpers (no-ops while disabled) -------------------------------
+
+def trace(name: str, **attributes: Any):
+    """Context manager for a nested span; the shared no-op context while
+    observability is disabled."""
+    state = _STATE
+    if not (state.active and state.capture_spans):
+        return NULL_SPAN_CONTEXT
+    return state.tracer.span(name, **attributes)
+
+
+def event(name: str, **attributes: Any) -> None:
+    """Record a zero-duration span under the current one."""
+    state = _STATE
+    if state.active and state.capture_spans:
+        state.tracer.event(name, **attributes)
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Increment a registry counter."""
+    state = _STATE
+    if state.active:
+        state.registry.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation."""
+    state = _STATE
+    if state.active:
+        state.registry.histogram(name).observe(value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge."""
+    state = _STATE
+    if state.active:
+        state.registry.gauge(name).set(value)

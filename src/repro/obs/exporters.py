@@ -1,0 +1,163 @@
+"""Exporters for spans and metrics.
+
+Three output formats:
+
+* :func:`render_span_tree` — human-readable tree with durations,
+  self-time, attributes, and aggregation of repeated same-name children
+  (a query builds hundreds of ``query.thread_build`` spans; the tree
+  shows one line with a count);
+* :func:`span_to_dict` / :func:`write_spans_jsonl` — flat JSON-lines
+  records with ``span_id``/``parent_id`` links, one span per line, in
+  the shape trace viewers ingest;
+* :func:`to_prometheus_text` (re-exported from
+  :mod:`repro.obs.metrics`) — text exposition of a registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+from .metrics import MetricsRegistry, sanitize_name, to_prometheus_text
+from .tracer import Span
+
+__all__ = [
+    "render_span_tree",
+    "span_to_dict",
+    "spans_to_dicts",
+    "write_spans_jsonl",
+    "to_prometheus_text",
+    "sanitize_name",
+    "render_metrics",
+]
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _format_attributes(attributes: Dict[str, Any]) -> str:
+    if not attributes:
+        return ""
+    parts = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return " {" + ", ".join(parts) + "}"
+
+
+def _render(span: Span, lines: List[str], indent: str, aggregate: bool,
+            aggregate_min: int) -> None:
+    lines.append(f"{indent}{span.name}  [{_format_duration(span.duration)}]"
+                 f"{_format_attributes(span.attributes)}")
+    child_indent = indent + "  "
+    if not aggregate:
+        for child in span.children:
+            _render(child, lines, child_indent, aggregate, aggregate_min)
+        return
+    # Group consecutive runs of same-name children; collapse any name
+    # that occurs aggregate_min+ times into one summary line.
+    by_name: Dict[str, List[Span]] = {}
+    order: List[str] = []
+    for child in span.children:
+        if child.name not in by_name:
+            order.append(child.name)
+        by_name.setdefault(child.name, []).append(child)
+    for name in order:
+        group = by_name[name]
+        if len(group) < aggregate_min:
+            for child in group:
+                _render(child, lines, child_indent, aggregate, aggregate_min)
+            continue
+        total = sum(child.duration for child in group)
+        lines.append(f"{child_indent}{name} ×{len(group)}  "
+                     f"[total {_format_duration(total)}, "
+                     f"mean {_format_duration(total / len(group))}]")
+
+
+def render_span_tree(spans: Iterable[Span], aggregate: bool = True,
+                     aggregate_min: int = 4) -> str:
+    """Render finished root spans as an indented tree.
+
+    With ``aggregate`` (the default), sibling spans sharing a name that
+    appear ``aggregate_min`` or more times collapse to a single
+    ``name ×N [total ..., mean ...]`` line — per-candidate spans stay
+    readable at any query size.
+    """
+    lines: List[str] = []
+    for span in spans:
+        _render(span, lines, "", aggregate, aggregate_min)
+    return "\n".join(lines)
+
+
+def span_to_dict(span: Span, parent_id: Optional[int] = None,
+                 _ids: Optional[List[int]] = None) -> List[Dict[str, Any]]:
+    """Flatten one span tree into JSON-ready dicts with id/parent links."""
+    if _ids is None:
+        _ids = [0]
+    _ids[0] += 1
+    span_id = _ids[0]
+    record: Dict[str, Any] = {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": span.name,
+        "wall_start": span.wall_start,
+        "duration_seconds": span.duration,
+    }
+    if span.attributes:
+        record["attributes"] = dict(span.attributes)
+    records = [record]
+    for child in span.children:
+        records.extend(span_to_dict(child, span_id, _ids))
+    return records
+
+
+def spans_to_dicts(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    """Flatten several root spans; ids are unique across the batch."""
+    ids = [0]
+    records: List[Dict[str, Any]] = []
+    for span in spans:
+        records.extend(span_to_dict(span, None, ids))
+    return records
+
+
+def write_spans_jsonl(spans: Iterable[Span], handle: TextIO) -> int:
+    """Write one JSON object per span (depth-first, parents before
+    children); returns the number of lines written."""
+    count = 0
+    for record in spans_to_dicts(spans):
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+        count += 1
+    return count
+
+
+def render_metrics(registry: MetricsRegistry) -> str:
+    """Human-readable dump of a registry (counters, gauges, histogram
+    summaries), sorted by name."""
+    lines: List[str] = []
+    counters = registry.counters()
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            lines.append(f"  {name} = {counters[name]}")
+    gauges = registry.gauges()
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            lines.append(f"  {name} = {gauges[name]:g}")
+    histograms = registry.histograms()
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            s = histograms[name]
+            lines.append(
+                f"  {name}: count={s['count']:.0f} mean={s['mean']:.4g} "
+                f"p50={s['p50']:.4g} p95={s['p95']:.4g} p99={s['p99']:.4g} "
+                f"max={s['max']:.4g}")
+    return "\n".join(lines)

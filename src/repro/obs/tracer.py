@@ -1,0 +1,208 @@
+"""Nested, timed tracing spans.
+
+A :class:`Span` is one timed operation with attributes and children; a
+:class:`Tracer` maintains a per-thread stack of open spans so that
+``with tracer.span("query.cover"):`` nests automatically under whatever
+span is currently open on the same thread.  Finished top-level spans are
+collected (thread-safely) on the tracer and can be exported with
+:mod:`repro.obs.exporters`.
+
+Durations use ``time.perf_counter`` (monotonic); each span additionally
+records a wall-clock ``wall_start`` so exported traces can be aligned
+with logs.
+
+The module also defines :data:`NULL_SPAN` / :data:`NULL_SPAN_CONTEXT`,
+shared do-nothing singletons that the :mod:`repro.obs` facade hands out
+when observability is disabled — the disabled hot path allocates
+nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed operation: name, attributes, children, timing."""
+
+    __slots__ = ("name", "attributes", "children", "start", "end",
+                 "wall_start")
+
+    def __init__(self, name: str,
+                 attributes: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List["Span"] = []
+        self.start = time.perf_counter()
+        self.wall_start = time.time()
+        self.end: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (to now when the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def child_time(self) -> float:
+        """Sum of direct children's durations (<= own duration when the
+        children ran sequentially inside this span)."""
+        return sum(child.duration for child in self.children)
+
+    def self_time(self) -> float:
+        """Own duration minus time attributed to direct children."""
+        return max(0.0, self.duration - self.child_time())
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration * 1000:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+class _NullSpan:
+    """Inert stand-in used when observability is disabled."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    attributes: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration = 0.0
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on ``__enter__`` and closes it
+    (attaching it to its parent, or to the tracer's roots) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        if exc_type is not None:
+            span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans; thread-safe for concurrent use.
+
+    Each thread gets its own open-span stack (spans started on a worker
+    thread become top-level roots of that thread, tagged with the thread
+    name), so MapReduce tasks running on a pool trace cleanly.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[Span] = []
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _open(self, name: str, attributes: Dict[str, Any]) -> Span:
+        span = Span(name, attributes)
+        self._stack().append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        stack = self._stack()
+        if not stack or stack[-1] is not span:
+            raise RuntimeError(
+                f"span {span.name!r} closed out of order")
+        stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a nested span::
+
+            with tracer.span("query.cover", radius_km=10) as sp:
+                ...
+                sp.set(cells=len(cells))
+        """
+        return _SpanContext(self, name, attributes)
+
+    def event(self, name: str, **attributes: Any) -> Span:
+        """Record a zero-duration span (a point event such as one pruning
+        decision) under the current span."""
+        span = Span(name, attributes)
+        span.end = span.start
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+        return span
+
+    # -- inspection ---------------------------------------------------------
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def roots(self) -> List[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        """Drop collected roots (open spans on other threads are kept)."""
+        with self._lock:
+            self._roots.clear()

@@ -66,6 +66,24 @@ class BoundsManager:
             return min(per_keyword)
         return max(per_keyword)
 
+    def bound_source(self, keywords: FrozenSet[str],
+                     semantics: Semantics) -> str:
+        """Which bound family :meth:`bound_for_query` selects for this
+        query: ``"hot"`` when the chosen bound is a pre-computed
+        hot-keyword bound, else ``"global"``.  Used by the per-query
+        profile to attribute pruning decisions (the Fig 12 comparison).
+        """
+        per_keyword = [(self.bound_for_keyword(keyword),
+                        keyword in self.keyword_bounds)
+                       for keyword in keywords]
+        if not per_keyword:
+            return "global"
+        if semantics is Semantics.AND:
+            _bound, is_hot = min(per_keyword, key=lambda item: item[0])
+        else:
+            _bound, is_hot = max(per_keyword, key=lambda item: item[0])
+        return "hot" if is_hot else "global"
+
 
 def precompute_keyword_bounds(dataset: Dataset, keywords: Iterable[str],
                               depth: int = DEFAULT_DEPTH,

@@ -136,6 +136,22 @@ class TkLUSEngine:
     def search_max(self, query: TkLUSQuery) -> QueryResult:
         return self._max.search(query)
 
+    def profile_search(self, query: TkLUSQuery, method: str = "max"):
+        """Run a query with tracing and metrics enabled.
+
+        Returns ``(result, spans, registry)``: the usual
+        :class:`~repro.query.results.QueryResult` (whose ``profile``
+        carries the per-query funnel/pruning/I/O accounting), the list
+        of finished root :class:`~repro.obs.Span` trees, and the
+        :class:`~repro.obs.MetricsRegistry` populated during the run.
+        Observability state is restored on return, so profiling one
+        query never perturbs others.
+        """
+        from .. import obs
+        with obs.observed() as (tracer, registry):
+            result = self.search(query, method=method)
+        return result, tracer.roots(), registry
+
     def make_query(self, location, radius_km: float, keywords,
                    k: int = 10, semantics=None) -> TkLUSQuery:
         """Build a query whose keywords are normalised with this engine's

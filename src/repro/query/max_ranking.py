@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 
+from .. import obs
 from ..core.model import TkLUSQuery
 from ..core.scoring import ScoringConfig, user_distance_score, user_score
 from ..core.thread import ThreadBuilder
@@ -26,6 +27,7 @@ from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.hybrid import HybridIndex
 from ..storage.metadata import MetadataDatabase
 from .bounds import BoundsManager
+from .profiling import ProfileRecorder
 from .results import QueryResult, QueryStats
 from .semantics import candidates_from_postings, clip_per_cell
 from .topk import TopKUserQueue
@@ -85,85 +87,121 @@ class MaxScoreProcessor:
     def search(self, query: TkLUSQuery) -> QueryResult:
         start = time.perf_counter()
         stats = QueryStats()
-        io_before = {name: st.snapshot()
-                     for name, st in self.database.stats.components.items()}
+        recorder = ProfileRecorder(self.database, self.index, query, "max")
+        profile = recorder.profile
 
-        terms = sorted(query.keywords)
-        cells = self.index.cover(query.location, query.radius_km, self.metric)
-        stats.cells_covered = len(cells)
+        # Which bound family serves this query — every pruning decision
+        # below is attributed to it (the Fig 12 ledger).
+        bound_source = "none"
+        if self.use_pruning:
+            bound_source = self.bounds.bound_source(query.keywords,
+                                                    query.semantics)
+        profile.bound_source = bound_source
 
-        fetched_before = self.index.stats.postings_fetches
-        per_cell = self.index.postings_for_query(cells, terms)
-        stats.postings_lists_fetched = (
-            self.index.stats.postings_fetches - fetched_before)
+        with obs.trace("query.search", method="max",
+                       semantics=query.semantics.value, k=query.k,
+                       radius_km=query.radius_km):
+            terms = sorted(query.keywords)
+            with obs.trace("query.cover") as cover_span:
+                cells = self.index.cover(query.location, query.radius_km,
+                                         self.metric)
+                cover_span.set(cells=len(cells))
+            stats.cells_covered = len(cells)
 
-        per_cell = clip_per_cell(per_cell, query.temporal.window)
-        candidates = candidates_from_postings(per_cell, terms, query.semantics)
-        stats.candidates = len(candidates)
+            fetched_before = self.index.stats.postings_fetches
+            per_cell = self.index.postings_for_query(cells, terms)
+            stats.postings_lists_fetched = (
+                self.index.stats.postings_fetches - fetched_before)
 
-        recency = query.temporal.recency
-        reference = 0
-        if recency is not None:
-            reference = recency.resolve_reference(self.database.max_sid)
+            per_cell = clip_per_cell(per_cell, query.temporal.window)
+            candidates = candidates_from_postings(per_cell, terms,
+                                                  query.semantics)
+            stats.candidates = len(candidates)
 
-        inside_cells = set()
-        if self.use_cell_containment:
-            inside, _boundary = cover_cells_fully_inside(
-                query.location, query.radius_km,
-                self.index.geohash_length, self.metric)
-            inside_cells = set(inside)
-
-        queue = TopKUserQueue(query.k)
-        distance_parts = {}  # uid -> delta(u, q), computed once per user
-
-        threads_before = self.threads.threads_built
-        for candidate in candidates:
-            record = self.database.get(candidate.tid)
-            if record is None:
-                continue
-            if candidate.cell in inside_cells:
-                stats.distance_checks_skipped += 1
-            else:
-                distance = self.metric(query.location,
-                                       (record.lat, record.lon))
-                if distance > query.radius_km:
-                    continue
-            stats.candidates_in_radius += 1
-
-            # Lines 18-19: prune before paying for thread construction.
-            if self.use_pruning and queue.full:
-                known = 1.0
-                if self.tighten_distance_bound:
-                    known = distance_parts.get(record.uid, 1.0)
-                bound = self._upper_bound_score(query, candidate.match_count,
-                                                known)
-                if bound < queue.peek():
-                    stats.threads_pruned += 1
-                    continue
-                # A user's own score can also make their remaining tweets
-                # irrelevant, independent of the queue threshold.
-                own = queue.score_of(record.uid)
-                if own is not None and bound <= own:
-                    stats.threads_pruned += 1
-                    continue
-
-            popularity = self.threads.popularity(candidate.tid)
-            relevance = (candidate.match_count
-                         / self.config.keyword_normalizer) * popularity
-            # Recency weight <= 1, so the pruning bound above (which
-            # omits it) remains a sound over-estimate.
+            recency = query.temporal.recency
+            reference = 0
             if recency is not None:
-                relevance *= recency.weight(candidate.tid, reference)
-            uid = record.uid
-            if uid not in distance_parts:
-                distance_parts[uid] = self._distance_part(uid, query)
-            score = user_score(relevance, distance_parts[uid], self.config)
-            queue.offer(uid, score)
+                reference = recency.resolve_reference(self.database.max_sid)
 
-        stats.threads_built = self.threads.threads_built - threads_before
-        stats.elapsed_seconds = time.perf_counter() - start
-        stats.io_delta = {
-            name: st.delta_since(io_before.get(name, {}))["page_reads"]
-            for name, st in self.database.stats.components.items()
-        }
-        return QueryResult(users=queue.ranked(), stats=stats)
+            inside_cells = set()
+            if self.use_cell_containment:
+                inside, _boundary = cover_cells_fully_inside(
+                    query.location, query.radius_km,
+                    self.index.geohash_length, self.metric)
+                inside_cells = set(inside)
+
+            queue = TopKUserQueue(query.k)
+            distance_parts = {}  # uid -> delta(u, q), computed once per user
+
+            threads_before = self.threads.threads_built
+            with obs.trace("query.score", candidates=len(candidates)):
+                for candidate in candidates:
+                    record = self.database.get(candidate.tid)
+                    if record is None:
+                        continue
+                    if candidate.cell in inside_cells:
+                        stats.distance_checks_skipped += 1
+                    else:
+                        distance = self.metric(query.location,
+                                               (record.lat, record.lon))
+                        if distance > query.radius_km:
+                            continue
+                    stats.candidates_in_radius += 1
+
+                    # Lines 18-19: prune before paying for thread
+                    # construction.
+                    if self.use_pruning and queue.full:
+                        known = 1.0
+                        if self.tighten_distance_bound:
+                            known = distance_parts.get(record.uid, 1.0)
+                        bound = self._upper_bound_score(
+                            query, candidate.match_count, known)
+                        if bound < queue.peek():
+                            stats.threads_pruned += 1
+                            self._count_pruned(profile, bound_source)
+                            obs.event("query.prune", tid=candidate.tid,
+                                      uid=record.uid, source=bound_source)
+                            continue
+                        # A user's own score can also make their remaining
+                        # tweets irrelevant, independent of the queue
+                        # threshold.
+                        own = queue.score_of(record.uid)
+                        if own is not None and bound <= own:
+                            stats.threads_pruned += 1
+                            self._count_pruned(profile, bound_source)
+                            obs.event("query.prune", tid=candidate.tid,
+                                      uid=record.uid, source=bound_source)
+                            continue
+
+                    popularity = self.threads.popularity(candidate.tid)
+                    relevance = (candidate.match_count
+                                 / self.config.keyword_normalizer) * popularity
+                    # Recency weight <= 1, so the pruning bound above
+                    # (which omits it) remains a sound over-estimate.
+                    if recency is not None:
+                        relevance *= recency.weight(candidate.tid, reference)
+                    uid = record.uid
+                    if uid not in distance_parts:
+                        distance_parts[uid] = self._distance_part(uid, query)
+                    score = user_score(relevance, distance_parts[uid],
+                                       self.config)
+                    queue.offer(uid, score)
+                    profile.users_scored += 1
+
+            stats.threads_built = self.threads.threads_built - threads_before
+            stats.elapsed_seconds = time.perf_counter() - start
+            stats.io_delta = recorder.io_delta_pages()
+
+        profile.cells_covered = stats.cells_covered
+        profile.candidates = stats.candidates
+        profile.candidate_users = stats.candidates_in_radius
+        profile.threads_built = stats.threads_built
+        recorder.finish(stats.elapsed_seconds)
+        return QueryResult(users=queue.ranked(), stats=stats, profile=profile)
+
+    @staticmethod
+    def _count_pruned(profile, bound_source: str) -> None:
+        if bound_source == "hot":
+            profile.users_pruned_hot += 1
+        else:
+            profile.users_pruned_global += 1

@@ -1,0 +1,72 @@
+"""Per-query profile assembly shared by the query processors.
+
+A :class:`ProfileRecorder` snapshots the storage and index counters when
+a query starts and turns the deltas — plus the processor's own funnel
+counts — into the :class:`~repro.obs.profile.QueryProfile` attached to
+every :class:`~repro.query.results.QueryResult`.  Snapshot/diff (rather
+than reset) means concurrent queries and session-wide totals keep
+working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .. import obs
+from ..core.model import TkLUSQuery
+from ..index.hybrid import HybridIndex
+from ..obs.profile import QueryProfile
+from ..storage.metadata import MetadataDatabase
+
+
+class ProfileRecorder:
+    """Captures before-counters at construction; :meth:`finish` builds
+    the profile from the after-deltas."""
+
+    def __init__(self, database: MetadataDatabase, index: HybridIndex,
+                 query: TkLUSQuery, method: str) -> None:
+        self._database = database
+        self._index = index
+        self._io_before = database.stats.snapshot_all()
+        self._index_before = index.stats.snapshot()
+        self.profile = QueryProfile(
+            method=method,
+            semantics=query.semantics.value,
+            keywords=len(query.keywords),
+            k=query.k,
+            radius_km=query.radius_km,
+        )
+
+    def io_delta_pages(self) -> Dict[str, int]:
+        """Per-component page-read deltas (the legacy ``stats.io_delta``
+        shape kept for backward compatibility)."""
+        return {name: delta["page_reads"]
+                for name, delta in
+                self._database.stats.diff_all(self._io_before).items()}
+
+    def finish(self, elapsed_seconds: float) -> QueryProfile:
+        profile = self.profile
+        profile.elapsed_seconds = elapsed_seconds
+
+        io_delta = self._database.stats.diff_all(self._io_before)
+        profile.io_by_component = io_delta
+        profile.pages_read = sum(d["page_reads"] for d in io_delta.values())
+        profile.pages_written = sum(d["page_writes"] for d in io_delta.values())
+        profile.cache_hits = sum(d["cache_hits"] for d in io_delta.values())
+        profile.cache_misses = sum(d["cache_misses"] for d in io_delta.values())
+
+        index_delta = self._index.stats.diff(self._index_before)
+        profile.postings_lists_fetched = index_delta["postings_fetches"]
+        profile.postings_entries_read = index_delta["postings_entries_read"]
+        profile.index_bytes_read = index_delta["bytes_read"]
+
+        if obs.is_enabled():
+            obs.observe("query.latency_seconds", elapsed_seconds)
+            obs.observe("query.pages_read", profile.pages_read)
+            obs.inc("query.searches")
+            obs.inc("query.candidates", profile.candidates)
+            obs.inc("query.candidates_in_radius", profile.candidate_users)
+            obs.inc("query.users_scored", profile.users_scored)
+            obs.inc("query.pruned.global", profile.users_pruned_global)
+            obs.inc("query.pruned.hot", profile.users_pruned_hot)
+        return profile

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.profile import QueryProfile
 
 
 @dataclass
@@ -32,10 +34,16 @@ class QueryStats:
 
 @dataclass
 class QueryResult:
-    """A ranked top-k user list plus execution statistics."""
+    """A ranked top-k user list plus execution statistics.
+
+    ``profile`` carries the full per-query execution profile (candidate
+    funnel, pruning ledger, I/O deltas) when the executing processor
+    produced one; the lightweight ``stats`` counters are always present.
+    """
 
     users: List[Tuple[int, float]]  # (uid, score), best first
     stats: QueryStats = field(default_factory=QueryStats)
+    profile: Optional[QueryProfile] = None
 
     def ranking(self) -> List[int]:
         """Just the uid ranking (input to the Kendall tau comparison)."""

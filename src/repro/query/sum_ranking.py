@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List
 
+from .. import obs
 from ..core.model import TkLUSQuery
 from ..core.scoring import ScoringConfig, user_distance_score, user_score
 from ..core.thread import ThreadBuilder
@@ -25,6 +26,7 @@ from ..geo.cover import cover_cells_fully_inside
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.hybrid import HybridIndex
 from ..storage.metadata import MetadataDatabase
+from .profiling import ProfileRecorder
 from .results import QueryResult, QueryStats
 from .semantics import candidates_from_postings, clip_per_cell
 
@@ -51,74 +53,92 @@ class SumScoreProcessor:
     def search(self, query: TkLUSQuery) -> QueryResult:
         start = time.perf_counter()
         stats = QueryStats()
-        io_before = {name: st.snapshot()
-                     for name, st in self.database.stats.components.items()}
+        recorder = ProfileRecorder(self.database, self.index, query, "sum")
+        profile = recorder.profile
 
-        terms = sorted(query.keywords)
-        cells = self.index.cover(query.location, query.radius_km, self.metric)
-        stats.cells_covered = len(cells)
+        with obs.trace("query.search", method="sum",
+                       semantics=query.semantics.value, k=query.k,
+                       radius_km=query.radius_km):
+            terms = sorted(query.keywords)
+            with obs.trace("query.cover") as cover_span:
+                cells = self.index.cover(query.location, query.radius_km,
+                                         self.metric)
+                cover_span.set(cells=len(cells))
+            stats.cells_covered = len(cells)
 
-        fetched_before = self.index.stats.postings_fetches
-        per_cell = self.index.postings_for_query(cells, terms)
-        stats.postings_lists_fetched = (
-            self.index.stats.postings_fetches - fetched_before)
+            fetched_before = self.index.stats.postings_fetches
+            per_cell = self.index.postings_for_query(cells, terms)
+            stats.postings_lists_fetched = (
+                self.index.stats.postings_fetches - fetched_before)
 
-        per_cell = clip_per_cell(per_cell, query.temporal.window)
-        candidates = candidates_from_postings(per_cell, terms, query.semantics)
-        stats.candidates = len(candidates)
+            per_cell = clip_per_cell(per_cell, query.temporal.window)
+            candidates = candidates_from_postings(per_cell, terms,
+                                                  query.semantics)
+            stats.candidates = len(candidates)
 
-        inside_cells = set()
-        if self.use_cell_containment:
-            inside, _boundary = cover_cells_fully_inside(
-                query.location, query.radius_km,
-                self.index.geohash_length, self.metric)
-            inside_cells = set(inside)
+            inside_cells = set()
+            if self.use_cell_containment:
+                inside, _boundary = cover_cells_fully_inside(
+                    query.location, query.radius_km,
+                    self.index.geohash_length, self.metric)
+                inside_cells = set(inside)
 
-        recency = query.temporal.recency
-        reference = 0
-        if recency is not None:
-            reference = recency.resolve_reference(self.database.max_sid)
-
-        threads_before = self.threads.threads_built
-        # Per-user accumulation of Definition 7 over in-radius candidates.
-        keyword_scores: Dict[int, float] = {}
-        for candidate in candidates:
-            record = self.database.get(candidate.tid)
-            if record is None:
-                continue
-            if candidate.cell in inside_cells:
-                stats.distance_checks_skipped += 1
-            else:
-                distance = self.metric(query.location,
-                                       (record.lat, record.lon))
-                if distance > query.radius_km:
-                    continue  # boundary cell false positive (line 16)
-            stats.candidates_in_radius += 1
-            popularity = self.threads.popularity(candidate.tid)
-            # candidate.match_count is |q.W ∩ p.W| under the bag model, so
-            # Definition 6 reduces to (matches / N) * phi(p).
-            relevance = (candidate.match_count / self.config.keyword_normalizer
-                         ) * popularity
+            recency = query.temporal.recency
+            reference = 0
             if recency is not None:
-                relevance *= recency.weight(candidate.tid, reference)
-            keyword_scores[record.uid] = (
-                keyword_scores.get(record.uid, 0.0) + relevance)
-        stats.threads_built = self.threads.threads_built - threads_before
+                reference = recency.resolve_reference(self.database.max_sid)
 
-        # Lines 25-27: combine with the user distance score.
-        scored: List = []
-        for uid, keyword_part in keyword_scores.items():
-            posts = self.database.posts_of_user(uid)
-            locations = [(record.lat, record.lon) for record in posts]
-            distance_part = user_distance_score(
-                locations, query.location, query.radius_km, self.metric)
-            scored.append((uid, user_score(keyword_part, distance_part,
-                                           self.config)))
+            threads_before = self.threads.threads_built
+            # Per-user accumulation of Definition 7 over in-radius
+            # candidates.
+            keyword_scores: Dict[int, float] = {}
+            with obs.trace("query.score", candidates=len(candidates)):
+                for candidate in candidates:
+                    record = self.database.get(candidate.tid)
+                    if record is None:
+                        continue
+                    if candidate.cell in inside_cells:
+                        stats.distance_checks_skipped += 1
+                    else:
+                        distance = self.metric(query.location,
+                                               (record.lat, record.lon))
+                        if distance > query.radius_km:
+                            continue  # boundary cell false positive (line 16)
+                    stats.candidates_in_radius += 1
+                    popularity = self.threads.popularity(candidate.tid)
+                    # candidate.match_count is |q.W ∩ p.W| under the bag
+                    # model, so Definition 6 reduces to
+                    # (matches / N) * phi(p).
+                    relevance = (candidate.match_count
+                                 / self.config.keyword_normalizer) * popularity
+                    if recency is not None:
+                        relevance *= recency.weight(candidate.tid, reference)
+                    keyword_scores[record.uid] = (
+                        keyword_scores.get(record.uid, 0.0) + relevance)
+                    profile.users_scored += 1
+            stats.threads_built = self.threads.threads_built - threads_before
 
-        scored.sort(key=lambda item: (-item[1], item[0]))
-        stats.elapsed_seconds = time.perf_counter() - start
-        stats.io_delta = {
-            name: st.delta_since(io_before.get(name, {}))["page_reads"]
-            for name, st in self.database.stats.components.items()
-        }
-        return QueryResult(users=scored[:query.k], stats=stats)
+            # Lines 25-27: combine with the user distance score.
+            with obs.trace("query.rank", users=len(keyword_scores)):
+                scored: List = []
+                for uid, keyword_part in keyword_scores.items():
+                    posts = self.database.posts_of_user(uid)
+                    locations = [(record.lat, record.lon) for record in posts]
+                    distance_part = user_distance_score(
+                        locations, query.location, query.radius_km,
+                        self.metric)
+                    scored.append((uid, user_score(keyword_part,
+                                                   distance_part,
+                                                   self.config)))
+                scored.sort(key=lambda item: (-item[1], item[0]))
+
+            stats.elapsed_seconds = time.perf_counter() - start
+            stats.io_delta = recorder.io_delta_pages()
+
+        profile.cells_covered = stats.cells_covered
+        profile.candidates = stats.candidates
+        profile.candidate_users = stats.candidates_in_radius
+        profile.threads_built = stats.threads_built
+        recorder.finish(stats.elapsed_seconds)
+        return QueryResult(users=scored[:query.k], stats=stats,
+                           profile=profile)

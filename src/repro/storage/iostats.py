@@ -64,6 +64,10 @@ class IOStats:
         now = self.snapshot()
         return {key: now[key] - earlier.get(key, 0) for key in now}
 
+    # Alias matching the snapshot()/diff() vocabulary used elsewhere in
+    # the observability layer.
+    diff = delta_since
+
 
 @dataclass
 class StatsRegistry:
@@ -89,3 +93,23 @@ class StatsRegistry:
 
     def report(self) -> Dict[str, Dict[str, int]]:
         return {name: stats.snapshot() for name, stats in self.components.items()}
+
+    # -- delta accounting --------------------------------------------------
+    #
+    # Experiments used to call :meth:`reset_all` between queries to read
+    # per-query I/O, which destroys the session-wide totals (and races
+    # when two measurements overlap).  Take a :meth:`snapshot_all` before
+    # the work and :meth:`diff_all` after it instead.
+
+    def snapshot_all(self) -> Dict[str, Dict[str, int]]:
+        """Point-in-time copy of every component's counters."""
+        return {name: stats.snapshot()
+                for name, stats in self.components.items()}
+
+    def diff_all(self, earlier: Dict[str, Dict[str, int]]
+                 ) -> Dict[str, Dict[str, int]]:
+        """Per-component counter deltas since an earlier
+        :meth:`snapshot_all`.  Components created after the snapshot
+        diff against zero."""
+        return {name: stats.diff(earlier.get(name, {}))
+                for name, stats in self.components.items()}

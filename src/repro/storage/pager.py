@@ -19,6 +19,7 @@ import os
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from .. import obs
 from .iostats import IOStats
 from .page import PAGE_SIZE, Page
 
@@ -194,9 +195,13 @@ class BufferPool:
             self._frames.move_to_end(page_no)
             page.pin_count += 1
             self.stats.record_hit()
+            obs.inc("storage.cache_hits")
             return page
         self.stats.record_miss()
-        page = self._pager.read_page(page_no)
+        obs.inc("storage.cache_misses")
+        with obs.trace("storage.page_read", page_no=page_no):
+            page = self._pager.read_page(page_no)
+        obs.inc("storage.page_reads")
         page.pin_count = 1
         self._install(page_no, page)
         return page
@@ -239,8 +244,10 @@ class BufferPool:
                 if victim.dirty:
                     self._pager.write_page(victim)
                     victim.dirty = False
+                    obs.inc("storage.page_writes")
                 del self._frames[victim_no]
                 self.stats.record_eviction()
+                obs.inc("storage.evictions")
                 return
         # All pages pinned: allow the pool to exceed capacity rather than
         # deadlock.  This mirrors what real buffer managers do under

@@ -42,11 +42,29 @@ class TestStopwatch:
             time.sleep(0.005)
         assert watch.elapsed > first
 
-    def test_double_start_rejected(self):
+    def test_reentrant_nesting(self):
+        # Nested start/stop pairs are allowed; only the outermost pair
+        # accrues into elapsed (inner intervals are already covered).
         watch = Stopwatch()
         watch.start()
-        with pytest.raises(RuntimeError):
-            watch.start()
+        watch.start()
+        assert watch.depth == 2
+        time.sleep(0.005)
+        inner = watch.stop()
+        assert inner > 0.0
+        assert watch.elapsed == 0.0  # still inside the outer interval
+        outer = watch.stop()
+        assert watch.depth == 0
+        assert outer >= inner
+        assert watch.elapsed == pytest.approx(outer)
+
+    def test_nested_context_managers(self):
+        watch = Stopwatch()
+        with watch:
+            with watch:
+                time.sleep(0.002)
+        assert watch.elapsed >= 0.002
+        assert not watch.running
 
     def test_stop_without_start_rejected(self):
         with pytest.raises(RuntimeError):

@@ -1,0 +1,116 @@
+"""Tests for span/metrics exporters (tree, JSONL, Prometheus text)."""
+
+import io
+import json
+
+from repro.obs.exporters import (
+    render_metrics,
+    render_span_tree,
+    spans_to_dicts,
+    to_prometheus_text,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _sample_trace(children=2):
+    tracer = Tracer()
+    with tracer.span("query.search", method="max") as root:
+        with tracer.span("query.cover"):
+            pass
+        for i in range(children):
+            with tracer.span("query.thread_build", root=i) as span:
+                span.set(size=i + 1)
+    return tracer.roots(), root
+
+
+class TestSpanTree:
+    def test_renders_nesting_and_attributes(self):
+        roots, _ = _sample_trace(children=2)
+        text = render_span_tree(roots)
+        lines = text.splitlines()
+        assert lines[0].startswith("query.search")
+        assert "{method=max}" in lines[0]
+        assert lines[1].startswith("  query.cover")
+        # Two same-name children stay below the aggregation threshold.
+        assert sum("query.thread_build" in line for line in lines) == 2
+
+    def test_aggregates_repeated_children(self):
+        roots, _ = _sample_trace(children=10)
+        text = render_span_tree(roots)
+        assert "query.thread_build ×10" in text
+        assert "total" in text and "mean" in text
+        # Aggregation can be switched off.
+        full = render_span_tree(roots, aggregate=False)
+        assert full.count("query.thread_build") == 10
+
+    def test_empty_input(self):
+        assert render_span_tree([]) == ""
+
+
+class TestJsonl:
+    def test_flat_records_with_parent_links(self):
+        roots, _ = _sample_trace(children=3)
+        records = spans_to_dicts(roots)
+        assert len(records) == 5  # search + cover + 3 builds
+        by_id = {r["span_id"]: r for r in records}
+        assert len(by_id) == 5  # ids unique
+        root_record = records[0]
+        assert root_record["parent_id"] is None
+        assert root_record["name"] == "query.search"
+        for record in records[1:]:
+            assert record["parent_id"] == root_record["span_id"]
+        build = [r for r in records if r["name"] == "query.thread_build"][0]
+        assert build["attributes"] == {"root": 0, "size": 1}
+
+    def test_write_spans_jsonl_round_trips(self):
+        roots, _ = _sample_trace(children=2)
+        handle = io.StringIO()
+        count = write_spans_jsonl(roots, handle)
+        lines = handle.getvalue().strip().splitlines()
+        assert count == len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert record["duration_seconds"] >= 0.0
+            assert "wall_start" in record
+
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("storage.page_reads").inc(7)
+        registry.gauge("pool.pages").set(128)
+        registry.histogram("query.latency_seconds").observe(0.02)
+        text = to_prometheus_text(registry)
+        assert "# TYPE repro_storage_page_reads counter" in text
+        assert "repro_storage_page_reads 7" in text
+        assert "# TYPE repro_pool_pages gauge" in text
+        assert "# TYPE repro_query_latency_seconds summary" in text
+        assert 'repro_query_latency_seconds{quantile="0.95"}' in text
+        assert "repro_query_latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_namespace_optional(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        text = to_prometheus_text(registry, namespace=None)
+        assert "\nhits 1" in "\n" + text
+
+    def test_empty_registry(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestRenderMetrics:
+    def test_sections_present(self):
+        registry = MetricsRegistry()
+        registry.counter("c.n").inc(2)
+        registry.gauge("g.n").set(0.5)
+        registry.histogram("h.n").observe(1.0)
+        text = render_metrics(registry)
+        assert "counters:" in text and "c.n = 2" in text
+        assert "gauges:" in text and "g.n = 0.5" in text
+        assert "histograms:" in text and "h.n:" in text
+
+    def test_empty_registry(self):
+        assert render_metrics(MetricsRegistry()) == ""

@@ -1,0 +1,183 @@
+"""Tests for counters, gauges, log-scale histograms and the registry."""
+
+import random
+import statistics
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_counter_dict,
+    sanitize_name,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == pytest.approx(11.5)
+
+
+class TestHistogram:
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            Histogram(growth=1.0)
+
+    def test_empty(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.summary()["p99"] == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_single_value_is_exact(self):
+        histogram = Histogram()
+        histogram.observe(5.0)
+        # Clamping to the observed [min, max] makes one-point histograms
+        # exact at every quantile.
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == pytest.approx(5.0)
+
+    def test_mean_and_sum_are_exact(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.sum == pytest.approx(10.0)
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.summary()["min"] == 1.0
+        assert histogram.summary()["max"] == 4.0
+
+    def test_zero_and_negative_bucket(self):
+        histogram = Histogram()
+        for value in (-1.0, 0.0, 0.0, 10.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        # Half the mass is non-positive, so the median is in the zero
+        # bucket (reported as the observed minimum).
+        assert histogram.quantile(0.25) == -1.0
+
+    def test_quantiles_match_statistics_module(self):
+        # The log-scale sketch guarantees a bounded *relative* error of
+        # sqrt(growth) - 1 (~4.9% at growth=1.1) against the true value
+        # at the requested rank; statistics.quantiles(method="inclusive")
+        # uses the same rank convention (q * (n - 1)).
+        rng = random.Random(42)
+        data = [rng.lognormvariate(0.0, 1.5) for _ in range(5000)]
+        histogram = Histogram()
+        for value in data:
+            histogram.observe(value)
+        cut_points = statistics.quantiles(data, n=100, method="inclusive")
+        for q, expected in ((0.50, cut_points[49]), (0.95, cut_points[94]),
+                            (0.99, cut_points[98])):
+            assert histogram.quantile(q) == pytest.approx(expected, rel=0.06)
+
+    def test_quantiles_monotone(self):
+        rng = random.Random(7)
+        histogram = Histogram()
+        for _ in range(1000):
+            histogram.observe(rng.expovariate(1.0))
+        quantiles = [histogram.quantile(q / 20) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_sum_exactly(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 5000
+
+        def worker():
+            for _ in range(per_thread):
+                registry.counter("shared.hits").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counters()["shared.hits"] == threads_n * per_thread
+
+    def test_concurrent_histogram_observations(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 6, 2000
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for _ in range(per_thread):
+                registry.histogram("shared.latency").observe(rng.random())
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.histogram("shared.latency").count == \
+            threads_n * per_thread
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="another type"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="another type"):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert registry.names() == ["c", "g", "h"]
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+
+    def test_merge_counter_dict_skips_zeros(self):
+        registry = MetricsRegistry()
+        merge_counter_dict(registry, "mr", {"map_records": 10, "spills": 0})
+        assert registry.counters() == {"mr.map_records": 10}
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("storage.page_reads") == "storage_page_reads"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("95th.latency") == "_95th_latency"

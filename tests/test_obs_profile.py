@@ -1,0 +1,202 @@
+"""Integration tests for per-query profiles and the obs facade.
+
+The central acceptance invariant: every in-radius candidate examined by
+a scoring loop is either pruned (attributed to exactly one bound family)
+or fully scored::
+
+    users_pruned_global + users_pruned_hot + users_scored == candidate_users
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.model import Semantics
+
+
+def _queries(workload, num_keywords=1, radius=20.0, k=5, limit=6,
+             semantics=Semantics.OR):
+    return [workload.bind(spec, radius_km=radius, k=k, semantics=semantics)
+            for spec in workload.specs(num_keywords)[:limit]]
+
+
+class TestLedgerInvariant:
+    def test_max_profile_balances(self, engine, workload):
+        for query in _queries(workload, num_keywords=1, k=3):
+            result = engine.search(query, method="max")
+            profile = result.profile
+            assert profile is not None
+            profile.check()
+            assert profile.method == "max"
+            assert profile.bound_source in ("global", "hot")
+            assert profile.candidate_users == result.stats.candidates_in_radius
+            assert profile.threads_built == result.stats.threads_built
+            assert profile.users_pruned == result.stats.threads_pruned
+
+    def test_max_multi_keyword_and_semantics(self, engine, workload):
+        for query in _queries(workload, num_keywords=2, k=3,
+                              semantics=Semantics.AND):
+            profile = engine.search(query, method="max").profile
+            profile.check()
+
+    def test_sum_profile_balances_with_no_pruning(self, engine, workload):
+        for query in _queries(workload, num_keywords=1, k=3):
+            result = engine.search(query, method="sum")
+            profile = result.profile
+            assert profile is not None
+            profile.check()
+            assert profile.method == "sum"
+            # Algorithm 4 scores every in-radius candidate.
+            assert profile.users_pruned == 0
+            assert profile.bound_source == "none"
+            assert profile.users_scored == profile.candidate_users
+
+    def test_sum_and_max_agree_on_candidate_funnel(self, engine, workload):
+        # Pruning changes how candidates are *processed*, never which
+        # candidates are examined: both processors must report the same
+        # funnel for the same query.
+        for query in _queries(workload, num_keywords=1, k=3, limit=4):
+            sum_profile = engine.search(query, method="sum").profile
+            max_profile = engine.search(query, method="max").profile
+            assert sum_profile.candidates == max_profile.candidates
+            assert sum_profile.candidate_users == max_profile.candidate_users
+            assert sum_profile.cells_covered == max_profile.cells_covered
+
+    def test_pruning_happens_somewhere_in_the_workload(self, engine, workload):
+        # With k=1 the queue threshold is at its tightest, so across a
+        # handful of single-keyword queries the bounds must fire.
+        total_pruned = 0
+        for query in _queries(workload, num_keywords=1, k=1, limit=8):
+            profile = engine.search(query, method="max").profile
+            profile.check()
+            total_pruned += profile.users_pruned
+        assert total_pruned > 0
+
+
+class TestProfileContents:
+    def test_io_and_funnel_fields(self, engine, workload):
+        query = _queries(workload, limit=1)[0]
+        profile = engine.search(query, method="max").profile
+        assert profile.elapsed_seconds > 0.0
+        assert profile.k == query.k
+        assert profile.radius_km == query.radius_km
+        assert profile.keywords == len(query.keywords)
+        assert profile.cells_covered > 0
+        assert profile.pages_read >= 0
+        assert 0.0 <= profile.cache_hit_rate <= 1.0
+        assert 0.0 <= profile.prune_rate <= 1.0
+        assert isinstance(profile.io_by_component, dict)
+
+    def test_as_dict_is_json_shaped(self, engine, workload):
+        import json
+
+        query = _queries(workload, limit=1)[0]
+        profile = engine.search(query, method="max").profile
+        data = json.loads(json.dumps(profile.as_dict()))
+        assert data["method"] == "max"
+        assert data["candidate_users"] == profile.candidate_users
+
+    def test_describe_mentions_the_ledger(self, engine, workload):
+        query = _queries(workload, limit=1)[0]
+        profile = engine.search(query, method="max").profile
+        text = profile.describe()
+        assert "pruning:" in text
+        assert f"scored={profile.users_scored}" in text
+
+
+class TestDisabledPath:
+    def test_trace_returns_shared_null_context(self):
+        assert not obs.is_enabled()
+        assert obs.trace("anything", attr=1) is obs.NULL_SPAN_CONTEXT
+        # Identity, not just equality: the disabled path allocates nothing.
+        assert obs.trace("other") is obs.trace("third")
+
+    def test_disabled_search_records_no_spans_or_metrics(self, engine,
+                                                         workload):
+        assert not obs.is_enabled()
+        tracer = obs.get_tracer()
+        registry = obs.get_registry()
+        tracer.reset()
+        names_before = registry.names()
+        query = _queries(workload, limit=1)[0]
+        result = engine.search(query, method="max")
+        assert tracer.roots() == []
+        assert registry.names() == names_before
+        # The profile itself is still produced — it does not depend on
+        # the obs switch.
+        assert result.profile is not None
+        result.profile.check()
+
+    def test_metric_helpers_are_noops_when_disabled(self):
+        registry = obs.get_registry()
+        names_before = registry.names()
+        obs.inc("should.not.appear")
+        obs.observe("should.not.appear.h", 1.0)
+        obs.set_gauge("should.not.appear.g", 1.0)
+        obs.event("should.not.appear.e")
+        assert registry.names() == names_before
+
+
+class TestProfileSearch:
+    def test_span_tree_and_registry(self, engine, workload):
+        query = _queries(workload, limit=1)[0]
+        result, spans, registry = engine.profile_search(query, method="max")
+        assert not obs.is_enabled()  # state restored afterwards
+
+        assert result.profile is not None
+        roots = [span for span in spans if span.name == "query.search"]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.attributes["method"] == "max"
+        # Children ran sequentially inside the search span.
+        assert root.duration >= root.child_time()
+        child_names = {child.name for child in root.children}
+        assert "query.cover" in child_names
+        assert "query.score" in child_names
+
+        counters = registry.counters()
+        assert counters["query.searches"] == 1
+        scored = counters.get("query.users_scored", 0)
+        pruned = (counters.get("query.pruned.global", 0)
+                  + counters.get("query.pruned.hot", 0))
+        assert scored + pruned == counters.get("query.candidates_in_radius", 0)
+        assert registry.histogram("query.latency_seconds").count == 1
+
+    def test_observed_restores_previous_collectors(self):
+        outer_tracer, outer_registry = obs.enable()
+        try:
+            with obs.observed() as (inner_tracer, inner_registry):
+                assert inner_tracer is not outer_tracer
+                obs.inc("inner.only")
+            assert obs.is_enabled()
+            assert obs.get_tracer() is outer_tracer
+            assert obs.get_registry() is outer_registry
+            assert "inner.only" not in outer_registry.names()
+            assert inner_registry.counters()["inner.only"] == 1
+        finally:
+            obs.disable()
+
+    def test_capture_spans_false_keeps_metrics_only(self, engine, workload):
+        query = _queries(workload, limit=1)[0]
+        with obs.observed(capture_spans=False) as (tracer, registry):
+            engine.search(query, method="max")
+        assert tracer.roots() == []
+        assert registry.counters()["query.searches"] == 1
+
+
+class TestPrunedQueryEvents:
+    def test_prune_events_match_profile_counts(self, engine, workload):
+        # Find a query that prunes, then check its span events agree
+        # with the profile's ledger.
+        for query in _queries(workload, num_keywords=1, k=1, limit=8):
+            result, spans, _registry = engine.profile_search(query,
+                                                             method="max")
+            profile = result.profile
+            if profile.users_pruned == 0:
+                continue
+            events = [span for root in spans for span in root.walk()
+                      if span.name == "query.prune"]
+            assert len(events) == profile.users_pruned
+            sources = {event.attributes["source"] for event in events}
+            assert sources == {profile.bound_source}
+            return
+        pytest.fail("no query in the workload sample triggered pruning")

@@ -1,0 +1,176 @@
+"""Tests for the tracing spans (repro.obs.tracer)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.tracer import NULL_SPAN, NULL_SPAN_CONTEXT, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_and_finished(self):
+        span = Span("work")
+        assert not span.finished
+        assert span.duration >= 0.0
+        span.end = span.start + 0.25
+        assert span.finished
+        assert span.duration == pytest.approx(0.25)
+
+    def test_set_chains_attributes(self):
+        span = Span("work", {"a": 1})
+        assert span.set(b=2) is span
+        assert span.attributes == {"a": 1, "b": 2}
+
+    def test_self_time_never_negative(self):
+        parent = Span("parent")
+        parent.end = parent.start + 0.010
+        child = Span("child")
+        child.start = parent.start
+        child.end = parent.start + 0.015  # pathological child > parent
+        parent.children.append(child)
+        assert parent.self_time() == 0.0
+
+    def test_walk_is_depth_first(self):
+        root = Span("root")
+        a, b, leaf = Span("a"), Span("b"), Span("leaf")
+        a.children.append(leaf)
+        root.children.extend([a, b])
+        assert [s.name for s in root.walk()] == ["root", "a", "leaf", "b"]
+
+
+class TestTracerNesting:
+    def test_nesting_structure(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        roots = tracer.roots()
+        assert len(roots) == 1
+        assert roots[0] is root
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_root_duration_bounds_child_sum(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            for _ in range(3):
+                with tracer.span("child"):
+                    time.sleep(0.001)
+        (root,) = tracer.roots()
+        assert root.finished
+        assert all(child.finished for child in root.children)
+        # Children ran sequentially inside the root, so timing must be
+        # monotone: each child fits in the root and their sum does too.
+        assert root.duration >= root.child_time() > 0.0
+        for child in root.children:
+            assert child.duration <= root.duration
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_sequential_roots_collect_in_order(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["first", "second"]
+        tracer.reset()
+        assert tracer.roots() == []
+
+    def test_exception_sets_error_attribute(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "ValueError"
+        assert root.finished
+
+    def test_out_of_order_close_rejected(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+
+class TestEvents:
+    def test_event_is_zero_duration_child(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            event = tracer.event("prune", uid=7)
+        assert event.duration == 0.0
+        assert event.attributes == {"uid": 7}
+        (root,) = tracer.roots()
+        assert root.children == [event]
+
+    def test_event_without_open_span_becomes_root(self):
+        tracer = Tracer()
+        event = tracer.event("lonely")
+        assert tracer.roots() == [event]
+
+
+class TestThreads:
+    def test_worker_thread_spans_are_independent_roots(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker_span"):
+                pass
+            done.set()
+
+        with tracer.span("main_span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert done.is_set()
+            # The worker's span must NOT have nested under main_span.
+            names = {s.name for s in tracer.roots()}
+            assert "worker_span" in names
+        (main_root,) = [s for s in tracer.roots() if s.name == "main_span"]
+        assert main_root.children == []
+
+    def test_many_threads_lose_no_roots(self):
+        tracer = Tracer()
+
+        def worker(i):
+            for _ in range(50):
+                with tracer.span(f"t{i}"):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.roots()) == 8 * 50
+
+
+class TestNullSpan:
+    def test_null_context_yields_null_span(self):
+        with NULL_SPAN_CONTEXT as span:
+            assert span is NULL_SPAN
+        assert NULL_SPAN.set(x=1) is NULL_SPAN
+        assert NULL_SPAN.duration == 0.0
+        assert NULL_SPAN.attributes == {}
+
+    def test_null_context_does_not_swallow_exceptions(self):
+        with pytest.raises(KeyError):
+            with NULL_SPAN_CONTEXT:
+                raise KeyError("propagates")
