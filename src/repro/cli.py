@@ -10,6 +10,9 @@ Subcommands mirror the operational pipeline of the paper's Figure 3:
                      (or build one on the fly from a corpus file);
 * ``profile``      — run one query with tracing on and print the span
                      tree, the per-query profile, and the metrics dump;
+* ``explain``      — print the physical operator plan of each query
+                     execution path (no deployment needed — plans are
+                     query-class level);
 * ``stats``        — corpus statistics (Table II style);
 * ``experiments``  — regenerate the paper's tables and figures.
 
@@ -164,6 +167,33 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .query.federation import federated_plan
+    from .query.pipeline import Planner
+
+    semantics = Semantics.AND if args.semantics == "and" else Semantics.OR
+    planner = Planner()
+    pruning = not args.no_pruning
+    methods = (["sum", "max", "baseline", "distributed", "federated"]
+               if args.method == "all" else [args.method])
+    blocks = []
+    for method in methods:
+        if method == "baseline":
+            text = planner.explain(args.aggregate, semantics,
+                                   temporal=args.temporal, scan=True)
+        elif method == "distributed":
+            text = planner.explain(args.aggregate, semantics,
+                                   temporal=args.temporal, distributed=True)
+        elif method == "federated":
+            text = federated_plan(args.aggregate).describe()
+        else:
+            text = planner.explain(method, semantics, pruning=pruning,
+                                   temporal=args.temporal)
+        blocks.append(text)
+    print("\n\n".join(blocks))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from collections import Counter
 
@@ -296,6 +326,24 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--trace", default="", metavar="FILE",
                          help="also write the spans to FILE as JSON lines")
     profile.set_defaults(func=_cmd_profile)
+
+    explain = commands.add_parser(
+        "explain",
+        help="print the physical operator plan for an execution path")
+    explain.add_argument("--method",
+                         choices=("sum", "max", "baseline", "distributed",
+                                  "federated", "all"),
+                         default="all",
+                         help="which execution path to explain")
+    explain.add_argument("--aggregate", choices=("sum", "max"), default="sum",
+                         help="keyword aggregate for baseline/distributed/"
+                              "federated paths")
+    explain.add_argument("--semantics", choices=("and", "or"), default="or")
+    explain.add_argument("--no-pruning", action="store_true",
+                         help="show the max path without upper-bound pruning")
+    explain.add_argument("--temporal", action="store_true",
+                         help="include the temporal clipping stage")
+    explain.set_defaults(func=_cmd_explain)
 
     stats = commands.add_parser("stats", help="corpus statistics")
     stats.add_argument("corpus")

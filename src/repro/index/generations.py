@@ -138,6 +138,12 @@ class GenerationalIndex:
                 result[cell] = per_term
         return result
 
+    def postings_fetch_count(self) -> int:
+        """Summed fetch counter across generations (the
+        ``PostingsSource`` accounting hook)."""
+        return sum(generation.index.stats.postings_fetches
+                   for generation in self._generations)
+
     # -- compaction ------------------------------------------------------------
 
     def compact(self, posts: Iterable[Post]) -> Generation:

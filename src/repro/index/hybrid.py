@@ -101,13 +101,20 @@ class HybridIndex:
 
     def postings(self, cell: str, term: str) -> List[Posting]:
         """Fetch the postings list for ``(cell, term)``; empty when the
-        pair is unindexed."""
+        pair is unindexed.
+
+        With the cache enabled, callers always receive a fresh list (a
+        shallow copy of the cached one): postings are consumed by
+        mutation-happy stages (temporal clipping, merging), and handing
+        out the cached list by reference would let any caller corrupt
+        every later cache hit.
+        """
         if self._cache_size > 0:
             cached = self._cache.get((cell, term))
             if cached is not None:
                 self._cache.move_to_end((cell, term))
                 self.stats.cache_hits += 1
-                return cached
+                return list(cached)
         ref = self.forward.lookup(cell, term)
         if ref is None:
             return []
@@ -127,7 +134,20 @@ class HybridIndex:
             self._cache[(cell, term)] = postings
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
+            return list(postings)  # the cached list stays private
         return postings
+
+    def owner_of(self, cell: str, term: str) -> Optional[str]:
+        """The part file (distributed "query server") owning the
+        postings of ``(cell, term)``; ``None`` when unindexed.  Makes the
+        index a ``PartitionedPostingsSource`` for scatter-gather plans."""
+        ref = self.forward.lookup(cell, term)
+        return None if ref is None else ref.path
+
+    def postings_fetch_count(self) -> int:
+        """Monotonic count of postings lists fetched from DFS (cache
+        hits excluded) — the ``PostingsSource`` accounting hook."""
+        return self.stats.postings_fetches
 
     def postings_for_query(self, cells: List[str], terms: List[str]
                            ) -> Dict[str, Dict[str, List[Posting]]]:

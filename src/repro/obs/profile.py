@@ -10,11 +10,12 @@ before paying for thread construction.
 
 The accounting invariant (asserted in tests)::
 
-    users_pruned_global + users_pruned_hot + users_scored == candidate_users
+    users_pruned_global + users_pruned_hot + users_scored == candidates_examined
 
-where ``candidate_users`` counts in-radius candidate tweets examined by
-the scoring loop: every one is either pruned (by exactly one bound kind)
-or scored.
+where ``candidates_examined`` counts in-radius candidate *tweets*
+examined by the scoring loop: every one is either pruned (by exactly one
+bound kind) or scored.  ``candidate_users`` is the distinct-user view of
+the same set — how many users had at least one examined candidate.
 """
 
 from __future__ import annotations
@@ -39,7 +40,8 @@ class QueryProfile:
     postings_lists_fetched: int = 0
     postings_entries_read: int = 0
     candidates: int = 0          # tweets after AND/OR formation
-    candidate_users: int = 0     # in-radius candidates examined for scoring
+    candidates_examined: int = 0  # in-radius candidate tweets examined
+    candidate_users: int = 0     # distinct users among examined candidates
     users_scored: int = 0        # candidates fully scored (thread built/reused)
     users_pruned_global: int = 0  # retired by the global t_m bound
     users_pruned_hot: int = 0     # retired by a hot-keyword specific bound
@@ -62,9 +64,9 @@ class QueryProfile:
     def prune_rate(self) -> float:
         """Fraction of examined candidates whose thread construction was
         skipped (the Fig 12 effectiveness measure)."""
-        if self.candidate_users == 0:
+        if self.candidates_examined == 0:
             return 0.0
-        return self.users_pruned / self.candidate_users
+        return self.users_pruned / self.candidates_examined
 
     @property
     def cache_hit_rate(self) -> float:
@@ -76,12 +78,12 @@ class QueryProfile:
     def check(self) -> None:
         """Raise if the pruning ledger does not balance."""
         total = self.users_pruned_global + self.users_pruned_hot + self.users_scored
-        if total != self.candidate_users:
+        if total != self.candidates_examined:
             raise AssertionError(
                 f"profile ledger unbalanced: pruned_global="
                 f"{self.users_pruned_global} + pruned_hot="
                 f"{self.users_pruned_hot} + scored={self.users_scored} "
-                f"!= candidate_users={self.candidate_users}")
+                f"!= candidates_examined={self.candidates_examined}")
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -95,6 +97,7 @@ class QueryProfile:
             "postings_lists_fetched": self.postings_lists_fetched,
             "postings_entries_read": self.postings_entries_read,
             "candidates": self.candidates,
+            "candidates_examined": self.candidates_examined,
             "candidate_users": self.candidate_users,
             "users_scored": self.users_scored,
             "users_pruned_global": self.users_pruned_global,
@@ -120,7 +123,8 @@ class QueryProfile:
             f"funnel: cells={self.cells_covered} "
             f"postings_lists={self.postings_lists_fetched} "
             f"entries={self.postings_entries_read} "
-            f"candidates={self.candidates} in_radius={self.candidate_users}",
+            f"candidates={self.candidates} in_radius={self.candidates_examined} "
+            f"users={self.candidate_users}",
             f"pruning: scored={self.users_scored} "
             f"pruned_global={self.users_pruned_global} "
             f"pruned_hot={self.users_pruned_hot} "

@@ -8,6 +8,15 @@ from .engine import EngineConfig, TkLUSEngine
 from .explain import Explainer, TweetExplanation, UserExplanation
 from .federation import FederatedEngine, FederatedResult, FederatedUser
 from .max_ranking import MaxScoreProcessor
+from .pipeline import (
+    PhysicalOperator,
+    PhysicalPlan,
+    Planner,
+    PlanSpec,
+    PostingsSource,
+    QueryContext,
+    run_plan,
+)
 from .results import QueryResult, QueryStats
 from .semantics import Candidate, candidates_from_postings
 from .sum_ranking import SumScoreProcessor
@@ -24,8 +33,15 @@ __all__ = [
     "FederatedResult",
     "FederatedUser",
     "MaxScoreProcessor",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "PlanSpec",
+    "Planner",
+    "PostingsSource",
+    "QueryContext",
     "QueryResult",
     "QueryStats",
+    "run_plan",
     "ScatterStats",
     "SumScoreProcessor",
     "TkLUSEngine",

@@ -8,90 +8,52 @@ cover, bound, or storage engine.  It serves two purposes:
   rankings must match it exactly), and
 * the unindexed comparison point ("it is definitely inefficient to check
   the sets iteratively", Section II-B) for the ablation benchmarks.
+
+Structurally it is the same operator pipeline as the indexed paths with
+the retrieval prefix swapped out: ``DatasetScan`` replaces
+``Cover -> PostingsFetch -> CandidateForm``, and the metadata callables
+read the in-memory dataset instead of the storage engine.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.model import Dataset, Semantics, TkLUSQuery
-from ..core.scoring import ScoringConfig, user_distance_score, user_score
+from ..core.model import Dataset, TkLUSQuery
+from ..core.scoring import ScoringConfig
 from ..core.thread import DatasetThreadBuilder
 from ..geo.distance import DEFAULT_METRIC, Metric
-from .results import QueryResult, QueryStats
+from .pipeline import Planner, QueryContext, run_plan
+from .results import QueryResult
 
 
 class BruteForceProcessor:
     """Scans every post for every query."""
 
-    def __init__(self, dataset: Dataset, config: ScoringConfig = ScoringConfig(),
+    def __init__(self, dataset: Dataset,
+                 config: Optional[ScoringConfig] = None,
                  metric: Metric = DEFAULT_METRIC, depth: int = 6) -> None:
         self.dataset = dataset
-        self.config = config
+        self.config = config if config is not None else ScoringConfig()
         self.metric = metric
         self.threads = DatasetThreadBuilder(dataset, depth=depth,
-                                            epsilon=config.epsilon)
+                                            epsilon=self.config.epsilon)
         self._user_locations: Dict[int, List[Tuple[float, float]]] = {}
         for uid in dataset.users:
             self._user_locations[uid] = [
                 post.location for post in dataset.posts_of(uid)]
+        self._planner = Planner()
 
-    def _matches(self, words: Tuple[str, ...], query: TkLUSQuery) -> int:
-        """``|q.W ∩ p.W|`` under the bag model; 0 when the semantics
-        reject the post."""
-        bag: Dict[str, int] = {}
-        for word in words:
-            bag[word] = bag.get(word, 0) + 1
-        present = [keyword for keyword in query.keywords if bag.get(keyword)]
-        if not present:
-            return 0
-        if query.semantics is Semantics.AND and len(present) != len(query.keywords):
-            return 0
-        return sum(bag[keyword] for keyword in present)
+    def plan_for(self, query: TkLUSQuery, method: str = "sum"):
+        """The physical (full-scan) plan for ``query``."""
+        return self._planner.plan_for_query(method, query, scan=True)
 
     def _rank(self, query: TkLUSQuery, aggregate: str) -> QueryResult:
-        start = time.perf_counter()
-        stats = QueryStats()
-        keyword_parts: Dict[int, float] = {}
-        window = query.temporal.window
-        recency = query.temporal.recency
-        reference = 0
-        if recency is not None:
-            reference = recency.resolve_reference(
-                max(self.dataset.posts) if self.dataset.posts else 0)
-        for post in self.dataset.posts.values():
-            if not window.contains(post.sid):
-                continue
-            match_count = self._matches(post.words, query)
-            if match_count == 0:
-                continue
-            stats.candidates += 1
-            if self.metric(query.location, post.location) > query.radius_km:
-                continue
-            stats.candidates_in_radius += 1
-            popularity = self.threads.popularity(post.sid)
-            stats.threads_built += 1
-            relevance = (match_count / self.config.keyword_normalizer
-                         ) * popularity
-            if recency is not None:
-                relevance *= recency.weight(post.sid, reference)
-            if aggregate == "sum":
-                keyword_parts[post.uid] = keyword_parts.get(post.uid, 0.0) + relevance
-            else:
-                keyword_parts[post.uid] = max(
-                    keyword_parts.get(post.uid, 0.0), relevance)
-
-        scored = []
-        for uid, keyword_part in keyword_parts.items():
-            distance_part = user_distance_score(
-                self._user_locations[uid], query.location,
-                query.radius_km, self.metric)
-            scored.append((uid, user_score(keyword_part, distance_part,
-                                           self.config)))
-        scored.sort(key=lambda item: (-item[1], item[0]))
-        stats.elapsed_seconds = time.perf_counter() - start
-        return QueryResult(users=scored[:query.k], stats=stats)
+        ctx = QueryContext.for_dataset(
+            query, config=self.config, metric=self.metric,
+            dataset=self.dataset, threads=self.threads,
+            user_locations=self._user_locations)
+        return run_plan(self.plan_for(query, aggregate), ctx)
 
     def search_sum(self, query: TkLUSQuery) -> QueryResult:
         """Exact sum-score ranking (Definitions 7 + 10 over in-radius

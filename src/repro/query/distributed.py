@@ -3,18 +3,19 @@
 The paper's index is distributed, and its layout argument (Section
 IV-B1) is about query-time data locality: a query's cover cells should
 live on few machines.  This module completes that story with a
-scatter-gather executor:
+scatter-gather executor built from the same physical operators as the
+single-node paths:
 
-* the circle cover is split by **partition ownership** — each cover
-  cell maps (via the forward index) to the part file, and hence the
-  "query server", that owns its postings;
-* each involved server retrieves and scores its own candidates in
-  parallel (a thread per server, simulating per-node execution), doing
-  candidate retrieval, distance filtering and thread scoring locally;
-* the coordinator merges per-server partial aggregates into the final
-  user ranking (sum scores add across servers; max scores take the
-  maximum), computes the per-user distance part once, and returns the
-  top-k.
+* ``PartitionRoute`` splits the circle cover by **partition ownership**
+  — each cover cell maps (via the postings source's ``owner_of``) to the
+  part file, and hence the "query server", that owns its postings;
+* ``ScatterGather`` runs the retrieval-and-score server sub-plan per
+  involved server in parallel (a thread per server, simulating per-node
+  execution) over per-worker child contexts, then merges the per-server
+  partial aggregates (sum scores add across servers; max scores take the
+  maximum);
+* the coordinator's ``Rank`` computes the per-user distance part once
+  and returns the top-k.
 
 The executor is answer-identical to the single-node processors (tested)
 and reports scatter width (servers involved) per query — small under
@@ -24,36 +25,18 @@ geohash range partitioning, large under hash partitioning.
 from __future__ import annotations
 
 import threading
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from ..core.model import TkLUSQuery
-from ..core.scoring import ScoringConfig, user_distance_score, user_score
+from ..core.scoring import ScoringConfig
 from ..core.thread import ThreadBuilder
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.hybrid import HybridIndex
 from ..storage.metadata import MetadataDatabase
-from .results import QueryResult, QueryStats
-from .semantics import candidates_from_postings
+from .pipeline import Planner, QueryContext, run_plan
+from .results import QueryResult, ScatterStats
 
-
-@dataclass
-class ScatterStats(QueryStats):
-    """Query stats extended with scatter-gather shape."""
-
-    servers_involved: int = 0
-    partial_results: int = 0
-
-
-@dataclass
-class _PartialAggregate:
-    """One server's contribution: per-user keyword score parts."""
-
-    keyword_parts: Dict[int, float] = field(default_factory=dict)
-    candidates: int = 0
-    candidates_in_radius: int = 0
+__all__ = ["DistributedExecutor", "ScatterStats"]
 
 
 class DistributedExecutor:
@@ -66,13 +49,13 @@ class DistributedExecutor:
 
     def __init__(self, index: HybridIndex, database: MetadataDatabase,
                  thread_builder: ThreadBuilder,
-                 config: ScoringConfig = ScoringConfig(),
+                 config: Optional[ScoringConfig] = None,
                  metric: Metric = DEFAULT_METRIC,
                  max_workers: int = 4) -> None:
         self.index = index
         self.database = database
         self.threads = thread_builder
-        self.config = config
+        self.config = config if config is not None else ScoringConfig()
         self.metric = metric
         self.max_workers = max_workers
         # Tweet metadata lives in a centralized database (Figure 3); the
@@ -80,108 +63,18 @@ class DistributedExecutor:
         # server tasks serialise their metadata accesses through this
         # lock.  Postings retrieval and intersection stay parallel.
         self._db_lock = threading.Lock()
+        self._planner = Planner(max_workers=max_workers)
 
-    # -- partition routing ----------------------------------------------------
-
-    def _cells_by_server(self, cells: List[str],
-                         terms: List[str]) -> Dict[str, List[str]]:
-        """Group cover cells by the part file (server) owning their
-        postings.  Cells with no indexed postings for any query term are
-        dropped here, before any server is involved."""
-        by_server: Dict[str, List[str]] = {}
-        for cell in cells:
-            owner: Optional[str] = None
-            for term in terms:
-                ref = self.index.forward.lookup(cell, term)
-                if ref is not None:
-                    owner = ref.path
-                    break
-            if owner is not None:
-                by_server.setdefault(owner, []).append(cell)
-        return by_server
-
-    # -- per-server work --------------------------------------------------------
-
-    def _server_task(self, cells: List[str], terms: List[str],
-                     query: TkLUSQuery, aggregate: str) -> _PartialAggregate:
-        partial = _PartialAggregate()
-        per_cell = self.index.postings_for_query(cells, terms)
-        from .semantics import clip_per_cell
-        per_cell = clip_per_cell(per_cell, query.temporal.window)
-        candidates = candidates_from_postings(per_cell, terms,
-                                              query.semantics)
-        partial.candidates = len(candidates)
-        recency = query.temporal.recency
-        reference = (recency.resolve_reference(self.database.max_sid)
-                     if recency is not None else 0)
-        for candidate in candidates:
-            with self._db_lock:
-                record = self.database.get(candidate.tid)
-            if record is None:
-                continue
-            distance = self.metric(query.location, (record.lat, record.lon))
-            if distance > query.radius_km:
-                continue
-            partial.candidates_in_radius += 1
-            with self._db_lock:
-                popularity = self.threads.popularity(candidate.tid)
-            relevance = (candidate.match_count
-                         / self.config.keyword_normalizer) * popularity
-            if recency is not None:
-                relevance *= recency.weight(candidate.tid, reference)
-            if aggregate == "sum":
-                partial.keyword_parts[record.uid] = (
-                    partial.keyword_parts.get(record.uid, 0.0) + relevance)
-            else:
-                partial.keyword_parts[record.uid] = max(
-                    partial.keyword_parts.get(record.uid, 0.0), relevance)
-        return partial
-
-    # -- coordinator -------------------------------------------------------------
+    def plan_for(self, query: TkLUSQuery, aggregate: str = "sum"):
+        """The physical (scatter-gather) plan for ``query``."""
+        return self._planner.plan_for_query(aggregate, query,
+                                            distributed=True)
 
     def search(self, query: TkLUSQuery, aggregate: str = "sum") -> QueryResult:
         if aggregate not in ("sum", "max"):
             raise ValueError(f"aggregate must be 'sum' or 'max': {aggregate!r}")
-        start = time.perf_counter()
-        stats = ScatterStats()
-
-        terms = sorted(query.keywords)
-        cells = self.index.cover(query.location, query.radius_km, self.metric)
-        stats.cells_covered = len(cells)
-        by_server = self._cells_by_server(cells, terms)
-        stats.servers_involved = len(by_server)
-
-        if not by_server:
-            stats.elapsed_seconds = time.perf_counter() - start
-            return QueryResult(users=[], stats=stats)
-
-        with ThreadPoolExecutor(
-                max_workers=min(self.max_workers, len(by_server))) as pool:
-            partials = list(pool.map(
-                lambda item: self._server_task(item[1], terms, query,
-                                               aggregate),
-                sorted(by_server.items())))
-        stats.partial_results = len(partials)
-
-        # Gather: merge per-user keyword parts across servers.
-        merged: Dict[int, float] = {}
-        for partial in partials:
-            stats.candidates += partial.candidates
-            stats.candidates_in_radius += partial.candidates_in_radius
-            for uid, part in partial.keyword_parts.items():
-                if aggregate == "sum":
-                    merged[uid] = merged.get(uid, 0.0) + part
-                else:
-                    merged[uid] = max(merged.get(uid, 0.0), part)
-
-        scored: List[Tuple[int, float]] = []
-        for uid, keyword_part in merged.items():
-            posts = self.database.posts_of_user(uid)
-            locations = [(record.lat, record.lon) for record in posts]
-            distance_part = user_distance_score(
-                locations, query.location, query.radius_km, self.metric)
-            scored.append((uid, user_score(keyword_part, distance_part,
-                                           self.config)))
-        scored.sort(key=lambda item: (-item[1], item[0]))
-        stats.elapsed_seconds = time.perf_counter() - start
-        return QueryResult(users=scored[:query.k], stats=stats)
+        ctx = QueryContext.for_database(
+            query, config=self.config, metric=self.metric, source=self.index,
+            database=self.database, threads=self.threads,
+            stats=ScatterStats(), lock=self._db_lock)
+        return run_plan(self.plan_for(query, aggregate), ctx)

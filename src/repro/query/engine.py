@@ -178,6 +178,13 @@ class TkLUSEngine:
                                      self.metric, use_pruning=False)
         raise ValueError(f"unknown ranking method {method!r}")
 
+    def explain_plan(self, query: TkLUSQuery, method: str = "max",
+                     use_pruning: bool = True) -> str:
+        """Render the physical operator plan this engine would execute
+        for ``query`` (what ``repro explain`` prints)."""
+        processor = self.processor(method, use_pruning)
+        return processor.plan_for(query).describe()
+
     def index_report(self) -> dict:
         """Sizes and build facts for the index experiments (Figs 5-6)."""
         return {

@@ -96,13 +96,13 @@ class Explainer:
     """Builds :class:`UserExplanation` objects against a dataset."""
 
     def __init__(self, dataset: Dataset,
-                 config: ScoringConfig = ScoringConfig(),
+                 config: Optional[ScoringConfig] = None,
                  metric: Metric = DEFAULT_METRIC, depth: int = 6) -> None:
         self.dataset = dataset
-        self.config = config
+        self.config = config if config is not None else ScoringConfig()
         self.metric = metric
         self.threads = DatasetThreadBuilder(dataset, depth=depth,
-                                            epsilon=config.epsilon)
+                                            epsilon=self.config.epsilon)
 
     def explain(self, query: TkLUSQuery, uid: int) -> UserExplanation:
         """Decompose ``uid``'s score for ``query``."""

@@ -7,15 +7,16 @@ involving different social networks."
 
 :class:`FederatedEngine` wraps several per-platform engines (each with
 its own corpus, index and user-id space) and answers one TkLUS query
-against all of them:
+against all of them via a two-operator plan:
 
-* each platform runs the query locally (its own index, bounds, thread
-  builder);
-* per-platform scores are optionally normalised (platforms differ in
-  thread-size distributions, so raw keyword scores are not directly
-  comparable — min-max normalisation within each platform's result list
-  puts them on a shared [0, 1] scale);
-* results merge into a single top-k of ``(platform, uid)`` pairs.
+* ``PlatformSearch`` runs the query locally on every platform (its own
+  index, bounds, thread builder);
+* ``FederatedMerge`` optionally normalises per-platform scores
+  (platforms differ in thread-size distributions, so raw keyword scores
+  are not directly comparable — min-max normalisation within each
+  platform's result list puts them on a shared [0, 1] scale), applies
+  platform weights, and merges into a single top-k of
+  ``(platform, uid)`` pairs.
 
 User identities never collide across platforms: results carry the
 platform name alongside the platform-local uid.
@@ -29,6 +30,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.model import TkLUSQuery
 from .engine import TkLUSEngine
+from .pipeline import PhysicalOperator, PhysicalPlan, QueryContext
 from .results import QueryStats
 
 
@@ -67,6 +69,87 @@ def _min_max_normalise(scores: List[float]) -> List[float]:
     return [(score - lo) / (hi - lo) for score in scores]
 
 
+class PlatformSearchOp(PhysicalOperator):
+    """Fan the query out to every platform engine (sorted platform
+    order), each platform contributing its local top
+    ``per_platform_k``."""
+
+    name = "PlatformSearch"
+    paper_lines = "Section VIII (cross-platform future work)"
+
+    def __init__(self, federation: Optional["FederatedEngine"],
+                 method: str) -> None:
+        # ``federation=None`` builds a describe-only plan template (the
+        # CLI's plan view); executing it requires a real federation.
+        self.federation = federation
+        self.method = method
+
+    def run(self, ctx: QueryContext) -> None:
+        assert self.federation is not None, \
+            "this plan is a describe-only template"
+        query = ctx.query
+        per_platform_k = ctx.params.get("per_platform_k")
+        contribution_k = (per_platform_k if per_platform_k is not None
+                          else query.k)
+        for name in sorted(self.federation.platforms):
+            engine = self.federation.platforms[name]
+            local_query = TkLUSQuery(
+                location=query.location, radius_km=query.radius_km,
+                keywords=query.keywords, k=contribution_k,
+                semantics=query.semantics, temporal=query.temporal)
+            ctx.platform_results[name] = engine.search(local_query,
+                                                       method=self.method)
+
+    def describe(self) -> str:
+        platforms = ("..." if self.federation is None
+                     else ",".join(sorted(self.federation.platforms)))
+        return (f"PlatformSearch(method={self.method}, "
+                f"platforms=[{platforms}])")
+
+
+class FederatedMergeOp(PhysicalOperator):
+    """Normalise, weight and merge per-platform rankings into the final
+    federated top-k (ties break by platform name, then uid)."""
+
+    name = "FederatedMerge"
+    paper_lines = "Section VIII (cross-platform future work)"
+
+    def __init__(self, federation: Optional["FederatedEngine"]) -> None:
+        self.federation = federation
+
+    def run(self, ctx: QueryContext) -> None:
+        assert self.federation is not None, \
+            "this plan is a describe-only template"
+        merged: List[FederatedUser] = []
+        for name in sorted(ctx.platform_results):
+            result = ctx.platform_results[name]
+            scores = [score for _uid, score in result.users]
+            if self.federation.normalise:
+                scores = _min_max_normalise(scores)
+            weight = self.federation.platform_weights.get(name, 1.0)
+            for (uid, _raw), score in zip(result.users, scores):
+                merged.append(FederatedUser(name, uid, weight * score))
+        merged.sort(key=lambda user: (-user.score, user.platform, user.uid))
+        ctx.federated_users = merged[:ctx.query.k]
+
+    def describe(self) -> str:
+        if self.federation is None:
+            return "FederatedMerge(normalise=min-max [0,1], top-k)"
+        mode = "min-max [0,1]" if self.federation.normalise else "raw"
+        weighted = "weighted" if self.federation.platform_weights else "unweighted"
+        return f"FederatedMerge(normalise={mode}, {weighted}, top-k)"
+
+
+def federated_plan(method: str = "max",
+                   federation: Optional["FederatedEngine"] = None
+                   ) -> PhysicalPlan:
+    """The two-stage federated plan.  Without a ``federation`` the plan
+    is a describe-only template (for the CLI's plan view)."""
+    return PhysicalPlan(
+        f"federated, method={method}",
+        (PlatformSearchOp(federation, method), FederatedMergeOp(federation)))
+
+
 class FederatedEngine:
     """A federation of named per-platform TkLUS engines."""
 
@@ -83,6 +166,7 @@ class FederatedEngine:
                 raise ValueError(f"weight for unknown platform {name!r}")
             if weight <= 0:
                 raise ValueError(f"platform weight must be positive: {weight}")
+        self._plans: Dict[str, PhysicalPlan] = {}
 
     def add_platform(self, name: str, engine: TkLUSEngine,
                      weight: float = 1.0) -> None:
@@ -93,6 +177,14 @@ class FederatedEngine:
         self.platforms[name] = engine
         self.platform_weights[name] = weight
 
+    def plan_for(self, method: str = "max") -> PhysicalPlan:
+        """The federated fan-out/merge plan (memoised per method)."""
+        plan = self._plans.get(method)
+        if plan is None:
+            plan = federated_plan(method, self)
+            self._plans[method] = plan
+        return plan
+
     def search(self, query: TkLUSQuery, method: str = "max",
                per_platform_k: Optional[int] = None) -> FederatedResult:
         """Run the query on every platform and merge the top-k.
@@ -102,24 +194,11 @@ class FederatedEngine:
         top-k regardless of how the merge falls out).
         """
         start = time.perf_counter()
-        contribution_k = per_platform_k if per_platform_k is not None else query.k
-        merged: List[FederatedUser] = []
-        stats: Dict[str, QueryStats] = {}
-        for name in sorted(self.platforms):
-            engine = self.platforms[name]
-            local_query = TkLUSQuery(
-                location=query.location, radius_km=query.radius_km,
-                keywords=query.keywords, k=contribution_k,
-                semantics=query.semantics, temporal=query.temporal)
-            result = engine.search(local_query, method=method)
-            stats[name] = result.stats
-            scores = [score for _uid, score in result.users]
-            if self.normalise:
-                scores = _min_max_normalise(scores)
-            weight = self.platform_weights.get(name, 1.0)
-            for (uid, _raw), score in zip(result.users, scores):
-                merged.append(FederatedUser(name, uid, weight * score))
-        merged.sort(key=lambda user: (-user.score, user.platform, user.uid))
-        return FederatedResult(users=merged[:query.k],
+        ctx = QueryContext(query=query,
+                           params={"per_platform_k": per_platform_k})
+        self.plan_for(method).execute(ctx)
+        stats = {name: result.stats
+                 for name, result in ctx.platform_results.items()}
+        return FederatedResult(users=ctx.federated_users,
                                per_platform_stats=stats,
                                elapsed_seconds=time.perf_counter() - start)

@@ -1,36 +1,38 @@
 """Algorithm 5: query processing for maximum-score based user ranking
 with upper-bound pruning.
 
-Identical candidate retrieval to Algorithm 4; the scoring loop instead
-maintains a top-k priority queue and, before constructing a candidate's
-tweet thread (the I/O bottleneck, Section V-B), checks whether even an
-*overestimated* user score — Definition 11's popularity bound combined
-with the maximum distance score of 1 — could beat the current k-th best.
-If not, thread construction is skipped (lines 18-19).
+Identical candidate retrieval to Algorithm 4 (the plans share their
+``Cover -> PostingsFetch -> CandidateForm -> RadiusFilter`` prefix); the
+scoring stage instead runs in ranked mode — it maintains a top-k
+priority queue and, before constructing a candidate's tweet thread (the
+I/O bottleneck, Section V-B), checks whether even an *overestimated*
+user score — Definition 11's popularity bound combined with the maximum
+distance score of 1 — could beat the current k-th best.  If not, thread
+construction is skipped (lines 18-19).
 
-The popularity bound comes from a :class:`~repro.query.bounds.BoundsManager`:
-the global ``t_m`` bound, or the tighter pre-computed per-keyword bound
-when every relevant query keyword is hot (Section VI-B5's AND=min /
-OR=max combination).
+The popularity bound comes from a
+:class:`~repro.query.bounds.BoundsManager`: the global ``t_m`` bound, or
+the tighter pre-computed per-keyword bound when every relevant query
+keyword is hot (Section VI-B5's AND=min / OR=max combination).  The
+``BoundsPrune`` operator resolves the bound per query; omitting it
+(``use_pruning=False``) gives the exhaustive ablation run, which must
+agree with the pruned run.
 """
 
 from __future__ import annotations
 
-import time
+from typing import Optional
 
-from .. import obs
 from ..core.model import TkLUSQuery
-from ..core.scoring import ScoringConfig, user_distance_score, user_score
+from ..core.scoring import ScoringConfig
 from ..core.thread import ThreadBuilder
-from ..geo.cover import cover_cells_fully_inside
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.hybrid import HybridIndex
 from ..storage.metadata import MetadataDatabase
 from .bounds import BoundsManager
+from .pipeline import Planner, QueryContext, run_plan
 from .profiling import ProfileRecorder
-from .results import QueryResult, QueryStats
-from .semantics import candidates_from_postings, clip_per_cell
-from .topk import TopKUserQueue
+from .results import QueryResult
 
 
 class MaxScoreProcessor:
@@ -43,7 +45,7 @@ class MaxScoreProcessor:
 
     def __init__(self, index: HybridIndex, database: MetadataDatabase,
                  thread_builder: ThreadBuilder, bounds: BoundsManager,
-                 config: ScoringConfig = ScoringConfig(),
+                 config: Optional[ScoringConfig] = None,
                  metric: Metric = DEFAULT_METRIC,
                  use_pruning: bool = True,
                  tighten_distance_bound: bool = True,
@@ -52,7 +54,7 @@ class MaxScoreProcessor:
         self.database = database
         self.threads = thread_builder
         self.bounds = bounds
-        self.config = config
+        self.config = config if config is not None else ScoringConfig()
         self.metric = metric
         self.use_pruning = use_pruning
         # Sound refinement beyond the paper's bound: once a candidate
@@ -64,144 +66,20 @@ class MaxScoreProcessor:
         # See SumScoreProcessor: fully-inside cover cells skip the
         # per-tweet distance check (answer-preserving).
         self.use_cell_containment = use_cell_containment
+        self._planner = Planner(
+            use_cell_containment=use_cell_containment,
+            tighten_distance_bound=tighten_distance_bound)
 
-    def _upper_bound_score(self, query: TkLUSQuery, match_count: int,
-                           known_distance_part: float = 1.0) -> float:
-        """Line 18's ``UpperBound``: overestimate of any user score this
-        candidate could produce.  ``known_distance_part`` is 1 (the
-        maximum distance score) unless the candidate's user already has a
-        computed delta(u, q)."""
-        popularity_bound = self.bounds.bound_for_query(
-            query.keywords, query.semantics)
-        keyword_bound = (match_count / self.config.keyword_normalizer
-                         ) * popularity_bound
-        return (self.config.alpha * keyword_bound
-                + (1.0 - self.config.alpha) * known_distance_part)
-
-    def _distance_part(self, uid: int, query: TkLUSQuery) -> float:
-        posts = self.database.posts_of_user(uid)
-        locations = [(record.lat, record.lon) for record in posts]
-        return user_distance_score(locations, query.location,
-                                   query.radius_km, self.metric)
+    def plan_for(self, query: TkLUSQuery):
+        """The physical plan this processor would run for ``query``."""
+        return self._planner.plan_for_query("max", query,
+                                            pruning=self.use_pruning)
 
     def search(self, query: TkLUSQuery) -> QueryResult:
-        start = time.perf_counter()
-        stats = QueryStats()
         recorder = ProfileRecorder(self.database, self.index, query, "max")
-        profile = recorder.profile
-
-        # Which bound family serves this query — every pruning decision
-        # below is attributed to it (the Fig 12 ledger).
-        bound_source = "none"
-        if self.use_pruning:
-            bound_source = self.bounds.bound_source(query.keywords,
-                                                    query.semantics)
-        profile.bound_source = bound_source
-
-        with obs.trace("query.search", method="max",
-                       semantics=query.semantics.value, k=query.k,
-                       radius_km=query.radius_km):
-            terms = sorted(query.keywords)
-            with obs.trace("query.cover") as cover_span:
-                cells = self.index.cover(query.location, query.radius_km,
-                                         self.metric)
-                cover_span.set(cells=len(cells))
-            stats.cells_covered = len(cells)
-
-            fetched_before = self.index.stats.postings_fetches
-            per_cell = self.index.postings_for_query(cells, terms)
-            stats.postings_lists_fetched = (
-                self.index.stats.postings_fetches - fetched_before)
-
-            per_cell = clip_per_cell(per_cell, query.temporal.window)
-            candidates = candidates_from_postings(per_cell, terms,
-                                                  query.semantics)
-            stats.candidates = len(candidates)
-
-            recency = query.temporal.recency
-            reference = 0
-            if recency is not None:
-                reference = recency.resolve_reference(self.database.max_sid)
-
-            inside_cells = set()
-            if self.use_cell_containment:
-                inside, _boundary = cover_cells_fully_inside(
-                    query.location, query.radius_km,
-                    self.index.geohash_length, self.metric)
-                inside_cells = set(inside)
-
-            queue = TopKUserQueue(query.k)
-            distance_parts = {}  # uid -> delta(u, q), computed once per user
-
-            threads_before = self.threads.threads_built
-            with obs.trace("query.score", candidates=len(candidates)):
-                for candidate in candidates:
-                    record = self.database.get(candidate.tid)
-                    if record is None:
-                        continue
-                    if candidate.cell in inside_cells:
-                        stats.distance_checks_skipped += 1
-                    else:
-                        distance = self.metric(query.location,
-                                               (record.lat, record.lon))
-                        if distance > query.radius_km:
-                            continue
-                    stats.candidates_in_radius += 1
-
-                    # Lines 18-19: prune before paying for thread
-                    # construction.
-                    if self.use_pruning and queue.full:
-                        known = 1.0
-                        if self.tighten_distance_bound:
-                            known = distance_parts.get(record.uid, 1.0)
-                        bound = self._upper_bound_score(
-                            query, candidate.match_count, known)
-                        if bound < queue.peek():
-                            stats.threads_pruned += 1
-                            self._count_pruned(profile, bound_source)
-                            obs.event("query.prune", tid=candidate.tid,
-                                      uid=record.uid, source=bound_source)
-                            continue
-                        # A user's own score can also make their remaining
-                        # tweets irrelevant, independent of the queue
-                        # threshold.
-                        own = queue.score_of(record.uid)
-                        if own is not None and bound <= own:
-                            stats.threads_pruned += 1
-                            self._count_pruned(profile, bound_source)
-                            obs.event("query.prune", tid=candidate.tid,
-                                      uid=record.uid, source=bound_source)
-                            continue
-
-                    popularity = self.threads.popularity(candidate.tid)
-                    relevance = (candidate.match_count
-                                 / self.config.keyword_normalizer) * popularity
-                    # Recency weight <= 1, so the pruning bound above
-                    # (which omits it) remains a sound over-estimate.
-                    if recency is not None:
-                        relevance *= recency.weight(candidate.tid, reference)
-                    uid = record.uid
-                    if uid not in distance_parts:
-                        distance_parts[uid] = self._distance_part(uid, query)
-                    score = user_score(relevance, distance_parts[uid],
-                                       self.config)
-                    queue.offer(uid, score)
-                    profile.users_scored += 1
-
-            stats.threads_built = self.threads.threads_built - threads_before
-            stats.elapsed_seconds = time.perf_counter() - start
-            stats.io_delta = recorder.io_delta_pages()
-
-        profile.cells_covered = stats.cells_covered
-        profile.candidates = stats.candidates
-        profile.candidate_users = stats.candidates_in_radius
-        profile.threads_built = stats.threads_built
-        recorder.finish(stats.elapsed_seconds)
-        return QueryResult(users=queue.ranked(), stats=stats, profile=profile)
-
-    @staticmethod
-    def _count_pruned(profile, bound_source: str) -> None:
-        if bound_source == "hot":
-            profile.users_pruned_hot += 1
-        else:
-            profile.users_pruned_global += 1
+        ctx = QueryContext.for_database(
+            query, config=self.config, metric=self.metric, source=self.index,
+            database=self.database, threads=self.threads, bounds=self.bounds,
+            profile=recorder.profile)
+        return run_plan(self.plan_for(query), ctx, method="max",
+                        recorder=recorder)

@@ -1,0 +1,560 @@
+"""Physical operators for TkLUS query plans.
+
+Each operator implements one stage of the paper's Algorithms 4/5 (the
+line references below follow the paper's numbering) plus the extensions
+this reproduction has accumulated (temporal clipping, cell containment,
+scatter-gather).  Operators are **stateless between queries**: every
+per-query value lives in the :class:`~.context.QueryContext`, so one
+operator instance — and therefore one cached plan — serves any number of
+concurrent queries.
+
+The pipeline shape shared by every execution path::
+
+    Cover -> PostingsFetch -> TemporalClip -> CandidateForm
+          -> RadiusFilter -> [BoundsPrune] -> ThreadScore
+          -> Rank -> TopK
+
+with ``DatasetScan`` replacing the first four stages for the index-free
+brute-force plan and ``PartitionRoute``/``ScatterGather`` wrapping the
+middle stages for distributed execution.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ... import obs
+from ...core.scoring import user_distance_score, user_score
+from ...geo.cover import cover_cells_fully_inside
+from ..results import ScatterStats
+from ..semantics import Candidate, candidates_from_postings, clip_per_cell
+from ..topk import TopKUserQueue
+from .context import QueryContext
+
+
+class PhysicalOperator:
+    """Base class: a named, explainable pipeline stage."""
+
+    #: stable operator name used in plan renderings
+    name: str = "Op"
+    #: which lines of the paper's Algorithms 4/5 this stage implements
+    paper_lines: str = ""
+
+    def run(self, ctx: QueryContext) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line summary of the configured behaviour."""
+        return self.name
+
+    def children(self) -> Sequence[object]:
+        """Nested sub-plans (scatter-gather workers, platform fan-out)."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class CoverOp(PhysicalOperator):
+    """Line 1: the circle cover at the source's geohash length."""
+
+    name = "Cover"
+    paper_lines = "Alg 4/5 line 1"
+
+    def run(self, ctx: QueryContext) -> None:
+        query = ctx.query
+        assert ctx.source is not None, "CoverOp needs a postings source"
+        with obs.trace("query.cover") as span:
+            cells = ctx.source.cover(query.location, query.radius_km,
+                                     ctx.metric)
+            span.set(cells=len(cells))
+        ctx.cells = cells
+        ctx.stats.cells_covered = len(cells)
+
+    def describe(self) -> str:
+        return "Cover(GeoHashCircleQuery at index geohash length)"
+
+
+class PostingsFetchOp(PhysicalOperator):
+    """Lines 4-7: fetch postings per ``(cell, term)`` via PostingsSource."""
+
+    name = "PostingsFetch"
+    paper_lines = "Alg 4/5 lines 4-7"
+
+    def __init__(self, track_fetches: bool = True) -> None:
+        # Fetch accounting reads a source-wide counter, which is only
+        # meaningful single-threaded; scatter-gather workers disable it.
+        self.track_fetches = track_fetches
+
+    def run(self, ctx: QueryContext) -> None:
+        source = ctx.source
+        assert source is not None, "PostingsFetchOp needs a postings source"
+        before = source.postings_fetch_count() if self.track_fetches else 0
+        ctx.per_cell = source.postings_for_query(ctx.cells, ctx.terms)
+        if self.track_fetches:
+            ctx.stats.postings_lists_fetched = (
+                source.postings_fetch_count() - before)
+
+    def describe(self) -> str:
+        return "PostingsFetch(source=PostingsSource, group by cell, term)"
+
+
+class TemporalClipOp(PhysicalOperator):
+    """Temporal TkLUS: clip postings to the window, resolve the recency
+    reference (tweet ids are timestamps, so clipping is two binary
+    searches per list)."""
+
+    name = "TemporalClip"
+    paper_lines = "Section VIII (temporal extension)"
+
+    def run(self, ctx: QueryContext) -> None:
+        temporal = ctx.query.temporal
+        if ctx.per_cell is not None:
+            ctx.per_cell = clip_per_cell(ctx.per_cell, temporal.window)
+        recency = temporal.recency
+        if recency is not None:
+            ctx.recency_reference = recency.resolve_reference(ctx.max_sid())
+
+    def describe(self) -> str:
+        return "TemporalClip(window clip + recency reference)"
+
+
+class CandidateFormOp(PhysicalOperator):
+    """Lines 8-14: AND intersection / OR union into the candidate list."""
+
+    name = "CandidateForm"
+    paper_lines = "Alg 4/5 lines 8-14"
+
+    def __init__(self, semantics=None) -> None:
+        # None = take the semantics from the query at run time.
+        self.semantics = semantics
+
+    def run(self, ctx: QueryContext) -> None:
+        assert ctx.per_cell is not None, "CandidateFormOp needs postings"
+        semantics = self.semantics or ctx.query.semantics
+        ctx.candidates = candidates_from_postings(ctx.per_cell, ctx.terms,
+                                                  semantics)
+        ctx.stats.candidates = len(ctx.candidates)
+
+    def describe(self) -> str:
+        which = self.semantics.value if self.semantics else "from query"
+        return f"CandidateForm(semantics={which})"
+
+
+class DatasetScanOp(PhysicalOperator):
+    """Index-free candidate formation: full scan of the dataset (the
+    Section II-B "definitely inefficient" comparison point).  Applies the
+    time window, the keyword bag match and the AND/OR semantics; replaces
+    Cover + PostingsFetch + TemporalClip's clipping + CandidateForm."""
+
+    name = "DatasetScan"
+    paper_lines = "Section II-B (unindexed baseline)"
+
+    def run(self, ctx: QueryContext) -> None:
+        query = ctx.query
+        window = query.temporal.window
+        keywords = query.keywords
+        want_all = query.semantics.name == "AND"
+        candidates: List[Candidate] = []
+        for post in ctx.dataset.posts.values():
+            if not window.contains(post.sid):
+                continue
+            bag: Dict[str, int] = {}
+            for word in post.words:
+                bag[word] = bag.get(word, 0) + 1
+            present = [keyword for keyword in keywords if bag.get(keyword)]
+            if not present:
+                continue
+            if want_all and len(present) != len(keywords):
+                continue
+            match_count = sum(bag[keyword] for keyword in present)
+            candidates.append(Candidate(post.sid, match_count, len(present)))
+        ctx.candidates = candidates
+        ctx.stats.candidates = len(candidates)
+
+    def describe(self) -> str:
+        return "DatasetScan(full scan, window + bag match + semantics)"
+
+
+class RadiusFilterOp(PhysicalOperator):
+    """Line 16's distance check, with the cell-containment shortcut: a
+    cover cell lying entirely inside the query circle cannot contain an
+    out-of-radius tweet, so its candidates skip the per-tweet distance
+    check (answer-preserving by construction).  Resolves each surviving
+    candidate's ``(uid, lat, lon)`` for the scoring stages."""
+
+    name = "RadiusFilter"
+    paper_lines = "Alg 4/5 line 16"
+
+    def __init__(self, use_cell_containment: bool = True) -> None:
+        self.use_cell_containment = use_cell_containment
+
+    def run(self, ctx: QueryContext) -> None:
+        query = ctx.query
+        stats = ctx.stats
+        resolve = ctx.resolve
+        assert resolve is not None, "RadiusFilterOp needs a resolver"
+        inside_cells = frozenset()
+        if self.use_cell_containment and ctx.source is not None:
+            inside, _boundary = cover_cells_fully_inside(
+                query.location, query.radius_km,
+                ctx.source.geohash_length, ctx.metric)
+            inside_cells = frozenset(inside)
+        lock = ctx.lock
+        metric = ctx.metric
+        location = query.location
+        radius_km = query.radius_km
+        in_radius: List[Tuple[Candidate, int, float, float]] = []
+        for candidate in ctx.candidates:
+            if lock is None:
+                resolved = resolve(candidate.tid)
+            else:
+                with lock:
+                    resolved = resolve(candidate.tid)
+            if resolved is None:
+                continue
+            uid, lat, lon = resolved
+            if candidate.cell in inside_cells:
+                stats.distance_checks_skipped += 1
+            elif metric(location, (lat, lon)) > radius_km:
+                continue  # boundary cell false positive (line 16)
+            stats.candidates_in_radius += 1
+            ctx.candidate_uids.add(uid)
+            in_radius.append((candidate, uid, lat, lon))
+        ctx.in_radius = in_radius
+
+    def describe(self) -> str:
+        shortcut = "on" if self.use_cell_containment else "off"
+        return f"RadiusFilter(cell_containment={shortcut})"
+
+
+class _QueryPruner:
+    """Per-query pruning state installed by :class:`BoundsPruneOp`: the
+    Definition 11 popularity bound resolved for this query's keywords,
+    and the ledger attribution of every pruning decision."""
+
+    __slots__ = ("source", "popularity_bound", "tighten_distance_bound")
+
+    def __init__(self, source: str, popularity_bound: float,
+                 tighten_distance_bound: bool) -> None:
+        self.source = source
+        self.popularity_bound = popularity_bound
+        self.tighten_distance_bound = tighten_distance_bound
+
+    def upper_bound(self, ctx: QueryContext, match_count: int,
+                    known_distance_part: float) -> float:
+        """Line 18's ``UpperBound``: overestimate of any user score this
+        candidate could produce."""
+        config = ctx.config
+        keyword_bound = (match_count / config.keyword_normalizer
+                         ) * self.popularity_bound
+        return (config.alpha * keyword_bound
+                + (1.0 - config.alpha) * known_distance_part)
+
+    def count_pruned(self, ctx: QueryContext) -> None:
+        ctx.stats.threads_pruned += 1
+        profile = ctx.profile
+        if profile is not None:
+            if self.source == "hot":
+                profile.users_pruned_hot += 1
+            else:
+                profile.users_pruned_global += 1
+
+
+class BoundsPruneOp(PhysicalOperator):
+    """Lines 18-19's pruning precondition: resolve which bound family
+    (global ``t_m`` vs pre-computed hot-keyword, Section VI-B5's AND=min
+    / OR=max combination) serves this query and install the pruning
+    predicate that :class:`ThreadScoreOp` consults per candidate.  Omit
+    this operator for the no-pruning ablation."""
+
+    name = "BoundsPrune"
+    paper_lines = "Alg 5 lines 18-19; Def 11; Section VI-B5"
+
+    def __init__(self, tighten_distance_bound: bool = True) -> None:
+        # Sound refinement beyond the paper's bound: once a candidate
+        # user's distance score delta(u, q) has been computed for this
+        # query, later candidates of the same user can use it in place
+        # of the maximum distance score 1 (delta(u, q) is per-user, not
+        # per-tweet, so the substitution never under-estimates).
+        self.tighten_distance_bound = tighten_distance_bound
+
+    def run(self, ctx: QueryContext) -> None:
+        bounds = ctx.bounds
+        assert bounds is not None, "BoundsPruneOp needs a BoundsManager"
+        query = ctx.query
+        source = bounds.bound_source(query.keywords, query.semantics)
+        ctx.pruner = _QueryPruner(
+            source, bounds.bound_for_query(query.keywords, query.semantics),
+            self.tighten_distance_bound)
+        if ctx.profile is not None:
+            ctx.profile.bound_source = source
+
+    def describe(self) -> str:
+        tighten = "on" if self.tighten_distance_bound else "off"
+        return (f"BoundsPrune(AND=min/OR=max bound, "
+                f"tighten_distance_bound={tighten})")
+
+
+class ThreadScoreOp(PhysicalOperator):
+    """Lines 15-24: per-candidate thread construction (Algorithm 1),
+    keyword relevance (Definition 6) and per-user aggregation.
+
+    Two modes:
+
+    * ``ranked=False`` — accumulate per-user keyword score parts
+      (Definition 7 for ``aggregate="sum"``, Definition 8 for ``"max"``)
+      into ``ctx.keyword_parts`` for a downstream :class:`RankOp`;
+    * ``ranked=True`` — Algorithm 5's streaming form: maintain the
+      bounded top-k user queue, compute each user's distance part lazily
+      (once per user), and consult the installed pruner *before* paying
+      for thread construction (the I/O bottleneck, Section V-B).
+    """
+
+    name = "ThreadScore"
+    paper_lines = "Alg 4 lines 15-24 / Alg 5 lines 15-33"
+
+    def __init__(self, aggregate: str, ranked: bool = False) -> None:
+        if aggregate not in ("sum", "max"):
+            raise ValueError(f"aggregate must be 'sum' or 'max': {aggregate!r}")
+        self.aggregate = aggregate
+        self.ranked = ranked
+
+    def run(self, ctx: QueryContext) -> None:
+        threads_before = 0
+        track = ctx.track_thread_builds
+        counter = getattr(ctx.threads, "threads_built", None)
+        if track and counter is not None:
+            threads_before = counter
+        calls = 0
+        with obs.trace("query.score", candidates=ctx.stats.candidates,
+                       in_radius=len(ctx.in_radius)):
+            if self.ranked:
+                calls = self._run_ranked(ctx)
+            else:
+                calls = self._run_accumulate(ctx)
+        if track:
+            if counter is not None:
+                ctx.stats.threads_built = ctx.threads.threads_built - threads_before
+            else:
+                # Dataset-backed builders keep no counter; every
+                # popularity call constructs one thread.
+                ctx.stats.threads_built = calls
+
+    # -- modes ------------------------------------------------------------
+
+    def _relevance(self, ctx: QueryContext, candidate: Candidate,
+                   popularity: float) -> float:
+        # candidate.match_count is |q.W ∩ p.W| under the bag model, so
+        # Definition 6 reduces to (matches / N) * phi(p).
+        relevance = (candidate.match_count
+                     / ctx.config.keyword_normalizer) * popularity
+        recency = ctx.query.temporal.recency
+        # Recency weight <= 1, so the pruning bound (which omits it)
+        # remains a sound over-estimate.
+        if recency is not None:
+            relevance *= recency.weight(candidate.tid, ctx.recency_reference)
+        return relevance
+
+    def _popularity(self, ctx: QueryContext, tid: int) -> float:
+        if ctx.lock is None:
+            return ctx.threads.popularity(tid)
+        with ctx.lock:
+            return ctx.threads.popularity(tid)
+
+    def _run_accumulate(self, ctx: QueryContext) -> int:
+        parts: Dict[int, float] = {}
+        profile = ctx.profile
+        is_sum = self.aggregate == "sum"
+        calls = 0
+        for candidate, uid, _lat, _lon in ctx.in_radius:
+            popularity = self._popularity(ctx, candidate.tid)
+            calls += 1
+            relevance = self._relevance(ctx, candidate, popularity)
+            if is_sum:
+                parts[uid] = parts.get(uid, 0.0) + relevance
+            else:
+                parts[uid] = max(parts.get(uid, 0.0), relevance)
+            if profile is not None:
+                profile.users_scored += 1
+        ctx.keyword_parts = parts
+        return calls
+
+    def _run_ranked(self, ctx: QueryContext) -> int:
+        query = ctx.query
+        profile = ctx.profile
+        pruner: Optional[_QueryPruner] = ctx.pruner
+        queue = TopKUserQueue(query.k)
+        ctx.queue = queue
+        user_locations = ctx.user_locations
+        assert user_locations is not None
+        distance_parts: Dict[int, float] = {}  # uid -> delta(u, q), once
+        calls = 0
+        for candidate, uid, _lat, _lon in ctx.in_radius:
+            # Lines 18-19: prune before paying for thread construction.
+            if pruner is not None and queue.full:
+                known = 1.0
+                if pruner.tighten_distance_bound:
+                    known = distance_parts.get(uid, 1.0)
+                bound = pruner.upper_bound(ctx, candidate.match_count, known)
+                if bound < queue.peek():
+                    pruner.count_pruned(ctx)
+                    obs.event("query.prune", tid=candidate.tid, uid=uid,
+                              source=pruner.source)
+                    continue
+                # A user's own score can also make their remaining tweets
+                # irrelevant, independent of the queue threshold.
+                own = queue.score_of(uid)
+                if own is not None and bound <= own:
+                    pruner.count_pruned(ctx)
+                    obs.event("query.prune", tid=candidate.tid, uid=uid,
+                              source=pruner.source)
+                    continue
+            popularity = self._popularity(ctx, candidate.tid)
+            calls += 1
+            relevance = self._relevance(ctx, candidate, popularity)
+            if uid not in distance_parts:
+                distance_parts[uid] = user_distance_score(
+                    user_locations(uid), query.location, query.radius_km,
+                    ctx.metric)
+            queue.offer(uid, user_score(relevance, distance_parts[uid],
+                                        ctx.config))
+            if profile is not None:
+                profile.users_scored += 1
+        return calls
+
+    def describe(self) -> str:
+        mode = "top-k queue" if self.ranked else "accumulate"
+        return f"ThreadScore(aggregate={self.aggregate}, mode={mode})"
+
+
+class RankOp(PhysicalOperator):
+    """Lines 25-27: combine each user's keyword aggregate with their
+    distance score (Definitions 9-10) and sort.  When an upstream ranked
+    :class:`ThreadScoreOp` already maintains the top-k queue, ranking is
+    just draining it."""
+
+    name = "Rank"
+    paper_lines = "Alg 4 lines 25-27 / Alg 5 line 34"
+
+    def run(self, ctx: QueryContext) -> None:
+        if ctx.queue is not None:
+            ctx.scored = ctx.queue.ranked()
+            return
+        query = ctx.query
+        parts = ctx.keyword_parts if ctx.keyword_parts is not None else {}
+        user_locations = ctx.user_locations
+        assert user_locations is not None
+        with obs.trace("query.rank", users=len(parts)):
+            scored: List[Tuple[int, float]] = []
+            for uid, keyword_part in parts.items():
+                distance_part = user_distance_score(
+                    user_locations(uid), query.location, query.radius_km,
+                    ctx.metric)
+                scored.append((uid, user_score(keyword_part, distance_part,
+                                               ctx.config)))
+            scored.sort(key=lambda item: (-item[1], item[0]))
+        ctx.scored = scored
+
+    def describe(self) -> str:
+        return "Rank(blend delta(u,q), sort by (-score, uid))"
+
+
+class TopKOp(PhysicalOperator):
+    """Lines 28-29: the final top-k cut."""
+
+    name = "TopK"
+    paper_lines = "Alg 4/5 lines 28-29"
+
+    def run(self, ctx: QueryContext) -> None:
+        ctx.users = ctx.scored[:ctx.query.k]
+
+    def describe(self) -> str:
+        return "TopK(k from query)"
+
+
+class PartitionRouteOp(PhysicalOperator):
+    """Scatter routing: group cover cells by the partition (part file /
+    "query server") owning their postings — the Section IV-B1 locality
+    story.  Cells with no indexed postings for any query term are dropped
+    here, before any server is involved."""
+
+    name = "PartitionRoute"
+    paper_lines = "Section IV-B1 (layout/locality)"
+
+    def run(self, ctx: QueryContext) -> None:
+        source = ctx.source
+        assert source is not None and hasattr(source, "owner_of"), \
+            "PartitionRouteOp needs a PartitionedPostingsSource"
+        by_server: Dict[str, List[str]] = {}
+        for cell in ctx.cells:
+            owner: Optional[str] = None
+            for term in ctx.terms:
+                owner = source.owner_of(cell, term)
+                if owner is not None:
+                    break
+            if owner is not None:
+                by_server.setdefault(owner, []).append(cell)
+        ctx.cells_by_server = by_server
+        if isinstance(ctx.stats, ScatterStats):
+            ctx.stats.servers_involved = len(by_server)
+
+    def describe(self) -> str:
+        return "PartitionRoute(cells by owning partition)"
+
+
+class ScatterGatherOp(PhysicalOperator):
+    """Scatter-gather execution: run the server sub-plan per involved
+    partition (a worker thread per server, simulating per-node
+    execution), then merge per-server partial keyword aggregates (sum
+    scores add across servers; max scores take the maximum)."""
+
+    name = "ScatterGather"
+    paper_lines = "Section IV-B1 (distributed retrieval)"
+
+    def __init__(self, aggregate: str, server_plan, max_workers: int = 4) -> None:
+        if aggregate not in ("sum", "max"):
+            raise ValueError(f"aggregate must be 'sum' or 'max': {aggregate!r}")
+        self.aggregate = aggregate
+        self.server_plan = server_plan
+        self.max_workers = max_workers
+
+    def run(self, ctx: QueryContext) -> None:
+        by_server = ctx.cells_by_server
+        stats = ctx.stats
+        if not by_server:
+            ctx.keyword_parts = {}
+            return
+
+        def server_task(item: Tuple[str, List[str]]) -> QueryContext:
+            child = ctx.child(item[1])
+            self.server_plan.execute(child)
+            return child
+
+        with ThreadPoolExecutor(
+                max_workers=min(self.max_workers, len(by_server))) as pool:
+            children = list(pool.map(server_task, sorted(by_server.items())))
+        if isinstance(stats, ScatterStats):
+            stats.partial_results = len(children)
+
+        # Gather: merge per-user keyword parts across servers.
+        is_sum = self.aggregate == "sum"
+        merged: Dict[int, float] = {}
+        for child in children:
+            stats.candidates += child.stats.candidates
+            stats.candidates_in_radius += child.stats.candidates_in_radius
+            ctx.candidate_uids |= child.candidate_uids
+            for uid, part in (child.keyword_parts or {}).items():
+                if is_sum:
+                    merged[uid] = merged.get(uid, 0.0) + part
+                else:
+                    merged[uid] = max(merged.get(uid, 0.0), part)
+        ctx.keyword_parts = merged
+
+    def children(self) -> Sequence[object]:
+        return (self.server_plan,)
+
+    def describe(self) -> str:
+        return (f"ScatterGather(aggregate={self.aggregate}, "
+                f"max_workers={self.max_workers})")

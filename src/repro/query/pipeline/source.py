@@ -1,0 +1,60 @@
+"""The ``PostingsSource`` protocol: what ``PostingsFetchOp`` needs.
+
+The physical operators never touch :class:`~repro.index.hybrid.HybridIndex`
+directly — they go through this structural protocol, so any backend that
+can produce a circle cover and grouped postings (a hybrid index, a
+generational index, a caching proxy, a remote shard client) is
+interchangeable behind the same plan.  :class:`PartitionedPostingsSource`
+extends it with partition ownership, which the scatter-gather operators
+use to route cover cells to their owning "query server".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+from ...geo.distance import Metric
+from ...index.postings import Posting
+
+#: cell -> term -> tid-sorted postings (only non-empty lists), the shape
+#: produced by lines 4-7 of Algorithms 4/5.
+GroupedPostings = Dict[str, Dict[str, List[Posting]]]
+
+
+@runtime_checkable
+class PostingsSource(Protocol):
+    """Backend contract for candidate retrieval (Algorithms 4/5 lines 1-7)."""
+
+    @property
+    def geohash_length(self) -> int:
+        """Encoding length of the spatial grid (drives the cover and the
+        cell-containment shortcut)."""
+        ...
+
+    def cover(self, location: Tuple[float, float], radius_km: float,
+              metric: Metric) -> List[str]:
+        """``GeoHashCircleQuery(q, r)``: the cover cells of the query
+        circle at this source's encoding length (line 1)."""
+        ...
+
+    def postings_for_query(self, cells: List[str],
+                           terms: List[str]) -> GroupedPostings:
+        """Fetch the postings list for every ``(cell, term)`` pair,
+        grouped by cell then term (lines 4-7)."""
+        ...
+
+    def postings_fetch_count(self) -> int:
+        """Monotonic count of postings lists actually fetched (cache hits
+        excluded).  ``PostingsFetchOp`` snapshot-diffs it for the
+        per-query ``postings_lists_fetched`` statistic."""
+        ...
+
+
+@runtime_checkable
+class PartitionedPostingsSource(PostingsSource, Protocol):
+    """A postings source whose lists live on identifiable partitions."""
+
+    def owner_of(self, cell: str, term: str) -> Optional[str]:
+        """The partition (part file / server) owning the postings of
+        ``(cell, term)``, or ``None`` when the pair is unindexed."""
+        ...

@@ -65,7 +65,7 @@ class ProfileRecorder:
             obs.observe("query.pages_read", profile.pages_read)
             obs.inc("query.searches")
             obs.inc("query.candidates", profile.candidates)
-            obs.inc("query.candidates_in_radius", profile.candidate_users)
+            obs.inc("query.candidates_in_radius", profile.candidates_examined)
             obs.inc("query.users_scored", profile.users_scored)
             obs.inc("query.pruned.global", profile.users_pruned_global)
             obs.inc("query.pruned.hot", profile.users_pruned_hot)

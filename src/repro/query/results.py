@@ -33,6 +33,14 @@ class QueryStats:
 
 
 @dataclass
+class ScatterStats(QueryStats):
+    """Query stats extended with scatter-gather shape."""
+
+    servers_involved: int = 0
+    partial_results: int = 0
+
+
+@dataclass
 class QueryResult:
     """A ranked top-k user list plus execution statistics.
 

@@ -1,34 +1,36 @@
 """Algorithm 4: query processing for sum-score based user ranking.
 
-Pipeline (line numbers refer to the paper's Algorithm 4):
+Plan shape (line numbers refer to the paper's Algorithm 4):
 
-1.  circle cover at the index's geohash length (line 1);
-2.  fetch postings for every (cell, keyword) pair (lines 4-7);
-3.  AND/OR candidate formation (lines 8-14);
-4.  for each candidate within the radius: build its tweet thread
-    (Algorithm 1), compute its keyword relevance contribution
-    (Definition 6), and accumulate per user (Definition 7) —
-    lines 15-24;
+1.  circle cover at the index's geohash length (line 1) — ``Cover``;
+2.  fetch postings for every (cell, keyword) pair (lines 4-7) —
+    ``PostingsFetch``;
+3.  AND/OR candidate formation (lines 8-14) — ``CandidateForm``;
+4.  for each candidate within the radius (line 16, ``RadiusFilter``):
+    build its tweet thread (Algorithm 1), compute its keyword relevance
+    contribution (Definition 6), and accumulate per user (Definition 7)
+    — lines 15-24, ``ThreadScore``;
 5.  combine each user's keyword score with their distance score
-    (Definitions 9-10), sort and return the top k (lines 25-29).
+    (Definitions 9-10), sort and return the top k (lines 25-29) —
+    ``Rank`` + ``TopK``.
+
+The operators live in :mod:`repro.query.pipeline`; this processor is a
+thin shell that plans the query and binds it to the storage backends.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List
+from typing import Optional
 
-from .. import obs
 from ..core.model import TkLUSQuery
-from ..core.scoring import ScoringConfig, user_distance_score, user_score
+from ..core.scoring import ScoringConfig
 from ..core.thread import ThreadBuilder
-from ..geo.cover import cover_cells_fully_inside
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.hybrid import HybridIndex
 from ..storage.metadata import MetadataDatabase
+from .pipeline import Planner, QueryContext, run_plan
 from .profiling import ProfileRecorder
-from .results import QueryResult, QueryStats
-from .semantics import candidates_from_postings, clip_per_cell
+from .results import QueryResult
 
 
 class SumScoreProcessor:
@@ -36,109 +38,30 @@ class SumScoreProcessor:
 
     def __init__(self, index: HybridIndex, database: MetadataDatabase,
                  thread_builder: ThreadBuilder,
-                 config: ScoringConfig = ScoringConfig(),
+                 config: Optional[ScoringConfig] = None,
                  metric: Metric = DEFAULT_METRIC,
                  use_cell_containment: bool = True) -> None:
         self.index = index
         self.database = database
         self.threads = thread_builder
-        self.config = config
+        self.config = config if config is not None else ScoringConfig()
         self.metric = metric
         # Optimization beyond the paper's Algorithm 4: a cover cell that
         # lies entirely inside the query circle cannot contain an
         # out-of-radius tweet, so its candidates skip the per-tweet
         # distance check of line 16.  Answer-preserving by construction.
         self.use_cell_containment = use_cell_containment
+        self._planner = Planner(use_cell_containment=use_cell_containment)
+
+    def plan_for(self, query: TkLUSQuery):
+        """The physical plan this processor would run for ``query``."""
+        return self._planner.plan_for_query("sum", query)
 
     def search(self, query: TkLUSQuery) -> QueryResult:
-        start = time.perf_counter()
-        stats = QueryStats()
         recorder = ProfileRecorder(self.database, self.index, query, "sum")
-        profile = recorder.profile
-
-        with obs.trace("query.search", method="sum",
-                       semantics=query.semantics.value, k=query.k,
-                       radius_km=query.radius_km):
-            terms = sorted(query.keywords)
-            with obs.trace("query.cover") as cover_span:
-                cells = self.index.cover(query.location, query.radius_km,
-                                         self.metric)
-                cover_span.set(cells=len(cells))
-            stats.cells_covered = len(cells)
-
-            fetched_before = self.index.stats.postings_fetches
-            per_cell = self.index.postings_for_query(cells, terms)
-            stats.postings_lists_fetched = (
-                self.index.stats.postings_fetches - fetched_before)
-
-            per_cell = clip_per_cell(per_cell, query.temporal.window)
-            candidates = candidates_from_postings(per_cell, terms,
-                                                  query.semantics)
-            stats.candidates = len(candidates)
-
-            inside_cells = set()
-            if self.use_cell_containment:
-                inside, _boundary = cover_cells_fully_inside(
-                    query.location, query.radius_km,
-                    self.index.geohash_length, self.metric)
-                inside_cells = set(inside)
-
-            recency = query.temporal.recency
-            reference = 0
-            if recency is not None:
-                reference = recency.resolve_reference(self.database.max_sid)
-
-            threads_before = self.threads.threads_built
-            # Per-user accumulation of Definition 7 over in-radius
-            # candidates.
-            keyword_scores: Dict[int, float] = {}
-            with obs.trace("query.score", candidates=len(candidates)):
-                for candidate in candidates:
-                    record = self.database.get(candidate.tid)
-                    if record is None:
-                        continue
-                    if candidate.cell in inside_cells:
-                        stats.distance_checks_skipped += 1
-                    else:
-                        distance = self.metric(query.location,
-                                               (record.lat, record.lon))
-                        if distance > query.radius_km:
-                            continue  # boundary cell false positive (line 16)
-                    stats.candidates_in_radius += 1
-                    popularity = self.threads.popularity(candidate.tid)
-                    # candidate.match_count is |q.W ∩ p.W| under the bag
-                    # model, so Definition 6 reduces to
-                    # (matches / N) * phi(p).
-                    relevance = (candidate.match_count
-                                 / self.config.keyword_normalizer) * popularity
-                    if recency is not None:
-                        relevance *= recency.weight(candidate.tid, reference)
-                    keyword_scores[record.uid] = (
-                        keyword_scores.get(record.uid, 0.0) + relevance)
-                    profile.users_scored += 1
-            stats.threads_built = self.threads.threads_built - threads_before
-
-            # Lines 25-27: combine with the user distance score.
-            with obs.trace("query.rank", users=len(keyword_scores)):
-                scored: List = []
-                for uid, keyword_part in keyword_scores.items():
-                    posts = self.database.posts_of_user(uid)
-                    locations = [(record.lat, record.lon) for record in posts]
-                    distance_part = user_distance_score(
-                        locations, query.location, query.radius_km,
-                        self.metric)
-                    scored.append((uid, user_score(keyword_part,
-                                                   distance_part,
-                                                   self.config)))
-                scored.sort(key=lambda item: (-item[1], item[0]))
-
-            stats.elapsed_seconds = time.perf_counter() - start
-            stats.io_delta = recorder.io_delta_pages()
-
-        profile.cells_covered = stats.cells_covered
-        profile.candidates = stats.candidates
-        profile.candidate_users = stats.candidates_in_radius
-        profile.threads_built = stats.threads_built
-        recorder.finish(stats.elapsed_seconds)
-        return QueryResult(users=scored[:query.k], stats=stats,
-                           profile=profile)
+        ctx = QueryContext.for_database(
+            query, config=self.config, metric=self.metric, source=self.index,
+            database=self.database, threads=self.threads,
+            profile=recorder.profile)
+        return run_plan(self.plan_for(query), ctx, method="sum",
+                        recorder=recorder)

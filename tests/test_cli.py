@@ -84,3 +84,31 @@ class TestBuildAndQuery:
         empty.write_text("")
         with pytest.raises(SystemExit):
             main(["stats", str(empty)])
+
+
+class TestExplain:
+    def test_all_paths_print_plans(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        # One plan block per execution path.
+        assert out.count("plan[") >= 6  # incl. the nested server sub-plan
+        for token in ("flavour=indexed", "flavour=scan",
+                      "flavour=distributed", "federated",
+                      "Cover(", "DatasetScan(", "ScatterGather(",
+                      "PlatformSearch("):
+            assert token in out
+
+    def test_single_path_with_flags(self, capsys):
+        assert main(["explain", "--method", "max", "--semantics", "and",
+                     "--no-pruning", "--temporal"]) == 0
+        out = capsys.readouterr().out
+        assert "pruning=off" in out
+        assert "BoundsPrune" not in out
+        assert "TemporalClip" in out
+        assert "semantics=and" in out
+
+    def test_pruned_max_shows_bound_stage(self, capsys):
+        assert main(["explain", "--method", "max"]) == 0
+        out = capsys.readouterr().out
+        assert "BoundsPrune" in out
+        assert "Def 11" in out

@@ -76,6 +76,27 @@ class TestCache:
         assert index.stats.cache_hits == 1
         assert index.stats.postings_fetches == 1
 
+    def test_cache_hit_returns_defensive_copy(self):
+        # Regression: a cache hit used to return the cached list by
+        # reference, so a caller mutating its result (temporal clipping,
+        # merging) would corrupt every later hit for the same pair.
+        index = HybridIndex.build(make_posts(), paper_cluster(),
+                                  cache_size=8)
+        cell = geohash.encode(43.65, -79.38, 4)
+        first = index.postings(cell, "hotel")
+        first.clear()  # simulate a mutation-happy consumer
+        second = index.postings(cell, "hotel")
+        assert second == [(1, 1), (2, 2)]
+        assert index.stats.postings_fetches == 1  # still served from cache
+
+    def test_cache_fill_keeps_cached_list_private(self):
+        index = HybridIndex.build(make_posts(), paper_cluster(),
+                                  cache_size=8)
+        cell = geohash.encode(43.65, -79.38, 4)
+        filled = index.postings(cell, "hotel")  # miss populates the cache
+        filled.append((999, 1))
+        assert index.postings(cell, "hotel") == [(1, 1), (2, 2)]
+
     def test_cache_eviction(self):
         index = HybridIndex.build(make_posts(), paper_cluster(),
                                   cache_size=1)

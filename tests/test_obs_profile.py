@@ -4,7 +4,7 @@ The central acceptance invariant: every in-radius candidate examined by
 a scoring loop is either pruned (attributed to exactly one bound family)
 or fully scored::
 
-    users_pruned_global + users_pruned_hot + users_scored == candidate_users
+    users_pruned_global + users_pruned_hot + users_scored == candidates_examined
 """
 
 import pytest
@@ -28,7 +28,9 @@ class TestLedgerInvariant:
             profile.check()
             assert profile.method == "max"
             assert profile.bound_source in ("global", "hot")
-            assert profile.candidate_users == result.stats.candidates_in_radius
+            assert profile.candidates_examined == result.stats.candidates_in_radius
+            # candidate_users is the distinct-user view of the same set.
+            assert 0 < profile.candidate_users <= profile.candidates_examined
             assert profile.threads_built == result.stats.threads_built
             assert profile.users_pruned == result.stats.threads_pruned
 
@@ -48,7 +50,7 @@ class TestLedgerInvariant:
             # Algorithm 4 scores every in-radius candidate.
             assert profile.users_pruned == 0
             assert profile.bound_source == "none"
-            assert profile.users_scored == profile.candidate_users
+            assert profile.users_scored == profile.candidates_examined
 
     def test_sum_and_max_agree_on_candidate_funnel(self, engine, workload):
         # Pruning changes how candidates are *processed*, never which
@@ -58,6 +60,8 @@ class TestLedgerInvariant:
             sum_profile = engine.search(query, method="sum").profile
             max_profile = engine.search(query, method="max").profile
             assert sum_profile.candidates == max_profile.candidates
+            assert (sum_profile.candidates_examined
+                    == max_profile.candidates_examined)
             assert sum_profile.candidate_users == max_profile.candidate_users
             assert sum_profile.cells_covered == max_profile.cells_covered
 
