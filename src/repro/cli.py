@@ -14,7 +14,11 @@ Subcommands mirror the operational pipeline of the paper's Figure 3:
                      execution path (no deployment needed — plans are
                      query-class level);
 * ``stats``        — corpus statistics (Table II style);
-* ``experiments``  — regenerate the paper's tables and figures.
+* ``experiments``  — regenerate the paper's tables and figures;
+* ``check``        — correctness tooling: project lint rules
+                     (``--rules``) and deep structural invariant
+                     validation of a built index (``--deep``); see
+                     docs/STATIC_ANALYSIS.md.
 
 ``query``, ``profile`` and ``experiments`` accept ``--trace FILE`` to
 write the collected spans as JSON lines (see docs/OBSERVABILITY.md).
@@ -27,6 +31,8 @@ Examples::
         --radius 10 --keywords hotel --k 5 --method max
     python -m repro.cli profile --synthetic --keywords hotel --radius 20
     python -m repro.cli experiments --small --trace spans.jsonl
+    python -m repro.cli check --rules src tests
+    python -m repro.cli check --deep --users 150 --roots 700
 """
 
 from __future__ import annotations
@@ -260,6 +266,54 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from . import lint
+
+    if args.list_rules:
+        for rule in lint.all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    run_rules = args.rules or not args.deep
+    exit_code = 0
+    payload = {}
+
+    if run_rules:
+        baseline = set()
+        if not args.no_baseline and os.path.exists(args.baseline):
+            baseline = lint.load_baseline(args.baseline)
+        report = lint.lint_paths(args.paths, baseline=baseline)
+        if args.write_baseline:
+            lint.write_baseline(args.baseline, report.findings)
+            print(f"wrote {len(report.findings)} baseline entries to "
+                  f"{args.baseline}", file=sys.stderr)
+            report.baselined.extend(report.findings)
+            report.findings = []
+        if args.json:
+            payload["rules"] = report.to_dict()
+        else:
+            print(lint.render_text(report, verbose=args.verbose))
+        if not report.ok:
+            exit_code = 1
+
+    if args.deep:
+        deep_report = lint.run_deep_checks(users=args.users,
+                                           roots=args.roots, seed=args.seed)
+        if args.json:
+            payload["deep"] = deep_report.to_dict()
+        else:
+            print(deep_report.render_text())
+        if not deep_report.ok:
+            exit_code = 1
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -357,6 +411,40 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trace the full run; write spans to FILE "
                                   "as JSON lines (can be large)")
     experiments.set_defaults(func=_cmd_experiments)
+
+    check = commands.add_parser(
+        "check",
+        help="run project lint rules and/or deep invariant validation")
+    check.add_argument("paths", nargs="*", default=["src", "tests"],
+                       help="files or directories to lint "
+                            "(default: src tests)")
+    check.add_argument("--rules", action="store_true",
+                       help="run the static lint rules (default when "
+                            "--deep is not given)")
+    check.add_argument("--deep", action="store_true",
+                       help="build a synthetic index and validate its "
+                            "structural invariants")
+    check.add_argument("--json", action="store_true",
+                       help="emit a JSON report instead of text")
+    check.add_argument("--baseline", default="lint-baseline.json",
+                       metavar="FILE",
+                       help="baseline of forgiven findings "
+                            "(default: lint-baseline.json)")
+    check.add_argument("--no-baseline", action="store_true",
+                       help="ignore the baseline file")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="rewrite the baseline to forgive all current "
+                            "findings")
+    check.add_argument("--list-rules", action="store_true",
+                       help="list the registered rules and exit")
+    check.add_argument("--verbose", action="store_true",
+                       help="also show baselined findings")
+    check.add_argument("--users", type=int, default=150,
+                       help="synthetic corpus users (with --deep)")
+    check.add_argument("--roots", type=int, default=700,
+                       help="synthetic corpus root tweets (with --deep)")
+    check.add_argument("--seed", type=int, default=42)
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

@@ -22,7 +22,7 @@ Both are implemented:
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from .errors import QueryError
@@ -92,7 +92,7 @@ class RecencyModel:
 class TemporalSpec:
     """Bundle of temporal options attached to a query."""
 
-    window: TimeWindow = TimeWindow()
+    window: TimeWindow = field(default_factory=TimeWindow)
     recency: Optional[RecencyModel] = None
 
     @property

@@ -338,7 +338,7 @@ def fig12_specific_bounds(context: ExperimentContext,
             global_time = 0.0
             hot_pruned = 0
             global_pruned = 0
-            for index, spec in enumerate(specs):
+            for spec in specs:
                 query = context.workload.bind(
                     spec, radius_km=radius, k=k, semantics=semantics,
                     location=context.workload.sample_location())

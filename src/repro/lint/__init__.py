@@ -1,0 +1,68 @@
+"""Project-aware correctness tooling.
+
+Two layers (see ``docs/STATIC_ANALYSIS.md``):
+
+* **Static rules** (``repro check --rules``) — AST analyses RL001–RL007
+  encoding disciplines this codebase has been burned by: mutable
+  dataclass defaults, cache aliasing, unbalanced tracer spans, lock-free
+  access to guarded state, undeclared operator writes, leaked page pins,
+  and naked float equality in scoring code.
+* **Deep invariant validators** (``repro check --deep``) — runtime
+  structural audits of built B+-trees, slotted heap pages, geohash
+  circle covers, the forward↔inverted index pair, and quadtrees.
+"""
+
+from .deep import DeepCheckReport, run_deep_checks
+from .driver import (
+    DEFAULT_BASELINE,
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from .findings import META_RULE, Finding
+from .invariants import (
+    InvariantViolation,
+    validate_bptree,
+    validate_cover_soundness,
+    validate_forward_inverted,
+    validate_heap_pages,
+    validate_quadtree,
+)
+from .registry import ModuleInfo, Rule, all_rules, get_rule, rule_ids
+from .reporters import render_json, render_text
+from .suppressions import SuppressionMap, scan_suppressions
+
+# Importing the rules module registers RL001-RL007.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DeepCheckReport",
+    "Finding",
+    "InvariantViolation",
+    "LintReport",
+    "META_RULE",
+    "ModuleInfo",
+    "Rule",
+    "SuppressionMap",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_ids",
+    "run_deep_checks",
+    "scan_suppressions",
+    "validate_bptree",
+    "validate_cover_soundness",
+    "validate_forward_inverted",
+    "validate_heap_pages",
+    "validate_quadtree",
+    "write_baseline",
+]

@@ -1,0 +1,158 @@
+"""The ``repro check --deep`` runner.
+
+Builds (or accepts) a full TkLUS stack — metadata database, B+-trees,
+heap pages, hybrid index over the simulated DFS — and runs every deep
+invariant validator against it, timing each one.  This is the CI smoke
+proof that a freshly built index satisfies every structural contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import Post
+from ..geo.quadtree import QuadTree
+from .invariants import (
+    InvariantViolation,
+    validate_bptree,
+    validate_cover_soundness,
+    validate_forward_inverted,
+    validate_heap_pages,
+    validate_quadtree,
+)
+
+Coordinate = Tuple[float, float]
+
+#: Radii (km) exercised by the cover-soundness check; spans the paper's
+#: experimental range from neighbourhood to metro scale.
+DEFAULT_RADII_KM = (5.0, 15.0, 30.0)
+
+
+@dataclass
+class CheckResult:
+    """Outcome and wall-clock of one named validator run."""
+
+    name: str
+    violations: List[InvariantViolation]
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class DeepCheckReport:
+    """All validator outcomes for one built stack."""
+
+    checks: List[CheckResult] = field(default_factory=list)
+    posts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def violations(self) -> List[InvariantViolation]:
+        return [v for check in self.checks for v in check.violations]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "posts": self.posts,
+            "seconds": round(self.seconds, 3),
+            "checks": [
+                {
+                    "name": check.name,
+                    "ok": check.ok,
+                    "seconds": round(check.seconds, 3),
+                    "violations": [v.to_dict() for v in check.violations],
+                }
+                for check in self.checks
+            ],
+        }
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for check in self.checks:
+            status = "ok" if check.ok else f"{len(check.violations)} violations"
+            lines.append(f"  {check.name:<24} {status} "
+                         f"({check.seconds * 1000:.0f} ms)")
+            for violation in check.violations:
+                lines.append(f"    {violation}")
+        verdict = "all invariants hold" if self.ok else "INVARIANTS VIOLATED"
+        lines.append(f"deep check over {self.posts} posts: {verdict} "
+                     f"({self.seconds:.2f}s)")
+        return "\n".join(lines)
+
+
+def _sample_queries(posts: Sequence[Post],
+                    radii_km: Sequence[float],
+                    max_centers: int = 4) -> List[Tuple[Coordinate, float]]:
+    """Query circles centred on a deterministic spread of post locations."""
+    if not posts:
+        return []
+    step = max(1, len(posts) // max_centers)
+    centers = [posts[i].location for i in range(0, len(posts), step)]
+    centers = centers[:max_centers]
+    return [(center, radius) for center in centers for radius in radii_km]
+
+
+def run_deep_checks(posts: Optional[Sequence[Post]] = None, *,
+                    users: int = 150, roots: int = 700, seed: int = 42,
+                    radii_km: Sequence[float] = DEFAULT_RADII_KM,
+                    engine: Optional[object] = None) -> DeepCheckReport:
+    """Build a synthetic stack (unless ``posts``/``engine`` are given) and
+    run every deep validator against it.
+
+    The defaults build in a couple of seconds and push every B+-tree past
+    a single node, so fill-factor and leaf-chain invariants are actually
+    exercised rather than vacuously true.
+    """
+    from ..query.engine import TkLUSEngine  # deferred: heavy import chain
+
+    report = DeepCheckReport()
+    started = time.perf_counter()
+
+    if posts is None:
+        from ..data.generator import generate_corpus
+        corpus = generate_corpus(num_users=users, num_root_tweets=roots,
+                                 seed=seed)
+        posts = corpus.posts
+    posts = list(posts)
+    report.posts = len(posts)
+
+    if engine is None:
+        engine = TkLUSEngine.from_posts(posts, precompute_bounds=False)
+    database = engine.database
+    index = engine.index
+
+    def run(name: str, thunk) -> None:
+        t0 = time.perf_counter()
+        violations = thunk()
+        report.checks.append(CheckResult(
+            name=name, violations=violations,
+            seconds=time.perf_counter() - t0))
+
+    for tree_name, tree in database.indexes().items():
+        run(f"bptree[{tree_name}]",
+            lambda t=tree, n=tree_name: validate_bptree(
+                t, name=f"bptree[{n}]"))
+    run("heap-pages", lambda: validate_heap_pages(database.heap))
+    run("cover-soundness",
+        lambda: validate_cover_soundness(
+            posts, index.geohash_length,
+            _sample_queries(posts, radii_km), metric=engine.metric))
+    run("forward-inverted",
+        lambda: validate_forward_inverted(index, database))
+
+    quadtree: QuadTree[int] = QuadTree()
+    for post in posts:
+        quadtree.insert(post.location[0], post.location[1], post.sid)
+    run("quadtree", lambda: validate_quadtree(quadtree))
+
+    report.seconds = time.perf_counter() - started
+    return report

@@ -1,0 +1,163 @@
+"""Lint driver: file discovery, rule execution, baseline handling.
+
+The driver turns paths into :class:`~.registry.ModuleInfo` objects, runs
+every applicable rule, applies in-source suppressions, and finally
+subtracts a committed baseline (``lint-baseline.json``).  Baseline
+entries use :meth:`Finding.baseline_key`, which omits line numbers so
+the file survives unrelated drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from .findings import META_RULE, Finding
+from .registry import ModuleInfo, Rule, all_rules
+from .suppressions import scan_suppressions
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".ruff_cache",
+              ".pytest_cache", "build", "dist", ".venv", "venv"}
+
+
+def normalize_path(path: "os.PathLike[str] | str") -> str:
+    """Posix-style path, relative to the CWD when possible.
+
+    Keeping lint paths CWD-relative makes findings stable between runs
+    and lets absolute inputs match committed baseline entries.
+    """
+    resolved = Path(path).resolve()
+    try:
+        rel = resolved.relative_to(Path.cwd())
+    except ValueError:
+        return resolved.as_posix()
+    return rel.as_posix()
+
+
+def iter_python_files(paths: Sequence["os.PathLike[str] | str"]
+                      ) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through as-is)."""
+    seen: Set[Path] = set()
+    out: List[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        elif root.is_dir():
+            candidates = sorted(
+                p for p in root.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for path in candidates:
+            resolved = path.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(path)
+    return out
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings present in the run but forgiven by the baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline entries that no longer match anything — stale debt.
+    stale_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+
+def lint_source(source: str, path: str = "<string>",
+                rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one in-memory module.  The workhorse for fixture tests."""
+    norm = path if path.startswith("<") else normalize_path(path)
+    try:
+        tree = ast.parse(source, filename=norm)
+    except SyntaxError as exc:
+        return [Finding(rule=META_RULE, path=norm,
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"file does not parse: {exc.msg}")]
+    module = ModuleInfo(path=norm, source=source, tree=tree)
+    suppressions = scan_suppressions(source, norm)
+
+    findings: List[Finding] = list(suppressions.malformed)
+    for rule in (all_rules() if rules is None else rules):
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not suppressions.suppresses(finding.line, finding.rule):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: "os.PathLike[str] | str",
+              rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=os.fspath(path), rules=rules)
+
+
+def load_baseline(path: "os.PathLike[str] | str") -> Set[str]:
+    """Read the set of forgiven :meth:`Finding.baseline_key` strings."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = data["suppressions"] if isinstance(data, dict) else data
+    return {str(entry) for entry in entries}
+
+
+def write_baseline(path: "os.PathLike[str] | str",
+                   findings: Sequence[Finding]) -> None:
+    keys = sorted({f.baseline_key() for f in findings})
+    payload = {
+        "comment": "Findings forgiven by review; keys are "
+                   "path::rule::symbol::message (line-number free). "
+                   "Regenerate with 'repro check --rules --write-baseline'.",
+        "suppressions": keys,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def lint_paths(paths: Sequence["os.PathLike[str] | str"],
+               rules: Optional[Sequence[Rule]] = None,
+               baseline: Optional[Set[str]] = None) -> LintReport:
+    """Lint every python file under ``paths`` and apply the baseline."""
+    report = LintReport()
+    raw: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        raw.extend(lint_file(file_path, rules=rules))
+        report.files_checked += 1
+
+    baseline = baseline or set()
+    matched: Set[str] = set()
+    for finding in raw:
+        key = finding.baseline_key()
+        if key in baseline:
+            matched.add(key)
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    report.stale_baseline = sorted(baseline - matched)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report

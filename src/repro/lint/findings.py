@@ -1,0 +1,47 @@
+"""Findings: what a lint rule or invariant validator reports.
+
+A :class:`Finding` pinpoints one rule violation in one file.  Its
+:meth:`baseline_key` deliberately omits the line number so a committed
+baseline (``lint-baseline.json``) survives unrelated edits that shift
+code up or down — the key is ``path :: rule :: symbol :: message``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Meta-rule id for problems with the lint machinery itself (malformed
+#: suppression comments, unparseable files).  Never suppressible.
+META_RULE = "RL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: Enclosing ``Class.method`` (or function) name — stabilises the
+    #: baseline key across line drift.
+    symbol: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_key(self) -> str:
+        return f"{self.path}::{self.rule}::{self.symbol}::{self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }

@@ -1,0 +1,98 @@
+"""Rule protocol and registry.
+
+A rule is a class with a stable ``rule_id``, a one-line ``summary``, a
+``rationale`` (ideally naming the historical bug it guards against) and a
+``check`` generator over a parsed :class:`ModuleInfo`.  Registration is
+declarative::
+
+    @register
+    class NoMutableDataclassDefault(Rule):
+        rule_id = "RL001"
+        ...
+
+The driver instantiates every registered rule per run and every rule per
+file, so rules may keep per-file state in ``check`` locals only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Type
+
+from .findings import Finding
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file handed to every applicable rule."""
+
+    path: str          # normalised, '/'-separated, relative when possible
+    source: str
+    tree: ast.Module
+
+    @property
+    def is_test(self) -> bool:
+        parts = self.path.split("/")
+        return ("tests" in parts
+                or parts[-1].startswith("test_")
+                or parts[-1].startswith("bench_"))
+
+
+class Rule:
+    """Base class for project lint rules."""
+
+    rule_id: str = ""
+    summary: str = ""
+    rationale: str = ""
+    #: Rules about internal discipline (lock usage, pin balancing) skip
+    #: test files, which legitimately poke at internals.
+    include_tests: bool = True
+    #: When non-empty, the rule only runs on files whose normalised path
+    #: contains one of these substrings (e.g. scoring-only rules).
+    path_patterns: Tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        if not self.include_tests and module.is_test:
+            return False
+        if self.path_patterns:
+            return any(pattern in module.path
+                       for pattern in self.path_patterns)
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str,
+                symbol: str = "") -> Finding:
+        return Finding(rule=self.rule_id, path=module.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message, symbol=symbol)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_class.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]()
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,33 @@
+"""Text and JSON renderers for lint reports and deep-check reports."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .driver import LintReport
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-oriented summary, one finding per line."""
+    lines: List[str] = []
+    for finding in report.findings:
+        where = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(f"{finding.location}: {finding.rule}{where} "
+                     f"{finding.message}")
+    if verbose:
+        for finding in report.baselined:
+            lines.append(f"{finding.location}: {finding.rule} baselined: "
+                         f"{finding.message}")
+    for key in report.stale_baseline:
+        lines.append(f"stale baseline entry (no longer fires): {key}")
+    count = len(report.findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(f"{report.files_checked} files checked, {count} {noun}"
+                 + (f", {len(report.baselined)} baselined"
+                    if report.baselined else ""))
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report.to_dict(), indent=2)

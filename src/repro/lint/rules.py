@@ -1,0 +1,636 @@
+"""Project-specific lint rules RL001-RL007.
+
+Each rule encodes a discipline this codebase has already been burned by
+(or nearly so); the ``rationale`` strings name the historical incident.
+All rules are pure AST analyses — no imports of the checked code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .findings import Finding
+from .registry import ModuleInfo, Rule, register
+
+#: Constructor names that produce a fresh *mutable* container.
+MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+}
+#: Constructor names whose results are immutable (safe as shared defaults).
+IMMUTABLE_CONSTRUCTORS = {"tuple", "frozenset", "bool", "int", "float",
+                          "str", "bytes", "complex"}
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "add", "append", "extend", "update", "clear", "pop", "popitem",
+    "remove", "discard", "insert", "setdefault", "sort", "reverse",
+}
+
+
+def _call_name(func: ast.expr) -> str:
+    """The called name: ``f(...)`` -> ``f``; ``a.b.f(...)`` -> ``f``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _receiver_tail(func: ast.expr) -> str:
+    """For ``a.b.f(...)`` the name the method is called on (``b``)."""
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            return value.id
+        if isinstance(value, ast.Attribute):
+            return value.attr
+    return ""
+
+
+def _self_attr(node: ast.AST, owner: str = "self") -> Optional[str]:
+    """``self.x`` -> ``"x"`` (else None)."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == owner):
+        return node.attr
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> List[ast.FunctionDef]:
+    return [node for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+
+def _function_units(tree: ast.Module):
+    """Yield ``(symbol, body)`` scopes: the module plus every function,
+    without descending into nested scopes (each is its own unit)."""
+    yield "", list(tree.body)
+
+    def visit(node: ast.AST, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                symbol = f"{prefix}{child.name}"
+                yield symbol, list(child.body)
+                yield from visit(child, f"{symbol}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+def _walk_same_scope(stmts: List[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without entering nested function/class scopes."""
+    pending: List[ast.AST] = list(stmts)
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_is_classvar(annotation: ast.expr) -> bool:
+    text = ast.unparse(annotation)
+    return "ClassVar" in text
+
+
+@register
+class NoMutableDataclassDefault(Rule):
+    """RL001: dataclass fields must not share a mutable default."""
+
+    rule_id = "RL001"
+    summary = "no mutable or shared-instance dataclass field defaults"
+    rationale = ("A shared mutable ScoringConfig default let one query's "
+                 "tweak leak into every later engine instance; "
+                 "default_factory creates a fresh value per instance.")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef) or not _is_dataclass(cls):
+                continue
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign) or stmt.value is None:
+                    continue
+                if _annotation_is_classvar(stmt.annotation):
+                    continue
+                name = (stmt.target.id
+                        if isinstance(stmt.target, ast.Name) else "?")
+                message = self._diagnose(stmt.value)
+                if message:
+                    yield self.finding(module, stmt,
+                                       f"field {name!r} {message}",
+                                       symbol=f"{cls.name}.{name}")
+
+    @staticmethod
+    def _diagnose(value: ast.expr) -> Optional[str]:
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.SetComp, ast.DictComp)):
+            return ("has a mutable literal default shared by every "
+                    "instance; use field(default_factory=...)")
+        if isinstance(value, ast.Call):
+            name = _call_name(value.func)
+            if name == "field":
+                for keyword in value.keywords:
+                    if keyword.arg == "default" and keyword.value is not None:
+                        inner = NoMutableDataclassDefault._diagnose(
+                            keyword.value)
+                        if inner:
+                            return inner
+                return None
+            if name in IMMUTABLE_CONSTRUCTORS:
+                return None
+            if name in MUTABLE_CONSTRUCTORS:
+                return ("has a mutable container default shared by every "
+                        "instance; use field(default_factory=...)")
+            return (f"defaults to a shared {name}() instance; one "
+                    "instance's mutation leaks into all others — use "
+                    "field(default_factory=...)")
+        return None
+
+
+@register
+class CacheReturnsMustCopy(Rule):
+    """RL002: methods must not hand out internal containers by reference."""
+
+    rule_id = "RL002"
+    summary = "methods returning dict/list/set attributes must copy"
+    rationale = ("HybridIndex.postings once returned its cached postings "
+                 "list by reference; temporal clipping then corrupted "
+                 "every later cache hit for that (cell, term).")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            mutable_attrs = self._container_attrs(cls)
+            if not mutable_attrs:
+                continue
+            for method in _methods(cls):
+                if method.name == "__init__":
+                    continue
+                for node in _walk_same_scope(method.body):
+                    if not isinstance(node, ast.Return) or node.value is None:
+                        continue
+                    attr = _self_attr(node.value)
+                    if attr in mutable_attrs:
+                        yield self.finding(
+                            module, node,
+                            f"returns internal container self.{attr} by "
+                            f"reference; return a copy (list(...), "
+                            f"dict(...), .copy()) or document ownership",
+                            symbol=f"{cls.name}.{method.name}")
+
+    @staticmethod
+    def _container_attrs(cls: ast.ClassDef) -> Set[str]:
+        attrs: Set[str] = set()
+        for method in _methods(cls):
+            if method.name != "__init__":
+                continue
+            for node in _walk_same_scope(method.body):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                is_container = (
+                    isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                       ast.ListComp, ast.SetComp,
+                                       ast.DictComp))
+                    or (isinstance(value, ast.Call)
+                        and _call_name(value.func) in MUTABLE_CONSTRUCTORS))
+                if not is_container:
+                    continue
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        attrs.add(attr)
+        return attrs
+
+
+@register
+class SpanBalance(Rule):
+    """RL003: tracer spans only through ``with`` (or returned/re-exported)."""
+
+    rule_id = "RL003"
+    summary = "tracer spans must be entered via with, never left dangling"
+    rationale = ("A span entered without with stays open on exceptions, "
+                 "corrupting the tracer's per-thread stack for every "
+                 "later span on that thread.")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for symbol, body in _function_units(module.tree):
+            with_calls: Set[int] = set()
+            with_names: Set[str] = set()
+            returned: Set[int] = set()
+            assigned: Dict[int, List[str]] = {}
+            span_calls: List[ast.Call] = []
+            forbidden: List[ast.Call] = []
+
+            for node in _walk_same_scope(body):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        expr = item.context_expr
+                        if isinstance(expr, ast.Call):
+                            with_calls.add(id(expr))
+                        elif isinstance(expr, ast.Name):
+                            with_names.add(expr.id)
+                elif isinstance(node, ast.Return) and node.value is not None:
+                    if isinstance(node.value, ast.Call):
+                        returned.add(id(node.value))
+                elif isinstance(node, ast.Assign):
+                    if isinstance(node.value, ast.Call):
+                        names = [t.id for t in node.targets
+                                 if isinstance(t, ast.Name)]
+                        if names:
+                            assigned[id(node.value)] = names
+                if isinstance(node, ast.Call):
+                    kind = self._span_call_kind(node)
+                    if kind == "forbidden":
+                        forbidden.append(node)
+                    elif kind == "span":
+                        span_calls.append(node)
+
+            for call in forbidden:
+                yield self.finding(
+                    module, call,
+                    "start_span is forbidden: unbalanced spans corrupt the "
+                    "per-thread stack — use 'with tracer.span(...)'",
+                    symbol=symbol)
+            for call in span_calls:
+                if id(call) in with_calls or id(call) in returned:
+                    continue
+                names = assigned.get(id(call))
+                if names and any(name in with_names for name in names):
+                    continue
+                yield self.finding(
+                    module, call,
+                    "span created outside a with block; enter it via "
+                    "'with ...' (or return it so the caller does)",
+                    symbol=symbol)
+
+    @staticmethod
+    def _span_call_kind(call: ast.Call) -> Optional[str]:
+        name = _call_name(call.func)
+        if name == "start_span":
+            return "forbidden"
+        if name not in ("span", "trace"):
+            return None
+        receiver = _receiver_tail(call.func)
+        if name == "trace" and receiver == "obs":
+            return "span"
+        if name == "span" and "tracer" in receiver.lower():
+            return "span"
+        return None
+
+
+@register
+class LockDiscipline(Rule):
+    """RL004: lock-guarded attributes never touched lock-free."""
+
+    rule_id = "RL004"
+    summary = "attributes written under self._lock are lock-protected everywhere"
+    rationale = ("Scatter-gather runs operators on worker threads; state "
+                 "mutated under a lock in one method but read bare in "
+                 "another is a data race waiting for a free-threaded "
+                 "interpreter.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            guarded, lock_attrs = self._guarded_attrs(cls)
+            if not guarded:
+                continue
+            for method in _methods(cls):
+                if method.name in ("__init__", "__post_init__"):
+                    continue
+                yield from self._check_method(module, cls, method, guarded,
+                                              lock_attrs)
+
+    @staticmethod
+    def _is_lock_attr(name: str) -> bool:
+        return "lock" in name.lower() or "mutex" in name.lower()
+
+    def _lock_items(self, node: ast.AST) -> bool:
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            return False
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and self._is_lock_attr(attr):
+                return True
+        return False
+
+    def _guarded_attrs(self, cls: ast.ClassDef) -> Tuple[Set[str], Set[str]]:
+        guarded: Set[str] = set()
+        lock_attrs: Set[str] = set()
+        for method in _methods(cls):
+            for node in _walk_same_scope(method.body):
+                if not self._lock_items(node):
+                    continue
+                for item in node.items:  # type: ignore[attr-defined]
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and self._is_lock_attr(attr):
+                        lock_attrs.add(attr)
+                for inner in _walk_same_scope(node.body):  # type: ignore[attr-defined]
+                    guarded.update(self._written_attrs(inner))
+        return guarded - lock_attrs, lock_attrs
+
+    @staticmethod
+    def _written_attrs(node: ast.AST) -> Set[str]:
+        written: Set[str] = set()
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                written.add(attr)
+            elif isinstance(target, ast.Subscript):
+                attr = _self_attr(target.value)
+                if attr is not None:
+                    written.add(attr)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                attr = _self_attr(node.func.value)
+                if attr is not None:
+                    written.add(attr)
+        return written
+
+    def _check_method(self, module: ModuleInfo, cls: ast.ClassDef,
+                      method: ast.FunctionDef, guarded: Set[str],
+                      lock_attrs: Set[str]) -> Iterator[Finding]:
+        func_nodes = {id(node.func) for node in _walk_same_scope(method.body)
+                      if isinstance(node, ast.Call)}
+        reported: Set[Tuple[int, str]] = set()
+
+        def scan(nodes: List[ast.stmt], locked: bool) -> Iterator[Finding]:
+            for stmt in nodes:
+                yield from scan_node(stmt, locked)
+
+        def scan_node(node: ast.AST, locked: bool) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                return
+            if self._lock_items(node):
+                assert isinstance(node, (ast.With, ast.AsyncWith))
+                for item in node.items:
+                    yield from scan_node(item, locked)
+                yield from scan(node.body, True)
+                return
+            attr = _self_attr(node)
+            if (attr in guarded and not locked and id(node) not in func_nodes
+                    and (node.lineno, attr) not in reported):
+                reported.add((node.lineno, attr))
+                yield Finding(
+                    rule=self.rule_id, path=module.path, line=node.lineno,
+                    col=node.col_offset,
+                    message=f"self.{attr} is written under "
+                            f"self.{sorted(lock_attrs)[0]} elsewhere but "
+                            f"accessed here without the lock",
+                    symbol=f"{cls.name}.{method.name}")
+            for child in ast.iter_child_nodes(node):
+                yield from scan_node(child, locked)
+
+        yield from scan(method.body, False)
+
+
+@register
+class OperatorPurity(Rule):
+    """RL005: operators only mutate the QueryContext fields they declare."""
+
+    rule_id = "RL005"
+    summary = "pipeline operators declare every QueryContext field they write"
+    rationale = ("The planner memoises plans and shares operator instances "
+                 "across queries; an undeclared context write is invisible "
+                 "to plan composition and broke funnel accounting once.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            if cls.name == "PhysicalOperator" or not self._is_operator(cls):
+                continue
+            writes = self._declared_writes(cls)
+            if writes is None:
+                yield self.finding(
+                    module, cls,
+                    "operator must declare 'writes: Tuple[str, ...]' naming "
+                    "the QueryContext fields it mutates",
+                    symbol=cls.name)
+                continue
+            for method in _methods(cls):
+                ctx_params = self._context_params(method)
+                if not ctx_params:
+                    continue
+                for node in _walk_same_scope(method.body):
+                    for field, site in self._context_writes(node, ctx_params):
+                        if field not in writes:
+                            yield self.finding(
+                                module, site,
+                                f"writes undeclared context field "
+                                f"ctx.{field}; add it to {cls.name}.writes",
+                                symbol=f"{cls.name}.{method.name}")
+
+    @staticmethod
+    def _is_operator(cls: ast.ClassDef) -> bool:
+        for base in cls.bases:
+            name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else "")
+            if name == "PhysicalOperator":
+                return True
+        return False
+
+    @staticmethod
+    def _declared_writes(cls: ast.ClassDef) -> Optional[Set[str]]:
+        for stmt in cls.body:
+            value: Optional[ast.expr] = None
+            name = ""
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                if isinstance(stmt.targets[0], ast.Name):
+                    name = stmt.targets[0].id
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    name = stmt.target.id
+                    value = stmt.value
+            if name != "writes" or value is None:
+                continue
+            if isinstance(value, (ast.Tuple, ast.List)):
+                fields = set()
+                for element in value.elts:
+                    if (isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)):
+                        fields.add(element.value)
+                return fields
+        return None
+
+    @staticmethod
+    def _context_params(method: ast.FunctionDef) -> Set[str]:
+        params: Set[str] = set()
+        for arg in method.args.args + method.args.kwonlyargs:
+            annotation = arg.annotation
+            annotated = annotation is not None and (
+                "QueryContext" in ast.unparse(annotation))
+            if annotated or arg.arg == "ctx":
+                params.add(arg.arg)
+        return params
+
+    @staticmethod
+    def _context_writes(node: ast.AST, ctx_params: Set[str]
+                        ) -> Iterator[Tuple[str, ast.AST]]:
+        def direct_field(expr: ast.expr) -> Optional[str]:
+            if (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id in ctx_params):
+                return expr.attr
+            return None
+
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            field = direct_field(target)
+            if field is not None:
+                yield field, node
+            elif isinstance(target, ast.Subscript):
+                field = direct_field(target.value)
+                if field is not None:
+                    yield field, node
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                field = direct_field(node.func.value)
+                if field is not None:
+                    yield field, node
+
+
+@register
+class HandleRelease(Rule):
+    """RL006: pinned pages released via try/finally or context manager."""
+
+    rule_id = "RL006"
+    summary = "get_page/allocate_page pins balanced by unpin in a finally"
+    rationale = ("A leaked pin makes the page unevictable; under pin "
+                 "pressure the buffer pool silently grows past capacity "
+                 "and the paper's I/O accounting drifts.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for symbol, body in _function_units(module.tree):
+            if symbol.split(".")[-1] == "__enter__":
+                continue  # pin handed to the paired __exit__
+            unpinned = self._unpinned_names(body)
+            allowed: Set[int] = set()
+            pin_calls: List[Tuple[ast.Call, Optional[str]]] = []
+
+            for node in _walk_same_scope(body):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if isinstance(item.context_expr, ast.Call):
+                            allowed.add(id(item.context_expr))
+                elif isinstance(node, ast.Return) and isinstance(
+                        node.value, ast.Call):
+                    allowed.add(id(node.value))
+                if (isinstance(node, ast.Call)
+                        and _call_name(node.func) in ("get_page",
+                                                      "allocate_page")
+                        and isinstance(node.func, ast.Attribute)):
+                    pin_calls.append((node, None))
+                elif isinstance(node, ast.Assign) and isinstance(
+                        node.value, ast.Call):
+                    pass  # assignment targets resolved below
+
+            assigns: Dict[int, str] = {}
+            for node in _walk_same_scope(body):
+                if (isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Call)):
+                    assigns[id(node.value)] = node.targets[0].id
+
+            for call, _unused in pin_calls:
+                if id(call) in allowed:
+                    continue
+                name = assigns.get(id(call))
+                if name is not None and name in unpinned:
+                    continue
+                yield self.finding(
+                    module, call,
+                    "pinned page not released on all paths; unpin it in a "
+                    "try/finally or use pool.pinned(...)",
+                    symbol=symbol)
+
+    @staticmethod
+    def _unpinned_names(body: List[ast.stmt]) -> Set[str]:
+        """Names passed to ``.unpin(name)`` inside a ``finally`` block."""
+        names: Set[str] = set()
+        for node in _walk_same_scope(body):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for inner in ast.walk(stmt):
+                    if (isinstance(inner, ast.Call)
+                            and _call_name(inner.func) == "unpin"):
+                        for arg in inner.args:
+                            if isinstance(arg, ast.Name):
+                                names.add(arg.id)
+        return names
+
+
+@register
+class NoNakedFloatEq(Rule):
+    """RL007: no == / != against float literals in scoring/bounds code."""
+
+    rule_id = "RL007"
+    summary = "scoring and bounds code never compares floats with == / !="
+    rationale = ("Score ties and bound crossings decide pruning "
+                 "correctness; exact float equality silently diverges "
+                 "between accumulation orders — use math.isclose or an "
+                 "explicit tolerance.")
+    path_patterns = (
+        "core/scoring", "core/influence", "core/temporal",
+        "query/bounds", "query/topk", "query/max_ranking",
+        "query/sum_ranking", "eval/kendall",
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            has_float = any(isinstance(op, ast.Constant)
+                            and isinstance(op.value, float)
+                            for op in operands)
+            if not has_float:
+                continue
+            for op in node.ops:
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    yield self.finding(
+                        module, node,
+                        "float literal compared with == / != in scoring "
+                        "code; use math.isclose or an explicit tolerance")
+                    break

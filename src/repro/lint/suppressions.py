@@ -1,0 +1,93 @@
+"""In-source suppression comments.
+
+Syntax (a real comment — occurrences inside string literals are ignored
+because scanning is token-based)::
+
+    # repro-lint: disable=RL004 reason=double-checked locking; GIL-atomic read
+    # repro-lint: disable=RL001,RL002 reason=fixture reproducing the old bug
+    # repro-lint: disable=all reason=generated file
+
+A trailing comment suppresses findings on its own line; a comment that
+stands alone on a line suppresses the next source line.  The ``reason=``
+justification is **mandatory**: a suppression without one does not
+suppress anything and is itself reported as an :data:`~.findings.META_RULE`
+finding, so unjustified silencing can never slip through review.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .findings import META_RULE, Finding
+
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,]+)"
+    r"(?:\s+reason=(?P<reason>.*))?")
+
+#: Wildcard marker meaning "all rules" in a suppression's rule set.
+ALL_RULES = "*"
+
+
+@dataclass
+class SuppressionMap:
+    """Per-line suppressed rule ids plus malformed-suppression findings."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    malformed: List[Finding] = field(default_factory=list)
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        if rule == META_RULE:
+            return False
+        rules = self.by_line.get(line)
+        if not rules:
+            return False
+        return rule in rules or ALL_RULES in rules
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str, str]]:
+    """``(line, col, text, line_source)`` for every COMMENT token.
+
+    Tokenisation errors (the linter may be pointed at broken files) yield
+    whatever comments were seen before the error.
+    """
+    out: List[Tuple[int, int, str, str]] = []
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                out.append((token.start[0], token.start[1], token.string,
+                            token.line))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return out
+
+
+def scan_suppressions(source: str, path: str) -> SuppressionMap:
+    """Parse every ``repro-lint`` comment in ``source``."""
+    result = SuppressionMap()
+    for line, col, text, line_source in _comment_tokens(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        reason = (match.group("reason") or "").strip()
+        if not reason:
+            result.malformed.append(Finding(
+                rule=META_RULE, path=path, line=line, col=col,
+                message="suppression without a reason= justification "
+                        "(ignored); write '# repro-lint: disable=RULE "
+                        "reason=<why>'"))
+            continue
+        rules = {ALL_RULES if r.strip().lower() == "all" else r.strip()
+                 for r in match.group("rules").split(",") if r.strip()}
+        if not rules:
+            continue
+        # A standalone comment governs the next line; a trailing comment
+        # governs its own line.
+        standalone = line_source[:col].strip() == ""
+        target = line + 1 if standalone else line
+        result.by_line.setdefault(target, set()).update(rules)
+    return result

@@ -76,6 +76,7 @@ class PlatformSearchOp(PhysicalOperator):
 
     name = "PlatformSearch"
     paper_lines = "Section VIII (cross-platform future work)"
+    writes = ("platform_results",)
 
     def __init__(self, federation: Optional["FederatedEngine"],
                  method: str) -> None:
@@ -113,6 +114,7 @@ class FederatedMergeOp(PhysicalOperator):
 
     name = "FederatedMerge"
     paper_lines = "Section VIII (cross-platform future work)"
+    writes = ("federated_users",)
 
     def __init__(self, federation: Optional["FederatedEngine"]) -> None:
         self.federation = federation

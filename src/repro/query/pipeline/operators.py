@@ -40,6 +40,11 @@ class PhysicalOperator:
     name: str = "Op"
     #: which lines of the paper's Algorithms 4/5 this stage implements
     paper_lines: str = ""
+    #: the :class:`QueryContext` fields this stage mutates.  Every
+    #: concrete operator must declare its own (lint rule RL005): the
+    #: planner composes stages on the assumption that context effects
+    #: are exactly the declared ones.
+    writes: Tuple[str, ...] = ()
 
     def run(self, ctx: QueryContext) -> None:
         raise NotImplementedError
@@ -61,6 +66,7 @@ class CoverOp(PhysicalOperator):
 
     name = "Cover"
     paper_lines = "Alg 4/5 line 1"
+    writes = ("cells",)
 
     def run(self, ctx: QueryContext) -> None:
         query = ctx.query
@@ -81,6 +87,7 @@ class PostingsFetchOp(PhysicalOperator):
 
     name = "PostingsFetch"
     paper_lines = "Alg 4/5 lines 4-7"
+    writes = ("per_cell",)
 
     def __init__(self, track_fetches: bool = True) -> None:
         # Fetch accounting reads a source-wide counter, which is only
@@ -107,6 +114,7 @@ class TemporalClipOp(PhysicalOperator):
 
     name = "TemporalClip"
     paper_lines = "Section VIII (temporal extension)"
+    writes = ("per_cell", "recency_reference")
 
     def run(self, ctx: QueryContext) -> None:
         temporal = ctx.query.temporal
@@ -125,6 +133,7 @@ class CandidateFormOp(PhysicalOperator):
 
     name = "CandidateForm"
     paper_lines = "Alg 4/5 lines 8-14"
+    writes = ("candidates",)
 
     def __init__(self, semantics=None) -> None:
         # None = take the semantics from the query at run time.
@@ -150,6 +159,7 @@ class DatasetScanOp(PhysicalOperator):
 
     name = "DatasetScan"
     paper_lines = "Section II-B (unindexed baseline)"
+    writes = ("candidates",)
 
     def run(self, ctx: QueryContext) -> None:
         query = ctx.query
@@ -186,6 +196,7 @@ class RadiusFilterOp(PhysicalOperator):
 
     name = "RadiusFilter"
     paper_lines = "Alg 4/5 line 16"
+    writes = ("in_radius", "candidate_uids")
 
     def __init__(self, use_cell_containment: bool = True) -> None:
         self.use_cell_containment = use_cell_containment
@@ -271,6 +282,7 @@ class BoundsPruneOp(PhysicalOperator):
 
     name = "BoundsPrune"
     paper_lines = "Alg 5 lines 18-19; Def 11; Section VI-B5"
+    writes = ("pruner",)
 
     def __init__(self, tighten_distance_bound: bool = True) -> None:
         # Sound refinement beyond the paper's bound: once a candidate
@@ -314,6 +326,7 @@ class ThreadScoreOp(PhysicalOperator):
 
     name = "ThreadScore"
     paper_lines = "Alg 4 lines 15-24 / Alg 5 lines 15-33"
+    writes = ("keyword_parts", "queue")
 
     def __init__(self, aggregate: str, ranked: bool = False) -> None:
         if aggregate not in ("sum", "max"):
@@ -437,6 +450,7 @@ class RankOp(PhysicalOperator):
 
     name = "Rank"
     paper_lines = "Alg 4 lines 25-27 / Alg 5 line 34"
+    writes = ("scored",)
 
     def run(self, ctx: QueryContext) -> None:
         if ctx.queue is not None:
@@ -466,6 +480,7 @@ class TopKOp(PhysicalOperator):
 
     name = "TopK"
     paper_lines = "Alg 4/5 lines 28-29"
+    writes = ("users",)
 
     def run(self, ctx: QueryContext) -> None:
         ctx.users = ctx.scored[:ctx.query.k]
@@ -482,6 +497,7 @@ class PartitionRouteOp(PhysicalOperator):
 
     name = "PartitionRoute"
     paper_lines = "Section IV-B1 (layout/locality)"
+    writes = ("cells_by_server",)
 
     def run(self, ctx: QueryContext) -> None:
         source = ctx.source
@@ -512,6 +528,7 @@ class ScatterGatherOp(PhysicalOperator):
 
     name = "ScatterGather"
     paper_lines = "Section IV-B1 (distributed retrieval)"
+    writes = ("keyword_parts", "candidate_uids")
 
     def __init__(self, aggregate: str, server_plan, max_workers: int = 4) -> None:
         if aggregate not in ("sum", "max"):

@@ -7,6 +7,8 @@ pointing into it.
 
 from __future__ import annotations
 
+import contextlib
+
 from typing import Iterator, Optional, Tuple
 
 from .page import PageError, SlottedPage, pack_record_id, unpack_record_id
@@ -37,11 +39,10 @@ class HeapFile:
             page = self._pool.get_page(self._tail_page)
             try:
                 slotted = SlottedPage(page)
-                try:
+                # Full tail page: fall through to allocate a fresh one.
+                with contextlib.suppress(PageError):
                     slot = slotted.insert(record)
                     return pack_record_id(page.page_no, slot)
-                except PageError:
-                    pass  # full: fall through to allocate
             finally:
                 self._pool.unpin(page)
         page = self._pool.allocate_page()

@@ -24,7 +24,7 @@ engineering choice and its cost is accounted like the others.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .bptree import BPlusTree
 from .heapfile import HeapFile
@@ -141,6 +141,16 @@ class MetadataDatabase:
         forwards any single tweet has received."""
         return self._max_reply_fanout
 
+    @property
+    def heap(self) -> HeapFile:
+        """The record heap — exposed for deep invariant validation."""
+        return self._heap
+
+    def indexes(self) -> Dict[str, BPlusTree]:
+        """The named B+-trees — exposed for deep invariant validation."""
+        return {"sid": self._sid_tree, "rsid": self._rsid_tree,
+                "uid": self._uid_tree}
+
     # -- writes ----------------------------------------------------------
 
     def insert(self, record: TweetRecord) -> None:
@@ -160,7 +170,7 @@ class MetadataDatabase:
             if count > self._max_reply_fanout:
                 self._max_reply_fanout = count
 
-    def bulk_load(self, records) -> int:
+    def bulk_load(self, records: Iterable[TweetRecord]) -> int:
         """Insert many records; returns the number loaded."""
         loaded = 0
         for record in records:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Protocol
 
 from .. import obs
 from .iostats import IOStats
@@ -26,6 +26,34 @@ from .page import PAGE_SIZE, Page
 
 class PagerError(RuntimeError):
     """Raised for invalid page accesses at the backend level."""
+
+
+class Pager(Protocol):
+    """The physical page-I/O interface :class:`BufferPool` builds on.
+
+    :class:`MemoryPager` and :class:`FilePager` both satisfy it
+    structurally; tests can substitute fakes that inject I/O failures.
+    """
+
+    stats: IOStats
+
+    @property
+    def page_count(self) -> int: ...
+
+    @property
+    def free_count(self) -> int: ...
+
+    def allocate(self) -> int: ...
+
+    def free_page(self, page_no: int) -> None: ...
+
+    def read_page(self, page_no: int) -> Page: ...
+
+    def write_page(self, page: Page) -> None: ...
+
+    def sync(self) -> None: ...
+
+    def close(self) -> None: ...
 
 
 class MemoryPager:
@@ -165,7 +193,7 @@ class BufferPool:
     pages are written back on eviction and on :meth:`flush_all`.
     """
 
-    def __init__(self, pager, capacity: int = 256) -> None:
+    def __init__(self, pager: Pager, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError(f"buffer pool capacity must be >= 1: {capacity}")
         self._pager = pager
@@ -219,19 +247,9 @@ class BufferPool:
             raise RuntimeError(f"cannot free pinned page {page_no}")
         self._pager.free_page(page_no)
 
-    def pinned(self, page_no: int):
+    def pinned(self, page_no: int) -> "_PinnedPage":
         """Context manager yielding a pinned page and unpinning on exit."""
-        pool = self
-
-        class _Pinned:
-            def __enter__(self) -> Page:
-                self.page = pool.get_page(page_no)
-                return self.page
-
-            def __exit__(self, *exc) -> None:
-                pool.unpin(self.page)
-
-        return _Pinned()
+        return _PinnedPage(self, page_no)
 
     def _install(self, page_no: int, page: Page) -> None:
         if len(self._frames) >= self._capacity:
@@ -267,3 +285,19 @@ class BufferPool:
 
     def cached_pages(self) -> int:
         return len(self._frames)
+
+
+class _PinnedPage:
+    """``with pool.pinned(n) as page:`` — the pin is handed to
+    ``__exit__``, which balances it unconditionally."""
+
+    def __init__(self, pool: BufferPool, page_no: int) -> None:
+        self._pool = pool
+        self._page_no = page_no
+
+    def __enter__(self) -> Page:
+        self.page = self._pool.get_page(self._page_no)
+        return self.page
+
+    def __exit__(self, *exc: object) -> None:
+        self._pool.unpin(self.page)

@@ -140,7 +140,7 @@ class TestTemporalQueries:
                                temporal=temporal)
             indexed = engine.search_sum(query)
             exact = oracle.search_sum(query)
-            for (ua, sa), (ub, sb) in zip(indexed.users, exact.users):
+            for (_ua, sa), (_ub, sb) in zip(indexed.users, exact.users):
                 assert sa == pytest.approx(sb)
 
     def test_recency_prefers_newer_on_max(self, engine, workload, oracle):

@@ -28,9 +28,9 @@ def random_point_in_circle(rng, center, radius_km):
         r = radius_km * math.sqrt(rng.random())
         lat = center[0] + math.sin(angle) * km_to_degrees_lat(r)
         lon = center[1] + math.cos(angle) * km_to_degrees_lon(r, center[0])
-        if abs(lat) <= 90 and abs(lon) <= 180:
-            if haversine_km(center, (lat, lon)) <= radius_km:
-                return (lat, lon)
+        if (abs(lat) <= 90 and abs(lon) <= 180
+                and haversine_km(center, (lat, lon)) <= radius_km):
+            return (lat, lon)
 
 
 class TestCircleCover:

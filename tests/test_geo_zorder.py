@@ -89,7 +89,7 @@ class TestRanges:
         # With an unconstrained budget the cover is exact.
         assert covered == wanted
         # Ranges are sorted and disjoint.
-        for (lo1, hi1), (lo2, hi2) in zip(ranges, ranges[1:]):
+        for (_lo1, hi1), (lo2, _hi2) in zip(ranges, ranges[1:]):
             assert hi1 < lo2
 
     def test_budget_merges_ranges(self):

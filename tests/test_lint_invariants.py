@@ -1,0 +1,246 @@
+"""Deep invariant validators: clean structures pass, corrupted ones fail.
+
+Each validator is exercised twice — once against a freshly built
+structure (no violations) and once after deliberately injecting the
+corruption it exists to detect.
+"""
+
+import struct
+
+import pytest
+
+from repro.cli import main
+from repro.data.generator import generate_corpus
+from repro.geo import geohash
+from repro.geo.cover import circle_cover
+from repro.geo.quadtree import QuadTree
+from repro.index.forward import PostingsRef
+from repro.lint import (
+    run_deep_checks,
+    validate_bptree,
+    validate_cover_soundness,
+    validate_forward_inverted,
+    validate_heap_pages,
+    validate_quadtree,
+)
+from repro.query.engine import TkLUSEngine
+from repro.storage.metadata import MetadataDatabase
+from repro.storage.records import TweetRecord
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_users=40, num_root_tweets=150, seed=7)
+
+
+@pytest.fixture()
+def engine(corpus):
+    return TkLUSEngine.from_posts(corpus.posts, precompute_bounds=False)
+
+
+@pytest.fixture()
+def database():
+    db = MetadataDatabase.in_memory()
+    for sid in range(1, 600):
+        db.insert(TweetRecord(sid=sid, uid=sid % 25,
+                              lat=43.0 + (sid % 50) * 0.01,
+                              lon=-79.0 + (sid % 70) * 0.01))
+    return db
+
+
+def first_leaf(tree):
+    node = tree._load(tree._root_page)
+    while not node.is_leaf:
+        node = tree._load(node.children[0])
+    return node
+
+
+class TestBPlusTreeValidator:
+    def test_fresh_tree_is_clean(self, database):
+        for name, tree in database.indexes().items():
+            assert validate_bptree(tree, name=name) == [], name
+        # 599 keys span multiple leaves, so fill/chain checks are real.
+        assert database.indexes()["sid"]._height >= 2
+
+    def test_detects_unsorted_leaf_keys(self, database):
+        tree = database.indexes()["sid"]
+        leaf = first_leaf(tree)
+        leaf.keys.reverse()
+        tree._store(leaf)
+        violations = validate_bptree(tree)
+        assert any("out of order" in v.message for v in violations)
+
+    def test_detects_size_mismatch(self, database):
+        tree = database.indexes()["sid"]
+        tree._size += 7
+        violations = validate_bptree(tree)
+        assert any("recorded size" in v.message for v in violations)
+
+    def test_detects_broken_leaf_chain(self, database):
+        tree = database.indexes()["sid"]
+        leaf = first_leaf(tree)
+        leaf.next_leaf = leaf.page_no  # self-loop
+        tree._store(leaf)
+        violations = validate_bptree(tree)
+        assert any("next_leaf" in v.message for v in violations)
+
+    def test_detects_corrupt_node_bytes(self, database):
+        tree = database.indexes()["sid"]
+        leaf = first_leaf(tree)
+        with tree._pool.pinned(leaf.page_no) as page:
+            page.data[0] = 9  # invalid node type
+            page.mark_dirty()
+        violations = validate_bptree(tree)
+        assert any("failed to load" in v.message for v in violations)
+
+
+class TestHeapValidator:
+    def test_fresh_heap_is_clean(self, database):
+        assert validate_heap_pages(database.heap) == []
+        assert database.heap.page_count >= 2
+
+    def test_detects_record_past_page_end(self, database):
+        heap = database.heap
+        with heap._pool.pinned(0) as page:
+            # Rewrite slot 0 to run past the page boundary.
+            struct.pack_into("<HH", page.data, 4, 4000, 500)
+            page.mark_dirty()
+        violations = validate_heap_pages(heap)
+        assert any("past the page end" in v.message for v in violations)
+
+    def test_detects_free_offset_overlapping_directory(self, database):
+        heap = database.heap
+        with heap._pool.pinned(0) as page:
+            slot_count, _free = struct.unpack_from("<HH", page.data, 0)
+            struct.pack_into("<HH", page.data, 0, slot_count, 6)
+            page.mark_dirty()
+        violations = validate_heap_pages(heap)
+        assert any("overlaps the slot directory" in v.message
+                   for v in violations)
+
+
+class TestCoverValidator:
+    def test_real_cover_is_sound(self, corpus):
+        posts = corpus.posts
+        queries = [(posts[0].location, 10.0), (posts[7].location, 25.0)]
+        assert validate_cover_soundness(posts, 4, queries) == []
+
+    def test_detects_incomplete_cover(self, corpus):
+        posts = corpus.posts
+        queries = [(posts[0].location, 10.0)]
+
+        def broken_cover(center, radius_km, length, metric):
+            return []  # covers nothing
+
+        violations = validate_cover_soundness(
+            posts, 4, queries, cover_fn=broken_cover)
+        assert any("not in the cover" in v.message for v in violations)
+
+    def test_detects_spurious_cover_cell(self, corpus):
+        posts = corpus.posts
+        queries = [(posts[0].location, 10.0)]
+        far_cell = geohash.encode(-45.0, 100.0, 4)
+
+        def bloated_cover(center, radius_km, length, metric):
+            return circle_cover(center, radius_km, length, metric) + [
+                far_cell]
+
+        violations = validate_cover_soundness(
+            posts, 4, queries, cover_fn=bloated_cover)
+        assert any("does not intersect" in v.message for v in violations)
+
+
+class TestForwardInvertedValidator:
+    def test_fresh_index_is_clean(self, engine):
+        assert validate_forward_inverted(engine.index,
+                                         engine.database) == []
+
+    def test_detects_count_length_mismatch(self, engine):
+        entries = engine.index.forward._entries
+        key, ref = next(iter(entries.items()))
+        entries[key] = PostingsRef(path=ref.path, offset=ref.offset,
+                                   length=ref.length, count=ref.count + 1)
+        violations = validate_forward_inverted(engine.index)
+        assert any("length" in v.message for v in violations)
+
+    def test_detects_posting_for_unknown_tweet(self, engine):
+        index = engine.index
+        database = engine.database
+        # Pick one indexed posting and delete its tweet from the sid tree.
+        for (_cell, _term), ref in index.forward.items():
+            reader = index.cluster.open(ref.path)
+            data = reader.pread(ref.offset, ref.length)
+            if data:
+                from repro.index.postings import decode_postings
+                tid = decode_postings(data)[0][0]
+                break
+        assert database.indexes()["sid"].delete((tid, 0))
+        violations = validate_forward_inverted(index, database)
+        assert any(f"unknown tweet {tid}" in v.message for v in violations)
+
+    def test_detects_cell_mismatch(self, engine):
+        entries = engine.index.forward._entries
+        (cell, term), ref = next(iter(entries.items()))
+        wrong_cell = geohash.encode(-45.0, 100.0, len(cell))
+        del entries[(cell, term)]
+        entries[(wrong_cell, term)] = ref
+        violations = validate_forward_inverted(engine.index,
+                                               engine.database)
+        assert any(f"not {wrong_cell!r}" in v.message for v in violations)
+
+
+class TestQuadtreeValidator:
+    def build(self, corpus):
+        tree = QuadTree(capacity=8)
+        for post in corpus.posts:
+            tree.insert(post.location[0], post.location[1], post.sid)
+        return tree
+
+    def test_fresh_tree_is_clean(self, corpus):
+        tree = self.build(corpus)
+        assert tree.depth() > 0  # splits happened; bounds checks are real
+        assert validate_quadtree(tree) == []
+
+    def test_detects_point_outside_leaf_bounds(self, corpus):
+        tree = self.build(corpus)
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf and node.points and node.depth > 0:
+                lat, lon, value = node.points[0]
+                node.points[0] = (-lat, -lon, value)
+                break
+            if node.children:
+                stack.extend(node.children)
+        violations = validate_quadtree(tree)
+        assert any("outside leaf bounds" in v.message for v in violations)
+
+    def test_detects_size_counter_drift(self, corpus):
+        tree = self.build(corpus)
+        tree._size += 3
+        violations = validate_quadtree(tree)
+        assert any("size counter" in v.message for v in violations)
+
+
+class TestDeepRunner:
+    def test_clean_synthetic_build_under_budget(self, corpus):
+        report = run_deep_checks(posts=corpus.posts)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.posts == len(corpus.posts)
+        assert report.seconds < 10.0
+        assert {check.name for check in report.checks} == {
+            "bptree[sid]", "bptree[rsid]", "bptree[uid]", "heap-pages",
+            "cover-soundness", "forward-inverted", "quadtree"}
+
+    def test_report_serialises(self, corpus):
+        import json
+
+        report = run_deep_checks(posts=corpus.posts)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        assert len(payload["checks"]) == 7
+
+    def test_cli_deep_exit_code(self, capsys):
+        assert main(["check", "--deep", "--users", "30",
+                     "--roots", "120"]) == 0
+        assert "all invariants hold" in capsys.readouterr().out

@@ -1,0 +1,473 @@
+"""Fixture tests for the project lint rules (RL001-RL007).
+
+Every rule gets at least one violating and one clean snippet, plus
+suppression-comment coverage.  RL001 and RL002 additionally reconstruct
+the two historical bugs they exist to prevent: the shared mutable
+``ScoringConfig`` default and the postings-cache aliasing in
+``HybridIndex``.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro import lint
+from repro.cli import main
+from repro.lint import META_RULE, lint_source
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: A source path that looks like production code (several rules skip
+#: test files on purpose).
+SRC_PATH = "src/repro/fake/module.py"
+
+
+def findings_for(source: str, rule_id: str, path: str = SRC_PATH):
+    return [f for f in lint_source(dedent(source), path=path)
+            if f.rule == rule_id]
+
+
+# -- framework -------------------------------------------------------------
+
+class TestFramework:
+    def test_all_seven_rules_registered(self):
+        assert lint.rule_ids() == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+
+    def test_syntax_error_reports_meta_finding(self):
+        findings = lint_source("def broken(:\n", path=SRC_PATH)
+        assert [f.rule for f in findings] == [META_RULE]
+
+    def test_baseline_key_omits_line_number(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class A:
+                xs: list = []
+        """
+        (before,) = findings_for(source, "RL001")
+        (after,) = findings_for("\n\n\n" + dedent(source), "RL001")
+        assert before.line != after.line
+        assert before.baseline_key() == after.baseline_key()
+
+    def test_baseline_round_trip_forgives_findings(self, tmp_path):
+        bad = tmp_path / "mod.py"
+        bad.write_text(dedent("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class A:
+                xs: list = []
+        """))
+        report = lint.lint_paths([bad])
+        assert not report.ok
+        baseline_file = tmp_path / "baseline.json"
+        lint.write_baseline(baseline_file, report.findings)
+        baseline = lint.load_baseline(baseline_file)
+        forgiven = lint.lint_paths([bad], baseline=baseline)
+        assert forgiven.ok
+        assert len(forgiven.baselined) == 1
+        assert forgiven.stale_baseline == []
+
+
+# -- suppressions ----------------------------------------------------------
+
+class TestSuppressions:
+    VIOLATION = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class A:
+            xs: list = []{comment}
+    """
+
+    def test_trailing_comment_suppresses_own_line(self):
+        source = self.VIOLATION.format(
+            comment="  # repro-lint: disable=RL001 reason=fixture")
+        assert findings_for(source, "RL001") == []
+
+    def test_standalone_comment_suppresses_next_line(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class A:
+                # repro-lint: disable=RL001 reason=fixture
+                xs: list = []
+        """
+        assert findings_for(source, "RL001") == []
+
+    def test_reason_is_mandatory(self):
+        source = self.VIOLATION.format(
+            comment="  # repro-lint: disable=RL001")
+        findings = lint_source(dedent(source), path=SRC_PATH)
+        rules = sorted(f.rule for f in findings)
+        # The suppression is ignored AND itself reported.
+        assert rules == [META_RULE, "RL001"]
+
+    def test_meta_rule_is_never_suppressible(self):
+        source = self.VIOLATION.format(
+            comment="  # repro-lint: disable=RL000,RL001")
+        findings = lint_source(dedent(source), path=SRC_PATH)
+        assert META_RULE in {f.rule for f in findings}
+
+    def test_disable_all_with_reason(self):
+        source = self.VIOLATION.format(
+            comment="  # repro-lint: disable=all reason=generated fixture")
+        assert findings_for(source, "RL001") == []
+
+    def test_comment_inside_string_literal_is_ignored(self):
+        source = '''
+            TEXT = "# repro-lint: disable=RL001 reason=not a comment"
+        '''
+        findings = lint_source(dedent(source), path=SRC_PATH)
+        assert findings == []
+
+
+# -- RL001: no mutable dataclass defaults ----------------------------------
+
+class TestRL001:
+    def test_flags_mutable_literal_default(self):
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Config:
+                weights: dict = {}
+        """
+        (finding,) = findings_for(source, "RL001")
+        assert finding.symbol == "Config.weights"
+
+    def test_flags_field_with_mutable_default(self):
+        source = """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Config:
+                xs: list = field(default=[])
+        """
+        assert len(findings_for(source, "RL001")) == 1
+
+    def test_historical_scoring_config_bug(self):
+        # PR-1 fixed exactly this: EngineConfig shared one ScoringConfig
+        # instance across every engine, so tuning one query's weights
+        # changed all later queries.
+        source = """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ScoringConfig:
+                alpha: float = 0.5
+
+            @dataclass
+            class EngineConfig:
+                scoring: ScoringConfig = ScoringConfig()
+        """
+        (finding,) = findings_for(source, "RL001")
+        assert finding.symbol == "EngineConfig.scoring"
+        assert "shared" in finding.message
+
+    def test_clean_defaults_pass(self):
+        source = """
+            from dataclasses import dataclass, field
+            from typing import ClassVar, Optional, Tuple
+
+            @dataclass
+            class Config:
+                name: str = "x"
+                weights: dict = field(default_factory=dict)
+                pair: Tuple[int, int] = (1, 2)
+                registry: ClassVar[dict] = {}
+                other: Optional[int] = None
+        """
+        assert findings_for(source, "RL001") == []
+
+
+# -- RL002: cache returns must copy ----------------------------------------
+
+class TestRL002:
+    def test_historical_postings_aliasing_bug(self):
+        # PR-2 fixed exactly this: HybridIndex.postings returned the
+        # cached list by reference; temporal clipping then truncated the
+        # cache in place, corrupting every later hit for that key.
+        source = """
+            class HybridIndex:
+                def __init__(self):
+                    self._cache = {}
+                    self._order = []
+
+                def postings(self, key):
+                    self._order.append(key)
+                    return self._order
+        """
+        (finding,) = findings_for(source, "RL002")
+        assert finding.symbol == "HybridIndex.postings"
+
+    def test_clean_copying_return_passes(self):
+        source = """
+            class HybridIndex:
+                def __init__(self):
+                    self._cache = {}
+
+                def snapshot(self):
+                    return dict(self._cache)
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_init_itself_is_exempt(self):
+        source = """
+            class Holder:
+                def __init__(self):
+                    self._xs = []
+        """
+        assert findings_for(source, "RL002") == []
+
+
+# -- RL003: span balance ---------------------------------------------------
+
+class TestRL003:
+    def test_flags_dangling_span(self):
+        source = """
+            def work(tracer):
+                span = tracer.span("work")
+                span.__enter__()
+        """
+        assert len(findings_for(source, "RL003")) == 1
+
+    def test_flags_start_span_always(self):
+        source = """
+            def work(anything):
+                with anything.start_span("work"):
+                    pass
+        """
+        (finding,) = findings_for(source, "RL003")
+        assert "start_span" in finding.message
+
+    def test_clean_with_and_return_pass(self):
+        source = """
+            from repro import obs
+
+            def direct(tracer):
+                with tracer.span("a"):
+                    pass
+
+            def assigned_then_with():
+                scope = obs.trace("b", k=1)
+                with scope as span:
+                    span.set(x=1)
+
+            def reexported(tracer):
+                return tracer.span("c")
+        """
+        assert findings_for(source, "RL003") == []
+
+
+# -- RL004: lock discipline ------------------------------------------------
+
+class TestRL004:
+    def test_flags_lock_free_access_to_guarded_attr(self):
+        source = """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def peek(self):
+                    return self._items[-1]
+        """
+        (finding,) = findings_for(source, "RL004")
+        assert finding.symbol == "Box.peek"
+
+    def test_clean_when_every_access_is_locked(self):
+        source = """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, x):
+                    with self._lock:
+                        self._items.append(x)
+
+                def peek(self):
+                    with self._lock:
+                        return self._items[-1]
+        """
+        assert findings_for(source, "RL004") == []
+
+    def test_init_writes_are_exempt(self):
+        source = """
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def reset(self):
+                    with self._lock:
+                        self._items = []
+        """
+        assert findings_for(source, "RL004") == []
+
+
+# -- RL005: operator purity ------------------------------------------------
+
+class TestRL005:
+    def test_flags_missing_writes_declaration(self):
+        source = """
+            class BadOp(PhysicalOperator):
+                def run(self, ctx):
+                    ctx.cells = []
+        """
+        (finding,) = findings_for(source, "RL005",
+                                  path="src/repro/query/fake_ops.py")
+        assert "declare" in finding.message
+
+    def test_flags_undeclared_context_write(self):
+        source = """
+            class SneakyOp(PhysicalOperator):
+                writes = ("cells",)
+
+                def run(self, ctx):
+                    ctx.cells = []
+                    ctx.users = []
+        """
+        (finding,) = findings_for(source, "RL005",
+                                  path="src/repro/query/fake_ops.py")
+        assert "ctx.users" in finding.message
+
+    def test_clean_declared_writes_pass(self):
+        source = """
+            class GoodOp(PhysicalOperator):
+                writes = ("cells", "candidates")
+
+                def run(self, ctx):
+                    ctx.cells = []
+                    ctx.candidates.append(1)
+                    ctx.stats.candidates = 0  # nested stats are not ctx fields
+        """
+        assert findings_for(source, "RL005",
+                            path="src/repro/query/fake_ops.py") == []
+
+
+# -- RL006: page-pin release -----------------------------------------------
+
+class TestRL006:
+    def test_flags_unreleased_pin(self):
+        source = """
+            class Heap:
+                def first_byte(self, pool):
+                    page = pool.get_page(0)
+                    return page.data[0]
+        """
+        (finding,) = findings_for(source, "RL006",
+                                  path="src/repro/storage/fake_heap.py")
+        assert "unpin" in finding.message
+
+    def test_clean_try_finally_and_return_pass(self):
+        source = """
+            class Heap:
+                def first_byte(self, pool):
+                    page = pool.get_page(0)
+                    try:
+                        return page.data[0]
+                    finally:
+                        pool.unpin(page)
+
+                def handoff(self, pool):
+                    return pool.allocate_page()
+        """
+        assert findings_for(source, "RL006",
+                            path="src/repro/storage/fake_heap.py") == []
+
+    def test_enter_is_exempt(self):
+        source = """
+            class Pinned:
+                def __enter__(self):
+                    self.page = self.pool.get_page(self.page_no)
+                    return self.page
+        """
+        assert findings_for(source, "RL006",
+                            path="src/repro/storage/fake_pager.py") == []
+
+
+# -- RL007: no naked float equality ----------------------------------------
+
+class TestRL007:
+    def test_flags_float_eq_in_scoring_code(self):
+        source = """
+            def tied(score):
+                return score == 0.5
+        """
+        (finding,) = findings_for(source, "RL007",
+                                  path="src/repro/core/scoring_helpers.py")
+        assert "isclose" in finding.message
+
+    def test_int_compare_and_inequalities_pass(self):
+        source = """
+            def fine(score, bound):
+                return score == 0 or score <= 0.5 or score > bound
+        """
+        assert findings_for(source, "RL007",
+                            path="src/repro/core/scoring_helpers.py") == []
+
+    def test_rule_is_scoped_to_scoring_paths(self):
+        source = """
+            def elsewhere(x):
+                return x == 0.5
+        """
+        assert findings_for(source, "RL007",
+                            path="src/repro/data/generator_fake.py") == []
+
+
+# -- CLI integration -------------------------------------------------------
+
+class TestCheckCommand:
+    def test_full_tree_is_clean(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["check", "--rules", "src", "tests"]) == 0
+
+    def test_violating_file_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(dedent("""
+            from dataclasses import dataclass
+
+            @dataclass
+            class A:
+                xs: list = []
+        """))
+        assert main(["check", "--rules", str(bad), "--no-baseline"]) == 1
+        assert "RL001" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        good = tmp_path / "good.py"
+        good.write_text("VALUE = 1\n")
+        assert main(["check", "--rules", str(good), "--no-baseline",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"]["ok"] is True
+        assert payload["rules"]["files_checked"] == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in lint.rule_ids():
+            assert rule_id in out
+
+    def test_missing_path_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["check", "--rules", str(tmp_path / "nope"),
+                  "--no-baseline"])

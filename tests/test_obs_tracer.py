@@ -100,8 +100,8 @@ class TestTracerNesting:
 
     def test_out_of_order_close_rejected(self):
         tracer = Tracer()
-        outer = tracer.span("outer")
-        inner = tracer.span("inner")
+        outer = tracer.span("outer")  # repro-lint: disable=RL003 reason=test drives __enter__/__exit__ by hand to provoke the misuse error
+        inner = tracer.span("inner")  # repro-lint: disable=RL003 reason=test drives __enter__/__exit__ by hand to provoke the misuse error
         outer.__enter__()
         inner.__enter__()
         with pytest.raises(RuntimeError, match="out of order"):

@@ -1,6 +1,7 @@
 """Hypothesis stateful tests for the storage engine: random operation
 interleavings against model oracles, with invariant checks."""
 
+import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
@@ -30,11 +31,8 @@ class BPlusTreeMachine(RuleBasedStateMachine):
     def insert(self, key, value):
         composite = (key, 0)
         if composite in self.model:
-            try:
+            with pytest.raises(DuplicateKeyError):
                 self.tree.insert(composite, value)
-                raise AssertionError("duplicate insert must raise")
-            except DuplicateKeyError:
-                pass
         else:
             self.tree.insert(composite, value)
             self.model[composite] = value
