@@ -266,6 +266,38 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .eval.bench import (
+        BenchConfig,
+        render_summary,
+        run_bench,
+        validate_bench_report,
+        write_report,
+    )
+
+    config = BenchConfig(
+        num_users=args.users, num_root_tweets=args.roots, seed=args.seed,
+        queries_per_workload=args.queries, radius_km=args.radius,
+        k=args.k, block_size=args.block_size)
+    payload = run_bench(config)
+    problems = validate_bench_report(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid bench report: {problem}", file=sys.stderr)
+        return 1
+    if args.output:
+        write_report(payload, args.output)
+        print(f"wrote {args.output}")
+    print(render_summary(payload))
+    mismatched = [w["name"] for w in payload["workloads"]
+                  if not w["results_identical"]]
+    if mismatched:
+        print(f"format parity violated on: {', '.join(mismatched)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
     import os
@@ -411,6 +443,26 @@ def build_parser() -> argparse.ArgumentParser:
                              help="trace the full run; write spans to FILE "
                                   "as JSON lines (can be large)")
     experiments.set_defaults(func=_cmd_experiments)
+
+    bench = commands.add_parser(
+        "bench",
+        help="benchmark flat vs block postings on the paper workloads")
+    bench.add_argument("--users", type=int, default=400,
+                       help="synthetic corpus users")
+    bench.add_argument("--roots", type=int, default=2000,
+                       help="synthetic corpus root tweets")
+    bench.add_argument("--seed", type=int, default=42)
+    bench.add_argument("--queries", type=int, default=12,
+                       help="queries per workload")
+    bench.add_argument("--radius", type=float, default=20.0,
+                       help="query radius (km)")
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--block-size", type=int, default=128,
+                       help="postings entries per block")
+    bench.add_argument("--output", default="", metavar="FILE",
+                       help="write the JSON report to FILE "
+                            "(e.g. BENCH_query.json)")
+    bench.set_defaults(func=_cmd_bench)
 
     check = commands.add_parser(
         "check",

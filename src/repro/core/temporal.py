@@ -53,9 +53,20 @@ class TimeWindow:
         return True
 
     def clip_postings(self, postings: Sequence[Tuple[int, int]]
-                      ) -> List[Tuple[int, int]]:
-        """Restrict a tid-sorted postings list to the window via binary
-        search (tweet ids are timestamps)."""
+                      ) -> Sequence[Tuple[int, int]]:
+        """Restrict a tid-sorted postings sequence to the window.
+
+        Lazy block views (anything exposing a ``clip`` method, i.e.
+        :class:`repro.index.blocks.BlockPostingsReader`) narrow through
+        their skip table — whole blocks outside the window are discarded
+        without decoding.  Plain lists fall back to binary search on the
+        materialised tids (tweet ids are timestamps either way).
+        """
+        clip = getattr(postings, "clip", None)
+        if clip is not None:
+            if self.unbounded:
+                return postings
+            return clip(self.start, self.end)
         if self.unbounded or not postings:
             return list(postings)
         tids = [tid for tid, _tf in postings]

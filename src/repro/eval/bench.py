@@ -1,0 +1,293 @@
+"""Perf-regression bench harness: flat vs block-compressed postings.
+
+Runs the paper's query workloads (Fig 8 single-keyword, with and
+without a temporal window, and Fig 10 multi-keyword) over the same
+seeded synthetic corpus twice — once against a flat-format index, once
+against the block format — and reports per-workload latency quantiles
+and decode-work counters.  The committed ``BENCH_query.json`` at the
+repo root is this module's output; CI re-validates its schema and a
+smoke run guards against decode-path regressions.
+
+Everything here is exact and deterministic except wall-clock latency:
+quantiles are computed from the full sorted sample (no estimation), and
+both engines answer the identical bound queries so the report can also
+assert result parity between formats.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.model import Semantics, TkLUSQuery
+from ..core.temporal import TemporalSpec, TimeWindow
+from ..data.generator import SyntheticCorpus, generate_corpus
+from ..data.queries import QueryWorkload
+from ..dfs.cluster import paper_cluster
+from ..index.blocks import DEFAULT_BLOCK_SIZE
+from ..index.builder import IndexConfig
+from ..query.engine import EngineConfig, TkLUSEngine
+
+SCHEMA_VERSION = 1
+FORMATS = ("flat", "block")
+
+#: Per-format metric keys every workload entry must carry.
+METRIC_KEYS = (
+    "postings_bytes_decoded",
+    "blocks_decoded",
+    "blocks_skipped",
+    "block_cache_hits",
+    "block_cache_misses",
+    "index_bytes_read",
+    "postings_entries_read",
+)
+
+
+@dataclass
+class BenchConfig:
+    """Knobs for one bench run; the defaults match the committed
+    ``BENCH_query.json``."""
+
+    num_users: int = 400
+    num_root_tweets: int = 2000
+    seed: int = 42
+    queries_per_workload: int = 12
+    radius_km: float = 20.0
+    k: int = 10
+    block_size: int = DEFAULT_BLOCK_SIZE
+    #: the temporal-window workload keeps this central share of the
+    #: corpus's tweet-timestamp range
+    window_fraction: float = 0.2
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_users": self.num_users,
+            "num_root_tweets": self.num_root_tweets,
+            "seed": self.seed,
+            "queries_per_workload": self.queries_per_workload,
+            "radius_km": self.radius_km,
+            "k": self.k,
+            "block_size": self.block_size,
+            "window_fraction": self.window_fraction,
+        }
+
+
+def _quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact linear-interpolated quantile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return (sorted_values[low] * (1.0 - fraction)
+            + sorted_values[high] * fraction)
+
+
+def _central_window(corpus: SyntheticCorpus, fraction: float) -> TimeWindow:
+    """The central ``fraction`` of the corpus's tweet-timestamp range —
+    tweet ids are timestamps, so this clips most blocks of every list."""
+    sids = sorted(post.sid for post in corpus.posts)
+    centre = len(sids) // 2
+    half = max(1, int(len(sids) * fraction / 2))
+    return TimeWindow(sids[max(0, centre - half)],
+                      sids[min(len(sids) - 1, centre + half)])
+
+
+def _with_window(queries: Sequence[TkLUSQuery],
+                 window: TimeWindow) -> List[TkLUSQuery]:
+    spec = TemporalSpec(window=window)
+    return [replace(query, temporal=spec) for query in queries]
+
+
+def _build_engine(corpus: SyntheticCorpus, postings_format: str,
+                  block_size: int) -> TkLUSEngine:
+    config = EngineConfig(index=IndexConfig(
+        postings_format=postings_format, block_size=block_size))
+    return TkLUSEngine.from_posts(corpus.posts, config=config,
+                                  cluster=paper_cluster())
+
+
+def _run_workload(engine: TkLUSEngine,
+                  queries: Sequence[TkLUSQuery]) -> Dict[str, object]:
+    """Run every query through the max-score path against a cold cache,
+    returning latency quantiles, decode-work deltas, and the rankings
+    (for cross-format parity)."""
+    engine.index.clear_caches()
+    engine.threads.clear_cache()
+    before = engine.index.stats.snapshot()
+    latencies_ms: List[float] = []
+    rankings: List[List[object]] = []
+    for query in queries:
+        started = time.perf_counter()
+        result = engine.search_max(query)
+        latencies_ms.append((time.perf_counter() - started) * 1000.0)
+        rankings.append([[uid, round(score, 9)]
+                        for uid, score in result.users])
+    delta = engine.index.stats.diff(before)
+    latencies_ms.sort()
+    hits = delta["block_cache_hits"]
+    misses = delta["block_cache_misses"]
+    metrics: Dict[str, object] = {
+        "latency_ms": {
+            "p50": round(_quantile(latencies_ms, 0.50), 3),
+            "p95": round(_quantile(latencies_ms, 0.95), 3),
+            "mean": round(sum(latencies_ms) / len(latencies_ms), 3),
+        },
+        "postings_bytes_decoded": delta["bytes_decoded"],
+        "blocks_decoded": delta["blocks_decoded"],
+        "blocks_skipped": delta["blocks_skipped"],
+        "block_cache_hits": hits,
+        "block_cache_misses": misses,
+        "block_cache_hit_rate": (round(hits / (hits + misses), 4)
+                                 if hits + misses else 0.0),
+        "index_bytes_read": delta["bytes_read"],
+        "postings_entries_read": delta["postings_entries_read"],
+    }
+    return {"metrics": metrics, "rankings": rankings}
+
+
+def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, object]:
+    """Build flat and block engines over one seeded corpus and measure
+    every workload against both.  Returns the report payload."""
+    if config is None:
+        config = BenchConfig()
+    corpus = generate_corpus(num_users=config.num_users,
+                             num_root_tweets=config.num_root_tweets,
+                             seed=config.seed)
+    workload = QueryWorkload(corpus, seed=config.seed)
+    limit = config.queries_per_workload
+    single = workload.make_queries(1, config.radius_km, k=config.k,
+                                   limit=limit)
+    multi = workload.make_queries(3, config.radius_km, k=config.k,
+                                  semantics=Semantics.OR, limit=limit)
+    window = _central_window(corpus, config.window_fraction)
+    workloads = [
+        ("fig8_single", single),
+        ("fig8_single_windowed", _with_window(single, window)),
+        ("fig10_multi", multi),
+    ]
+
+    engines = {fmt: _build_engine(corpus, fmt, config.block_size)
+               for fmt in FORMATS}
+
+    report_workloads: List[Dict[str, object]] = []
+    for name, queries in workloads:
+        runs = {fmt: _run_workload(engines[fmt], queries)
+                for fmt in FORMATS}
+        flat_bytes = runs["flat"]["metrics"]["postings_bytes_decoded"]
+        block_bytes = runs["block"]["metrics"]["postings_bytes_decoded"]
+        reduction: Optional[float] = None
+        if block_bytes:
+            reduction = round(flat_bytes / block_bytes, 3)
+        report_workloads.append({
+            "name": name,
+            "queries": len(queries),
+            "temporal_window": name.endswith("windowed"),
+            "formats": {fmt: runs[fmt]["metrics"] for fmt in FORMATS},
+            "decoded_bytes_reduction": reduction,
+            "results_identical": (
+                runs["flat"]["rankings"] == runs["block"]["rankings"]),
+        })
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "config": config.as_dict(),
+        "window": {"start": window.start, "end": window.end},
+        "workloads": report_workloads,
+    }
+
+
+def validate_bench_report(payload: object) -> List[str]:
+    """Schema check for a bench report; returns human-readable problems
+    (empty when valid).  Pure python — CI runs this against the
+    committed ``BENCH_query.json`` and against fresh smoke output."""
+    problems: List[str] = []
+
+    def note(message: str) -> None:
+        problems.append(message)
+
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        note(f"schema_version must be {SCHEMA_VERSION}, "
+             f"got {payload.get('schema_version')!r}")
+    if not isinstance(payload.get("config"), dict):
+        note("config must be an object")
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        return problems + ["workloads must be a non-empty array"]
+    for position, workload in enumerate(workloads):
+        where = f"workloads[{position}]"
+        if not isinstance(workload, dict):
+            note(f"{where} must be an object")
+            continue
+        name = workload.get("name")
+        if not isinstance(name, str) or not name:
+            note(f"{where}.name must be a non-empty string")
+        if not (isinstance(workload.get("queries"), int)
+                and workload["queries"] > 0):
+            note(f"{where}.queries must be a positive integer")
+        if not isinstance(workload.get("results_identical"), bool):
+            note(f"{where}.results_identical must be a boolean")
+        reduction = workload.get("decoded_bytes_reduction")
+        if reduction is not None and not (
+                isinstance(reduction, (int, float)) and reduction >= 0):
+            note(f"{where}.decoded_bytes_reduction must be null or a "
+                 f"non-negative number")
+        formats = workload.get("formats")
+        if not isinstance(formats, dict):
+            note(f"{where}.formats must be an object")
+            continue
+        for fmt in FORMATS:
+            metrics = formats.get(fmt)
+            at = f"{where}.formats.{fmt}"
+            if not isinstance(metrics, dict):
+                note(f"{at} missing")
+                continue
+            latency = metrics.get("latency_ms")
+            if not isinstance(latency, dict):
+                note(f"{at}.latency_ms must be an object")
+            else:
+                for key in ("p50", "p95", "mean"):
+                    value = latency.get(key)
+                    if not (isinstance(value, (int, float)) and value >= 0):
+                        note(f"{at}.latency_ms.{key} must be a "
+                             f"non-negative number")
+            for key in METRIC_KEYS:
+                value = metrics.get(key)
+                if not (isinstance(value, int) and value >= 0
+                        and not isinstance(value, bool)):
+                    note(f"{at}.{key} must be a non-negative integer")
+            rate = metrics.get("block_cache_hit_rate")
+            if not (isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0):
+                note(f"{at}.block_cache_hit_rate must be in [0, 1]")
+    return problems
+
+
+def render_summary(payload: Dict[str, object]) -> str:
+    """One line per workload/format for terminal output."""
+    lines: List[str] = []
+    for workload in payload["workloads"]:  # type: ignore[index]
+        reduction = workload["decoded_bytes_reduction"]
+        parity = "ok" if workload["results_identical"] else "MISMATCH"
+        lines.append(f"{workload['name']} ({workload['queries']} queries, "
+                     f"parity {parity}, decode reduction "
+                     f"{reduction if reduction is not None else 'n/a'}x)")
+        for fmt, metrics in workload["formats"].items():
+            latency = metrics["latency_ms"]
+            lines.append(
+                f"  {fmt:<5} p50={latency['p50']:.2f}ms "
+                f"p95={latency['p95']:.2f}ms "
+                f"decoded={metrics['postings_bytes_decoded']}B "
+                f"skipped={metrics['blocks_skipped']} blocks "
+                f"cache_hit_rate={metrics['block_cache_hit_rate']:.0%}")
+    return "\n".join(lines)
+
+
+def write_report(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

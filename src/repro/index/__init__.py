@@ -4,6 +4,14 @@ Forward index in memory, inverted index on the (simulated) DFS, built by
 the MapReduce job of Algorithms 2-3.
 """
 
+from .blocks import (
+    DEFAULT_BLOCK_SIZE,
+    BlockCache,
+    BlockPostingsReader,
+    PostingsFormatError,
+    encode_postings_blocks,
+    open_postings,
+)
 from .builder import (
     IndexConfig,
     IndexMapper,
@@ -27,8 +35,14 @@ from .postings import (
 )
 
 __all__ = [
+    "BlockCache",
+    "BlockPostingsReader",
+    "DEFAULT_BLOCK_SIZE",
     "ENTRY_SIZE",
     "ForwardIndex",
+    "PostingsFormatError",
+    "encode_postings_blocks",
+    "open_postings",
     "HybridIndex",
     "IndexConfig",
     "IndexMapper",

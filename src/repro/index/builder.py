@@ -37,6 +37,12 @@ class IndexConfig:
     partitions (and hence part files): ``"hash"`` scatters keys evenly,
     ``"range"`` keeps nearby cells in the same partition — the locality
     layout Section IV-B1 argues for (see :mod:`repro.index.locality`).
+
+    ``postings_format`` picks the on-DFS payload encoding: ``"block"``
+    (the default) writes the versioned block format of
+    :mod:`repro.index.blocks`; ``"flat"`` writes the legacy raw 12-byte
+    entries.  Readers dispatch per payload, so either format (and a mix,
+    across index generations) stays queryable.
     """
 
     geohash_length: int = 4
@@ -45,6 +51,8 @@ class IndexConfig:
     workers: int = 1
     output_prefix: str = "/index"
     partitioning: str = "hash"
+    postings_format: str = "block"
+    block_size: int = 128
 
     def __post_init__(self) -> None:
         if not 1 <= self.geohash_length <= geohash_mod.MAX_LENGTH:
@@ -52,6 +60,19 @@ class IndexConfig:
         if self.partitioning not in ("hash", "range"):
             raise ValueError(
                 f"partitioning must be 'hash' or 'range': {self.partitioning!r}")
+        if self.postings_format not in ("block", "flat"):
+            raise ValueError(
+                f"postings_format must be 'block' or 'flat': "
+                f"{self.postings_format!r}")
+        if self.block_size < 1:
+            raise ValueError(f"block_size must be >= 1: {self.block_size}")
+
+    def encode_payload(self, postings: List[Posting]) -> bytes:
+        """Serialise one postings list under the configured format."""
+        if self.postings_format == "flat":
+            return encode_postings(postings)
+        from .blocks import encode_postings_blocks
+        return encode_postings_blocks(postings, self.block_size)
 
 
 class IndexMapper(Mapper):
@@ -119,7 +140,7 @@ def write_partitions(result: JobResult, cluster: DFSCluster,
         path = f"{config.output_prefix}/part-{partition_no:05d}"
         with cluster.create(path) as writer:
             for (cell, term), postings in pairs:
-                data = encode_postings(postings)
+                data = config.encode_payload(postings)
                 offset = writer.write(data)
                 forward.add(cell, term,
                             PostingsRef(path, offset, len(data), len(postings)))
@@ -153,7 +174,7 @@ def rebuild_forward_index(cluster: DFSCluster, result: JobResult,
         path = f"{config.output_prefix}/part-{partition_no:05d}"
         offset = 0
         for (cell, term), postings in pairs:
-            data_length = len(postings) * 12
+            data_length = len(config.encode_payload(postings))
             forward.add(cell, term,
                         PostingsRef(path, offset, data_length, len(postings)))
             offset += data_length

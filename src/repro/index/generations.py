@@ -25,7 +25,7 @@ verify.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.model import Post
 from ..dfs.cluster import DFSCluster
@@ -74,6 +74,8 @@ class GenerationalIndex:
             workers=self.base_config.workers,
             output_prefix=f"{self.base_config.output_prefix}/gen-{number:05d}",
             partitioning=self.base_config.partitioning,
+            postings_format=self.base_config.postings_format,
+            block_size=self.base_config.block_size,
         )
 
     def ingest(self, posts: Iterable[Post]) -> Generation:
@@ -114,22 +116,25 @@ class GenerationalIndex:
         return circle_cover(location, radius_km,
                             self.base_config.geohash_length, metric)
 
-    def postings(self, cell: str, term: str) -> List[Posting]:
-        """Merged tid-sorted postings across all generations."""
+    def postings(self, cell: str, term: str) -> Sequence[Posting]:
+        """Merged tid-sorted postings across all generations.
+
+        A single live generation hands through its (lazy, immutable)
+        view untouched; multiple generations merge into a fresh list."""
         per_generation = [generation.index.postings(cell, term)
                           for generation in self._generations]
         non_empty = [postings for postings in per_generation if postings]
         if not non_empty:
-            return []
+            return ()
         if len(non_empty) == 1:
             return non_empty[0]
         return merge_postings(non_empty)
 
     def postings_for_query(self, cells: List[str], terms: List[str]
-                           ) -> Dict[str, Dict[str, List[Posting]]]:
-        result: Dict[str, Dict[str, List[Posting]]] = {}
+                           ) -> Dict[str, Dict[str, Sequence[Posting]]]:
+        result: Dict[str, Dict[str, Sequence[Posting]]] = {}
         for cell in cells:
-            per_term: Dict[str, List[Posting]] = {}
+            per_term: Dict[str, Sequence[Posting]] = {}
             for term in terms:
                 postings = self.postings(cell, term)
                 if postings:
@@ -188,9 +193,8 @@ class GenerationalIndex:
         """
         total = IndexStats()
         for generation in self._generations:
-            stats = generation.index.stats
-            total.postings_fetches += stats.postings_fetches
-            total.postings_entries_read += stats.postings_entries_read
-            total.bytes_read += stats.bytes_read
-            total.cache_hits += stats.cache_hits
+            snapshot = generation.index.stats.snapshot()
+            for field_name, value in snapshot.items():
+                setattr(total, field_name,
+                        getattr(total, field_name) + value)
         return total

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..core.model import Post
@@ -20,9 +20,10 @@ from ..dfs.cluster import DFSCluster
 from ..geo.cover import circle_cover
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..text.analyzer import Analyzer
+from .blocks import DEFAULT_BLOCK_CACHE_SIZE, BlockCache, open_postings
 from .builder import IndexConfig, build_hybrid_index
 from .forward import ForwardIndex
-from .postings import Posting, decode_postings
+from .postings import Posting
 
 
 @dataclass
@@ -33,12 +34,22 @@ class IndexStats:
     postings_entries_read: int = 0
     bytes_read: int = 0
     cache_hits: int = 0
+    bytes_decoded: int = 0
+    blocks_decoded: int = 0
+    blocks_skipped: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
 
     def reset(self) -> None:
         self.postings_fetches = 0
         self.postings_entries_read = 0
         self.bytes_read = 0
         self.cache_hits = 0
+        self.bytes_decoded = 0
+        self.blocks_decoded = 0
+        self.blocks_skipped = 0
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -46,6 +57,11 @@ class IndexStats:
             "postings_entries_read": self.postings_entries_read,
             "bytes_read": self.bytes_read,
             "cache_hits": self.cache_hits,
+            "bytes_decoded": self.bytes_decoded,
+            "blocks_decoded": self.blocks_decoded,
+            "blocks_skipped": self.blocks_skipped,
+            "block_cache_hits": self.block_cache_hits,
+            "block_cache_misses": self.block_cache_misses,
         }
 
     def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
@@ -60,15 +76,18 @@ class HybridIndex:
 
     def __init__(self, forward: ForwardIndex, cluster: DFSCluster,
                  config: IndexConfig, analyzer: Analyzer,
-                 cache_size: int = 0) -> None:
+                 cache_size: int = 0,
+                 block_cache_size: int = DEFAULT_BLOCK_CACHE_SIZE) -> None:
         self.forward = forward
         self.cluster = cluster
         self.config = config
         self.analyzer = analyzer
         self.stats = IndexStats()
         self._readers: Dict[str, object] = {}
-        self._cache: "OrderedDict[Tuple[str, str], List[Posting]]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[str, str], Sequence[Posting]]" = OrderedDict()
         self._cache_size = cache_size
+        self.block_cache: Optional[BlockCache] = (
+            BlockCache(block_cache_size) if block_cache_size > 0 else None)
 
     # -- construction -------------------------------------------------------
 
@@ -76,7 +95,9 @@ class HybridIndex:
     def build(cls, posts: Iterable[Post], cluster: Optional[DFSCluster] = None,
               analyzer: Optional[Analyzer] = None,
               config: Optional[IndexConfig] = None,
-              cache_size: int = 0) -> "HybridIndex":
+              cache_size: int = 0,
+              block_cache_size: int = DEFAULT_BLOCK_CACHE_SIZE
+              ) -> "HybridIndex":
         """Build the full hybrid index over ``posts``."""
         if cluster is None:
             from ..dfs.cluster import paper_cluster
@@ -86,7 +107,8 @@ class HybridIndex:
         if config is None:
             config = IndexConfig()
         forward, _result = build_hybrid_index(posts, cluster, analyzer, config)
-        return cls(forward, cluster, config, analyzer, cache_size)
+        return cls(forward, cluster, config, analyzer, cache_size,
+                   block_cache_size)
 
     # -- lookups ----------------------------------------------------------
 
@@ -99,31 +121,34 @@ class HybridIndex:
         """``GeoHashCircleQuery(q, r)`` at this index's encoding length."""
         return circle_cover(location, radius_km, self.config.geohash_length, metric)
 
-    def postings(self, cell: str, term: str) -> List[Posting]:
-        """Fetch the postings list for ``(cell, term)``; empty when the
+    def postings(self, cell: str, term: str) -> Sequence[Posting]:
+        """Fetch the postings view for ``(cell, term)``; empty when the
         pair is unindexed.
 
-        With the cache enabled, callers always receive a fresh list (a
-        shallow copy of the cached one): postings are consumed by
-        mutation-happy stages (temporal clipping, merging), and handing
-        out the cached list by reference would let any caller corrupt
-        every later cache hit.
+        Returns an **immutable** sequence — a lazy
+        :class:`~repro.index.blocks.BlockPostingsReader` for block-format
+        payloads, an entry tuple for legacy flat payloads — so cache hits
+        hand out the cached object by reference with no defensive copy;
+        consumers that restrict postings (temporal clipping, merging)
+        build narrowed views or new lists instead of mutating.
         """
         if self._cache_size > 0:
             cached = self._cache.get((cell, term))
             if cached is not None:
                 self._cache.move_to_end((cell, term))
                 self.stats.cache_hits += 1
-                return list(cached)
+                return cached
         ref = self.forward.lookup(cell, term)
         if ref is None:
-            return []
+            return ()
         reader = self._readers.get(ref.path)
         if reader is None:
             reader = self.cluster.open(ref.path)
             self._readers[ref.path] = reader
         data = reader.pread(ref.offset, ref.length)  # type: ignore[attr-defined]
-        postings = decode_postings(data)
+        postings = open_postings(data, stats=self.stats,
+                                 cache=self.block_cache,
+                                 cache_key=(ref.path, ref.offset))
         self.stats.postings_fetches += 1
         self.stats.postings_entries_read += len(postings)
         self.stats.bytes_read += len(data)
@@ -134,7 +159,6 @@ class HybridIndex:
             self._cache[(cell, term)] = postings
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
-            return list(postings)  # the cached list stays private
         return postings
 
     def owner_of(self, cell: str, term: str) -> Optional[str]:
@@ -150,15 +174,15 @@ class HybridIndex:
         return self.stats.postings_fetches
 
     def postings_for_query(self, cells: List[str], terms: List[str]
-                           ) -> Dict[str, Dict[str, List[Posting]]]:
-        """Lines 4-7 of Algorithms 4/5: fetch the postings list for every
+                           ) -> Dict[str, Dict[str, Sequence[Posting]]]:
+        """Lines 4-7 of Algorithms 4/5: fetch the postings view for every
         ``(cell, term)`` pair, grouped by cell then term."""
         with obs.trace("query.postings_scan", cells=len(cells),
                        terms=len(terms)) as span:
             before = self.stats.snapshot()
-            result: Dict[str, Dict[str, List[Posting]]] = {}
+            result: Dict[str, Dict[str, Sequence[Posting]]] = {}
             for cell in cells:
-                per_term: Dict[str, List[Posting]] = {}
+                per_term: Dict[str, Sequence[Posting]] = {}
                 for term in terms:
                     postings = self.postings(cell, term)
                     if postings:
@@ -183,3 +207,10 @@ class HybridIndex:
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    def clear_caches(self) -> None:
+        """Drop the postings cache and the decoded-block cache (the bench
+        harness calls this between workloads for cold-cache runs)."""
+        self._cache.clear()
+        if self.block_cache is not None:
+            self.block_cache.clear()

@@ -46,7 +46,16 @@ def decode_postings(data: bytes) -> List[Posting]:
 
 def _gallop(postings: Sequence[Posting], target: int, start: int) -> int:
     """Smallest index >= start with postings[index][0] >= target, found by
-    galloping (doubling) search — efficient when list sizes are skewed."""
+    galloping (doubling) search — efficient when list sizes are skewed.
+
+    Lazy block readers (:class:`repro.index.blocks.BlockPostingsReader`)
+    expose the same contract as a ``seek`` method that consults the block
+    skip table first; delegating keeps every intersection/union caller
+    block-aware without changing its code.
+    """
+    seek = getattr(postings, "seek", None)
+    if seek is not None:
+        return seek(target, start)
     n = len(postings)
     if start >= n or postings[start][0] >= target:
         return start

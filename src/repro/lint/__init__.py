@@ -25,6 +25,7 @@ from .driver import (
 from .findings import META_RULE, Finding
 from .invariants import (
     InvariantViolation,
+    validate_block_headers,
     validate_bptree,
     validate_cover_soundness,
     validate_forward_inverted,
@@ -59,6 +60,7 @@ __all__ = [
     "rule_ids",
     "run_deep_checks",
     "scan_suppressions",
+    "validate_block_headers",
     "validate_bptree",
     "validate_cover_soundness",
     "validate_forward_inverted",

@@ -16,6 +16,7 @@ from ..core.model import Post
 from ..geo.quadtree import QuadTree
 from .invariants import (
     InvariantViolation,
+    validate_block_headers,
     validate_bptree,
     validate_cover_soundness,
     validate_forward_inverted,
@@ -148,6 +149,7 @@ def run_deep_checks(posts: Optional[Sequence[Post]] = None, *,
             _sample_queries(posts, radii_km), metric=engine.metric))
     run("forward-inverted",
         lambda: validate_forward_inverted(index, database))
+    run("block-headers", lambda: validate_block_headers(index))
 
     quadtree: QuadTree[int] = QuadTree()
     for post in posts:

@@ -22,8 +22,9 @@ from ..geo import geohash
 from ..geo.cover import circle_cover, min_distance_to_cell
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..geo.quadtree import QuadTree, _Node
+from ..index import blocks as blocks_mod
 from ..index.hybrid import HybridIndex
-from ..index.postings import ENTRY_SIZE, decode_postings
+from ..index.postings import ENTRY_SIZE
 from ..storage.bptree import (
     INTERNAL_MIN,
     LEAF_MIN,
@@ -271,10 +272,10 @@ def validate_forward_inverted(
     """Cross-check every forward-index entry against the DFS-resident
     postings bytes it points at.
 
-    Checks: the byte extent matches the entry count; the bytes decode as
-    sorted postings; and (when a metadata ``database`` is supplied) every
-    posting's tweet exists and actually lies in the cell it is indexed
-    under.
+    Checks: the byte extent matches the entry count (flat payloads) or
+    the payload parses in the block format; the bytes decode as postings;
+    and (when a metadata ``database`` is supplied) every posting's tweet
+    exists and actually lies in the cell it is indexed under.
     """
     violations: List[InvariantViolation] = []
 
@@ -284,10 +285,6 @@ def validate_forward_inverted(
 
     for (cell, term), ref in index.forward.items():
         where = f"({cell!r}, {term!r}) -> {ref.path}@{ref.offset}"
-        if ref.length != ref.count * ENTRY_SIZE:
-            bad(where, f"length {ref.length} != count {ref.count} * "
-                       f"{ENTRY_SIZE} bytes")
-            continue
         try:
             reader = index.cluster.open(ref.path)
             data = reader.pread(ref.offset, ref.length)
@@ -297,8 +294,13 @@ def validate_forward_inverted(
         if len(data) != ref.length:
             bad(where, f"short read: got {len(data)} of {ref.length} bytes")
             continue
+        if not _is_block_payload(data):
+            if ref.length != ref.count * ENTRY_SIZE:
+                bad(where, f"length {ref.length} != count {ref.count} * "
+                           f"{ENTRY_SIZE} bytes")
+                continue
         try:
-            postings = decode_postings(data)
+            postings = blocks_mod.decode_any(data)
         except ValueError as exc:
             bad(where, f"postings bytes do not decode: {exc}")
             continue
@@ -318,6 +320,86 @@ def validate_forward_inverted(
             if actual != cell:
                 bad(where, f"tweet {tid} lies in cell {actual!r}, not "
                            f"{cell!r}")
+    return violations
+
+
+# -- block-format postings headers -----------------------------------------
+
+def _is_block_payload(data: bytes) -> bool:
+    return (len(data) >= 2 and data[0] == blocks_mod.MAGIC
+            and data[1] == blocks_mod.FORMAT_VERSION)
+
+
+def validate_block_headers(index: HybridIndex, name: str = "block-headers"
+                           ) -> List[InvariantViolation]:
+    """Check skip-table/body consistency of every block-format payload.
+
+    The skip metadata is what lets readers *not* decode blocks, so a
+    header that lies (wrong ``min_tid``/``max_tid``/``max_tf``/``count``)
+    silently drops or mis-bounds candidates.  For each block this decodes
+    the body and cross-checks it against its header: entry count, first
+    and last tids, tid ordering within and across blocks, and the exact
+    ``max_tf``.  Flat-format payloads are skipped (they carry no headers).
+    """
+    violations: List[InvariantViolation] = []
+
+    def bad(where: str, message: str) -> None:
+        violations.append(InvariantViolation(
+            validator=name, location=where, message=message))
+
+    for (cell, term), ref in index.forward.items():
+        where = f"({cell!r}, {term!r}) -> {ref.path}@{ref.offset}"
+        try:
+            reader = index.cluster.open(ref.path)
+            data = reader.pread(ref.offset, ref.length)
+        except Exception as exc:
+            bad(where, f"postings bytes unreadable: {exc}")
+            continue
+        if not _is_block_payload(data):
+            continue
+        try:
+            parsed = blocks_mod._parse_blocks(data)
+        except blocks_mod.PostingsFormatError as exc:
+            bad(where, f"block payload does not parse: {exc}")
+            continue
+        if parsed.total != ref.count:
+            bad(where, f"payload holds {parsed.total} entries, forward "
+                       f"entry says {ref.count}")
+        previous_tid: Optional[int] = None
+        for block_no, header in enumerate(parsed.headers):
+            at = f"{where} block {block_no}"
+            if header.min_tid > header.max_tid:
+                bad(at, f"min_tid {header.min_tid} > max_tid "
+                        f"{header.max_tid}")
+            if (previous_tid is not None
+                    and header.min_tid < previous_tid):
+                bad(at, f"min_tid {header.min_tid} below previous "
+                        f"block's last tid {previous_tid}")
+            try:
+                entries = blocks_mod._decode_block(data, header)
+            except blocks_mod.PostingsFormatError as exc:
+                bad(at, f"body does not decode: {exc}")
+                previous_tid = header.max_tid
+                continue
+            if len(entries) != header.count:
+                bad(at, f"decoded {len(entries)} entries, header says "
+                        f"{header.count}")
+            if entries:
+                if entries[0][0] != header.min_tid:
+                    bad(at, f"first tid {entries[0][0]} != header min_tid "
+                            f"{header.min_tid}")
+                if entries[-1][0] != header.max_tid:
+                    bad(at, f"last tid {entries[-1][0]} != header max_tid "
+                            f"{header.max_tid}")
+                actual_max_tf = max(tf for _tid, tf in entries)
+                if actual_max_tf != header.max_tf:
+                    bad(at, f"actual max tf {actual_max_tf} != header "
+                            f"max_tf {header.max_tf}")
+                for tid, _tf in entries:
+                    if previous_tid is not None and tid < previous_tid:
+                        bad(at, f"tid {tid} out of order after "
+                                f"{previous_tid}")
+                    previous_tid = tid
     return violations
 
 

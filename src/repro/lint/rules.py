@@ -171,15 +171,24 @@ class CacheReturnsMustCopy(Rule):
     summary = "methods returning dict/list/set attributes must copy"
     rationale = ("HybridIndex.postings once returned its cached postings "
                  "list by reference; temporal clipping then corrupted "
-                 "every later cache hit for that (cell, term).")
+                 "every later cache hit for that (cell, term).  Immutable "
+                 "values (tuples, frozensets) are safe to hand out by "
+                 "reference: callers cannot corrupt what they cannot "
+                 "mutate, so attrs rebound to immutable constructors "
+                 "anywhere in the class are exempt.")
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         for cls in ast.walk(module.tree):
             if not isinstance(cls, ast.ClassDef):
                 continue
-            mutable_attrs = self._container_attrs(cls)
+            mutable_attrs = self._assigned_attrs(cls, mutable=True)
             if not mutable_attrs:
                 continue
+            # An attr the class (re)binds to tuple()/frozenset()/a tuple
+            # literal is an immutable-snapshot handoff, not an aliasing
+            # hazard — the block-postings caches return such values by
+            # reference on purpose.
+            immutable_attrs = self._assigned_attrs(cls, mutable=False)
             for method in _methods(cls):
                 if method.name == "__init__":
                     continue
@@ -187,20 +196,22 @@ class CacheReturnsMustCopy(Rule):
                     if not isinstance(node, ast.Return) or node.value is None:
                         continue
                     attr = _self_attr(node.value)
-                    if attr in mutable_attrs:
+                    if attr in mutable_attrs and attr not in immutable_attrs:
                         yield self.finding(
                             module, node,
                             f"returns internal container self.{attr} by "
                             f"reference; return a copy (list(...), "
-                            f"dict(...), .copy()) or document ownership",
+                            f"dict(...), .copy()), an immutable snapshot "
+                            f"(tuple(...)), or document ownership",
                             symbol=f"{cls.name}.{method.name}")
 
     @staticmethod
-    def _container_attrs(cls: ast.ClassDef) -> Set[str]:
+    def _assigned_attrs(cls: ast.ClassDef, mutable: bool) -> Set[str]:
+        """Attrs assigned container values in any method of ``cls``:
+        mutable containers (``mutable=True``) or immutable ones
+        (``mutable=False`` — tuple/frozenset calls and tuple literals)."""
         attrs: Set[str] = set()
         for method in _methods(cls):
-            if method.name != "__init__":
-                continue
             for node in _walk_same_scope(method.body):
                 targets: List[ast.expr] = []
                 if isinstance(node, ast.Assign):
@@ -211,13 +222,21 @@ class CacheReturnsMustCopy(Rule):
                     value = node.value
                 else:
                     continue
-                is_container = (
-                    isinstance(value, (ast.List, ast.Dict, ast.Set,
-                                       ast.ListComp, ast.SetComp,
-                                       ast.DictComp))
-                    or (isinstance(value, ast.Call)
-                        and _call_name(value.func) in MUTABLE_CONSTRUCTORS))
-                if not is_container:
+                if mutable:
+                    matches = (
+                        isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                           ast.ListComp, ast.SetComp,
+                                           ast.DictComp))
+                        or (isinstance(value, ast.Call)
+                            and _call_name(value.func)
+                            in MUTABLE_CONSTRUCTORS))
+                else:
+                    matches = (
+                        isinstance(value, ast.Tuple)
+                        or (isinstance(value, ast.Call)
+                            and _call_name(value.func)
+                            in IMMUTABLE_CONSTRUCTORS))
+                if not matches:
                     continue
                 for target in targets:
                     attr = _self_attr(target)

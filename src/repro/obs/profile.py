@@ -56,6 +56,14 @@ class QueryProfile:
     index_bytes_read: int = 0
     io_by_component: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
+    # Block-postings decode work (the lazy-decoding story: how much of
+    # the fetched postings data the query actually paid to decode).
+    postings_bytes_decoded: int = 0
+    blocks_decoded: int = 0
+    blocks_skipped: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+
     @property
     def users_pruned(self) -> int:
         return self.users_pruned_global + self.users_pruned_hot
@@ -74,6 +82,13 @@ class QueryProfile:
         if total == 0:
             return 0.0
         return self.cache_hits / total
+
+    @property
+    def block_cache_hit_rate(self) -> float:
+        total = self.block_cache_hits + self.block_cache_misses
+        if total == 0:
+            return 0.0
+        return self.block_cache_hits / total
 
     def check(self) -> None:
         """Raise if the pruning ledger does not balance."""
@@ -112,6 +127,12 @@ class QueryProfile:
             "cache_hit_rate": self.cache_hit_rate,
             "index_bytes_read": self.index_bytes_read,
             "io_by_component": dict(self.io_by_component),
+            "postings_bytes_decoded": self.postings_bytes_decoded,
+            "blocks_decoded": self.blocks_decoded,
+            "blocks_skipped": self.blocks_skipped,
+            "block_cache_hits": self.block_cache_hits,
+            "block_cache_misses": self.block_cache_misses,
+            "block_cache_hit_rate": self.block_cache_hit_rate,
         }
 
     def describe(self) -> str:
@@ -133,5 +154,8 @@ class QueryProfile:
             f"io: pages_read={self.pages_read} "
             f"cache_hit_rate={self.cache_hit_rate:.1%} "
             f"index_bytes_read={self.index_bytes_read}",
+            f"decode: bytes={self.postings_bytes_decoded} "
+            f"blocks={self.blocks_decoded} skipped={self.blocks_skipped} "
+            f"block_cache_hit_rate={self.block_cache_hit_rate:.1%}",
         ]
         return "\n".join(lines)

@@ -16,11 +16,12 @@ among the query keywords whereas 'OR' semantic chooses the largest".
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 from ..core.model import Dataset, Semantics
 from ..core.scoring import upper_bound_popularity
 from ..core.thread import DEFAULT_DEPTH, DEFAULT_EPSILON, DatasetThreadBuilder
+from ..index.postings import Posting
 from ..storage.metadata import MetadataDatabase
 
 
@@ -83,6 +84,42 @@ class BoundsManager:
         else:
             _bound, is_hot = max(per_keyword, key=lambda item: item[0])
         return "hot" if is_hot else "global"
+
+
+def postings_match_bound(
+        per_cell: Dict[str, Dict[str, Sequence[Posting]]],
+        terms: List[str]) -> int:
+    """Query-wide ceiling on any candidate's keyword match count, read
+    off the fetched (and possibly window-clipped) postings themselves.
+
+    For each query term, take the largest term frequency any cover
+    cell's list could contribute — from the per-block ``max_tf`` skip
+    headers for lazy block views (no decoding, and already narrowed to
+    the temporal window), a linear scan for plain lists — then sum over
+    terms.  Sound under both semantics: an AND candidate sums tf over
+    every term, an OR candidate over a subset, and each per-term tf is
+    bounded by that term's maximum.
+
+    Tighter than the list-wide maxima the flat format allowed whenever a
+    temporal window drops the high-tf blocks, and tighter than no bound
+    at all (the pre-block behaviour) always.
+    """
+    total = 0
+    for term in terms:
+        best = 0
+        for per_term in per_cell.values():
+            postings = per_term.get(term)
+            if not postings:
+                continue
+            header_bound = getattr(postings, "max_tf", None)
+            if header_bound is not None:
+                tf_bound = header_bound()
+            else:
+                tf_bound = max(tf for _tid, tf in postings)
+            if tf_bound > best:
+                best = tf_bound
+        total += best
+    return total
 
 
 def precompute_keyword_bounds(dataset: Dataset, keywords: Iterable[str],

@@ -82,6 +82,8 @@ def save_engine(engine: TkLUSEngine, directory: str) -> None:
             "num_map_tasks": engine.index.config.num_map_tasks,
             "num_reduce_tasks": engine.index.config.num_reduce_tasks,
             "output_prefix": engine.index.config.output_prefix,
+            "postings_format": engine.index.config.postings_format,
+            "block_size": engine.index.config.block_size,
         },
         "scoring": {
             "alpha": engine.config.scoring.alpha,
@@ -123,11 +125,17 @@ def load_engine(directory: str, cluster: Optional[DFSCluster] = None,
     if analyzer is None:
         analyzer = Analyzer()
 
+    # Manifests written before the block format carry no postings_format
+    # key; their part files hold flat 12-byte entries, which the reader
+    # detects per payload, so "flat" is the faithful default either way.
     index_config = IndexConfig(
         geohash_length=manifest["index"]["geohash_length"],
         num_map_tasks=manifest["index"]["num_map_tasks"],
         num_reduce_tasks=manifest["index"]["num_reduce_tasks"],
         output_prefix=manifest["index"]["output_prefix"],
+        postings_format=manifest["index"].get("postings_format", "flat"),
+        block_size=manifest["index"].get(
+            "block_size", IndexConfig.block_size),
     )
     scoring = ScoringConfig(
         alpha=manifest["scoring"]["alpha"],

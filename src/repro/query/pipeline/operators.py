@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ... import obs
 from ...core.scoring import user_distance_score, user_score
 from ...geo.cover import cover_cells_fully_inside
+from ..bounds import postings_match_bound
 from ..results import ScatterStats
 from ..semantics import Candidate, candidates_from_postings, clip_per_cell
 from ..topk import TopKUserQueue
@@ -245,13 +246,19 @@ class _QueryPruner:
     Definition 11 popularity bound resolved for this query's keywords,
     and the ledger attribution of every pruning decision."""
 
-    __slots__ = ("source", "popularity_bound", "tighten_distance_bound")
+    __slots__ = ("source", "popularity_bound", "tighten_distance_bound",
+                 "match_ceiling")
 
     def __init__(self, source: str, popularity_bound: float,
-                 tighten_distance_bound: bool) -> None:
+                 tighten_distance_bound: bool,
+                 match_ceiling: Optional[int] = None) -> None:
         self.source = source
         self.popularity_bound = popularity_bound
         self.tighten_distance_bound = tighten_distance_bound
+        # Query-wide cap on any candidate's match count, derived from the
+        # fetched postings' per-block max_tf headers (None when the plan
+        # has no postings stage, e.g. the dataset-scan baseline).
+        self.match_ceiling = match_ceiling
 
     def upper_bound(self, ctx: QueryContext, match_count: int,
                     known_distance_part: float) -> float:
@@ -263,14 +270,25 @@ class _QueryPruner:
         return (config.alpha * keyword_bound
                 + (1.0 - config.alpha) * known_distance_part)
 
-    def count_pruned(self, ctx: QueryContext) -> None:
-        ctx.stats.threads_pruned += 1
+    def score_ceiling(self, ctx: QueryContext) -> Optional[float]:
+        """Constant-per-query over-estimate of any remaining candidate's
+        score: the postings-derived match ceiling pushed through Line
+        18's ``UpperBound`` with the worst-case distance part.  Every
+        per-candidate bound is <= this value, so once the top-k queue's
+        threshold exceeds it, no candidate left in the loop can enter
+        the queue."""
+        if self.match_ceiling is None:
+            return None
+        return self.upper_bound(ctx, self.match_ceiling, 1.0)
+
+    def count_pruned(self, ctx: QueryContext, count: int = 1) -> None:
+        ctx.stats.threads_pruned += count
         profile = ctx.profile
         if profile is not None:
             if self.source == "hot":
-                profile.users_pruned_hot += 1
+                profile.users_pruned_hot += count
             else:
-                profile.users_pruned_global += 1
+                profile.users_pruned_global += count
 
 
 class BoundsPruneOp(PhysicalOperator):
@@ -297,9 +315,15 @@ class BoundsPruneOp(PhysicalOperator):
         assert bounds is not None, "BoundsPruneOp needs a BoundsManager"
         query = ctx.query
         source = bounds.bound_source(query.keywords, query.semantics)
+        match_ceiling: Optional[int] = None
+        if ctx.per_cell is not None:
+            # Tighten with what the fetched (window-clipped) postings say:
+            # block views answer from per-block max_tf skip headers
+            # without decoding anything.
+            match_ceiling = postings_match_bound(ctx.per_cell, ctx.terms)
         ctx.pruner = _QueryPruner(
             source, bounds.bound_for_query(query.keywords, query.semantics),
-            self.tighten_distance_bound)
+            self.tighten_distance_bound, match_ceiling)
         if ctx.profile is not None:
             ctx.profile.bound_source = source
 
@@ -403,8 +427,21 @@ class ThreadScoreOp(PhysicalOperator):
         user_locations = ctx.user_locations
         assert user_locations is not None
         distance_parts: Dict[int, float] = {}  # uid -> delta(u, q), once
+        ceiling = pruner.score_ceiling(ctx) if pruner is not None else None
         calls = 0
-        for candidate, uid, _lat, _lon in ctx.in_radius:
+        in_radius = ctx.in_radius
+        for position, (candidate, uid, _lat, _lon) in enumerate(in_radius):
+            # Query-wide cut: the ceiling dominates every per-candidate
+            # bound below, so once the queue threshold passes it each
+            # remaining candidate would be pruned individually anyway —
+            # same results, without walking them one by one.
+            if (ceiling is not None and pruner is not None and queue.full
+                    and ceiling < queue.peek()):
+                rest = len(in_radius) - position
+                pruner.count_pruned(ctx, rest)
+                obs.event("query.prune_rest", remaining=rest,
+                          source=pruner.source)
+                break
             # Lines 18-19: prune before paying for thread construction.
             if pruner is not None and queue.full:
                 known = 1.0

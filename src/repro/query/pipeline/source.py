@@ -11,14 +11,16 @@ use to route cover cells to their owning "query server".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ...geo.distance import Metric
 from ...index.postings import Posting
 
-#: cell -> term -> tid-sorted postings (only non-empty lists), the shape
-#: produced by lines 4-7 of Algorithms 4/5.
-GroupedPostings = Dict[str, Dict[str, List[Posting]]]
+#: cell -> term -> tid-sorted postings (only non-empty sequences), the
+#: shape produced by lines 4-7 of Algorithms 4/5.  Values may be plain
+#: lists/tuples or lazy block views (``BlockPostingsReader``) — consumers
+#: must treat them as immutable.
+GroupedPostings = Dict[str, Dict[str, Sequence[Posting]]]
 
 
 @runtime_checkable

@@ -59,6 +59,11 @@ class ProfileRecorder:
         profile.postings_lists_fetched = index_delta["postings_fetches"]
         profile.postings_entries_read = index_delta["postings_entries_read"]
         profile.index_bytes_read = index_delta["bytes_read"]
+        profile.postings_bytes_decoded = index_delta["bytes_decoded"]
+        profile.blocks_decoded = index_delta["blocks_decoded"]
+        profile.blocks_skipped = index_delta["blocks_skipped"]
+        profile.block_cache_hits = index_delta["block_cache_hits"]
+        profile.block_cache_misses = index_delta["block_cache_misses"]
 
         if obs.is_enabled():
             obs.observe("query.latency_seconds", elapsed_seconds)

@@ -16,7 +16,7 @@ scoring never re-touches the postings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from ..core.model import Semantics
 from ..core.temporal import TimeWindow
@@ -34,7 +34,7 @@ class Candidate:
     cell: str = ""       # cover cell the posting came from
 
 
-def candidates_from_postings(per_cell: Dict[str, Dict[str, List[Posting]]],
+def candidates_from_postings(per_cell: Dict[str, Dict[str, Sequence[Posting]]],
                              query_terms: List[str],
                              semantics: Semantics) -> List[Candidate]:
     """Apply the query semantics to fetched postings.
@@ -62,17 +62,18 @@ def candidates_from_postings(per_cell: Dict[str, Dict[str, List[Posting]]],
     return result
 
 
-def clip_per_cell(per_cell: Dict[str, Dict[str, List[Posting]]],
-                  window: TimeWindow) -> Dict[str, Dict[str, List[Posting]]]:
+def clip_per_cell(per_cell: Dict[str, Dict[str, Sequence[Posting]]],
+                  window: TimeWindow) -> Dict[str, Dict[str, Sequence[Posting]]]:
     """Restrict fetched postings to a time window (temporal TkLUS).
 
-    Tweet ids are timestamps and postings are tid-sorted, so each list
-    is clipped with two binary searches; cells or terms left empty are
-    dropped entirely.
+    Tweet ids are timestamps and postings are tid-sorted, so each plain
+    list is clipped with two binary searches, while lazy block views are
+    narrowed through their skip table without decoding out-of-window
+    blocks; cells or terms left empty are dropped entirely.
     """
     if window.unbounded:
         return per_cell
-    clipped: Dict[str, Dict[str, List[Posting]]] = {}
+    clipped: Dict[str, Dict[str, Sequence[Posting]]] = {}
     for cell, per_term in per_cell.items():
         kept = {}
         for term, postings in per_term.items():

@@ -1,0 +1,127 @@
+"""The flat-vs-block bench harness: report shape, schema validation,
+format parity, and the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.bench import (
+    BenchConfig,
+    _quantile,
+    render_summary,
+    run_bench,
+    validate_bench_report,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(BenchConfig(num_users=60, num_root_tweets=300,
+                                 queries_per_workload=3))
+
+
+class TestQuantile:
+    def test_empty(self):
+        assert _quantile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert _quantile([7.0], 0.5) == 7.0
+        assert _quantile([7.0], 0.95) == 7.0
+
+    def test_median_interpolates(self):
+        assert _quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_p95(self):
+        values = [float(i) for i in range(1, 101)]
+        assert _quantile(values, 0.95) == pytest.approx(95.05)
+
+
+class TestRunBench:
+    def test_report_is_valid(self, payload):
+        assert validate_bench_report(payload) == []
+
+    def test_covers_all_workloads(self, payload):
+        names = [w["name"] for w in payload["workloads"]]
+        assert names == ["fig8_single", "fig8_single_windowed", "fig10_multi"]
+
+    def test_formats_answer_identically(self, payload):
+        assert all(w["results_identical"] for w in payload["workloads"])
+
+    def test_block_format_decodes_less(self, payload):
+        # The headline claim: delta+varint blocks decode fewer bytes
+        # than flat 12-byte entries on every workload, and the temporal
+        # window keeps the >= 1.5x acceptance bar with room to spare.
+        for workload in payload["workloads"]:
+            assert workload["decoded_bytes_reduction"] is not None
+            assert workload["decoded_bytes_reduction"] > 1.0
+        windowed = payload["workloads"][1]
+        assert windowed["temporal_window"]
+        assert windowed["decoded_bytes_reduction"] >= 1.5
+
+    def test_windowed_workload_skips_blocks(self, payload):
+        windowed = payload["workloads"][1]["formats"]["block"]
+        full = payload["workloads"][0]["formats"]["block"]
+        assert windowed["postings_bytes_decoded"] \
+            <= full["postings_bytes_decoded"]
+
+    def test_json_serialisable(self, payload):
+        assert json.loads(json.dumps(payload)) is not None
+
+    def test_render_summary_mentions_workloads(self, payload):
+        text = render_summary(payload)
+        assert "fig8_single" in text
+        assert "parity ok" in text
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_bench_report([]) != []
+
+    def test_rejects_bad_schema_version(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["schema_version"] = 99
+        assert any("schema_version" in p
+                   for p in validate_bench_report(broken))
+
+    def test_rejects_missing_format(self, payload):
+        broken = json.loads(json.dumps(payload))
+        del broken["workloads"][0]["formats"]["block"]
+        assert any("formats.block" in p
+                   for p in validate_bench_report(broken))
+
+    def test_rejects_negative_latency(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["workloads"][0]["formats"]["flat"]["latency_ms"]["p50"] = -1
+        assert any("latency_ms.p50" in p
+                   for p in validate_bench_report(broken))
+
+    def test_rejects_bool_counter(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["workloads"][0]["formats"]["flat"]["blocks_decoded"] = True
+        assert any("blocks_decoded" in p
+                   for p in validate_bench_report(broken))
+
+    def test_rejects_empty_workloads(self):
+        assert any("workloads" in p for p in validate_bench_report(
+            {"schema_version": 1, "config": {}, "workloads": []}))
+
+
+class TestCommittedReport:
+    def test_checked_in_bench_report_is_valid(self):
+        with open("BENCH_query.json") as handle:
+            payload = json.load(handle)
+        assert validate_bench_report(payload) == []
+        windowed = [w for w in payload["workloads"]
+                    if w["name"] == "fig8_single_windowed"]
+        assert windowed and windowed[0]["decoded_bytes_reduction"] >= 1.5
+
+
+class TestCli:
+    def test_bench_command(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--users", "60", "--roots", "300",
+                     "--queries", "2", "--output", str(out)]) == 0
+        with open(out) as handle:
+            assert validate_bench_report(json.load(handle)) == []
+        assert "parity ok" in capsys.readouterr().out

@@ -1,0 +1,344 @@
+"""Block-compressed postings: codec round-trips, skip-aware operations
+vs their naive flat counterparts, corruption error paths, and the
+decoded-block cache.
+
+The property tests are the format's correctness contract: for any
+tid-sorted postings list, the lazy block reader must be observably
+identical to the plain list — under iteration, galloping intersection,
+union, and temporal clipping — while decoding less.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.temporal import TimeWindow
+from repro.index.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    BlockCache,
+    BlockPostingsReader,
+    PostingsFormatError,
+    _read_uvarint,
+    _write_uvarint,
+    _zigzag_decode,
+    _zigzag_encode,
+    decode_any,
+    encode_postings_blocks,
+    open_postings,
+)
+from repro.index.postings import (
+    encode_postings,
+    intersect_many,
+    intersect_two,
+    union_many,
+)
+
+postings_lists = st.lists(
+    st.tuples(st.integers(0, 5000), st.integers(0, 40)),
+    max_size=300,
+).map(lambda items: sorted(
+    {tid: tf for tid, tf in items}.items()))
+
+block_sizes = st.sampled_from([1, 2, 3, 7, 16, DEFAULT_BLOCK_SIZE])
+
+
+def encode_open(postings, block_size=4, **kwargs):
+    data = encode_postings_blocks(postings, block_size=block_size)
+    return open_postings(data, **kwargs)
+
+
+class TestVarint:
+    @given(st.integers(0, 2**63))
+    @settings(max_examples=100, deadline=None)
+    def test_uvarint_round_trip(self, value):
+        out = bytearray()
+        _write_uvarint(out, value)
+        decoded, pos = _read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    @given(st.integers(-2**31, 2**31))
+    @settings(max_examples=100, deadline=None)
+    def test_zigzag_round_trip(self, value):
+        assert _zigzag_decode(_zigzag_encode(value)) == value
+
+    def test_truncated_varint(self):
+        with pytest.raises(PostingsFormatError, match="truncated"):
+            _read_uvarint(b"\x80", 0)
+
+    def test_oversized_varint(self):
+        with pytest.raises(PostingsFormatError, match="wider"):
+            _read_uvarint(b"\x80" * 11 + b"\x01", 0)
+
+
+class TestRoundTrip:
+    @given(postings_lists, block_sizes)
+    @settings(max_examples=120, deadline=None)
+    def test_encode_decode_identity(self, postings, block_size):
+        data = encode_postings_blocks(postings, block_size=block_size)
+        view = open_postings(data)
+        assert list(view) == postings
+        assert len(view) == len(postings)
+        assert decode_any(data) == postings
+
+    @given(postings_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_indexing_matches_list(self, postings):
+        view = encode_open(postings)
+        for i in range(len(postings)):
+            assert view[i] == postings[i]
+        assert view[1:5] == postings[1:5]
+        assert view == postings
+
+    def test_empty_list(self):
+        view = encode_open([])
+        assert len(view) == 0
+        assert not view
+        assert list(view) == []
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError, match="not sorted"):
+            encode_postings_blocks([(5, 1), (3, 1)])
+
+    def test_negative_tf_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            encode_postings_blocks([(1, -2)])
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError, match="block_size"):
+            encode_postings_blocks([(1, 1)], block_size=0)
+
+
+class TestSkipOperationsMatchNaive:
+    """Block-granular seek/clip/intersection/union produce exactly what
+    the flat implementations produce."""
+
+    @given(postings_lists, st.integers(0, 5200), st.integers(0, 20),
+           block_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_seek_matches_linear_scan(self, postings, target, start,
+                                      block_size):
+        view = encode_open(postings, block_size=block_size)
+        start = min(start, len(postings))
+        expected = start
+        while expected < len(postings) and postings[expected][0] < target:
+            expected += 1
+        assert view.seek(target, start) == expected
+
+    @given(postings_lists, postings_lists, block_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_intersect_two_matches_flat(self, a, b, block_size):
+        lazy = intersect_two(encode_open(a, block_size=block_size),
+                             encode_open(b, block_size=block_size))
+        assert lazy == intersect_two(a, b)
+
+    @given(st.lists(postings_lists, min_size=1, max_size=4), block_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_intersect_many_matches_flat(self, lists, block_size):
+        lazy = intersect_many([encode_open(p, block_size=block_size)
+                               for p in lists])
+        assert lazy == intersect_many(lists)
+
+    @given(st.lists(postings_lists, min_size=1, max_size=4), block_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_union_many_matches_flat(self, lists, block_size):
+        lazy = union_many([encode_open(p, block_size=block_size)
+                           for p in lists])
+        assert lazy == union_many(lists)
+
+    @given(postings_lists,
+           st.one_of(st.none(), st.integers(0, 5200)),
+           st.one_of(st.none(), st.integers(0, 5200)),
+           block_sizes)
+    @settings(max_examples=100, deadline=None)
+    def test_clip_matches_naive_filter(self, postings, start, end,
+                                       block_size):
+        if start is not None and end is not None and start > end:
+            start, end = end, start
+        view = encode_open(postings, block_size=block_size)
+        clipped = view.clip(start, end)
+        expected = [(tid, tf) for tid, tf in postings
+                    if (start is None or tid >= start)
+                    and (end is None or tid <= end)]
+        assert list(clipped) == expected
+
+    @given(postings_lists,
+           st.one_of(st.none(), st.integers(0, 5200)),
+           st.one_of(st.none(), st.integers(0, 5200)),
+           block_sizes)
+    @settings(max_examples=80, deadline=None)
+    def test_time_window_clip_matches_list_path(self, postings, start, end,
+                                                block_size):
+        if start is not None and end is not None and start > end:
+            start, end = end, start
+        window = TimeWindow(start, end)
+        via_reader = window.clip_postings(
+            encode_open(postings, block_size=block_size))
+        assert list(via_reader) == window.clip_postings(list(postings))
+
+    @given(postings_lists, block_sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_max_tf_matches_scan(self, postings, block_size):
+        view = encode_open(postings, block_size=block_size)
+        expected = max((tf for _tid, tf in postings), default=0)
+        assert view.max_tf() == expected
+
+    @given(postings_lists, st.integers(0, 5200), st.integers(0, 5200))
+    @settings(max_examples=60, deadline=None)
+    def test_clipped_max_tf_is_sound(self, postings, start, end):
+        # The header-derived bound may be loose (it covers boundary
+        # blocks whole) but must never under-estimate.
+        if start > end:
+            start, end = end, start
+        view = encode_open(postings).clip(start, end)
+        actual = max((tf for tid, tf in postings if start <= tid <= end),
+                     default=0)
+        assert view.max_tf() >= actual
+
+
+class TestSkipAccounting:
+    def test_clip_skips_interior_blocks_without_decoding(self):
+        postings = [(i, 1 + i % 3) for i in range(64)]
+        stats = SimpleStats()
+        view = open_postings(encode_postings_blocks(postings, block_size=4),
+                             stats=stats)
+        clipped = view.clip(40, 47)
+        assert list(clipped) == [(i, 1 + i % 3) for i in range(40, 48)]
+        # Blocks [0, 40) were bypassed via the skip table.
+        assert stats.blocks_skipped >= 8
+        # Only the boundary/interior blocks of the window were decoded.
+        assert stats.blocks_decoded <= 4
+
+    def test_seek_far_target_skips_blocks(self):
+        postings = [(i * 10, 1) for i in range(100)]
+        stats = SimpleStats()
+        view = open_postings(encode_postings_blocks(postings, block_size=8),
+                             stats=stats)
+        assert view.seek(900, 0) == 90
+        assert stats.blocks_skipped >= 10
+        assert stats.blocks_decoded <= 1
+
+
+class SimpleStats:
+    """Duck-typed stats sink matching IndexStats' counter names."""
+
+    def __init__(self):
+        self.bytes_decoded = 0
+        self.blocks_decoded = 0
+        self.blocks_skipped = 0
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
+
+
+class TestCorruption:
+    def payload(self, postings=((1, 2), (5, 1), (9, 4)), block_size=2):
+        return bytearray(encode_postings_blocks(list(postings),
+                                                block_size=block_size))
+
+    def test_wrong_magic_falls_back_or_raises(self):
+        data = self.payload()
+        data[0] = 0x00
+        # Not block format and not a multiple of 12 -> rejected outright.
+        with pytest.raises(PostingsFormatError):
+            open_postings(bytes(data))
+
+    def test_unknown_version_rejected(self):
+        data = self.payload()
+        data[1] = 99
+        with pytest.raises(PostingsFormatError):
+            open_postings(bytes(data))
+
+    def test_truncated_payload_rejected(self):
+        data = bytes(self.payload())
+        for cut in (1, 3, len(data) // 2, len(data) - 1):
+            with pytest.raises(PostingsFormatError):
+                list(open_postings(data[:cut]))
+
+    def test_trailing_garbage_rejected(self):
+        data = bytes(self.payload()) + b"\x00\x01"
+        with pytest.raises(PostingsFormatError):
+            open_postings(data)
+
+    def test_corrupt_body_detected_on_decode(self):
+        postings = [(i, 1) for i in range(8)]
+        data = self.payload(postings, block_size=4)
+        # Smash the final tid delta: the last block's decode no longer
+        # lands on its header's max_tid.
+        data[-2] = 0x7F
+        view = open_postings(bytes(data))
+        with pytest.raises(PostingsFormatError):
+            list(view)
+
+    def test_flat_payload_opens_as_tuple(self):
+        flat = encode_postings([(3, 1), (8, 2)])
+        view = open_postings(flat)
+        assert isinstance(view, tuple)
+        assert list(view) == [(3, 1), (8, 2)]
+
+    def test_flat_bad_length_rejected(self):
+        with pytest.raises(PostingsFormatError):
+            open_postings(b"\x01\x02\x03\x04\x05")
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=120, deadline=None)
+    def test_random_bytes_never_crash_unexpectedly(self, blob):
+        # Arbitrary garbage either parses (by luck) or raises the
+        # format error -- never an IndexError/struct.error/etc.
+        try:
+            view = open_postings(blob)
+            list(view)
+        except PostingsFormatError:
+            pass
+
+
+class TestBlockCache:
+    def test_hits_and_misses_counted(self):
+        postings = [(i, 1) for i in range(16)]
+        cache = BlockCache(capacity=8)
+        stats = SimpleStats()
+        data = encode_postings_blocks(postings, block_size=4)
+
+        first = open_postings(data, stats=stats, cache=cache, cache_key="k")
+        list(first)
+        assert stats.block_cache_misses == 4
+        assert stats.block_cache_hits == 0
+
+        # A fresh reader over the same payload hits the shared cache.
+        second = open_postings(data, stats=stats, cache=cache, cache_key="k")
+        assert isinstance(second, BlockPostingsReader)
+        list(second)
+        assert stats.block_cache_hits == 4
+        assert stats.blocks_decoded == 4  # nothing re-decoded
+
+    def test_lru_eviction_bounds_size(self):
+        cache = BlockCache(capacity=2)
+        cache.put(("k", 0), ((1, 1),))
+        cache.put(("k", 1), ((2, 1),))
+        cache.put(("k", 2), ((3, 1),))
+        assert len(cache) == 2
+        assert cache.get(("k", 0)) is None  # evicted
+        assert cache.get(("k", 2)) == ((3, 1),)
+
+    def test_get_refreshes_recency(self):
+        cache = BlockCache(capacity=2)
+        cache.put(("k", 0), ((1, 1),))
+        cache.put(("k", 1), ((2, 1),))
+        assert cache.get(("k", 0)) is not None  # touch 0
+        cache.put(("k", 2), ((3, 1),))
+        assert cache.get(("k", 0)) is not None  # survived
+        assert cache.get(("k", 1)) is None      # 1 was the LRU victim
+
+    def test_hit_rate(self):
+        cache = BlockCache(capacity=4)
+        cache.put(("k", 0), ((1, 1),))
+        cache.get(("k", 0))
+        cache.get(("k", 9))
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_clear(self):
+        cache = BlockCache(capacity=4)
+        cache.put(("k", 0), ((1, 1),))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("k", 0)) is None

@@ -12,6 +12,7 @@ from repro.index.builder import (
     run_index_job,
     write_partitions,
 )
+from repro.index.blocks import decode_any
 from repro.index.postings import decode_postings
 from repro.text import Analyzer
 
@@ -82,8 +83,19 @@ class TestWriteAndForward:
         assert reference is not None
         reader = cluster.open(reference.path)
         data = reader.pread(reference.offset, reference.length)
-        assert decode_postings(data) == [(1, 1), (2, 2)]
+        assert decode_any(data) == [(1, 1), (2, 2)]
         assert reference.count == 2
+
+    def test_flat_format_writes_raw_entries(self, posts):
+        cluster = paper_cluster(block_size=256)
+        config = IndexConfig(postings_format="flat")
+        forward, _result = build_hybrid_index(posts, cluster, config=config)
+        toronto_cell = geohash.encode(43.65, -79.38, 4)
+        reference = forward.lookup(toronto_cell, "hotel")
+        reader = cluster.open(reference.path)
+        data = reader.pread(reference.offset, reference.length)
+        assert decode_postings(data) == [(1, 1), (2, 2)]
+        assert reference.length == reference.count * 12
 
     def test_every_entry_readable(self, posts):
         cluster = paper_cluster(block_size=128)
@@ -91,7 +103,7 @@ class TestWriteAndForward:
         for (_cell, _term), reference in forward.items():
             reader = cluster.open(reference.path)
             data = reader.pread(reference.offset, reference.length)
-            postings = decode_postings(data)
+            postings = decode_any(data)
             assert len(postings) == reference.count
 
     def test_part_files_created_per_partition(self, posts):

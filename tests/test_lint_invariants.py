@@ -161,7 +161,7 @@ class TestForwardInvertedValidator:
         entries[key] = PostingsRef(path=ref.path, offset=ref.offset,
                                    length=ref.length, count=ref.count + 1)
         violations = validate_forward_inverted(engine.index)
-        assert any("length" in v.message for v in violations)
+        assert any("forward entry says" in v.message for v in violations)
 
     def test_detects_posting_for_unknown_tweet(self, engine):
         index = engine.index
@@ -171,8 +171,8 @@ class TestForwardInvertedValidator:
             reader = index.cluster.open(ref.path)
             data = reader.pread(ref.offset, ref.length)
             if data:
-                from repro.index.postings import decode_postings
-                tid = decode_postings(data)[0][0]
+                from repro.index.blocks import decode_any
+                tid = decode_any(data)[0][0]
                 break
         assert database.indexes()["sid"].delete((tid, 0))
         violations = validate_forward_inverted(index, database)
@@ -187,6 +187,56 @@ class TestForwardInvertedValidator:
         violations = validate_forward_inverted(engine.index,
                                                engine.database)
         assert any(f"not {wrong_cell!r}" in v.message for v in violations)
+
+
+class TestBlockHeadersValidator:
+    def inject_payload(self, engine, data, count):
+        """Upload ``data`` into the index's DFS and point a forward entry
+        at it."""
+        from repro.lint import validate_block_headers
+
+        path = f"{engine.index.config.output_prefix}/part-corrupt"
+        with engine.index.cluster.create(path) as writer:
+            writer.write(bytes(data))
+        engine.index.forward._entries[("zzzz", "corrupt")] = PostingsRef(
+            path=path, offset=0, length=len(data), count=count)
+        return validate_block_headers(engine.index)
+
+    def encode(self):
+        # [(1, 3), (2, 1)] at block_size=128 is one block whose header
+        # fields are all single-byte varints: [MAGIC, VERSION, total=2,
+        # nblocks=1, count=2, zigzag(min=1), span=1, max_tf=3, body=4].
+        from repro.index.blocks import encode_postings_blocks
+        return bytearray(encode_postings_blocks([(1, 3), (2, 1)]))
+
+    def test_fresh_index_is_clean(self, engine):
+        from repro.lint import validate_block_headers
+        assert validate_block_headers(engine.index) == []
+
+    def test_intact_injected_payload_is_clean(self, engine):
+        assert self.inject_payload(engine, self.encode(), count=2) == []
+
+    def test_detects_max_tf_lie(self, engine):
+        data = self.encode()
+        data[7] = 9  # header says max_tf=9, body's actual max is 3
+        violations = self.inject_payload(engine, data, count=2)
+        assert any("actual max tf 3" in v.message for v in violations)
+
+    def test_detects_total_count_mismatch(self, engine):
+        data = self.encode()
+        data[2] = 3  # payload total disagrees with its block counts
+        violations = self.inject_payload(engine, data, count=2)
+        assert any("does not parse" in v.message for v in violations)
+
+    def test_detects_forward_count_mismatch(self, engine):
+        violations = self.inject_payload(engine, self.encode(), count=5)
+        assert any("forward entry says 5" in v.message for v in violations)
+
+    def test_detects_undecodable_body(self, engine):
+        data = self.encode()
+        data[-2] = 0x7F  # last tid delta: decode no longer ends on max_tid
+        violations = self.inject_payload(engine, data, count=2)
+        assert any("does not decode" in v.message for v in violations)
 
 
 class TestQuadtreeValidator:
@@ -230,7 +280,8 @@ class TestDeepRunner:
         assert report.seconds < 10.0
         assert {check.name for check in report.checks} == {
             "bptree[sid]", "bptree[rsid]", "bptree[uid]", "heap-pages",
-            "cover-soundness", "forward-inverted", "quadtree"}
+            "cover-soundness", "forward-inverted", "block-headers",
+            "quadtree"}
 
     def test_report_serialises(self, corpus):
         import json
@@ -238,7 +289,7 @@ class TestDeepRunner:
         report = run_deep_checks(posts=corpus.posts)
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["ok"] is True
-        assert len(payload["checks"]) == 7
+        assert len(payload["checks"]) == 8
 
     def test_cli_deep_exit_code(self, capsys):
         assert main(["check", "--deep", "--users", "30",

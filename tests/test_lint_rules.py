@@ -224,6 +224,49 @@ class TestRL002:
         """
         assert findings_for(source, "RL002") == []
 
+    def test_immutable_rebind_is_accepted(self):
+        # The block-postings caches hand out tuples by reference on
+        # purpose: callers cannot mutate them, so no defensive copy.
+        source = """
+            class Holder:
+                def __init__(self):
+                    self._snapshot = []
+
+                def rebuild(self, items):
+                    self._snapshot = tuple(items)
+
+                def snapshot(self):
+                    return self._snapshot
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_tuple_literal_rebind_is_accepted(self):
+        source = """
+            class Holder:
+                def __init__(self):
+                    self._pair = []
+
+                def reset(self):
+                    self._pair = ()
+
+                def pair(self):
+                    return self._pair
+        """
+        assert findings_for(source, "RL002") == []
+
+    def test_mutable_assignment_outside_init_is_caught(self):
+        # The scan covers every method now, not just __init__.
+        source = """
+            class Holder:
+                def reset(self):
+                    self._order = []
+
+                def order(self):
+                    return self._order
+        """
+        (finding,) = findings_for(source, "RL002")
+        assert finding.symbol == "Holder.order"
+
 
 # -- RL003: span balance ---------------------------------------------------
 

@@ -6,7 +6,8 @@ import os
 import pytest
 
 from repro.data.generator import generate_corpus
-from repro.query.engine import TkLUSEngine
+from repro.index.builder import IndexConfig
+from repro.query.engine import EngineConfig, TkLUSEngine
 from repro.query.persistence import (
     MANIFEST_NAME,
     PersistenceError,
@@ -62,8 +63,68 @@ class TestRoundtrip:
         with open(os.path.join(directory, MANIFEST_NAME)) as handle:
             manifest = json.load(handle)
         assert manifest["index"]["geohash_length"] == 4
+        assert manifest["index"]["postings_format"] == "block"
+        assert manifest["index"]["block_size"] == 128
         assert manifest["scoring"]["alpha"] == 0.5
         assert manifest["parts"]
+
+
+class TestMigration:
+    """Deployments saved before the block postings format keep working."""
+
+    def make_flat_deployment(self, tmp_path):
+        """A saved engine exactly as pre-block code wrote it: flat
+        12-byte postings payloads and a manifest without the
+        postings_format / block_size keys."""
+        corpus = generate_corpus(num_users=80, num_root_tweets=300, seed=53)
+        config = EngineConfig(index=IndexConfig(postings_format="flat"))
+        flat_engine = TkLUSEngine.from_posts(corpus.posts, config=config)
+        directory = str(tmp_path / "legacy")
+        save_engine(flat_engine, directory)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        del manifest["index"]["postings_format"]
+        del manifest["index"]["block_size"]
+        with open(manifest_path, "w") as handle:
+            json.dump(manifest, handle)
+        return corpus, directory
+
+    def test_legacy_manifest_defaults_to_flat(self, tmp_path):
+        _corpus, directory = self.make_flat_deployment(tmp_path)
+        loaded = load_engine(directory)
+        assert loaded.index.config.postings_format == "flat"
+
+    def test_legacy_flat_deployment_matches_block_rebuild(self, tmp_path):
+        # The migration round trip: the same corpus built fresh under the
+        # block format must rank identically to the legacy flat
+        # deployment read through the version-dispatching reader.
+        corpus, directory = self.make_flat_deployment(tmp_path)
+        legacy = load_engine(directory)
+        block_engine = TkLUSEngine.from_posts(corpus.posts)
+        assert block_engine.index.config.postings_format == "block"
+        for keywords, radius in ((["restaurant"], 15.0),
+                                 (["hotel", "museum"], 30.0)):
+            query = legacy.make_query((43.6532, -79.3832), radius, keywords,
+                                      k=10)
+            assert (legacy.search_sum(query).users
+                    == block_engine.search_sum(query).users)
+            assert (legacy.search_max(query).users
+                    == block_engine.search_max(query).users)
+
+    def test_block_deployment_round_trips(self, built_engine, tmp_path):
+        # Block-format payloads survive save -> load byte-for-byte: the
+        # reloaded engine decodes them lazily, not as flat entries.
+        _corpus, engine = built_engine
+        directory = str(tmp_path / "blockdep")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        assert loaded.index.config.postings_format == "block"
+        query = loaded.make_query((43.6532, -79.3832), 20.0, ["restaurant"],
+                                  k=5)
+        result = loaded.search_sum(query)
+        assert result.users
+        assert loaded.index.stats.blocks_decoded > 0
 
 
 class TestErrors:
