@@ -298,6 +298,115 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    from .ingest import IngestConfig, IngestService, load_posts_file
+
+    if args.corpus:
+        posts = load_posts_file(args.corpus)
+    else:
+        from .data.generator import generate_corpus
+        corpus = generate_corpus(num_users=args.users,
+                                 num_root_tweets=args.roots, seed=args.seed)
+        posts = list(corpus.posts)
+    if not posts:
+        print("error: nothing to ingest", file=sys.stderr)
+        return 2
+
+    service = IngestService(
+        args.directory,
+        ingest_config=IngestConfig(flush_posts=args.flush_posts,
+                                   sync_every=args.sync_every))
+    for post in posts:
+        service.append(post)
+    if args.flush:
+        service.flush()
+    status = service.status()
+    service.close()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        recovery = status["recovery"]
+        print(f"ingested {len(posts)} posts into {args.directory}")
+        print(f"  generations={len(status['generations'])} "
+              f"memtable={status['memtable_posts']} posts "
+              f"({status['memtable_bytes']} bytes)")
+        print(f"  wal: {status['wal']['appends']} appends, "
+              f"{status['wal']['fsyncs']} fsyncs, "
+              f"next_lsn={status['next_lsn']}")
+        if recovery["records_replayed"] or recovery["generations_loaded"]:
+            print(f"  recovered on open: "
+                  f"{recovery['generations_loaded']} generations, "
+                  f"{recovery['records_replayed']} WAL records replayed")
+    return 0
+
+
+def _cmd_ingest_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .ingest import inspect_ingest_dir
+
+    report = inspect_ingest_dir(args.directory)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.exists else 2
+    if not report.exists:
+        print(f"error: {args.directory} is not an ingest directory",
+              file=sys.stderr)
+        return 2
+    manifest = report.manifest
+    generations = manifest.get("generations", [])
+    flushed = sum(entry["post_count"] for entry in generations)
+    print(f"ingest directory {args.directory}")
+    print(f"  generations: {len(generations)} ({flushed} posts flushed)")
+    print(f"  last_flushed_lsn: {manifest.get('last_flushed_lsn', 0)}")
+    print(f"  unflushed WAL records: {report.unflushed_records}"
+          + (" (torn tail on final segment)" if report.torn_tail else ""))
+    for segment in report.segments:
+        flags = []
+        if segment["flushed"]:
+            flags.append("flushed")
+        if segment["torn_tail"]:
+            flags.append("torn")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        print(f"  {segment['name']}: {segment['records']} records{suffix}")
+    return 0
+
+
+def _cmd_ingest_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .eval.ingest_bench import (
+        IngestBenchConfig,
+        render_ingest_summary,
+        run_ingest_bench,
+        validate_ingest_bench_report,
+        write_ingest_report,
+    )
+
+    config = IngestBenchConfig(
+        num_users=args.users, num_root_tweets=args.roots, seed=args.seed,
+        queries=args.queries, appends_per_query=args.appends_per_query,
+        flush_posts=args.flush_posts, sync_every=args.sync_every,
+        radius_km=args.radius, k=args.k)
+    if args.directory:
+        payload = run_ingest_bench(args.directory, config)
+    else:
+        with tempfile.TemporaryDirectory() as scratch:
+            payload = run_ingest_bench(f"{scratch}/ingest", config)
+    problems = validate_ingest_bench_report(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid ingest bench report: {problem}", file=sys.stderr)
+        return 1
+    if args.output:
+        write_ingest_report(payload, args.output)
+        print(f"wrote {args.output}")
+    print(render_ingest_summary(payload))
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
     import os
@@ -463,6 +572,58 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the JSON report to FILE "
                             "(e.g. BENCH_query.json)")
     bench.set_defaults(func=_cmd_bench)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="stream posts through the real-time write path "
+             "(WAL + memtable + flush)")
+    ingest.add_argument("directory", help="ingest directory (created or "
+                                          "recovered if it exists)")
+    ingest.add_argument("--corpus", default="", metavar="FILE",
+                        help="JSON-lines posts file; omitted = synthetic")
+    ingest.add_argument("--users", type=int, default=200,
+                        help="synthetic corpus users")
+    ingest.add_argument("--roots", type=int, default=1000,
+                        help="synthetic corpus root tweets")
+    ingest.add_argument("--seed", type=int, default=42)
+    ingest.add_argument("--flush-posts", type=int, default=1024,
+                        help="memtable post count that triggers a flush")
+    ingest.add_argument("--sync-every", type=int, default=1,
+                        help="fsync once per N appends (group commit)")
+    ingest.add_argument("--flush", action="store_true",
+                        help="force a final flush before exiting")
+    ingest.add_argument("--json", action="store_true",
+                        help="emit the service status as JSON")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    ingest_status = commands.add_parser(
+        "ingest-status",
+        help="inspect an ingest directory without opening it")
+    ingest_status.add_argument("directory")
+    ingest_status.add_argument("--json", action="store_true")
+    ingest_status.set_defaults(func=_cmd_ingest_status)
+
+    ingest_bench = commands.add_parser(
+        "ingest-bench",
+        help="mixed workload bench: query latency while appends land")
+    ingest_bench.add_argument("--users", type=int, default=300,
+                              help="synthetic corpus users")
+    ingest_bench.add_argument("--roots", type=int, default=1500,
+                              help="synthetic corpus root tweets")
+    ingest_bench.add_argument("--seed", type=int, default=42)
+    ingest_bench.add_argument("--queries", type=int, default=24)
+    ingest_bench.add_argument("--appends-per-query", type=int, default=8)
+    ingest_bench.add_argument("--flush-posts", type=int, default=400)
+    ingest_bench.add_argument("--sync-every", type=int, default=1)
+    ingest_bench.add_argument("--radius", type=float, default=20.0)
+    ingest_bench.add_argument("--k", type=int, default=10)
+    ingest_bench.add_argument("--directory", default="", metavar="DIR",
+                              help="run against DIR instead of a "
+                                   "temporary directory (kept afterwards)")
+    ingest_bench.add_argument("--output", default="", metavar="FILE",
+                              help="write the JSON report to FILE "
+                                   "(e.g. BENCH_ingest.json)")
+    ingest_bench.set_defaults(func=_cmd_ingest_bench)
 
     check = commands.add_parser(
         "check",

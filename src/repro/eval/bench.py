@@ -194,6 +194,11 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, object]:
 
     return {
         "schema_version": SCHEMA_VERSION,
+        # The seed is promoted to top level (as well as living in
+        # config): it is the one knob that makes a run reproducible
+        # across machines, so consumers must not have to know the
+        # config layout to find it.
+        "seed": config.seed,
         "config": config.as_dict(),
         "window": {"start": window.start, "end": window.end},
         "workloads": report_workloads,
@@ -214,8 +219,15 @@ def validate_bench_report(payload: object) -> List[str]:
     if payload.get("schema_version") != SCHEMA_VERSION:
         note(f"schema_version must be {SCHEMA_VERSION}, "
              f"got {payload.get('schema_version')!r}")
-    if not isinstance(payload.get("config"), dict):
+    seed = payload.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        note("seed must be an integer (the workload-generation seed)")
+    config_obj = payload.get("config")
+    if not isinstance(config_obj, dict):
         note("config must be an object")
+    elif isinstance(seed, int) and config_obj.get("seed") != seed:
+        note(f"top-level seed {seed!r} disagrees with "
+             f"config.seed {config_obj.get('seed')!r}")
     workloads = payload.get("workloads")
     if not isinstance(workloads, list) or not workloads:
         return problems + ["workloads must be a non-empty array"]

@@ -1,0 +1,271 @@
+"""Mixed ingest+query bench: query latency while appends land.
+
+The batch bench (:mod:`repro.eval.bench`) measures a frozen index; this
+harness measures the workload the real-time subsystem exists for —
+queries answered *while* single-post appends stream into the WAL and
+memtable, with flushes carving generations mid-run.  The phases:
+
+1. **preload** — a seeded fraction of the corpus is appended and
+   flushed, so queries start against generations + a warm memtable;
+2. **mixed** — the remaining posts are interleaved with the query
+   workload (``appends_per_query`` appends, then one max-score query),
+   collecting per-query latencies;
+3. **recovery** — the service is closed and reopened, timing the WAL
+   replay and verifying the recovered post count, so every committed
+   report also witnesses recovery working.
+
+The report carries query-latency quantiles (p50/p95/p99), ingest
+metrics (appends/s, fsyncs, flush count, replayed records) and the
+workload seed; ``validate_ingest_bench_report`` is the schema gate CI
+runs against the committed ``BENCH_ingest.json`` and fresh smoke
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.model import Semantics
+from ..data.generator import generate_corpus
+from ..data.queries import QueryWorkload
+from ..ingest import IngestConfig, IngestService
+from .bench import _quantile
+
+SCHEMA_VERSION = 1
+
+#: Ingest-side metric keys every report must carry.
+INGEST_METRIC_KEYS = (
+    "appends",
+    "fsyncs",
+    "rotations",
+    "flushes",
+    "generations",
+    "memtable_posts",
+    "memtable_bytes",
+    "replayed_records",
+)
+
+
+@dataclass
+class IngestBenchConfig:
+    """Knobs for one mixed run; defaults match the committed
+    ``BENCH_ingest.json``."""
+
+    num_users: int = 300
+    num_root_tweets: int = 1500
+    seed: int = 42
+    preload_fraction: float = 0.5
+    queries: int = 24
+    appends_per_query: int = 8
+    flush_posts: int = 400
+    sync_every: int = 1
+    radius_km: float = 20.0
+    k: int = 10
+    keywords_per_query: int = 2
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_users": self.num_users,
+            "num_root_tweets": self.num_root_tweets,
+            "seed": self.seed,
+            "preload_fraction": self.preload_fraction,
+            "queries": self.queries,
+            "appends_per_query": self.appends_per_query,
+            "flush_posts": self.flush_posts,
+            "sync_every": self.sync_every,
+            "radius_km": self.radius_km,
+            "k": self.k,
+            "keywords_per_query": self.keywords_per_query,
+        }
+
+
+def run_ingest_bench(directory: str,
+                     config: Optional[IngestBenchConfig] = None
+                     ) -> Dict[str, object]:
+    """Run the three phases against ``directory`` (which must be empty
+    or absent) and return the report payload."""
+    if config is None:
+        config = IngestBenchConfig()
+    corpus = generate_corpus(num_users=config.num_users,
+                             num_root_tweets=config.num_root_tweets,
+                             seed=config.seed)
+    posts = corpus.posts
+    workload = QueryWorkload(corpus, seed=config.seed)
+    queries = workload.make_queries(config.keywords_per_query,
+                                    config.radius_km, k=config.k,
+                                    semantics=Semantics.OR,
+                                    limit=config.queries)
+
+    service = IngestService(
+        directory,
+        ingest_config=IngestConfig(flush_posts=config.flush_posts,
+                                   sync_every=config.sync_every))
+
+    # Phase 1: preload + flush, so the mixed phase reads generations
+    # and a memtable, not an empty directory.
+    preload = int(len(posts) * config.preload_fraction)
+    preload_started = time.perf_counter()
+    for post in posts[:preload]:
+        service.append(post)
+    service.flush()
+    preload_seconds = time.perf_counter() - preload_started
+
+    engine = service.build_query_engine()
+
+    # Phase 2: interleave appends with queries.
+    stream = iter(posts[preload:])
+    exhausted = False
+    mixed_appends = 0
+    latencies_ms: List[float] = []
+    mixed_started = time.perf_counter()
+    for query in queries:
+        for _ in range(config.appends_per_query):
+            post = next(stream, None)
+            if post is None:
+                exhausted = True
+                break
+            service.append(post)
+            mixed_appends += 1
+        started = time.perf_counter()
+        engine.search_max(query)
+        latencies_ms.append((time.perf_counter() - started) * 1000.0)
+    mixed_seconds = time.perf_counter() - mixed_started
+    latencies_ms.sort()
+
+    status = service.status()
+    total_appends = preload + mixed_appends
+    elapsed = preload_seconds + mixed_seconds
+
+    # Phase 3: close and recover, proving the directory replays.
+    service.close()
+    recovery_started = time.perf_counter()
+    recovered = IngestService(directory)
+    recovery_seconds = time.perf_counter() - recovery_started
+    recovery = recovered.recovery.as_dict()
+    recovered_posts = len(recovered.database)
+    recovered.close()
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "seed": config.seed,
+        "config": config.as_dict(),
+        "query_latency_ms": {
+            "p50": round(_quantile(latencies_ms, 0.50), 3),
+            "p95": round(_quantile(latencies_ms, 0.95), 3),
+            "p99": round(_quantile(latencies_ms, 0.99), 3),
+            "mean": round(sum(latencies_ms) / len(latencies_ms), 3)
+            if latencies_ms else 0.0,
+            "queries": len(latencies_ms),
+        },
+        "ingest": {
+            "appends": status["wal"]["appends"],
+            "appends_per_second": round(total_appends / elapsed, 1)
+            if elapsed > 0 else 0.0,
+            "fsyncs": status["wal"]["fsyncs"],
+            "rotations": status["wal"]["rotations"],
+            "flushes": len(status["generations"]),
+            "generations": len(status["generations"]),
+            "memtable_posts": status["memtable_posts"],
+            "memtable_bytes": status["memtable_bytes"],
+            "replayed_records": recovery["records_replayed"],
+        },
+        "recovery": {
+            "seconds": round(recovery_seconds, 3),
+            "recovered_posts": recovered_posts,
+            "posts_match": recovered_posts == total_appends,
+            "generations_loaded": recovery["generations_loaded"],
+        },
+        "stream_exhausted": exhausted,
+    }
+
+
+def validate_ingest_bench_report(payload: object) -> List[str]:
+    """Schema gate; returns human-readable problems (empty when valid)."""
+    problems: List[str] = []
+
+    def note(message: str) -> None:
+        problems.append(message)
+
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        note(f"schema_version must be {SCHEMA_VERSION}, "
+             f"got {payload.get('schema_version')!r}")
+    seed = payload.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        note("seed must be an integer")
+    config = payload.get("config")
+    if not isinstance(config, dict):
+        note("config must be an object")
+    elif isinstance(seed, int) and config.get("seed") != seed:
+        note(f"top-level seed {seed!r} disagrees with "
+             f"config.seed {config.get('seed')!r}")
+
+    latency = payload.get("query_latency_ms")
+    if not isinstance(latency, dict):
+        note("query_latency_ms must be an object")
+    else:
+        for key in ("p50", "p95", "p99", "mean"):
+            value = latency.get(key)
+            if not (isinstance(value, (int, float)) and value >= 0):
+                note(f"query_latency_ms.{key} must be a non-negative number")
+        count = latency.get("queries")
+        if not (isinstance(count, int) and count > 0):
+            note("query_latency_ms.queries must be a positive integer")
+
+    ingest = payload.get("ingest")
+    if not isinstance(ingest, dict):
+        note("ingest must be an object")
+    else:
+        for key in INGEST_METRIC_KEYS:
+            value = ingest.get(key)
+            if not (isinstance(value, int) and value >= 0
+                    and not isinstance(value, bool)):
+                note(f"ingest.{key} must be a non-negative integer")
+        rate = ingest.get("appends_per_second")
+        if not (isinstance(rate, (int, float)) and rate >= 0):
+            note("ingest.appends_per_second must be a non-negative number")
+
+    recovery = payload.get("recovery")
+    if not isinstance(recovery, dict):
+        note("recovery must be an object")
+    else:
+        if recovery.get("posts_match") is not True:
+            note("recovery.posts_match must be true — the recovered post "
+                 "count disagrees with the appended count")
+        for key in ("recovered_posts", "generations_loaded"):
+            value = recovery.get(key)
+            if not (isinstance(value, int) and value >= 0
+                    and not isinstance(value, bool)):
+                note(f"recovery.{key} must be a non-negative integer")
+    return problems
+
+
+def render_ingest_summary(payload: Dict[str, object]) -> str:
+    """Terminal summary of one mixed run."""
+    latency = payload["query_latency_ms"]
+    ingest = payload["ingest"]
+    recovery = payload["recovery"]
+    return "\n".join([
+        f"mixed workload: {latency['queries']} queries over "  # type: ignore[index]
+        f"{ingest['appends']} appends",  # type: ignore[index]
+        f"  query latency p50={latency['p50']:.2f}ms "  # type: ignore[index]
+        f"p95={latency['p95']:.2f}ms "  # type: ignore[index]
+        f"p99={latency['p99']:.2f}ms",  # type: ignore[index]
+        f"  ingest {ingest['appends_per_second']}/s, "  # type: ignore[index]
+        f"{ingest['fsyncs']} fsyncs, "  # type: ignore[index]
+        f"{ingest['flushes']} flushes, "  # type: ignore[index]
+        f"memtable {ingest['memtable_posts']} posts",  # type: ignore[index]
+        f"  recovery replayed {ingest['replayed_records']} records "  # type: ignore[index]
+        f"in {recovery['seconds']}s "  # type: ignore[index]
+        f"({'ok' if recovery['posts_match'] else 'MISMATCH'})",  # type: ignore[index]
+    ])
+
+
+def write_ingest_report(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

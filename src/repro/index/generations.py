@@ -24,6 +24,7 @@ verify.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -39,11 +40,16 @@ from .postings import Posting, merge_postings
 
 @dataclass
 class Generation:
-    """One ingested batch."""
+    """One ingested batch.
+
+    ``posts`` retains the batch itself (immutable) when the owning
+    index runs with ``retain_batches=True`` — what makes ``compact()``
+    self-sufficient; ``None`` when retention is off."""
 
     number: int
     index: HybridIndex
     post_count: int
+    posts: Optional[Tuple[Post, ...]] = None
 
 
 class GenerationalIndex:
@@ -56,10 +62,12 @@ class GenerationalIndex:
 
     def __init__(self, cluster: DFSCluster,
                  analyzer: Optional[Analyzer] = None,
-                 config: Optional[IndexConfig] = None) -> None:
+                 config: Optional[IndexConfig] = None,
+                 retain_batches: bool = True) -> None:
         self.cluster = cluster
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.base_config = config if config is not None else IndexConfig()
+        self.retain_batches = retain_batches
         self._generations: List[Generation] = []
         self._next_number = 0
         self.compactions = 0
@@ -89,7 +97,8 @@ class GenerationalIndex:
         forward, _result = build_hybrid_index(posts, self.cluster,
                                               self.analyzer, config)
         index = HybridIndex(forward, self.cluster, config, self.analyzer)
-        generation = Generation(number, index, len(posts))
+        generation = Generation(number, index, len(posts),
+                                tuple(posts) if self.retain_batches else None)
         self._generations.append(generation)
         return generation
 
@@ -151,14 +160,36 @@ class GenerationalIndex:
 
     # -- compaction ------------------------------------------------------------
 
-    def compact(self, posts: Iterable[Post]) -> Generation:
-        """Merge all generations into one fresh build over ``posts``
-        (the caller supplies the full post set — the paper's setting
-        re-reads the day's collected tweets from the central store).
+    def compact(self, posts: Optional[Iterable[Post]] = None) -> Generation:
+        """Merge all generations into one fresh build (the paper's
+        daily rebuild).  Old generations' DFS files are deleted.
 
-        Old generations' DFS files are deleted.
+        With no argument the rebuild concatenates the retained
+        per-generation batches, so callers no longer have to re-supply
+        every post they ever ingested.  Passing ``posts`` explicitly is
+        deprecated (the historical API, which forced callers to keep
+        their own copy of the corpus) but still honoured as an
+        override.
         """
-        posts = list(posts)
+        if posts is not None:
+            warnings.warn(
+                "compact(posts) is deprecated: GenerationalIndex retains "
+                "its batches and compact() with no argument rebuilds "
+                "from them",
+                DeprecationWarning, stacklevel=2)
+            posts = list(posts)
+        else:
+            missing = [generation.number for generation in self._generations
+                       if generation.posts is None]
+            if missing:
+                raise ValueError(
+                    "compact() needs retained batches, but generations "
+                    f"{missing} were ingested with retain_batches=False — "
+                    "pass the posts explicitly")
+            posts = [post for generation in self._generations
+                     for post in generation.posts or ()]
+        if not posts:
+            raise ValueError("nothing to compact: no posts ingested")
         old = self._generations
         self._generations = []
         generation = self.ingest(posts)

@@ -1,0 +1,33 @@
+"""Real-time ingestion: WAL, memtable, flush-to-generation, recovery.
+
+The batch half of the system (Section IV-A's periodic MapReduce
+rebuild) lives in :mod:`repro.index`; this package adds the real-time
+half the paper contrasts itself with in Section VII-B — an LSM-style
+write path where posts become durable (WAL), immediately queryable
+(MemIndex behind a LiveIndex facade), and eventually immutable
+(flush through the existing index builder into a block-format
+generation), with crash recovery by WAL replay.
+
+See ``docs/INGESTION.md`` for the on-disk format and lifecycle.
+"""
+
+from .failpoints import KILL_POINTS, Failpoints, SimulatedCrash
+from .live import LiveIndex, LiveSnapshot
+from .memindex import MemIndex
+from .service import (IngestConfig, IngestDirReport, IngestError,
+                      IngestService, LiveBoundsManager, RecoveryReport,
+                      inspect_ingest_dir, load_posts_file)
+from .wal import (ReplayResult, WALCorruptionError, WALError, WALStats,
+                  WriteAheadLog, decode_post, decode_record, encode_post,
+                  encode_record, replay_segment)
+
+__all__ = [
+    "KILL_POINTS", "Failpoints", "SimulatedCrash",
+    "LiveIndex", "LiveSnapshot", "MemIndex",
+    "IngestConfig", "IngestDirReport", "IngestError", "IngestService",
+    "LiveBoundsManager", "RecoveryReport",
+    "inspect_ingest_dir", "load_posts_file",
+    "ReplayResult", "WALCorruptionError", "WALError", "WALStats",
+    "WriteAheadLog", "decode_post", "decode_record", "encode_post",
+    "encode_record", "replay_segment",
+]

@@ -1,0 +1,196 @@
+"""The read facade over memtables + sealed generations.
+
+A query must see one consistent database even while appends land
+mid-plan, so reads are watermarked: :meth:`LiveIndex.postings_for_query`
+pins the current memtable high-water LSN on entry and every postings
+fetch under that call filters to entries at or below it.  Appends that
+arrive after the pin are invisible to the in-flight query; sealed
+generations are immutable so they need no watermark.  For a view that
+stays stable across *multiple* calls (the bench harness, validators),
+:meth:`LiveIndex.snapshot` freezes the component lists and the
+watermark into a :class:`LiveSnapshot`.
+
+The facade satisfies the same ``PostingsSource`` protocol as
+:class:`~repro.index.hybrid.HybridIndex`, merging per-``(cell, term)``
+lists with :func:`~repro.index.postings.merge_postings` (tids are
+globally unique across generations and the memtable, so merging never
+collides).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..geo.cover import circle_cover
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..index.builder import IndexConfig
+from ..index.hybrid import HybridIndex, IndexStats
+from ..index.postings import Posting, merge_postings
+from ..text.analyzer import Analyzer
+from .memindex import MemIndex
+
+
+def _merge_parts(parts: List[Sequence[Posting]]) -> Sequence[Posting]:
+    """Merge already-sorted per-component lists; avoids materialising a
+    copy in the common single-source case."""
+    if not parts:
+        return ()
+    if len(parts) == 1:
+        return parts[0]
+    return merge_postings(parts)
+
+
+class LiveIndex:
+    """Union view over the active/sealed memtables and flushed
+    generations of one ingest service.
+
+    The ``memtables`` and ``generations`` lists are shared with (and
+    mutated in place by) :class:`~.service.IngestService` — the facade
+    never rebinds them, so a flush that swaps a sealed memtable for its
+    generation is visible to the next query without rewiring.
+    """
+
+    def __init__(self, config: IndexConfig, analyzer: Analyzer,
+                 memtables: List[MemIndex],
+                 generations: List[HybridIndex]) -> None:
+        self.config = config
+        self.analyzer = analyzer
+        self.memtables = memtables
+        self.generations = generations
+
+    # -- consistency --------------------------------------------------------
+
+    def watermark(self) -> int:
+        """The LSN a query starting now would pin."""
+        return max((mem.max_lsn for mem in self.memtables), default=0)
+
+    def snapshot(self) -> "LiveSnapshot":
+        """A view frozen at the current watermark and component set."""
+        return LiveSnapshot(self.config, self.analyzer,
+                            tuple(self.memtables), tuple(self.generations),
+                            self.watermark())
+
+    # -- PostingsSource -----------------------------------------------------
+
+    @property
+    def geohash_length(self) -> int:
+        return self.config.geohash_length
+
+    def cover(self, location: Tuple[float, float], radius_km: float,
+              metric: Metric = DEFAULT_METRIC) -> List[str]:
+        return circle_cover(location, radius_km, self.config.geohash_length,
+                            metric)
+
+    def postings(self, cell: str, term: str,
+                 max_lsn: Optional[int] = None) -> Sequence[Posting]:
+        """Merged postings across every component, memtable entries
+        clipped to ``max_lsn`` (``None`` = everything)."""
+        parts: List[Sequence[Posting]] = []
+        for generation in self.generations:
+            fetched = generation.postings(cell, term)
+            if fetched:
+                parts.append(fetched)
+        for mem in self.memtables:
+            fetched = mem.postings(cell, term, max_lsn)
+            if fetched:
+                parts.append(fetched)
+        return _merge_parts(parts)
+
+    def postings_fetch_count(self) -> int:
+        return (sum(gen.stats.postings_fetches for gen in self.generations)
+                + sum(mem.stats.postings_fetches for mem in self.memtables))
+
+    def postings_for_query(self, cells: List[str], terms: List[str]
+                           ) -> Dict[str, Dict[str, Sequence[Posting]]]:
+        # Pin the watermark before touching any component: appends that
+        # land while we scan stay invisible to this query.
+        limit = self.watermark()
+        with obs.trace("ingest.live_scan", cells=len(cells),
+                       terms=len(terms), watermark=limit):
+            result: Dict[str, Dict[str, Sequence[Posting]]] = {}
+            for cell in cells:
+                per_term: Dict[str, Sequence[Posting]] = {}
+                for term in terms:
+                    postings = self.postings(cell, term, limit)
+                    if postings:
+                        per_term[term] = postings
+                if per_term:
+                    result[cell] = per_term
+        return result
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def stats(self) -> IndexStats:
+        """Aggregate counters across components (what the per-query
+        profiler snapshot-diffs)."""
+        total = IndexStats()
+        for component in (*self.generations, *self.memtables):
+            for key, value in component.stats.snapshot().items():
+                setattr(total, key, getattr(total, key) + value)
+        return total
+
+    def clear_caches(self) -> None:
+        for generation in self.generations:
+            generation.clear_caches()
+
+
+class LiveSnapshot:
+    """An immutable LiveIndex view: fixed components, fixed watermark.
+
+    Queries against a snapshot return identical results no matter how
+    many appends or flushes land after it was taken — as long as the
+    captured memtables are not themselves flushed away (the service only
+    drops a sealed memtable *after* its generation is committed, so a
+    snapshot taken before a flush may double-serve; take snapshots
+    between flushes, as the bench harness does).
+    """
+
+    def __init__(self, config: IndexConfig, analyzer: Analyzer,
+                 memtables: Tuple[MemIndex, ...],
+                 generations: Tuple[HybridIndex, ...],
+                 lsn_limit: int) -> None:
+        self.config = config
+        self.analyzer = analyzer
+        self.memtables = memtables
+        self.generations = generations
+        self.lsn_limit = lsn_limit
+
+    @property
+    def geohash_length(self) -> int:
+        return self.config.geohash_length
+
+    def cover(self, location: Tuple[float, float], radius_km: float,
+              metric: Metric = DEFAULT_METRIC) -> List[str]:
+        return circle_cover(location, radius_km, self.config.geohash_length,
+                            metric)
+
+    def postings(self, cell: str, term: str) -> Sequence[Posting]:
+        parts: List[Sequence[Posting]] = []
+        for generation in self.generations:
+            fetched = generation.postings(cell, term)
+            if fetched:
+                parts.append(fetched)
+        for mem in self.memtables:
+            fetched = mem.postings(cell, term, self.lsn_limit)
+            if fetched:
+                parts.append(fetched)
+        return _merge_parts(parts)
+
+    def postings_fetch_count(self) -> int:
+        return (sum(gen.stats.postings_fetches for gen in self.generations)
+                + sum(mem.stats.postings_fetches for mem in self.memtables))
+
+    def postings_for_query(self, cells: List[str], terms: List[str]
+                           ) -> Dict[str, Dict[str, Sequence[Posting]]]:
+        result: Dict[str, Dict[str, Sequence[Posting]]] = {}
+        for cell in cells:
+            per_term: Dict[str, Sequence[Posting]] = {}
+            for term in terms:
+                postings = self.postings(cell, term)
+                if postings:
+                    per_term[term] = postings
+            if per_term:
+                result[cell] = per_term
+        return result

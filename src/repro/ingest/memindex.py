@@ -1,0 +1,161 @@
+"""The mutable in-memory delta index (the LSM memtable).
+
+Holds the posts that have been WAL-logged but not yet flushed into an
+immutable generation.  :meth:`MemIndex.add` mirrors
+:class:`~repro.index.builder.IndexMapper` exactly — same analyzer
+dispatch (pre-analysed ``word_bag`` vs raw-text term frequencies), same
+geohash cell, same ``(timestamp, tf)`` posting shape — so a flush that
+rebuilds the same posts through the MapReduce builder produces
+answer-identical postings, which is what the LiveIndex parity test
+asserts.
+
+Every posting is tagged with the LSN of the append that produced it;
+reads filter on ``lsn <= max_lsn`` so :class:`~.live.LiveIndex` can pin
+a watermark at query entry and see a stable view while appends land
+mid-plan.  The memtable exposes the same
+``cover``/``postings``/``postings_for_query`` surface as
+:class:`~repro.index.hybrid.HybridIndex`, making it a
+``PostingsSource`` the pipeline operators run against unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.model import Post
+from ..geo import geohash as geohash_mod
+from ..geo.cover import circle_cover
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..index.builder import IndexConfig
+from ..index.hybrid import IndexStats
+from ..index.postings import Posting
+from ..text.analyzer import Analyzer
+
+
+class MemIndex:
+    """Geohash-cell × term postings plus an arrival-ordered post log.
+
+    Not thread-safe; the ingest service serialises writes.  Once
+    :meth:`seal` is called the memtable refuses further appends and only
+    serves reads until its flush completes.
+    """
+
+    def __init__(self, config: IndexConfig, analyzer: Analyzer) -> None:
+        self.config = config
+        self.analyzer = analyzer
+        self.stats = IndexStats()
+        # (cell, term) -> tid-sorted entries of (tid, tf, lsn).
+        self._postings: Dict[Tuple[str, str], List[Tuple[int, int, int]]] = {}
+        self._posts: List[Tuple[int, Post]] = []  # arrival (= LSN) order
+        self._sealed = False
+        self._max_lsn = 0
+        self._size_bytes = 0
+
+    # -- writes -------------------------------------------------------------
+
+    def add(self, post: Post, lsn: int) -> None:
+        """Index one WAL-logged post under its LSN."""
+        if self._sealed:
+            raise RuntimeError("memtable is sealed")
+        if lsn <= self._max_lsn:
+            raise ValueError(
+                f"LSN {lsn} not above memtable high-water mark {self._max_lsn}")
+        self._max_lsn = lsn
+        self._posts.append((lsn, post))
+        self._size_bytes += sys.getsizeof(post.text) + 64
+        if post.words:
+            frequencies = post.word_bag()
+        else:
+            frequencies = self.analyzer.term_frequencies(post.text)
+        if not frequencies:
+            return  # still replayable/flushable, just not indexed
+        lat, lon = post.location
+        cell = geohash_mod.encode(lat, lon, self.config.geohash_length)
+        for term, tf in frequencies.items():
+            entries = self._postings.setdefault((cell, term), [])
+            # tids are timestamps (== sids) and globally unique, but
+            # out-of-order arrival is legal — keep the list tid-sorted.
+            bisect.insort(entries, (post.timestamp, tf, lsn))
+            self._size_bytes += 48
+
+    def seal(self) -> None:
+        """Freeze the memtable for flushing; reads keep working."""
+        self._sealed = True
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    # -- reads --------------------------------------------------------------
+
+    @property
+    def geohash_length(self) -> int:
+        return self.config.geohash_length
+
+    @property
+    def max_lsn(self) -> int:
+        """Highest LSN indexed so far (0 when empty)."""
+        return self._max_lsn
+
+    @property
+    def post_count(self) -> int:
+        return len(self._posts)
+
+    def size_bytes(self) -> int:
+        """Rough in-memory footprint, the flush-threshold input."""
+        return self._size_bytes
+
+    def posts(self, max_lsn: Optional[int] = None) -> List[Post]:
+        """The buffered posts in LSN order, optionally watermarked."""
+        if max_lsn is None:
+            return [post for _lsn, post in self._posts]
+        return [post for lsn, post in self._posts if lsn <= max_lsn]
+
+    def lsn_posts(self) -> List[Tuple[int, Post]]:
+        """``(lsn, post)`` pairs in LSN order, for invariant validation."""
+        return list(self._posts)
+
+    def cover(self, location: Tuple[float, float], radius_km: float,
+              metric: Metric = DEFAULT_METRIC) -> List[str]:
+        return circle_cover(location, radius_km, self.config.geohash_length,
+                            metric)
+
+    def postings(self, cell: str, term: str,
+                 max_lsn: Optional[int] = None) -> Sequence[Posting]:
+        """tid-sorted ``(tid, tf)`` entries visible at ``max_lsn``."""
+        entries = self._postings.get((cell, term))
+        if not entries:
+            return ()
+        if max_lsn is None:
+            visible = tuple((tid, tf) for tid, tf, _lsn in entries)
+        else:
+            visible = tuple((tid, tf) for tid, tf, lsn in entries
+                            if lsn <= max_lsn)
+        if not visible:
+            return ()
+        self.stats.postings_fetches += 1
+        self.stats.postings_entries_read += len(visible)
+        return visible
+
+    def postings_fetch_count(self) -> int:
+        return self.stats.postings_fetches
+
+    def postings_for_query(self, cells: List[str], terms: List[str],
+                           max_lsn: Optional[int] = None
+                           ) -> Dict[str, Dict[str, Sequence[Posting]]]:
+        result: Dict[str, Dict[str, Sequence[Posting]]] = {}
+        for cell in cells:
+            per_term: Dict[str, Sequence[Posting]] = {}
+            for term in terms:
+                postings = self.postings(cell, term, max_lsn)
+                if postings:
+                    per_term[term] = postings
+            if per_term:
+                result[cell] = per_term
+        return result
+
+    def keys(self) -> List[Tuple[str, str]]:
+        """All indexed ``(cell, term)`` pairs, for validators."""
+        return sorted(self._postings)

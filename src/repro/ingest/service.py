@@ -1,0 +1,581 @@
+"""The ingest service: WAL + memtable + flush + crash recovery.
+
+One :class:`IngestService` owns a durable directory::
+
+    <dir>/
+      MANIFEST.json                 committed-state pointer (atomic replace)
+      wal/wal-XXXXXXXX.log          numbered WAL segments
+      generations/gen-NNNNN/        one flushed generation each:
+        posts.jsonl                 the generation's posts (ETL format)
+        forward.bin                 serialised forward index
+        part-XXXXX                  inverted-index part files (block format)
+
+The write path is the classic LSM discipline: a post is first appended
+(durably) to the WAL, then indexed into the active
+:class:`~.memindex.MemIndex`, then inserted into the metadata database —
+so anything acknowledged survives a crash, and anything not
+acknowledged is simply retried.  At a size threshold :meth:`flush`
+seals the memtable, rotates the WAL, rebuilds the sealed posts into an
+immutable block-format generation through the *same* MapReduce builder
+the batch path uses, commits the manifest atomically, and only then
+truncates the covered WAL segments.
+
+Recovery (:class:`IngestService` construction over an existing
+directory) mirrors that order: load committed generations from the
+manifest, discard orphan generation directories (crash mid-flush),
+delete WAL segments the manifest says were flushed (crash
+pre-truncate), then replay the remaining segments — repairing a torn
+tail on the last one — into a fresh memtable and metadata database.
+The kill-point matrix in ``tests/test_ingest_recovery.py`` asserts the
+result: query answers after recovery are byte-identical to a run that
+never crashed.
+
+Everything in memory is considered lost by a crash, including the
+simulated DFS cluster; only ``<dir>`` survives.  That is why flushed
+part files are copied out of the cluster into the generation directory
+and re-uploaded on open.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from ..core.model import Post
+from ..core.scoring import upper_bound_popularity
+from ..core.thread import DEFAULT_DEPTH, ThreadBuilder
+from ..data.etl import dump_posts, load_posts
+from ..dfs.cluster import DFSCluster, paper_cluster
+from ..geo.distance import DEFAULT_METRIC, Metric
+from ..index.builder import IndexConfig, build_hybrid_index
+from ..index.forward import ForwardIndex
+from ..index.hybrid import HybridIndex
+from ..query.bounds import BoundsManager
+from ..query.engine import EngineConfig, TkLUSEngine
+from ..storage.iostats import IOStats
+from ..storage.metadata import MetadataDatabase
+from ..storage.records import TweetRecord
+from ..text.analyzer import Analyzer
+from .failpoints import NO_FAILPOINTS, Failpoints
+from .live import LiveIndex
+from .memindex import MemIndex
+from .wal import (WALCorruptionError, WriteAheadLog, replay_segment,
+                  segment_number)
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_DIR = "wal"
+GENERATIONS_DIR = "generations"
+MANIFEST_FORMAT_VERSION = 1
+
+
+class IngestError(RuntimeError):
+    """Raised for ingest-service misuse or an unrecoverable directory."""
+
+
+@dataclass
+class IngestConfig:
+    """Write-path knobs (the index shape itself comes from
+    :class:`~repro.index.builder.IndexConfig`)."""
+
+    flush_posts: int = 1024          # seal the memtable at this many posts
+    flush_bytes: int = 4 * 1024 * 1024  # ... or at this rough footprint
+    sync_every: int = 1              # fsync cadence (1 = every append)
+    auto_flush: bool = True
+
+    def __post_init__(self) -> None:
+        if self.flush_posts < 1:
+            raise ValueError(f"flush_posts must be >= 1: {self.flush_posts}")
+        if self.flush_bytes < 1:
+            raise ValueError(f"flush_bytes must be >= 1: {self.flush_bytes}")
+
+
+@dataclass
+class RecoveryReport:
+    """What opening the directory had to reconstruct."""
+
+    generations_loaded: int = 0
+    orphan_generations_removed: int = 0
+    flushed_segments_removed: int = 0
+    segments_replayed: int = 0
+    records_replayed: int = 0
+    torn_tail_repaired: bool = False
+    last_flushed_lsn: int = 0
+    next_lsn: int = 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "generations_loaded": self.generations_loaded,
+            "orphan_generations_removed": self.orphan_generations_removed,
+            "flushed_segments_removed": self.flushed_segments_removed,
+            "segments_replayed": self.segments_replayed,
+            "records_replayed": self.records_replayed,
+            "torn_tail_repaired": self.torn_tail_repaired,
+            "last_flushed_lsn": self.last_flushed_lsn,
+            "next_lsn": self.next_lsn,
+        }
+
+
+class LiveBoundsManager(BoundsManager):
+    """A bounds manager that stays sound while appends land.
+
+    The static :class:`BoundsManager` snapshots ``t_m`` at construction;
+    under ingestion a new reply can raise the true maximum fanout above
+    the snapshot and make pruning *unsound* (a max-score query could
+    drop the real winner).  This subclass reads ``t_m`` from the live
+    database on every access instead, and carries no hot-keyword bounds
+    (those are offline artefacts that go stale the same way).
+    """
+
+    def __init__(self, database: MetadataDatabase,
+                 depth: int = DEFAULT_DEPTH) -> None:
+        # Deliberately no super().__init__: global_bound is a property.
+        self._database = database
+        self._depth = depth
+        self.keyword_bounds: Dict[str, float] = {}
+
+    @property
+    def global_bound(self) -> float:  # type: ignore[override]
+        return upper_bound_popularity(self._database.max_reply_fanout,
+                                      self._depth)
+
+
+def _post_record(post: Post) -> TweetRecord:
+    return TweetRecord(sid=post.sid, uid=post.uid,
+                       lat=post.location[0], lon=post.location[1],
+                       ruid=post.ruid if post.ruid is not None else -1,
+                       rsid=post.rsid if post.rsid is not None else -1)
+
+
+class IngestService:
+    """Open (or create) an ingest directory and serve the write path."""
+
+    def __init__(self, directory: str,
+                 index_config: Optional[IndexConfig] = None,
+                 ingest_config: Optional[IngestConfig] = None,
+                 analyzer: Optional[Analyzer] = None,
+                 cluster: Optional[DFSCluster] = None,
+                 failpoints: Optional[Failpoints] = None) -> None:
+        self.directory = directory
+        self.ingest_config = ingest_config or IngestConfig()
+        self.analyzer = analyzer or Analyzer()
+        self.cluster = cluster or paper_cluster()
+        self.failpoints = failpoints if failpoints is not None else NO_FAILPOINTS
+        self.io = IOStats()
+        self._thread_builders: List[ThreadBuilder] = []
+
+        os.makedirs(directory, exist_ok=True)
+        os.makedirs(self._generations_root, exist_ok=True)
+
+        manifest = self._load_manifest()
+        stored_config = manifest.get("index_config")
+        if index_config is not None:
+            self.index_config = index_config
+        elif stored_config is not None:
+            self.index_config = IndexConfig(**stored_config)
+        else:
+            self.index_config = IndexConfig()
+        self._next_generation = int(manifest.get("next_generation", 1))
+        self._last_flushed_lsn = int(manifest.get("last_flushed_lsn", 0))
+        self._generation_entries: List[Dict[str, Any]] = list(
+            manifest.get("generations", []))
+
+        self.database = MetadataDatabase.in_memory()
+        self.generations: List[HybridIndex] = []
+        self.memtables: List[MemIndex] = []
+        self.recovery = RecoveryReport(last_flushed_lsn=self._last_flushed_lsn)
+
+        with obs.trace("ingest.recover", directory=directory):
+            self._load_generations()
+            self._remove_orphan_generations()
+            flushed = self._remove_flushed_segments()
+            self.recovery.flushed_segments_removed = flushed
+            next_lsn = self._replay_wal()
+
+        self.wal = WriteAheadLog(self._wal_dir, next_lsn=next_lsn,
+                                 sync_every=self.ingest_config.sync_every,
+                                 io=self.io, failpoints=self.failpoints)
+        if not self.memtables:
+            self.memtables.append(MemIndex(self.index_config, self.analyzer))
+        self.live = LiveIndex(self.index_config, self.analyzer,
+                              self.memtables, self.generations)
+        self.recovery.next_lsn = next_lsn
+        obs.inc("ingest.replayed_records", self.recovery.records_replayed)
+        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def _wal_dir(self) -> str:
+        return os.path.join(self.directory, WAL_DIR)
+
+    @property
+    def _generations_root(self) -> str:
+        return os.path.join(self.directory, GENERATIONS_DIR)
+
+    def _generation_dir(self, number: int) -> str:
+        return os.path.join(self._generations_root, f"gen-{number:05d}")
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    @property
+    def _active(self) -> MemIndex:
+        return self.memtables[-1]
+
+    # -- manifest -----------------------------------------------------------
+
+    def _load_manifest(self) -> Dict[str, Any]:
+        if not os.path.exists(self._manifest_path):
+            return {}
+        with open(self._manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        version = manifest.get("format_version")
+        if version != MANIFEST_FORMAT_VERSION:
+            raise IngestError(
+                f"unsupported manifest format_version {version!r} "
+                f"(expected {MANIFEST_FORMAT_VERSION})")
+        return manifest
+
+    def _manifest_payload(self) -> Dict[str, Any]:
+        config = self.index_config
+        return {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "next_generation": self._next_generation,
+            "last_flushed_lsn": self._last_flushed_lsn,
+            "index_config": {
+                "geohash_length": config.geohash_length,
+                "num_map_tasks": config.num_map_tasks,
+                "num_reduce_tasks": config.num_reduce_tasks,
+                "workers": config.workers,
+                "output_prefix": config.output_prefix,
+                "partitioning": config.partitioning,
+                "postings_format": config.postings_format,
+                "block_size": config.block_size,
+            },
+            "generations": self._generation_entries,
+        }
+
+    def _commit_manifest(self) -> None:
+        """Atomic write: the manifest either names the new generation or
+        it does not — there is no in-between state on disk."""
+        tmp_path = self._manifest_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest_payload(), handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._manifest_path)
+
+    # -- recovery -----------------------------------------------------------
+
+    def _generation_config(self, number: int) -> IndexConfig:
+        base = self.index_config.output_prefix.rstrip("/")
+        return replace(self.index_config,
+                       output_prefix=f"{base}/gen-{number:05d}")
+
+    def _load_generations(self) -> None:
+        """Rebuild every committed generation: re-upload its part files
+        into the (volatile) DFS cluster, deserialise its forward index,
+        and reinsert its posts into the metadata database."""
+        for entry in self._generation_entries:
+            number = int(entry["number"])
+            gen_dir = self._generation_dir(number)
+            config = self._generation_config(number)
+            for part_name in entry["parts"]:
+                local = os.path.join(gen_dir, part_name)
+                with open(local, "rb") as handle:
+                    data = handle.read()
+                with self.cluster.create(
+                        f"{config.output_prefix}/{part_name}") as writer:
+                    writer.write(data)
+            with open(os.path.join(gen_dir, "forward.bin"), "rb") as handle:
+                forward = ForwardIndex.deserialize(handle.read())
+            self.generations.append(
+                HybridIndex(forward, self.cluster, config, self.analyzer))
+            with open(os.path.join(gen_dir, "posts.jsonl"), "r",
+                      encoding="utf-8") as handle:
+                posts = load_posts(handle, self.analyzer)
+            for post in posts:
+                self.database.insert(_post_record(post))
+            self.recovery.generations_loaded += 1
+
+    def _remove_orphan_generations(self) -> None:
+        """Drop generation directories the manifest never committed
+        (a crash between materialisation and commit)."""
+        committed = {f"gen-{int(entry['number']):05d}"
+                     for entry in self._generation_entries}
+        for name in sorted(os.listdir(self._generations_root)):
+            if name not in committed:
+                shutil.rmtree(os.path.join(self._generations_root, name))
+                self.recovery.orphan_generations_removed += 1
+
+    def _remove_flushed_segments(self) -> int:
+        """Delete WAL segments whose records are already inside a
+        committed generation (a crash after commit, before truncate).
+        Replaying them would double-insert every post."""
+        flushed = set()
+        for entry in self._generation_entries:
+            flushed.update(entry.get("segments", []))
+        removed = 0
+        for name in sorted(flushed):
+            path = os.path.join(self._wal_dir, name)
+            if os.path.exists(path):
+                os.remove(path)
+                removed += 1
+        return removed
+
+    def _replay_wal(self) -> int:
+        """Replay surviving segments into a fresh memtable; returns the
+        next LSN to assign."""
+        os.makedirs(self._wal_dir, exist_ok=True)
+        names = sorted((name for name in os.listdir(self._wal_dir)
+                        if name.startswith("wal-") and name.endswith(".log")),
+                       key=segment_number)
+        memtable = MemIndex(self.index_config, self.analyzer)
+        last_lsn = self._last_flushed_lsn
+        for position, name in enumerate(names):
+            is_last = position == len(names) - 1
+            path = os.path.join(self._wal_dir, name)
+            records, result = replay_segment(
+                path, repair_torn_tail=is_last, io=self.io)
+            if result.torn_tail and not is_last:
+                raise WALCorruptionError(
+                    f"{path}: torn tail in a non-final segment")
+            if result.torn_tail:
+                self.recovery.torn_tail_repaired = True
+            for lsn, post in records:
+                if lsn <= last_lsn:
+                    raise WALCorruptionError(
+                        f"{path}: LSN {lsn} not above high-water mark "
+                        f"{last_lsn}")
+                last_lsn = lsn
+                memtable.add(post, lsn)
+                self.database.insert(_post_record(post))
+                self.recovery.records_replayed += 1
+            self.recovery.segments_replayed += 1
+        if memtable.post_count:
+            self.memtables.append(memtable)
+        return last_lsn + 1
+
+    # -- the write path -----------------------------------------------------
+
+    def append(self, post: Post) -> int:
+        """Durably ingest one post; returns its LSN.
+
+        WAL first, memtable second, metadata third: a crash inside
+        :meth:`~.wal.WriteAheadLog.append` loses nothing acknowledged,
+        and once the WAL call returns the post is durable even if the
+        process dies before the in-memory structures update (replay
+        redoes them).
+        """
+        with obs.trace("ingest.append", sid=post.sid):
+            lsn = self.wal.append(post)
+            self._active.add(post, lsn)
+            self.database.insert(_post_record(post))
+        for builder in self._thread_builders:
+            builder.clear_cache()  # reply fanouts may have changed
+        obs.inc("ingest.appends")
+        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+        if self.ingest_config.auto_flush and (
+                self._active.post_count >= self.ingest_config.flush_posts
+                or self._active.size_bytes() >= self.ingest_config.flush_bytes):
+            self.flush()
+        return lsn
+
+    def flush(self) -> Optional[int]:
+        """Seal the memtable and materialise a generation; returns the
+        new generation number, or ``None`` when there is nothing to
+        flush.
+
+        Ordering is what makes every crash point recoverable: (1) rotate
+        the WAL so the sealed records live in sealed segments; (2) write
+        the generation directory (posts, parts, forward index) — a crash
+        here leaves an orphan directory recovery deletes; (3) commit the
+        manifest atomically — the generation now exists; (4) delete the
+        covered WAL segments — a crash between (3) and (4) leaves
+        flushed segments recovery removes without replaying.
+        """
+        if self._active.post_count == 0 and len(self.memtables) == 1:
+            return None
+        with obs.trace("ingest.flush") as span:
+            if self._active.post_count:
+                self._active.seal()
+                self.memtables.append(
+                    MemIndex(self.index_config, self.analyzer))
+            self.wal.rotate()
+            sealed = [mem for mem in self.memtables if mem.sealed]
+            sealed_segments = [name for name in self.wal.segment_names()
+                               if name != self.wal.active_name]
+            pairs = sorted((pair for mem in sealed
+                            for pair in mem.lsn_posts()))
+            posts = [post for _lsn, post in pairs]
+            last_lsn = pairs[-1][0] if pairs else self._last_flushed_lsn
+
+            number = self._next_generation
+            config = self._generation_config(number)
+            gen_dir = self._generation_dir(number)
+            os.makedirs(gen_dir, exist_ok=True)
+            with open(os.path.join(gen_dir, "posts.jsonl"), "w",
+                      encoding="utf-8") as handle:
+                dump_posts(posts, handle)
+            self.failpoints.trip("ingest.flush.mid")
+
+            forward, _result = build_hybrid_index(
+                posts, self.cluster, self.analyzer, config)
+            part_names = []
+            for path in self.cluster.list_files(config.output_prefix):
+                part_name = path.rsplit("/", 1)[-1]
+                data = self.cluster.open(path).pread(
+                    0, self.cluster.file_size(path))
+                with open(os.path.join(gen_dir, part_name), "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                part_names.append(part_name)
+            with open(os.path.join(gen_dir, "forward.bin"), "wb") as handle:
+                handle.write(forward.serialize())
+                handle.flush()
+                os.fsync(handle.fileno())
+
+            self._generation_entries.append({
+                "number": number,
+                "post_count": len(posts),
+                "last_lsn": last_lsn,
+                "parts": sorted(part_names),
+                "segments": sealed_segments,
+            })
+            self._next_generation = number + 1
+            self._last_flushed_lsn = max(self._last_flushed_lsn, last_lsn)
+            self._commit_manifest()
+            self.failpoints.trip("ingest.flush.pre_truncate")
+
+            for name in sealed_segments:
+                self.wal.delete_segment(name)
+
+            hybrid = HybridIndex(forward, self.cluster, config, self.analyzer)
+            self.memtables[:] = [mem for mem in self.memtables
+                                 if not mem.sealed]
+            self.generations.append(hybrid)
+            span.set(generation=number, posts=len(posts))
+        obs.inc("ingest.flushes")
+        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+        return number
+
+    def close(self) -> None:
+        self.wal.close()
+
+    # -- queries ------------------------------------------------------------
+
+    def build_query_engine(self, engine_config: Optional[EngineConfig] = None,
+                           metric: Metric = DEFAULT_METRIC) -> TkLUSEngine:
+        """A TkLUS engine over the live view.
+
+        Uses :class:`LiveBoundsManager` (bounds re-read from the live
+        database, no stale hot-keyword bounds) and a thread builder
+        whose popularity cache this service invalidates on every append,
+        so max-score pruning stays sound while writes land.
+        """
+        if engine_config is None:
+            engine_config = EngineConfig(index=self.index_config,
+                                         hot_keywords=[])
+        builder = ThreadBuilder(self.database, depth=engine_config.thread_depth,
+                                epsilon=engine_config.scoring.epsilon,
+                                cache=engine_config.thread_cache)
+        self._thread_builders.append(builder)
+        bounds = LiveBoundsManager(self.database,
+                                   depth=engine_config.thread_depth)
+        return TkLUSEngine(self.database, self.live, builder, bounds,
+                           engine_config, metric)
+
+    # -- reporting ----------------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "next_lsn": self.wal.next_lsn,
+            "last_flushed_lsn": self._last_flushed_lsn,
+            "active_segment": self.wal.active_name,
+            "segments": self.wal.segment_names(),
+            "memtable_posts": self._active.post_count,
+            "memtable_bytes": self._active.size_bytes(),
+            "sealed_memtables": sum(1 for mem in self.memtables if mem.sealed),
+            "generations": [
+                {"number": entry["number"],
+                 "post_count": entry["post_count"],
+                 "last_lsn": entry["last_lsn"]}
+                for entry in self._generation_entries],
+            "database_posts": len(self.database),
+            "wal": self.wal.stats.snapshot(),
+            "recovery": self.recovery.as_dict(),
+        }
+
+
+@dataclass
+class IngestDirReport:
+    """Read-only inspection of an ingest directory (``repro
+    ingest-status``) — no indexes are rebuilt."""
+
+    directory: str
+    exists: bool
+    manifest: Dict[str, Any] = field(default_factory=dict)
+    segments: List[Dict[str, Any]] = field(default_factory=list)
+    unflushed_records: int = 0
+    torn_tail: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "directory": self.directory,
+            "exists": self.exists,
+            "manifest": self.manifest,
+            "segments": self.segments,
+            "unflushed_records": self.unflushed_records,
+            "torn_tail": self.torn_tail,
+        }
+
+
+def inspect_ingest_dir(directory: str) -> IngestDirReport:
+    """Scan an ingest directory without opening a service: manifest
+    facts plus a non-mutating replay count of every WAL segment."""
+    report = IngestDirReport(directory=directory,
+                             exists=os.path.isdir(directory))
+    if not report.exists:
+        return report
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            report.manifest = json.load(handle)
+    wal_dir = os.path.join(directory, WAL_DIR)
+    if os.path.isdir(wal_dir):
+        names = sorted((name for name in os.listdir(wal_dir)
+                        if name.startswith("wal-") and name.endswith(".log")),
+                       key=segment_number)
+        flushed = set()
+        for entry in report.manifest.get("generations", []):
+            flushed.update(entry.get("segments", []))
+        for name in names:
+            path = os.path.join(wal_dir, name)
+            records, result = replay_segment(path, repair_torn_tail=False)
+            report.segments.append({
+                "name": name,
+                "records": len(records),
+                "bytes": os.path.getsize(path),
+                "first_lsn": result.first_lsn,
+                "last_lsn": result.last_lsn,
+                "torn_tail": result.torn_tail,
+                "flushed": name in flushed,
+            })
+            if name not in flushed:
+                report.unflushed_records += len(records)
+            report.torn_tail = report.torn_tail or result.torn_tail
+    return report
+
+
+def load_posts_file(path: str, analyzer: Optional[Analyzer] = None) -> List[Post]:
+    """Convenience for the CLI: posts from a JSON-lines file, or from
+    stdin-compatible streams via :mod:`repro.data.etl` directly."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_posts(handle, analyzer)

@@ -1,0 +1,422 @@
+"""Append-only, checksummed write-ahead log for real-time ingestion.
+
+The paper's system is batch-built (Section IV-A); the real-time systems
+it contrasts itself with in Section VII-B make single-tweet writes
+durable *before* acknowledging them.  This module supplies that
+durability primitive: every ingested post is appended to the active WAL
+segment as one varint-framed record
+
+    ``varint(lsn) · varint(len(payload)) · payload · crc32``
+
+where the payload is the binary post codec below and the little-endian
+CRC-32 covers everything before it.  Records carry an explicit
+log-sequence number so replay can verify ordering; the CRC catches bit
+rot; and a record cut short by a crash (a *torn tail*) is detected by
+running out of bytes mid-frame — replay stops there, reports the torn
+offset, and recovery truncates the segment back to its last complete
+record.
+
+Segments live in one directory as ``wal-00000001.log``, ``wal-…02.log``
+…; :meth:`WriteAheadLog.rotate` seals the active segment (fsync + close)
+and opens the next, which is how a flush carves off exactly the records
+the sealed memtable holds.  Appends, fsyncs, rotations and replayed
+records are counted in :class:`WALStats`, mirrored into an optional
+:class:`~repro.storage.iostats.IOStats` (the storage layer's I/O ledger)
+and the ``ingest.*`` metrics of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import obs
+from ..core.model import EdgeKind, Post
+from ..storage.iostats import IOStats
+from .failpoints import NO_FAILPOINTS, Failpoints, SimulatedCrash
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+
+_CRC = struct.Struct("<I")
+_LATLON = struct.Struct("<dd")
+
+#: ``Post.kind`` wire codes (0 is "no interaction").
+_KIND_CODES = {None: 0, EdgeKind.REPLY: 1, EdgeKind.FORWARD: 2}
+_KIND_FROM_CODE = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+class WALError(RuntimeError):
+    """Base class for WAL failures."""
+
+
+class WALCorruptionError(WALError):
+    """A complete record failed its CRC or ordering check — unlike a
+    torn tail this is never produced by a clean crash, so replay refuses
+    to guess and surfaces it."""
+
+
+# -- varints ----------------------------------------------------------------
+
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned: {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+class _Truncated(Exception):
+    """Internal: ran out of bytes mid-field (the torn-tail signal)."""
+
+
+def decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode one varint; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise _Truncated
+        byte = data[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+        if shift > 63:
+            raise WALCorruptionError("varint longer than 64 bits")
+
+
+# -- post payload codec -----------------------------------------------------
+
+def encode_post(post: Post) -> bytes:
+    """Binary payload for one post: ids and linkage as varints,
+    coordinates as raw doubles, words and text length-prefixed."""
+    out = bytearray()
+    out.extend(encode_varint(post.sid))
+    out.extend(encode_varint(post.uid))
+    out.extend(_LATLON.pack(post.location[0], post.location[1]))
+    out.extend(encode_varint(0 if post.ruid is None else post.ruid + 1))
+    out.extend(encode_varint(0 if post.rsid is None else post.rsid + 1))
+    out.append(_KIND_CODES[post.kind])
+    out.extend(encode_varint(len(post.words)))
+    for word in post.words:
+        encoded = word.encode("utf-8")
+        out.extend(encode_varint(len(encoded)))
+        out.extend(encoded)
+    text = post.text.encode("utf-8")
+    out.extend(encode_varint(len(text)))
+    out.extend(text)
+    return bytes(out)
+
+
+def decode_post(payload: bytes) -> Post:
+    """Inverse of :func:`encode_post`."""
+    try:
+        offset = 0
+        sid, offset = decode_varint(payload, offset)
+        uid, offset = decode_varint(payload, offset)
+        if offset + _LATLON.size > len(payload):
+            raise _Truncated
+        lat, lon = _LATLON.unpack_from(payload, offset)
+        offset += _LATLON.size
+        ruid_plus, offset = decode_varint(payload, offset)
+        rsid_plus, offset = decode_varint(payload, offset)
+        if offset >= len(payload):
+            raise _Truncated
+        kind_code = payload[offset]
+        offset += 1
+        kind = _KIND_FROM_CODE.get(kind_code)
+        if kind_code and kind is None:
+            raise WALCorruptionError(f"unknown interaction code {kind_code}")
+        word_count, offset = decode_varint(payload, offset)
+        words: List[str] = []
+        for _ in range(word_count):
+            length, offset = decode_varint(payload, offset)
+            if offset + length > len(payload):
+                raise _Truncated
+            words.append(payload[offset:offset + length].decode("utf-8"))
+            offset += length
+        text_length, offset = decode_varint(payload, offset)
+        if offset + text_length > len(payload):
+            raise _Truncated
+        text = payload[offset:offset + text_length].decode("utf-8")
+        offset += text_length
+    except _Truncated:
+        raise WALCorruptionError(
+            "post payload shorter than its own fields") from None
+    if offset != len(payload):
+        raise WALCorruptionError(
+            f"{len(payload) - offset} trailing bytes after post payload")
+    return Post(sid=sid, uid=uid, location=(lat, lon), words=tuple(words),
+                text=text,
+                ruid=None if ruid_plus == 0 else ruid_plus - 1,
+                rsid=None if rsid_plus == 0 else rsid_plus - 1,
+                kind=kind)
+
+
+# -- record framing ---------------------------------------------------------
+
+def encode_record(lsn: int, payload: bytes) -> bytes:
+    """One WAL frame: varint lsn, varint length, payload, CRC-32."""
+    head = encode_varint(lsn) + encode_varint(len(payload))
+    body = head + payload
+    return body + _CRC.pack(zlib.crc32(body))
+
+
+def decode_record(data: bytes, offset: int) -> Tuple[int, bytes, int]:
+    """Decode the frame starting at ``offset``.
+
+    Returns ``(lsn, payload, next_offset)``; raises :class:`_Truncated`
+    when the buffer ends mid-frame (torn tail) and
+    :class:`WALCorruptionError` on a CRC mismatch.
+    """
+    start = offset
+    lsn, offset = decode_varint(data, offset)
+    length, offset = decode_varint(data, offset)
+    if offset + length + _CRC.size > len(data):
+        raise _Truncated
+    payload = data[offset:offset + length]
+    offset += length
+    (stored_crc,) = _CRC.unpack_from(data, offset)
+    offset += _CRC.size
+    actual_crc = zlib.crc32(data[start:offset - _CRC.size])
+    if stored_crc != actual_crc:
+        raise WALCorruptionError(
+            f"CRC mismatch at offset {start}: stored {stored_crc:#010x}, "
+            f"computed {actual_crc:#010x}")
+    return lsn, payload, offset
+
+
+# -- accounting -------------------------------------------------------------
+
+@dataclass
+class WALStats:
+    """Counters for one log instance's lifetime."""
+
+    appends: int = 0
+    fsyncs: int = 0
+    rotations: int = 0
+    bytes_written: int = 0
+    replayed_records: int = 0
+    torn_tails_repaired: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "appends": self.appends,
+            "fsyncs": self.fsyncs,
+            "rotations": self.rotations,
+            "bytes_written": self.bytes_written,
+            "replayed_records": self.replayed_records,
+            "torn_tails_repaired": self.torn_tails_repaired,
+        }
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of scanning one segment."""
+
+    path: str
+    records: int = 0
+    bytes_scanned: int = 0
+    torn_tail: bool = False
+    torn_offset: Optional[int] = None
+    first_lsn: Optional[int] = None
+    last_lsn: Optional[int] = None
+
+
+def segment_name(number: int) -> str:
+    return f"{SEGMENT_PREFIX}{number:08d}{SEGMENT_SUFFIX}"
+
+
+def segment_number(name: str) -> int:
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        raise WALError(f"not a WAL segment name: {name!r}")
+    return int(name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+
+
+def replay_segment(path: str, *, repair_torn_tail: bool = False,
+                   io: Optional[IOStats] = None
+                   ) -> Tuple[List[Tuple[int, Post]], ReplayResult]:
+    """Scan one segment into ``(lsn, post)`` pairs.
+
+    A torn tail (crash mid-append) stops the scan at the last complete
+    record; with ``repair_torn_tail`` the file is truncated back to that
+    point so the segment can be appended to again.  CRC mismatches and
+    non-monotone LSNs raise :class:`WALCorruptionError` — they indicate
+    corruption, not a clean crash.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    result = ReplayResult(path=path)
+    records: List[Tuple[int, Post]] = []
+    offset = 0
+    last_lsn: Optional[int] = None
+    while offset < len(data):
+        start = offset
+        try:
+            lsn, payload, offset = decode_record(data, offset)
+        except _Truncated:
+            result.torn_tail = True
+            result.torn_offset = start
+            break
+        if last_lsn is not None and lsn <= last_lsn:
+            raise WALCorruptionError(
+                f"{path}: LSN {lsn} at offset {start} not above "
+                f"predecessor {last_lsn}")
+        last_lsn = lsn
+        if result.first_lsn is None:
+            result.first_lsn = lsn
+        records.append((lsn, decode_post(payload)))
+        if io is not None:
+            io.record_read()
+    result.records = len(records)
+    result.bytes_scanned = offset if not result.torn_tail else result.torn_offset or 0
+    result.last_lsn = last_lsn
+    if result.torn_tail and repair_torn_tail:
+        with open(path, "r+b") as handle:
+            handle.truncate(result.torn_offset or 0)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return records, result
+
+
+class WriteAheadLog:
+    """The active write path: one directory of numbered segments.
+
+    ``sync_every=1`` (the default) fsyncs after every append, so an
+    acknowledged append is durable — the setting the kill-point matrix
+    assumes.  Larger values batch fsyncs (group commit): acknowledged
+    but unsynced records are lost by a crash, which is the documented
+    trade-off, not a bug.
+    """
+
+    def __init__(self, directory: str, *, next_lsn: int = 1,
+                 sync_every: int = 1, io: Optional[IOStats] = None,
+                 failpoints: Optional[Failpoints] = None) -> None:
+        if sync_every < 1:
+            raise ValueError(f"sync_every must be >= 1: {sync_every}")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.stats = WALStats()
+        self._io = io
+        self._failpoints = failpoints if failpoints is not None else NO_FAILPOINTS
+        self._sync_every = sync_every
+        self._next_lsn = next_lsn
+        self._pending = 0  # appends since the last fsync
+        existing = self.segment_names()
+        self._active_number = (segment_number(existing[-1]) if existing
+                               else 1)
+        self._open_active()
+
+    # -- segment bookkeeping ------------------------------------------------
+
+    def segment_names(self) -> List[str]:
+        """Sorted segment file names currently on disk."""
+        names = [name for name in os.listdir(self.directory)
+                 if name.startswith(SEGMENT_PREFIX)
+                 and name.endswith(SEGMENT_SUFFIX)]
+        return sorted(names, key=segment_number)
+
+    def segment_path(self, name: str) -> str:
+        return os.path.join(self.directory, name)
+
+    @property
+    def active_name(self) -> str:
+        return segment_name(self._active_number)
+
+    @property
+    def active_path(self) -> str:
+        return self.segment_path(self.active_name)
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def _open_active(self) -> None:
+        self._file = open(self.active_path, "ab")
+        self._synced_size = self._file.tell()
+
+    # -- writes -------------------------------------------------------------
+
+    def append(self, post: Post) -> int:
+        """Durably append one post; returns its LSN.
+
+        Raises :class:`~.failpoints.SimulatedCrash` at armed kill
+        points, in which case the record is *not* acknowledged and the
+        caller must re-append it after recovery.
+        """
+        lsn = self._next_lsn
+        frame = encode_record(lsn, encode_post(post))
+        if self._failpoints.hit("wal.append.mid"):
+            # A torn write: the first half of the frame reaches disk
+            # (fsynced, as if the partial page made it out), the rest
+            # never does.
+            self._file.write(frame[:max(1, len(frame) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._file.close()
+            raise SimulatedCrash("wal.append.mid")
+        self._file.write(frame)
+        self._file.flush()
+        if self._failpoints.hit("wal.append.pre_sync"):
+            # Crash before the fsync: every byte since the last sync is
+            # lost with the page cache.
+            self._file.truncate(self._synced_size)
+            self._file.close()
+            raise SimulatedCrash("wal.append.pre_sync")
+        self.stats.appends += 1
+        self.stats.bytes_written += len(frame)
+        if self._io is not None:
+            self._io.record_write()
+        obs.inc("ingest.wal_appends")
+        self._next_lsn = lsn + 1
+        self._pending += 1
+        if self._pending >= self._sync_every:
+            self.sync()
+        return lsn
+
+    def sync(self) -> None:
+        """Flush and fsync the active segment."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._synced_size = self._file.tell()
+        self._pending = 0
+        self.stats.fsyncs += 1
+        obs.inc("ingest.wal_fsyncs")
+
+    def rotate(self) -> str:
+        """Seal the active segment and open the next; returns the sealed
+        segment's name."""
+        sealed = self.active_name
+        self.sync()
+        self._file.close()
+        self._active_number += 1
+        self._open_active()
+        self.stats.rotations += 1
+        obs.inc("ingest.wal_rotations")
+        return sealed
+
+    def delete_segment(self, name: str) -> None:
+        """Remove a sealed (flushed) segment file."""
+        if name == self.active_name:
+            raise WALError(f"refusing to delete the active segment {name}")
+        path = self.segment_path(name)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def close(self) -> None:
+        if not self._file.closed:
+            if self._pending:
+                self.sync()
+            self._file.close()

@@ -21,7 +21,9 @@ from .invariants import (
     validate_cover_soundness,
     validate_forward_inverted,
     validate_heap_pages,
+    validate_memtable_replay,
     validate_quadtree,
+    validate_wal_segments,
 )
 
 Coordinate = Tuple[float, float]
@@ -155,6 +157,27 @@ def run_deep_checks(posts: Optional[Sequence[Post]] = None, *,
     for post in posts:
         quadtree.insert(post.location[0], post.location[1], post.sid)
     run("quadtree", lambda: validate_quadtree(quadtree))
+
+    # Real-time write path: drive a small ingest service through a
+    # flush so the validators see generations, sealed segments gone,
+    # and a live memtable — then prove the memtable equals its WAL.
+    import os
+    import tempfile
+
+    from ..ingest import IngestConfig, IngestService
+
+    sample = posts[:min(len(posts), 300)]
+    with tempfile.TemporaryDirectory() as scratch:
+        service = IngestService(
+            os.path.join(scratch, "ingest"),
+            ingest_config=IngestConfig(
+                flush_posts=max(1, len(sample) // 2)))
+        for post in sample:
+            service.append(post)
+        wal_dir = os.path.join(service.directory, "wal")
+        run("wal-segments", lambda: validate_wal_segments(wal_dir))
+        run("memtable-replay", lambda: validate_memtable_replay(service))
+        service.close()
 
     report.seconds = time.perf_counter() - started
     return report

@@ -460,3 +460,116 @@ def validate_database(database: MetadataDatabase
         violations.extend(validate_bptree(tree, name=f"bptree[{tree_name}]"))
     violations.extend(validate_heap_pages(database.heap))
     return violations
+
+
+# -- WAL and memtable (the real-time write path) -----------------------------
+
+def validate_wal_segments(wal_dir: str, name: str = "wal"
+                          ) -> List[InvariantViolation]:
+    """Structural invariants of a WAL directory.
+
+    Every complete record's CRC must verify, LSNs must be strictly
+    increasing within and across segments (segments scanned in numeric
+    order), and a torn tail — legal fallout of a crash — may exist only
+    in the final segment, because rotation fsyncs before sealing.
+    """
+    import os
+
+    from ..ingest.wal import WALCorruptionError, replay_segment, segment_number
+
+    violations: List[InvariantViolation] = []
+    if not os.path.isdir(wal_dir):
+        return [InvariantViolation(
+            validator=name, location=wal_dir,
+            message="WAL directory does not exist")]
+    names = sorted((entry for entry in os.listdir(wal_dir)
+                    if entry.startswith("wal-") and entry.endswith(".log")),
+                   key=segment_number)
+    last_lsn: Optional[int] = None
+    for position, segment in enumerate(names):
+        path = os.path.join(wal_dir, segment)
+        try:
+            records, result = replay_segment(path, repair_torn_tail=False)
+        except WALCorruptionError as error:
+            violations.append(InvariantViolation(
+                validator=name, location=segment, message=str(error)))
+            continue
+        if result.torn_tail and position != len(names) - 1:
+            violations.append(InvariantViolation(
+                validator=name, location=segment,
+                message=f"torn tail at offset {result.torn_offset} in a "
+                        f"non-final segment"))
+        for lsn, _post in records:
+            if last_lsn is not None and lsn <= last_lsn:
+                violations.append(InvariantViolation(
+                    validator=name, location=segment,
+                    message=f"LSN {lsn} not above predecessor {last_lsn}"))
+            last_lsn = lsn
+    return violations
+
+
+def validate_memtable_replay(service: object, name: str = "memtable-replay"
+                             ) -> List[InvariantViolation]:
+    """The recovery contract: the live memtables must equal a replay of
+    the surviving WAL segments.
+
+    Replays the service's WAL directory into a fresh
+    :class:`~repro.ingest.memindex.MemIndex` and checks (a) the
+    ``(lsn, sid)`` sequences match and (b) every indexed
+    ``(cell, term)`` postings list is identical — so a crash at this
+    instant would recover to exactly the current query view.
+    """
+    import os
+
+    from ..ingest.memindex import MemIndex
+    from ..ingest.wal import WALCorruptionError, replay_segment, segment_number
+
+    violations: List[InvariantViolation] = []
+
+    def note(location: str, message: str) -> None:
+        violations.append(InvariantViolation(
+            validator=name, location=location, message=message))
+
+    wal_dir = os.path.join(service.directory, "wal")  # type: ignore[attr-defined]
+    names = sorted((entry for entry in os.listdir(wal_dir)
+                    if entry.startswith("wal-") and entry.endswith(".log")),
+                   key=segment_number)
+    replayed = MemIndex(service.index_config,       # type: ignore[attr-defined]
+                        service.analyzer)           # type: ignore[attr-defined]
+    replayed_pairs: List[Tuple[int, int]] = []
+    for segment in names:
+        try:
+            records, _result = replay_segment(
+                os.path.join(wal_dir, segment), repair_torn_tail=False)
+        except WALCorruptionError as error:
+            note(segment, str(error))
+            return violations
+        for lsn, post in records:
+            replayed.add(post, lsn)
+            replayed_pairs.append((lsn, post.sid))
+
+    live_pairs = sorted(
+        (lsn, post.sid)
+        for memtable in service.memtables    # type: ignore[attr-defined]
+        for lsn, post in memtable.lsn_posts())
+    if live_pairs != replayed_pairs:
+        note(wal_dir,
+             f"memtables hold {len(live_pairs)} records, WAL replay "
+             f"yields {len(replayed_pairs)} (or ordering differs)")
+        return violations
+
+    live_keys = sorted({key for memtable in service.memtables  # type: ignore[attr-defined]
+                        for key in memtable.keys()})
+    if live_keys != replayed.keys():
+        note(wal_dir, "indexed (cell, term) key sets differ between "
+                      "memtables and WAL replay")
+        return violations
+    for cell, term in live_keys:
+        merged: List[Tuple[int, int]] = []
+        for memtable in service.memtables:   # type: ignore[attr-defined]
+            merged.extend(memtable.postings(cell, term))
+        merged.sort()
+        if tuple(merged) != tuple(replayed.postings(cell, term)):
+            note(f"{cell}/{term}",
+                 "postings differ between memtables and WAL replay")
+    return violations

@@ -186,12 +186,22 @@ class TkLUSEngine:
         return processor.plan_for(query).describe()
 
     def index_report(self) -> dict:
-        """Sizes and build facts for the index experiments (Figs 5-6)."""
+        """Sizes and build facts for the index experiments (Figs 5-6).
+
+        Generational and live indexes have no single forward index or
+        cluster attribute; fields they cannot supply are reported as
+        ``None`` rather than failing the whole report.
+        """
+        forward = getattr(self.index, "forward", None)
+        cluster = getattr(self.index, "cluster", None)
+        size_of = getattr(self.index, "forward_size_bytes", None)
+        inverted = getattr(self.index, "inverted_size_bytes", None)
         return {
             "geohash_length": self.index.geohash_length,
-            "forward_entries": len(self.index.forward),
-            "forward_bytes": self.index.forward_size_bytes(),
-            "inverted_bytes": self.index.inverted_size_bytes(),
-            "dfs_stored_bytes": self.index.cluster.total_stored_bytes(),
+            "forward_entries": len(forward) if forward is not None else None,
+            "forward_bytes": size_of() if size_of is not None else None,
+            "inverted_bytes": inverted() if inverted is not None else None,
+            "dfs_stored_bytes": (cluster.total_stored_bytes()
+                                 if cluster is not None else None),
             "tweets": len(self.database),
         }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import Optional, cast
 
 from ..core.scoring import ScoringConfig
 from ..core.thread import ThreadBuilder
@@ -25,6 +25,7 @@ from ..dfs.cluster import DFSCluster, paper_cluster
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.builder import IndexConfig
 from ..index.forward import ForwardIndex
+from ..index.generations import Generation, GenerationalIndex
 from ..index.hybrid import HybridIndex
 from ..storage.metadata import MetadataDatabase
 from ..text.analyzer import Analyzer
@@ -58,33 +59,61 @@ def save_engine(engine: TkLUSEngine, directory: str) -> None:
         disk_db.insert(record)
     disk_db.flush()
 
-    # 2. Inverted-index part files, dumped out of the DFS.
+    # 2 + 3. Inverted-index part files (dumped out of the DFS) and
+    # forward index(es).  A generational engine saves one subdirectory
+    # and forward file per generation; a monolithic engine keeps the
+    # original flat layout.
     parts_dir = os.path.join(directory, PARTS_DIR)
     os.makedirs(parts_dir, exist_ok=True)
-    prefix = engine.index.config.output_prefix
+    index = engine.index
     part_names = []
-    for path in engine.index.cluster.list_files(prefix):
-        reader = engine.index.cluster.open(path)
-        name = path.rsplit("/", 1)[-1]
-        part_names.append(name)
-        with open(os.path.join(parts_dir, name), "wb") as handle:
-            handle.write(reader.pread(0, reader.size))
-
-    # 3. Forward index.
-    with open(os.path.join(directory, FORWARD_NAME), "wb") as handle:
-        handle.write(engine.index.forward.serialize())
+    generation_entries = []
+    if isinstance(index, GenerationalIndex):
+        index_config = index.base_config
+        for generation in index.generations:
+            gen_name = f"gen-{generation.number:05d}"
+            gen_dir = os.path.join(parts_dir, gen_name)
+            os.makedirs(gen_dir, exist_ok=True)
+            gen_parts = []
+            prefix = generation.index.config.output_prefix
+            for path in generation.index.cluster.list_files(prefix):
+                reader = generation.index.cluster.open(path)
+                name = path.rsplit("/", 1)[-1]
+                gen_parts.append(name)
+                with open(os.path.join(gen_dir, name), "wb") as handle:
+                    handle.write(reader.pread(0, reader.size))
+            forward_name = f"forward-{gen_name}.bin"
+            with open(os.path.join(directory, forward_name), "wb") as handle:
+                handle.write(generation.index.forward.serialize())
+            generation_entries.append({
+                "number": generation.number,
+                "post_count": generation.post_count,
+                "parts": sorted(gen_parts),
+            })
+    else:
+        index_config = index.config
+        prefix = index.config.output_prefix
+        for path in index.cluster.list_files(prefix):
+            reader = index.cluster.open(path)
+            name = path.rsplit("/", 1)[-1]
+            part_names.append(name)
+            with open(os.path.join(parts_dir, name), "wb") as handle:
+                handle.write(reader.pread(0, reader.size))
+        with open(os.path.join(directory, FORWARD_NAME), "wb") as handle:
+            handle.write(index.forward.serialize())
 
     # 4. Manifest: configs and bounds.
     manifest = {
         "format_version": FORMAT_VERSION,
         "index": {
-            "geohash_length": engine.index.config.geohash_length,
-            "num_map_tasks": engine.index.config.num_map_tasks,
-            "num_reduce_tasks": engine.index.config.num_reduce_tasks,
-            "output_prefix": engine.index.config.output_prefix,
-            "postings_format": engine.index.config.postings_format,
-            "block_size": engine.index.config.block_size,
+            "geohash_length": index_config.geohash_length,
+            "num_map_tasks": index_config.num_map_tasks,
+            "num_reduce_tasks": index_config.num_reduce_tasks,
+            "output_prefix": index_config.output_prefix,
+            "postings_format": index_config.postings_format,
+            "block_size": index_config.block_size,
         },
+        "generations": generation_entries,
         "scoring": {
             "alpha": engine.config.scoring.alpha,
             "keyword_normalizer": engine.config.scoring.keyword_normalizer,
@@ -152,19 +181,44 @@ def load_engine(directory: str, cluster: Optional[DFSCluster] = None,
             f"metadata database holds {len(database)} tweets, "
             f"manifest says {manifest['tweets']}")
 
-    # 2. Re-upload part files into the DFS.
-    for name in manifest["parts"]:
-        local = os.path.join(directory, PARTS_DIR, name)
-        with open(local, "rb") as handle:
-            data = handle.read()
-        with cluster.create(f"{index_config.output_prefix}/{name}") as writer:
-            writer.write(data)
-
-    # 3. Forward index.
-    with open(os.path.join(directory, FORWARD_NAME), "rb") as handle:
-        forward = ForwardIndex.deserialize(handle.read())
-
-    index = HybridIndex(forward, cluster, index_config, analyzer)
+    # 2 + 3. Re-upload part files into the DFS and rebuild the index —
+    # one HybridIndex per saved generation, or the monolithic layout.
+    generation_entries = manifest.get("generations", [])
+    if generation_entries:
+        generational = GenerationalIndex(cluster, analyzer, index_config)
+        for entry in generation_entries:
+            number = int(entry["number"])
+            gen_name = f"gen-{number:05d}"
+            gen_config = generational._generation_config(number)
+            for name in entry["parts"]:
+                local = os.path.join(directory, PARTS_DIR, gen_name, name)
+                with open(local, "rb") as handle:
+                    data = handle.read()
+                with cluster.create(
+                        f"{gen_config.output_prefix}/{name}") as writer:
+                    writer.write(data)
+            forward_path = os.path.join(directory,
+                                        f"forward-{gen_name}.bin")
+            with open(forward_path, "rb") as handle:
+                gen_forward = ForwardIndex.deserialize(handle.read())
+            generational._generations.append(Generation(
+                number, HybridIndex(gen_forward, cluster, gen_config,
+                                    analyzer),
+                int(entry["post_count"])))
+            generational._next_number = max(generational._next_number,
+                                            number + 1)
+        index: object = generational
+    else:
+        for name in manifest["parts"]:
+            local = os.path.join(directory, PARTS_DIR, name)
+            with open(local, "rb") as handle:
+                data = handle.read()
+            with cluster.create(
+                    f"{index_config.output_prefix}/{name}") as writer:
+                writer.write(data)
+        with open(os.path.join(directory, FORWARD_NAME), "rb") as handle:
+            forward = ForwardIndex.deserialize(handle.read())
+        index = HybridIndex(forward, cluster, index_config, analyzer)
     engine_config = EngineConfig(
         index=index_config, scoring=scoring,
         thread_depth=manifest["thread_depth"],
@@ -176,5 +230,8 @@ def load_engine(directory: str, cluster: Optional[DFSCluster] = None,
                                    epsilon=scoring.epsilon)
     bounds = BoundsManager(manifest["bounds"]["global"],
                            manifest["bounds"]["keywords"])
-    return TkLUSEngine(database, index, thread_builder, bounds,
-                       engine_config, metric)
+    # A GenerationalIndex satisfies the same duck-typed query surface
+    # the engine and processors use; the cast keeps the declared
+    # HybridIndex signature honest for the common case.
+    return TkLUSEngine(database, cast(HybridIndex, index), thread_builder,
+                       bounds, engine_config, metric)

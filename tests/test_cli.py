@@ -112,3 +112,48 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "BoundsPrune" in out
         assert "Def 11" in out
+
+
+class TestIngestCommands:
+    def test_ingest_synthetic_then_status(self, tmp_path, capsys):
+        directory = str(tmp_path / "stream")
+        assert main(["ingest", directory, "--users", "40", "--roots", "200",
+                     "--flush-posts", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and "wal:" in out
+
+        assert main(["ingest-status", directory]) == 0
+        out = capsys.readouterr().out
+        assert "generations:" in out
+        assert "unflushed WAL records" in out
+
+    def test_ingest_from_corpus_file_and_reopen(self, corpus_file,
+                                                tmp_path, capsys):
+        # Two disjoint halves of one corpus: the second run must recover
+        # the first half's state before appending the rest.
+        with open(corpus_file) as handle:
+            lines = handle.readlines()
+        first, second = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        with open(first, "w") as handle:
+            handle.writelines(lines[:len(lines) // 2])
+        with open(second, "w") as handle:
+            handle.writelines(lines[len(lines) // 2:])
+
+        directory = str(tmp_path / "fromfile")
+        assert main(["ingest", directory, "--corpus", first,
+                     "--flush-posts", "100", "--flush"]) == 0
+        capsys.readouterr()
+        assert main(["ingest", directory, "--corpus", second,
+                     "--flush-posts", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered on open" in out
+
+    def test_ingest_status_json_and_missing(self, tmp_path, capsys):
+        import json as json_mod
+        directory = str(tmp_path / "jsonly")
+        assert main(["ingest", directory, "--users", "20", "--roots", "60",
+                     "--json"]) == 0
+        status = json_mod.loads(capsys.readouterr().out)
+        assert status["wal"]["appends"] > 0
+
+        assert main(["ingest-status", str(tmp_path / "missing")]) == 2

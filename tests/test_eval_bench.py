@@ -107,6 +107,38 @@ class TestValidation:
             {"schema_version": 1, "config": {}, "workloads": []}))
 
 
+class TestSeedRecorded:
+    """BENCH JSON must be reproducible: the workload seed is part of
+    the schema, at top level, and must agree with the config block."""
+
+    def test_seed_promoted_to_top_level(self, payload):
+        assert payload["seed"] == payload["config"]["seed"]
+
+    def test_missing_seed_rejected(self, payload):
+        stripped = dict(payload)
+        del stripped["seed"]
+        assert any("seed" in problem
+                   for problem in validate_bench_report(stripped))
+
+    def test_bool_seed_rejected(self, payload):
+        poisoned = dict(payload)
+        poisoned["seed"] = True
+        assert any("seed" in problem
+                   for problem in validate_bench_report(poisoned))
+
+    def test_seed_config_disagreement_rejected(self, payload):
+        skewed = dict(payload)
+        skewed["seed"] = payload["config"]["seed"] + 1
+        assert any("seed" in problem
+                   for problem in validate_bench_report(skewed))
+
+    def test_nondefault_seed_lands_in_report(self):
+        report = run_bench(BenchConfig(num_users=40, num_root_tweets=150,
+                                       queries_per_workload=1, seed=99))
+        assert report["seed"] == 99
+        assert validate_bench_report(report) == []
+
+
 class TestCommittedReport:
     def test_checked_in_bench_report_is_valid(self):
         with open("BENCH_query.json") as handle:

@@ -117,13 +117,12 @@ class TestCompaction:
         index = GenerationalIndex(paper_cluster())
         for batch in batches:
             index.ingest(batch)
-        all_posts = [post for batch in batches for post in batch]
         before = {}
         for generation in index.generations:
             for (cell, term), _ref in generation.index.forward.items():
                 before[(cell, term)] = index.postings(cell, term)
 
-        index.compact(all_posts)
+        index.compact()
         assert index.generation_count == 1
         assert index.compactions == 1
         for (cell, term), expected in list(before.items())[:200]:
@@ -133,12 +132,11 @@ class TestCompaction:
         index = GenerationalIndex(paper_cluster())
         for batch in batches:
             index.ingest(batch)
-        all_posts = [post for batch in batches for post in batch]
         files_before = len(index.cluster.list_files("/index"))
         entries_before = sum(
             ref.count for generation in index.generations
             for _key, ref in generation.index.forward.items())
-        index.compact(all_posts)
+        index.compact()
         files_after = len(index.cluster.list_files("/index"))
         assert files_after < files_before
         # Same data, one generation: same logical entry count.  (Byte
@@ -154,11 +152,42 @@ class TestCompaction:
                                   config=IndexConfig(postings_format="flat"))
         for batch in batches:
             index.ingest(batch)
-        all_posts = [post for batch in batches for post in batch]
         size_before = index.inverted_size_bytes()
-        index.compact(all_posts)
+        index.compact()
         # Flat entries cost 12 bytes each regardless of list layout.
         assert index.inverted_size_bytes() == size_before
+
+    def test_compact_with_posts_is_deprecated_but_honoured(self, batches):
+        """Regression for the historical API: an explicit post set still
+        drives the rebuild (even one that differs from the retained
+        batches), behind a DeprecationWarning."""
+        index = GenerationalIndex(paper_cluster())
+        for batch in batches:
+            index.ingest(batch)
+        override = list(batches[0])  # deliberately NOT the full corpus
+        with pytest.warns(DeprecationWarning):
+            index.compact(override)
+        assert index.generation_count == 1
+        assert index.post_count == len(override)
+
+    def test_compact_without_retained_batches_needs_posts(self, batches):
+        index = GenerationalIndex(paper_cluster(), retain_batches=False)
+        index.ingest(batches[0])
+        with pytest.raises(ValueError, match="retain_batches"):
+            index.compact()
+
+    def test_compact_empty_index_rejected(self):
+        index = GenerationalIndex(paper_cluster())
+        with pytest.raises(ValueError, match="nothing to compact"):
+            index.compact()
+
+    def test_retained_batches_are_immutable_copies(self, batches):
+        index = GenerationalIndex(paper_cluster())
+        batch = list(batches[0])
+        generation = index.ingest(batch)
+        batch.clear()  # caller mutates their list; retention unaffected
+        assert generation.posts is not None
+        assert len(generation.posts) == generation.post_count
 
 
 class TestConfigPropagation:

@@ -1,0 +1,100 @@
+"""Mixed ingest+query bench: report shape, schema gate, the committed
+report, and the CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.ingest_bench import (
+    IngestBenchConfig,
+    render_ingest_summary,
+    run_ingest_bench,
+    validate_ingest_bench_report,
+)
+
+SMALL = IngestBenchConfig(num_users=60, num_root_tweets=300, queries=4,
+                          appends_per_query=6, flush_posts=100)
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("ingest-bench") / "run")
+    return run_ingest_bench(directory, SMALL)
+
+
+class TestRunIngestBench:
+    def test_report_is_valid(self, payload):
+        assert validate_ingest_bench_report(payload) == []
+
+    def test_appends_actually_interleaved(self, payload):
+        # More appends than the mixed phase alone could produce → the
+        # preload landed; queries all ran against the moving index.
+        mixed_max = SMALL.queries * SMALL.appends_per_query
+        assert payload["ingest"]["appends"] > mixed_max
+        assert payload["query_latency_ms"]["queries"] == SMALL.queries
+
+    def test_flushes_happened_mid_run(self, payload):
+        assert payload["ingest"]["flushes"] >= 2
+        assert payload["ingest"]["memtable_posts"] > 0  # tail stayed live
+
+    def test_recovery_round_trips(self, payload):
+        assert payload["recovery"]["posts_match"]
+        assert (payload["ingest"]["replayed_records"]
+                == payload["ingest"]["memtable_posts"])
+
+    def test_json_serialisable(self, payload):
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_render_summary(self, payload):
+        text = render_ingest_summary(payload)
+        assert "p50" in text and "fsyncs" in text and "ok" in text
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_ingest_bench_report([]) != []
+
+    def test_rejects_missing_seed(self, payload):
+        broken = dict(payload)
+        del broken["seed"]
+        assert any("seed" in p
+                   for p in validate_ingest_bench_report(broken))
+
+    def test_rejects_recovery_mismatch(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["recovery"]["posts_match"] = False
+        assert any("posts_match" in p
+                   for p in validate_ingest_bench_report(broken))
+
+    def test_rejects_missing_ingest_metric(self, payload):
+        broken = json.loads(json.dumps(payload))
+        del broken["ingest"]["fsyncs"]
+        assert any("fsyncs" in p
+                   for p in validate_ingest_bench_report(broken))
+
+    def test_rejects_bool_counter(self, payload):
+        broken = json.loads(json.dumps(payload))
+        broken["ingest"]["flushes"] = True
+        assert any("flushes" in p
+                   for p in validate_ingest_bench_report(broken))
+
+
+class TestCommittedReport:
+    def test_checked_in_ingest_report_is_valid(self):
+        with open("BENCH_ingest.json") as handle:
+            payload = json.load(handle)
+        assert validate_ingest_bench_report(payload) == []
+        assert payload["seed"] == 42
+        assert payload["ingest"]["flushes"] >= 1
+
+
+class TestCli:
+    def test_ingest_bench_command(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["ingest-bench", "--users", "60", "--roots", "300",
+                     "--queries", "3", "--appends-per-query", "4",
+                     "--flush-posts", "100", "--output", str(out)]) == 0
+        with open(out) as handle:
+            assert validate_ingest_bench_report(json.load(handle)) == []
+        assert "query latency" in capsys.readouterr().out

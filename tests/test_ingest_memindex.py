@@ -1,0 +1,189 @@
+"""MemIndex / LiveIndex tests: builder parity, watermarks, and the
+answer-parity acceptance criterion (live reads == monolithic build,
+sum and max, with and without pruning)."""
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.index.builder import IndexConfig
+from repro.index.hybrid import HybridIndex
+from repro.ingest.live import LiveIndex
+from repro.ingest.memindex import MemIndex
+from repro.query.engine import TkLUSEngine
+from repro.text.analyzer import Analyzer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_users=120, num_root_tweets=500, seed=29)
+
+
+@pytest.fixture(scope="module")
+def mem_over_corpus(corpus):
+    mem = MemIndex(IndexConfig(), Analyzer())
+    for lsn, post in enumerate(corpus.posts, start=1):
+        mem.add(post, lsn)
+    return mem
+
+
+class TestMemIndex:
+    def test_mirrors_builder_postings(self, corpus, mem_over_corpus):
+        """Every (cell, term) list must byte-match the MapReduce-built
+        index — the property that makes flush answer-preserving."""
+        hybrid = HybridIndex.build(corpus.posts)
+        checked = 0
+        for (cell, term), _ref in hybrid.forward.items():
+            expected = tuple(hybrid.postings(cell, term))
+            assert tuple(mem_over_corpus.postings(cell, term)) == expected
+            checked += 1
+            if checked >= 300:
+                break
+        assert checked > 50
+        # And nothing extra: the memtable indexes exactly the same keys.
+        assert len(mem_over_corpus.keys()) == len(hybrid.forward)
+
+    def test_watermark_filters_late_postings(self):
+        mem = MemIndex(IndexConfig(), Analyzer())
+        post = generate_corpus(num_users=5, num_root_tweets=10,
+                               seed=1).posts[0]
+        cell_term = None
+        mem.add(post, 1)
+        for key in mem.keys():
+            cell_term = key
+            break
+        assert cell_term is not None
+        cell, term = cell_term
+        full = mem.postings(cell, term)
+        assert mem.postings(cell, term, max_lsn=0) == ()
+        assert mem.postings(cell, term, max_lsn=1) == full
+
+    def test_lsn_must_increase(self, corpus):
+        mem = MemIndex(IndexConfig(), Analyzer())
+        mem.add(corpus.posts[0], 5)
+        with pytest.raises(ValueError):
+            mem.add(corpus.posts[1], 5)
+
+    def test_sealed_memtable_rejects_writes(self, corpus):
+        mem = MemIndex(IndexConfig(), Analyzer())
+        mem.add(corpus.posts[0], 1)
+        mem.seal()
+        with pytest.raises(RuntimeError):
+            mem.add(corpus.posts[1], 2)
+        assert mem.posts()  # reads keep working
+
+    def test_posts_in_lsn_order(self, corpus, mem_over_corpus):
+        assert mem_over_corpus.posts() == list(corpus.posts)
+        assert mem_over_corpus.post_count == len(corpus.posts)
+
+    def test_size_accounting_grows(self, corpus):
+        mem = MemIndex(IndexConfig(), Analyzer())
+        assert mem.size_bytes() == 0
+        mem.add(corpus.posts[0], 1)
+        assert mem.size_bytes() > 0
+
+
+def _live_engine_over(corpus, split):
+    """A LiveIndex with one flushed generation (posts[:split]) and the
+    rest live in a memtable, wired into a TkLUSEngine."""
+    config = IndexConfig()
+    analyzer = Analyzer()
+    generation = HybridIndex.build(corpus.posts[:split], analyzer=analyzer,
+                                   config=config)
+    mem = MemIndex(config, analyzer)
+    for lsn, post in enumerate(corpus.posts[split:], start=1):
+        mem.add(post, lsn)
+    live = LiveIndex(config, analyzer, [mem], [generation])
+    engine = TkLUSEngine.from_posts(corpus.posts)
+    engine.index = live
+    engine._sum.index = live
+    engine._max.index = live
+    return engine, live, mem
+
+
+class TestLiveIndexParity:
+    """Acceptance criterion: memtable + generation reads are
+    answer-identical to a monolithic build over the whole stream."""
+
+    @pytest.fixture(scope="class")
+    def engines(self, corpus):
+        split = len(corpus.posts) * 2 // 3
+        live_engine, live, mem = _live_engine_over(corpus, split)
+        mono_engine = TkLUSEngine.from_posts(corpus.posts)
+        return live_engine, mono_engine, live, mem
+
+    @pytest.mark.parametrize("keywords,radius", [
+        (["hotel"], 15.0),
+        (["restaurant", "pizza"], 30.0),
+        (["museum", "park", "cafe"], 25.0),
+    ])
+    def test_sum_and_max_parity(self, engines, keywords, radius):
+        live_engine, mono_engine, _live, _mem = engines
+        query = mono_engine.make_query((43.6532, -79.3832), radius,
+                                       keywords, k=10)
+        assert (live_engine.search_sum(query).users
+                == mono_engine.search_sum(query).users)
+        assert (live_engine.search_max(query).users
+                == mono_engine.search_max(query).users)
+
+    def test_max_parity_without_pruning(self, engines):
+        live_engine, mono_engine, _live, _mem = engines
+        query = mono_engine.make_query((43.6532, -79.3832), 20.0,
+                                       ["hotel", "restaurant"], k=10)
+        live_raw = live_engine.processor("max", use_pruning=False)
+        mono_raw = mono_engine.processor("max", use_pruning=False)
+        assert live_raw.search(query).users == mono_raw.search(query).users
+
+    def test_postings_merge_across_components(self, engines, corpus):
+        _live_engine, mono_engine, live, _mem = engines
+        mono = mono_engine.index
+        checked = 0
+        for (cell, term), _ref in mono.forward.items():
+            expected = tuple(mono.postings(cell, term))
+            assert tuple(live.postings(cell, term)) == expected
+            checked += 1
+            if checked >= 200:
+                break
+        assert checked > 50
+
+
+class TestSnapshotConsistency:
+    def test_appends_invisible_behind_watermark(self, corpus):
+        """A pinned snapshot's answers do not change when appends land
+        after it — the stable-view guarantee mid-plan reads rely on."""
+        split = len(corpus.posts) // 2
+        engine, live, mem = _live_engine_over(corpus, split)
+        late = corpus.posts[-1]
+
+        snapshot = live.snapshot()
+        cells = snapshot.cover(late.location, 25.0)
+        terms = list(late.words[:2]) or ["hotel"]
+        before = snapshot.postings_for_query(cells, terms)
+
+        bumped = type(late)(
+            sid=max(post.sid for post in corpus.posts) + 1, uid=late.uid,
+            location=late.location, words=late.words, text=late.text,
+            ruid=None, rsid=None, kind=None)
+        mem.add(bumped, mem.max_lsn + 1)
+
+        after = snapshot.postings_for_query(cells, terms)
+        assert after == before  # snapshot pinned below the new LSN
+        unpinned = live.postings_for_query(cells, terms)
+        assert unpinned != before  # the live view does see it
+
+    def test_watermark_is_max_memtable_lsn(self, corpus):
+        config = IndexConfig()
+        analyzer = Analyzer()
+        mem = MemIndex(config, analyzer)
+        live = LiveIndex(config, analyzer, [mem], [])
+        assert live.watermark() == 0
+        mem.add(corpus.posts[0], 9)
+        assert live.watermark() == 9
+
+    def test_stats_aggregate_across_components(self, corpus):
+        split = len(corpus.posts) // 2
+        _engine, live, _mem = _live_engine_over(corpus, split)
+        cells = live.cover((43.6532, -79.3832), 25.0)
+        live.postings_for_query(cells, ["hotel", "restaurant"])
+        total = live.stats
+        assert total.postings_fetches == live.postings_fetch_count()
+        assert total.postings_fetches > 0

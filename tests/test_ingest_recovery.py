@@ -1,0 +1,266 @@
+"""Crash-recovery tests: the kill-point matrix and service lifecycle.
+
+The crash model: everything in memory (memtable, live index, simulated
+DFS cluster, metadata database) dies with the process; only the ingest
+directory on disk survives.  A simulated crash therefore abandons the
+whole service object, and recovery rebuilds from the directory alone.
+The matrix drives one ingest script through a crash at every kill point
+and asserts the recovered system answers queries **byte-identically**
+(same uids, bit-equal float scores) to a run that never crashed.
+"""
+
+import os
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.ingest import (
+    KILL_POINTS,
+    Failpoints,
+    IngestConfig,
+    IngestService,
+    SimulatedCrash,
+    inspect_ingest_dir,
+)
+
+FLUSH_EVERY = 80
+QUERY_SPECS = (
+    (["hotel", "pizza"], 25.0),
+    (["restaurant"], 15.0),
+)
+
+
+@pytest.fixture(scope="module")
+def posts():
+    corpus = generate_corpus(num_users=60, num_root_tweets=260, seed=3)
+    return corpus.posts[:240]
+
+
+def _config():
+    return IngestConfig(flush_posts=FLUSH_EVERY)
+
+
+def _answers(service, posts):
+    """Every query's full ranking (uids + exact float scores) plus the
+    database size — the byte-identity comparison target."""
+    engine = service.build_query_engine()
+    rankings = []
+    for keywords, radius in QUERY_SPECS:
+        query = engine.make_query(posts[0].location, radius, keywords, k=8)
+        rankings.append(("max", keywords, engine.search_max(query).users))
+        rankings.append(("sum", keywords, engine.search_sum(query).users))
+    return len(service.database), rankings
+
+
+def _ingest_script(directory, posts, crash_point=None, crash_skip=0):
+    """Append every post (auto-flushing); on the single injected crash,
+    drop the service on the floor and recover from the directory.
+
+    An append is acknowledged once ``append()`` returns.  The flush kill
+    points fire *inside* the auto-flush — after the triggering append
+    was durably acknowledged — so the script must not retry it; the WAL
+    kill points lose the in-flight append, which is retried.
+    """
+    failpoints = Failpoints()
+    if crash_point is not None:
+        failpoints.arm(crash_point, skip=crash_skip)
+    service = IngestService(directory, ingest_config=_config(),
+                            failpoints=failpoints)
+    crashes = 0
+    position = 0
+    while position < len(posts):
+        try:
+            service.append(posts[position])
+            position += 1
+        except SimulatedCrash as crash:
+            crashes += 1
+            if crash.point.startswith("ingest.flush"):
+                position += 1  # that append was acknowledged pre-crash
+            service = IngestService(directory, ingest_config=_config())
+    if crash_point is not None:
+        assert crashes == 1, f"failpoint {crash_point} never fired"
+    return service
+
+
+class TestKillPointMatrix:
+    @pytest.fixture(scope="class")
+    def reference(self, posts, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("ingest") / "reference")
+        service = _ingest_script(directory, posts)
+        answers = _answers(service, posts)
+        service.close()
+        return answers
+
+    @pytest.mark.parametrize("crash_point", KILL_POINTS)
+    @pytest.mark.parametrize("timing", ["first-memtable", "after-first-flush"])
+    def test_recovered_answers_byte_identical(self, posts, tmp_path,
+                                              reference, crash_point,
+                                              timing):
+        # WAL points are hit once per append, flush points once per
+        # flush — "late" therefore means different skip counts.
+        if timing == "first-memtable":
+            crash_skip = 0
+        elif crash_point.startswith("wal."):
+            crash_skip = FLUSH_EVERY + 10
+        else:
+            crash_skip = 1  # fire on the second flush
+        directory = str(tmp_path / "crashed")
+        service = _ingest_script(directory, posts, crash_point, crash_skip)
+        assert _answers(service, posts) == reference
+        service.close()
+
+    def test_double_crash_same_flush(self, posts, tmp_path, reference):
+        """Crash during a flush, recover, then crash during the retried
+        flush of the same data — recovery must still converge."""
+        directory = str(tmp_path / "double")
+        failpoints = Failpoints()
+        failpoints.arm("ingest.flush.mid")
+        service = IngestService(directory, ingest_config=_config(),
+                                failpoints=failpoints)
+        position = 0
+        crashes = 0
+        while position < len(posts):
+            try:
+                service.append(posts[position])
+                position += 1
+            except SimulatedCrash as crash:
+                crashes += 1
+                if crash.point.startswith("ingest.flush"):
+                    position += 1
+                failpoints = Failpoints()
+                if crashes == 1:
+                    failpoints.arm("ingest.flush.pre_truncate")
+                service = IngestService(directory, ingest_config=_config(),
+                                        failpoints=failpoints)
+        assert crashes == 2
+        assert _answers(service, posts) == reference
+        service.close()
+
+
+class TestRecoveryMechanics:
+    def test_clean_reopen_preserves_everything(self, posts, tmp_path):
+        directory = str(tmp_path / "clean")
+        service = _ingest_script(directory, posts)
+        expected = _answers(service, posts)
+        status = service.status()
+        service.close()
+
+        reopened = IngestService(directory, ingest_config=_config())
+        assert _answers(reopened, posts) == expected
+        report = reopened.recovery
+        assert report.records_replayed == status["memtable_posts"]
+        assert report.generations_loaded == len(status["generations"])
+        assert not report.torn_tail_repaired
+        reopened.close()
+
+    def test_torn_tail_repair_reported(self, posts, tmp_path):
+        directory = str(tmp_path / "torn")
+        failpoints = Failpoints()
+        failpoints.arm("wal.append.mid", skip=10)
+        service = IngestService(directory, ingest_config=_config(),
+                                failpoints=failpoints)
+        count = 0
+        for post in posts[:20]:
+            try:
+                service.append(post)
+                count += 1
+            except SimulatedCrash:
+                break
+        reopened = IngestService(directory, ingest_config=_config())
+        assert reopened.recovery.torn_tail_repaired
+        assert reopened.recovery.records_replayed == count
+        assert len(reopened.database) == count
+        reopened.close()
+
+    def test_orphan_generation_removed(self, posts, tmp_path):
+        directory = str(tmp_path / "orphan")
+        failpoints = Failpoints()
+        failpoints.arm("ingest.flush.mid")
+        service = IngestService(directory, ingest_config=_config(),
+                                failpoints=failpoints)
+        with pytest.raises(SimulatedCrash):
+            for post in posts:
+                service.append(post)
+        generations_root = os.path.join(directory, "generations")
+        assert os.listdir(generations_root)  # the half-written directory
+        reopened = IngestService(directory, ingest_config=_config())
+        assert reopened.recovery.orphan_generations_removed == 1
+        assert os.listdir(generations_root) == []
+        reopened.close()
+
+    def test_flushed_segments_removed_not_replayed(self, posts, tmp_path):
+        directory = str(tmp_path / "pretrunc")
+        failpoints = Failpoints()
+        failpoints.arm("ingest.flush.pre_truncate")
+        service = IngestService(directory, ingest_config=_config(),
+                                failpoints=failpoints)
+        appended = 0
+        with pytest.raises(SimulatedCrash):
+            for post in posts:
+                service.append(post)
+                appended += 1
+        appended += 1  # the crash-triggering append was acknowledged
+        reopened = IngestService(directory, ingest_config=_config())
+        assert reopened.recovery.flushed_segments_removed >= 1
+        # No double-replay: the database holds each post exactly once.
+        assert len(reopened.database) == appended
+        reopened.close()
+
+    def test_manual_flush_and_status(self, posts, tmp_path):
+        directory = str(tmp_path / "manual")
+        service = IngestService(
+            directory,
+            ingest_config=IngestConfig(flush_posts=10_000, auto_flush=False))
+        for post in posts[:50]:
+            service.append(post)
+        assert service.flush() == 1
+        assert service.flush() is None  # nothing new to flush
+        status = service.status()
+        assert status["memtable_posts"] == 0
+        assert [gen["number"] for gen in status["generations"]] == [1]
+        assert status["database_posts"] == 50
+        assert status["wal"]["appends"] == 50
+        service.close()
+
+    def test_inspect_ingest_dir(self, posts, tmp_path):
+        directory = str(tmp_path / "inspect")
+        service = _ingest_script(directory, posts[:100])
+        service.close()
+        report = inspect_ingest_dir(directory)
+        assert report.exists
+        assert not report.torn_tail
+        flushed = sum(entry["post_count"]
+                      for entry in report.manifest["generations"])
+        assert flushed + report.unflushed_records == 100
+        missing = inspect_ingest_dir(str(tmp_path / "nope"))
+        assert not missing.exists
+
+
+class TestLiveBoundsSoundness:
+    def test_global_bound_tracks_new_replies(self, posts, tmp_path):
+        """The live bounds manager must see t_m grow as replies land —
+        a static snapshot would make max-score pruning unsound."""
+        directory = str(tmp_path / "bounds")
+        service = IngestService(
+            directory,
+            ingest_config=IngestConfig(flush_posts=10_000, auto_flush=False))
+        roots = [post for post in posts if post.rsid is None]
+        replies = [post for post in posts if post.rsid is not None]
+        assert replies, "corpus must contain replies for this test"
+        for post in roots[:5]:
+            service.append(post)
+        engine = service.build_query_engine()
+        before = engine.bounds.global_bound
+        appended_reply = False
+        for post in posts:
+            if post in roots[:5]:
+                continue
+            try:
+                service.append(post)
+            except Exception:
+                continue
+            if post.rsid is not None:
+                appended_reply = True
+        assert appended_reply
+        assert engine.bounds.global_bound > before
+        service.close()

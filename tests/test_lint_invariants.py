@@ -281,7 +281,7 @@ class TestDeepRunner:
         assert {check.name for check in report.checks} == {
             "bptree[sid]", "bptree[rsid]", "bptree[uid]", "heap-pages",
             "cover-soundness", "forward-inverted", "block-headers",
-            "quadtree"}
+            "quadtree", "wal-segments", "memtable-replay"}
 
     def test_report_serialises(self, corpus):
         import json
@@ -289,7 +289,7 @@ class TestDeepRunner:
         report = run_deep_checks(posts=corpus.posts)
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["ok"] is True
-        assert len(payload["checks"]) == 8
+        assert len(payload["checks"]) == 10
 
     def test_cli_deep_exit_code(self, capsys):
         assert main(["check", "--deep", "--users", "30",

@@ -6,7 +6,9 @@ import os
 import pytest
 
 from repro.data.generator import generate_corpus
+from repro.dfs.cluster import paper_cluster
 from repro.index.builder import IndexConfig
+from repro.index.generations import GenerationalIndex
 from repro.query.engine import EngineConfig, TkLUSEngine
 from repro.query.persistence import (
     MANIFEST_NAME,
@@ -125,6 +127,115 @@ class TestMigration:
         result = loaded.search_sum(query)
         assert result.users
         assert loaded.index.stats.blocks_decoded > 0
+
+
+def _make_generational_engine(corpus, postings_format="block"):
+    """An engine whose index is a three-batch GenerationalIndex (the
+    index-swap wiring the generational tests established)."""
+    posts = corpus.posts
+    third = len(posts) // 3
+    batches = [posts[:third], posts[third:2 * third], posts[2 * third:]]
+    generational = GenerationalIndex(
+        paper_cluster(), config=IndexConfig(postings_format=postings_format))
+    for batch in batches:
+        generational.ingest(batch)
+    engine = TkLUSEngine.from_posts(
+        posts, config=EngineConfig(
+            index=IndexConfig(postings_format=postings_format)))
+    engine.index = generational
+    engine._sum.index = generational
+    engine._max.index = generational
+    return engine
+
+
+class TestGenerationalRoundtrip:
+    """save/load over a GenerationalIndex — previously unsupported."""
+
+    @pytest.fixture(scope="class")
+    def gen_corpus(self):
+        return generate_corpus(num_users=100, num_root_tweets=400, seed=19)
+
+    @pytest.mark.parametrize("postings_format", ["block", "flat"])
+    def test_generational_round_trip_preserves_rankings(
+            self, gen_corpus, tmp_path, postings_format):
+        engine = _make_generational_engine(gen_corpus, postings_format)
+        directory = str(tmp_path / f"gen-{postings_format}")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        assert isinstance(loaded.index, GenerationalIndex)
+        assert loaded.index.generation_count == 3
+        assert loaded.index.base_config.postings_format == postings_format
+        for keywords, radius in ((["restaurant"], 15.0),
+                                 (["hotel", "museum"], 30.0)):
+            query = engine.make_query((43.6532, -79.3832), radius, keywords,
+                                      k=10)
+            original = engine.search_sum(query).users
+            assert [(u, pytest.approx(s)) for u, s in original] \
+                == loaded.search_sum(query).users
+            original_max = engine.search_max(query).users
+            assert [(u, pytest.approx(s)) for u, s in original_max] \
+                == loaded.search_max(query).users
+
+    def test_generational_manifest_shape(self, gen_corpus, tmp_path):
+        engine = _make_generational_engine(gen_corpus)
+        directory = str(tmp_path / "gen-manifest")
+        save_engine(engine, directory)
+        with open(os.path.join(directory, MANIFEST_NAME)) as handle:
+            manifest = json.load(handle)
+        assert manifest["parts"] == []
+        assert [entry["number"] for entry in manifest["generations"]] \
+            == [0, 1, 2]
+        for entry in manifest["generations"]:
+            assert entry["parts"]
+            assert entry["post_count"] > 0
+
+    def test_loaded_generational_keeps_generation_numbering(
+            self, gen_corpus, tmp_path):
+        engine = _make_generational_engine(gen_corpus)
+        directory = str(tmp_path / "gen-number")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        fresh = loaded.index.ingest(gen_corpus.posts[:50])
+        assert fresh.number == 3  # continues after the saved generations
+
+    def test_loaded_generational_compact_requires_posts(
+            self, gen_corpus, tmp_path):
+        # Batches are not persisted, so a loaded index cannot compact
+        # from retention — it must say so instead of silently rebuilding
+        # from nothing.
+        engine = _make_generational_engine(gen_corpus)
+        directory = str(tmp_path / "gen-compact")
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        with pytest.raises(ValueError, match="retain_batches"):
+            loaded.index.compact()
+
+    def test_index_report_survives_generational_index(self, gen_corpus):
+        engine = _make_generational_engine(gen_corpus)
+        report = engine.index_report()
+        assert report["tweets"] == len(gen_corpus.posts)
+        assert report["forward_entries"] is None  # no single forward index
+        assert report["inverted_bytes"] > 0
+
+
+class TestExplicitFormatRoundtrip:
+    """Both postings formats must survive a monolithic round trip."""
+
+    @pytest.mark.parametrize("postings_format", ["block", "flat"])
+    def test_format_round_trip(self, tmp_path, postings_format):
+        corpus = generate_corpus(num_users=80, num_root_tweets=300, seed=23)
+        engine = TkLUSEngine.from_posts(
+            corpus.posts, config=EngineConfig(
+                index=IndexConfig(postings_format=postings_format)))
+        directory = str(tmp_path / postings_format)
+        save_engine(engine, directory)
+        loaded = load_engine(directory)
+        assert loaded.index.config.postings_format == postings_format
+        query = engine.make_query((43.6532, -79.3832), 20.0,
+                                  ["restaurant", "pizza"], k=10)
+        original = engine.search_max(query).users
+        assert [(u, pytest.approx(s)) for u, s in original] \
+            == loaded.search_max(query).users
 
 
 class TestErrors:
