@@ -15,6 +15,12 @@ Subcommands mirror the operational pipeline of the paper's Figure 3:
                      query-class level);
 * ``stats``        — corpus statistics (Table II style);
 * ``experiments``  — regenerate the paper's tables and figures;
+* ``top``          — live terminal dashboard (throughput, tail latency,
+                     funnel, SLO, health) over a mixed ingest+query
+                     workload with the telemetry runtime installed;
+* ``perf-contract``— check the committed bench reports against the
+                     committed performance baseline (see
+                     ``repro.eval.contract``);
 * ``check``        — correctness tooling: project lint rules
                      (``--rules``) and deep structural invariant
                      validation of a built index (``--deep``); see
@@ -278,7 +284,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     config = BenchConfig(
         num_users=args.users, num_root_tweets=args.roots, seed=args.seed,
         queries_per_workload=args.queries, radius_km=args.radius,
-        k=args.k, block_size=args.block_size)
+        k=args.k, block_size=args.block_size,
+        overhead_rounds=args.overhead_rounds,
+        overhead_budget=args.max_overhead)
     payload = run_bench(config)
     problems = validate_bench_report(payload)
     if problems:
@@ -294,6 +302,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if mismatched:
         print(f"format parity violated on: {', '.join(mismatched)}",
               file=sys.stderr)
+        return 1
+    overhead = payload.get("telemetry_overhead")
+    if overhead is not None and not overhead["within_budget"]:
+        print(f"telemetry overhead {overhead['overhead_ratio']:.3f}x exceeds "
+              f"budget {overhead['budget_ratio']:.3f}x", file=sys.stderr)
         return 1
     return 0
 
@@ -389,7 +402,7 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
         num_users=args.users, num_root_tweets=args.roots, seed=args.seed,
         queries=args.queries, appends_per_query=args.appends_per_query,
         flush_posts=args.flush_posts, sync_every=args.sync_every,
-        radius_km=args.radius, k=args.k)
+        radius_km=args.radius, k=args.k, telemetry=args.telemetry)
     if args.directory:
         payload = run_ingest_bench(args.directory, config)
     else:
@@ -404,6 +417,131 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
         write_ingest_report(payload, args.output)
         print(f"wrote {args.output}")
     print(render_ingest_summary(payload))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import tempfile
+    import threading
+    import time
+
+    from . import obs
+    from .data.generator import generate_corpus
+    from .data.queries import QueryWorkload
+    from .ingest import IngestConfig, IngestService
+    from .obs.top import render_top
+
+    corpus = generate_corpus(num_users=args.users,
+                             num_root_tweets=args.roots, seed=args.seed)
+    posts = list(corpus.posts)
+    workload = QueryWorkload(corpus, seed=args.seed)
+    queries = workload.make_queries(2, args.radius, k=args.k,
+                                    semantics=Semantics.OR, limit=16)
+
+    runtime = obs.enable_runtime(obs.RuntimeConfig(
+        window_seconds=1.0, num_windows=120,
+        slow_query_ms=args.slow_query_ms))
+    frames = args.frames or max(1, int(args.duration / args.interval))
+    clear = sys.stdout.isatty() and not args.no_clear
+    stop = threading.Event()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        service = IngestService(
+            f"{scratch}/ingest",
+            ingest_config=IngestConfig(flush_posts=args.flush_posts))
+        preload = len(posts) // 2
+        for post in posts[:preload]:
+            service.append(post)
+        service.flush()
+        engine = service.build_query_engine()
+
+        def worker() -> None:
+            # Mixed workload: drip the remaining posts in while cycling
+            # the query set, so every dashboard panel has live data.
+            stream = iter(posts[preload:])
+            cursor = 0
+            while not stop.is_set():
+                for _ in range(4):
+                    post = next(stream, None)
+                    if post is not None:
+                        service.append(post)
+                engine.search_max(queries[cursor % len(queries)])
+                cursor += 1
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        try:
+            for _frame in range(frames):
+                time.sleep(args.interval)
+                frame = render_top(runtime, health=service.health(),
+                                   service_status=service.status(),
+                                   recent_seconds=args.recent)
+                if clear:
+                    print("\x1b[2J\x1b[H" + frame, flush=True)
+                else:
+                    print(frame, flush=True)
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            obs.disable_runtime()
+            service.close()
+    return 0
+
+
+def _cmd_perf_contract(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .eval.contract import (
+        build_baseline,
+        check_contract,
+        extract_headlines,
+        load_baseline,
+        render_contract,
+        write_baseline,
+    )
+
+    def read_report(path: str):
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    query_payload = read_report(args.query_report)
+    ingest_payload = read_report(args.ingest_report)
+    if query_payload is None and ingest_payload is None:
+        print(f"error: neither {args.query_report} nor "
+              f"{args.ingest_report} exists", file=sys.stderr)
+        return 2
+
+    current = extract_headlines(query_payload, ingest_payload)
+    if args.write_baseline:
+        baseline = build_baseline(query_payload, ingest_payload)
+        parent = os.path.dirname(args.baseline)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        write_baseline(baseline, args.baseline)
+        print(f"wrote {len(baseline['headlines'])} headline(s) to "
+              f"{args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"error: baseline {args.baseline} not found "
+              f"(run with --write-baseline first)", file=sys.stderr)
+        return 2
+    baseline = load_baseline(args.baseline)
+    problems = check_contract(current, baseline)
+    if args.json:
+        print(json.dumps({"headlines": current, "problems": problems},
+                         indent=2, sort_keys=True))
+    else:
+        print(render_contract(current, baseline))
+        for problem in problems:
+            print(f"contract violation: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("perf contract holds "
+          f"({len(current)} headline(s) checked)", file=sys.stderr)
     return 0
 
 
@@ -571,6 +709,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="", metavar="FILE",
                        help="write the JSON report to FILE "
                             "(e.g. BENCH_query.json)")
+    bench.add_argument("--overhead-rounds", type=int, default=3,
+                       help="rounds for the telemetry-overhead measurement "
+                            "(0 disables it)")
+    bench.add_argument("--max-overhead", type=float, default=1.05,
+                       help="fail when enabled/disabled latency ratio "
+                            "exceeds this budget")
     bench.set_defaults(func=_cmd_bench)
 
     ingest = commands.add_parser(
@@ -620,10 +764,59 @@ def build_parser() -> argparse.ArgumentParser:
     ingest_bench.add_argument("--directory", default="", metavar="DIR",
                               help="run against DIR instead of a "
                                    "temporary directory (kept afterwards)")
+    ingest_bench.add_argument("--telemetry", action="store_true",
+                              help="run with the continuous telemetry "
+                                   "runtime on; attach its status and "
+                                   "the health verdict to the report")
     ingest_bench.add_argument("--output", default="", metavar="FILE",
                               help="write the JSON report to FILE "
                                    "(e.g. BENCH_ingest.json)")
     ingest_bench.set_defaults(func=_cmd_ingest_bench)
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal dashboard over a mixed ingest+query workload")
+    top.add_argument("--users", type=int, default=200,
+                     help="synthetic corpus users")
+    top.add_argument("--roots", type=int, default=1000,
+                     help="synthetic corpus root tweets")
+    top.add_argument("--seed", type=int, default=42)
+    top.add_argument("--radius", type=float, default=20.0,
+                     help="query radius (km)")
+    top.add_argument("--k", type=int, default=10)
+    top.add_argument("--flush-posts", type=int, default=400,
+                     help="memtable post count that triggers a flush")
+    top.add_argument("--frames", type=int, default=0,
+                     help="render exactly N frames (0 = derive from "
+                          "--duration / --interval)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between frames")
+    top.add_argument("--duration", type=float, default=10.0,
+                     help="total run time when --frames is 0")
+    top.add_argument("--recent", type=float, default=30.0,
+                     help="trailing window (seconds) for rates/quantiles")
+    top.add_argument("--slow-query-ms", type=float, default=250.0,
+                     help="slow-query capture threshold")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+    top.set_defaults(func=_cmd_top)
+
+    contract = commands.add_parser(
+        "perf-contract",
+        help="check committed bench headlines against the perf baseline")
+    contract.add_argument("--query-report", default="BENCH_query.json",
+                          metavar="FILE")
+    contract.add_argument("--ingest-report", default="BENCH_ingest.json",
+                          metavar="FILE")
+    contract.add_argument("--baseline",
+                          default="benchmarks/baselines/perf_contract.json",
+                          metavar="FILE")
+    contract.add_argument("--write-baseline", action="store_true",
+                          help="rewrite the baseline from the current "
+                               "reports")
+    contract.add_argument("--json", action="store_true",
+                          help="emit headlines + violations as JSON")
+    contract.set_defaults(func=_cmd_perf_contract)
 
     check = commands.add_parser(
         "check",

@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..core.model import Semantics, TkLUSQuery
 from ..core.temporal import TemporalSpec, TimeWindow
 from ..data.generator import SyntheticCorpus, generate_corpus
@@ -60,6 +61,11 @@ class BenchConfig:
     #: the temporal-window workload keeps this central share of the
     #: corpus's tweet-timestamp range
     window_fraction: float = 0.2
+    #: alternating disabled/enabled rounds for the telemetry-overhead
+    #: measurement (0 skips the section entirely)
+    overhead_rounds: int = 3
+    #: the acceptance budget the overhead is asserted against
+    overhead_budget: float = 1.05
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -71,6 +77,8 @@ class BenchConfig:
             "k": self.k,
             "block_size": self.block_size,
             "window_fraction": self.window_fraction,
+            "overhead_rounds": self.overhead_rounds,
+            "overhead_budget": self.overhead_budget,
         }
 
 
@@ -149,6 +157,70 @@ def _run_workload(engine: TkLUSEngine,
     return {"metrics": metrics, "rankings": rankings}
 
 
+def measure_telemetry_overhead(engine: TkLUSEngine,
+                               queries: Sequence[TkLUSQuery],
+                               rounds: int = 3,
+                               budget: float = 1.05,
+                               runtime_config: Optional[
+                                   "obs.RuntimeConfig"] = None
+                               ) -> Dict[str, object]:
+    """Measure the steady-state cost of leaving runtime telemetry on.
+
+    Runs the workload warm (one untimed warmup, no cache clearing — cold
+    I/O would mask tracer cost), then alternates telemetry-disabled and
+    telemetry-enabled rounds and compares the *minimum* total per mode
+    (min-of-rounds discards scheduler noise, the standard microbench
+    discipline).  The enabled mode is the default continuous
+    configuration — span building on, sampled retention — i.e. exactly
+    what a production deployment would pay.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1: {rounds}")
+    if runtime_config is None:
+        runtime_config = obs.RuntimeConfig()
+
+    def timed_total() -> float:
+        started = time.perf_counter()
+        for query in queries:
+            engine.search_max(query)
+        return time.perf_counter() - started
+
+    for query in queries:  # warmup: populate caches, JIT-warm dicts
+        engine.search_max(query)
+
+    off_totals: List[float] = []
+    on_totals: List[float] = []
+    was_enabled = obs.is_enabled()
+    obs.disable()
+    try:
+        for _ in range(rounds):
+            off_totals.append(timed_total())
+            obs.enable_runtime(runtime_config)
+            try:
+                on_totals.append(timed_total())
+            finally:
+                obs.disable_runtime()
+    finally:
+        if was_enabled:
+            # The caller's collectors are gone; re-activating fresh ones
+            # is the best restoration available here.
+            obs.enable()
+    off_seconds = min(off_totals)
+    on_seconds = min(on_totals)
+    ratio = on_seconds / off_seconds if off_seconds > 0 else 1.0
+    return {
+        "rounds": rounds,
+        "queries": len(queries),
+        "span_mode": runtime_config.span_mode,
+        "sample_rate": runtime_config.sample_rate,
+        "disabled_seconds": round(off_seconds, 6),
+        "enabled_seconds": round(on_seconds, 6),
+        "overhead_ratio": round(ratio, 4),
+        "budget_ratio": budget,
+        "within_budget": ratio <= budget,
+    }
+
+
 def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, object]:
     """Build flat and block engines over one seeded corpus and measure
     every workload against both.  Returns the report payload."""
@@ -192,7 +264,7 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, object]:
                 runs["flat"]["rankings"] == runs["block"]["rankings"]),
         })
 
-    return {
+    payload: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         # The seed is promoted to top level (as well as living in
         # config): it is the one knob that makes a run reproducible
@@ -203,6 +275,11 @@ def run_bench(config: Optional[BenchConfig] = None) -> Dict[str, object]:
         "window": {"start": window.start, "end": window.end},
         "workloads": report_workloads,
     }
+    if config.overhead_rounds > 0:
+        payload["telemetry_overhead"] = measure_telemetry_overhead(
+            engines["block"], single, rounds=config.overhead_rounds,
+            budget=config.overhead_budget)
+    return payload
 
 
 def validate_bench_report(payload: object) -> List[str]:
@@ -276,6 +353,26 @@ def validate_bench_report(payload: object) -> List[str]:
             rate = metrics.get("block_cache_hit_rate")
             if not (isinstance(rate, (int, float)) and 0.0 <= rate <= 1.0):
                 note(f"{at}.block_cache_hit_rate must be in [0, 1]")
+    overhead = payload.get("telemetry_overhead")
+    if overhead is not None:
+        if not isinstance(overhead, dict):
+            note("telemetry_overhead must be an object")
+        else:
+            for key in ("disabled_seconds", "enabled_seconds",
+                        "overhead_ratio", "budget_ratio"):
+                value = overhead.get(key)
+                if not (isinstance(value, (int, float)) and value > 0
+                        and not isinstance(value, bool)):
+                    note(f"telemetry_overhead.{key} must be a positive "
+                         f"number")
+            for key in ("rounds", "queries"):
+                value = overhead.get(key)
+                if not (isinstance(value, int) and value > 0
+                        and not isinstance(value, bool)):
+                    note(f"telemetry_overhead.{key} must be a positive "
+                         f"integer")
+            if not isinstance(overhead.get("within_budget"), bool):
+                note("telemetry_overhead.within_budget must be a boolean")
     return problems
 
 
@@ -296,6 +393,14 @@ def render_summary(payload: Dict[str, object]) -> str:
                 f"decoded={metrics['postings_bytes_decoded']}B "
                 f"skipped={metrics['blocks_skipped']} blocks "
                 f"cache_hit_rate={metrics['block_cache_hit_rate']:.0%}")
+    overhead = payload.get("telemetry_overhead")
+    if isinstance(overhead, dict):
+        verdict = "ok" if overhead["within_budget"] else "OVER BUDGET"
+        lines.append(
+            f"telemetry overhead {overhead['overhead_ratio']:.3f}x "
+            f"(budget {overhead['budget_ratio']:g}x, {verdict}; "
+            f"span_mode={overhead['span_mode']}, "
+            f"{overhead['rounds']} rounds x {overhead['queries']} queries)")
     return "\n".join(lines)
 
 

@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..core.model import Semantics
 from ..data.generator import generate_corpus
 from ..data.queries import QueryWorkload
@@ -65,6 +66,9 @@ class IngestBenchConfig:
     radius_km: float = 20.0
     k: int = 10
     keywords_per_query: int = 2
+    #: run with the continuous telemetry runtime installed, attaching
+    #: its status and the service health verdict to the report
+    telemetry: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -79,6 +83,7 @@ class IngestBenchConfig:
             "radius_km": self.radius_km,
             "k": self.k,
             "keywords_per_query": self.keywords_per_query,
+            "telemetry": self.telemetry,
         }
 
 
@@ -98,6 +103,8 @@ def run_ingest_bench(directory: str,
                                     config.radius_km, k=config.k,
                                     semantics=Semantics.OR,
                                     limit=config.queries)
+
+    runtime = obs.enable_runtime() if config.telemetry else None
 
     service = IngestService(
         directory,
@@ -139,6 +146,14 @@ def run_ingest_bench(directory: str,
     total_appends = preload + mixed_appends
     elapsed = preload_seconds + mixed_seconds
 
+    telemetry: Optional[Dict[str, object]] = None
+    if runtime is not None:
+        telemetry = {
+            "status": runtime.status(),
+            "health": service.health().as_dict(),
+        }
+        obs.disable_runtime()
+
     # Phase 3: close and recover, proving the directory replays.
     service.close()
     recovery_started = time.perf_counter()
@@ -179,6 +194,7 @@ def run_ingest_bench(directory: str,
             "generations_loaded": recovery["generations_loaded"],
         },
         "stream_exhausted": exhausted,
+        **({"telemetry": telemetry} if telemetry is not None else {}),
     }
 
 
@@ -241,6 +257,20 @@ def validate_ingest_bench_report(payload: object) -> List[str]:
             if not (isinstance(value, int) and value >= 0
                     and not isinstance(value, bool)):
                 note(f"recovery.{key} must be a non-negative integer")
+
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:
+        if not isinstance(telemetry, dict):
+            note("telemetry must be an object when present")
+        else:
+            if not isinstance(telemetry.get("status"), dict):
+                note("telemetry.status must be an object")
+            health = telemetry.get("health")
+            if not isinstance(health, dict):
+                note("telemetry.health must be an object")
+            elif health.get("verdict") not in ("ok", "degraded", "critical"):
+                note("telemetry.health.verdict must be "
+                     "ok/degraded/critical")
     return problems
 
 

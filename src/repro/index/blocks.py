@@ -44,7 +44,6 @@ from collections import OrderedDict
 from operator import itemgetter
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
-from .. import obs
 from .postings import ENTRY_SIZE, Posting, decode_postings
 
 MAGIC = 0xB7
@@ -284,10 +283,6 @@ class BlockCache:
             else:
                 self._entries.move_to_end(key)
                 self._hits += 1
-        if entries is None:
-            obs.inc("index.block_cache.misses")
-            return None
-        obs.inc("index.block_cache.hits")
         return entries
 
     def put(self, key: object, entries: Tuple[Posting, ...]) -> None:
@@ -403,8 +398,6 @@ class BlockPostingsReader:
             entries = _decode_block(self._parsed.data, header)
             _stat_add(self._stats, "blocks_decoded")
             _stat_add(self._stats, "bytes_decoded", header.body_len)
-            obs.inc("index.blocks_decoded")
-            obs.inc("index.postings_bytes_decoded", header.body_len)
             if key is not None and self._cache is not None:
                 self._cache.put(key, entries)
         self._last_block = block
@@ -414,7 +407,6 @@ class BlockPostingsReader:
     def _record_skipped(self, blocks: int) -> None:
         if blocks > 0:
             _stat_add(self._stats, "blocks_skipped", blocks)
-            obs.inc("index.blocks_skipped", blocks)
 
     # -- sequence protocol --------------------------------------------------
 
@@ -606,8 +598,6 @@ def open_postings(data: bytes, *, stats: Optional[object] = None,
 def _open_flat(data: bytes, stats: Optional[object]) -> Tuple[Posting, ...]:
     postings = tuple(decode_postings(data))
     _stat_add(stats, "bytes_decoded", len(data))
-    if data:
-        obs.inc("index.postings_bytes_decoded", len(data))
     return postings
 
 

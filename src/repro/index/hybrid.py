@@ -152,9 +152,6 @@ class HybridIndex:
         self.stats.postings_fetches += 1
         self.stats.postings_entries_read += len(postings)
         self.stats.bytes_read += len(data)
-        obs.inc("index.postings_fetches")
-        obs.inc("index.postings_entries_read", len(postings))
-        obs.inc("index.bytes_read", len(data))
         if self._cache_size > 0:
             self._cache[(cell, term)] = postings
             if len(self._cache) > self._cache_size:

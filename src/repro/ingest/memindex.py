@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import bisect
 import sys
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.model import Post
@@ -52,6 +53,7 @@ class MemIndex:
         self._sealed = False
         self._max_lsn = 0
         self._size_bytes = 0
+        self.created_at = time.time()
 
     # -- writes -------------------------------------------------------------
 
@@ -106,6 +108,11 @@ class MemIndex:
     def size_bytes(self) -> int:
         """Rough in-memory footprint, the flush-threshold input."""
         return self._size_bytes
+
+    def age_seconds(self) -> float:
+        """Wall-clock time since this memtable was created — a stuck or
+        starved flush shows up here (the memtable health probe)."""
+        return max(0.0, time.time() - self.created_at)
 
     def posts(self, max_lsn: Optional[int] = None) -> List[Post]:
         """The buffered posts in LSN order, optionally watermarked."""

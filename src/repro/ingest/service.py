@@ -41,10 +41,13 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..obs.health import (ComponentHealth, HealthMonitor, HealthReport,
+                          HealthStatus, HealthThresholds, grade)
 from ..core.model import Post
 from ..core.scoring import upper_bound_popularity
 from ..core.thread import DEFAULT_DEPTH, ThreadBuilder
@@ -188,12 +191,15 @@ class IngestService:
         self.memtables: List[MemIndex] = []
         self.recovery = RecoveryReport(last_flushed_lsn=self._last_flushed_lsn)
 
+        recover_start = time.perf_counter()
         with obs.trace("ingest.recover", directory=directory):
             self._load_generations()
             self._remove_orphan_generations()
             flushed = self._remove_flushed_segments()
             self.recovery.flushed_segments_removed = flushed
             next_lsn = self._replay_wal()
+        obs.observe("ingest.recover_seconds",
+                    time.perf_counter() - recover_start)
 
         self.wal = WriteAheadLog(self._wal_dir, next_lsn=next_lsn,
                                  sync_every=self.ingest_config.sync_every,
@@ -204,7 +210,7 @@ class IngestService:
                               self.memtables, self.generations)
         self.recovery.next_lsn = next_lsn
         obs.inc("ingest.replayed_records", self.recovery.records_replayed)
-        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+        self._update_gauges()
 
     # -- paths --------------------------------------------------------------
 
@@ -379,7 +385,7 @@ class IngestService:
         for builder in self._thread_builders:
             builder.clear_cache()  # reply fanouts may have changed
         obs.inc("ingest.appends")
-        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+        self._update_gauges()
         if self.ingest_config.auto_flush and (
                 self._active.post_count >= self.ingest_config.flush_posts
                 or self._active.size_bytes() >= self.ingest_config.flush_bytes):
@@ -401,6 +407,7 @@ class IngestService:
         """
         if self._active.post_count == 0 and len(self.memtables) == 1:
             return None
+        flush_start = time.perf_counter()
         with obs.trace("ingest.flush") as span:
             if self._active.post_count:
                 self._active.seal()
@@ -462,7 +469,8 @@ class IngestService:
             self.generations.append(hybrid)
             span.set(generation=number, posts=len(posts))
         obs.inc("ingest.flushes")
-        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+        obs.observe("ingest.flush_seconds", time.perf_counter() - flush_start)
+        self._update_gauges()
         return number
 
     def close(self) -> None:
@@ -492,6 +500,113 @@ class IngestService:
                            engine_config, metric)
 
     # -- reporting ----------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        """Refresh the ingest gauges (no-ops while obs is disabled)."""
+        if not obs.is_enabled():
+            return
+        obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
+        obs.set_gauge("ingest.memtable_posts", self._active.post_count)
+        obs.set_gauge("ingest.generations", len(self._generation_entries))
+        obs.set_gauge("ingest.wal_unsynced_records", self.wal.pending_appends)
+
+    # -- health -------------------------------------------------------------
+
+    def health_monitor(self,
+                       thresholds: Optional[HealthThresholds] = None
+                       ) -> HealthMonitor:
+        """A :class:`HealthMonitor` wired with this service's component
+        probes (WAL, memtable, generations, block cache, recovery)."""
+        limits = thresholds if thresholds is not None else HealthThresholds()
+        monitor = HealthMonitor()
+
+        def wal_probe() -> ComponentHealth:
+            lag = self.wal.sync_lag_seconds()
+            pending = self.wal.pending_appends
+            status = HealthStatus.worst([
+                grade(lag, limits.wal_sync_lag_warn,
+                      limits.wal_sync_lag_critical),
+                grade(pending, limits.unsynced_records_warn,
+                      limits.unsynced_records_critical),
+            ])
+            message = ("synced" if pending == 0 else
+                       f"{pending} unsynced records, lag {lag:.2f}s")
+            return ComponentHealth(
+                name="wal", status=status, message=message,
+                metrics={"sync_lag_seconds": lag,
+                         "unsynced_records": pending,
+                         "segments": len(self.wal.segment_names()),
+                         "next_lsn": self.wal.next_lsn})
+
+        def memtable_probe() -> ComponentHealth:
+            active = self._active
+            size = active.size_bytes()
+            age = active.age_seconds()
+            status = HealthStatus.worst([
+                grade(size, limits.memtable_bytes_warn,
+                      limits.memtable_bytes_critical),
+                grade(age, limits.memtable_age_warn,
+                      limits.memtable_age_critical),
+            ])
+            return ComponentHealth(
+                name="memtable", status=status,
+                message=f"{active.post_count} posts, {size} bytes, "
+                        f"age {age:.1f}s",
+                metrics={"posts": active.post_count, "bytes": size,
+                         "age_seconds": age,
+                         "sealed": sum(1 for mem in self.memtables
+                                       if mem.sealed)})
+
+        def generations_probe() -> ComponentHealth:
+            count = len(self._generation_entries)
+            return ComponentHealth(
+                name="generations",
+                status=grade(count, limits.generations_warn,
+                             limits.generations_critical),
+                message=f"{count} committed generations",
+                metrics={"count": count,
+                         "last_flushed_lsn": self._last_flushed_lsn})
+
+        def block_cache_probe() -> ComponentHealth:
+            stats = self.live.stats
+            hits = stats.block_cache_hits
+            lookups = hits + stats.block_cache_misses
+            rate = hits / lookups if lookups else 1.0
+            if lookups < limits.cache_min_lookups:
+                status = HealthStatus.OK  # too few lookups to judge
+            else:
+                status = grade(rate, limits.cache_hit_rate_warn,
+                               limits.cache_hit_rate_critical,
+                               higher_is_worse=False)
+            return ComponentHealth(
+                name="block_cache", status=status,
+                message=f"hit rate {rate:.2%} over {lookups} lookups",
+                metrics={"hit_rate": rate, "hits": hits,
+                         "lookups": lookups})
+
+        def recovery_probe() -> ComponentHealth:
+            report = self.recovery
+            status = (HealthStatus.DEGRADED if report.torn_tail_repaired
+                      else HealthStatus.OK)
+            message = (f"replayed {report.records_replayed} records from "
+                       f"{report.segments_replayed} segments"
+                       + (", torn tail repaired"
+                          if report.torn_tail_repaired else ""))
+            return ComponentHealth(name="recovery", status=status,
+                                   message=message,
+                                   metrics=report.as_dict())
+
+        monitor.register("wal", wal_probe)
+        monitor.register("memtable", memtable_probe)
+        monitor.register("generations", generations_probe)
+        monitor.register("block_cache", block_cache_probe)
+        monitor.register("recovery", recovery_probe)
+        return monitor
+
+    def health(self,
+               thresholds: Optional[HealthThresholds] = None) -> HealthReport:
+        """Run every component probe and roll up the system verdict."""
+        return self.health_monitor(thresholds).run()
 
     def status(self) -> Dict[str, Any]:
         return {

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -314,6 +315,8 @@ class WriteAheadLog:
         self._sync_every = sync_every
         self._next_lsn = next_lsn
         self._pending = 0  # appends since the last fsync
+        self._last_sync_wall = time.time()
+        self._oldest_pending_wall: Optional[float] = None
         existing = self.segment_names()
         self._active_number = (segment_number(existing[-1]) if existing
                                else 1)
@@ -343,6 +346,19 @@ class WriteAheadLog:
     def next_lsn(self) -> int:
         return self._next_lsn
 
+    @property
+    def pending_appends(self) -> int:
+        """Acknowledged appends not yet covered by an fsync — the
+        records a crash would lose under ``sync_every > 1``."""
+        return self._pending
+
+    def sync_lag_seconds(self) -> float:
+        """How long the oldest unsynced record has been waiting (0.0
+        when everything is synced) — the WAL health probe's signal."""
+        if self._pending == 0 or self._oldest_pending_wall is None:
+            return 0.0
+        return max(0.0, time.time() - self._oldest_pending_wall)
+
     def _open_active(self) -> None:
         self._file = open(self.active_path, "ab")
         self._synced_size = self._file.tell()
@@ -357,43 +373,55 @@ class WriteAheadLog:
         caller must re-append it after recovery.
         """
         lsn = self._next_lsn
-        frame = encode_record(lsn, encode_post(post))
-        if self._failpoints.hit("wal.append.mid"):
-            # A torn write: the first half of the frame reaches disk
-            # (fsynced, as if the partial page made it out), the rest
-            # never does.
-            self._file.write(frame[:max(1, len(frame) // 2)])
+        start = time.perf_counter()
+        with obs.trace("wal.append", lsn=lsn):
+            frame = encode_record(lsn, encode_post(post))
+            if self._failpoints.hit("wal.append.mid"):
+                # A torn write: the first half of the frame reaches disk
+                # (fsynced, as if the partial page made it out), the rest
+                # never does.
+                self._file.write(frame[:max(1, len(frame) // 2)])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._file.close()
+                raise SimulatedCrash("wal.append.mid")
+            self._file.write(frame)
             self._file.flush()
-            os.fsync(self._file.fileno())
-            self._file.close()
-            raise SimulatedCrash("wal.append.mid")
-        self._file.write(frame)
-        self._file.flush()
-        if self._failpoints.hit("wal.append.pre_sync"):
-            # Crash before the fsync: every byte since the last sync is
-            # lost with the page cache.
-            self._file.truncate(self._synced_size)
-            self._file.close()
-            raise SimulatedCrash("wal.append.pre_sync")
-        self.stats.appends += 1
-        self.stats.bytes_written += len(frame)
-        if self._io is not None:
-            self._io.record_write()
-        obs.inc("ingest.wal_appends")
-        self._next_lsn = lsn + 1
-        self._pending += 1
-        if self._pending >= self._sync_every:
-            self.sync()
+            if self._failpoints.hit("wal.append.pre_sync"):
+                # Crash before the fsync: every byte since the last sync
+                # is lost with the page cache.
+                self._file.truncate(self._synced_size)
+                self._file.close()
+                raise SimulatedCrash("wal.append.pre_sync")
+            self.stats.appends += 1
+            self.stats.bytes_written += len(frame)
+            if self._io is not None:
+                self._io.record_write()
+            obs.inc("ingest.wal_appends")
+            self._next_lsn = lsn + 1
+            self._pending += 1
+            if self._oldest_pending_wall is None:
+                self._oldest_pending_wall = time.time()
+            if self._pending >= self._sync_every:
+                self.sync()
+        obs.observe("ingest.wal_append_seconds",
+                    time.perf_counter() - start)
         return lsn
 
     def sync(self) -> None:
         """Flush and fsync the active segment."""
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._synced_size = self._file.tell()
-        self._pending = 0
-        self.stats.fsyncs += 1
-        obs.inc("ingest.wal_fsyncs")
+        start = time.perf_counter()
+        with obs.trace("wal.fsync", pending=self._pending):
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._synced_size = self._file.tell()
+            self._pending = 0
+            self._last_sync_wall = time.time()
+            self._oldest_pending_wall = None
+            self.stats.fsyncs += 1
+            obs.inc("ingest.wal_fsyncs")
+        obs.observe("ingest.wal_fsync_seconds",
+                    time.perf_counter() - start)
 
     def rotate(self) -> str:
         """Seal the active segment and open the next; returns the sealed

@@ -19,6 +19,12 @@ Enable it for a region of code with :func:`observed`::
 or globally with :func:`enable` / :func:`disable` (what the CLI's
 ``--trace`` flag does).
 
+For a continuously running service, :func:`enable_runtime` installs the
+always-on layer from :mod:`repro.obs.runtime` instead: time-series
+metrics in bounded ring buffers, sampled trace retention with tail
+capture of slow traces, a slow-query log, and SLO tracking — the same
+helpers below feed it, so instrumented code does not change.
+
 Span names used by the built-in instrumentation are documented in
 ``docs/OBSERVABILITY.md`` (``query.*``, ``mapreduce.*``,
 ``storage.page_read``), as are the metric names and units.
@@ -30,6 +36,7 @@ from contextlib import contextmanager
 from typing import Any, Optional, Tuple
 
 from .exporters import (
+    parse_spans_jsonl,
     render_metrics,
     render_span_tree,
     span_to_dict,
@@ -44,29 +51,52 @@ from .metrics import (
     MetricsRegistry,
     merge_counter_dict,
 )
+from .health import (
+    ComponentHealth,
+    HealthMonitor,
+    HealthReport,
+    HealthStatus,
+    HealthThresholds,
+)
 from .profile import QueryProfile
+from .runtime import RuntimeConfig, RuntimeRegistry, RuntimeTelemetry
+from .timeseries import TimeSeriesCounter, TimeSeriesHistogram
 from .tracer import NULL_SPAN, NULL_SPAN_CONTEXT, Span, Tracer
 
 __all__ = [
+    "ComponentHealth",
     "Counter",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthStatus",
+    "HealthThresholds",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "NULL_SPAN_CONTEXT",
     "QueryProfile",
+    "RuntimeConfig",
+    "RuntimeRegistry",
+    "RuntimeTelemetry",
     "Span",
+    "TimeSeriesCounter",
+    "TimeSeriesHistogram",
     "Tracer",
     "disable",
+    "disable_runtime",
     "enable",
+    "enable_runtime",
     "event",
     "get_registry",
+    "get_runtime",
     "get_tracer",
     "inc",
     "is_enabled",
     "merge_counter_dict",
     "observe",
     "observed",
+    "parse_spans_jsonl",
     "render_metrics",
     "render_span_tree",
     "set_gauge",
@@ -79,13 +109,14 @@ __all__ = [
 
 
 class _State:
-    __slots__ = ("active", "tracer", "registry", "capture_spans")
+    __slots__ = ("active", "tracer", "registry", "capture_spans", "runtime")
 
     def __init__(self) -> None:
         self.active = False
         self.tracer = Tracer()
         self.registry = MetricsRegistry()
         self.capture_spans = True
+        self.runtime: Optional[RuntimeTelemetry] = None
 
 
 _STATE = _State()
@@ -98,8 +129,9 @@ def enable(tracer: Optional[Tracer] = None,
 
     ``capture_spans=False`` records metrics only — the right mode for
     benchmark runs that want counters without accumulating span trees in
-    memory.
+    memory.  Enabling the classic mode replaces any installed runtime.
     """
+    _STATE.runtime = None
     _STATE.tracer = tracer if tracer is not None else Tracer()
     _STATE.registry = registry if registry is not None else MetricsRegistry()
     _STATE.capture_spans = capture_spans
@@ -107,9 +139,41 @@ def enable(tracer: Optional[Tracer] = None,
     return _STATE.tracer, _STATE.registry
 
 
+def enable_runtime(
+        config: Optional[RuntimeConfig] = None,
+        runtime: Optional[RuntimeTelemetry] = None) -> RuntimeTelemetry:
+    """Switch the continuous telemetry layer on (see
+    :mod:`repro.obs.runtime`).  The runtime's registry and tracer become
+    the active collectors, so every existing instrumentation call site
+    feeds time-series metrics and sampled trace retention."""
+    if runtime is None:
+        runtime = RuntimeTelemetry(config)
+    elif config is not None:
+        raise ValueError("pass either config or a built runtime, not both")
+    _STATE.runtime = runtime
+    _STATE.tracer = runtime.tracer
+    _STATE.registry = runtime.registry
+    _STATE.capture_spans = runtime.config.span_mode != "none"
+    _STATE.active = True
+    return runtime
+
+
+def disable_runtime() -> None:
+    """Remove the runtime layer and switch observability off."""
+    _STATE.runtime = None
+    _STATE.active = False
+
+
+def get_runtime() -> Optional[RuntimeTelemetry]:
+    """The installed runtime telemetry, or None when not in runtime
+    mode (disabled or classic ``enable()``)."""
+    return _STATE.runtime
+
+
 def disable() -> None:
     """Switch observability off (helpers become no-ops again)."""
     _STATE.active = False
+    _STATE.runtime = None
 
 
 def is_enabled() -> bool:
@@ -136,23 +200,27 @@ def observed(tracer: Optional[Tracer] = None,
     Yields ``(tracer, registry)`` for inspection after the block.
     """
     previous = (_STATE.active, _STATE.tracer, _STATE.registry,
-                _STATE.capture_spans)
+                _STATE.capture_spans, _STATE.runtime)
     pair = enable(tracer, registry, capture_spans)
     try:
         yield pair
     finally:
         (_STATE.active, _STATE.tracer, _STATE.registry,
-         _STATE.capture_spans) = previous
+         _STATE.capture_spans, _STATE.runtime) = previous
 
 
 # -- hot-path helpers (no-ops while disabled) -------------------------------
 
 def trace(name: str, **attributes: Any):
     """Context manager for a nested span; the shared no-op context while
-    observability is disabled."""
+    observability is disabled.  In runtime mode the runtime decides
+    whether a span is built (head sampling in ``span_mode="sampled"``)."""
     state = _STATE
     if not (state.active and state.capture_spans):
         return NULL_SPAN_CONTEXT
+    runtime = state.runtime
+    if runtime is not None:
+        return runtime.trace_context(name, attributes)
     return state.tracer.span(name, **attributes)
 
 
@@ -160,6 +228,9 @@ def event(name: str, **attributes: Any) -> None:
     """Record a zero-duration span under the current one."""
     state = _STATE
     if state.active and state.capture_spans:
+        runtime = state.runtime
+        if runtime is not None and not runtime.event_enabled():
+            return
         state.tracer.event(name, **attributes)
 
 

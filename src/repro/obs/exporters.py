@@ -8,7 +8,8 @@ Three output formats:
   shows one line with a count);
 * :func:`span_to_dict` / :func:`write_spans_jsonl` — flat JSON-lines
   records with ``span_id``/``parent_id`` links, one span per line, in
-  the shape trace viewers ingest;
+  the shape trace viewers ingest (:func:`parse_spans_jsonl` is the
+  inverse, rebuilding the span trees from such a stream);
 * :func:`to_prometheus_text` (re-exported from
   :mod:`repro.obs.metrics`) — text exposition of a registry.
 """
@@ -26,6 +27,7 @@ __all__ = [
     "span_to_dict",
     "spans_to_dicts",
     "write_spans_jsonl",
+    "parse_spans_jsonl",
     "to_prometheus_text",
     "sanitize_name",
     "render_metrics",
@@ -135,6 +137,39 @@ def write_spans_jsonl(spans: Iterable[Span], handle: TextIO) -> int:
         handle.write(json.dumps(record, sort_keys=True) + "\n")
         count += 1
     return count
+
+
+def parse_spans_jsonl(handle: TextIO) -> List[Span]:
+    """Rebuild root :class:`Span` trees from a :func:`write_spans_jsonl`
+    stream.  The reconstructed spans preserve the exported tree shape,
+    names, attributes, wall-clock starts and durations exactly; the
+    ``perf_counter`` origin does not survive serialisation, so each span
+    is re-based at ``start = 0`` with ``end = duration``.  Feeding the
+    result back through :func:`spans_to_dicts` therefore yields records
+    identical to the input — the round-trip property the exporter tests
+    pin."""
+    by_id: Dict[int, Span] = {}
+    roots: List[Span] = []
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        span = Span.__new__(Span)
+        span.name = record["name"]
+        span.attributes = dict(record.get("attributes", {}))
+        span.children = []
+        span.wall_start = record["wall_start"]
+        span.start = 0.0
+        span.end = record["duration_seconds"]
+        parent = by_id.get(record["parent_id"]) \
+            if record.get("parent_id") is not None else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+        by_id[record["span_id"]] = span
+    return roots
 
 
 def render_metrics(registry: MetricsRegistry) -> str:

@@ -1,0 +1,169 @@
+"""Component health checks rolled up into a system verdict.
+
+A :class:`HealthMonitor` holds named probe callables, each returning a
+:class:`ComponentHealth`; :meth:`HealthMonitor.run` executes them all
+and rolls the component statuses into a :class:`HealthReport` whose
+verdict is the *worst* component status (a single critical component
+makes the system critical).  A probe that raises is itself reported as
+a critical component rather than aborting the sweep — a health check
+must never take the service down.
+
+Probes for the ingest subsystem (WAL fsync lag, unsynced records,
+memtable size/age, generation count, block-cache hit rate, recovery
+status) are wired up by
+:meth:`repro.ingest.service.IngestService.health_monitor`; thresholds
+live in :class:`HealthThresholds` so operators can tune warn/critical
+boundaries without touching probe code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class HealthStatus(enum.Enum):
+    """Component / system health verdicts, ordered by severity."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    CRITICAL = "critical"
+
+    @property
+    def severity(self) -> int:
+        return _SEVERITY[self]
+
+    @classmethod
+    def worst(cls, statuses: List["HealthStatus"]) -> "HealthStatus":
+        if not statuses:
+            return cls.OK
+        return max(statuses, key=lambda status: status.severity)
+
+
+_SEVERITY = {HealthStatus.OK: 0, HealthStatus.DEGRADED: 1,
+             HealthStatus.CRITICAL: 2}
+
+
+def grade(value: float, warn: float, critical: float,
+          higher_is_worse: bool = True) -> HealthStatus:
+    """Grade a scalar against warn/critical thresholds.  With
+    ``higher_is_worse=False`` the comparison flips (e.g. cache hit rate,
+    where *low* is bad)."""
+    if higher_is_worse:
+        if value >= critical:
+            return HealthStatus.CRITICAL
+        if value >= warn:
+            return HealthStatus.DEGRADED
+    else:
+        if value <= critical:
+            return HealthStatus.CRITICAL
+        if value <= warn:
+            return HealthStatus.DEGRADED
+    return HealthStatus.OK
+
+
+@dataclass
+class ComponentHealth:
+    """One component's verdict plus the measurements behind it."""
+
+    name: str
+    status: HealthStatus
+    message: str = ""
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status.value,
+            "message": self.message,
+            "metrics": dict(self.metrics),
+        }
+
+
+@dataclass
+class HealthReport:
+    """All component verdicts plus the rolled-up system verdict."""
+
+    components: List[ComponentHealth]
+
+    @property
+    def verdict(self) -> HealthStatus:
+        return HealthStatus.worst([c.status for c in self.components])
+
+    @property
+    def healthy(self) -> bool:
+        return self.verdict is HealthStatus.OK
+
+    def component(self, name: str) -> Optional[ComponentHealth]:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        return None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict.value,
+            "components": [c.as_dict() for c in self.components],
+        }
+
+    def render_text(self) -> str:
+        marks = {HealthStatus.OK: "+", HealthStatus.DEGRADED: "!",
+                 HealthStatus.CRITICAL: "x"}
+        lines = [f"health: {self.verdict.value.upper()}"]
+        for comp in self.components:
+            line = f"  [{marks[comp.status]}] {comp.name}"
+            if comp.message:
+                line += f": {comp.message}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Warn/critical boundaries for the built-in ingest probes.
+
+    Units: seconds for lags/ages, bytes for sizes, counts otherwise;
+    ``cache_hit_rate_*`` are fractions in [0, 1] (low is bad)."""
+
+    wal_sync_lag_warn: float = 5.0
+    wal_sync_lag_critical: float = 30.0
+    unsynced_records_warn: int = 1024
+    unsynced_records_critical: int = 65536
+    memtable_bytes_warn: int = 64 * 1024 * 1024
+    memtable_bytes_critical: int = 256 * 1024 * 1024
+    memtable_age_warn: float = 300.0
+    memtable_age_critical: float = 3600.0
+    generations_warn: int = 16
+    generations_critical: int = 64
+    cache_hit_rate_warn: float = 0.50
+    cache_hit_rate_critical: float = 0.10
+    cache_min_lookups: int = 100   # below this, hit rate is noise
+
+
+class HealthMonitor:
+    """Named probes -> one report.  Probe exceptions become critical
+    components; registration order is report order."""
+
+    def __init__(self) -> None:
+        self._probes: List[tuple] = []
+
+    def register(self, name: str,
+                 probe: Callable[[], ComponentHealth]) -> None:
+        if any(existing == name for existing, _ in self._probes):
+            raise ValueError(f"probe already registered: {name!r}")
+        self._probes.append((name, probe))
+
+    def names(self) -> List[str]:
+        return [name for name, _ in self._probes]
+
+    def run(self) -> HealthReport:
+        components: List[ComponentHealth] = []
+        for name, probe in self._probes:
+            try:
+                components.append(probe())
+            except Exception as exc:  # noqa: BLE001 - probes must not kill the sweep
+                components.append(ComponentHealth(
+                    name=name, status=HealthStatus.CRITICAL,
+                    message=f"probe failed: {type(exc).__name__}: {exc}"))
+        return HealthReport(components=components)

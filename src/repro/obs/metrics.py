@@ -9,13 +9,31 @@ latencies spanning microseconds to seconds.
 
 Metric names are dotted (``storage.page_reads``); the Prometheus text
 exporter sanitises them to underscore form.
+
+Locking model
+-------------
+Every instrument owns one :class:`threading.Lock` guarding all of its
+mutable state; every update *and* every read of that state happens under
+the lock, so an observation is atomic and a :meth:`Histogram.summary`
+(count, sum, min/max and all quantiles together) is one consistent
+snapshot — quantiles are never computed over a different population than
+the reported count.  The registry's own lock only guards the name →
+instrument maps: lookups take the GIL-atomic ``dict.get`` fast path and
+fall back to double-checked locking on first creation, keeping the hot
+per-increment path to a single dict lookup plus the instrument lock.
+Reporting methods copy the item lists under the registry lock and then
+read each instrument under its own lock; concurrent updates during a
+snapshot are therefore either entirely visible or entirely invisible
+per instrument, never torn within one.  ``reset()`` replaces the maps;
+callers holding an instrument reference keep a working (but orphaned)
+instrument, which is the documented trade-off for a lock-free hot path.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 DEFAULT_GROWTH = 1.1
 
@@ -95,17 +113,20 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         with self._lock:
-            self._count += 1
-            self._sum += value
-            if value < self._min:
-                self._min = value
-            if value > self._max:
-                self._max = value
-            if value <= 0.0:
-                self._zero += 1
-            else:
-                index = math.floor(math.log(value) / self._log_growth)
-                self._buckets[index] = self._buckets.get(index, 0) + 1
+            self._observe_locked(value)
+
+    def _observe_locked(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value <= 0.0:
+            self._zero += 1
+        else:
+            index = math.floor(math.log(value) / self._log_growth)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
 
     @property
     def count(self) -> int:
@@ -126,25 +147,28 @@ class Histogram:
         lower = self.growth ** index
         return lower * math.sqrt(self.growth)
 
+    def _quantile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        # Rank of the wanted observation among the sorted values.
+        rank = q * (self._count - 1)
+        position = self._zero
+        if rank < self._zero:
+            return min(self._min, 0.0) if self._zero else 0.0
+        for index in sorted(self._buckets):
+            position += self._buckets[index]
+            if rank < position:
+                estimate = self._bucket_value(index)
+                # Never report outside the observed range.
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
     def quantile(self, q: float) -> float:
         """Estimated value at quantile ``q`` in [0, 1]."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1]: {q}")
         with self._lock:
-            if self._count == 0:
-                return 0.0
-            # Rank of the wanted observation among the sorted values.
-            rank = q * (self._count - 1)
-            position = self._zero
-            if rank < self._zero:
-                return min(self._min, 0.0) if self._zero else 0.0
-            for index in sorted(self._buckets):
-                position += self._buckets[index]
-                if rank < position:
-                    estimate = self._bucket_value(index)
-                    # Never report outside the observed range.
-                    return min(max(estimate, self._min), self._max)
-            return self._max
+            return self._quantile_locked(q)
 
     @property
     def p50(self) -> float:
@@ -159,22 +183,61 @@ class Histogram:
         return self.quantile(0.99)
 
     def summary(self) -> Dict[str, float]:
+        """One atomic snapshot: the quantiles are computed under the same
+        lock acquisition as the count/sum they accompany, so a summary
+        taken during concurrent observes is internally consistent."""
         with self._lock:
             if self._count == 0:
                 return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
                         "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
-            count, total = self._count, self._sum
-            minimum, maximum = self._min, self._max
-        return {
-            "count": count,
-            "sum": total,
-            "min": minimum,
-            "max": maximum,
-            "mean": total / count,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-        }
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+                "p50": self._quantile_locked(0.50),
+                "p95": self._quantile_locked(0.95),
+                "p99": self._quantile_locked(0.99),
+            }
+
+    def export_state(self) -> Dict[str, object]:
+        """The raw sketch (zero tally, bucket counts, moments) as one
+        consistent snapshot — the mergeable form windowed aggregation and
+        the Prometheus bucket exposition are built from."""
+        with self._lock:
+            return {
+                "growth": self.growth,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else 0.0,
+                "max": self._max if self._count else 0.0,
+                "zero": self._zero,
+                "buckets": dict(self._buckets),
+            }
+
+
+def merge_histogram_states(states: List[Dict[str, object]],
+                           growth: float = DEFAULT_GROWTH) -> Dict[str, float]:
+    """Combine :meth:`Histogram.export_state` snapshots (e.g. the last N
+    time-series windows) into one :meth:`Histogram.summary`-shaped dict.
+    All states must share the same growth factor."""
+    merged = Histogram(growth)
+    for state in states:
+        if state["growth"] != growth:
+            raise ValueError(
+                f"cannot merge growth {state['growth']} into {growth}")
+        count = int(state["count"])  # type: ignore[arg-type]
+        if not count:
+            continue
+        merged._count += count
+        merged._sum += float(state["sum"])  # type: ignore[arg-type]
+        merged._min = min(merged._min, float(state["min"]))  # type: ignore[arg-type]
+        merged._max = max(merged._max, float(state["max"]))  # type: ignore[arg-type]
+        merged._zero += int(state["zero"])  # type: ignore[arg-type]
+        for index, tally in state["buckets"].items():  # type: ignore[union-attr]
+            merged._buckets[index] = merged._buckets.get(index, 0) + tally
+    return merged.summary()
 
 
 class MetricsRegistry:
@@ -250,6 +313,39 @@ class MetricsRegistry:
             items = list(self._histograms.items())
         return {name: histogram.summary() for name, histogram in items}
 
+    def find_counter(self, name: str) -> Optional[Counter]:
+        """The named counter, or None — never creates (unlike
+        :meth:`counter`), so read-only consumers don't mint zero-valued
+        instruments."""
+        with self._lock:
+            return self._counters.get(name)
+
+    def find_gauge(self, name: str) -> Optional[Gauge]:
+        """The named gauge, or None (non-creating)."""
+        with self._lock:
+            return self._gauges.get(name)
+
+    def find_histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or None (non-creating)."""
+        with self._lock:
+            return self._histograms.get(name)
+
+    def counter_items(self) -> List[Tuple[str, Counter]]:
+        """Live counter instruments (name-sorted copy of the map)."""
+        with self._lock:
+            return sorted(self._counters.items())
+
+    def gauge_items(self) -> List[Tuple[str, Gauge]]:
+        """Live gauge instruments (name-sorted copy of the map)."""
+        with self._lock:
+            return sorted(self._gauges.items())
+
+    def histogram_items(self) -> List[Tuple[str, Histogram]]:
+        """Live histogram instruments (name-sorted copy of the map) —
+        the public accessor exporters use instead of the private maps."""
+        with self._lock:
+            return sorted(self._histograms.items())
+
     def snapshot(self) -> Dict[str, object]:
         """Everything, as plain data (JSON-serialisable)."""
         return {
@@ -294,31 +390,85 @@ def sanitize_name(name: str) -> str:
     return text
 
 
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote and newline must be escaped, in that order
+    (escaping the backslash first so the others are not double-hit)."""
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def format_sample(metric: str, labels: Optional[Mapping[str, object]],
+                  value: object) -> str:
+    """One exposition-format sample line with properly escaped labels."""
+    if not labels:
+        return f"{metric} {value}"
+    rendered = ",".join(
+        f'{sanitize_name(str(key))}="{escape_label_value(labels[key])}"'
+        for key in labels)
+    return f"{metric}{{{rendered}}} {value}"
+
+
+def _histogram_bucket_lines(metric: str, histogram: Histogram) -> List[str]:
+    """Prometheus ``histogram``-typed exposition: cumulative ``_bucket``
+    samples with log-scale ``le`` upper bounds, then ``_sum``/``_count``.
+    The zero bucket (observations <= 0) maps to ``le="0"``."""
+    state = histogram.export_state()
+    lines = [f"# TYPE {metric} histogram"]
+    cumulative = int(state["zero"])  # type: ignore[arg-type]
+    if cumulative:
+        lines.append(format_sample(f"{metric}_bucket", {"le": "0"},
+                                   cumulative))
+    growth = float(state["growth"])  # type: ignore[arg-type]
+    buckets: Dict[int, int] = state["buckets"]  # type: ignore[assignment]
+    for index in sorted(buckets):
+        cumulative += buckets[index]
+        upper = growth ** (index + 1)
+        lines.append(format_sample(f"{metric}_bucket",
+                                   {"le": repr(upper)}, cumulative))
+    lines.append(format_sample(f"{metric}_bucket", {"le": "+Inf"},
+                               state["count"]))
+    lines.append(f"{metric}_sum {state['sum']}")
+    lines.append(f"{metric}_count {state['count']}")
+    return lines
+
+
 def to_prometheus_text(registry: MetricsRegistry,
-                       namespace: Optional[str] = "repro") -> str:
+                       namespace: Optional[str] = "repro",
+                       histogram_mode: str = "summary") -> str:
     """Render the registry in the Prometheus text exposition format.
 
-    Histograms are exported in summary form (quantile-labelled samples
-    plus ``_count``/``_sum``), which is what log-scale sketches map to.
+    ``histogram_mode="summary"`` (the default) exports histograms as
+    quantile-labelled summaries plus ``_count``/``_sum`` — compact, and
+    what log-scale sketches map to most directly.
+    ``histogram_mode="histogram"`` exports the underlying log buckets as
+    a real Prometheus histogram with cumulative ``_bucket{le=...}``
+    samples, which server-side quantile aggregation needs.
     """
+    if histogram_mode not in ("summary", "histogram"):
+        raise ValueError(f"unknown histogram_mode {histogram_mode!r}")
     prefix = f"{sanitize_name(namespace)}_" if namespace else ""
     lines: List[str] = []
-    for name, value in sorted(registry.counters().items()):
+    for name, counter in registry.counter_items():
         metric = prefix + sanitize_name(name)
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
-    for name, value in sorted(registry.gauges().items()):
+        lines.append(f"{metric} {counter.value}")
+    for name, gauge in registry.gauge_items():
         metric = prefix + sanitize_name(name)
         lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {value}")
-    with registry._lock:
-        histograms = list(registry._histograms.items())
-    for name, histogram in sorted(histograms):
+        lines.append(f"{metric} {gauge.value}")
+    for name, histogram in registry.histogram_items():
         metric = prefix + sanitize_name(name)
+        if histogram_mode == "histogram":
+            lines.extend(_histogram_bucket_lines(metric, histogram))
+            continue
+        summary = histogram.summary()
         lines.append(f"# TYPE {metric} summary")
         for label, q in _quantile_pairs():
-            lines.append(
-                f'{metric}{{quantile="{label}"}} {histogram.quantile(q)}')
-        lines.append(f"{metric}_sum {histogram.sum}")
-        lines.append(f"{metric}_count {histogram.count}")
+            lines.append(format_sample(metric, {"quantile": label},
+                                       summary[f"p{round(q * 100)}"]))
+        lines.append(f"{metric}_sum {summary['sum']}")
+        lines.append(f"{metric}_count {summary['count']}")
     return "\n".join(lines) + ("\n" if lines else "")

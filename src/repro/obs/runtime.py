@@ -1,0 +1,499 @@
+"""Continuous runtime telemetry: always-on, sampled, bounded.
+
+PR 1's ``obs.enable()`` is all-or-nothing: every span is built and every
+root is retained until reset — perfect for profiling one query,
+unusable for a service that runs for days.  This module provides the
+continuous counterpart, installed with :func:`repro.obs.enable_runtime`:
+
+* a :class:`RuntimeRegistry` whose counters and histograms are the
+  time-series variants from :mod:`repro.obs.timeseries`, so every
+  existing ``obs.inc``/``obs.observe`` call site gains windowed
+  p50/p95/p99/rate views without being touched;
+* a tracer whose finished roots flow through :class:`RuntimeTelemetry`
+  retention instead of accumulating: slow traces (tail capture) and a
+  probabilistic head sample are kept in fixed-size rings, everything
+  else is dropped after its metrics are recorded;
+* a :class:`SlowQueryLog` that captures the full forensic record of a
+  slow query — plan, profile funnel, span tree — into a bounded ring
+  and a rate-limited JSONL sink;
+* an :class:`SLOTracker` with error-budget accounting over the latency
+  SLO.
+
+Span modes: ``span_mode="all"`` (default) builds every span and samples
+*retention* — tail capture works because the tree exists by the time we
+learn the trace was slow.  ``span_mode="sampled"`` skips span
+construction for unsampled roots entirely (the lowest-overhead knob;
+tail capture then only sees head-sampled traces).  ``span_mode="none"``
+disables spans, metrics only.
+
+Everything here is bounded by construction: rings are deques with
+``maxlen``, the registry's windows are ring buffers, the JSONL sink is
+token-bucket rate-limited.  Leaving the runtime enabled cannot grow
+memory without limit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, TextIO
+
+from .exporters import spans_to_dicts
+from .metrics import DEFAULT_GROWTH, MetricsRegistry, to_prometheus_text
+from .timeseries import (
+    DEFAULT_NUM_WINDOWS,
+    DEFAULT_WINDOW_SECONDS,
+    TimeSeriesCounter,
+    TimeSeriesHistogram,
+)
+from .tracer import NULL_SPAN_CONTEXT, Span, Tracer
+
+SPAN_MODES = ("all", "sampled", "none")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs for the continuous telemetry layer.
+
+    Times are seconds unless the field name says ``_ms``.  ``clock`` is
+    injectable for tests and defaults to ``time.time``; ``seed`` pins
+    the head sampler for deterministic tests.
+    """
+
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    num_windows: int = DEFAULT_NUM_WINDOWS
+    sample_rate: float = 0.05           # head-sampling probability
+    span_mode: str = "all"              # all | sampled | none
+    slow_trace_ms: float = 100.0        # tail capture threshold
+    trace_ring: int = 32                # retained traces per ring
+    slow_query_ms: float = 250.0        # slow-query log threshold
+    slow_query_ring: int = 32
+    slow_query_log_path: Optional[str] = None
+    slow_query_rate_per_min: float = 60.0
+    slow_query_burst: int = 10
+    slo_latency_ms: float = 250.0       # latency SLO threshold
+    slo_target: float = 0.99            # fraction of queries under it
+    seed: Optional[int] = None
+    clock: Optional[Callable[[], float]] = None
+
+    def __post_init__(self) -> None:
+        if self.span_mode not in SPAN_MODES:
+            raise ValueError(f"span_mode must be one of {SPAN_MODES}: "
+                             f"{self.span_mode!r}")
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be in [0, 1]: {self.sample_rate}")
+        if not 0.0 < self.slo_target <= 1.0:
+            raise ValueError(
+                f"slo_target must be in (0, 1]: {self.slo_target}")
+        if self.trace_ring < 1 or self.slow_query_ring < 1:
+            raise ValueError("ring sizes must be >= 1")
+
+    def resolved_clock(self) -> Callable[[], float]:
+        return self.clock if self.clock is not None else time.time
+
+
+class TraceSampler:
+    """Thread-safe Bernoulli head sampler (seedable for tests)."""
+
+    def __init__(self, rate: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1]: {rate}")
+        self.rate = rate
+        self._random = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def sample(self) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        with self._lock:
+            return self._random.random() < self.rate
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_per_min`` sustained, ``burst`` peak."""
+
+    def __init__(self, rate_per_min: float, burst: int,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if rate_per_min <= 0 or burst < 1:
+            raise ValueError("rate_per_min must be > 0 and burst >= 1")
+        self._rate = rate_per_min / 60.0
+        self._capacity = float(burst)
+        self._tokens = float(burst)
+        self._clock = clock if clock is not None else time.time
+        self._last = self._clock()
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        now = self._clock()
+        with self._lock:
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(self._capacity,
+                               self._tokens + elapsed * self._rate)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class SlowQueryLog:
+    """Bounded ring plus rate-limited JSONL sink for slow-query records.
+
+    The record is built lazily — :meth:`consider` takes a thunk so that
+    fast queries (the overwhelming majority) pay only a float compare.
+    The ring always receives the record; the JSONL sink is token-bucket
+    limited so a latency storm cannot flood the disk (drops are
+    counted, not silent).
+    """
+
+    def __init__(self, threshold_ms: float, ring_size: int,
+                 path: Optional[str] = None,
+                 rate_per_min: float = 60.0, burst: int = 10,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.threshold_ms = threshold_ms
+        self.path = path
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=ring_size)
+        self._bucket = TokenBucket(rate_per_min, burst, clock)
+        self._lock = threading.Lock()
+        self._captured = 0
+        self._sink_dropped = 0
+
+    def consider(self, elapsed_ms: float,
+                 record_fn: Callable[[], Dict[str, Any]]) -> bool:
+        """Capture the record if the query was slow; returns whether it
+        was captured."""
+        if elapsed_ms < self.threshold_ms:
+            return False
+        record = record_fn()
+        with self._lock:
+            self._ring.append(record)
+            self._captured += 1
+        if self.path is not None:
+            if self._bucket.allow():
+                line = json.dumps(record, sort_keys=True, default=str)
+                with self._lock:
+                    with open(self.path, "a", encoding="utf-8") as handle:
+                        handle.write(line + "\n")
+            else:
+                with self._lock:
+                    self._sink_dropped += 1
+        return True
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Retained slow-query records, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def status(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "captured": self._captured,
+                "retained": len(self._ring),
+                "sink_dropped": self._sink_dropped,
+                "path": self.path,
+            }
+
+
+class SLOTracker:
+    """Latency-SLO compliance with error-budget accounting.
+
+    The budget is the number of violations the target *allows*:
+    ``total * (1 - target)``.  ``budget_remaining`` < 0 means the SLO is
+    blown; ``burn_rate`` compares the recent violation ratio against the
+    allowed ratio (1.0 = burning exactly the budget, > 1 = burning
+    faster)."""
+
+    def __init__(self, latency_ms: float, target: float,
+                 window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 num_windows: int = DEFAULT_NUM_WINDOWS,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if not 0.0 < target <= 1.0:
+            raise ValueError(f"slo target must be in (0, 1]: {target}")
+        self.latency_ms = latency_ms
+        self.target = target
+        self._total = TimeSeriesCounter(window_seconds=window_seconds,
+                                        num_windows=num_windows, clock=clock)
+        self._violations = TimeSeriesCounter(window_seconds=window_seconds,
+                                             num_windows=num_windows,
+                                             clock=clock)
+
+    def record(self, elapsed_seconds: float) -> bool:
+        """Record one query; returns True when it violated the SLO."""
+        self._total.inc()
+        violated = elapsed_seconds * 1000.0 > self.latency_ms
+        if violated:
+            self._violations.inc()
+        return violated
+
+    def status(self, recent_seconds: float = 60.0) -> Dict[str, Any]:
+        total = self._total.value
+        violations = self._violations.value
+        allowed = total * (1.0 - self.target)
+        recent_total = self._total.rate(recent_seconds) * recent_seconds
+        recent_bad = self._violations.rate(recent_seconds) * recent_seconds
+        allowed_ratio = 1.0 - self.target
+        if recent_total > 0 and allowed_ratio > 0:
+            burn = (recent_bad / recent_total) / allowed_ratio
+        else:
+            burn = 0.0
+        return {
+            "latency_ms": self.latency_ms,
+            "target": self.target,
+            "total": total,
+            "violations": violations,
+            "compliance": 1.0 - (violations / total) if total else 1.0,
+            "budget_allowed": allowed,
+            "budget_remaining": allowed - violations,
+            "burn_rate": burn,
+        }
+
+
+class RuntimeRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` that mints time-series counters and
+    histograms, so instrumentation written against the plain registry
+    becomes time-aware the moment the runtime layer is installed."""
+
+    def __init__(self, window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 num_windows: int = DEFAULT_NUM_WINDOWS,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        super().__init__()
+        self._window_seconds = window_seconds
+        self._num_windows = num_windows
+        self._clock = clock
+
+    def counter(self, name: str) -> TimeSeriesCounter:
+        # repro-lint: disable=RL004 reason=double-checked locking; GIL-atomic dict.get fast path
+        instrument = self._counters.get(name)
+        if instrument is not None:
+            return instrument  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_unique(name, self._counters)
+                instrument = self._counters[name] = TimeSeriesCounter(
+                    window_seconds=self._window_seconds,
+                    num_windows=self._num_windows, clock=self._clock)
+            return instrument  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  growth: float = DEFAULT_GROWTH) -> TimeSeriesHistogram:
+        # repro-lint: disable=RL004 reason=double-checked locking; GIL-atomic dict.get fast path
+        instrument = self._histograms.get(name)
+        if instrument is not None:
+            return instrument  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_unique(name, self._histograms)
+                instrument = self._histograms[name] = TimeSeriesHistogram(
+                    growth, window_seconds=self._window_seconds,
+                    num_windows=self._num_windows, clock=self._clock)
+            return instrument  # type: ignore[return-value]
+
+
+class _SuppressedSpanContext:
+    """Context manager for an unsampled root in ``span_mode="sampled"``:
+    builds nothing, but tracks nesting depth on its telemetry so the
+    whole subtree stays suppressed (children of an unsampled root must
+    not become roots themselves)."""
+
+    __slots__ = ("_telemetry",)
+
+    def __init__(self, telemetry: "RuntimeTelemetry") -> None:
+        self._telemetry = telemetry
+
+    def __enter__(self):
+        self._telemetry._suppress_depth.value += 1
+        return NULL_SPAN_CONTEXT.__enter__()
+
+    def __exit__(self, *exc: object) -> bool:
+        self._telemetry._suppress_depth.value -= 1
+        return False
+
+
+class _SuppressDepth(threading.local):
+    value = 0
+
+
+class RuntimeTelemetry:
+    """The continuous telemetry runtime: registry + tracer + retention
+    + slow-query log + SLO, wired together.
+
+    Install with :func:`repro.obs.enable_runtime`; the query executor
+    calls :meth:`record_query` at the engine boundary."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None) -> None:
+        self.config = config if config is not None else RuntimeConfig()
+        clock = self.config.resolved_clock()
+        self._clock = clock
+        self.registry = RuntimeRegistry(self.config.window_seconds,
+                                        self.config.num_windows,
+                                        self.config.clock)
+        self.tracer = Tracer(on_root=self._on_root)
+        self.sampler = TraceSampler(self.config.sample_rate, self.config.seed)
+        self.slow_queries = SlowQueryLog(
+            self.config.slow_query_ms, self.config.slow_query_ring,
+            path=self.config.slow_query_log_path,
+            rate_per_min=self.config.slow_query_rate_per_min,
+            burst=self.config.slow_query_burst, clock=self.config.clock)
+        self.slo = SLOTracker(self.config.slo_latency_ms,
+                              self.config.slo_target,
+                              self.config.window_seconds,
+                              self.config.num_windows, self.config.clock)
+        self._sampled_ring: Deque[Span] = deque(maxlen=self.config.trace_ring)
+        self._slow_ring: Deque[Span] = deque(maxlen=self.config.trace_ring)
+        self._ring_lock = threading.Lock()
+        self._suppress_depth = _SuppressDepth()
+        self.started_at = clock()
+
+    # -- tracing ------------------------------------------------------------
+
+    def trace_context(self, name: str, attributes: Dict[str, Any]):
+        """The span context :func:`repro.obs.trace` hands out while this
+        runtime is installed."""
+        mode = self.config.span_mode
+        if mode == "none":
+            return NULL_SPAN_CONTEXT
+        if mode == "sampled":
+            if self._suppress_depth.value > 0:
+                return _SuppressedSpanContext(self)
+            if self.tracer.current() is None and not self.sampler.sample():
+                return _SuppressedSpanContext(self)
+        return self.tracer.span(name, **attributes)
+
+    def event_enabled(self) -> bool:
+        return (self.config.span_mode != "none"
+                and self._suppress_depth.value == 0)
+
+    def _on_root(self, span: Span) -> None:
+        """Retention decision for a finished root span (the tracer's
+        ``on_root`` hook).  Must not raise: this runs inside
+        instrumented hot paths."""
+        self.registry.counter("obs.traces.finished").inc()
+        if span.duration * 1000.0 >= self.config.slow_trace_ms:
+            self.registry.counter("obs.traces.slow").inc()
+            with self._ring_lock:
+                self._slow_ring.append(span)
+        elif self.config.span_mode == "sampled" or self.sampler.sample():
+            # In sampled mode the head decision was already made at span
+            # creation — every surviving root was sampled.  In "all"
+            # mode the sampler decides retention here.
+            self.registry.counter("obs.traces.sampled").inc()
+            with self._ring_lock:
+                self._sampled_ring.append(span)
+
+    def sampled_traces(self) -> List[Span]:
+        """Head-sampled retained traces, oldest first."""
+        with self._ring_lock:
+            return list(self._sampled_ring)
+
+    def slow_traces(self) -> List[Span]:
+        """Tail-captured slow traces, oldest first."""
+        with self._ring_lock:
+            return list(self._slow_ring)
+
+    # -- query boundary -----------------------------------------------------
+
+    def record_query(self, plan: Any, profile: Any, elapsed_seconds: float,
+                     span: Optional[Span] = None) -> bool:
+        """Engine-boundary hook: SLO accounting plus slow-query capture.
+        Returns True when the query was captured as slow."""
+        violated = self.slo.record(elapsed_seconds)
+        if violated:
+            self.registry.counter("query.slo_violations").inc()
+        elapsed_ms = elapsed_seconds * 1000.0
+
+        def build_record() -> Dict[str, Any]:
+            record: Dict[str, Any] = {
+                "ts": self._clock(),
+                "elapsed_ms": elapsed_ms,
+            }
+            if plan is not None:
+                spec = getattr(plan, "spec", None)
+                record["plan"] = {
+                    "label": plan.label,
+                    "operators": list(plan.operator_names()),
+                    "spec": (dataclasses.asdict(spec)
+                             if dataclasses.is_dataclass(spec) else None),
+                }
+            if profile is not None:
+                record["profile"] = profile.as_dict()
+            if span is not None and getattr(span, "finished", False):
+                record["spans"] = spans_to_dicts([span])
+            return record
+
+        captured = self.slow_queries.consider(elapsed_ms, build_record)
+        if captured:
+            self.registry.counter("query.slow_captured").inc()
+        return captured
+
+    # -- reporting ----------------------------------------------------------
+
+    def uptime_seconds(self) -> float:
+        return max(0.0, self._clock() - self.started_at)
+
+    def status(self, recent_seconds: float = 60.0) -> Dict[str, Any]:
+        """One JSON-friendly snapshot of the runtime's own signals (the
+        data ``repro top`` renders alongside the registry)."""
+        with self._ring_lock:
+            sampled = len(self._sampled_ring)
+            slow = len(self._slow_ring)
+        counters = self.registry.counters()
+        return {
+            "uptime_seconds": self.uptime_seconds(),
+            "span_mode": self.config.span_mode,
+            "sample_rate": self.config.sample_rate,
+            "traces": {
+                "finished": counters.get("obs.traces.finished", 0),
+                "sampled_retained": sampled,
+                "slow_retained": slow,
+                "slow_threshold_ms": self.config.slow_trace_ms,
+            },
+            "slo": self.slo.status(recent_seconds),
+            "slow_queries": self.slow_queries.status(),
+        }
+
+    def prometheus_text(self, namespace: Optional[str] = "repro",
+                        histogram_mode: str = "summary") -> str:
+        """Scrape view: the registry plus derived SLO gauges."""
+        slo = self.slo.status()
+        self.registry.gauge("slo.compliance").set(slo["compliance"])
+        self.registry.gauge("slo.budget_remaining").set(
+            slo["budget_remaining"])
+        self.registry.gauge("slo.burn_rate").set(slo["burn_rate"])
+        return to_prometheus_text(self.registry, namespace, histogram_mode)
+
+    def dump_jsonl(self, handle: TextIO,
+                   include_windows: bool = True) -> int:
+        """Dump every instrument (plus its live windows) as JSON lines;
+        returns the number of lines written."""
+        count = 0
+        for name, counter in self.registry.counter_items():
+            record: Dict[str, Any] = {"type": "counter", "name": name,
+                                      "value": counter.value}
+            if include_windows and isinstance(counter, TimeSeriesCounter):
+                record["windows"] = counter.windows()
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        for name, gauge in self.registry.gauge_items():
+            handle.write(json.dumps({"type": "gauge", "name": name,
+                                     "value": gauge.value},
+                                    sort_keys=True) + "\n")
+            count += 1
+        for name, histogram in self.registry.histogram_items():
+            record = {"type": "histogram", "name": name,
+                      "summary": histogram.summary()}
+            if include_windows and isinstance(histogram, TimeSeriesHistogram):
+                record["windows"] = histogram.windows()
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        return count

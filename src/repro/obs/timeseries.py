@@ -1,0 +1,189 @@
+"""Time-series instruments: windowed metrics in fixed-size ring buffers.
+
+The point-in-time instruments in :mod:`repro.obs.metrics` answer "what
+happened since the process started"; a continuously running service
+needs "what is happening *now*".  The instruments here keep both views
+at once: each is a drop-in subclass of its cumulative counterpart (so
+the existing ``obs.inc``/``obs.observe`` call sites and the Prometheus
+exporter keep working untouched) that additionally lands every update in
+a wall-clock-aligned window inside a fixed-size ring buffer.  Memory is
+bounded by construction — ``num_windows`` slots per instrument, old
+windows overwritten in place — which is what makes the runtime layer
+safe to leave enabled in production paths indefinitely.
+
+* :class:`TimeSeriesHistogram` — one log-bucketed sketch per window;
+  per-window p50/p95/p99/max via :meth:`TimeSeriesHistogram.windows`,
+  merged multi-window aggregates via :meth:`TimeSeriesHistogram.recent`.
+* :class:`TimeSeriesCounter` — cumulative total plus per-window deltas,
+  from which :meth:`TimeSeriesCounter.rate` derives events/second over
+  any trailing span the ring still covers.
+
+Locking model: both subclasses reuse the parent instrument's single
+lock for the cumulative state *and* the ring-slot rotation, so one lock
+acquisition per update covers everything (see the locking notes in
+:mod:`repro.obs.metrics`).  Clocks are injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import (
+    DEFAULT_GROWTH,
+    Counter,
+    Histogram,
+    merge_histogram_states,
+)
+
+DEFAULT_WINDOW_SECONDS = 5.0
+DEFAULT_NUM_WINDOWS = 120  # ten minutes of 5s windows
+
+Clock = Callable[[], float]
+
+
+class TimeSeriesHistogram(Histogram):
+    """A :class:`Histogram` that also maintains per-window sketches.
+
+    Each observation updates the cumulative sketch and the sketch of the
+    wall-clock window ``floor(now / window_seconds)``; windows older
+    than ``num_windows`` are overwritten in place (ring buffer).
+    """
+
+    __slots__ = ("window_seconds", "num_windows", "_clock", "_ring")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH, *,
+                 window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 num_windows: int = DEFAULT_NUM_WINDOWS,
+                 clock: Optional[Clock] = None) -> None:
+        super().__init__(growth)
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0: {window_seconds}")
+        if num_windows < 1:
+            raise ValueError(f"num_windows must be >= 1: {num_windows}")
+        self.window_seconds = window_seconds
+        self.num_windows = num_windows
+        self._clock = clock if clock is not None else time.time
+        self._ring: List[Optional[Tuple[int, Histogram]]] = [None] * num_windows
+
+    def observe(self, value: float, now: Optional[float] = None) -> None:
+        if now is None:
+            now = self._clock()
+        index = int(now // self.window_seconds)
+        slot = index % self.num_windows
+        with self._lock:
+            self._observe_locked(value)
+            entry = self._ring[slot]
+            if entry is None or entry[0] != index:
+                window = Histogram(self.growth)
+                self._ring[slot] = (index, window)
+            else:
+                window = entry[1]
+        # The window sketch has its own lock; updating it outside the
+        # ring lock keeps the critical section minimal.  A concurrent
+        # rotation can orphan this sketch, losing at most one
+        # observation from a window that just expired.
+        window.observe(value)
+
+    def _live_entries(self, now: float) -> List[Tuple[int, Histogram]]:
+        current = int(now // self.window_seconds)
+        horizon = current - self.num_windows
+        with self._lock:
+            entries = [entry for entry in self._ring
+                       if entry is not None and horizon < entry[0] <= current]
+        return sorted(entries, key=lambda entry: entry[0])
+
+    def windows(self, now: Optional[float] = None) -> List[Dict[str, float]]:
+        """Per-window summaries (count/sum/min/max/mean/p50/p95/p99),
+        oldest first, each stamped with its ``window_start`` epoch."""
+        if now is None:
+            now = self._clock()
+        out: List[Dict[str, float]] = []
+        for index, window in self._live_entries(now):
+            summary = window.summary()
+            summary["window_start"] = index * self.window_seconds
+            summary["window_seconds"] = self.window_seconds
+            out.append(summary)
+        return out
+
+    def recent(self, seconds: float,
+               now: Optional[float] = None) -> Dict[str, float]:
+        """Merged summary over the windows intersecting the trailing
+        ``seconds`` (including the current partial window)."""
+        if now is None:
+            now = self._clock()
+        first = int((now - seconds) // self.window_seconds)
+        states = [window.export_state()
+                  for index, window in self._live_entries(now)
+                  if index >= first]
+        return merge_histogram_states(states, self.growth)
+
+
+class TimeSeriesCounter(Counter):
+    """A :class:`Counter` that also tracks per-window increments, from
+    which event rates are derived."""
+
+    __slots__ = ("window_seconds", "num_windows", "_clock", "_ring")
+
+    def __init__(self, *, window_seconds: float = DEFAULT_WINDOW_SECONDS,
+                 num_windows: int = DEFAULT_NUM_WINDOWS,
+                 clock: Optional[Clock] = None) -> None:
+        super().__init__()
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0: {window_seconds}")
+        if num_windows < 1:
+            raise ValueError(f"num_windows must be >= 1: {num_windows}")
+        self.window_seconds = window_seconds
+        self.num_windows = num_windows
+        self._clock = clock if clock is not None else time.time
+        self._ring: List[Optional[List[int]]] = [None] * num_windows
+
+    def inc(self, amount: int = 1, now: Optional[float] = None) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0: {amount}")
+        if now is None:
+            now = self._clock()
+        index = int(now // self.window_seconds)
+        slot = index % self.num_windows
+        with self._lock:
+            self._value += amount
+            entry = self._ring[slot]
+            if entry is None or entry[0] != index:
+                self._ring[slot] = [index, amount]
+            else:
+                entry[1] += amount
+
+    def _live_entries(self, now: float) -> List[Tuple[int, int]]:
+        current = int(now // self.window_seconds)
+        horizon = current - self.num_windows
+        with self._lock:
+            entries = [(entry[0], entry[1]) for entry in self._ring
+                       if entry is not None and horizon < entry[0] <= current]
+        return sorted(entries)
+
+    def windows(self, now: Optional[float] = None) -> List[Dict[str, float]]:
+        """Per-window deltas and rates, oldest first."""
+        if now is None:
+            now = self._clock()
+        return [{"window_start": index * self.window_seconds,
+                 "window_seconds": self.window_seconds,
+                 "delta": delta,
+                 "rate": delta / self.window_seconds}
+                for index, delta in self._live_entries(now)]
+
+    def rate(self, seconds: Optional[float] = None,
+             now: Optional[float] = None) -> float:
+        """Events per second over the trailing ``seconds`` (default: the
+        whole span the ring covers).  The current partial window counts
+        toward the numerator while the denominator stays ``seconds``, so
+        a just-started window slightly underestimates rather than spikes."""
+        if now is None:
+            now = self._clock()
+        if seconds is None:
+            seconds = self.window_seconds * self.num_windows
+        if seconds <= 0:
+            raise ValueError(f"rate span must be > 0: {seconds}")
+        first = int((now - seconds) // self.window_seconds)
+        total = sum(delta for index, delta in self._live_entries(now)
+                    if index >= first)
+        return total / seconds

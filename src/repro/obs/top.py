@@ -1,0 +1,152 @@
+"""`repro top`: a terminal dashboard over the runtime telemetry.
+
+Pure rendering — :func:`render_top` turns one snapshot of a
+:class:`~repro.obs.runtime.RuntimeTelemetry` (plus an optional health
+report and ingest-service status) into a fixed-width text frame; the
+CLI loop owns the clear-screen/redraw cadence.  Keeping the renderer
+side-effect-free makes it testable frame by frame.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .health import HealthReport, HealthStatus
+from .runtime import RuntimeTelemetry
+from .timeseries import TimeSeriesCounter, TimeSeriesHistogram
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Render values as a unicode sparkline, newest right, scaled to the
+    series maximum (all-zero/empty series render as flat baseline)."""
+    if not values:
+        return SPARK_CHARS[0] * min(width, 1)
+    tail = list(values)[-width:]
+    peak = max(tail)
+    if peak <= 0:
+        return SPARK_CHARS[0] * len(tail)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((value / peak) * top + 0.5))]
+        for value in tail)
+
+
+def _format_rate(rate: float) -> str:
+    if rate >= 1000:
+        return f"{rate / 1000:.1f}k/s"
+    return f"{rate:.1f}/s"
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if count < 1024 or unit == "GiB":
+            return f"{count:.0f}{unit}" if unit == "B" else f"{count:.1f}{unit}"
+        count /= 1024
+    return f"{count:.1f}GiB"
+
+
+def _counter_rate(runtime: RuntimeTelemetry, name: str,
+                  seconds: float) -> float:
+    counter = runtime.registry.find_counter(name)
+    if isinstance(counter, TimeSeriesCounter):
+        return counter.rate(seconds)
+    return 0.0
+
+
+def _counter_sparkline(runtime: RuntimeTelemetry, name: str,
+                       width: int) -> str:
+    counter = runtime.registry.find_counter(name)
+    if isinstance(counter, TimeSeriesCounter):
+        return sparkline([w["rate"] for w in counter.windows()], width)
+    return ""
+
+
+def render_top(runtime: RuntimeTelemetry,
+               health: Optional[HealthReport] = None,
+               service_status: Optional[Dict[str, Any]] = None,
+               width: int = 78,
+               recent_seconds: float = 30.0) -> str:
+    """One dashboard frame: throughput, tail latency, funnel, ingest and
+    health, all derived from the runtime's time-series registry."""
+    lines: List[str] = []
+    rule = "─" * width
+    status = runtime.status(recent_seconds)
+    lines.append(f"repro top — uptime {status['uptime_seconds']:.0f}s — "
+                 f"span_mode={status['span_mode']} "
+                 f"sample_rate={status['sample_rate']:g}")
+    lines.append(rule)
+
+    # throughput
+    qps = _counter_rate(runtime, "query.searches", recent_seconds)
+    ips = _counter_rate(runtime, "ingest.appends", recent_seconds)
+    lines.append(f"queries  {_format_rate(qps):>10}  "
+                 f"{_counter_sparkline(runtime, 'query.searches', 24)}")
+    lines.append(f"ingest   {_format_rate(ips):>10}  "
+                 f"{_counter_sparkline(runtime, 'ingest.appends', 24)}")
+
+    # latency
+    latency = runtime.registry.find_histogram("query.latency_seconds")
+    if isinstance(latency, TimeSeriesHistogram):
+        recent = latency.recent(recent_seconds)
+        lines.append(
+            f"latency  p50 {_format_ms(recent['p50']):>9}  "
+            f"p95 {_format_ms(recent['p95']):>9}  "
+            f"p99 {_format_ms(recent['p99']):>9}  "
+            f"max {_format_ms(recent['max']):>9}  "
+            f"(n={recent['count']:.0f}, last {recent_seconds:.0f}s)")
+        lines.append("         p95/window  " + sparkline(
+            [w["p95"] for w in latency.windows()], 32))
+
+    # funnel rates
+    funnel = []
+    for label, name in (("cand", "query.candidates"),
+                        ("scored", "query.users_scored"),
+                        ("pruned.g", "query.pruned.global"),
+                        ("pruned.h", "query.pruned.hot")):
+        funnel.append(
+            f"{label} {_format_rate(_counter_rate(runtime, name, recent_seconds))}")
+    lines.append("funnel   " + "  ".join(funnel))
+    lines.append(rule)
+
+    # slo + slow queries
+    slo = status["slo"]
+    lines.append(
+        f"SLO      {slo['target']:.0%} < {slo['latency_ms']:g}ms — "
+        f"compliance {slo['compliance']:.2%}, "
+        f"budget {slo['budget_remaining']:.1f}, "
+        f"burn {slo['burn_rate']:.2f}x")
+    slow = status["slow_queries"]
+    traces = status["traces"]
+    lines.append(
+        f"slow     {slow['captured']} queries ≥ {slow['threshold_ms']:g}ms "
+        f"captured ({slow['retained']} retained) — traces: "
+        f"{traces['finished']} finished, {traces['slow_retained']} slow, "
+        f"{traces['sampled_retained']} sampled")
+
+    # ingest service
+    if service_status is not None:
+        lines.append(rule)
+        generations = service_status.get("generations", [])
+        lines.append(
+            f"ingest   memtable {service_status.get('memtable_posts', 0)} posts"
+            f" / {_format_bytes(service_status.get('memtable_bytes', 0))}"
+            f" — {len(generations)} generations"
+            f" — next_lsn {service_status.get('next_lsn', 0)}")
+
+    # health
+    if health is not None:
+        lines.append(rule)
+        marks = {HealthStatus.OK: "+", HealthStatus.DEGRADED: "!",
+                 HealthStatus.CRITICAL: "x"}
+        parts = [f"[{marks[comp.status]}]{comp.name}"
+                 for comp in health.components]
+        lines.append(f"health   {health.verdict.value.upper():<9} "
+                     + " ".join(parts))
+
+    return "\n".join(line[:width] for line in lines)

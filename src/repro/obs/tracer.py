@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class Span:
@@ -134,12 +134,22 @@ class Tracer:
     Each thread gets its own open-span stack (spans started on a worker
     thread become top-level roots of that thread, tagged with the thread
     name), so MapReduce tasks running on a pool trace cleanly.
+
+    By default finished roots accumulate on the tracer until
+    :meth:`reset` — fine for profiling one query, unbounded for a
+    long-running service.  Installing an ``on_root`` callback redirects
+    every finished root to it instead of the internal list, letting the
+    runtime layer apply sampling and bounded retention.  The callback
+    runs on the thread that closed the span, outside the tracer lock; it
+    must be thread-safe and must not raise.
     """
 
-    def __init__(self) -> None:
+    def __init__(self,
+                 on_root: Optional[Callable[[Span], None]] = None) -> None:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: List[Span] = []
+        self.on_root = on_root
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -165,6 +175,13 @@ class Tracer:
         if stack:
             stack[-1].children.append(span)
         else:
+            self._finish_root(span)
+
+    def _finish_root(self, span: Span) -> None:
+        on_root = self.on_root
+        if on_root is not None:
+            on_root(span)
+        else:
             with self._lock:
                 self._roots.append(span)
 
@@ -186,8 +203,7 @@ class Tracer:
         if stack:
             stack[-1].children.append(span)
         else:
-            with self._lock:
-                self._roots.append(span)
+            self._finish_root(span)
         return span
 
     # -- inspection ---------------------------------------------------------

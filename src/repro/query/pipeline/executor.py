@@ -55,4 +55,11 @@ def run_plan(plan: PhysicalPlan, ctx: QueryContext, *,
         profile.threads_built = stats.threads_built
     if recorder is not None:
         recorder.finish(stats.elapsed_seconds)
+    runtime = obs.get_runtime()
+    if runtime is not None and recorder is not None:
+        # Engine-boundary telemetry hook: SLO accounting plus slow-query
+        # capture (plan + profile funnel + span tree when one was built).
+        captured_span = span if span is not obs.NULL_SPAN else None
+        runtime.record_query(plan, profile, stats.elapsed_seconds,
+                             captured_span)
     return QueryResult(users=ctx.users, stats=stats, profile=profile)

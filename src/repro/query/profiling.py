@@ -74,4 +74,26 @@ class ProfileRecorder:
             obs.inc("query.users_scored", profile.users_scored)
             obs.inc("query.pruned.global", profile.users_pruned_global)
             obs.inc("query.pruned.hot", profile.users_pruned_hot)
+            # Storage/index counters are bridged here as per-query
+            # deltas rather than incremented per page/block access —
+            # those paths run tens of thousands of times per query, and
+            # instrumenting each access is what an always-on telemetry
+            # runtime cannot afford.  The IOStats/IndexStats sources
+            # stay exact regardless of whether obs is enabled.
+            obs.inc("storage.page_reads", profile.pages_read)
+            obs.inc("storage.page_writes", profile.pages_written)
+            obs.inc("storage.cache_hits", profile.cache_hits)
+            obs.inc("storage.cache_misses", profile.cache_misses)
+            obs.inc("storage.evictions",
+                    sum(d["evictions"] for d in io_delta.values()))
+            obs.inc("index.postings_fetches", profile.postings_lists_fetched)
+            obs.inc("index.postings_entries_read",
+                    profile.postings_entries_read)
+            obs.inc("index.bytes_read", profile.index_bytes_read)
+            obs.inc("index.postings_bytes_decoded",
+                    profile.postings_bytes_decoded)
+            obs.inc("index.blocks_decoded", profile.blocks_decoded)
+            obs.inc("index.blocks_skipped", profile.blocks_skipped)
+            obs.inc("index.block_cache.hits", profile.block_cache_hits)
+            obs.inc("index.block_cache.misses", profile.block_cache_misses)
         return profile

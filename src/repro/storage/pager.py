@@ -218,18 +218,18 @@ class BufferPool:
 
     def get_page(self, page_no: int) -> Page:
         """Fetch a page (from cache or backend), pinned."""
+        # Per-access counts live in the always-on IOStats; the obs
+        # registry gets them bridged as per-query deltas (see
+        # ProfileRecorder.finish) so this hot path stays metric-free.
         page = self._frames.get(page_no)
         if page is not None:
             self._frames.move_to_end(page_no)
             page.pin_count += 1
             self.stats.record_hit()
-            obs.inc("storage.cache_hits")
             return page
         self.stats.record_miss()
-        obs.inc("storage.cache_misses")
         with obs.trace("storage.page_read", page_no=page_no):
             page = self._pager.read_page(page_no)
-        obs.inc("storage.page_reads")
         page.pin_count = 1
         self._install(page_no, page)
         return page
@@ -262,10 +262,8 @@ class BufferPool:
                 if victim.dirty:
                     self._pager.write_page(victim)
                     victim.dirty = False
-                    obs.inc("storage.page_writes")
                 del self._frames[victim_no]
                 self.stats.record_eviction()
-                obs.inc("storage.evictions")
                 return
         # All pages pinned: allow the pool to exceed capacity rather than
         # deadlock.  This mirrors what real buffer managers do under

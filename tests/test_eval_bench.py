@@ -151,9 +151,29 @@ class TestCommittedReport:
 
 class TestCli:
     def test_bench_command(self, tmp_path, capsys):
+        # --overhead-rounds 0 skips the telemetry-overhead measurement:
+        # at this tiny scale the ratio is pure noise and would trip the
+        # budget gate (the real budget is enforced on the committed
+        # full-scale report by the perf contract).
         out = tmp_path / "bench.json"
         assert main(["bench", "--users", "60", "--roots", "300",
-                     "--queries", "2", "--output", str(out)]) == 0
+                     "--queries", "2", "--overhead-rounds", "0",
+                     "--output", str(out)]) == 0
         with open(out) as handle:
-            assert validate_bench_report(json.load(handle)) == []
+            payload = json.load(handle)
+        assert validate_bench_report(payload) == []
+        assert "telemetry_overhead" not in payload
         assert "parity ok" in capsys.readouterr().out
+
+    def test_bench_command_measures_overhead(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--users", "60", "--roots", "300",
+                     "--queries", "2", "--overhead-rounds", "1",
+                     "--max-overhead", "1000", "--output", str(out)]) == 0
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert validate_bench_report(payload) == []
+        overhead = payload["telemetry_overhead"]
+        assert overhead["within_budget"] is True
+        assert overhead["overhead_ratio"] > 0
+        capsys.readouterr()

@@ -1,0 +1,188 @@
+"""Hammer tests: registry and time-series instruments under concurrent
+writers (ingest + query threads) with a live reader exporting snapshots.
+
+The locking model (documented in ``repro.obs.metrics``): the registry
+lock guards instrument *minting* only; each instrument owns its own lock
+for updates, so writers on different instruments never contend and a
+reader snapshot never blocks the write path for long.  These tests pin
+the load-bearing consequence — no lost updates, no torn snapshots."""
+
+import io
+import threading
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import RuntimeConfig, RuntimeRegistry, RuntimeTelemetry
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def _run_threads(worker):
+    threads = [threading.Thread(target=worker, args=(tid,))
+               for tid in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsRegistryHammer:
+    def test_no_lost_counter_updates(self):
+        registry = MetricsRegistry()
+
+        def worker(tid):
+            for _ in range(ITERATIONS):
+                registry.counter("shared").inc()
+                registry.counter(f"per_thread.{tid}").inc(2)
+
+        _run_threads(worker)
+        counters = registry.counters()
+        assert counters["shared"] == THREADS * ITERATIONS
+        for tid in range(THREADS):
+            assert counters[f"per_thread.{tid}"] == 2 * ITERATIONS
+
+    def test_histograms_and_gauges_under_contention(self):
+        registry = MetricsRegistry()
+
+        def worker(tid):
+            for i in range(ITERATIONS):
+                registry.histogram("latency").observe(0.001 * (tid + 1))
+                registry.gauge("depth").set(float(i))
+
+        _run_threads(worker)
+        summary = registry.histograms()["latency"]
+        assert summary["count"] == THREADS * ITERATIONS
+        assert 0.0 < registry.gauges()["depth"] <= ITERATIONS
+
+    def test_reader_snapshots_while_writers_run(self):
+        """Snapshots are not atomic *across* instruments (each has its
+        own lock), but every individual value must be monotone over
+        successive snapshots and bounded by the true total."""
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        violations = []
+
+        def reader():
+            last = {}
+            while not stop.is_set():
+                snapshot = registry.counters()
+                for name, value in snapshot.items():
+                    if value < last.get(name, 0):
+                        violations.append((name, last[name], value))
+                    if value > THREADS * ITERATIONS:
+                        violations.append((name, "overshoot", value))
+                last = snapshot
+
+        def writer(tid):
+            for _ in range(ITERATIONS):
+                registry.counter("a").inc()
+                registry.counter("b").inc()
+
+        observer = threading.Thread(target=reader)
+        observer.start()
+        _run_threads(writer)
+        stop.set()
+        observer.join()
+        assert violations == []
+        counters = registry.counters()
+        assert counters["a"] == counters["b"] == THREADS * ITERATIONS
+
+
+class TestRuntimeRegistryHammer:
+    def test_time_series_counters_do_not_lose_updates(self):
+        registry = RuntimeRegistry()
+
+        def worker(tid):
+            for _ in range(ITERATIONS):
+                registry.counter("ingest.appends").inc()
+                registry.histogram("query.latency_seconds").observe(0.005)
+
+        _run_threads(worker)
+        assert registry.counter("ingest.appends").value == (
+            THREADS * ITERATIONS)
+        assert registry.histogram(
+            "query.latency_seconds").summary()["count"] == (
+                THREADS * ITERATIONS)
+
+    def test_minting_race_returns_single_instance(self):
+        registry = RuntimeRegistry()
+        seen = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(tid):
+            barrier.wait()
+            seen.append(registry.counter("raced"))
+
+        _run_threads(worker)
+        assert len(set(map(id, seen))) == 1
+
+
+class TestFacadeHammer:
+    def test_ingest_and_query_shapes_through_facade(self):
+        """The realistic shape: ingest threads and query threads pushing
+        through the ``obs`` facade into one runtime while an exporter
+        thread dumps JSONL snapshots."""
+        runtime = obs.enable_runtime(RuntimeConfig(slow_query_ms=1e9))
+        stop = threading.Event()
+        export_errors = []
+
+        def exporter():
+            while not stop.is_set():
+                try:
+                    runtime.dump_jsonl(io.StringIO())
+                    runtime.prometheus_text()
+                except Exception as exc:  # pragma: no cover - failure path
+                    export_errors.append(exc)
+                    return
+
+        def ingest_worker(tid):
+            for _ in range(ITERATIONS):
+                obs.inc("ingest.appends")
+                obs.observe("ingest.wal_append_seconds", 0.0001)
+
+        def query_worker(tid):
+            for _ in range(ITERATIONS):
+                obs.inc("query.searches")
+                obs.observe("query.latency_seconds", 0.002)
+
+        observer = threading.Thread(target=exporter)
+        observer.start()
+        try:
+            threads = (
+                [threading.Thread(target=ingest_worker, args=(tid,))
+                 for tid in range(THREADS // 2)]
+                + [threading.Thread(target=query_worker, args=(tid,))
+                   for tid in range(THREADS // 2)])
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            stop.set()
+            observer.join()
+            obs.disable_runtime()
+        assert export_errors == []
+        counters = runtime.registry.counters()
+        assert counters["ingest.appends"] == (THREADS // 2) * ITERATIONS
+        assert counters["query.searches"] == (THREADS // 2) * ITERATIONS
+
+    def test_concurrent_traces_keep_thread_local_parents(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            sample_rate=1.0, slow_trace_ms=1e9, trace_ring=256))
+        bad_parents = []
+
+        def worker(tid):
+            for _ in range(200):
+                with runtime.trace_context("root", {"tid": tid}) as root:
+                    with runtime.trace_context("child", {}) as child:
+                        pass
+                # Parent links are thread-local: the child must land in
+                # THIS thread's root, and only that child.
+                if root.children != [child]:
+                    bad_parents.append((tid, [s.name for s in root.children]))
+
+        _run_threads(worker)
+        assert bad_parents == []
+        assert runtime.registry.counters()["obs.traces.finished"] == (
+            THREADS * 200)

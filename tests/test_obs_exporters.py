@@ -3,14 +3,21 @@
 import io
 import json
 
+import pytest
+
 from repro.obs.exporters import (
+    parse_spans_jsonl,
     render_metrics,
     render_span_tree,
     spans_to_dicts,
     to_prometheus_text,
     write_spans_jsonl,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import (
+    MetricsRegistry,
+    escape_label_value,
+    format_sample,
+)
 from repro.obs.tracer import Tracer
 
 
@@ -99,6 +106,107 @@ class TestPrometheusText:
 
     def test_empty_registry(self):
         assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestLabelEscaping:
+    """Prometheus text exposition conformance for label values."""
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("plain", "plain"),
+        ('say "hi"', 'say \\"hi\\"'),
+        ("back\\slash", "back\\\\slash"),
+        ("multi\nline", "multi\\nline"),
+        # Backslash must be escaped FIRST: a pre-escaped quote keeps a
+        # single backslash-escape per character, never a double hit.
+        ('\\"', '\\\\\\"'),
+        ("\\n", "\\\\n"),
+    ])
+    def test_escape_label_value(self, raw, expected):
+        assert escape_label_value(raw) == expected
+
+    def test_format_sample_escapes_and_sanitizes(self):
+        line = format_sample("m", {"path": 'a\\b"c', "bad-key": 1}, 3)
+        assert line == 'm{path="a\\\\b\\"c",bad_key="1"} 3'
+
+    def test_format_sample_without_labels(self):
+        assert format_sample("m", None, 2) == "m 2"
+
+
+class TestPrometheusHistogramMode:
+    """Real histogram exposition: buckets must be cumulative and end in
+    ``+Inf`` == ``_count``."""
+
+    def _bucket_lines(self, text, metric):
+        out = []
+        for line in text.splitlines():
+            if line.startswith(f"{metric}_bucket"):
+                le = line.split('le="')[1].split('"')[0]
+                out.append((le, float(line.rsplit(" ", 1)[1])))
+        return out
+
+    def test_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        for value in (0.0, 0.001, 0.002, 0.004, 0.5, 0.5, 3.0):
+            histogram.observe(value)
+        text = to_prometheus_text(registry, histogram_mode="histogram")
+        assert "# TYPE repro_latency histogram" in text
+        buckets = self._bucket_lines(text, "repro_latency")
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)          # non-decreasing
+        assert buckets[0] == ("0", 1.0)          # the zero observation
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 7.0
+        assert "repro_latency_count 7" in text
+        # Upper bounds (excluding the zero/+Inf rails) strictly increase.
+        uppers = [float(le) for le, _ in buckets[1:-1]]
+        assert uppers == sorted(uppers) and len(set(uppers)) == len(uppers)
+
+    def test_every_observation_within_its_bucket(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(0.123)
+        text = to_prometheus_text(registry, histogram_mode="histogram")
+        buckets = self._bucket_lines(text, "repro_h")
+        first_le = float(buckets[0][0])
+        assert first_le >= 0.123                 # le is an upper bound
+        assert buckets[0][1] == 1.0
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            to_prometheus_text(MetricsRegistry(), histogram_mode="wat")
+
+
+class TestJsonlRoundTrip:
+    def test_parse_rebuilds_identical_records(self):
+        roots, _ = _sample_trace(children=3)
+        handle = io.StringIO()
+        write_spans_jsonl(roots, handle)
+        handle.seek(0)
+        rebuilt = parse_spans_jsonl(handle)
+        assert spans_to_dicts(rebuilt) == spans_to_dicts(roots)
+
+    def test_parse_preserves_tree_shape_and_durations(self):
+        roots, root = _sample_trace(children=2)
+        handle = io.StringIO()
+        write_spans_jsonl(roots, handle)
+        handle.seek(0)
+        rebuilt = parse_spans_jsonl(handle)
+        assert len(rebuilt) == 1
+        clone = rebuilt[0]
+        assert clone.name == root.name
+        assert clone.attributes == root.attributes
+        assert [c.name for c in clone.children] == [
+            c.name for c in root.children]
+        assert clone.duration == pytest.approx(root.duration)
+        assert clone.wall_start == root.wall_start
+
+    def test_parse_skips_blank_lines(self):
+        roots, _ = _sample_trace(children=1)
+        handle = io.StringIO()
+        write_spans_jsonl(roots, handle)
+        handle.write("\n\n")
+        handle.seek(0)
+        assert len(parse_spans_jsonl(handle)) == 1
 
 
 class TestRenderMetrics:

@@ -1,0 +1,129 @@
+"""Tests for the health/SLO component model and the ingest probes."""
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.ingest import IngestConfig, IngestService
+from repro.obs.health import (
+    ComponentHealth,
+    HealthMonitor,
+    HealthReport,
+    HealthStatus,
+    HealthThresholds,
+    grade,
+)
+
+
+class TestGrade:
+    def test_higher_is_worse(self):
+        assert grade(1.0, warn=5.0, critical=30.0) is HealthStatus.OK
+        assert grade(5.0, warn=5.0, critical=30.0) is HealthStatus.DEGRADED
+        assert grade(30.0, warn=5.0, critical=30.0) is HealthStatus.CRITICAL
+
+    def test_lower_is_worse(self):
+        kwargs = dict(warn=0.5, critical=0.1, higher_is_worse=False)
+        assert grade(0.9, **kwargs) is HealthStatus.OK
+        assert grade(0.3, **kwargs) is HealthStatus.DEGRADED
+        assert grade(0.05, **kwargs) is HealthStatus.CRITICAL
+
+
+class TestHealthStatus:
+    def test_worst_picks_highest_severity(self):
+        assert HealthStatus.worst(
+            [HealthStatus.OK, HealthStatus.CRITICAL,
+             HealthStatus.DEGRADED]) is HealthStatus.CRITICAL
+        assert HealthStatus.worst([]) is HealthStatus.OK
+
+
+class TestHealthReport:
+    def _report(self):
+        return HealthReport(components=[
+            ComponentHealth("wal", HealthStatus.OK),
+            ComponentHealth("memtable", HealthStatus.DEGRADED,
+                            message="large", metrics={"bytes": 1}),
+        ])
+
+    def test_verdict_and_lookup(self):
+        report = self._report()
+        assert report.verdict is HealthStatus.DEGRADED
+        assert not report.healthy
+        assert report.component("wal").status is HealthStatus.OK
+        assert report.component("absent") is None
+
+    def test_as_dict_and_render(self):
+        report = self._report()
+        data = report.as_dict()
+        assert data["verdict"] == "degraded"
+        assert data["components"][1]["metrics"] == {"bytes": 1}
+        text = report.render_text()
+        assert "DEGRADED" in text and "memtable" in text
+
+
+class TestHealthMonitor:
+    def test_probe_exception_reports_critical(self):
+        monitor = HealthMonitor()
+        monitor.register("ok", lambda: ComponentHealth(
+            "ok", HealthStatus.OK))
+
+        def broken():
+            raise RuntimeError("probe exploded")
+
+        monitor.register("broken", broken)
+        report = monitor.run()
+        assert report.verdict is HealthStatus.CRITICAL
+        failed = report.component("broken")
+        assert failed.status is HealthStatus.CRITICAL
+        assert "probe exploded" in failed.message
+
+    def test_duplicate_registration_rejected(self):
+        monitor = HealthMonitor()
+        monitor.register("x", lambda: ComponentHealth("x", HealthStatus.OK))
+        with pytest.raises(ValueError):
+            monitor.register("x", lambda: ComponentHealth(
+                "x", HealthStatus.OK))
+
+
+class TestIngestServiceHealth:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        service = IngestService(
+            str(tmp_path / "ingest"),
+            ingest_config=IngestConfig(flush_posts=10_000))
+        yield service
+        service.close()
+
+    def test_fresh_service_is_healthy(self, service):
+        corpus = generate_corpus(num_users=20, num_root_tweets=80, seed=3)
+        for post in corpus.posts[:50]:
+            service.append(post)
+        report = service.health()
+        assert report.verdict is HealthStatus.OK
+        names = {component.name for component in report.components}
+        assert names == {"wal", "memtable", "generations", "block_cache",
+                         "recovery"}
+
+    def test_memtable_threshold_degrades(self, service):
+        corpus = generate_corpus(num_users=20, num_root_tweets=80, seed=3)
+        for post in corpus.posts[:50]:
+            service.append(post)
+        tight = HealthThresholds(memtable_bytes_warn=1,
+                                 memtable_bytes_critical=1 << 40)
+        report = service.health(tight)
+        assert report.component("memtable").status is HealthStatus.DEGRADED
+        assert report.verdict is HealthStatus.DEGRADED
+
+    def test_unsynced_records_graded(self, tmp_path):
+        service = IngestService(
+            str(tmp_path / "lazy"),
+            ingest_config=IngestConfig(flush_posts=10_000, sync_every=1000))
+        try:
+            corpus = generate_corpus(num_users=20, num_root_tweets=80,
+                                     seed=3)
+            for post in corpus.posts[:50]:
+                service.append(post)
+            tight = HealthThresholds(unsynced_records_warn=1,
+                                     unsynced_records_critical=1 << 30)
+            report = service.health(tight)
+            assert report.component("wal").status is HealthStatus.DEGRADED
+        finally:
+            service.close()

@@ -1,0 +1,327 @@
+"""Tests for the continuous telemetry runtime (sampling, retention,
+slow-query capture, SLO accounting, facade wiring)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.data.generator import generate_corpus
+from repro.obs.runtime import (
+    RuntimeConfig,
+    RuntimeRegistry,
+    RuntimeTelemetry,
+    SlowQueryLog,
+    SLOTracker,
+    TokenBucket,
+    TraceSampler,
+)
+from repro.obs.timeseries import TimeSeriesCounter, TimeSeriesHistogram
+from repro.query.engine import TkLUSEngine
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    yield
+    obs.disable()
+
+
+class TestRuntimeConfig:
+    def test_validates_span_mode(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(span_mode="verbose")
+
+    def test_validates_sample_rate(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(sample_rate=1.5)
+
+    def test_validates_rings(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(trace_ring=0)
+
+
+class TestTraceSampler:
+    def test_seeded_sampler_is_deterministic(self):
+        one = TraceSampler(0.5, seed=7)
+        two = TraceSampler(0.5, seed=7)
+        first = [one.sample() for _ in range(40)]
+        second = [two.sample() for _ in range(40)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_extremes_short_circuit(self):
+        assert all(TraceSampler(1.0).sample() for _ in range(10))
+        assert not any(TraceSampler(0.0).sample() for _ in range(10))
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_min=60.0, burst=3, clock=clock)
+        assert [bucket.allow() for _ in range(4)] == [True, True, True,
+                                                     False]
+        clock.advance(1.0)           # 60/min = 1 token per second
+        assert bucket.allow() is True
+        assert bucket.allow() is False
+
+    def test_capacity_is_capped(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_min=60.0, burst=2, clock=clock)
+        clock.advance(3600.0)        # long idle must not bank 3600 tokens
+        results = [bucket.allow() for _ in range(3)]
+        assert results == [True, True, False]
+
+
+class TestSlowQueryLog:
+    def test_fast_queries_do_not_build_records(self):
+        log = SlowQueryLog(threshold_ms=100.0, ring_size=4)
+        built = []
+        assert log.consider(5.0, lambda: built.append(1) or {}) is False
+        assert built == []
+        assert log.records() == []
+
+    def test_ring_is_bounded(self):
+        log = SlowQueryLog(threshold_ms=0.0, ring_size=3)
+        for i in range(10):
+            log.consider(1.0, lambda i=i: {"i": i})
+        records = log.records()
+        assert [r["i"] for r in records] == [7, 8, 9]
+        assert log.status()["captured"] == 10
+        assert log.status()["retained"] == 3
+
+    def test_sink_is_rate_limited(self, tmp_path):
+        clock = FakeClock()
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(threshold_ms=0.0, ring_size=64, path=str(path),
+                           rate_per_min=60.0, burst=2, clock=clock)
+        for i in range(5):
+            log.consider(1.0, lambda i=i: {"i": i})
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2       # burst capacity
+        assert log.status()["sink_dropped"] == 3
+        # The in-memory ring kept everything regardless.
+        assert len(log.records()) == 5
+
+
+class TestSLOTracker:
+    def test_budget_accounting(self):
+        clock = FakeClock()
+        slo = SLOTracker(latency_ms=100.0, target=0.9, clock=clock)
+        for _ in range(9):
+            assert slo.record(0.01) is False
+        assert slo.record(0.5) is True
+        status = slo.status()
+        assert status["total"] == 10
+        assert status["violations"] == 1
+        assert status["compliance"] == pytest.approx(0.9)
+        assert status["budget_allowed"] == pytest.approx(1.0)
+        assert status["budget_remaining"] == pytest.approx(0.0)
+        # 10% recent violations against a 10% allowance: burn rate 1.
+        assert status["burn_rate"] == pytest.approx(1.0)
+
+    def test_empty_tracker(self):
+        status = SLOTracker(latency_ms=100.0, target=0.99).status()
+        assert status["compliance"] == 1.0
+        assert status["burn_rate"] == 0.0
+
+
+class TestRuntimeRegistry:
+    def test_mints_time_series_instruments(self):
+        registry = RuntimeRegistry()
+        assert isinstance(registry.counter("c"), TimeSeriesCounter)
+        assert isinstance(registry.histogram("h"), TimeSeriesHistogram)
+        # Same instance on re-request (double-checked fast path).
+        assert registry.counter("c") is registry.counter("c")
+
+
+class TestRetention:
+    def test_slow_traces_always_retained(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            sample_rate=0.0, slow_trace_ms=0.0, seed=1))
+        with runtime.trace_context("query.search", {}):
+            pass
+        assert len(runtime.slow_traces()) == 1
+        assert runtime.registry.counters()["obs.traces.slow"] == 1
+
+    def test_unsampled_fast_traces_dropped_but_counted(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            sample_rate=0.0, slow_trace_ms=1e9, seed=1))
+        for _ in range(5):
+            with runtime.trace_context("query.search", {}):
+                pass
+        assert runtime.sampled_traces() == []
+        assert runtime.slow_traces() == []
+        assert runtime.registry.counters()["obs.traces.finished"] == 5
+
+    def test_rings_are_bounded(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            sample_rate=1.0, slow_trace_ms=1e9, trace_ring=4, seed=1))
+        for _ in range(20):
+            with runtime.trace_context("query.search", {}):
+                pass
+        assert len(runtime.sampled_traces()) == 4
+
+    def test_sampled_mode_suppresses_span_construction(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            span_mode="sampled", sample_rate=0.0, seed=1))
+        with runtime.trace_context("query.search", {}) as root:
+            # Children of an unsampled root must not become roots.
+            with runtime.trace_context("query.cover", {}) as child:
+                pass
+            assert child is obs.NULL_SPAN
+        assert root is obs.NULL_SPAN
+        assert runtime.registry.counters().get("obs.traces.finished", 0) == 0
+
+    def test_sampled_mode_builds_sampled_roots(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            span_mode="sampled", sample_rate=1.0, slow_trace_ms=1e9,
+            seed=1))
+        with runtime.trace_context("query.search", {}) as span:
+            pass
+        assert span is not obs.NULL_SPAN
+        assert len(runtime.sampled_traces()) == 1
+
+    def test_none_mode_builds_nothing(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(span_mode="none"))
+        with runtime.trace_context("query.search", {}) as span:
+            pass
+        assert span is obs.NULL_SPAN
+        assert runtime.event_enabled() is False
+
+
+class TestRecordQuery:
+    def test_slo_and_violation_counter(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            slo_latency_ms=100.0, slow_query_ms=1e9))
+        runtime.record_query(None, None, elapsed_seconds=0.5)
+        runtime.record_query(None, None, elapsed_seconds=0.01)
+        counters = runtime.registry.counters()
+        assert counters["query.slo_violations"] == 1
+        assert runtime.slo.status()["violations"] == 1
+
+
+class TestFacadeWiring:
+    def test_enable_runtime_installs_and_disable_restores(self):
+        assert obs.get_runtime() is None
+        runtime = obs.enable_runtime()
+        assert obs.get_runtime() is runtime
+        assert obs.is_enabled()
+        obs.disable_runtime()
+        assert obs.get_runtime() is None
+        assert not obs.is_enabled()
+
+    def test_enable_runtime_rejects_both_arguments(self):
+        with pytest.raises(ValueError):
+            obs.enable_runtime(RuntimeConfig(),
+                               runtime=RuntimeTelemetry())
+
+    def test_observed_restores_runtime(self):
+        runtime = obs.enable_runtime()
+        with obs.observed():
+            assert obs.get_runtime() is None
+        assert obs.get_runtime() is runtime
+        obs.disable_runtime()
+
+    def test_facade_metrics_flow_into_time_series(self):
+        obs.enable_runtime()
+        obs.inc("some.counter", 3)
+        obs.observe("some.latency", 0.25)
+        runtime = obs.get_runtime()
+        counter = runtime.registry.find_counter("some.counter")
+        assert isinstance(counter, TimeSeriesCounter)
+        assert counter.value == 3
+        assert counter.rate(60.0) > 0
+        obs.disable_runtime()
+
+
+class TestSlowQueryEndToEnd:
+    """A deliberately slow query (threshold 0) must capture plan,
+    profile funnel, and span tree — the PR's acceptance scenario."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        corpus = generate_corpus(num_users=60, num_root_tweets=300, seed=11)
+        engine = TkLUSEngine.from_posts(corpus.posts)
+        return engine, corpus.posts[0].location
+
+    def _query(self, setup):
+        engine, location = setup
+        return engine.make_query(location, 20.0, ["hotel"], k=5)
+
+    def test_capture_contains_plan_profile_and_spans(self, setup):
+        engine, _ = setup
+        runtime = obs.enable_runtime(RuntimeConfig(slow_query_ms=0.0))
+        try:
+            engine.search_max(self._query(setup))
+        finally:
+            obs.disable_runtime()
+        records = runtime.slow_queries.records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["elapsed_ms"] > 0
+        plan = record["plan"]
+        assert plan["label"]
+        assert plan["operators"]
+        assert plan["spec"]["method"] in ("sum", "max")
+        profile = record["profile"]
+        assert profile["candidates_examined"] == (
+            profile["users_pruned_global"] + profile["users_pruned_hot"]
+            + profile["users_scored"])
+        spans = record["spans"]
+        assert spans[0]["name"] == "query.search"
+        assert any(s["parent_id"] == spans[0]["span_id"] for s in spans[1:])
+        # The record is JSON-serialisable as the sink requires.
+        json.dumps(record, default=str)
+        assert runtime.registry.counters()["query.slow_captured"] == 1
+
+    def test_fast_threshold_captures_nothing(self, setup):
+        engine, _ = setup
+        runtime = obs.enable_runtime(RuntimeConfig(slow_query_ms=1e9))
+        try:
+            engine.search_max(self._query(setup))
+        finally:
+            obs.disable_runtime()
+        assert runtime.slow_queries.records() == []
+        assert runtime.slo.status()["total"] == 1
+
+
+class TestReporting:
+    def test_status_shape(self):
+        runtime = RuntimeTelemetry(RuntimeConfig())
+        status = runtime.status()
+        assert set(status) == {"uptime_seconds", "span_mode", "sample_rate",
+                               "traces", "slo", "slow_queries"}
+        assert status["span_mode"] == "all"
+
+    def test_prometheus_text_includes_slo_gauges(self):
+        runtime = RuntimeTelemetry(RuntimeConfig())
+        runtime.record_query(None, None, 0.01)
+        text = runtime.prometheus_text()
+        assert "repro_slo_compliance 1" in text
+        assert "repro_slo_burn_rate" in text
+
+    def test_dump_jsonl_round_trips(self):
+        runtime = RuntimeTelemetry(RuntimeConfig())
+        runtime.registry.counter("a").inc(2)
+        runtime.registry.histogram("b").observe(0.5)
+        handle = io.StringIO()
+        count = runtime.dump_jsonl(handle)
+        lines = handle.getvalue().strip().splitlines()
+        assert count == len(lines)
+        records = [json.loads(line) for line in lines]
+        by_name = {(r["type"], r["name"]): r for r in records}
+        assert by_name[("counter", "a")]["value"] == 2
+        assert by_name[("histogram", "b")]["summary"]["count"] == 1
+        assert "windows" in by_name[("counter", "a")]

@@ -1,0 +1,142 @@
+"""Tests for the time-series instruments (windowed rings)."""
+
+import pytest
+
+from repro.obs.timeseries import TimeSeriesCounter, TimeSeriesHistogram
+
+
+class FakeClock:
+    """Deterministic injectable clock."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTimeSeriesCounter:
+    def test_cumulative_value_matches_plain_counter(self):
+        clock = FakeClock()
+        counter = TimeSeriesCounter(window_seconds=5.0, num_windows=4,
+                                    clock=clock)
+        counter.inc()
+        counter.inc(9)
+        assert counter.value == 10
+
+    def test_windows_split_by_wall_clock(self):
+        clock = FakeClock(start=0.0)
+        counter = TimeSeriesCounter(window_seconds=5.0, num_windows=4,
+                                    clock=clock)
+        counter.inc(3)
+        clock.advance(5.0)           # next window
+        counter.inc(7)
+        windows = counter.windows()
+        assert [w["delta"] for w in windows] == [3, 7]
+        assert [w["window_start"] for w in windows] == [0.0, 5.0]
+        assert windows[1]["rate"] == pytest.approx(7 / 5.0)
+
+    def test_ring_overwrites_stale_slots(self):
+        clock = FakeClock(start=0.0)
+        counter = TimeSeriesCounter(window_seconds=1.0, num_windows=3,
+                                    clock=clock)
+        for i in range(6):           # six windows through a 3-slot ring
+            counter.inc()
+            if i < 5:
+                clock.advance(1.0)
+        windows = counter.windows()
+        # Only the last num_windows windows survive.
+        assert len(windows) == 3
+        assert [w["window_start"] for w in windows] == [3.0, 4.0, 5.0]
+        # The cumulative total still counts everything.
+        assert counter.value == 6
+
+    def test_rate_over_trailing_span(self):
+        clock = FakeClock(start=0.0)
+        counter = TimeSeriesCounter(window_seconds=1.0, num_windows=60,
+                                    clock=clock)
+        for _ in range(10):
+            counter.inc(2)
+            clock.advance(1.0)
+        # Last 5 seconds → windows 5..9, 2 events each.
+        assert counter.rate(5.0) == pytest.approx(2.0)
+        # The full span the ring covers.
+        assert counter.rate(60.0) == pytest.approx(20 / 60.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            TimeSeriesCounter(window_seconds=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesCounter(num_windows=0)
+        counter = TimeSeriesCounter()
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        with pytest.raises(ValueError):
+            counter.rate(0.0)
+
+
+class TestTimeSeriesHistogram:
+    def test_cumulative_summary_covers_all_windows(self):
+        clock = FakeClock(start=0.0)
+        histogram = TimeSeriesHistogram(window_seconds=5.0, num_windows=8,
+                                        clock=clock)
+        histogram.observe(1.0)
+        clock.advance(5.0)
+        histogram.observe(3.0)
+        summary = histogram.summary()
+        assert summary["count"] == 2
+        assert summary["sum"] == pytest.approx(4.0)
+
+    def test_per_window_summaries(self):
+        clock = FakeClock(start=0.0)
+        histogram = TimeSeriesHistogram(window_seconds=5.0, num_windows=8,
+                                        clock=clock)
+        for value in (0.010, 0.012, 0.014):
+            histogram.observe(value)
+        clock.advance(5.0)
+        histogram.observe(0.500)
+        windows = histogram.windows()
+        assert len(windows) == 2
+        assert windows[0]["count"] == 3
+        assert windows[0]["window_start"] == 0.0
+        assert windows[1]["count"] == 1
+        # Log-bucket quantiles carry ~5% relative error at growth 1.1.
+        assert windows[1]["p95"] == pytest.approx(0.500, rel=0.06)
+
+    def test_recent_merges_trailing_windows_only(self):
+        clock = FakeClock(start=0.0)
+        histogram = TimeSeriesHistogram(window_seconds=1.0, num_windows=60,
+                                        clock=clock)
+        histogram.observe(100.0)     # old outlier, window 0
+        clock.advance(30.0)
+        for _ in range(5):
+            histogram.observe(1.0)
+        merged = histogram.recent(10.0)
+        assert merged["count"] == 5
+        assert merged["max"] == pytest.approx(1.0, rel=0.06)
+        # A span reaching back to the start sees the outlier again.
+        assert histogram.recent(60.0)["count"] == 6
+
+    def test_stale_windows_rotate_out(self):
+        clock = FakeClock(start=0.0)
+        histogram = TimeSeriesHistogram(window_seconds=1.0, num_windows=2,
+                                        clock=clock)
+        histogram.observe(1.0)
+        clock.advance(10.0)          # far past the ring's horizon
+        histogram.observe(2.0)
+        windows = histogram.windows()
+        assert len(windows) == 1
+        assert windows[0]["window_start"] == 10.0
+
+    def test_zero_and_negative_observations(self):
+        clock = FakeClock()
+        histogram = TimeSeriesHistogram(window_seconds=5.0, num_windows=4,
+                                        clock=clock)
+        histogram.observe(0.0)
+        histogram.observe(5.0)
+        summary = histogram.recent(5.0)
+        assert summary["count"] == 2
+        assert summary["min"] == 0.0

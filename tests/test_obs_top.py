@@ -1,0 +1,75 @@
+"""Tests for the `repro top` frame renderer and sparklines."""
+
+from repro.obs.health import ComponentHealth, HealthReport, HealthStatus
+from repro.obs.runtime import RuntimeConfig, RuntimeTelemetry
+from repro.obs.top import SPARK_CHARS, render_top, sparkline
+
+
+class TestSparkline:
+    def test_empty_series_renders_baseline(self):
+        assert sparkline([]) == SPARK_CHARS[0]
+
+    def test_all_zero_series_is_flat(self):
+        assert sparkline([0.0, 0.0, 0.0]) == SPARK_CHARS[0] * 3
+
+    def test_scales_to_series_maximum(self):
+        line = sparkline([0.0, 5.0, 10.0])
+        assert len(line) == 3
+        assert line[0] == SPARK_CHARS[0]
+        assert line[2] == SPARK_CHARS[-1]
+        # The midpoint lands mid-ramp, strictly between the extremes.
+        assert SPARK_CHARS.index(line[1]) not in (0, len(SPARK_CHARS) - 1)
+
+    def test_width_keeps_newest_values(self):
+        line = sparkline([1.0] * 10 + [0.0, 0.0], width=4)
+        assert len(line) == 4
+        assert line[-1] == SPARK_CHARS[0]
+
+
+class TestRenderTop:
+    def _populated_runtime(self):
+        runtime = RuntimeTelemetry(RuntimeConfig(
+            slo_latency_ms=250.0, slow_query_ms=1e9))
+        registry = runtime.registry
+        registry.counter("query.searches").inc(12)
+        registry.counter("ingest.appends").inc(480)
+        registry.counter("query.candidates").inc(300)
+        registry.counter("query.users_scored").inc(40)
+        for value in (0.005, 0.009, 0.020):
+            registry.histogram("query.latency_seconds").observe(value)
+        runtime.record_query(None, None, elapsed_seconds=0.01)
+        return runtime
+
+    def test_frame_contains_all_sections(self):
+        runtime = self._populated_runtime()
+        health = HealthReport(components=[
+            ComponentHealth("wal", HealthStatus.OK),
+            ComponentHealth("memtable", HealthStatus.DEGRADED),
+        ])
+        service_status = {"memtable_posts": 7, "memtable_bytes": 2048,
+                          "generations": [{"number": 1}], "next_lsn": 99}
+        frame = render_top(runtime, health=health,
+                           service_status=service_status)
+        assert "repro top" in frame
+        assert "span_mode=all" in frame
+        assert "queries" in frame and "ingest" in frame
+        assert "p95" in frame and "p99" in frame
+        assert "SLO" in frame and "compliance" in frame
+        assert "memtable 7 posts" in frame
+        assert "1 generations" in frame
+        assert "DEGRADED" in frame
+        assert "[!]memtable" in frame and "[+]wal" in frame
+
+    def test_frame_without_optional_sections(self):
+        frame = render_top(self._populated_runtime())
+        assert "health" not in frame
+        assert "memtable" not in frame
+        assert "SLO" in frame
+
+    def test_width_truncates_every_line(self):
+        frame = render_top(self._populated_runtime(), width=40)
+        assert all(len(line) <= 40 for line in frame.splitlines())
+
+    def test_renders_counter_sparklines(self):
+        frame = render_top(self._populated_runtime())
+        assert any(char in frame for char in SPARK_CHARS[1:])
