@@ -373,6 +373,17 @@ def _cmd_ingest_status(args: argparse.Namespace) -> int:
     flushed = sum(entry["post_count"] for entry in generations)
     print(f"ingest directory {args.directory}")
     print(f"  generations: {len(generations)} ({flushed} posts flushed)")
+    tiers = {}
+    for entry in generations:
+        bucket = tiers.setdefault(int(entry.get("tier", 0)),
+                                  {"generations": 0, "posts": 0, "bytes": 0})
+        bucket["generations"] += 1
+        bucket["posts"] += int(entry["post_count"])
+        bucket["bytes"] += int(entry.get("size_bytes", 0))
+    for tier in sorted(tiers):
+        bucket = tiers[tier]
+        print(f"  tier {tier}: {bucket['generations']} generation(s), "
+              f"{bucket['posts']} posts, {bucket['bytes']} bytes")
     print(f"  last_flushed_lsn: {manifest.get('last_flushed_lsn', 0)}")
     print(f"  unflushed WAL records: {report.unflushed_records}"
           + (" (torn tail on final segment)" if report.torn_tail else ""))
@@ -385,6 +396,67 @@ def _cmd_ingest_status(args: argparse.Namespace) -> int:
         suffix = f" [{', '.join(flags)}]" if flags else ""
         print(f"  {segment['name']}: {segment['records']} records{suffix}")
     return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    import json
+
+    from .compaction import CompactionConfig
+    from .ingest import IngestError, IngestService
+
+    try:
+        service = IngestService(
+            args.directory,
+            compaction_config=CompactionConfig(
+                mode=args.mode, min_inputs=args.min_inputs,
+                max_inputs=args.max_inputs))
+    except IngestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if args.dry_run:
+            plan = service.compaction_plan()
+            payload = {
+                "tiers": service.tier_breakdown(),
+                "debt": service.compaction.debt(),
+                "plan": plan.describe() if plan is not None else None,
+            }
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(f"ingest directory {args.directory}")
+                for tier, bucket in payload["tiers"].items():
+                    print(f"  tier {tier}: {bucket['generations']} "
+                          f"generation(s), {bucket['posts']} posts, "
+                          f"{bucket['bytes']} bytes")
+                print(f"  compaction debt: {payload['debt']} generation(s)")
+                print(f"  next plan: {payload['plan'] or 'nothing to do'}")
+            return 0
+        before = service.tier_breakdown()
+        merges = service.compact(max_steps=args.max_steps)
+        after = service.tier_breakdown()
+        reclaimed = service.generations.drain()
+        payload = {
+            "merges_committed": merges,
+            "generations_before": sum(b["generations"]
+                                      for b in before.values()),
+            "generations_after": sum(b["generations"] for b in after.values()),
+            "reclaimed": reclaimed,
+            "tiers": after,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"compacted {args.directory}: {merges} merge(s), "
+                  f"{payload['generations_before']} -> "
+                  f"{payload['generations_after']} generations")
+            for tier, bucket in after.items():
+                print(f"  tier {tier}: {bucket['generations']} "
+                      f"generation(s), {bucket['posts']} posts, "
+                      f"{bucket['bytes']} bytes")
+        return 0
+    finally:
+        service.close()
 
 
 def _cmd_ingest_bench(args: argparse.Namespace) -> int:
@@ -746,6 +818,26 @@ def build_parser() -> argparse.ArgumentParser:
     ingest_status.add_argument("directory")
     ingest_status.add_argument("--json", action="store_true")
     ingest_status.set_defaults(func=_cmd_ingest_status)
+
+    compact = commands.add_parser(
+        "compact",
+        help="drive background compaction of an ingest directory to "
+             "quiescence")
+    compact.add_argument("directory", help="ingest directory (opened, "
+                                           "recovered if needed)")
+    compact.add_argument("--dry-run", action="store_true",
+                         help="show the tier shape, debt and next plan "
+                              "without merging anything")
+    compact.add_argument("--mode", choices=["tiered", "leveled"],
+                         default="tiered")
+    compact.add_argument("--min-inputs", type=int, default=4,
+                         help="tier members that trigger a merge")
+    compact.add_argument("--max-inputs", type=int, default=8,
+                         help="most generations merged at once")
+    compact.add_argument("--max-steps", type=int, default=10_000,
+                         help="abort if quiescence takes more steps")
+    compact.add_argument("--json", action="store_true")
+    compact.set_defaults(func=_cmd_compact)
 
     ingest_bench = commands.add_parser(
         "ingest-bench",

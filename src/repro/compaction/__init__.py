@@ -1,0 +1,46 @@
+"""Tiered background compaction over generational indexes.
+
+PR 5's ingest path flushes the memtable into ever-more block-format
+generations; every query then pays a merge cost linear in the
+generation count.  This package is the LSM answer: a *policy* decides
+which generations to merge (:mod:`.policy` — size-tiered by default,
+leveled as an option), a *lifecycle* layer makes the merge safe to run
+concurrently with reads (:mod:`.lifecycle` — immutable generation-set
+snapshots with epoch/refcount pinning, so a query never observes a
+half-swapped set and superseded files are reclaimed only once
+unpinned), and a *scheduler* interleaves bounded units of merge work
+with appends and queries, rate-limited against ingest pressure
+(:mod:`.scheduler`).
+
+The batch layer (:class:`~repro.index.generations.GenerationalIndex`)
+and the real-time layer (:class:`~repro.ingest.service.IngestService`)
+both resolve reads through this package's
+:class:`~.lifecycle.GenerationRegistry`; the crash-safe on-disk commit
+protocol (manifest schema v2 with tier/seq/lineage metadata, atomic
+tmp+rename, orphan-output discard on recovery) lives in the ingest
+service and is proven by the compaction kill-point matrix in
+``tests/test_compaction_recovery.py``.
+"""
+
+from .lifecycle import (GenerationLifecycleError, GenerationRegistry,
+                        GenerationSet, GenerationState, PinnedGenerations)
+from .policy import (CompactionPlan, CompactionPolicy, GenerationInfo,
+                     LeveledPolicy, SizeTieredPolicy, make_policy)
+from .scheduler import CompactionConfig, CompactionScheduler, CompactionStats
+
+__all__ = [
+    "CompactionConfig",
+    "CompactionPlan",
+    "CompactionPolicy",
+    "CompactionScheduler",
+    "CompactionStats",
+    "GenerationInfo",
+    "GenerationLifecycleError",
+    "GenerationRegistry",
+    "GenerationSet",
+    "GenerationState",
+    "LeveledPolicy",
+    "PinnedGenerations",
+    "SizeTieredPolicy",
+    "make_policy",
+]

@@ -1,0 +1,262 @@
+"""Generation lifecycle: states, immutable set snapshots, pinning.
+
+A generation moves through exactly one forward path::
+
+    ACTIVE ──> COMPACTING ──> SUPERSEDED ──> REMOVED
+                   │
+                   └──> ACTIVE          (compaction aborted)
+
+``ACTIVE`` generations serve reads and are eligible compaction inputs;
+``COMPACTING`` marks the inputs of an in-flight merge (still serving
+reads, no longer eligible for another plan); ``SUPERSEDED`` means the
+merged replacement is committed and this generation left the current
+set; ``REMOVED`` means its files are reclaimed.  Transitions outside
+the diagram raise :class:`GenerationLifecycleError` — the state machine
+is how the multi-step background merge stays auditable.
+
+Reads never walk a mutable generation list.  A
+:class:`GenerationRegistry` owns the **current** immutable
+:class:`GenerationSet` (a tuple plus an epoch number); readers
+:meth:`~GenerationRegistry.pin` the set for the duration of a query
+(extending the watermark idea of :mod:`repro.ingest.live` from "which
+LSNs are visible" to "which generations exist"), and a compaction
+commit :meth:`~GenerationRegistry.swap`\\ s in a new tuple atomically —
+an in-flight reader keeps its pinned tuple, so it can never observe a
+half-swapped set.  Superseded generations carry a reclaim callback
+(delete the generation directory, drop the DFS files) that the registry
+runs only once no pinned epoch can still reach them.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
+
+
+class GenerationLifecycleError(RuntimeError):
+    """An illegal state transition or registry misuse."""
+
+
+class GenerationState(enum.Enum):
+    """Where one generation sits in its compaction lifecycle."""
+
+    ACTIVE = "active"
+    COMPACTING = "compacting"
+    SUPERSEDED = "superseded"
+    REMOVED = "removed"
+
+
+#: Legal transitions (see the module docstring's diagram).
+_TRANSITIONS: Dict[GenerationState, Tuple[GenerationState, ...]] = {
+    GenerationState.ACTIVE: (GenerationState.COMPACTING,
+                             GenerationState.SUPERSEDED),
+    GenerationState.COMPACTING: (GenerationState.ACTIVE,
+                                 GenerationState.SUPERSEDED),
+    GenerationState.SUPERSEDED: (GenerationState.REMOVED,),
+    GenerationState.REMOVED: (),
+}
+
+
+def advance_state(current: GenerationState,
+                  target: GenerationState) -> GenerationState:
+    """Validate ``current -> target`` and return ``target``."""
+    if target not in _TRANSITIONS[current]:
+        raise GenerationLifecycleError(
+            f"illegal generation transition {current.value} -> {target.value}")
+    return target
+
+
+class GenerationSet:
+    """One immutable snapshot of the live generations: a tuple of items
+    plus the epoch at which it became current."""
+
+    __slots__ = ("epoch", "items")
+
+    def __init__(self, epoch: int, items: Tuple[Any, ...]) -> None:
+        self.epoch = epoch
+        self.items = items
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.items)
+
+    def __repr__(self) -> str:
+        return f"GenerationSet(epoch={self.epoch}, items={len(self.items)})"
+
+
+class PinnedGenerations:
+    """A pin on one :class:`GenerationSet`.
+
+    Constructed by :meth:`GenerationRegistry.pin`; call :meth:`release`
+    (or let it be garbage collected — a finalizer releases leaked pins)
+    once the reader is done, so reclamation of superseded generations
+    can proceed.
+    """
+
+    def __init__(self, registry: "GenerationRegistry",
+                 snapshot: GenerationSet) -> None:
+        self._registry = registry
+        self.snapshot = snapshot
+        self._released = False
+        self._finalizer = weakref.finalize(
+            self, registry._unpin_epoch, snapshot.epoch)
+
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        return self.snapshot.items
+
+    @property
+    def epoch(self) -> int:
+        return self.snapshot.epoch
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._finalizer()  # runs registry._unpin_epoch exactly once
+
+    def __enter__(self) -> "PinnedGenerations":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+
+class _Retired:
+    """One superseded item awaiting reclamation."""
+
+    __slots__ = ("item", "reclaim", "retire_epoch")
+
+    def __init__(self, item: Any, reclaim: Optional[Callable[[], None]],
+                 retire_epoch: int) -> None:
+        self.item = item
+        self.reclaim = reclaim
+        self.retire_epoch = retire_epoch
+
+
+class GenerationRegistry:
+    """Owner of the current :class:`GenerationSet` plus the deferred
+    reclaim queue.  Thread-safe: ``repro top`` drives appends (and thus
+    compaction steps) from a worker thread while the dashboard thread
+    reads status.
+    """
+
+    def __init__(self, items: Iterable[Any] = ()) -> None:
+        self._lock = threading.RLock()
+        self._current = GenerationSet(0, tuple(items))
+        self._pins: Dict[int, int] = {}      # epoch -> live pin count
+        self._retired: List[_Retired] = []
+        self.reclaimed_total = 0
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._current.epoch
+
+    @property
+    def items(self) -> Tuple[Any, ...]:
+        """The current item tuple (itself immutable, so safe to hand out
+        without a pin — but files it references may be reclaimed unless
+        the caller pins)."""
+        with self._lock:
+            return self._current.items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._current.items)
+
+    def __iter__(self) -> Iterator[Any]:
+        with self._lock:
+            return iter(self._current.items)
+
+    def pin(self) -> PinnedGenerations:
+        """Pin the current set; reclamation of anything it references is
+        deferred until the pin is released."""
+        with self._lock:
+            snapshot = self._current
+            self._pins[snapshot.epoch] = self._pins.get(snapshot.epoch, 0) + 1
+            return PinnedGenerations(self, snapshot)
+
+    @contextmanager
+    def pinned(self) -> Iterator[Tuple[Any, ...]]:
+        """``with registry.pinned() as items:`` — the query-path idiom."""
+        pin = self.pin()
+        try:
+            yield pin.items
+        finally:
+            pin.release()
+
+    def pin_count(self) -> int:
+        with self._lock:
+            return sum(self._pins.values())
+
+    # -- mutation -----------------------------------------------------------
+
+    def swap(self, items: Sequence[Any],
+             retired: Iterable[Tuple[Any, Optional[Callable[[], None]]]] = ()
+             ) -> GenerationSet:
+        """Install ``items`` as the new current set (atomically — one
+        reference assignment under the lock) and queue ``retired``
+        ``(item, reclaim_callback)`` pairs for deferred reclamation.
+        Returns the new set."""
+        with self._lock:
+            epoch = self._current.epoch + 1
+            self._current = GenerationSet(epoch, tuple(items))
+            for item, reclaim in retired:
+                self._retired.append(_Retired(item, reclaim, epoch))
+            self._drain_locked()
+            return self._current
+
+    def append(self, item: Any) -> GenerationSet:
+        """Swap in ``current + (item,)`` — the flush/ingest fast path."""
+        with self._lock:
+            return self.swap(self._current.items + (item,))
+
+    # -- reclamation --------------------------------------------------------
+
+    def pending_reclaim(self) -> int:
+        with self._lock:
+            return len(self._retired)
+
+    def drain(self) -> int:
+        """Reclaim every retired item no pinned epoch can still reach;
+        returns how many were reclaimed."""
+        with self._lock:
+            return self._drain_locked()
+
+    def _unpin_epoch(self, epoch: int) -> None:
+        with self._lock:
+            count = self._pins.get(epoch, 0) - 1
+            if count > 0:
+                self._pins[epoch] = count
+            else:
+                self._pins.pop(epoch, None)
+            self._drain_locked()
+
+    def _drain_locked(self) -> int:
+        # An item retired at swap-to-epoch E is visible only to sets
+        # with epoch < E; it is reclaimable once no pinned epoch is
+        # below E.  (Callers already hold the lock; re-entering the
+        # RLock here keeps the discipline checkable.)
+        with self._lock:
+            min_pinned = min(self._pins) if self._pins else None
+            reclaimed = 0
+            remaining: List[_Retired] = []
+            for record in self._retired:
+                if (min_pinned is not None
+                        and min_pinned < record.retire_epoch):
+                    remaining.append(record)
+                    continue
+                if record.reclaim is not None:
+                    record.reclaim()
+                reclaimed += 1
+            self._retired = remaining
+            self.reclaimed_total += reclaimed
+            return reclaimed

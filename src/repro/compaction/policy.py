@@ -1,0 +1,161 @@
+"""Compaction policies: which generations to merge, and into what tier.
+
+Policies are pure functions over :class:`GenerationInfo` metadata — no
+I/O, no index handles — so they are unit-testable in isolation and the
+same policy drives both the batch
+(:class:`~repro.index.generations.GenerationalIndex`) and real-time
+(:class:`~repro.ingest.service.IngestService`) layers.
+
+Two shapes are provided:
+
+* :class:`SizeTieredPolicy` (default) — generations of similar age
+  accumulate in a tier; once a tier holds ``min_inputs`` of them, the
+  oldest ``max_inputs`` merge into one generation of the next tier.
+  Write amplification stays low (each post is rewritten roughly once
+  per tier) at the cost of transiently holding several generations per
+  tier — the classic size-tiered trade.
+* :class:`LeveledPolicy` — every level above 0 holds at most one
+  generation; level 0 accumulates ``level0_trigger`` flushes and then
+  the whole level (plus the next level's resident generation, if any)
+  merges upward.  Read amplification is tightest (≤ one generation per
+  level) at the cost of rewriting the resident generation on every
+  promotion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GenerationInfo:
+    """The policy-visible metadata of one live generation."""
+
+    number: int
+    tier: int
+    seq: int            # global creation order (monotone across tiers)
+    size_bytes: int
+    post_count: int
+
+
+@dataclass(frozen=True)
+class CompactionPlan:
+    """One unit of compaction the policy wants executed: merge
+    ``inputs`` (generation numbers, oldest first) into a single new
+    generation at ``output_tier``."""
+
+    inputs: Tuple[int, ...]
+    output_tier: int
+    reason: str
+    input_posts: int
+    input_bytes: int
+
+    def describe(self) -> str:
+        gens = ", ".join(f"gen-{number:05d}" for number in self.inputs)
+        return (f"merge {len(self.inputs)} generations [{gens}] "
+                f"-> tier {self.output_tier} "
+                f"({self.input_posts} posts, {self.input_bytes} bytes): "
+                f"{self.reason}")
+
+
+class CompactionPolicy:
+    """Interface: inspect the live generation metadata, return the next
+    plan (or ``None`` when the shape is already acceptable)."""
+
+    name = "abstract"
+
+    def plan(self, infos: Sequence[GenerationInfo]
+             ) -> Optional[CompactionPlan]:
+        raise NotImplementedError
+
+
+def _by_tier(infos: Sequence[GenerationInfo]
+             ) -> Dict[int, List[GenerationInfo]]:
+    tiers: Dict[int, List[GenerationInfo]] = {}
+    for info in infos:
+        tiers.setdefault(info.tier, []).append(info)
+    for members in tiers.values():
+        members.sort(key=lambda info: info.seq)
+    return tiers
+
+
+def _make_plan(inputs: Sequence[GenerationInfo], output_tier: int,
+               reason: str) -> CompactionPlan:
+    return CompactionPlan(
+        inputs=tuple(info.number for info in inputs),
+        output_tier=output_tier,
+        reason=reason,
+        input_posts=sum(info.post_count for info in inputs),
+        input_bytes=sum(info.size_bytes for info in inputs),
+    )
+
+
+class SizeTieredPolicy(CompactionPolicy):
+    """Merge a tier once it holds ``min_inputs`` generations, taking at
+    most ``max_inputs`` of its oldest members.  Lower tiers are checked
+    first: they hold the freshest, smallest generations, so merging
+    them retires the most lookup overhead per byte rewritten."""
+
+    name = "tiered"
+
+    def __init__(self, min_inputs: int = 4, max_inputs: int = 8) -> None:
+        if min_inputs < 2:
+            raise ValueError(f"min_inputs must be >= 2: {min_inputs}")
+        if max_inputs < min_inputs:
+            raise ValueError(f"max_inputs {max_inputs} below "
+                             f"min_inputs {min_inputs}")
+        self.min_inputs = min_inputs
+        self.max_inputs = max_inputs
+
+    def plan(self, infos: Sequence[GenerationInfo]
+             ) -> Optional[CompactionPlan]:
+        for tier, members in sorted(_by_tier(infos).items()):
+            if len(members) >= self.min_inputs:
+                chosen = members[:self.max_inputs]
+                return _make_plan(
+                    chosen, tier + 1,
+                    f"tier {tier} holds {len(members)} generations "
+                    f"(trigger {self.min_inputs})")
+        return None
+
+
+class LeveledPolicy(CompactionPolicy):
+    """Level 0 accumulates flushes; every level above it holds at most
+    one resident generation.  Overflow at any level merges the whole
+    level plus the next level's resident into one generation there."""
+
+    name = "leveled"
+
+    def __init__(self, level0_trigger: int = 4) -> None:
+        if level0_trigger < 2:
+            raise ValueError(
+                f"level0_trigger must be >= 2: {level0_trigger}")
+        self.level0_trigger = level0_trigger
+
+    def plan(self, infos: Sequence[GenerationInfo]
+             ) -> Optional[CompactionPlan]:
+        tiers = _by_tier(infos)
+        for level, members in sorted(tiers.items()):
+            limit = self.level0_trigger if level == 0 else 1
+            if len(members) <= limit:
+                continue
+            inputs = list(members)
+            inputs.extend(tiers.get(level + 1, []))
+            inputs.sort(key=lambda info: info.seq)
+            return _make_plan(
+                inputs, level + 1,
+                f"level {level} holds {len(members)} generations "
+                f"(limit {limit}); promoting into level {level + 1}")
+        return None
+
+
+def make_policy(mode: str, *, min_inputs: int = 4, max_inputs: int = 8,
+                level0_trigger: int = 4) -> CompactionPolicy:
+    """Policy factory used by :class:`~.scheduler.CompactionConfig`."""
+    if mode == "tiered":
+        return SizeTieredPolicy(min_inputs=min_inputs, max_inputs=max_inputs)
+    if mode == "leveled":
+        return LeveledPolicy(level0_trigger=level0_trigger)
+    raise ValueError(f"unknown compaction mode {mode!r} "
+                     "(expected 'tiered' or 'leveled')")

@@ -1,0 +1,282 @@
+"""The incremental background compaction scheduler.
+
+There is no compaction thread: the scheduler owns a small state
+machine and performs **one bounded unit of work per step**, and the
+ingest service calls :meth:`CompactionScheduler.maybe_step` after each
+append — so merge work interleaves with the foreground workload
+instead of stalling it.  The units:
+
+1. **plan** — consult the policy over the live generation metadata;
+   if it returns a plan, mark the inputs ``COMPACTING``;
+2. **load** — read one input generation's retained posts (one
+   generation per step, so a wide merge spreads across many appends);
+3. **commit** — rebuild the merged posts into the output generation,
+   commit it, and retire the inputs (the one heavyweight unit — the
+   same cost as a flush, which already runs inline on the write path);
+4. **reclaim** — drop retired generations' files once no pinned reader
+   can reach them.
+
+Rate limiting: new compactions do not *start* while the active
+memtable is above ``backpressure_fraction`` of its flush threshold
+(ingest is already struggling; adding merge work would make it worse),
+but an in-flight merge keeps progressing — its units are bounded, and
+abandoning it would waste the work.
+
+The scheduler is deliberately ignorant of manifests, directories and
+DFS files: it drives an *executor* (the ingest service, or the
+in-memory adapter of :class:`~repro.index.generations.GenerationalIndex`)
+through the protocol documented on :class:`CompactionExecutor`.
+Crash-safety therefore lives entirely in the executor's commit step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .policy import CompactionPlan, CompactionPolicy, GenerationInfo, \
+    make_policy
+
+
+@dataclass
+class CompactionConfig:
+    """Policy and pacing knobs (see docs/INGESTION.md § Compaction)."""
+
+    enabled: bool = True
+    mode: str = "tiered"             # "tiered" | "leveled"
+    min_inputs: int = 4              # size-tiered: tier occupancy trigger
+    max_inputs: int = 8              # size-tiered: widest single merge
+    level0_trigger: int = 4          # leveled: level-0 occupancy trigger
+    backpressure_fraction: float = 0.75  # memtable fullness that defers plans
+    steps_per_append: int = 1        # work units attempted per append
+
+    def __post_init__(self) -> None:
+        self.build_policy()  # validates mode and the per-mode knobs
+        if not 0.0 < self.backpressure_fraction <= 1.0:
+            raise ValueError("backpressure_fraction must be in (0, 1]: "
+                             f"{self.backpressure_fraction}")
+        if self.steps_per_append < 1:
+            raise ValueError(
+                f"steps_per_append must be >= 1: {self.steps_per_append}")
+
+    def build_policy(self) -> CompactionPolicy:
+        return make_policy(self.mode, min_inputs=self.min_inputs,
+                           max_inputs=self.max_inputs,
+                           level0_trigger=self.level0_trigger)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "mode": self.mode,
+            "min_inputs": self.min_inputs,
+            "max_inputs": self.max_inputs,
+            "level0_trigger": self.level0_trigger,
+            "backpressure_fraction": self.backpressure_fraction,
+            "steps_per_append": self.steps_per_append,
+        }
+
+
+class CompactionExecutor:
+    """What the scheduler needs from the layer that owns generations.
+
+    Implementations: :class:`repro.ingest.service.IngestService` (the
+    durable, crash-safe one) and
+    :class:`repro.index.generations.GenerationalIndex` (in-memory batch
+    layer).  All methods run on the caller's thread.
+    """
+
+    def generation_infos(self) -> Sequence[GenerationInfo]:
+        """Metadata of every generation eligible for planning (i.e. in
+        the ``ACTIVE`` state)."""
+        raise NotImplementedError
+
+    def begin_compaction(self, plan: CompactionPlan) -> None:
+        """Mark the plan's inputs ``COMPACTING``."""
+        raise NotImplementedError
+
+    def abort_compaction(self, plan: CompactionPlan) -> None:
+        """Return the plan's inputs to ``ACTIVE`` (merge abandoned)."""
+        raise NotImplementedError
+
+    def load_generation_posts(self, number: int) -> Sequence[Any]:
+        """The retained posts of one input generation."""
+        raise NotImplementedError
+
+    def commit_compaction(self, plan: CompactionPlan,
+                          posts: Sequence[Any]) -> int:
+        """Materialise + commit the merged generation, retire the
+        inputs; returns the output generation number."""
+        raise NotImplementedError
+
+    def reclaim(self) -> int:
+        """Reclaim retired generations that are no longer pinned;
+        returns how many were reclaimed."""
+        raise NotImplementedError
+
+    def ingest_pressure(self) -> float:
+        """Foreground write pressure in ``[0, 1]`` (memtable fullness
+        relative to its flush threshold)."""
+        raise NotImplementedError
+
+
+@dataclass
+class CompactionStats:
+    """Lifetime counters of one scheduler."""
+
+    plans_started: int = 0
+    compactions_committed: int = 0
+    generations_merged: int = 0
+    posts_merged: int = 0
+    steps: int = 0
+    deferred_backpressure: int = 0
+    last_output: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "plans_started": self.plans_started,
+            "compactions_committed": self.compactions_committed,
+            "generations_merged": self.generations_merged,
+            "posts_merged": self.posts_merged,
+            "steps": self.steps,
+            "deferred_backpressure": self.deferred_backpressure,
+            "last_output": self.last_output,
+        }
+
+
+class _Task:
+    """One in-flight merge: the plan plus incremental load progress."""
+
+    __slots__ = ("plan", "pending", "posts")
+
+    def __init__(self, plan: CompactionPlan) -> None:
+        self.plan = plan
+        self.pending: List[int] = list(plan.inputs)
+        self.posts: List[Any] = []
+
+
+class CompactionScheduler:
+    """Drives one executor through incremental merge work units."""
+
+    def __init__(self, executor: CompactionExecutor,
+                 config: Optional[CompactionConfig] = None) -> None:
+        self.executor = executor
+        self.config = config or CompactionConfig()
+        self.policy = self.config.build_policy()
+        self.stats = CompactionStats()
+        self._task: Optional[_Task] = None
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def in_flight(self) -> Optional[CompactionPlan]:
+        return self._task.plan if self._task is not None else None
+
+    def plan_preview(self) -> Optional[CompactionPlan]:
+        """What the policy would do next (the ``--dry-run`` output);
+        the in-flight plan when a merge is mid-way."""
+        if self._task is not None:
+            return self._task.plan
+        return self.policy.plan(self.executor.generation_infos())
+
+    def debt(self) -> int:
+        """How many generations the policy wants merged right now if it
+        could run to completion — the health-probe backlog measure."""
+        infos = {info.number: info for info in
+                 self.executor.generation_infos()}
+        if self._task is not None:
+            for number in self._task.plan.inputs:
+                infos.pop(number, None)
+        merged = 0
+        # Simulate planning over shrinking metadata: each round replaces
+        # the plan's inputs with a synthetic merged generation.
+        synthetic = -1
+        for _round in range(64):  # defensive bound; real depth is tiny
+            plan = self.policy.plan(list(infos.values()))
+            if plan is None:
+                break
+            merged += len(plan.inputs)
+            chosen = [infos.pop(number) for number in plan.inputs]
+            infos[synthetic] = GenerationInfo(
+                number=synthetic, tier=plan.output_tier,
+                seq=max(info.seq for info in chosen),
+                size_bytes=sum(info.size_bytes for info in chosen),
+                post_count=sum(info.post_count for info in chosen))
+            synthetic -= 1
+        return merged
+
+    # -- stepping -----------------------------------------------------------
+
+    def maybe_step(self) -> int:
+        """The per-append hook: up to ``steps_per_append`` work units,
+        deferring *new* plans under ingest pressure.  Returns the number
+        of units actually performed."""
+        if not self.config.enabled:
+            return 0
+        performed = 0
+        for _ in range(self.config.steps_per_append):
+            if (self._task is None and self.executor.ingest_pressure()
+                    >= self.config.backpressure_fraction):
+                self.stats.deferred_backpressure += 1
+                break
+            if not self.step():
+                break
+            performed += 1
+        return performed
+
+    def step(self) -> bool:
+        """One bounded unit of work; returns False when idle with
+        nothing to plan (reclaim still drained)."""
+        self.stats.steps += 1
+        if self._task is None:
+            plan = self.policy.plan(self.executor.generation_infos())
+            if plan is None:
+                self.executor.reclaim()
+                return False
+            self.executor.begin_compaction(plan)
+            self._task = _Task(plan)
+            self.stats.plans_started += 1
+            return True
+        task = self._task
+        if task.pending:
+            number = task.pending.pop(0)
+            try:
+                task.posts.extend(self.executor.load_generation_posts(number))
+            except Exception:
+                self._task = None
+                self.executor.abort_compaction(task.plan)
+                raise
+            return True
+        try:
+            output = self.executor.commit_compaction(task.plan, task.posts)
+        finally:
+            # A crash inside commit abandons the in-memory service; a
+            # non-crash failure must not leave a phantom in-flight task.
+            self._task = None
+        self.stats.compactions_committed += 1
+        self.stats.generations_merged += len(task.plan.inputs)
+        self.stats.posts_merged += len(task.posts)
+        self.stats.last_output = output
+        self.executor.reclaim()
+        return True
+
+    def run_until_idle(self, max_steps: int = 10_000) -> int:
+        """Drive to quiescence (the manual ``repro compact`` path);
+        returns the number of compactions committed."""
+        before = self.stats.compactions_committed
+        for _ in range(max_steps):
+            if not self.step():
+                break
+        else:
+            raise RuntimeError(
+                f"compaction did not quiesce within {max_steps} steps")
+        return self.stats.compactions_committed - before
+
+    def status(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.config.enabled,
+            "mode": self.config.mode,
+            "in_flight": (self._task.plan.describe()
+                          if self._task is not None else None),
+            "debt": self.debt(),
+            **self.stats.as_dict(),
+        }

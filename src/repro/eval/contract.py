@@ -97,6 +97,14 @@ def _headlines() -> List[Headline]:
         key="ingest.recovery.posts_match", source="ingest",
         extract=lambda p: p["recovery"]["posts_match"],
         direction="exact"))
+    out.append(Headline(
+        key="ingest.compaction.read_amp_reduction", source="ingest",
+        extract=lambda p: p["compaction"]["read_amp_reduction"],
+        direction="higher", rel_tol=RATIO_TOL))
+    out.append(Headline(
+        key="ingest.compaction.results_identical", source="ingest",
+        extract=lambda p: p["compaction"]["results_identical"],
+        direction="exact"))
     return out
 
 
@@ -109,6 +117,7 @@ MUST_BE_TRUE = (
     "query.fig10_multi.results_identical",
     "query.telemetry.within_budget",
     "ingest.recovery.posts_match",
+    "ingest.compaction.results_identical",
 )
 
 

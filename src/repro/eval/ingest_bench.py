@@ -12,30 +12,41 @@ memtable, with flushes carving generations mid-run.  The phases:
    collecting per-query latencies;
 3. **recovery** — the service is closed and reopened, timing the WAL
    replay and verifying the recovered post count, so every committed
-   report also witnesses recovery working.
+   report also witnesses recovery working;
+4. **compaction long-run** — a write-heavy stream (small flushes, so
+   generations pile up) is ingested twice on identical data, once with
+   background compaction disabled and once enabled, then the same
+   query set runs against both.  The report records the mean
+   generations-probed-per-query read amplification of each side, the
+   reduction ratio (the headline: compaction must at least halve read
+   amplification), and whether the two sides' rankings are
+   byte-identical (same uids, bit-equal scores — compaction must never
+   change an answer).
 
 The report carries query-latency quantiles (p50/p95/p99), ingest
-metrics (appends/s, fsyncs, flush count, replayed records) and the
-workload seed; ``validate_ingest_bench_report`` is the schema gate CI
-runs against the committed ``BENCH_ingest.json`` and fresh smoke
-output.
+metrics (appends/s, fsyncs, flush count, replayed records), the
+compaction comparison and the workload seed;
+``validate_ingest_bench_report`` is the schema gate CI runs against
+the committed ``BENCH_ingest.json`` and fresh smoke output.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .. import obs
+from ..compaction import CompactionConfig
 from ..core.model import Semantics
 from ..data.generator import generate_corpus
 from ..data.queries import QueryWorkload
 from ..ingest import IngestConfig, IngestService
 from .bench import _quantile
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Ingest-side metric keys every report must carry.
 INGEST_METRIC_KEYS = (
@@ -69,6 +80,13 @@ class IngestBenchConfig:
     #: run with the continuous telemetry runtime installed, attaching
     #: its status and the service health verdict to the report
     telemetry: bool = False
+    #: compaction long-run phase: posts in the write-heavy stream
+    #: (capped at the corpus size), the deliberately small flush
+    #: threshold that piles up generations, and the queries measured
+    #: against each side of the enabled/disabled pair
+    compaction_posts: int = 1000
+    compaction_flush_posts: int = 100
+    compaction_queries: int = 12
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -84,13 +102,77 @@ class IngestBenchConfig:
             "k": self.k,
             "keywords_per_query": self.keywords_per_query,
             "telemetry": self.telemetry,
+            "compaction_posts": self.compaction_posts,
+            "compaction_flush_posts": self.compaction_flush_posts,
+            "compaction_queries": self.compaction_queries,
         }
+
+
+def _run_compaction_longrun(directory: str, config: IngestBenchConfig,
+                            posts, queries) -> Dict[str, object]:
+    """Phase 4: ingest the same write-heavy stream twice — background
+    compaction off, then on — and query both.
+
+    The small ``compaction_flush_posts`` threshold piles up many tier-0
+    generations; the disabled side must probe every one of them on each
+    postings lookup, the enabled side reads the merged tiers.  Returns
+    the per-side read-amplification summary plus the two headline
+    verdicts: ``read_amp_reduction`` (disabled mean ÷ enabled mean,
+    target ≥ 2x) and ``results_identical`` (same uids, bit-equal
+    scores on every query — compaction must never change an answer).
+    """
+    stream = list(posts[:config.compaction_posts])
+    sides: Dict[str, Dict[str, object]] = {}
+    rankings: Dict[str, List[object]] = {}
+    for label, enabled in (("disabled", False), ("enabled", True)):
+        service = IngestService(
+            os.path.join(directory, "compaction-longrun", label),
+            ingest_config=IngestConfig(
+                flush_posts=config.compaction_flush_posts,
+                sync_every=config.sync_every),
+            compaction_config=CompactionConfig(enabled=enabled))
+        for post in stream:
+            service.append(post)
+        engine = service.build_query_engine()
+        probed: List[int] = []
+        answers: List[object] = []
+        for query in queries:
+            result = engine.search_max(query)
+            probed.append(result.profile.generations_probed
+                          if result.profile is not None else 0)
+            answers.append(result.users)
+        status = service.status()
+        sides[label] = {
+            "generations": len(status["generations"]),
+            "tiers": {tier: info["generations"]
+                      for tier, info in service.tier_breakdown().items()},
+            "compactions": service.compaction.stats.compactions_committed,
+            "mean_generations_probed":
+                round(sum(probed) / len(probed), 3) if probed else 0.0,
+        }
+        rankings[label] = answers
+        service.close()
+
+    disabled_mean = sides["disabled"]["mean_generations_probed"]
+    enabled_mean = sides["enabled"]["mean_generations_probed"]
+    reduction = (round(disabled_mean / enabled_mean, 3)
+                 if enabled_mean else 0.0)
+    identical = rankings["disabled"] == rankings["enabled"]
+    return {
+        "posts": len(stream),
+        "queries": len(queries),
+        "disabled": sides["disabled"],
+        "enabled": sides["enabled"],
+        "read_amp_reduction": reduction,
+        "results_identical": identical,
+        "meets_target": bool(identical and reduction >= 2.0),
+    }
 
 
 def run_ingest_bench(directory: str,
                      config: Optional[IngestBenchConfig] = None
                      ) -> Dict[str, object]:
-    """Run the three phases against ``directory`` (which must be empty
+    """Run the four phases against ``directory`` (which must be empty
     or absent) and return the report payload."""
     if config is None:
         config = IngestBenchConfig()
@@ -163,6 +245,15 @@ def run_ingest_bench(directory: str,
     recovered_posts = len(recovered.database)
     recovered.close()
 
+    # Phase 4: the compaction long-run A/B (fresh directories, fresh
+    # query set — independent of the phases above).
+    compaction_queries = QueryWorkload(corpus, seed=config.seed + 1) \
+        .make_queries(config.keywords_per_query, config.radius_km,
+                      k=config.k, semantics=Semantics.OR,
+                      limit=config.compaction_queries)
+    compaction = _run_compaction_longrun(directory, config, posts,
+                                         compaction_queries)
+
     return {
         "schema_version": SCHEMA_VERSION,
         "seed": config.seed,
@@ -193,6 +284,7 @@ def run_ingest_bench(directory: str,
             "posts_match": recovered_posts == total_appends,
             "generations_loaded": recovery["generations_loaded"],
         },
+        "compaction": compaction,
         "stream_exhausted": exhausted,
         **({"telemetry": telemetry} if telemetry is not None else {}),
     }
@@ -258,6 +350,34 @@ def validate_ingest_bench_report(payload: object) -> List[str]:
                     and not isinstance(value, bool)):
                 note(f"recovery.{key} must be a non-negative integer")
 
+    compaction = payload.get("compaction")
+    if not isinstance(compaction, dict):
+        note("compaction must be an object")
+    else:
+        for side in ("disabled", "enabled"):
+            mode = compaction.get(side)
+            if not isinstance(mode, dict):
+                note(f"compaction.{side} must be an object")
+                continue
+            count = mode.get("generations")
+            if not (isinstance(count, int) and count >= 0
+                    and not isinstance(count, bool)):
+                note(f"compaction.{side}.generations must be a "
+                     "non-negative integer")
+            mean = mode.get("mean_generations_probed")
+            if not (isinstance(mean, (int, float)) and mean >= 0):
+                note(f"compaction.{side}.mean_generations_probed must be "
+                     "a non-negative number")
+        reduction = compaction.get("read_amp_reduction")
+        if not (isinstance(reduction, (int, float)) and reduction >= 0):
+            note("compaction.read_amp_reduction must be a non-negative "
+                 "number")
+        if compaction.get("results_identical") is not True:
+            note("compaction.results_identical must be true — compaction "
+                 "changed a query answer")
+        if not isinstance(compaction.get("meets_target"), bool):
+            note("compaction.meets_target must be a boolean")
+
     telemetry = payload.get("telemetry")
     if telemetry is not None:
         if not isinstance(telemetry, dict):
@@ -279,6 +399,7 @@ def render_ingest_summary(payload: Dict[str, object]) -> str:
     latency = payload["query_latency_ms"]
     ingest = payload["ingest"]
     recovery = payload["recovery"]
+    compaction = payload["compaction"]
     return "\n".join([
         f"mixed workload: {latency['queries']} queries over "  # type: ignore[index]
         f"{ingest['appends']} appends",  # type: ignore[index]
@@ -292,6 +413,11 @@ def render_ingest_summary(payload: Dict[str, object]) -> str:
         f"  recovery replayed {ingest['replayed_records']} records "  # type: ignore[index]
         f"in {recovery['seconds']}s "  # type: ignore[index]
         f"({'ok' if recovery['posts_match'] else 'MISMATCH'})",  # type: ignore[index]
+        f"  compaction read amp "
+        f"{compaction['disabled']['mean_generations_probed']}"  # type: ignore[index]
+        f" -> {compaction['enabled']['mean_generations_probed']}"  # type: ignore[index]
+        f" generations/query ({compaction['read_amp_reduction']}x, "  # type: ignore[index]
+        f"{'identical' if compaction['results_identical'] else 'DIVERGED'})",  # type: ignore[index]
     ])
 
 

@@ -15,19 +15,31 @@ updates (contrast with the real-time systems of Section VII-B).
   live generation (tweets are globally unique, so the merge is a simple
   sorted union);
 * ``compact()`` — rebuilds all live generations into a single one,
-  reclaiming per-generation lookup overhead (the paper's daily rebuild).
+  reclaiming per-generation lookup overhead (the paper's daily rebuild);
+* ``compaction_scheduler()`` — the incremental alternative: a
+  :class:`~repro.compaction.CompactionScheduler` running a size-tiered
+  (or leveled) policy over this index, merging a few generations at a
+  time instead of rebuilding the world.
 
-Queries through :class:`GenerationalIndex` are answer-identical to a
-single monolithic build over the concatenated batches — a fact the tests
-verify.
+Reads resolve through an immutable generation-set snapshot owned by a
+:class:`~repro.compaction.GenerationRegistry`: a query pins the set it
+starts with, a concurrent compaction commit swaps in the replacement
+set atomically, and the superseded generations' DFS files are deleted
+only once no pinned reader can still reach them.  Queries through
+:class:`GenerationalIndex` are answer-identical to a single monolithic
+build over the concatenated batches — a fact the tests verify.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..compaction import (CompactionConfig, CompactionPlan,
+                          CompactionScheduler, GenerationInfo,
+                          GenerationRegistry, GenerationState)
+from ..compaction.lifecycle import advance_state
+from ..compaction.scheduler import CompactionExecutor
 from ..core.model import Post
 from ..dfs.cluster import DFSCluster
 from ..geo.cover import circle_cover
@@ -40,16 +52,78 @@ from .postings import Posting, merge_postings
 
 @dataclass
 class Generation:
-    """One ingested batch.
+    """One ingested batch (or the merged output of a compaction).
 
     ``posts`` retains the batch itself (immutable) when the owning
     index runs with ``retain_batches=True`` — what makes ``compact()``
-    self-sufficient; ``None`` when retention is off."""
+    self-sufficient; ``None`` when retention is off.
+
+    ``tier``/``seq``/``size_bytes`` are the compaction policy's
+    planning metadata (flushes land in tier 0; merges promote upward;
+    ``seq`` is global creation order).  ``state`` tracks the lifecycle
+    (active → compacting → superseded → removed) and
+    ``source_generations`` records merge lineage."""
 
     number: int
     index: HybridIndex
     post_count: int
     posts: Optional[Tuple[Post, ...]] = None
+    tier: int = 0
+    seq: int = 0
+    size_bytes: int = 0
+    state: GenerationState = GenerationState.ACTIVE
+    source_generations: Tuple[int, ...] = ()
+
+    def advance(self, target: GenerationState) -> None:
+        """Move to ``target``, validating the transition."""
+        self.state = advance_state(self.state, target)
+
+    def info(self) -> GenerationInfo:
+        return GenerationInfo(number=self.number, tier=self.tier,
+                              seq=self.seq, size_bytes=self.size_bytes,
+                              post_count=self.post_count)
+
+
+class _BatchExecutor(CompactionExecutor):
+    """Adapter exposing a :class:`GenerationalIndex` to the scheduler."""
+
+    def __init__(self, owner: "GenerationalIndex") -> None:
+        self.owner = owner
+
+    def generation_infos(self) -> List[GenerationInfo]:
+        return [generation.info() for generation in self.owner.registry
+                if generation.state is GenerationState.ACTIVE]
+
+    def begin_compaction(self, plan: CompactionPlan) -> None:
+        for generation in self.owner._generations_by_number(plan.inputs):
+            generation.advance(GenerationState.COMPACTING)
+
+    def abort_compaction(self, plan: CompactionPlan) -> None:
+        for generation in self.owner._generations_by_number(plan.inputs):
+            generation.advance(GenerationState.ACTIVE)
+
+    def load_generation_posts(self, number: int) -> Sequence[Post]:
+        (generation,) = self.owner._generations_by_number([number])
+        if generation.posts is None:
+            raise ValueError(
+                f"compaction needs retained batches, but generation "
+                f"{number} was ingested with retain_batches=False")
+        return generation.posts
+
+    def commit_compaction(self, plan: CompactionPlan,
+                          posts: Sequence[Post]) -> int:
+        inputs = self.owner._generations_by_number(plan.inputs)
+        output = self.owner._build_generation(
+            list(posts), tier=plan.output_tier,
+            sources=tuple(plan.inputs))
+        self.owner._commit_merge(inputs, output)
+        return output.number
+
+    def reclaim(self) -> int:
+        return self.owner.registry.drain()
+
+    def ingest_pressure(self) -> float:
+        return 0.0  # the batch layer has no memtable to protect
 
 
 class GenerationalIndex:
@@ -68,9 +142,13 @@ class GenerationalIndex:
         self.analyzer = analyzer if analyzer is not None else Analyzer()
         self.base_config = config if config is not None else IndexConfig()
         self.retain_batches = retain_batches
-        self._generations: List[Generation] = []
+        self.registry = GenerationRegistry()
         self._next_number = 0
+        self._next_seq = 0
         self.compactions = 0
+        # Read-amplification accounting for lookups through this index
+        # (per-generation fetch counters live on the member indexes).
+        self._merge_stats = IndexStats()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -86,33 +164,65 @@ class GenerationalIndex:
             block_size=self.base_config.block_size,
         )
 
-    def ingest(self, posts: Iterable[Post]) -> Generation:
-        """Build one new generation from a batch of posts."""
-        posts = list(posts)
+    def _build_generation(self, posts: List[Post], tier: int,
+                          sources: Tuple[int, ...] = ()) -> Generation:
+        """Build a generation's index and metadata without publishing it
+        to the registry — the caller decides how it enters the set."""
         if not posts:
-            raise ValueError("cannot ingest an empty batch")
+            raise ValueError("cannot build an empty generation")
         number = self._next_number
         self._next_number += 1
+        seq = self._next_seq
+        self._next_seq += 1
         config = self._generation_config(number)
         forward, _result = build_hybrid_index(posts, self.cluster,
                                               self.analyzer, config)
         index = HybridIndex(forward, self.cluster, config, self.analyzer)
-        generation = Generation(number, index, len(posts),
-                                tuple(posts) if self.retain_batches else None)
-        self._generations.append(generation)
+        return Generation(
+            number=number, index=index, post_count=len(posts),
+            posts=tuple(posts) if self.retain_batches else None,
+            tier=tier, seq=seq,
+            size_bytes=index.inverted_size_bytes() + index.forward_size_bytes(),
+            source_generations=sources)
+
+    def ingest(self, posts: Iterable[Post]) -> Generation:
+        """Build one new tier-0 generation from a batch of posts."""
+        posts = list(posts)
+        if not posts:
+            raise ValueError("cannot ingest an empty batch")
+        generation = self._build_generation(posts, tier=0)
+        self.registry.append(generation)
         return generation
+
+    def restore_generation(self, generation: Generation) -> None:
+        """Re-publish a generation rebuilt from persisted state (the
+        :mod:`repro.query.persistence` load path).  Advances the number
+        and seq counters past the restored metadata."""
+        self._next_number = max(self._next_number, generation.number + 1)
+        self._next_seq = max(self._next_seq, generation.seq + 1)
+        self.registry.append(generation)
 
     @property
     def generations(self) -> List[Generation]:
-        return list(self._generations)
+        return list(self.registry.items)
 
     @property
     def generation_count(self) -> int:
-        return len(self._generations)
+        return len(self.registry)
 
     @property
     def post_count(self) -> int:
-        return sum(generation.post_count for generation in self._generations)
+        return sum(generation.post_count for generation in self.registry)
+
+    def _generations_by_number(self, numbers: Iterable[int]
+                               ) -> List[Generation]:
+        by_number = {generation.number: generation
+                     for generation in self.registry.items}
+        try:
+            return [by_number[number] for number in numbers]
+        except KeyError as exc:
+            raise ValueError(
+                f"unknown generation number {exc.args[0]}") from None
 
     # -- queries (HybridIndex-compatible surface) ----------------------------
 
@@ -125,106 +235,145 @@ class GenerationalIndex:
         return circle_cover(location, radius_km,
                             self.base_config.geohash_length, metric)
 
-    def postings(self, cell: str, term: str) -> Sequence[Posting]:
-        """Merged tid-sorted postings across all generations.
-
-        A single live generation hands through its (lazy, immutable)
-        view untouched; multiple generations merge into a fresh list."""
+    def _merged_postings(self, generations: Sequence[Generation],
+                         cell: str, term: str) -> Sequence[Posting]:
         per_generation = [generation.index.postings(cell, term)
-                          for generation in self._generations]
+                          for generation in generations]
         non_empty = [postings for postings in per_generation if postings]
+        self._merge_stats.generations_probed += len(generations)
+        self._merge_stats.postings_sources_merged += len(non_empty)
         if not non_empty:
             return ()
         if len(non_empty) == 1:
             return non_empty[0]
         return merge_postings(non_empty)
 
+    def postings(self, cell: str, term: str) -> Sequence[Posting]:
+        """Merged tid-sorted postings across all generations.
+
+        A single live generation hands through its (lazy, immutable)
+        view untouched; multiple generations merge into a fresh list."""
+        with self.registry.pinned() as generations:
+            return self._merged_postings(generations, cell, term)
+
     def postings_for_query(self, cells: List[str], terms: List[str]
                            ) -> Dict[str, Dict[str, Sequence[Posting]]]:
+        """All (cell, term) postings under **one** pinned generation
+        set, so a concurrent compaction commit cannot give different
+        lookups of the same query different views."""
         result: Dict[str, Dict[str, Sequence[Posting]]] = {}
-        for cell in cells:
-            per_term: Dict[str, Sequence[Posting]] = {}
-            for term in terms:
-                postings = self.postings(cell, term)
-                if postings:
-                    per_term[term] = postings
-            if per_term:
-                result[cell] = per_term
+        with self.registry.pinned() as generations:
+            for cell in cells:
+                per_term: Dict[str, Sequence[Posting]] = {}
+                for term in terms:
+                    postings = self._merged_postings(generations, cell, term)
+                    if postings:
+                        per_term[term] = postings
+                if per_term:
+                    result[cell] = per_term
         return result
 
     def postings_fetch_count(self) -> int:
         """Summed fetch counter across generations (the
         ``PostingsSource`` accounting hook)."""
         return sum(generation.index.stats.postings_fetches
-                   for generation in self._generations)
+                   for generation in self.registry)
 
-    # -- compaction ------------------------------------------------------------
+    # -- compaction ---------------------------------------------------------
 
-    def compact(self, posts: Optional[Iterable[Post]] = None) -> Generation:
-        """Merge all generations into one fresh build (the paper's
-        daily rebuild).  Old generations' DFS files are deleted.
-
-        With no argument the rebuild concatenates the retained
-        per-generation batches, so callers no longer have to re-supply
-        every post they ever ingested.  Passing ``posts`` explicitly is
-        deprecated (the historical API, which forced callers to keep
-        their own copy of the corpus) but still honoured as an
-        override.
-        """
-        if posts is not None:
-            warnings.warn(
-                "compact(posts) is deprecated: GenerationalIndex retains "
-                "its batches and compact() with no argument rebuilds "
-                "from them",
-                DeprecationWarning, stacklevel=2)
-            posts = list(posts)
-        else:
-            missing = [generation.number for generation in self._generations
-                       if generation.posts is None]
-            if missing:
-                raise ValueError(
-                    "compact() needs retained batches, but generations "
-                    f"{missing} were ingested with retain_batches=False — "
-                    "pass the posts explicitly")
-            posts = [post for generation in self._generations
-                     for post in generation.posts or ()]
-        if not posts:
-            raise ValueError("nothing to compact: no posts ingested")
-        old = self._generations
-        self._generations = []
-        generation = self.ingest(posts)
-        for stale in old:
-            prefix = stale.index.config.output_prefix
+    def _reclaimer(self, generation: Generation) -> Callable[[], None]:
+        def _reclaim() -> None:
+            generation.advance(GenerationState.REMOVED)
+            prefix = generation.index.config.output_prefix
             for path in self.cluster.list_files(prefix):
                 self.cluster.delete(path)
+        return _reclaim
+
+    def _commit_merge(self, inputs: Sequence[Generation],
+                      output: Generation) -> None:
+        """Swap ``inputs -> output`` in the current set and queue the
+        inputs for file reclamation once unpinned."""
+        for generation in inputs:
+            generation.advance(GenerationState.SUPERSEDED)
+        superseded = {generation.number for generation in inputs}
+        survivors = [generation for generation in self.registry.items
+                     if generation.number not in superseded]
+        self.registry.swap(
+            survivors + [output],
+            retired=[(generation, self._reclaimer(generation))
+                     for generation in inputs])
         self.compactions += 1
-        return generation
+
+    def compact(self) -> Generation:
+        """Merge all generations into one fresh build (the paper's
+        daily rebuild).  Old generations' DFS files are reclaimed once
+        no pinned reader can still reach them (immediately, when there
+        are no outstanding pins).
+
+        The rebuild concatenates the retained per-generation batches,
+        so callers do not re-supply every post they ever ingested.
+        """
+        old = list(self.registry.items)
+        missing = [generation.number for generation in old
+                   if generation.posts is None]
+        if missing:
+            raise ValueError(
+                "compact() needs retained batches, but generations "
+                f"{missing} were ingested with retain_batches=False — "
+                "re-ingest with retention enabled or use the ingest "
+                "service's durable compaction")
+        posts = [post for generation in old
+                 for post in generation.posts or ()]
+        if not posts:
+            raise ValueError("nothing to compact: no posts ingested")
+        for generation in old:
+            generation.advance(GenerationState.COMPACTING)
+        output = self._build_generation(
+            posts, tier=max(generation.tier for generation in old) + 1,
+            sources=tuple(generation.number for generation in old))
+        self._commit_merge(old, output)
+        return output
+
+    def compaction_scheduler(self, config: Optional[CompactionConfig] = None
+                             ) -> CompactionScheduler:
+        """An incremental scheduler bound to this index: size-tiered or
+        leveled merges of a few generations at a time, instead of
+        ``compact()``'s full rebuild."""
+        return CompactionScheduler(_BatchExecutor(self), config)
+
+    def pending_reclaim(self) -> int:
+        return self.registry.pending_reclaim()
 
     # -- reporting ----------------------------------------------------------
 
     def inverted_size_bytes(self) -> int:
         return sum(generation.index.inverted_size_bytes()
-                   for generation in self._generations)
+                   for generation in self.registry)
 
     def forward_size_bytes(self) -> int:
         return sum(generation.index.forward_size_bytes()
-                   for generation in self._generations)
+                   for generation in self.registry)
 
     def reset_stats(self) -> None:
-        for generation in self._generations:
+        self._merge_stats.reset()
+        for generation in self.registry:
             generation.index.reset_stats()
 
     @property
     def stats(self) -> IndexStats:
-        """Aggregate per-generation fetch statistics.
+        """Aggregate per-generation fetch statistics plus this index's
+        own merge accounting (read amplification).
 
         Returned as an :class:`~repro.index.hybrid.IndexStats` so callers
         (e.g. the query profiler) can use ``snapshot()``/``diff()``
         exactly as with a monolithic index.
         """
         total = IndexStats()
-        for generation in self._generations:
-            snapshot = generation.index.stats.snapshot()
+        sources = [generation.index.stats
+                   for generation in self.registry]
+        sources.append(self._merge_stats)
+        for stats in sources:
+            snapshot = stats.snapshot()
             for field_name, value in snapshot.items():
                 setattr(total, field_name,
                         getattr(total, field_name) + value)

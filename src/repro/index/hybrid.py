@@ -39,6 +39,10 @@ class IndexStats:
     blocks_skipped: int = 0
     block_cache_hits: int = 0
     block_cache_misses: int = 0
+    # Read amplification — incremented by the multi-source indexes
+    # (GenerationalIndex, LiveIndex) that merge per-generation postings.
+    generations_probed: int = 0
+    postings_sources_merged: int = 0
 
     def reset(self) -> None:
         self.postings_fetches = 0
@@ -50,6 +54,8 @@ class IndexStats:
         self.blocks_skipped = 0
         self.block_cache_hits = 0
         self.block_cache_misses = 0
+        self.generations_probed = 0
+        self.postings_sources_merged = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -62,6 +68,8 @@ class IndexStats:
             "blocks_skipped": self.blocks_skipped,
             "block_cache_hits": self.block_cache_hits,
             "block_cache_misses": self.block_cache_misses,
+            "generations_probed": self.generations_probed,
+            "postings_sources_merged": self.postings_sources_merged,
         }
 
     def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:

@@ -28,6 +28,9 @@ KILL_POINTS = (
     "wal.append.pre_sync",   # record written but the fsync never happens
     "ingest.flush.mid",      # generation partially materialised, no commit
     "ingest.flush.pre_truncate",  # committed, WAL segment not yet deleted
+    "compaction.merge.mid",  # merged generation partially materialised
+    "compaction.pre_commit",  # merge output complete, manifest not committed
+    "compaction.pre_reclaim",  # committed, superseded dirs not yet removed
 )
 
 

@@ -10,6 +10,16 @@ stays stable across *multiple* calls (the bench harness, validators),
 :meth:`LiveIndex.snapshot` freezes the component lists and the
 watermark into a :class:`LiveSnapshot`.
 
+Generations may arrive as a plain list of
+:class:`~repro.index.hybrid.HybridIndex` (the simple/test wiring) or as
+a :class:`~repro.compaction.GenerationRegistry` of generation wrappers
+(the ingest service).  With a registry, every query resolves through an
+immutable generation-set snapshot pinned for its duration — a
+background compaction can swap the set mid-query without the query
+observing a half-swapped view, and the superseded generations' files
+outlive every pinned reader.  A :class:`LiveSnapshot` holds its pin for
+its own lifetime (released on :meth:`~LiveSnapshot.close` or GC).
+
 The facade satisfies the same ``PostingsSource`` protocol as
 :class:`~repro.index.hybrid.HybridIndex`, merging per-``(cell, term)``
 lists with :func:`~repro.index.postings.merge_postings` (tids are
@@ -19,9 +29,12 @@ collides).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import (Any, Dict, Iterator, List, Optional, Sequence, Tuple,
+                    Union)
 
 from .. import obs
+from ..compaction import GenerationRegistry, PinnedGenerations
 from ..geo.cover import circle_cover
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.builder import IndexConfig
@@ -41,35 +54,65 @@ def _merge_parts(parts: List[Sequence[Posting]]) -> Sequence[Posting]:
     return merge_postings(parts)
 
 
+def _generation_index(item: Any) -> HybridIndex:
+    """A registry holds generation wrappers (``.index``); a plain list
+    holds the indexes themselves."""
+    return getattr(item, "index", item)
+
+
 class LiveIndex:
     """Union view over the active/sealed memtables and flushed
     generations of one ingest service.
 
-    The ``memtables`` and ``generations`` lists are shared with (and
-    mutated in place by) :class:`~.service.IngestService` — the facade
-    never rebinds them, so a flush that swaps a sealed memtable for its
-    generation is visible to the next query without rewiring.
+    The ``memtables`` list (and a plain ``generations`` list, when one
+    is used instead of a registry) is shared with — and mutated in place
+    by — :class:`~.service.IngestService`: the facade never rebinds it,
+    so a flush that swaps a sealed memtable for its generation is
+    visible to the next query without rewiring.
     """
 
     def __init__(self, config: IndexConfig, analyzer: Analyzer,
                  memtables: List[MemIndex],
-                 generations: List[HybridIndex]) -> None:
+                 generations: Union[GenerationRegistry, List[HybridIndex]]
+                 ) -> None:
         self.config = config
         self.analyzer = analyzer
         self.memtables = memtables
         self.generations = generations
+        # Read-amplification accounting for merges done by this facade;
+        # per-component fetch counters live on the components.
+        self._merge_stats = IndexStats()
 
     # -- consistency --------------------------------------------------------
+
+    @contextmanager
+    def _pinned_generations(self) -> Iterator[Tuple[Any, ...]]:
+        """The current generation items, pinned against reclamation for
+        the duration when registry-backed."""
+        if isinstance(self.generations, GenerationRegistry):
+            with self.generations.pinned() as items:
+                yield items
+        else:
+            yield tuple(self.generations)
 
     def watermark(self) -> int:
         """The LSN a query starting now would pin."""
         return max((mem.max_lsn for mem in self.memtables), default=0)
 
     def snapshot(self) -> "LiveSnapshot":
-        """A view frozen at the current watermark and component set."""
+        """A view frozen at the current watermark and component set;
+        holds a generation-set pin until closed or collected."""
+        pin: Optional[PinnedGenerations] = None
+        if isinstance(self.generations, GenerationRegistry):
+            pin = self.generations.pin()
+            items: Tuple[Any, ...] = pin.items
+        else:
+            items = tuple(self.generations)
         return LiveSnapshot(self.config, self.analyzer,
-                            tuple(self.memtables), tuple(self.generations),
-                            self.watermark())
+                            tuple(self.memtables),
+                            tuple(_generation_index(item) for item in items),
+                            self.watermark(), pin=pin,
+                            merge_stats=self._merge_stats)
 
     # -- PostingsSource -----------------------------------------------------
 
@@ -82,80 +125,122 @@ class LiveIndex:
         return circle_cover(location, radius_km, self.config.geohash_length,
                             metric)
 
-    def postings(self, cell: str, term: str,
-                 max_lsn: Optional[int] = None) -> Sequence[Posting]:
-        """Merged postings across every component, memtable entries
-        clipped to ``max_lsn`` (``None`` = everything)."""
+    def _merged_postings(self, generations: Sequence[Any], cell: str,
+                         term: str, max_lsn: Optional[int]
+                         ) -> Sequence[Posting]:
         parts: List[Sequence[Posting]] = []
-        for generation in self.generations:
-            fetched = generation.postings(cell, term)
+        for item in generations:
+            fetched = _generation_index(item).postings(cell, term)
             if fetched:
                 parts.append(fetched)
         for mem in self.memtables:
             fetched = mem.postings(cell, term, max_lsn)
             if fetched:
                 parts.append(fetched)
+        self._merge_stats.generations_probed += len(generations)
+        self._merge_stats.postings_sources_merged += len(parts)
         return _merge_parts(parts)
 
+    def postings(self, cell: str, term: str,
+                 max_lsn: Optional[int] = None) -> Sequence[Posting]:
+        """Merged postings across every component, memtable entries
+        clipped to ``max_lsn`` (``None`` = everything)."""
+        with self._pinned_generations() as generations:
+            return self._merged_postings(generations, cell, term, max_lsn)
+
     def postings_fetch_count(self) -> int:
-        return (sum(gen.stats.postings_fetches for gen in self.generations)
+        return (sum(_generation_index(item).stats.postings_fetches
+                    for item in self._generation_items())
                 + sum(mem.stats.postings_fetches for mem in self.memtables))
 
     def postings_for_query(self, cells: List[str], terms: List[str]
                            ) -> Dict[str, Dict[str, Sequence[Posting]]]:
-        # Pin the watermark before touching any component: appends that
-        # land while we scan stay invisible to this query.
+        # Pin the watermark and the generation set before touching any
+        # component: appends that land while we scan stay invisible to
+        # this query, and a compaction swap cannot hand different
+        # lookups of the same query different generation views.
         limit = self.watermark()
         with obs.trace("ingest.live_scan", cells=len(cells),
                        terms=len(terms), watermark=limit):
             result: Dict[str, Dict[str, Sequence[Posting]]] = {}
-            for cell in cells:
-                per_term: Dict[str, Sequence[Posting]] = {}
-                for term in terms:
-                    postings = self.postings(cell, term, limit)
-                    if postings:
-                        per_term[term] = postings
-                if per_term:
-                    result[cell] = per_term
+            with self._pinned_generations() as generations:
+                for cell in cells:
+                    per_term: Dict[str, Sequence[Posting]] = {}
+                    for term in terms:
+                        postings = self._merged_postings(
+                            generations, cell, term, limit)
+                        if postings:
+                            per_term[term] = postings
+                    if per_term:
+                        result[cell] = per_term
         return result
 
     # -- reporting ----------------------------------------------------------
 
+    def _generation_items(self) -> Tuple[Any, ...]:
+        if isinstance(self.generations, GenerationRegistry):
+            return self.generations.items
+        return tuple(self.generations)
+
     @property
     def stats(self) -> IndexStats:
         """Aggregate counters across components (what the per-query
-        profiler snapshot-diffs)."""
+        profiler snapshot-diffs), plus this facade's merge accounting."""
         total = IndexStats()
-        for component in (*self.generations, *self.memtables):
+        components = [_generation_index(item)
+                      for item in self._generation_items()]
+        components.extend(self.memtables)
+        for component in components:
             for key, value in component.stats.snapshot().items():
                 setattr(total, key, getattr(total, key) + value)
+        for key, value in self._merge_stats.snapshot().items():
+            setattr(total, key, getattr(total, key) + value)
         return total
 
     def clear_caches(self) -> None:
-        for generation in self.generations:
-            generation.clear_caches()
+        for item in self._generation_items():
+            _generation_index(item).clear_caches()
 
 
 class LiveSnapshot:
     """An immutable LiveIndex view: fixed components, fixed watermark.
 
     Queries against a snapshot return identical results no matter how
-    many appends or flushes land after it was taken — as long as the
-    captured memtables are not themselves flushed away (the service only
-    drops a sealed memtable *after* its generation is committed, so a
-    snapshot taken before a flush may double-serve; take snapshots
-    between flushes, as the bench harness does).
+    many appends, flushes or compactions land after it was taken — the
+    snapshot pins its generation set, so even superseded generations'
+    files survive until it is closed (or garbage collected).  The one
+    caveat is memtables: the service only drops a sealed memtable
+    *after* its generation is committed, so a snapshot taken before a
+    flush may double-serve; take snapshots between flushes, as the
+    bench harness does.
     """
 
     def __init__(self, config: IndexConfig, analyzer: Analyzer,
                  memtables: Tuple[MemIndex, ...],
                  generations: Tuple[HybridIndex, ...],
-                 lsn_limit: int) -> None:
+                 lsn_limit: int,
+                 pin: Optional[PinnedGenerations] = None,
+                 merge_stats: Optional[IndexStats] = None) -> None:
         self.config = config
         self.analyzer = analyzer
         self.memtables = memtables
         self.generations = generations
         self.lsn_limit = lsn_limit
+        self._pin = pin
+        self._merge_stats = (merge_stats if merge_stats is not None
+                             else IndexStats())
+
+    def close(self) -> None:
+        """Release the generation-set pin (idempotent)."""
+        if self._pin is not None:
+            self._pin.release()
+            self._pin = None
+
+    def __enter__(self) -> "LiveSnapshot":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
 
     @property
     def geohash_length(self) -> int:
@@ -176,6 +261,8 @@ class LiveSnapshot:
             fetched = mem.postings(cell, term, self.lsn_limit)
             if fetched:
                 parts.append(fetched)
+        self._merge_stats.generations_probed += len(self.generations)
+        self._merge_stats.postings_sources_merged += len(parts)
         return _merge_parts(parts)
 
     def postings_fetch_count(self) -> int:

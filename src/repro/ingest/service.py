@@ -20,15 +20,27 @@ immutable block-format generation through the *same* MapReduce builder
 the batch path uses, commits the manifest atomically, and only then
 truncates the covered WAL segments.
 
+Flushed generations do not pile up forever: a
+:class:`~repro.compaction.CompactionScheduler` interleaves bounded
+units of background merge work with appends (deferred under ingest
+pressure), rewriting several small generations into one of the next
+tier.  A merge commit follows the same discipline as a flush —
+materialise the output directory, commit the manifest atomically (the
+inputs replaced by the output, with ``source_generations`` lineage),
+then reclaim the superseded directories once no pinned reader can
+still reach them.
+
 Recovery (:class:`IngestService` construction over an existing
 directory) mirrors that order: load committed generations from the
-manifest, discard orphan generation directories (crash mid-flush),
-delete WAL segments the manifest says were flushed (crash
-pre-truncate), then replay the remaining segments — repairing a torn
-tail on the last one — into a fresh memtable and metadata database.
-The kill-point matrix in ``tests/test_ingest_recovery.py`` asserts the
-result: query answers after recovery are byte-identical to a run that
-never crashed.
+manifest, discard orphan generation directories (crash mid-flush, a
+compaction output that never committed, or superseded inputs that
+outlived a committed merge), delete WAL segments the manifest says
+were flushed (crash pre-truncate), then replay the remaining segments
+— repairing a torn tail on the last one — into a fresh memtable and
+metadata database.  The kill-point matrices in
+``tests/test_ingest_recovery.py`` and
+``tests/test_compaction_recovery.py`` assert the result: query answers
+after recovery are byte-identical to a run that never crashed.
 
 Everything in memory is considered lost by a crash, including the
 simulated DFS cluster; only ``<dir>`` survives.  That is why flushed
@@ -46,6 +58,10 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from .. import obs
+from ..compaction import (CompactionConfig, CompactionPlan,
+                          CompactionScheduler, GenerationInfo,
+                          GenerationRegistry, GenerationState)
+from ..compaction.scheduler import CompactionExecutor
 from ..obs.health import (ComponentHealth, HealthMonitor, HealthReport,
                           HealthStatus, HealthThresholds, grade)
 from ..core.model import Post
@@ -56,6 +72,7 @@ from ..dfs.cluster import DFSCluster, paper_cluster
 from ..geo.distance import DEFAULT_METRIC, Metric
 from ..index.builder import IndexConfig, build_hybrid_index
 from ..index.forward import ForwardIndex
+from ..index.generations import Generation
 from ..index.hybrid import HybridIndex
 from ..query.bounds import BoundsManager
 from ..query.engine import EngineConfig, TkLUSEngine
@@ -72,7 +89,11 @@ from .wal import (WALCorruptionError, WriteAheadLog, replay_segment,
 MANIFEST_NAME = "MANIFEST.json"
 WAL_DIR = "wal"
 GENERATIONS_DIR = "generations"
-MANIFEST_FORMAT_VERSION = 1
+#: v2 added compaction metadata: per-generation tier / seq / size_bytes /
+#: source_generations lineage plus a manifest-level next_seq.  v1
+#: manifests are migrated in memory on load (tier 0, seq = number).
+MANIFEST_FORMAT_VERSION = 2
+MANIFEST_SUPPORTED_VERSIONS = (1, 2)
 
 
 class IngestError(RuntimeError):
@@ -153,6 +174,40 @@ def _post_record(post: Post) -> TweetRecord:
                        rsid=post.rsid if post.rsid is not None else -1)
 
 
+class _ServiceExecutor(CompactionExecutor):
+    """Bridges the compaction scheduler to one :class:`IngestService`.
+
+    The durable protocol lives in the service's ``_compaction_*``
+    methods; this adapter only routes the scheduler's calls."""
+
+    def __init__(self, service: "IngestService") -> None:
+        self.service = service
+
+    def generation_infos(self) -> List[GenerationInfo]:
+        return self.service._compaction_infos()
+
+    def begin_compaction(self, plan: CompactionPlan) -> None:
+        for generation in self.service._generations_by_number(plan.inputs):
+            generation.advance(GenerationState.COMPACTING)
+
+    def abort_compaction(self, plan: CompactionPlan) -> None:
+        for generation in self.service._generations_by_number(plan.inputs):
+            generation.advance(GenerationState.ACTIVE)
+
+    def load_generation_posts(self, number: int) -> List[Post]:
+        return self.service._load_generation_posts(number)
+
+    def commit_compaction(self, plan: CompactionPlan,
+                          posts: Sequence[Post]) -> int:
+        return self.service._commit_compaction(plan, list(posts))
+
+    def reclaim(self) -> int:
+        return self.service.generations.drain()
+
+    def ingest_pressure(self) -> float:
+        return self.service._ingest_pressure()
+
+
 class IngestService:
     """Open (or create) an ingest directory and serve the write path."""
 
@@ -161,7 +216,8 @@ class IngestService:
                  ingest_config: Optional[IngestConfig] = None,
                  analyzer: Optional[Analyzer] = None,
                  cluster: Optional[DFSCluster] = None,
-                 failpoints: Optional[Failpoints] = None) -> None:
+                 failpoints: Optional[Failpoints] = None,
+                 compaction_config: Optional[CompactionConfig] = None) -> None:
         self.directory = directory
         self.ingest_config = ingest_config or IngestConfig()
         self.analyzer = analyzer or Analyzer()
@@ -182,13 +238,16 @@ class IngestService:
         else:
             self.index_config = IndexConfig()
         self._next_generation = int(manifest.get("next_generation", 1))
+        self._next_seq = int(manifest.get("next_seq", 0))
         self._last_flushed_lsn = int(manifest.get("last_flushed_lsn", 0))
         self._generation_entries: List[Dict[str, Any]] = list(
             manifest.get("generations", []))
 
         self.database = MetadataDatabase.in_memory()
-        self.generations: List[HybridIndex] = []
+        self.generations = GenerationRegistry()
         self.memtables: List[MemIndex] = []
+        self.compaction = CompactionScheduler(_ServiceExecutor(self),
+                                              compaction_config)
         self.recovery = RecoveryReport(last_flushed_lsn=self._last_flushed_lsn)
 
         recover_start = time.perf_counter()
@@ -241,10 +300,40 @@ class IngestService:
         with open(self._manifest_path, "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
         version = manifest.get("format_version")
-        if version != MANIFEST_FORMAT_VERSION:
+        if version not in MANIFEST_SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in MANIFEST_SUPPORTED_VERSIONS)
             raise IngestError(
                 f"unsupported manifest format_version {version!r} "
-                f"(expected {MANIFEST_FORMAT_VERSION})")
+                f"(supported: {supported})")
+        if version == 1:
+            manifest = self._migrate_manifest_v1(manifest)
+        return manifest
+
+    def _migrate_manifest_v1(self, manifest: Dict[str, Any]) -> Dict[str, Any]:
+        """In-memory upgrade of a v1 manifest: every generation was a
+        direct flush, so tier 0 and seq = generation number reproduce the
+        creation order; sizes come from the on-disk files.  The upgraded
+        shape is persisted on the next commit."""
+        entries = list(manifest.get("generations", []))
+        for entry in entries:
+            entry.setdefault("tier", 0)
+            entry.setdefault("seq", int(entry["number"]))
+            entry.setdefault("source_generations", [])
+            if "size_bytes" not in entry:
+                gen_dir = self._generation_dir(int(entry["number"]))
+                size = 0
+                names = list(entry.get("parts", []))
+                names.extend(("forward.bin", "posts.jsonl"))
+                for name in names:
+                    path = os.path.join(gen_dir, name)
+                    if os.path.exists(path):
+                        size += os.path.getsize(path)
+                entry["size_bytes"] = size
+        manifest["generations"] = entries
+        manifest.setdefault(
+            "next_seq",
+            max((int(entry["seq"]) for entry in entries), default=-1) + 1)
+        manifest["format_version"] = MANIFEST_FORMAT_VERSION
         return manifest
 
     def _manifest_payload(self) -> Dict[str, Any]:
@@ -252,6 +341,7 @@ class IngestService:
         return {
             "format_version": MANIFEST_FORMAT_VERSION,
             "next_generation": self._next_generation,
+            "next_seq": self._next_seq,
             "last_flushed_lsn": self._last_flushed_lsn,
             "index_config": {
                 "geohash_length": config.geohash_length,
@@ -290,6 +380,10 @@ class IngestService:
         for entry in self._generation_entries:
             number = int(entry["number"])
             gen_dir = self._generation_dir(number)
+            if not os.path.isdir(gen_dir):
+                raise IngestError(
+                    f"manifest names generation {number} but its "
+                    f"directory {gen_dir} is missing")
             config = self._generation_config(number)
             for part_name in entry["parts"]:
                 local = os.path.join(gen_dir, part_name)
@@ -300,8 +394,16 @@ class IngestService:
                     writer.write(data)
             with open(os.path.join(gen_dir, "forward.bin"), "rb") as handle:
                 forward = ForwardIndex.deserialize(handle.read())
-            self.generations.append(
-                HybridIndex(forward, self.cluster, config, self.analyzer))
+            self.generations.append(Generation(
+                number=number,
+                index=HybridIndex(forward, self.cluster, config,
+                                  self.analyzer),
+                post_count=int(entry["post_count"]),
+                tier=int(entry.get("tier", 0)),
+                seq=int(entry.get("seq", number)),
+                size_bytes=int(entry.get("size_bytes", 0)),
+                source_generations=tuple(
+                    entry.get("source_generations", ()))))
             with open(os.path.join(gen_dir, "posts.jsonl"), "r",
                       encoding="utf-8") as handle:
                 posts = load_posts(handle, self.analyzer)
@@ -310,8 +412,14 @@ class IngestService:
             self.recovery.generations_loaded += 1
 
     def _remove_orphan_generations(self) -> None:
-        """Drop generation directories the manifest never committed
-        (a crash between materialisation and commit)."""
+        """Drop generation directories the manifest does not name.
+
+        Covers three crash shapes with one rule: a flush that died
+        between materialisation and commit, a compaction output whose
+        merge never committed (``compaction.merge.mid`` /
+        ``compaction.pre_commit``), and superseded compaction inputs
+        whose directories outlived the commit that replaced them
+        (``compaction.pre_reclaim``)."""
         committed = {f"gen-{int(entry['number']):05d}"
                      for entry in self._generation_entries}
         for name in sorted(os.listdir(self._generations_root)):
@@ -390,6 +498,9 @@ class IngestService:
                 self._active.post_count >= self.ingest_config.flush_posts
                 or self._active.size_bytes() >= self.ingest_config.flush_bytes):
             self.flush()
+        # Interleave one bounded unit of background merge work with the
+        # foreground append (deferred while ingest pressure is high).
+        self.compaction.maybe_step()
         return lsn
 
     def flush(self) -> Optional[int]:
@@ -448,14 +559,23 @@ class IngestService:
                 handle.flush()
                 os.fsync(handle.fileno())
 
+            seq = self._next_seq
+            size_bytes = sum(
+                os.path.getsize(os.path.join(gen_dir, name))
+                for name in os.listdir(gen_dir))
             self._generation_entries.append({
                 "number": number,
                 "post_count": len(posts),
                 "last_lsn": last_lsn,
                 "parts": sorted(part_names),
                 "segments": sealed_segments,
+                "tier": 0,
+                "seq": seq,
+                "size_bytes": size_bytes,
+                "source_generations": [],
             })
             self._next_generation = number + 1
+            self._next_seq = seq + 1
             self._last_flushed_lsn = max(self._last_flushed_lsn, last_lsn)
             self._commit_manifest()
             self.failpoints.trip("ingest.flush.pre_truncate")
@@ -466,7 +586,9 @@ class IngestService:
             hybrid = HybridIndex(forward, self.cluster, config, self.analyzer)
             self.memtables[:] = [mem for mem in self.memtables
                                  if not mem.sealed]
-            self.generations.append(hybrid)
+            self.generations.append(Generation(
+                number=number, index=hybrid, post_count=len(posts),
+                tier=0, seq=seq, size_bytes=size_bytes))
             span.set(generation=number, posts=len(posts))
         obs.inc("ingest.flushes")
         obs.observe("ingest.flush_seconds", time.perf_counter() - flush_start)
@@ -475,6 +597,174 @@ class IngestService:
 
     def close(self) -> None:
         self.wal.close()
+
+    # -- compaction ---------------------------------------------------------
+
+    def _compaction_infos(self) -> List[GenerationInfo]:
+        return [generation.info() for generation in self.generations
+                if generation.state is GenerationState.ACTIVE]
+
+    def _generations_by_number(self, numbers: Sequence[int]
+                               ) -> List[Generation]:
+        by_number = {generation.number: generation
+                     for generation in self.generations.items}
+        try:
+            return [by_number[number] for number in numbers]
+        except KeyError as exc:
+            raise IngestError(
+                f"unknown generation number {exc.args[0]}") from None
+
+    def _load_generation_posts(self, number: int) -> List[Post]:
+        """One input generation's posts, from its durable directory (the
+        DFS cluster is volatile; the directory is the authority)."""
+        path = os.path.join(self._generation_dir(number), "posts.jsonl")
+        with open(path, "r", encoding="utf-8") as handle:
+            return load_posts(handle, self.analyzer)
+
+    def _ingest_pressure(self) -> float:
+        """Active-memtable fullness relative to its flush thresholds."""
+        active = self._active
+        return min(1.0, max(
+            active.post_count / self.ingest_config.flush_posts,
+            active.size_bytes() / self.ingest_config.flush_bytes))
+
+    def _reclaimer(self, generation: Generation):
+        """The deferred cleanup for one superseded generation: runs only
+        once no pinned reader can still reach it."""
+        def _reclaim() -> None:
+            generation.advance(GenerationState.REMOVED)
+            prefix = generation.index.config.output_prefix
+            for path in self.cluster.list_files(prefix):
+                self.cluster.delete(path)
+            gen_dir = self._generation_dir(generation.number)
+            if os.path.isdir(gen_dir):
+                shutil.rmtree(gen_dir)
+            obs.inc("ingest.compaction_reclaimed")
+        return _reclaim
+
+    def _commit_compaction(self, plan: CompactionPlan,
+                           posts: List[Post]) -> int:
+        """Materialise and commit one merged generation.
+
+        The crash contract mirrors :meth:`flush`: (1) write the output
+        generation directory — a crash here (``compaction.merge.mid`` /
+        ``compaction.pre_commit``) leaves an orphan directory recovery
+        deletes, while the inputs stay committed; (2) commit the
+        manifest atomically with the inputs replaced by the output —
+        the merge now exists; (3) swap the in-memory generation set and
+        reclaim the superseded directories — a crash between (2) and
+        (3) (``compaction.pre_reclaim``) leaves the input directories
+        as orphans recovery deletes.  The metadata database is not
+        touched: the output carries exactly the inputs' posts.
+        """
+        compact_start = time.perf_counter()
+        with obs.trace("ingest.compaction", inputs=len(plan.inputs),
+                       output_tier=plan.output_tier) as span:
+            number = self._next_generation
+            config = self._generation_config(number)
+            gen_dir = self._generation_dir(number)
+            os.makedirs(gen_dir, exist_ok=True)
+            with open(os.path.join(gen_dir, "posts.jsonl"), "w",
+                      encoding="utf-8") as handle:
+                dump_posts(posts, handle)
+            self.failpoints.trip("compaction.merge.mid")
+
+            forward, _result = build_hybrid_index(
+                posts, self.cluster, self.analyzer, config)
+            part_names = []
+            for path in self.cluster.list_files(config.output_prefix):
+                part_name = path.rsplit("/", 1)[-1]
+                data = self.cluster.open(path).pread(
+                    0, self.cluster.file_size(path))
+                with open(os.path.join(gen_dir, part_name), "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                part_names.append(part_name)
+            with open(os.path.join(gen_dir, "forward.bin"), "wb") as handle:
+                handle.write(forward.serialize())
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.failpoints.trip("compaction.pre_commit")
+
+            superseded = set(plan.inputs)
+            input_entries = [entry for entry in self._generation_entries
+                             if int(entry["number"]) in superseded]
+            if len(input_entries) != len(superseded):
+                raise IngestError(
+                    f"compaction inputs {sorted(superseded)} not all "
+                    "present in the committed manifest")
+            seq = self._next_seq
+            size_bytes = sum(
+                os.path.getsize(os.path.join(gen_dir, name))
+                for name in os.listdir(gen_dir))
+            self._generation_entries = [
+                entry for entry in self._generation_entries
+                if int(entry["number"]) not in superseded]
+            self._generation_entries.append({
+                "number": number,
+                "post_count": len(posts),
+                # The inputs' WAL segments were deleted when they
+                # flushed; the merge introduces no new WAL coverage.
+                "last_lsn": max(int(entry["last_lsn"])
+                                for entry in input_entries),
+                "parts": sorted(part_names),
+                "segments": [],
+                "tier": plan.output_tier,
+                "seq": seq,
+                "size_bytes": size_bytes,
+                "source_generations": sorted(superseded),
+            })
+            self._next_generation = number + 1
+            self._next_seq = seq + 1
+            self._commit_manifest()
+            self.failpoints.trip("compaction.pre_reclaim")
+
+            inputs = self._generations_by_number(plan.inputs)
+            for generation in inputs:
+                generation.advance(GenerationState.SUPERSEDED)
+            output = Generation(
+                number=number,
+                index=HybridIndex(forward, self.cluster, config,
+                                  self.analyzer),
+                post_count=len(posts), tier=plan.output_tier, seq=seq,
+                size_bytes=size_bytes,
+                source_generations=tuple(sorted(superseded)))
+            survivors = [generation for generation in self.generations.items
+                         if generation.number not in superseded]
+            self.generations.swap(
+                survivors + [output],
+                retired=[(generation, self._reclaimer(generation))
+                         for generation in inputs])
+            span.set(generation=number, posts=len(posts))
+        obs.inc("ingest.compactions")
+        obs.observe("ingest.compaction_seconds",
+                    time.perf_counter() - compact_start)
+        self._update_gauges()
+        return number
+
+    def compact(self, max_steps: int = 10_000) -> int:
+        """Drive compaction to quiescence (the ``repro compact`` path,
+        ignoring the enabled flag and backpressure); returns the number
+        of merges committed."""
+        return self.compaction.run_until_idle(max_steps)
+
+    def compaction_plan(self) -> Optional[CompactionPlan]:
+        """What the policy would merge next (``repro compact
+        --dry-run``), or ``None`` when the shape is acceptable."""
+        return self.compaction.plan_preview()
+
+    def tier_breakdown(self) -> Dict[str, Dict[str, int]]:
+        """Committed generations bucketed by tier (manifest view)."""
+        tiers: Dict[int, Dict[str, int]] = {}
+        for entry in self._generation_entries:
+            bucket = tiers.setdefault(
+                int(entry.get("tier", 0)),
+                {"generations": 0, "posts": 0, "bytes": 0})
+            bucket["generations"] += 1
+            bucket["posts"] += int(entry["post_count"])
+            bucket["bytes"] += int(entry.get("size_bytes", 0))
+        return {str(tier): tiers[tier] for tier in sorted(tiers)}
 
     # -- queries ------------------------------------------------------------
 
@@ -509,6 +799,9 @@ class IngestService:
         obs.set_gauge("ingest.memtable_posts", self._active.post_count)
         obs.set_gauge("ingest.generations", len(self._generation_entries))
         obs.set_gauge("ingest.wal_unsynced_records", self.wal.pending_appends)
+        obs.set_gauge("ingest.compaction_debt", self.compaction.debt())
+        obs.set_gauge("ingest.pending_reclaim",
+                      self.generations.pending_reclaim())
 
     # -- health -------------------------------------------------------------
 
@@ -559,13 +852,23 @@ class IngestService:
 
         def generations_probe() -> ComponentHealth:
             count = len(self._generation_entries)
+            debt = self.compaction.debt()
+            status = HealthStatus.worst([
+                grade(count, limits.generations_warn,
+                      limits.generations_critical),
+                grade(debt, limits.compaction_debt_warn,
+                      limits.compaction_debt_critical),
+            ])
             return ComponentHealth(
-                name="generations",
-                status=grade(count, limits.generations_warn,
-                             limits.generations_critical),
-                message=f"{count} committed generations",
+                name="generations", status=status,
+                message=f"{count} committed generations, "
+                        f"compaction debt {debt}",
                 metrics={"count": count,
-                         "last_flushed_lsn": self._last_flushed_lsn})
+                         "last_flushed_lsn": self._last_flushed_lsn,
+                         "compaction_debt": debt,
+                         "tiers": len(self.tier_breakdown()),
+                         "pending_reclaim":
+                             self.generations.pending_reclaim()})
 
         def block_cache_probe() -> ComponentHealth:
             stats = self.live.stats
@@ -621,8 +924,14 @@ class IngestService:
             "generations": [
                 {"number": entry["number"],
                  "post_count": entry["post_count"],
-                 "last_lsn": entry["last_lsn"]}
+                 "last_lsn": entry["last_lsn"],
+                 "tier": entry.get("tier", 0),
+                 "seq": entry.get("seq", entry["number"]),
+                 "size_bytes": entry.get("size_bytes", 0),
+                 "source_generations": entry.get("source_generations", [])}
                 for entry in self._generation_entries],
+            "tiers": self.tier_breakdown(),
+            "compaction": self.compaction.status(),
             "database_posts": len(self.database),
             "wal": self.wal.stats.snapshot(),
             "recovery": self.recovery.as_dict(),

@@ -18,8 +18,10 @@ from .invariants import (
     InvariantViolation,
     validate_block_headers,
     validate_bptree,
+    validate_compaction,
     validate_cover_soundness,
     validate_forward_inverted,
+    validate_generation_manifest,
     validate_heap_pages,
     validate_memtable_replay,
     validate_quadtree,
@@ -158,12 +160,15 @@ def run_deep_checks(posts: Optional[Sequence[Post]] = None, *,
         quadtree.insert(post.location[0], post.location[1], post.sid)
     run("quadtree", lambda: validate_quadtree(quadtree))
 
-    # Real-time write path: drive a small ingest service through a
-    # flush so the validators see generations, sealed segments gone,
-    # and a live memtable — then prove the memtable equals its WAL.
+    # Real-time write path: drive a small ingest service through
+    # several flushes so the validators see generations, sealed
+    # segments gone, and a live memtable — then prove the memtable
+    # equals its WAL, the manifest matches the directory, and driving
+    # the tiered compactor to quiescence preserves every flushed post.
     import os
     import tempfile
 
+    from ..compaction import CompactionConfig
     from ..ingest import IngestConfig, IngestService
 
     sample = posts[:min(len(posts), 300)]
@@ -171,12 +176,19 @@ def run_deep_checks(posts: Optional[Sequence[Post]] = None, *,
         service = IngestService(
             os.path.join(scratch, "ingest"),
             ingest_config=IngestConfig(
-                flush_posts=max(1, len(sample) // 2)))
+                flush_posts=max(1, len(sample) // 6)),
+            compaction_config=CompactionConfig(enabled=False, min_inputs=2))
         for post in sample:
             service.append(post)
         wal_dir = os.path.join(service.directory, "wal")
         run("wal-segments", lambda: validate_wal_segments(wal_dir))
         run("memtable-replay", lambda: validate_memtable_replay(service))
+        run("generation-manifest",
+            lambda: validate_generation_manifest(service.directory))
+        run("compaction", lambda: validate_compaction(service))
+        run("generation-manifest[compacted]",
+            lambda: validate_generation_manifest(
+                service.directory, name="generation-manifest[compacted]"))
         service.close()
 
     report.seconds = time.perf_counter() - started

@@ -573,3 +573,122 @@ def validate_memtable_replay(service: object, name: str = "memtable-replay"
             note(f"{cell}/{term}",
                  "postings differ between memtables and WAL replay")
     return violations
+
+
+# -- generation manifest / compaction ---------------------------------------
+
+def validate_generation_manifest(directory: str,
+                                 name: str = "generation-manifest"
+                                 ) -> List[InvariantViolation]:
+    """Manifest <-> directory agreement for an ingest directory.
+
+    Every generation the manifest commits must have its directory and
+    core files on disk with a ``posts.jsonl`` whose record count equals
+    the committed ``post_count``; every ``gen-*`` directory on disk must
+    be committed (recovery removes orphans, so a survivor is a bug);
+    and the tier/seq metadata must be coherent — unique seqs, below the
+    manifest's ``next_seq`` allocator, non-negative tiers.
+    """
+    import json
+    import os
+
+    violations: List[InvariantViolation] = []
+
+    def note(location: str, message: str) -> None:
+        violations.append(InvariantViolation(
+            validator=name, location=location, message=message))
+
+    manifest_path = os.path.join(directory, "MANIFEST.json")
+    if not os.path.exists(manifest_path):
+        note(directory, "MANIFEST.json does not exist")
+        return violations
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+
+    entries = manifest.get("generations", [])
+    generations_root = os.path.join(directory, "generations")
+    committed: Set[str] = set()
+    seqs: Dict[int, int] = {}
+    next_seq = manifest.get("next_seq")
+    for entry in entries:
+        number = int(entry["number"])
+        dir_name = f"gen-{number:05d}"
+        committed.add(dir_name)
+        gen_dir = os.path.join(generations_root, dir_name)
+        if not os.path.isdir(gen_dir):
+            note(dir_name, "committed in the manifest but the directory "
+                           "is missing")
+            continue
+        posts_path = os.path.join(gen_dir, "posts.jsonl")
+        if not os.path.exists(posts_path):
+            note(dir_name, "posts.jsonl is missing")
+        else:
+            with open(posts_path, "r", encoding="utf-8") as handle:
+                records = sum(1 for line in handle if line.strip())
+            if records != int(entry["post_count"]):
+                note(dir_name,
+                     f"posts.jsonl holds {records} records, manifest "
+                     f"commits post_count={entry['post_count']}")
+        if int(entry.get("tier", 0)) < 0:
+            note(dir_name, f"negative tier {entry.get('tier')}")
+        seq = int(entry.get("seq", number))
+        if seq in seqs:
+            note(dir_name,
+                 f"seq {seq} already used by gen-{seqs[seq]:05d}")
+        seqs[seq] = number
+        if isinstance(next_seq, int) and seq >= next_seq:
+            note(dir_name,
+                 f"seq {seq} is not below the manifest next_seq "
+                 f"{next_seq} allocator")
+
+    if os.path.isdir(generations_root):
+        for dir_name in sorted(os.listdir(generations_root)):
+            if dir_name.startswith("gen-") and dir_name not in committed:
+                note(dir_name, "on disk but not committed in the manifest "
+                               "(orphan that recovery should have removed)")
+    return violations
+
+
+def validate_compaction(service: object, name: str = "compaction"
+                        ) -> List[InvariantViolation]:
+    """Drive the service's compaction scheduler to quiescence and check
+    the lifecycle contract held: no post is lost or duplicated across
+    the merge (flushed post count is preserved), every surviving
+    generation is ACTIVE, and the deferred-reclaim queue drains once no
+    reader pins an old epoch.
+    """
+    from ..compaction import GenerationState
+
+    violations: List[InvariantViolation] = []
+
+    def note(location: str, message: str) -> None:
+        violations.append(InvariantViolation(
+            validator=name, location=location, message=message))
+
+    directory = service.directory                # type: ignore[attr-defined]
+    posts_before = sum(
+        bucket["posts"]
+        for bucket in service.tier_breakdown().values())  # type: ignore[attr-defined]
+    try:
+        service.compact()                        # type: ignore[attr-defined]
+    except RuntimeError as error:
+        note(directory, f"compaction did not quiesce: {error}")
+        return violations
+    posts_after = sum(
+        bucket["posts"]
+        for bucket in service.tier_breakdown().values())  # type: ignore[attr-defined]
+    if posts_after != posts_before:
+        note(directory,
+             f"flushed post count changed across compaction: "
+             f"{posts_before} -> {posts_after}")
+    for generation in service.generations.items:  # type: ignore[attr-defined]
+        if generation.state is not GenerationState.ACTIVE:
+            note(f"gen-{generation.number:05d}",
+                 f"current set holds a {generation.state.value} generation")
+    service.generations.drain()                  # type: ignore[attr-defined]
+    pending = service.generations.pending_reclaim()  # type: ignore[attr-defined]
+    if pending:
+        note(directory,
+             f"{pending} superseded generation(s) still awaiting reclaim "
+             f"with no pins outstanding")
+    return violations

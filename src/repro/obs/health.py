@@ -136,6 +136,8 @@ class HealthThresholds:
     memtable_age_critical: float = 3600.0
     generations_warn: int = 16
     generations_critical: int = 64
+    compaction_debt_warn: int = 8       # generations the policy wants merged
+    compaction_debt_critical: int = 32
     cache_hit_rate_warn: float = 0.50
     cache_hit_rate_critical: float = 0.10
     cache_min_lookups: int = 100   # below this, hit rate is noise

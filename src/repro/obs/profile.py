@@ -64,6 +64,12 @@ class QueryProfile:
     block_cache_hits: int = 0
     block_cache_misses: int = 0
 
+    # Read amplification (the compaction story: how many generations a
+    # lookup had to consult, and how many non-empty postings sources it
+    # actually merged).
+    generations_probed: int = 0
+    postings_sources_merged: int = 0
+
     @property
     def users_pruned(self) -> int:
         return self.users_pruned_global + self.users_pruned_hot
@@ -133,6 +139,8 @@ class QueryProfile:
             "block_cache_hits": self.block_cache_hits,
             "block_cache_misses": self.block_cache_misses,
             "block_cache_hit_rate": self.block_cache_hit_rate,
+            "generations_probed": self.generations_probed,
+            "postings_sources_merged": self.postings_sources_merged,
         }
 
     def describe(self) -> str:
@@ -157,5 +165,7 @@ class QueryProfile:
             f"decode: bytes={self.postings_bytes_decoded} "
             f"blocks={self.blocks_decoded} skipped={self.blocks_skipped} "
             f"block_cache_hit_rate={self.block_cache_hit_rate:.1%}",
+            f"read amp: generations_probed={self.generations_probed} "
+            f"sources_merged={self.postings_sources_merged}",
         ]
         return "\n".join(lines)

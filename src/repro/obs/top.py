@@ -138,6 +138,17 @@ def render_top(runtime: RuntimeTelemetry,
             f" / {_format_bytes(service_status.get('memtable_bytes', 0))}"
             f" — {len(generations)} generations"
             f" — next_lsn {service_status.get('next_lsn', 0)}")
+        compaction = service_status.get("compaction")
+        if compaction is not None:
+            tiers = service_status.get("tiers", {})
+            shape = " ".join(f"T{tier}:{bucket['generations']}"
+                             for tier, bucket in tiers.items()) or "empty"
+            in_flight = compaction.get("in_flight")
+            lines.append(
+                f"compact  {shape} — debt {compaction.get('debt', 0)}"
+                f" — {compaction.get('compactions_committed', 0)} merges"
+                f" ({compaction.get('generations_merged', 0)} gens)"
+                + (f" — in flight: {in_flight}" if in_flight else ""))
 
     # health
     if health is not None:

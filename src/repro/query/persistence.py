@@ -88,6 +88,9 @@ def save_engine(engine: TkLUSEngine, directory: str) -> None:
             generation_entries.append({
                 "number": generation.number,
                 "post_count": generation.post_count,
+                "tier": generation.tier,
+                "seq": generation.seq,
+                "size_bytes": generation.size_bytes,
                 "parts": sorted(gen_parts),
             })
     else:
@@ -201,12 +204,20 @@ def load_engine(directory: str, cluster: Optional[DFSCluster] = None,
                                         f"forward-{gen_name}.bin")
             with open(forward_path, "rb") as handle:
                 gen_forward = ForwardIndex.deserialize(handle.read())
-            generational._generations.append(Generation(
-                number, HybridIndex(gen_forward, cluster, gen_config,
-                                    analyzer),
-                int(entry["post_count"])))
-            generational._next_number = max(generational._next_number,
-                                            number + 1)
+            gen_index = HybridIndex(gen_forward, cluster, gen_config,
+                                    analyzer)
+            # Manifests written before compaction metadata carry no
+            # tier/seq/size_bytes; tier 0 and seq = number reproduce
+            # the pre-compaction planning behaviour.
+            generational.restore_generation(Generation(
+                number=number, index=gen_index,
+                post_count=int(entry["post_count"]),
+                tier=int(entry.get("tier", 0)),
+                seq=int(entry.get("seq", number)),
+                size_bytes=int(entry.get(
+                    "size_bytes",
+                    gen_index.inverted_size_bytes()
+                    + gen_index.forward_size_bytes()))))
         index: object = generational
     else:
         for name in manifest["parts"]:

@@ -64,6 +64,9 @@ class ProfileRecorder:
         profile.blocks_skipped = index_delta["blocks_skipped"]
         profile.block_cache_hits = index_delta["block_cache_hits"]
         profile.block_cache_misses = index_delta["block_cache_misses"]
+        profile.generations_probed = index_delta["generations_probed"]
+        profile.postings_sources_merged = \
+            index_delta["postings_sources_merged"]
 
         if obs.is_enabled():
             obs.observe("query.latency_seconds", elapsed_seconds)
@@ -96,4 +99,7 @@ class ProfileRecorder:
             obs.inc("index.blocks_skipped", profile.blocks_skipped)
             obs.inc("index.block_cache.hits", profile.block_cache_hits)
             obs.inc("index.block_cache.misses", profile.block_cache_misses)
+            obs.inc("index.generations_probed", profile.generations_probed)
+            obs.inc("index.postings_sources_merged",
+                    profile.postings_sources_merged)
         return profile

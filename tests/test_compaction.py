@@ -1,0 +1,359 @@
+"""Unit tests for the compaction package: policies, the generation
+lifecycle/registry, and the incremental scheduler over a fake executor.
+
+Everything here is pure in-memory — no ingest directory, no index
+builds — so the state-machine and pacing contracts are tested in
+isolation from the durable executors (covered by
+``test_compaction_recovery.py`` and ``test_index_generations.py``).
+"""
+
+import gc
+
+import pytest
+
+from repro.compaction import (
+    CompactionConfig,
+    CompactionPlan,
+    CompactionScheduler,
+    GenerationInfo,
+    GenerationLifecycleError,
+    GenerationRegistry,
+    GenerationState,
+    LeveledPolicy,
+    SizeTieredPolicy,
+    make_policy,
+)
+from repro.compaction.lifecycle import advance_state
+from repro.compaction.scheduler import CompactionExecutor
+
+
+def info(number, tier=0, seq=None, size=100, posts=10):
+    return GenerationInfo(number=number, tier=tier,
+                          seq=number if seq is None else seq,
+                          size_bytes=size, post_count=posts)
+
+
+class TestSizeTieredPolicy:
+    def test_below_trigger_no_plan(self):
+        policy = SizeTieredPolicy(min_inputs=4)
+        assert policy.plan([info(n) for n in range(3)]) is None
+
+    def test_merges_oldest_members_first(self):
+        policy = SizeTieredPolicy(min_inputs=2, max_inputs=3)
+        plan = policy.plan([info(5, seq=9), info(1, seq=1), info(2, seq=2),
+                            info(3, seq=3)])
+        assert plan.inputs == (1, 2, 3)  # oldest three by seq, capped
+        assert plan.output_tier == 1
+        assert plan.input_posts == 30
+
+    def test_lowest_tier_planned_first(self):
+        policy = SizeTieredPolicy(min_inputs=2)
+        plan = policy.plan([info(1, tier=1), info(2, tier=1),
+                            info(3, tier=0), info(4, tier=0)])
+        assert plan.inputs == (3, 4)
+        assert plan.output_tier == 1
+
+    def test_describe_names_generations(self):
+        plan = SizeTieredPolicy(min_inputs=2).plan([info(1), info(2)])
+        text = plan.describe()
+        assert "gen-00001" in text and "tier 1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeTieredPolicy(min_inputs=1)
+        with pytest.raises(ValueError):
+            SizeTieredPolicy(min_inputs=4, max_inputs=3)
+
+
+class TestLeveledPolicy:
+    def test_level0_accumulates_until_trigger(self):
+        policy = LeveledPolicy(level0_trigger=3)
+        assert policy.plan([info(1), info(2), info(3)]) is None
+
+    def test_overflow_merges_with_next_level_resident(self):
+        policy = LeveledPolicy(level0_trigger=3)
+        plan = policy.plan([info(1), info(2), info(3), info(4),
+                            info(9, tier=1, seq=0)])
+        assert set(plan.inputs) == {1, 2, 3, 4, 9}
+        assert plan.output_tier == 1
+
+    def test_upper_level_holds_at_most_one(self):
+        policy = LeveledPolicy(level0_trigger=4)
+        plan = policy.plan([info(1, tier=1), info(2, tier=1)])
+        assert plan is not None
+        assert plan.output_tier == 2
+
+    def test_factory(self):
+        assert isinstance(make_policy("tiered"), SizeTieredPolicy)
+        assert isinstance(make_policy("leveled"), LeveledPolicy)
+        with pytest.raises(ValueError):
+            make_policy("mystery")
+
+
+class TestLifecycle:
+    def test_legal_path(self):
+        state = GenerationState.ACTIVE
+        for target in (GenerationState.COMPACTING,
+                       GenerationState.SUPERSEDED,
+                       GenerationState.REMOVED):
+            state = advance_state(state, target)
+        assert state is GenerationState.REMOVED
+
+    def test_abort_returns_to_active(self):
+        state = advance_state(GenerationState.ACTIVE,
+                              GenerationState.COMPACTING)
+        assert advance_state(state, GenerationState.ACTIVE) \
+            is GenerationState.ACTIVE
+
+    @pytest.mark.parametrize("current,target", [
+        (GenerationState.ACTIVE, GenerationState.REMOVED),
+        (GenerationState.SUPERSEDED, GenerationState.ACTIVE),
+        (GenerationState.REMOVED, GenerationState.ACTIVE),
+    ])
+    def test_illegal_transitions_raise(self, current, target):
+        with pytest.raises(GenerationLifecycleError):
+            advance_state(current, target)
+
+
+class TestGenerationRegistry:
+    def test_append_bumps_epoch(self):
+        registry = GenerationRegistry()
+        assert registry.epoch == 0
+        registry.append("a")
+        registry.append("b")
+        assert registry.epoch == 2
+        assert registry.items == ("a", "b")
+
+    def test_swap_retires_with_deferred_reclaim(self):
+        registry = GenerationRegistry(["a", "b"])
+        reclaimed = []
+        pin = registry.pin()
+        registry.swap(["ab"], retired=[("a", lambda: reclaimed.append("a")),
+                                       ("b", lambda: reclaimed.append("b"))])
+        # The pinned reader can still reach "a"/"b" — nothing reclaimed.
+        assert reclaimed == []
+        assert registry.pending_reclaim() == 2
+        assert pin.items == ("a", "b")
+        pin.release()
+        assert reclaimed == ["a", "b"]
+        assert registry.pending_reclaim() == 0
+        assert registry.reclaimed_total == 2
+
+    def test_unpinned_swap_reclaims_immediately(self):
+        registry = GenerationRegistry(["a"])
+        reclaimed = []
+        registry.swap(["b"], retired=[("a", lambda: reclaimed.append("a"))])
+        assert reclaimed == ["a"]
+
+    def test_newer_pin_does_not_block_older_retirement(self):
+        registry = GenerationRegistry(["a"])
+        reclaimed = []
+        registry.swap(["b"], retired=[("a", lambda: reclaimed.append("a"))])
+        late_pin = registry.pin()  # pins the post-swap epoch
+        registry.drain()
+        assert reclaimed == ["a"]
+        late_pin.release()
+
+    def test_leaked_pin_is_finalized(self):
+        registry = GenerationRegistry(["a"])
+        pin = registry.pin()
+        assert registry.pin_count() == 1
+        del pin
+        gc.collect()
+        assert registry.pin_count() == 0
+
+    def test_pinned_context_manager(self):
+        registry = GenerationRegistry(["a"])
+        with registry.pinned() as items:
+            assert items == ("a",)
+            assert registry.pin_count() == 1
+        assert registry.pin_count() == 0
+
+
+class FakeExecutor(CompactionExecutor):
+    """In-memory executor: generations are (info, posts) records."""
+
+    def __init__(self, count, tier=0, pressure=0.0):
+        self.generations = {
+            number: info(number, tier=tier) for number in range(1, count + 1)
+        }
+        self.posts = {number: [f"post-{number}"]
+                      for number in self.generations}
+        self.states = {number: GenerationState.ACTIVE
+                       for number in self.generations}
+        self.pressure = pressure
+        self.next_number = count + 1
+        self.next_seq = count + 1
+        self.reclaims = 0
+        self.commits = []
+        self.aborts = []
+        self.fail_load = False
+
+    def generation_infos(self):
+        return [self.generations[number] for number in self.generations
+                if self.states[number] is GenerationState.ACTIVE]
+
+    def begin_compaction(self, plan):
+        for number in plan.inputs:
+            self.states[number] = advance_state(
+                self.states[number], GenerationState.COMPACTING)
+
+    def abort_compaction(self, plan):
+        self.aborts.append(plan)
+        for number in plan.inputs:
+            self.states[number] = advance_state(
+                self.states[number], GenerationState.ACTIVE)
+
+    def load_generation_posts(self, number):
+        if self.fail_load:
+            raise IOError("disk went away")
+        return self.posts[number]
+
+    def commit_compaction(self, plan, posts):
+        output = self.next_number
+        self.next_number += 1
+        self.generations[output] = GenerationInfo(
+            number=output, tier=plan.output_tier, seq=self.next_seq,
+            size_bytes=sum(self.generations[n].size_bytes
+                           for n in plan.inputs),
+            post_count=len(posts))
+        self.next_seq += 1
+        self.posts[output] = list(posts)
+        self.states[output] = GenerationState.ACTIVE
+        for number in plan.inputs:
+            self.states[number] = advance_state(
+                self.states[number], GenerationState.SUPERSEDED)
+        self.commits.append((plan, output))
+        return output
+
+    def reclaim(self):
+        removed = [number for number, state in self.states.items()
+                   if state is GenerationState.SUPERSEDED]
+        for number in removed:
+            self.states[number] = advance_state(
+                self.states[number], GenerationState.REMOVED)
+            del self.generations[number]
+        self.reclaims += 1
+        return len(removed)
+
+    def ingest_pressure(self):
+        return self.pressure
+
+
+class TestScheduler:
+    def test_step_sequence_plan_load_commit(self):
+        executor = FakeExecutor(2)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(min_inputs=2, max_inputs=4))
+        assert scheduler.step()  # plan
+        assert scheduler.in_flight is not None
+        assert executor.states[1] is GenerationState.COMPACTING
+        assert scheduler.step()  # load gen 1
+        assert scheduler.step()  # load gen 2
+        assert scheduler.step()  # commit
+        assert scheduler.in_flight is None
+        assert scheduler.stats.compactions_committed == 1
+        assert scheduler.stats.generations_merged == 2
+        assert scheduler.stats.posts_merged == 2
+        assert executor.posts[scheduler.stats.last_output] \
+            == ["post-1", "post-2"]
+
+    def test_idle_when_nothing_to_plan(self):
+        executor = FakeExecutor(1)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(min_inputs=2))
+        assert not scheduler.step()
+        assert scheduler.stats.plans_started == 0
+
+    def test_run_until_idle_cascades_tiers(self):
+        # 4 tier-0 generations with min_inputs=2 merge pairwise into two
+        # tier-1 generations, which then merge into one tier-2.
+        executor = FakeExecutor(4)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(min_inputs=2, max_inputs=2))
+        merges = scheduler.run_until_idle()
+        assert merges == 3
+        survivors = [executor.generations[number]
+                     for number, state in executor.states.items()
+                     if state is GenerationState.ACTIVE]
+        assert len(survivors) == 1
+        assert survivors[0].tier == 2
+        assert survivors[0].post_count == 4
+
+    def test_backpressure_defers_new_plans_only(self):
+        executor = FakeExecutor(2, pressure=0.9)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(min_inputs=2,
+                                       backpressure_fraction=0.75))
+        assert scheduler.maybe_step() == 0
+        assert scheduler.stats.deferred_backpressure == 1
+        # An in-flight merge keeps progressing under the same pressure.
+        executor.pressure = 0.0
+        assert scheduler.maybe_step() == 1  # plan started
+        executor.pressure = 0.9
+        assert scheduler.maybe_step() == 1  # load continues regardless
+        assert scheduler.stats.deferred_backpressure == 1
+
+    def test_disabled_scheduler_is_inert(self):
+        executor = FakeExecutor(8)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(enabled=False, min_inputs=2))
+        assert scheduler.maybe_step() == 0
+        assert scheduler.stats.steps == 0
+        # The manual path (repro compact) still works.
+        assert scheduler.run_until_idle() > 0
+
+    def test_load_failure_aborts_and_reactivates_inputs(self):
+        executor = FakeExecutor(2)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(min_inputs=2))
+        assert scheduler.step()  # plan
+        executor.fail_load = True
+        with pytest.raises(IOError):
+            scheduler.step()
+        assert scheduler.in_flight is None
+        assert len(executor.aborts) == 1
+        assert all(state is GenerationState.ACTIVE
+                   for state in executor.states.values())
+        # Recovery: the next planning round can pick them up again.
+        executor.fail_load = False
+        assert scheduler.run_until_idle() == 1
+
+    def test_debt_counts_cascading_rounds(self):
+        executor = FakeExecutor(8)
+        scheduler = CompactionScheduler(
+            executor, CompactionConfig(min_inputs=4, max_inputs=4))
+        # Two tier-0 rounds of 4; the two synthetic tier-1 outputs stay
+        # below the trigger, so the simulated cascade stops there.
+        assert scheduler.debt() == 8
+        scheduler.run_until_idle()
+        assert scheduler.debt() == 0
+
+    def test_status_shape(self):
+        scheduler = CompactionScheduler(
+            FakeExecutor(0), CompactionConfig(mode="leveled"))
+        status = scheduler.status()
+        assert status["enabled"] is True
+        assert status["mode"] == "leveled"
+        assert status["in_flight"] is None
+        assert status["debt"] == 0
+        assert status["compactions_committed"] == 0
+
+
+class TestConfigValidation:
+    def test_bad_mode_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            CompactionConfig(mode="mystery")
+
+    def test_bad_backpressure_rejected(self):
+        with pytest.raises(ValueError):
+            CompactionConfig(backpressure_fraction=0.0)
+
+    def test_bad_steps_rejected(self):
+        with pytest.raises(ValueError):
+            CompactionConfig(steps_per_append=0)
+
+    def test_as_dict_round_trip(self):
+        config = CompactionConfig(mode="leveled", level0_trigger=3)
+        assert CompactionConfig(**config.as_dict()).as_dict() \
+            == config.as_dict()

@@ -1,0 +1,228 @@
+"""Crash-safety of the durable compaction path in ``IngestService``.
+
+The generic kill-point matrix (``test_ingest_recovery.py``) already
+drives every compaction failpoint at early/late timings and asserts
+byte-identical answers; this file checks the *mechanics* behind that
+guarantee — which directories each crash shape leaves behind, that
+recovery classifies them correctly (orphan output vs. superseded
+inputs), manifest lineage, and pin-deferred reclamation.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.compaction import CompactionConfig
+from repro.data.generator import generate_corpus
+from repro.ingest import (
+    Failpoints,
+    IngestConfig,
+    IngestService,
+    SimulatedCrash,
+)
+
+FLUSH_EVERY = 50
+
+
+@pytest.fixture(scope="module")
+def posts():
+    corpus = generate_corpus(num_users=50, num_root_tweets=200, seed=7)
+    return corpus.posts[:140]
+
+
+def _service(directory, failpoints=None, enabled=True):
+    return IngestService(
+        directory,
+        ingest_config=IngestConfig(flush_posts=FLUSH_EVERY),
+        failpoints=failpoints,
+        compaction_config=CompactionConfig(enabled=enabled, min_inputs=2,
+                                           max_inputs=4))
+
+
+def _append_until_crash(service, posts):
+    """Append until the armed failpoint fires; returns the position of
+    the next unacknowledged post."""
+    for position, post in enumerate(posts):
+        try:
+            service.append(post)
+        except SimulatedCrash as crash:
+            assert crash.point.startswith("compaction.")
+            return position + 1  # the triggering append was acknowledged
+    raise AssertionError("failpoint never fired")
+
+
+def _answers(service, posts):
+    engine = service.build_query_engine()
+    query = engine.make_query(posts[0].location, 25.0,
+                              ["hotel", "pizza"], k=8)
+    return (len(service.database), engine.search_max(query).users,
+            engine.search_sum(query).users)
+
+
+def _manifest(directory):
+    with open(os.path.join(directory, "MANIFEST.json"),
+              encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _gen_dirs(directory):
+    root = os.path.join(directory, "generations")
+    return sorted(os.listdir(root)) if os.path.isdir(root) else []
+
+
+@pytest.fixture(scope="module")
+def reference(posts, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("compaction") / "reference")
+    service = _service(directory)
+    for post in posts:
+        service.append(post)
+    answers = _answers(service, posts)
+    service.close()
+    return answers
+
+
+class TestCrashShapes:
+    @pytest.mark.parametrize("point", ["compaction.merge.mid",
+                                       "compaction.pre_commit"])
+    def test_pre_commit_crash_leaves_orphan_output(self, posts, tmp_path,
+                                                   reference, point):
+        """Before the manifest rename the merge output is an orphan
+        directory: recovery must delete it and keep the inputs."""
+        directory = str(tmp_path / "crashed")
+        failpoints = Failpoints()
+        failpoints.arm(point)
+        service = _service(directory, failpoints=failpoints)
+        position = _append_until_crash(service, posts)
+
+        committed = {f"gen-{int(e['number']):05d}"
+                     for e in _manifest(directory)["generations"]}
+        on_disk = set(_gen_dirs(directory))
+        assert on_disk - committed, "crash should leave the merge output"
+
+        recovered = _service(directory)
+        assert recovered.recovery.orphan_generations_removed >= 1
+        assert set(_gen_dirs(directory)) == committed  # inputs survived
+        for post in posts[position:]:
+            recovered.append(post)
+        assert _answers(recovered, posts) == reference
+        recovered.close()
+
+    def test_pre_reclaim_crash_leaves_superseded_inputs(self, posts,
+                                                        tmp_path, reference):
+        """After the manifest rename the inputs are the orphans: the
+        merge is committed, so recovery must load the output and delete
+        the superseded input directories."""
+        directory = str(tmp_path / "crashed")
+        failpoints = Failpoints()
+        failpoints.arm("compaction.pre_reclaim")
+        service = _service(directory, failpoints=failpoints)
+        position = _append_until_crash(service, posts)
+
+        manifest = _manifest(directory)
+        merged = [e for e in manifest["generations"]
+                  if e["source_generations"]]
+        assert len(merged) == 1
+        assert merged[0]["tier"] == 1
+        superseded = {f"gen-{int(n):05d}"
+                      for n in merged[0]["source_generations"]}
+        assert superseded <= set(_gen_dirs(directory))
+
+        recovered = _service(directory)
+        assert recovered.recovery.orphan_generations_removed \
+            >= len(superseded)
+        assert not superseded & set(_gen_dirs(directory))
+        for post in posts[position:]:
+            recovered.append(post)
+        assert _answers(recovered, posts) == reference
+        recovered.close()
+
+    def test_double_crash_across_one_merge(self, posts, tmp_path, reference):
+        """Crash mid-merge, recover, then crash again after the retried
+        merge's commit — recovery must still converge byte-identically."""
+        directory = str(tmp_path / "double")
+        failpoints = Failpoints()
+        failpoints.arm("compaction.merge.mid")
+        service = _service(directory, failpoints=failpoints)
+        crashes = 0
+        position = 0
+        while position < len(posts):
+            try:
+                service.append(posts[position])
+                position += 1
+            except SimulatedCrash:
+                crashes += 1
+                position += 1  # compaction crashes post-acknowledgement
+                failpoints = Failpoints()
+                if crashes == 1:
+                    failpoints.arm("compaction.pre_reclaim")
+                service = _service(directory, failpoints=failpoints)
+        assert crashes == 2
+        assert _answers(service, posts) == reference
+        service.close()
+
+
+class TestCommitMechanics:
+    def test_manifest_lineage_and_tiers(self, posts, tmp_path):
+        directory = str(tmp_path / "lineage")
+        service = _service(directory, enabled=False)
+        for post in posts:
+            service.append(post)
+        inputs = [entry["number"]
+                  for entry in _manifest(directory)["generations"]]
+        assert len(inputs) == 2
+        assert service.compact() == 1
+        manifest = _manifest(directory)
+        (entry,) = manifest["generations"]
+        assert entry["tier"] == 1
+        assert sorted(entry["source_generations"]) == sorted(inputs)
+        assert entry["post_count"] == 2 * FLUSH_EVERY
+        seqs = [entry["seq"]]
+        assert all(seq < manifest["next_seq"] for seq in seqs)
+        assert service.tier_breakdown()["1"]["generations"] == 1
+        service.close()
+
+    def test_pinned_reader_defers_directory_reclaim(self, posts, tmp_path):
+        directory = str(tmp_path / "pinned")
+        service = _service(directory, enabled=False)
+        for post in posts:
+            service.append(post)
+        before = set(_gen_dirs(directory))
+        pin = service.generations.pin()
+        service.compact()
+        # The pinned reader still reaches the superseded inputs: their
+        # directories must survive until the pin is released.
+        assert before <= set(_gen_dirs(directory))
+        assert service.generations.pending_reclaim() == len(before)
+        pin.release()
+        assert service.generations.pending_reclaim() == 0
+        assert not before & set(_gen_dirs(directory))
+        service.close()
+
+    def test_merge_preserves_answers_and_database(self, posts, tmp_path,
+                                                  reference):
+        directory = str(tmp_path / "identity")
+        service = _service(directory, enabled=False)
+        for post in posts:
+            service.append(post)
+        before = _answers(service, posts)
+        merges = service.compact()
+        assert merges >= 1
+        assert _answers(service, posts) == before == reference
+        service.close()
+
+    def test_recovered_service_sees_compacted_shape(self, posts, tmp_path):
+        directory = str(tmp_path / "reopen")
+        service = _service(directory, enabled=False)
+        for post in posts:
+            service.append(post)
+        service.compact()
+        expected = _answers(service, posts)
+        service.close()
+
+        recovered = _service(directory, enabled=False)
+        assert _answers(recovered, posts) == expected
+        status = recovered.status()
+        assert [gen["tier"] for gen in status["generations"]] == [1]
+        assert status["compaction"]["debt"] == 0
+        recovered.close()

@@ -33,11 +33,15 @@ def make_query_payload(p95_ms=4.0, overhead=1.01, within=True,
     }
 
 
-def make_ingest_payload(aps=5000.0, recovery_s=0.2, posts_match=True):
+def make_ingest_payload(aps=5000.0, recovery_s=0.2, posts_match=True,
+                        read_amp_reduction=2.5, identical=True):
     return {
         "ingest": {"appends_per_second": aps},
         "query_latency_ms": {"p95": 3.0},
         "recovery": {"seconds": recovery_s, "posts_match": posts_match},
+        "compaction": {"read_amp_reduction": read_amp_reduction,
+                       "results_identical": identical,
+                       "meets_target": True},
     }
 
 

@@ -157,18 +157,13 @@ class TestCompaction:
         # Flat entries cost 12 bytes each regardless of list layout.
         assert index.inverted_size_bytes() == size_before
 
-    def test_compact_with_posts_is_deprecated_but_honoured(self, batches):
-        """Regression for the historical API: an explicit post set still
-        drives the rebuild (even one that differs from the retained
-        batches), behind a DeprecationWarning."""
+    def test_compact_posts_argument_removed(self, batches):
+        """The deprecated ``compact(posts)`` override is gone: the index
+        retains its batches and always rebuilds from them."""
         index = GenerationalIndex(paper_cluster())
-        for batch in batches:
-            index.ingest(batch)
-        override = list(batches[0])  # deliberately NOT the full corpus
-        with pytest.warns(DeprecationWarning):
-            index.compact(override)
-        assert index.generation_count == 1
-        assert index.post_count == len(override)
+        index.ingest(batches[0])
+        with pytest.raises(TypeError):
+            index.compact(list(batches[0]))  # type: ignore[call-arg]
 
     def test_compact_without_retained_batches_needs_posts(self, batches):
         index = GenerationalIndex(paper_cluster(), retain_batches=False)

@@ -1,0 +1,137 @@
+"""Manifest edge cases: versioning, migration, and manifest↔directory
+disagreement.
+
+The manifest is the single committed-state pointer of an ingest
+directory, so every way it can disagree with the directory — or with
+what this build of the code understands — needs a defined behaviour:
+load, migrate, repair, or refuse loudly.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.data.generator import generate_corpus
+from repro.ingest import IngestConfig, IngestError, IngestService
+from repro.lint.invariants import validate_generation_manifest
+
+FLUSH_EVERY = 40
+
+
+@pytest.fixture(scope="module")
+def posts():
+    corpus = generate_corpus(num_users=40, num_root_tweets=150, seed=11)
+    return corpus.posts[:100]
+
+
+def _manifest_path(directory):
+    return os.path.join(directory, "MANIFEST.json")
+
+
+def _read(directory):
+    with open(_manifest_path(directory), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _write(directory, manifest):
+    with open(_manifest_path(directory), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+def _flushed_service(directory, posts):
+    service = IngestService(
+        directory, ingest_config=IngestConfig(flush_posts=FLUSH_EVERY))
+    for post in posts:
+        service.append(post)
+    return service
+
+
+class TestManifestEdgeCases:
+    def test_empty_generations_list_loads(self, tmp_path):
+        directory = str(tmp_path / "empty")
+        os.makedirs(directory)
+        _write(directory, {"format_version": 2, "generations": [],
+                           "last_flushed_lsn": 0, "next_seq": 0})
+        service = IngestService(directory)
+        assert service.status()["generations"] == []
+        assert service.recovery.generations_loaded == 0
+        service.close()
+
+    def test_unknown_format_version_refused(self, posts, tmp_path):
+        directory = str(tmp_path / "future")
+        _flushed_service(directory, posts).close()
+        manifest = _read(directory)
+        manifest["format_version"] = 99
+        _write(directory, manifest)
+        with pytest.raises(IngestError, match="format_version"):
+            IngestService(directory)
+
+    def test_manifest_names_missing_directory(self, posts, tmp_path):
+        directory = str(tmp_path / "missing-dir")
+        service = _flushed_service(directory, posts)
+        number = service.status()["generations"][0]["number"]
+        service.close()
+        import shutil
+        shutil.rmtree(os.path.join(directory, "generations",
+                                   f"gen-{number:05d}"))
+        with pytest.raises(IngestError, match="directory"):
+            IngestService(directory)
+
+    def test_directory_not_in_manifest_removed_as_orphan(self, posts,
+                                                         tmp_path):
+        directory = str(tmp_path / "orphan-dir")
+        _flushed_service(directory, posts).close()
+        stray = os.path.join(directory, "generations", "gen-09999")
+        os.makedirs(stray)
+        with open(os.path.join(stray, "posts.jsonl"), "w") as handle:
+            handle.write("")
+        # The deep validator flags the disagreement...
+        assert any("orphan" in violation.message
+                   for violation in validate_generation_manifest(directory))
+        # ...and recovery repairs it.
+        service = IngestService(directory)
+        assert service.recovery.orphan_generations_removed == 1
+        assert not os.path.isdir(stray)
+        assert validate_generation_manifest(directory) == []
+        service.close()
+
+
+class TestV1Migration:
+    @pytest.fixture()
+    def v1_directory(self, posts, tmp_path):
+        directory = str(tmp_path / "v1")
+        _flushed_service(directory, posts).close()
+        manifest = _read(directory)
+        manifest["format_version"] = 1
+        manifest.pop("next_seq", None)
+        for entry in manifest["generations"]:
+            for key in ("tier", "seq", "size_bytes", "source_generations"):
+                entry.pop(key, None)
+        _write(directory, manifest)
+        return directory
+
+    def test_v1_entries_migrate_in_memory(self, v1_directory):
+        service = IngestService(v1_directory)
+        entries = service.status()["generations"]
+        assert entries, "flushed generations must survive migration"
+        for entry in entries:
+            assert entry["tier"] == 0
+            assert entry["seq"] == entry["number"]
+            assert entry["size_bytes"] > 0  # measured from the files
+        service.close()
+
+    def test_next_commit_persists_v2(self, v1_directory):
+        # The replayed WAL tail (posts beyond the last v1 flush) gives
+        # the recovered service something to flush — that commit must
+        # rewrite the manifest in the v2 format.
+        service = IngestService(v1_directory)
+        assert service.status()["memtable_posts"] > 0
+        assert service.flush() is not None
+        service.close()
+        manifest = _read(v1_directory)
+        assert manifest["format_version"] == 2
+        seqs = [entry["seq"] for entry in manifest["generations"]]
+        assert len(set(seqs)) == len(seqs)
+        assert manifest["next_seq"] > max(seqs)
+        assert validate_generation_manifest(v1_directory) == []

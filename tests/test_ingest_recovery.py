@@ -13,6 +13,7 @@ import os
 
 import pytest
 
+from repro.compaction import CompactionConfig
 from repro.data.generator import generate_corpus
 from repro.ingest import (
     KILL_POINTS,
@@ -23,7 +24,11 @@ from repro.ingest import (
     inspect_ingest_dir,
 )
 
-FLUSH_EVERY = 80
+# Four flushes inside the 240-post script, so the background compactor
+# (triggered at two tier members) commits multiple merges — the
+# compaction kill points then have both an "early" and a "late"
+# occurrence to fire on.
+FLUSH_EVERY = 50
 QUERY_SPECS = (
     (["hotel", "pizza"], 25.0),
     (["restaurant"], 15.0),
@@ -38,6 +43,10 @@ def posts():
 
 def _config():
     return IngestConfig(flush_posts=FLUSH_EVERY)
+
+
+def _compaction_config():
+    return CompactionConfig(min_inputs=2, max_inputs=4)
 
 
 def _answers(service, posts):
@@ -56,16 +65,18 @@ def _ingest_script(directory, posts, crash_point=None, crash_skip=0):
     """Append every post (auto-flushing); on the single injected crash,
     drop the service on the floor and recover from the directory.
 
-    An append is acknowledged once ``append()`` returns.  The flush kill
-    points fire *inside* the auto-flush — after the triggering append
-    was durably acknowledged — so the script must not retry it; the WAL
-    kill points lose the in-flight append, which is retried.
+    An append is acknowledged once ``append()`` returns.  The flush and
+    compaction kill points fire *inside* the auto-flush / background
+    merge step — after the triggering append was durably acknowledged —
+    so the script must not retry it; the WAL kill points lose the
+    in-flight append, which is retried.
     """
     failpoints = Failpoints()
     if crash_point is not None:
         failpoints.arm(crash_point, skip=crash_skip)
     service = IngestService(directory, ingest_config=_config(),
-                            failpoints=failpoints)
+                            failpoints=failpoints,
+                            compaction_config=_compaction_config())
     crashes = 0
     position = 0
     while position < len(posts):
@@ -74,9 +85,10 @@ def _ingest_script(directory, posts, crash_point=None, crash_skip=0):
             position += 1
         except SimulatedCrash as crash:
             crashes += 1
-            if crash.point.startswith("ingest.flush"):
+            if crash.point.startswith(("ingest.flush", "compaction.")):
                 position += 1  # that append was acknowledged pre-crash
-            service = IngestService(directory, ingest_config=_config())
+            service = IngestService(directory, ingest_config=_config(),
+                                    compaction_config=_compaction_config())
     if crash_point is not None:
         assert crashes == 1, f"failpoint {crash_point} never fired"
     return service

@@ -281,7 +281,9 @@ class TestDeepRunner:
         assert {check.name for check in report.checks} == {
             "bptree[sid]", "bptree[rsid]", "bptree[uid]", "heap-pages",
             "cover-soundness", "forward-inverted", "block-headers",
-            "quadtree", "wal-segments", "memtable-replay"}
+            "quadtree", "wal-segments", "memtable-replay",
+            "generation-manifest", "compaction",
+            "generation-manifest[compacted]"}
 
     def test_report_serialises(self, corpus):
         import json
@@ -289,7 +291,7 @@ class TestDeepRunner:
         report = run_deep_checks(posts=corpus.posts)
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["ok"] is True
-        assert len(payload["checks"]) == 10
+        assert len(payload["checks"]) == 13
 
     def test_cli_deep_exit_code(self, capsys):
         assert main(["check", "--deep", "--users", "30",
