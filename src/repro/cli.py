@@ -628,7 +628,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
 
-    run_rules = args.rules or not args.deep
+    fmt = args.format or ("json" if args.json else "text")
+    run_rules = args.rules or args.concurrency or not args.deep
     exit_code = 0
     payload = {}
 
@@ -636,31 +637,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
         baseline = set()
         if not args.no_baseline and os.path.exists(args.baseline):
             baseline = lint.load_baseline(args.baseline)
-        report = lint.lint_paths(args.paths, baseline=baseline)
+        rules = None
+        if args.concurrency:
+            # The RL100 family: guarded-by discipline, lock ordering,
+            # pin/lifecycle/commit protocols.
+            rules = [rule for rule in lint.all_rules()
+                     if rule.rule_id.startswith("RL10")]
+        report = lint.lint_paths(args.paths, rules=rules, baseline=baseline)
         if args.write_baseline:
             lint.write_baseline(args.baseline, report.findings)
             print(f"wrote {len(report.findings)} baseline entries to "
                   f"{args.baseline}", file=sys.stderr)
             report.baselined.extend(report.findings)
             report.findings = []
-        if args.json:
+        if fmt == "sarif":
+            print(lint.render_sarif(report))
+        elif fmt == "json":
             payload["rules"] = report.to_dict()
         else:
             print(lint.render_text(report, verbose=args.verbose))
         if not report.ok:
             exit_code = 1
 
+    if args.concurrency:
+        from .lint.sanitizer import run_sanitizer_smoke
+        sanitizer_report = run_sanitizer_smoke()
+        if fmt == "json":
+            payload["sanitizer"] = sanitizer_report.to_dict()
+        else:
+            # stderr so --format sarif keeps stdout pure SARIF.
+            stream = sys.stderr if fmt == "sarif" else sys.stdout
+            for line in sanitizer_report.describe():
+                print(line, file=stream)
+            print(f"sanitizer: {sanitizer_report.acquisitions} sanitized "
+                  f"acquisitions, {len(sanitizer_report.edges)} order "
+                  f"edge(s), "
+                  f"{'ok' if sanitizer_report.ok else 'NOT OK'}",
+                  file=stream)
+        if not sanitizer_report.ok:
+            exit_code = 1
+
     if args.deep:
         deep_report = lint.run_deep_checks(users=args.users,
                                            roots=args.roots, seed=args.seed)
-        if args.json:
+        if fmt == "json":
             payload["deep"] = deep_report.to_dict()
         else:
             print(deep_report.render_text())
         if not deep_report.ok:
             exit_code = 1
 
-    if args.json:
+    if fmt == "json":
         print(json.dumps(payload, indent=2))
     return exit_code
 
@@ -922,8 +949,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--deep", action="store_true",
                        help="build a synthetic index and validate its "
                             "structural invariants")
+    check.add_argument("--concurrency", action="store_true",
+                       help="run the RL100-family concurrency rules plus "
+                            "the runtime lock sanitizer smoke workload")
     check.add_argument("--json", action="store_true",
-                       help="emit a JSON report instead of text")
+                       help="emit a JSON report instead of text "
+                            "(alias for --format json)")
+    check.add_argument("--format", choices=("text", "json", "sarif"),
+                       default=None,
+                       help="report format; sarif emits a SARIF 2.1.0 "
+                            "log for CI annotation upload")
     check.add_argument("--baseline", default="lint-baseline.json",
                        metavar="FILE",
                        help="baseline of forgiven findings "

@@ -148,10 +148,11 @@ class GenerationRegistry:
 
     def __init__(self, items: Iterable[Any] = ()) -> None:
         self._lock = threading.RLock()
-        self._current = GenerationSet(0, tuple(items))
-        self._pins: Dict[int, int] = {}      # epoch -> live pin count
-        self._retired: List[_Retired] = []
-        self.reclaimed_total = 0
+        self._current = GenerationSet(0, tuple(items))  # guarded-by: _lock
+        # epoch -> live pin count
+        self._pins: Dict[int, int] = {}  # guarded-by: _lock
+        self._retired: List[_Retired] = []  # guarded-by: _lock
+        self.reclaimed_total = 0  # guarded-by: _lock
 
     # -- reading ------------------------------------------------------------
 

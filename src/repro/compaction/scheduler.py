@@ -31,6 +31,7 @@ Crash-safety therefore lives entirely in the executor's commit step.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -162,30 +163,38 @@ class CompactionScheduler:
         self.executor = executor
         self.config = config or CompactionConfig()
         self.policy = self.config.build_policy()
-        self.stats = CompactionStats()
-        self._task: Optional[_Task] = None
+        # Steps run on the append path while ``repro top`` polls status
+        # from its dashboard thread.  Re-entrant because a step's
+        # executor callback can legitimately read scheduler state (the
+        # service's gauge update asks for debt() mid-commit).
+        self._lock = threading.RLock()
+        self.stats = CompactionStats()   # guarded-by: _lock
+        self._task: Optional[_Task] = None  # guarded-by: _lock
 
     # -- introspection ------------------------------------------------------
 
     @property
     def in_flight(self) -> Optional[CompactionPlan]:
-        return self._task.plan if self._task is not None else None
+        with self._lock:
+            return self._task.plan if self._task is not None else None
 
     def plan_preview(self) -> Optional[CompactionPlan]:
         """What the policy would do next (the ``--dry-run`` output);
         the in-flight plan when a merge is mid-way."""
-        if self._task is not None:
-            return self._task.plan
-        return self.policy.plan(self.executor.generation_infos())
+        with self._lock:
+            if self._task is not None:
+                return self._task.plan
+            return self.policy.plan(self.executor.generation_infos())
 
     def debt(self) -> int:
         """How many generations the policy wants merged right now if it
         could run to completion — the health-probe backlog measure."""
         infos = {info.number: info for info in
                  self.executor.generation_infos()}
-        if self._task is not None:
-            for number in self._task.plan.inputs:
-                infos.pop(number, None)
+        with self._lock:
+            if self._task is not None:
+                for number in self._task.plan.inputs:
+                    infos.pop(number, None)
         merged = 0
         # Simulate planning over shrinking metadata: each round replaces
         # the plan's inputs with a synthetic merged generation.
@@ -213,70 +222,78 @@ class CompactionScheduler:
         if not self.config.enabled:
             return 0
         performed = 0
-        for _ in range(self.config.steps_per_append):
-            if (self._task is None and self.executor.ingest_pressure()
-                    >= self.config.backpressure_fraction):
-                self.stats.deferred_backpressure += 1
-                break
-            if not self.step():
-                break
-            performed += 1
+        with self._lock:
+            for _ in range(self.config.steps_per_append):
+                if (self._task is None and self.executor.ingest_pressure()
+                        >= self.config.backpressure_fraction):
+                    self.stats.deferred_backpressure += 1
+                    break
+                if not self.step():
+                    break
+                performed += 1
         return performed
 
     def step(self) -> bool:
         """One bounded unit of work; returns False when idle with
         nothing to plan (reclaim still drained)."""
-        self.stats.steps += 1
-        if self._task is None:
-            plan = self.policy.plan(self.executor.generation_infos())
-            if plan is None:
-                self.executor.reclaim()
-                return False
-            self.executor.begin_compaction(plan)
-            self._task = _Task(plan)
-            self.stats.plans_started += 1
-            return True
-        task = self._task
-        if task.pending:
-            number = task.pending.pop(0)
+        with self._lock:
+            self.stats.steps += 1
+            if self._task is None:
+                plan = self.policy.plan(self.executor.generation_infos())
+                if plan is None:
+                    self.executor.reclaim()
+                    return False
+                self.executor.begin_compaction(plan)
+                self._task = _Task(plan)
+                self.stats.plans_started += 1
+                return True
+            task = self._task
+            if task.pending:
+                number = task.pending.pop(0)
+                try:
+                    task.posts.extend(
+                        self.executor.load_generation_posts(number))
+                except Exception:
+                    self._task = None
+                    self.executor.abort_compaction(task.plan)
+                    raise
+                return True
             try:
-                task.posts.extend(self.executor.load_generation_posts(number))
-            except Exception:
+                output = self.executor.commit_compaction(task.plan,
+                                                         task.posts)
+            finally:
+                # A crash inside commit abandons the in-memory service;
+                # a non-crash failure must not leave a phantom in-flight
+                # task.
                 self._task = None
-                self.executor.abort_compaction(task.plan)
-                raise
+            self.stats.compactions_committed += 1
+            self.stats.generations_merged += len(task.plan.inputs)
+            self.stats.posts_merged += len(task.posts)
+            self.stats.last_output = output
+            self.executor.reclaim()
             return True
-        try:
-            output = self.executor.commit_compaction(task.plan, task.posts)
-        finally:
-            # A crash inside commit abandons the in-memory service; a
-            # non-crash failure must not leave a phantom in-flight task.
-            self._task = None
-        self.stats.compactions_committed += 1
-        self.stats.generations_merged += len(task.plan.inputs)
-        self.stats.posts_merged += len(task.posts)
-        self.stats.last_output = output
-        self.executor.reclaim()
-        return True
 
     def run_until_idle(self, max_steps: int = 10_000) -> int:
         """Drive to quiescence (the manual ``repro compact`` path);
         returns the number of compactions committed."""
-        before = self.stats.compactions_committed
+        with self._lock:
+            before = self.stats.compactions_committed
         for _ in range(max_steps):
             if not self.step():
                 break
         else:
             raise RuntimeError(
                 f"compaction did not quiesce within {max_steps} steps")
-        return self.stats.compactions_committed - before
+        with self._lock:
+            return self.stats.compactions_committed - before
 
     def status(self) -> Dict[str, Any]:
-        return {
-            "enabled": self.config.enabled,
-            "mode": self.config.mode,
-            "in_flight": (self._task.plan.describe()
-                          if self._task is not None else None),
-            "debt": self.debt(),
-            **self.stats.as_dict(),
-        }
+        with self._lock:
+            return {
+                "enabled": self.config.enabled,
+                "mode": self.config.mode,
+                "in_flight": (self._task.plan.describe()
+                              if self._task is not None else None),
+                "debt": self.debt(),
+                **self.stats.as_dict(),
+            }

@@ -32,6 +32,7 @@ build over the concatenated batches — a fact the tests verify.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -148,7 +149,11 @@ class GenerationalIndex:
         self.compactions = 0
         # Read-amplification accounting for lookups through this index
         # (per-generation fetch counters live on the member indexes).
-        self._merge_stats = IndexStats()
+        # Queries may run on several threads at once (scatter-gather,
+        # the dashboard), so increments take the stats lock — bare
+        # ``+=`` on two threads loses updates.
+        self._stats_lock = threading.Lock()
+        self._merge_stats = IndexStats()  # guarded-by: _stats_lock
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -240,8 +245,9 @@ class GenerationalIndex:
         per_generation = [generation.index.postings(cell, term)
                           for generation in generations]
         non_empty = [postings for postings in per_generation if postings]
-        self._merge_stats.generations_probed += len(generations)
-        self._merge_stats.postings_sources_merged += len(non_empty)
+        with self._stats_lock:
+            self._merge_stats.generations_probed += len(generations)
+            self._merge_stats.postings_sources_merged += len(non_empty)
         if not non_empty:
             return ()
         if len(non_empty) == 1:
@@ -355,7 +361,8 @@ class GenerationalIndex:
                    for generation in self.registry)
 
     def reset_stats(self) -> None:
-        self._merge_stats.reset()
+        with self._stats_lock:
+            self._merge_stats.reset()
         for generation in self.registry:
             generation.index.reset_stats()
 
@@ -369,11 +376,11 @@ class GenerationalIndex:
         exactly as with a monolithic index.
         """
         total = IndexStats()
-        sources = [generation.index.stats
-                   for generation in self.registry]
-        sources.append(self._merge_stats)
-        for stats in sources:
-            snapshot = stats.snapshot()
+        snapshots = [generation.index.stats.snapshot()
+                     for generation in self.registry]
+        with self._stats_lock:
+            snapshots.append(self._merge_stats.snapshot())
+        for snapshot in snapshots:
             for field_name, value in snapshot.items():
                 setattr(total, field_name,
                         getattr(total, field_name) + value)

@@ -29,6 +29,7 @@ collides).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import (Any, Dict, Iterator, List, Optional, Sequence, Tuple,
                     Union)
@@ -80,8 +81,12 @@ class LiveIndex:
         self.memtables = memtables
         self.generations = generations
         # Read-amplification accounting for merges done by this facade;
-        # per-component fetch counters live on the components.
-        self._merge_stats = IndexStats()
+        # per-component fetch counters live on the components.  Queries
+        # and the dashboard thread both touch it, so increments happen
+        # under the stats lock (shared with snapshots, which accumulate
+        # into the same object).
+        self._stats_lock = threading.Lock()
+        self._merge_stats = IndexStats()  # guarded-by: _stats_lock
 
     # -- consistency --------------------------------------------------------
 
@@ -103,16 +108,29 @@ class LiveIndex:
         """A view frozen at the current watermark and component set;
         holds a generation-set pin until closed or collected."""
         pin: Optional[PinnedGenerations] = None
-        if isinstance(self.generations, GenerationRegistry):
-            pin = self.generations.pin()
-            items: Tuple[Any, ...] = pin.items
-        else:
-            items = tuple(self.generations)
-        return LiveSnapshot(self.config, self.analyzer,
-                            tuple(self.memtables),
-                            tuple(_generation_index(item) for item in items),
-                            self.watermark(), pin=pin,
-                            merge_stats=self._merge_stats)
+        try:
+            if isinstance(self.generations, GenerationRegistry):
+                pin = self.generations.pin()
+                items: Tuple[Any, ...] = pin.items
+            else:
+                items = tuple(self.generations)
+            # The snapshot receives a *reference* to the shared stats
+            # object together with the lock that guards it; no counter
+            # is read here.
+            return LiveSnapshot(
+                self.config, self.analyzer, tuple(self.memtables),
+                tuple(_generation_index(item) for item in items),
+                self.watermark(), pin=pin,
+                merge_stats=self._merge_stats,  # repro-lint: disable=RL100 reason=reference pass; snapshot shares the stats object and its lock
+                stats_lock=self._stats_lock)
+        except BaseException:
+            # Until the snapshot owns the pin, we do: anything raising
+            # between pin() and here (a component with a broken
+            # watermark, say) must not leave the generation set pinned
+            # forever.
+            if pin is not None:
+                pin.release()
+            raise
 
     # -- PostingsSource -----------------------------------------------------
 
@@ -137,8 +155,9 @@ class LiveIndex:
             fetched = mem.postings(cell, term, max_lsn)
             if fetched:
                 parts.append(fetched)
-        self._merge_stats.generations_probed += len(generations)
-        self._merge_stats.postings_sources_merged += len(parts)
+        with self._stats_lock:
+            self._merge_stats.generations_probed += len(generations)
+            self._merge_stats.postings_sources_merged += len(parts)
         return _merge_parts(parts)
 
     def postings(self, cell: str, term: str,
@@ -193,7 +212,9 @@ class LiveIndex:
         for component in components:
             for key, value in component.stats.snapshot().items():
                 setattr(total, key, getattr(total, key) + value)
-        for key, value in self._merge_stats.snapshot().items():
+        with self._stats_lock:
+            merge_snapshot = self._merge_stats.snapshot()
+        for key, value in merge_snapshot.items():
             setattr(total, key, getattr(total, key) + value)
         return total
 
@@ -220,15 +241,20 @@ class LiveSnapshot:
                  generations: Tuple[HybridIndex, ...],
                  lsn_limit: int,
                  pin: Optional[PinnedGenerations] = None,
-                 merge_stats: Optional[IndexStats] = None) -> None:
+                 merge_stats: Optional[IndexStats] = None,
+                 stats_lock: Optional[threading.Lock] = None) -> None:
         self.config = config
         self.analyzer = analyzer
         self.memtables = memtables
         self.generations = generations
         self.lsn_limit = lsn_limit
         self._pin = pin
+        # The stats object (and therefore the lock guarding it) is
+        # usually shared with the owning LiveIndex.
+        self._stats_lock = (stats_lock if stats_lock is not None
+                            else threading.Lock())
         self._merge_stats = (merge_stats if merge_stats is not None
-                             else IndexStats())
+                             else IndexStats())  # guarded-by: _stats_lock
 
     def close(self) -> None:
         """Release the generation-set pin (idempotent)."""
@@ -261,8 +287,9 @@ class LiveSnapshot:
             fetched = mem.postings(cell, term, self.lsn_limit)
             if fetched:
                 parts.append(fetched)
-        self._merge_stats.generations_probed += len(self.generations)
-        self._merge_stats.postings_sources_merged += len(parts)
+        with self._stats_lock:
+            self._merge_stats.generations_probed += len(self.generations)
+            self._merge_stats.postings_sources_merged += len(parts)
         return _merge_parts(parts)
 
     def postings_fetch_count(self) -> int:

@@ -53,6 +53,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence
@@ -225,6 +226,12 @@ class IngestService:
         self.failpoints = failpoints if failpoints is not None else NO_FAILPOINTS
         self.io = IOStats()
         self._thread_builders: List[ThreadBuilder] = []
+        # Committed-manifest state: mutated by flush/compaction commits,
+        # read by status/health/top (the dashboard thread).  Lock order:
+        # the compaction scheduler's lock, when involved, is acquired
+        # FIRST (scheduler.step holds it across _commit_compaction);
+        # nothing may call into the scheduler while holding this lock.
+        self._manifest_lock = threading.RLock()
 
         os.makedirs(directory, exist_ok=True)
         os.makedirs(self._generations_root, exist_ok=True)
@@ -237,11 +244,14 @@ class IngestService:
             self.index_config = IndexConfig(**stored_config)
         else:
             self.index_config = IndexConfig()
-        self._next_generation = int(manifest.get("next_generation", 1))
-        self._next_seq = int(manifest.get("next_seq", 0))
-        self._last_flushed_lsn = int(manifest.get("last_flushed_lsn", 0))
+        self._next_generation = int(
+            manifest.get("next_generation", 1))  # guarded-by: _manifest_lock
+        self._next_seq = int(
+            manifest.get("next_seq", 0))  # guarded-by: _manifest_lock
+        self._last_flushed_lsn = int(
+            manifest.get("last_flushed_lsn", 0))  # guarded-by: _manifest_lock
         self._generation_entries: List[Dict[str, Any]] = list(
-            manifest.get("generations", []))
+            manifest.get("generations", []))  # guarded-by: _manifest_lock
 
         self.database = MetadataDatabase.in_memory()
         self.generations = GenerationRegistry()
@@ -251,7 +261,8 @@ class IngestService:
         self.recovery = RecoveryReport(last_flushed_lsn=self._last_flushed_lsn)
 
         recover_start = time.perf_counter()
-        with obs.trace("ingest.recover", directory=directory):
+        with obs.trace("ingest.recover", directory=directory), \
+                self._manifest_lock:
             self._load_generations()
             self._remove_orphan_generations()
             flushed = self._remove_flushed_segments()
@@ -336,6 +347,7 @@ class IngestService:
         manifest["format_version"] = MANIFEST_FORMAT_VERSION
         return manifest
 
+    # holds-lock: _manifest_lock
     def _manifest_payload(self) -> Dict[str, Any]:
         config = self.index_config
         return {
@@ -356,6 +368,7 @@ class IngestService:
             "generations": self._generation_entries,
         }
 
+    # holds-lock: _manifest_lock
     def _commit_manifest(self) -> None:
         """Atomic write: the manifest either names the new generation or
         it does not — there is no in-between state on disk."""
@@ -373,6 +386,7 @@ class IngestService:
         return replace(self.index_config,
                        output_prefix=f"{base}/gen-{number:05d}")
 
+    # holds-lock: _manifest_lock
     def _load_generations(self) -> None:
         """Rebuild every committed generation: re-upload its part files
         into the (volatile) DFS cluster, deserialise its forward index,
@@ -411,6 +425,7 @@ class IngestService:
                 self.database.insert(_post_record(post))
             self.recovery.generations_loaded += 1
 
+    # holds-lock: _manifest_lock
     def _remove_orphan_generations(self) -> None:
         """Drop generation directories the manifest does not name.
 
@@ -427,6 +442,7 @@ class IngestService:
                 shutil.rmtree(os.path.join(self._generations_root, name))
                 self.recovery.orphan_generations_removed += 1
 
+    # holds-lock: _manifest_lock
     def _remove_flushed_segments(self) -> int:
         """Delete WAL segments whose records are already inside a
         committed generation (a crash after commit, before truncate).
@@ -442,6 +458,7 @@ class IngestService:
                 removed += 1
         return removed
 
+    # holds-lock: _manifest_lock
     def _replay_wal(self) -> int:
         """Replay surviving segments into a fresh memtable; returns the
         next LSN to assign."""
@@ -531,9 +548,11 @@ class IngestService:
             pairs = sorted((pair for mem in sealed
                             for pair in mem.lsn_posts()))
             posts = [post for _lsn, post in pairs]
-            last_lsn = pairs[-1][0] if pairs else self._last_flushed_lsn
-
-            number = self._next_generation
+            with self._manifest_lock:
+                last_lsn = (pairs[-1][0] if pairs
+                            else self._last_flushed_lsn)
+                number = self._next_generation
+                seq = self._next_seq
             config = self._generation_config(number)
             gen_dir = self._generation_dir(number)
             os.makedirs(gen_dir, exist_ok=True)
@@ -559,25 +578,26 @@ class IngestService:
                 handle.flush()
                 os.fsync(handle.fileno())
 
-            seq = self._next_seq
             size_bytes = sum(
                 os.path.getsize(os.path.join(gen_dir, name))
                 for name in os.listdir(gen_dir))
-            self._generation_entries.append({
-                "number": number,
-                "post_count": len(posts),
-                "last_lsn": last_lsn,
-                "parts": sorted(part_names),
-                "segments": sealed_segments,
-                "tier": 0,
-                "seq": seq,
-                "size_bytes": size_bytes,
-                "source_generations": [],
-            })
-            self._next_generation = number + 1
-            self._next_seq = seq + 1
-            self._last_flushed_lsn = max(self._last_flushed_lsn, last_lsn)
-            self._commit_manifest()
+            with self._manifest_lock:
+                self._generation_entries.append({
+                    "number": number,
+                    "post_count": len(posts),
+                    "last_lsn": last_lsn,
+                    "parts": sorted(part_names),
+                    "segments": sealed_segments,
+                    "tier": 0,
+                    "seq": seq,
+                    "size_bytes": size_bytes,
+                    "source_generations": [],
+                })
+                self._next_generation = number + 1
+                self._next_seq = seq + 1
+                self._last_flushed_lsn = max(self._last_flushed_lsn,
+                                             last_lsn)
+                self._commit_manifest()
             self.failpoints.trip("ingest.flush.pre_truncate")
 
             for name in sealed_segments:
@@ -660,7 +680,8 @@ class IngestService:
         compact_start = time.perf_counter()
         with obs.trace("ingest.compaction", inputs=len(plan.inputs),
                        output_tier=plan.output_tier) as span:
-            number = self._next_generation
+            with self._manifest_lock:
+                number = self._next_generation
             config = self._generation_config(number)
             gen_dir = self._generation_dir(number)
             os.makedirs(gen_dir, exist_ok=True)
@@ -688,36 +709,38 @@ class IngestService:
             self.failpoints.trip("compaction.pre_commit")
 
             superseded = set(plan.inputs)
-            input_entries = [entry for entry in self._generation_entries
-                             if int(entry["number"]) in superseded]
-            if len(input_entries) != len(superseded):
-                raise IngestError(
-                    f"compaction inputs {sorted(superseded)} not all "
-                    "present in the committed manifest")
-            seq = self._next_seq
             size_bytes = sum(
                 os.path.getsize(os.path.join(gen_dir, name))
                 for name in os.listdir(gen_dir))
-            self._generation_entries = [
-                entry for entry in self._generation_entries
-                if int(entry["number"]) not in superseded]
-            self._generation_entries.append({
-                "number": number,
-                "post_count": len(posts),
-                # The inputs' WAL segments were deleted when they
-                # flushed; the merge introduces no new WAL coverage.
-                "last_lsn": max(int(entry["last_lsn"])
-                                for entry in input_entries),
-                "parts": sorted(part_names),
-                "segments": [],
-                "tier": plan.output_tier,
-                "seq": seq,
-                "size_bytes": size_bytes,
-                "source_generations": sorted(superseded),
-            })
-            self._next_generation = number + 1
-            self._next_seq = seq + 1
-            self._commit_manifest()
+            with self._manifest_lock:
+                input_entries = [entry
+                                 for entry in self._generation_entries
+                                 if int(entry["number"]) in superseded]
+                if len(input_entries) != len(superseded):
+                    raise IngestError(
+                        f"compaction inputs {sorted(superseded)} not all "
+                        "present in the committed manifest")
+                seq = self._next_seq
+                self._generation_entries = [
+                    entry for entry in self._generation_entries
+                    if int(entry["number"]) not in superseded]
+                self._generation_entries.append({
+                    "number": number,
+                    "post_count": len(posts),
+                    # The inputs' WAL segments were deleted when they
+                    # flushed; the merge introduces no new WAL coverage.
+                    "last_lsn": max(int(entry["last_lsn"])
+                                    for entry in input_entries),
+                    "parts": sorted(part_names),
+                    "segments": [],
+                    "tier": plan.output_tier,
+                    "seq": seq,
+                    "size_bytes": size_bytes,
+                    "source_generations": sorted(superseded),
+                })
+                self._next_generation = number + 1
+                self._next_seq = seq + 1
+                self._commit_manifest()
             self.failpoints.trip("compaction.pre_reclaim")
 
             inputs = self._generations_by_number(plan.inputs)
@@ -757,7 +780,9 @@ class IngestService:
     def tier_breakdown(self) -> Dict[str, Dict[str, int]]:
         """Committed generations bucketed by tier (manifest view)."""
         tiers: Dict[int, Dict[str, int]] = {}
-        for entry in self._generation_entries:
+        with self._manifest_lock:
+            entries = [dict(entry) for entry in self._generation_entries]
+        for entry in entries:
             bucket = tiers.setdefault(
                 int(entry.get("tier", 0)),
                 {"generations": 0, "posts": 0, "bytes": 0})
@@ -797,7 +822,9 @@ class IngestService:
             return
         obs.set_gauge("ingest.memtable_bytes", self._active.size_bytes())
         obs.set_gauge("ingest.memtable_posts", self._active.post_count)
-        obs.set_gauge("ingest.generations", len(self._generation_entries))
+        with self._manifest_lock:
+            committed = len(self._generation_entries)
+        obs.set_gauge("ingest.generations", committed)
         obs.set_gauge("ingest.wal_unsynced_records", self.wal.pending_appends)
         obs.set_gauge("ingest.compaction_debt", self.compaction.debt())
         obs.set_gauge("ingest.pending_reclaim",
@@ -851,8 +878,12 @@ class IngestService:
                                        if mem.sealed)})
 
         def generations_probe() -> ComponentHealth:
-            count = len(self._generation_entries)
+            # Scheduler lock first (debt), manifest lock second — the
+            # same order a compaction commit acquires them in.
             debt = self.compaction.debt()
+            with self._manifest_lock:
+                count = len(self._generation_entries)
+                last_flushed = self._last_flushed_lsn
             status = HealthStatus.worst([
                 grade(count, limits.generations_warn,
                       limits.generations_critical),
@@ -864,7 +895,7 @@ class IngestService:
                 message=f"{count} committed generations, "
                         f"compaction debt {debt}",
                 metrics={"count": count,
-                         "last_flushed_lsn": self._last_flushed_lsn,
+                         "last_flushed_lsn": last_flushed,
                          "compaction_debt": debt,
                          "tiers": len(self.tier_breakdown()),
                          "pending_reclaim":
@@ -912,10 +943,17 @@ class IngestService:
         return self.health_monitor(thresholds).run()
 
     def status(self) -> Dict[str, Any]:
+        # Scheduler state is read before (not under) the manifest lock:
+        # commits hold scheduler -> manifest, so the reverse nesting
+        # here would be a deadlock waiting for unlucky timing.
+        compaction_status = self.compaction.status()
+        with self._manifest_lock:
+            last_flushed = self._last_flushed_lsn
+            entries = [dict(entry) for entry in self._generation_entries]
         return {
             "directory": self.directory,
             "next_lsn": self.wal.next_lsn,
-            "last_flushed_lsn": self._last_flushed_lsn,
+            "last_flushed_lsn": last_flushed,
             "active_segment": self.wal.active_name,
             "segments": self.wal.segment_names(),
             "memtable_posts": self._active.post_count,
@@ -929,9 +967,9 @@ class IngestService:
                  "seq": entry.get("seq", entry["number"]),
                  "size_bytes": entry.get("size_bytes", 0),
                  "source_generations": entry.get("source_generations", [])}
-                for entry in self._generation_entries],
+                for entry in entries],
             "tiers": self.tier_breakdown(),
-            "compaction": self.compaction.status(),
+            "compaction": compaction_status,
             "database_posts": len(self.database),
             "wal": self.wal.stats.snapshot(),
             "recovery": self.recovery.as_dict(),

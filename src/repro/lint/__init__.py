@@ -1,12 +1,19 @@
 """Project-aware correctness tooling.
 
-Two layers (see ``docs/STATIC_ANALYSIS.md``):
+Three layers (see ``docs/STATIC_ANALYSIS.md``):
 
 * **Static rules** (``repro check --rules``) — AST analyses RL001–RL007
   encoding disciplines this codebase has been burned by: mutable
   dataclass defaults, cache aliasing, unbalanced tracer spans, lock-free
   access to guarded state, undeclared operator writes, leaked page pins,
-  and naked float equality in scoring code.
+  and naked float equality in scoring code.  The RL100 concurrency
+  family (``repro check --concurrency``) adds CFG/dataflow analyses:
+  guarded-by field discipline, lock-order cycles, pin/lock release on
+  all paths, lifecycle typestate, and commit-section ordering.
+* **Runtime lock sanitizer** (``repro.lint.sanitizer``) — instrumented
+  locks that record acquisition order and guarded-field accesses during
+  the concurrency hammer tests and fail on inversions the static pass
+  cannot see.
 * **Deep invariant validators** (``repro check --deep``) — runtime
   structural audits of built B+-trees, slotted heap pages, geohash
   circle covers, the forward↔inverted index pair, and quadtrees.
@@ -32,14 +39,17 @@ from .invariants import (
     validate_heap_pages,
     validate_quadtree,
 )
-from .registry import ModuleInfo, Rule, all_rules, get_rule, rule_ids
-from .reporters import render_json, render_text
+from .annotations import AnnotationMap, scan_annotations
+from .registry import ModuleInfo, ProjectRule, Rule, all_rules, get_rule, rule_ids
+from .reporters import render_json, render_sarif, render_text
 from .suppressions import SuppressionMap, scan_suppressions
 
-# Importing the rules module registers RL001-RL007.
+# Importing the rules modules registers RL001-RL007 and RL100-RL106.
 from . import rules as _rules  # noqa: F401
+from . import concurrency as _concurrency  # noqa: F401
 
 __all__ = [
+    "AnnotationMap",
     "DEFAULT_BASELINE",
     "DeepCheckReport",
     "Finding",
@@ -47,6 +57,7 @@ __all__ = [
     "LintReport",
     "META_RULE",
     "ModuleInfo",
+    "ProjectRule",
     "Rule",
     "SuppressionMap",
     "all_rules",
@@ -56,8 +67,10 @@ __all__ = [
     "lint_source",
     "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
+    "scan_annotations",
     "run_deep_checks",
     "scan_suppressions",
     "validate_block_headers",

@@ -1,0 +1,82 @@
+"""Concurrency-discipline annotations.
+
+Two comment forms declare the locking contract the RL100 family checks
+(token-based scanning, so occurrences inside string literals are
+ignored)::
+
+    self._ring = []          # guarded-by: _lock
+    def _drain_locked(self): # holds-lock: _lock
+
+``# guarded-by: <lock>`` trails the statement that introduces a field
+(an assignment to ``self.<field>`` in ``__init__``, or a class-level
+``field: type`` annotation) and declares that every later read or write
+of that field must happen inside a ``with self.<lock>:`` block (or in a
+method annotated ``holds-lock``).  ``<lock>`` names an attribute of the
+same object — write it bare (``_lock``), not ``self._lock``.
+
+``# holds-lock: <lock>`` trails a ``def`` line and declares the method
+is only ever called with ``<lock>`` already held — the body is then
+checked as if it were inside the ``with`` block.  Helpers following the
+``*_locked`` naming convention get the same treatment for every lock
+(the suffix is the project's pre-existing signal for "caller holds the
+lock").
+
+The scan is per-module and purely lexical; binding annotations to the
+class structure happens in :mod:`repro.lint.concurrency`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .findings import META_RULE, Finding
+from .suppressions import _comment_tokens
+
+_GUARDED_BY = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][\w.]*)\s*$")
+_HOLDS_LOCK = re.compile(r"#\s*holds-lock:\s*(?P<lock>[A-Za-z_][\w.]*)\s*$")
+_GUARDED_BY_LOOSE = re.compile(r"#\s*guarded-by\b")
+_HOLDS_LOCK_LOOSE = re.compile(r"#\s*holds-lock\b")
+
+
+@dataclass
+class AnnotationMap:
+    """Lock annotations by source line, plus malformed-comment findings."""
+
+    #: line -> lock name for ``# guarded-by: <lock>`` comments.  The
+    #: line is the one carrying the comment (trailing form) or the one
+    #: after it (standalone form), matching suppression semantics.
+    guarded_by: Dict[int, str] = field(default_factory=dict)
+    #: line -> lock name for ``# holds-lock: <lock>`` comments.
+    holds_lock: Dict[int, str] = field(default_factory=dict)
+    malformed: List[Finding] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.guarded_by and not self.holds_lock
+
+
+def scan_annotations(source: str, path: str) -> AnnotationMap:
+    """Parse every lock annotation comment in ``source``."""
+    result = AnnotationMap()
+    for line, col, text, line_source in _comment_tokens(source):
+        for pattern, loose, store, label in (
+                (_GUARDED_BY, _GUARDED_BY_LOOSE, result.guarded_by,
+                 "guarded-by"),
+                (_HOLDS_LOCK, _HOLDS_LOCK_LOOSE, result.holds_lock,
+                 "holds-lock")):
+            match = pattern.search(text)
+            if match is not None:
+                lock = match.group("lock")
+                if lock.startswith("self."):
+                    lock = lock[len("self."):]
+                standalone = line_source[:col].strip() == ""
+                target = line + 1 if standalone else line
+                store[target] = lock
+            elif loose.search(text) is not None:
+                result.malformed.append(Finding(
+                    rule=META_RULE, path=path, line=line, col=col,
+                    message=f"malformed {label} annotation (ignored); "
+                            f"write '# {label}: <lock_attr>'"))
+    return result

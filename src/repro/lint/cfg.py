@@ -1,0 +1,416 @@
+"""Intraprocedural control-flow graphs over Python AST.
+
+The concurrency rules (RL100-RL1xx) need more than a tree walk: "this
+pin is released on **all** paths, including the one where the merge
+raises halfway" is a property of the control-flow graph, not of any
+single statement.  This module builds that graph for one function (or
+module) body.
+
+Design notes
+------------
+* **Nodes are statements**, not basic blocks.  The bodies this linter
+  sees are a few dozen statements; collapsing straight-line runs into
+  blocks would save nothing and cost a mapping layer when findings are
+  reported against source lines.
+* **Exceptional edges are conservative.**  Any statement that contains
+  a call, a subscript, an attribute access or a raise *may* raise, and
+  gets an edge to the innermost enclosing handler chain (except blocks,
+  then the ``finally``), or to the synthetic :attr:`CFG.exc_exit` when
+  nothing encloses it.  This over-approximates real exception flow —
+  exactly what an all-paths *must* analysis needs to stay sound.
+* **``finally`` is approximated by edge routing**, not by duplicating
+  the block per entry reason: flow that leaves a ``try`` abnormally is
+  routed through the ``finally`` statements and then on to the handler
+  target / exit.  Normal completion is routed through the same
+  statements to the successor.  The approximation merges the "why did
+  we enter finally" distinction, which is sound for the union/
+  intersection facts the rules compute.
+* ``break`` / ``continue`` / ``return`` / ``raise`` edges honour loop
+  and try nesting (including routing through intervening ``finally``
+  blocks, which is where hand-written release logic usually hides).
+
+The solver that runs over these graphs lives in :mod:`repro.lint.flow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Statement types that can never raise by themselves (their nested
+#: expressions are what might).  Used only for documentation; edge
+#: construction treats any expression-bearing statement as may-raise.
+_LOOP_TYPES = (ast.For, ast.AsyncFor, ast.While)
+
+
+class CFGNode:
+    """One statement (or synthetic entry/exit) in the graph."""
+
+    __slots__ = ("index", "stmt", "kind", "succs", "preds")
+
+    def __init__(self, index: int, stmt: Optional[ast.AST],
+                 kind: str = "stmt") -> None:
+        self.index = index
+        self.stmt = stmt
+        self.kind = kind                  # stmt | entry | exit | exc_exit
+        self.succs: Set[int] = set()
+        self.preds: Set[int] = set()
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self) -> str:
+        label = self.kind if self.stmt is None else (
+            type(self.stmt).__name__ + f"@{self.line}")
+        return f"CFGNode({self.index}, {label})"
+
+
+class _Frame:
+    """Abnormal-edge routing context while building: where ``break`` /
+    ``continue`` / ``return`` / ``raise`` go from the current position,
+    and which ``finally`` bodies they must traverse on the way."""
+
+    __slots__ = ("kind", "target", "finally_body", "breaks")
+
+    def __init__(self, kind: str, target: Optional[int] = None,
+                 finally_body: Optional[List[ast.stmt]] = None) -> None:
+        self.kind = kind              # loop | try | finally
+        self.target = target
+        self.finally_body = finally_body
+        #: For loop frames: node indices that dangle out of ``break``.
+        self.breaks: List[int] = []
+
+
+class CFG:
+    """The control-flow graph of one function or module body."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new_node(None, "entry").index
+        self.exit = self._new_node(None, "exit").index
+        #: Unhandled-exception exit: distinct from the normal exit so a
+        #: rule can require a fact on *both* or on the normal one only.
+        self.exc_exit = self._new_node(None, "exc_exit").index
+        self.node_of_stmt: Dict[int, int] = {}
+        #: Edges added for exception flow.  An exceptional edge carries
+        #: the *pre*-statement facts in the solver (the statement's
+        #: effect may not have happened when it raised); normal edges
+        #: carry the post-statement facts.
+        self.exc_edges: Set[Tuple[int, int]] = set()
+
+    # -- construction --------------------------------------------------------
+
+    def _new_node(self, stmt: Optional[ast.AST], kind: str = "stmt"
+                  ) -> CFGNode:
+        node = CFGNode(len(self.nodes), stmt, kind)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, src: int, dst: int, *, exc: bool = False) -> None:
+        self.nodes[src].succs.add(dst)
+        self.nodes[dst].preds.add(src)
+        if exc:
+            self.exc_edges.add((src, dst))
+
+    # -- queries -------------------------------------------------------------
+
+    def statements(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.kind == "stmt":
+                yield node
+
+    def node_for(self, stmt: ast.AST) -> Optional[CFGNode]:
+        index = self.node_of_stmt.get(id(stmt))
+        return self.nodes[index] if index is not None else None
+
+    def reachable_from(self, start: int) -> Set[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for succ in self.nodes[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def to_dot(self) -> str:
+        """Graphviz rendering — debugging aid, exercised by tests."""
+        lines = ["digraph cfg {"]
+        for node in self.nodes:
+            label = node.kind if node.stmt is None else (
+                f"{type(node.stmt).__name__} L{node.line}")
+            lines.append(f'  n{node.index} [label="{label}"];')
+        for node in self.nodes:
+            for succ in sorted(node.succs):
+                lines.append(f"  n{node.index} -> n{succ};")
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservative: a statement whose *own* evaluation involves a call,
+    attribute access, subscript, binary operation or raise may transfer
+    to an exception target.  Only the statement's header expressions are
+    examined — nested statements of a compound body have their own CFG
+    nodes and edges, so ``if x is None:`` does not inherit the may-raise
+    of calls inside its branches."""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for child in ast.iter_child_nodes(stmt):
+        exprs: List[ast.expr] = []
+        if isinstance(child, ast.expr):
+            exprs.append(child)
+        elif isinstance(child, ast.withitem):
+            exprs.append(child.context_expr)
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, (ast.Call, ast.Attribute,
+                                     ast.Subscript, ast.BinOp)):
+                    return True
+    return False
+
+
+class _Builder:
+    """Recursive-descent CFG construction with a routing-frame stack."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.frames: List[_Frame] = []
+
+    # The exception target of the current position: the entry of the
+    # innermost except/finally routing, else the graph's exc exit.
+
+    def _finally_chain(self, upto: Optional[int] = None) -> List[List[ast.stmt]]:
+        """Finally bodies crossed when jumping out to frame index
+        ``upto`` (exclusive from the top of the stack)."""
+        chain: List[List[ast.stmt]] = []
+        stop = 0 if upto is None else upto
+        for frame in reversed(self.frames[stop:]):
+            if frame.kind == "finally" and frame.finally_body:
+                chain.append(frame.finally_body)
+        return chain
+
+    def _route_through_finally(self, sources: Sequence[int],
+                               chain: List[List[ast.stmt]],
+                               target: int) -> None:
+        """Wire ``sources -> finally bodies... -> target``.  Each
+        distinct (chain, target) routing lays down a fresh copy of the
+        finally statements' nodes?  No — finally statements get ONE node
+        each (findings must map 1:1 to source lines); routing reuses
+        them, which merges paths but preserves soundness for must/may
+        facts."""
+        current = list(sources)
+        for body in chain:
+            current = self._lay_body(body, current)
+        for src in current:
+            self.cfg.add_edge(src, target)
+
+    def _exception_target(self) -> Tuple[Optional[_Frame], int]:
+        """The innermost frame that intercepts an exception, plus its
+        index in the frame stack (or the graph exc exit)."""
+        for position in range(len(self.frames) - 1, -1, -1):
+            frame = self.frames[position]
+            if frame.kind in ("try", "finally") and frame.target is not None:
+                return frame, position
+        return None, -1
+
+    def _add_exception_edge(self, node_index: int) -> None:
+        frame, _position = self._exception_target()
+        if frame is None:
+            self.cfg.add_edge(node_index, self.cfg.exc_exit, exc=True)
+        else:
+            assert frame.target is not None
+            self.cfg.add_edge(node_index, frame.target, exc=True)
+
+    # -- statement layout ----------------------------------------------------
+
+    def _lay_stmt(self, stmt: ast.stmt, preds: List[int]) -> List[int]:
+        """Lay out one statement; returns the dangling exits that fall
+        through to the next statement."""
+        node = self.cfg._new_node(stmt)
+        self.cfg.node_of_stmt[id(stmt)] = node.index
+        for pred in preds:
+            self.cfg.add_edge(pred, node.index)
+
+        if isinstance(stmt, (ast.If,)):
+            then_exits = self._lay_body(stmt.body, [node.index])
+            else_exits = (self._lay_body(stmt.orelse, [node.index])
+                          if stmt.orelse else [node.index])
+            if _may_raise(stmt):
+                self._add_exception_edge(node.index)
+            return then_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            after: List[int] = [node.index]  # loop may run zero times
+            self.frames.append(_Frame("loop", target=node.index))
+            breaks = self.frames[-1].breaks
+            body_exits = self._lay_body(stmt.body, [node.index])
+            for exit_index in body_exits:
+                self.cfg.add_edge(exit_index, node.index)  # back edge
+            self.frames.pop()
+            if stmt.orelse:
+                after = self._lay_body(stmt.orelse, after)
+            if _may_raise(stmt):
+                self._add_exception_edge(node.index)
+            return after + breaks
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            if _may_raise(stmt):
+                self._add_exception_edge(node.index)
+            return self._lay_body(stmt.body, [node.index])
+
+        if isinstance(stmt, ast.Try):
+            return self._lay_try(stmt, node.index)
+
+        if isinstance(stmt, (ast.Return,)):
+            chain = self._finally_chain()
+            self._route_through_finally([node.index], chain, self.cfg.exit)
+            if _may_raise(stmt):
+                self._add_exception_edge(node.index)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            frame, position = self._exception_target()
+            if frame is None:
+                chain = self._finally_chain()
+                self._route_through_finally([node.index], chain,
+                                            self.cfg.exc_exit)
+            else:
+                assert frame.target is not None
+                self.cfg.add_edge(node.index, frame.target, exc=True)
+            return []
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            for position in range(len(self.frames) - 1, -1, -1):
+                frame = self.frames[position]
+                if frame.kind == "loop":
+                    chain = self._finally_chain(upto=position + 1)
+                    if isinstance(stmt, ast.Continue):
+                        assert frame.target is not None
+                        self._route_through_finally([node.index], chain,
+                                                    frame.target)
+                    else:
+                        if chain:
+                            # Route through the finallies, then dangle.
+                            current = [node.index]
+                            for body in chain:
+                                current = self._lay_body(body, current)
+                            frame.breaks.extend(current)
+                        else:
+                            frame.breaks.append(node.index)
+                    return []
+            # break/continue outside a loop: syntactically invalid, but
+            # the linter must not crash on broken input.
+            return [node.index]
+
+        # Plain statement (assign, expr, import, def, class, pass, ...).
+        if _may_raise(stmt):
+            self._add_exception_edge(node.index)
+        return [node.index]
+
+    def _lay_try(self, stmt: ast.Try, node_index: int) -> List[int]:
+        final_body = stmt.finalbody or None
+
+        # Handler entry points are laid AFTER the body, but body
+        # statements need the target index first: use a synthetic
+        # "dispatch" node exceptions branch to.
+        dispatch = self.cfg._new_node(None, "dispatch")
+
+        if final_body is not None:
+            self.frames.append(_Frame("finally", target=dispatch.index,
+                                      finally_body=final_body))
+        self.frames.append(_Frame("try", target=dispatch.index))
+
+        body_exits = self._lay_body(stmt.body, [node_index])
+
+        self.frames.pop()  # the try frame: handlers run outside it
+
+        handler_exits: List[int] = []
+        for handler in stmt.handlers:
+            handler_node = self.cfg._new_node(handler)
+            self.cfg.node_of_stmt[id(handler)] = handler_node.index
+            self.cfg.add_edge(dispatch.index, handler_node.index)
+            handler_exits.extend(
+                self._lay_body(handler.body, [handler_node.index]))
+
+        if stmt.orelse:
+            body_exits = self._lay_body(stmt.orelse, body_exits)
+
+        if final_body is not None:
+            self.frames.pop()  # the finally frame
+            normal_sources = body_exits + handler_exits
+            final_exits = self._lay_body(final_body, normal_sources
+                                         or [node_index])
+            # Abnormal flow: an exception nothing here caught (bare
+            # dispatch with no matching handler, or a raise inside a
+            # handler body) still traverses the finally statements and
+            # then continues to the enclosing exception target.  The
+            # finally nodes are shared between normal and abnormal
+            # routes — sound for union/intersection facts, and keeps
+            # one node per source line.
+            first_final = self.cfg.node_for(final_body[0])
+            if first_final is not None:
+                self.cfg.add_edge(dispatch.index, first_final.index)
+            frame, _pos = self._exception_target()
+            exc_target = (frame.target if frame is not None
+                          and frame.target is not None
+                          else self.cfg.exc_exit)
+            for src in final_exits:
+                self.cfg.add_edge(src, exc_target)
+            return final_exits
+        # No finally: unmatched exceptions go from dispatch outward —
+        # unless a handler is a catch-all (bare ``except:`` or
+        # ``except BaseException:``), in which case nothing escapes.
+        if not any(h.type is None
+                   or (isinstance(h.type, ast.Name)
+                       and h.type.id == "BaseException")
+                   for h in stmt.handlers):
+            frame, _pos = self._exception_target()
+            exc_target = (frame.target if frame is not None
+                          and frame.target is not None
+                          else self.cfg.exc_exit)
+            self.cfg.add_edge(dispatch.index, exc_target)
+        return body_exits + handler_exits
+
+    def _lay_body(self, body: Sequence[ast.stmt],
+                  preds: List[int]) -> List[int]:
+        current = list(preds)
+        for stmt in body:
+            if not current:
+                # Unreachable code after return/raise: still lay the
+                # nodes (rules may want them) but with no in-edges.
+                current = []
+            current = self._lay_stmt(stmt, current)
+        return current
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """The CFG of one function (or module) body."""
+    cfg = CFG()
+    builder = _Builder(cfg)
+    exits = builder._lay_body(list(body), [cfg.entry])
+    for exit_index in exits:
+        cfg.add_edge(exit_index, cfg.exit)
+    if not list(body):
+        cfg.add_edge(cfg.entry, cfg.exit)
+    return cfg
+
+
+def function_cfgs(tree: ast.Module) -> Iterator[Tuple[str, ast.AST, CFG]]:
+    """``(qualified_name, func_node, cfg)`` for every function in the
+    module, without mixing nested scopes into the parent graph."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[
+            Tuple[str, ast.AST, CFG]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                yield name, child, build_cfg(child.body)
+                yield from visit(child, f"{name}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")

@@ -1,0 +1,858 @@
+"""Concurrency and resource-protocol rules RL100-RL106.
+
+These rules check the thread-safety contracts the serving layer will
+depend on, using the CFG/dataflow engine (:mod:`~repro.lint.cfg`,
+:mod:`~repro.lint.flow`) and the annotation language
+(:mod:`~repro.lint.annotations`):
+
+========  ==========================================================
+RL100     ``# guarded-by`` fields accessed outside ``with <lock>:``
+RL101     lock-order graph cycle (potential deadlock), project-wide
+RL102     registry pin not released on every path (incl. exceptions)
+RL103     generation lifecycle transition outside the legal diagram
+RL104     ``os.replace`` commit without fsync of the written source
+RL105     registry publish (swap/append) before the durable commit
+RL106     bare ``.acquire()`` without ``.release()`` on every path
+========  ==========================================================
+
+All of RL1xx skip test files: tests legitimately poke at internals
+(and the fixture corpus under ``tests/lint_fixtures/`` would otherwise
+flag itself).  Where the static analysis is intentionally incomplete —
+RL101 sees only same-class acquisition nesting — the runtime lock
+sanitizer (:mod:`~repro.lint.sanitizer`) covers the dynamic remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .annotations import AnnotationMap, scan_annotations
+from .cfg import CFG, CFGNode, build_cfg, function_cfgs
+from .findings import Finding
+from .flow import FlowResult, resource_flow
+from .registry import ModuleInfo, ProjectRule, Rule, register
+from .rules import _call_name, _methods, _receiver_tail, _self_attr
+
+#: Method-name suffix meaning "caller already holds the object's lock"
+#: — the project's pre-existing convention (``_drain_locked`` etc.).
+LOCKED_SUFFIX = "_locked"
+
+#: Methods that run before the object is shared across threads (or
+#: after it can no longer be) — guarded-by does not apply inside them.
+_CONSTRUCTION_METHODS = {"__init__", "__post_init__", "__del__",
+                         "__new__", "__getstate__", "__setstate__"}
+
+
+def _is_lock_name(name: str) -> bool:
+    return "lock" in name.lower() or "mutex" in name.lower()
+
+
+def _with_lock_attrs(stmt: ast.AST) -> List[str]:
+    """Lock attribute names acquired by ``with self.<lock>:`` items."""
+    if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return []
+    out = []
+    for item in stmt.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None and _is_lock_name(attr):
+            out.append(attr)
+    return out
+
+
+def _shallow_exprs(stmt: ast.AST) -> Iterator[ast.expr]:
+    """The expressions evaluated *by this statement itself* — headers of
+    compound statements, everything of simple ones — without descending
+    into nested statement bodies.  CFG nodes are statements, so gen/kill
+    inspection must not see a child statement's effects."""
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield child
+        elif isinstance(child, ast.withitem):
+            yield child.context_expr
+            if child.optional_vars is not None:
+                yield child.optional_vars
+
+
+def _shallow_calls(stmt: ast.AST) -> Iterator[ast.Call]:
+    for expr in _shallow_exprs(stmt):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _expr_tail(expr: ast.expr) -> str:
+    """A readable dotted tail for receivers: ``self.a.b`` -> ``a.b``."""
+    parts: List[str] = []
+    node: ast.expr = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id != "self":
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# RL100: guarded-by fields
+# ---------------------------------------------------------------------------
+
+@register
+class GuardedByDiscipline(Rule):
+    """RL100: fields declared ``# guarded-by: <lock>`` are only touched
+    inside ``with self.<lock>:`` (or a ``holds-lock`` method)."""
+
+    rule_id = "RL100"
+    summary = "guarded-by annotated fields accessed only under their lock"
+    rationale = ("RL004 infers guarding from observed usage, so a class "
+                 "that is wrong *consistently* passes; guarded-by makes "
+                 "the contract explicit per field, ready for the "
+                 "concurrent serving layer and checked by the runtime "
+                 "sanitizer too.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        annotations = scan_annotations(module.source, module.path)
+        if annotations.empty:
+            return
+        yield from annotations.malformed
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(module, cls, annotations)
+
+    def _check_class(self, module: ModuleInfo, cls: ast.ClassDef,
+                     annotations: AnnotationMap) -> Iterator[Finding]:
+        guarded = self._guarded_fields(cls, annotations)
+        if not guarded:
+            return
+        for method in _methods(cls):
+            if method.name in _CONSTRUCTION_METHODS:
+                continue
+            held = self._entry_locks(method, annotations, guarded)
+            yield from self._scan(module, cls, method, method.body,
+                                  guarded, held)
+
+    @staticmethod
+    def _guarded_fields(cls: ast.ClassDef,
+                        annotations: AnnotationMap) -> Dict[str, str]:
+        """field name -> lock attr, from annotated ``self.x = ...`` in
+        construction methods and annotated class-level ``x: T``."""
+        guarded: Dict[str, str] = {}
+        for stmt in cls.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and stmt.lineno in annotations.guarded_by):
+                guarded[stmt.target.id] = annotations.guarded_by[stmt.lineno]
+        for method in _methods(cls):
+            if method.name not in ("__init__", "__post_init__"):
+                continue
+            for node in ast.walk(method):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign,
+                                         ast.AugAssign)):
+                    continue
+                # The annotation comment may trail any line of a
+                # multi-line assignment.
+                lock = None
+                end = getattr(node, "end_lineno", node.lineno)
+                for line in range(node.lineno, (end or node.lineno) + 1):
+                    lock = annotations.guarded_by.get(line)
+                    if lock is not None:
+                        break
+                if lock is None:
+                    continue
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        guarded[attr] = lock
+        return guarded
+
+    @staticmethod
+    def _entry_locks(method: ast.FunctionDef, annotations: AnnotationMap,
+                     guarded: Dict[str, str]) -> Set[str]:
+        """Locks already held when the method body starts."""
+        held: Set[str] = set()
+        lock = annotations.holds_lock.get(method.lineno)
+        if lock is not None:
+            held.add(lock)
+        if method.name.endswith(LOCKED_SUFFIX):
+            held.update(guarded.values())
+        return held
+
+    def _scan(self, module: ModuleInfo, cls: ast.ClassDef,
+              method: ast.FunctionDef, stmts: Sequence[ast.stmt],
+              guarded: Dict[str, str], held: Set[str]) -> Iterator[Finding]:
+        reported: Set[Tuple[int, str]] = set()
+
+        def visit(node: ast.AST, held: Set[str]) -> Iterator[Finding]:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                # A nested def may run later on another thread (weakref
+                # finalizers, executor callbacks): nothing is provably
+                # held inside it.
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    yield from self._scan(module, cls, method, node.body,
+                                          guarded, set())
+                return
+            acquired = _with_lock_attrs(node)
+            if acquired:
+                assert isinstance(node, (ast.With, ast.AsyncWith))
+                for item in node.items:
+                    yield from visit(item.context_expr, held)
+                inner = held | set(acquired)
+                for stmt in node.body:
+                    yield from visit(stmt, inner)
+                return
+            attr = _self_attr(node)
+            if attr is not None and attr in guarded:
+                lock = guarded[attr]
+                if lock not in held and (node.lineno, attr) not in reported:
+                    reported.add((node.lineno, attr))
+                    yield Finding(
+                        rule=self.rule_id, path=module.path,
+                        line=node.lineno, col=node.col_offset,
+                        message=f"self.{attr} is declared guarded-by "
+                                f"self.{lock} but accessed without it; "
+                                f"wrap in 'with self.{lock}:' or mark the "
+                                f"method '# holds-lock: {lock}'",
+                        symbol=f"{cls.name}.{method.name}")
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child, held)
+
+        for stmt in stmts:
+            yield from visit(stmt, held)
+
+
+# ---------------------------------------------------------------------------
+# RL101: lock-order cycles (project-wide)
+# ---------------------------------------------------------------------------
+
+@register
+class LockOrderCycles(ProjectRule):
+    """RL101: the static lock-order graph must be acyclic."""
+
+    rule_id = "RL101"
+    summary = "nested lock acquisitions define a consistent global order"
+    rationale = ("Two call paths acquiring the same pair of locks in "
+                 "opposite orders deadlock under exactly the concurrent "
+                 "load the serving layer will add.  Static extraction "
+                 "sees same-class nesting (with one level of self-method "
+                 "expansion); the runtime sanitizer observes the rest.")
+    include_tests = False
+
+    def check_project(self, modules: Sequence[ModuleInfo]
+                      ) -> Iterator[Finding]:
+        # lock id "Class.attr" -> acquired-while-held edges with sites.
+        edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+        for module in modules:
+            for cls in ast.walk(module.tree):
+                if isinstance(cls, ast.ClassDef):
+                    self._collect_class(module, cls, edges)
+        yield from self._report_cycles(edges)
+
+    def _collect_class(self, module: ModuleInfo, cls: ast.ClassDef,
+                       edges: Dict[Tuple[str, str], Tuple[str, int]]) -> None:
+        # First pass: locks each method acquires anywhere in its body
+        # (for one level of same-class call expansion).
+        acquires: Dict[str, Set[str]] = {}
+        for method in _methods(cls):
+            found: Set[str] = set()
+            for node in ast.walk(method):
+                found.update(_with_lock_attrs(node))
+            acquires[method.name] = found
+
+        def lock_id(attr: str) -> str:
+            return f"{cls.name}.{attr}"
+
+        def visit(node: ast.AST, held: List[str], line: int) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)) and held:
+                return  # nested defs don't inherit the held stack
+            acquired = _with_lock_attrs(node)
+            if acquired:
+                inner = list(held)
+                for attr in acquired:
+                    for prior in inner:
+                        edge = (lock_id(prior), lock_id(attr))
+                        if edge[0] != edge[1]:
+                            edges.setdefault(
+                                edge, (module.path, node.lineno))
+                    inner.append(attr)
+                assert isinstance(node, (ast.With, ast.AsyncWith))
+                for stmt in node.body:
+                    visit(stmt, inner, stmt.lineno)
+                return
+            if held and isinstance(node, ast.Call):
+                # One level of expansion: self.m() acquiring lock B while
+                # A is held adds A -> B.
+                callee = _call_name(node.func)
+                if (_receiver_tail(node.func) == "self"
+                        and callee in acquires):
+                    for attr in acquires[callee]:
+                        for prior in held:
+                            edge = (lock_id(prior), lock_id(attr))
+                            if edge[0] != edge[1]:
+                                edges.setdefault(
+                                    edge, (module.path, node.lineno))
+            for child in ast.iter_child_nodes(node):
+                visit(child, held, getattr(child, "lineno", line))
+
+        for method in _methods(cls):
+            for stmt in method.body:
+                visit(stmt, [], stmt.lineno)
+
+    def _report_cycles(self, edges: Dict[Tuple[str, str], Tuple[str, int]]
+                       ) -> Iterator[Finding]:
+        graph: Dict[str, Set[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, set()).add(dst)
+            graph.setdefault(dst, set())
+
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        for start in sorted(graph):
+            cycle = self._find_cycle(graph, start)
+            if cycle is None:
+                continue
+            canonical = min(cycle)
+            position = cycle.index(canonical)
+            rotated = tuple(cycle[position:] + cycle[:position])
+            if rotated in seen_cycles:
+                continue
+            seen_cycles.add(rotated)
+            # Anchor the finding at the first recorded edge of the cycle.
+            first_edge = (rotated[0], rotated[1 % len(rotated)])
+            path, line = edges.get(first_edge, ("<project>", 1))
+            order = " -> ".join(rotated + (rotated[0],))
+            yield Finding(
+                rule=self.rule_id, path=path, line=line, col=0,
+                message=f"lock-order cycle (potential deadlock): {order}; "
+                        f"acquire these locks in one global order",
+                symbol=rotated[0])
+
+    @staticmethod
+    def _find_cycle(graph: Dict[str, Set[str]],
+                    start: str) -> Optional[List[str]]:
+        """A simple cycle reachable from ``start`` (DFS back-edge)."""
+        stack: List[str] = []
+        on_stack: Set[str] = set()
+        visited: Set[str] = set()
+
+        def dfs(node: str) -> Optional[List[str]]:
+            visited.add(node)
+            stack.append(node)
+            on_stack.add(node)
+            for succ in sorted(graph.get(node, ())):
+                if succ in on_stack:
+                    return stack[stack.index(succ):]
+                if succ not in visited:
+                    found = dfs(succ)
+                    if found is not None:
+                        return found
+            stack.pop()
+            on_stack.discard(node)
+            return None
+
+        return dfs(start)
+
+
+# ---------------------------------------------------------------------------
+# RL102: pins released on every path
+# ---------------------------------------------------------------------------
+
+@register
+class PinReleaseAllPaths(Rule):
+    """RL102: ``registry.pin()`` results are released on every path."""
+
+    rule_id = "RL102"
+    summary = "generation pins released on all paths, including exceptions"
+    rationale = ("A leaked pin permanently blocks reclamation of "
+                 "superseded generations — disk usage grows until the "
+                 "weakref finalizer happens to run.  The dataflow engine "
+                 "proves release on the exceptional paths a try-less "
+                 "call chain silently skips.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for name, func, cfg in function_cfgs(module.tree):
+            if name.split(".")[-1] in ("__enter__",):
+                continue  # pin ownership passes to the paired __exit__
+            yield from self._check_function(module, name, cfg)
+
+    def _check_function(self, module: ModuleInfo, symbol: str,
+                        cfg: CFG) -> Iterator[Finding]:
+        # Acquisitions: simple-name assignment from a `.pin()` call.
+        acquisitions: Dict[str, CFGNode] = {}
+        for node in cfg.statements():
+            stmt = node.stmt
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                    and _call_name(stmt.value.func) == "pin"
+                    and isinstance(stmt.value.func, ast.Attribute)):
+                acquisitions[stmt.targets[0].id] = node
+        if not acquisitions:
+            return
+
+        def fact(name: str) -> str:
+            return f"pin:{name}"
+
+        def gen(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            for name, acq in acquisitions.items():
+                if acq.index == node.index:
+                    return (fact(name),)
+            return None
+
+        def kill(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            killed: List[str] = []
+            for name in acquisitions:
+                if (self._releases(stmt, name) or self._escapes(stmt, name)
+                        or self._guarded_release(stmt, name)):
+                    killed.append(fact(name))
+            return tuple(killed) or None
+
+        result = resource_flow(cfg, gen, kill, must=False)
+        for name, acq in acquisitions.items():
+            leak_normal = result.may_hold_after(cfg.exit, fact(name))
+            leak_exc = result.may_hold_after(cfg.exc_exit, fact(name))
+            if not leak_normal and not leak_exc:
+                continue
+            where = ("some path" if leak_normal
+                     else "an exception path")
+            yield self.finding(
+                module, acq.stmt if acq.stmt is not None else ast.Pass(),
+                f"pin {name!r} is not released on {where}; call "
+                f"{name}.release() in a finally block or use "
+                f"'with registry.pinned() as items:'",
+                symbol=symbol)
+
+    @staticmethod
+    def _releases(stmt: ast.AST, name: str) -> bool:
+        for call in _shallow_calls(stmt):
+            func = call.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in ("release", "close")
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name):
+                return True
+        return False
+
+    @staticmethod
+    def _guarded_release(stmt: ast.AST, name: str) -> bool:
+        """Path-sensitivity for the one guard shape that matters:
+        ``if name is not None: name.release()`` (no ``else``).  On the
+        false edge the name is provably ``None`` — no live pin — so the
+        whole ``if`` kills the fact.  The test must be a bare ``name``
+        or ``name is not None`` (neither can raise), and every path out
+        of the body must release."""
+        if not isinstance(stmt, ast.If) or stmt.orelse:
+            return False
+        test = stmt.test
+        guards = isinstance(test, ast.Name) and test.id == name
+        if (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.left, ast.Name)
+                and test.left.id == name
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None):
+            guards = True
+        if not guards:
+            return False
+        return any(PinReleaseAllPaths._releases(child, name)
+                   for child in stmt.body)
+
+    @staticmethod
+    def _escapes(stmt: ast.AST, name: str) -> bool:
+        """Ownership transfer: returning the pin, passing it to a call,
+        or storing it into an attribute/container makes someone else
+        responsible for the release."""
+        if isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Name):
+            return stmt.value.id == name
+        for call in _shallow_calls(stmt):
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    if (isinstance(stmt.value, ast.Name)
+                            and stmt.value.id == name):
+                        return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RL103: lifecycle transitions
+# ---------------------------------------------------------------------------
+
+#: Mirror of repro.compaction.lifecycle._TRANSITIONS, by enum member
+#: name.  Kept literal on purpose: lint rules are pure AST analyses and
+#: import nothing from the checked code.
+LEGAL_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "ACTIVE": ("COMPACTING", "SUPERSEDED"),
+    "COMPACTING": ("ACTIVE", "SUPERSEDED"),
+    "SUPERSEDED": ("REMOVED",),
+    "REMOVED": (),
+}
+
+
+@register
+class LifecycleTransitions(Rule):
+    """RL103: generation state changes go through ``advance_state``."""
+
+    rule_id = "RL103"
+    summary = "generation lifecycle transitions only via advance_state"
+    rationale = ("The ACTIVE->COMPACTING->SUPERSEDED->REMOVED machine is "
+                 "how the multi-step background merge stays auditable; a "
+                 "direct .state write skips the legality check and can "
+                 "resurrect a reclaimed generation.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield from self._check_assign(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_advance_call(module, node)
+
+    def _check_assign(self, module: ModuleInfo, node: ast.AST
+                      ) -> Iterator[Finding]:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], node.value
+        state_targets = [t for t in targets
+                         if isinstance(t, ast.Attribute)
+                         and t.attr == "state"]
+        if not state_targets or value is None:
+            return
+        if not self._mentions_generation_state(value):
+            return
+        if (isinstance(value, ast.Call)
+                and _call_name(value.func) == "advance_state"):
+            return
+        for target in state_targets:
+            yield self.finding(
+                module, node,
+                "direct lifecycle state assignment bypasses the legality "
+                "check; use '.state = advance_state(current, target)'",
+                symbol=_expr_tail(target))
+
+    def _check_advance_call(self, module: ModuleInfo, call: ast.Call
+                            ) -> Iterator[Finding]:
+        if _call_name(call.func) != "advance_state" or len(call.args) != 2:
+            return
+        states = [self._state_literal(arg) for arg in call.args]
+        if states[0] is None or states[1] is None:
+            return  # dynamic operands: checked at runtime
+        if states[0] not in LEGAL_TRANSITIONS:
+            return
+        if states[1] not in LEGAL_TRANSITIONS[states[0]]:
+            yield self.finding(
+                module, call,
+                f"advance_state({states[0]}, {states[1]}) is outside the "
+                f"lifecycle diagram and will raise "
+                f"GenerationLifecycleError at runtime",
+                symbol=f"{states[0]}->{states[1]}")
+
+    @staticmethod
+    def _state_literal(expr: ast.expr) -> Optional[str]:
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "GenerationState"):
+            return expr.attr
+        return None
+
+    @staticmethod
+    def _mentions_generation_state(expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id == "GenerationState":
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# RL104: write -> fsync -> rename commit ordering
+# ---------------------------------------------------------------------------
+
+@register
+class FsyncBeforeRename(Rule):
+    """RL104: files written then atomically renamed are fsynced first."""
+
+    rule_id = "RL104"
+    summary = "commit sections follow write -> flush -> fsync -> os.replace"
+    rationale = ("os.replace is atomic in the namespace but says nothing "
+                 "about the data: renaming an unfsynced temp file can "
+                 "commit a manifest whose bytes are still in the page "
+                 "cache, exactly the torn state the WAL exists to "
+                 "prevent.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for name, func, cfg in function_cfgs(module.tree):
+            yield from self._check_function(module, name, cfg)
+
+    def _check_function(self, module: ModuleInfo, symbol: str,
+                        cfg: CFG) -> Iterator[Finding]:
+        replace_nodes: List[CFGNode] = []
+        writes = False
+        fsyncs = False
+        for node in cfg.statements():
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            for call in _shallow_calls(stmt):
+                kind = self._call_kind(call)
+                if kind == "replace":
+                    replace_nodes.append(node)
+                elif kind == "write":
+                    writes = True
+                elif kind == "fsync":
+                    fsyncs = True
+        if not replace_nodes or not writes:
+            # Renaming something this function did not write is another
+            # function's commit problem (or plain file management).
+            return
+
+        def gen(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            for call in _shallow_calls(stmt):
+                if self._call_kind(call) == "fsync":
+                    return ("fsynced",)
+            return None
+
+        def kill(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            for call in _shallow_calls(stmt):
+                if self._call_kind(call) == "write":
+                    return ("fsynced",)
+            return None
+
+        result = resource_flow(cfg, gen, kill, must=True)
+        for node in replace_nodes:
+            if not result.holds_before(node.index, "fsynced"):
+                hint = ("add os.fsync(handle.fileno()) after the final "
+                        "write" if fsyncs else
+                        "flush and os.fsync the handle before renaming")
+                yield self.finding(
+                    module, node.stmt if node.stmt is not None
+                    else ast.Pass(),
+                    f"os.replace commits data written in this function "
+                    f"without an fsync on every path; {hint}",
+                    symbol=symbol)
+
+    @staticmethod
+    def _call_kind(call: ast.Call) -> Optional[str]:
+        name = _call_name(call.func)
+        if name in ("replace", "rename"):
+            if _receiver_tail(call.func) == "os":
+                return "replace"
+            return None
+        if name == "fsync":
+            return "fsync"
+        if name in ("write", "dump", "writelines", "write_text",
+                    "write_bytes"):
+            return "write"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RL105: publish only after the durable commit
+# ---------------------------------------------------------------------------
+
+@register
+class PublishAfterCommit(Rule):
+    """RL105: registry publishes happen only after the atomic rename."""
+
+    rule_id = "RL105"
+    summary = "generation-registry publishes follow the durable commit"
+    rationale = ("A crash between an early registry.swap/append and the "
+                 "manifest rename leaves readers serving state recovery "
+                 "will not rebuild — the failpoint kill-matrix only "
+                 "stays byte-identical because publish strictly follows "
+                 "commit.")
+    include_tests = False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for name, func, cfg in function_cfgs(module.tree):
+            yield from self._check_function(module, name, cfg)
+
+    def _check_function(self, module: ModuleInfo, symbol: str,
+                        cfg: CFG) -> Iterator[Finding]:
+        publishes: List[Tuple[CFGNode, ast.Call]] = []
+        commits = False
+        for node in cfg.statements():
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            for call in _shallow_calls(stmt):
+                if self._is_commit(call):
+                    commits = True
+                elif self._is_publish(call):
+                    publishes.append((node, call))
+        if not commits or not publishes:
+            # Functions that only publish (pure in-memory mutation) or
+            # only commit are not commit sections.
+            return
+
+        def gen(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            for call in _shallow_calls(stmt):
+                if self._is_commit(call):
+                    return ("committed",)
+            return None
+
+        def kill(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            return None
+
+        result = resource_flow(cfg, gen, kill, must=True)
+        for node, call in publishes:
+            if not result.holds_before(node.index, "committed"):
+                yield self.finding(
+                    module, call,
+                    "registry publish before the durable commit: a crash "
+                    "here exposes state recovery will not rebuild; move "
+                    "this after the atomic rename",
+                    symbol=symbol)
+
+    @staticmethod
+    def _is_commit(call: ast.Call) -> bool:
+        name = _call_name(call.func)
+        if name in ("replace", "rename") and _receiver_tail(call.func) == "os":
+            return True
+        return "commit" in name and "manifest" in name
+
+    @staticmethod
+    def _is_publish(call: ast.Call) -> bool:
+        if not isinstance(call.func, ast.Attribute):
+            return False
+        if call.func.attr not in ("swap", "append"):
+            return False
+        tail = _expr_tail(call.func.value).lower()
+        return "registry" in tail or "generations" in tail
+
+
+# ---------------------------------------------------------------------------
+# RL106: raw acquire/release balance
+# ---------------------------------------------------------------------------
+
+@register
+class AcquireReleaseBalance(Rule):
+    """RL106: a bare ``.acquire()`` is released on every path."""
+
+    rule_id = "RL106"
+    summary = "raw lock.acquire() paired with release() on all paths"
+    rationale = ("'with lock:' is exception-safe for free; a raw acquire "
+                 "needs the dataflow proof that every path — including "
+                 "the one where the work raises — reaches release().")
+    include_tests = False
+
+    #: Classes that *implement* lock wrappers legitimately call the
+    #: primitives; the sanitizer is the obvious resident.
+    _EXEMPT_CLASS_MARKERS = ("Lock", "Sanitizer")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        exempt_spans = self._exempt_spans(module.tree)
+        for name, func, cfg in function_cfgs(module.tree):
+            line = getattr(func, "lineno", 0)
+            if any(start <= line <= end for start, end in exempt_spans):
+                continue
+            yield from self._check_function(module, name, cfg)
+
+    def _exempt_spans(self, tree: ast.Module) -> List[Tuple[int, int]]:
+        spans = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and any(
+                    marker in node.name
+                    for marker in self._EXEMPT_CLASS_MARKERS):
+                spans.append((node.lineno,
+                              getattr(node, "end_lineno", node.lineno)))
+        return spans
+
+    def _check_function(self, module: ModuleInfo, symbol: str,
+                        cfg: CFG) -> Iterator[Finding]:
+        receivers: Dict[str, CFGNode] = {}
+        for node in cfg.statements():
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            for call in _shallow_calls(stmt):
+                receiver = self._lock_receiver(call, "acquire")
+                if receiver is not None and receiver not in receivers:
+                    receivers[receiver] = node
+        if not receivers:
+            return
+
+        def fact(receiver: str) -> str:
+            return f"lock:{receiver}"
+
+        def gen(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            facts = []
+            for call in _shallow_calls(stmt):
+                receiver = self._lock_receiver(call, "acquire")
+                if receiver is not None:
+                    facts.append(fact(receiver))
+            return tuple(facts) or None
+
+        def kill(node: CFGNode) -> Optional[Tuple[str, ...]]:
+            stmt = node.stmt
+            if stmt is None:
+                return None
+            facts = []
+            for call in _shallow_calls(stmt):
+                receiver = self._lock_receiver(call, "release")
+                if receiver is not None:
+                    facts.append(fact(receiver))
+            return tuple(facts) or None
+
+        result = resource_flow(cfg, gen, kill, must=False)
+        for receiver, node in receivers.items():
+            leak_normal = result.may_hold_after(cfg.exit, fact(receiver))
+            leak_exc = result.may_hold_after(cfg.exc_exit, fact(receiver))
+            if not leak_normal and not leak_exc:
+                continue
+            where = "some path" if leak_normal else "an exception path"
+            yield self.finding(
+                module, node.stmt if node.stmt is not None else ast.Pass(),
+                f"{receiver}.acquire() is not released on {where}; "
+                f"prefer 'with {receiver}:' (exception-safe) or release "
+                f"in a finally block",
+                symbol=symbol)
+
+    @staticmethod
+    def _lock_receiver(call: ast.Call, method: str) -> Optional[str]:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr != method:
+            return None
+        tail = _expr_tail(func.value)
+        leaf = tail.rsplit(".", 1)[-1] if tail else ""
+        if not _is_lock_name(leaf):
+            return None
+        prefix = "self." if (isinstance(func.value, ast.Attribute)
+                             and isinstance(func.value.value, ast.Name)
+                             and func.value.value.id == "self") else ""
+        return f"{prefix}{tail}"

@@ -14,11 +14,11 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from .findings import META_RULE, Finding
-from .registry import ModuleInfo, Rule, all_rules
-from .suppressions import scan_suppressions
+from .registry import ModuleInfo, ProjectRule, Rule, all_rules
+from .suppressions import SuppressionMap, scan_suppressions
 
 DEFAULT_BASELINE = "lint-baseline.json"
 
@@ -142,12 +142,41 @@ def write_baseline(path: "os.PathLike[str] | str",
 def lint_paths(paths: Sequence["os.PathLike[str] | str"],
                rules: Optional[Sequence[Rule]] = None,
                baseline: Optional[Set[str]] = None) -> LintReport:
-    """Lint every python file under ``paths`` and apply the baseline."""
+    """Lint every python file under ``paths`` and apply the baseline.
+
+    Per-file rules run file by file; :class:`~.registry.ProjectRule`
+    instances run once over the whole parsed collection (the lock-order
+    graph needs every module to see cross-file inversions).  In-source
+    suppressions apply to both through the owning file's map.
+    """
     report = LintReport()
     raw: List[Finding] = []
+    active = list(all_rules() if rules is None else rules)
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+
+    modules: List[ModuleInfo] = []
+    suppression_maps: Dict[str, SuppressionMap] = {}
     for file_path in iter_python_files(paths):
-        raw.extend(lint_file(file_path, rules=rules))
+        raw.extend(lint_file(file_path, rules=file_rules))
         report.files_checked += 1
+        if project_rules:
+            source = Path(file_path).read_text(encoding="utf-8")
+            norm = normalize_path(file_path)
+            try:
+                tree = ast.parse(source, filename=norm)
+            except SyntaxError:
+                continue  # already reported by the per-file pass
+            modules.append(ModuleInfo(path=norm, source=source, tree=tree))
+            suppression_maps[norm] = scan_suppressions(source, norm)
+
+    for rule in project_rules:
+        applicable = [m for m in modules if rule.applies_to(m)]
+        for finding in rule.check_project(applicable):
+            suppressions = suppression_maps.get(finding.path)
+            if suppressions is None or not suppressions.suppresses(
+                    finding.line, finding.rule):
+                raw.append(finding)
 
     baseline = baseline or set()
     matched: Set[str] = set()

@@ -1,0 +1,214 @@
+"""Worklist dataflow over :mod:`repro.lint.cfg` graphs.
+
+Two analyses back the RL100-family rules:
+
+* **Reaching definitions** (forward, may, union-join) — which
+  assignments of a name can reach a use.  RL104 uses it to trace an
+  ``os.replace`` source file handle back to the ``open()`` that made
+  it.
+* **Resource facts** (forward, may or must) — RL102 phrases "pin leaks"
+  as the may-fact ``held(pin)`` reaching the exit or exceptional-exit
+  node; RL105 phrases "commit happened before publish" as ``committed``
+  being a must-fact on entry to each publish site.
+
+Both are instances of one generic :func:`solve` over finite fact sets.
+
+Exceptional edges carry the *pre*-statement facts: when a statement
+raises, its effect may not have happened.  Callers can refine that with
+``exc_transfer`` — RL102 passes one that applies *kills* only, encoding
+"acquisition is atomic (a failed acquire acquires nothing) but a
+release is assumed to take effect even if the releasing statement
+raises".  The graphs are statement-granular and tiny (one function
+body), so the quadratic worst case of the naive worklist is irrelevant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .cfg import CFG, CFGNode
+
+Facts = FrozenSet[str]
+Transfer = Callable[[CFGNode, Facts], Facts]
+
+#: Sentinel lattice top for must-analysis: "no path reached here yet".
+#: Distinct from frozenset() ("a path reached here carrying nothing").
+TOP: Facts = frozenset({"\x00<top>"})
+
+
+class FlowResult:
+    """IN/OUT fact sets per node index after the fixed point."""
+
+    __slots__ = ("ins", "outs", "cfg")
+
+    def __init__(self, cfg: CFG, ins: Dict[int, Facts],
+                 outs: Dict[int, Facts]) -> None:
+        self.cfg = cfg
+        self.ins = ins
+        self.outs = outs
+
+    def holds_before(self, index: int, fact: str) -> bool:
+        """Fact holds on entry to node on all paths (must) / some path
+        (may).  TOP means the node is unreachable — vacuously true for
+        must, and treated as "fact absent" for may (may never uses
+        TOP)."""
+        facts = self.ins[index]
+        return facts == TOP or fact in facts
+
+    def holds_after(self, index: int, fact: str) -> bool:
+        facts = self.outs[index]
+        return facts == TOP or fact in facts
+
+    def may_hold_after(self, index: int, fact: str) -> bool:
+        facts = self.outs[index]
+        return facts != TOP and fact in facts
+
+
+def solve(cfg: CFG, transfer: Transfer, *, must: bool,
+          entry_facts: Facts = frozenset(),
+          exc_transfer: Optional[Transfer] = None) -> FlowResult:
+    """Forward fixed point.
+
+    ``must=True`` joins with intersection (a fact survives only on all
+    incoming paths); ``must=False`` joins with union.  Edges recorded in
+    ``cfg.exc_edges`` contribute ``exc_transfer(node, IN[node])``
+    instead of ``OUT[node]`` — by default the identity, i.e. the
+    pre-statement facts.
+    """
+    if exc_transfer is None:
+        exc_transfer = lambda node, facts: facts  # noqa: E731
+
+    bottom: Facts = TOP if must else frozenset()
+    ins: Dict[int, Facts] = {n.index: bottom for n in cfg.nodes}
+    outs: Dict[int, Facts] = {n.index: bottom for n in cfg.nodes}
+    ins[cfg.entry] = entry_facts
+    outs[cfg.entry] = transfer(cfg.nodes[cfg.entry], entry_facts)
+
+    worklist: List[int] = [n.index for n in cfg.nodes if n.index != cfg.entry]
+    pending: Set[int] = set(worklist)
+    while worklist:
+        index = worklist.pop()
+        pending.discard(index)
+        node = cfg.nodes[index]
+
+        in_facts: Facts = bottom
+        seen_pred = False
+        for pred in node.preds:
+            if (pred, index) in cfg.exc_edges:
+                pred_in = ins[pred]
+                contribution = (pred_in if pred_in == TOP
+                                else exc_transfer(cfg.nodes[pred], pred_in))
+            else:
+                contribution = outs[pred]
+            if must:
+                if contribution == TOP:
+                    continue        # path never reaches this pred
+                in_facts = (contribution if not seen_pred
+                            else in_facts & contribution)
+            else:
+                in_facts = in_facts | contribution
+            seen_pred = True
+        if must and not seen_pred:
+            in_facts = TOP
+
+        out_facts = (in_facts if in_facts == TOP
+                     else transfer(node, in_facts))
+        if in_facts != ins[index] or out_facts != outs[index]:
+            ins[index] = in_facts
+            outs[index] = out_facts
+            for succ in node.succs:
+                if succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return FlowResult(cfg, ins, outs)
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+def assigned_names(stmt: ast.AST) -> List[str]:
+    """Names (re)bound by this statement, shallow (no nested defs)."""
+    names: List[str] = []
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AugAssign):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.AnnAssign):
+        if stmt.value is not None:
+            targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                targets.append(item.optional_vars)
+    elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+        names.append(stmt.name)
+    for target in targets:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                names.append(node.id)
+    return names
+
+
+def reaching_definitions(cfg: CFG) -> FlowResult:
+    """Fact sets ``name@line`` — the definitions of each local name
+    that may reach each point.  A new definition kills the prior ones
+    of the same name."""
+
+    def transfer(node: CFGNode, facts: Facts) -> Facts:
+        if node.stmt is None:
+            return facts
+        killed_names = set(assigned_names(node.stmt))
+        if not killed_names:
+            return facts
+        survivors = {fact for fact in facts
+                     if fact.rsplit("@", 1)[0] not in killed_names}
+        survivors.update(f"{name}@{node.line}" for name in killed_names)
+        return frozenset(survivors)
+
+    return solve(cfg, transfer, must=False)
+
+
+def definitions_reaching(result: FlowResult, node: CFGNode,
+                         name: str) -> List[int]:
+    """Line numbers of the definitions of ``name`` that may reach the
+    entry of ``node``."""
+    lines = []
+    for fact in result.ins[node.index]:
+        fact_name, _, line = fact.rpartition("@")
+        if fact_name == name:
+            lines.append(int(line))
+    return sorted(lines)
+
+
+# ---------------------------------------------------------------------------
+# Resource (gen/kill) analyses
+# ---------------------------------------------------------------------------
+
+GenKill = Callable[[CFGNode], Optional[Tuple[str, ...]]]
+
+
+def resource_flow(cfg: CFG, gen: GenKill, kill: GenKill, *,
+                  must: bool) -> FlowResult:
+    """Gen/kill facts with resource semantics on exceptional edges:
+    kills apply (a release takes effect even if its statement raises)
+    but gens do not (an acquire that raises acquired nothing)."""
+
+    def transfer(node: CFGNode, facts: Facts) -> Facts:
+        killed = kill(node) or ()
+        generated = gen(node) or ()
+        if not killed and not generated:
+            return facts
+        return frozenset((set(facts) - set(killed)) | set(generated))
+
+    def exc_transfer(node: CFGNode, facts: Facts) -> Facts:
+        killed = kill(node) or ()
+        if not killed:
+            return facts
+        return frozenset(set(facts) - set(killed))
+
+    return solve(cfg, transfer, must=must, exc_transfer=exc_transfer)

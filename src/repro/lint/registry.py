@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple, Type
+from typing import Dict, Iterator, List, Sequence, Tuple, Type
 
 from .findings import Finding
 
@@ -69,6 +69,27 @@ class Rule:
                        line=getattr(node, "lineno", 1),
                        col=getattr(node, "col_offset", 0),
                        message=message, symbol=symbol)
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole file set at once.
+
+    Per-file rules see one :class:`ModuleInfo`; a project rule's unit of
+    analysis is the *collection* — the lock-order graph (RL101) is
+    meaningless per file because an inversion usually spans two.  The
+    driver gathers every applicable module and calls
+    :meth:`check_project` once; findings still carry per-file paths and
+    lines, so suppressions and the baseline work unchanged.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Single-file entry point (lint_source / fixtures) delegates to
+        # the project pass with a one-module collection.
+        return self.check_project([module])
+
+    def check_project(self, modules: Sequence[ModuleInfo]
+                      ) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -1,11 +1,12 @@
-"""Text and JSON renderers for lint reports and deep-check reports."""
+"""Text, JSON and SARIF renderers for lint reports."""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from typing import Dict, List
 
 from .driver import LintReport
+from .registry import _REGISTRY
 
 
 def render_text(report: LintReport, verbose: bool = False) -> str:
@@ -31,3 +32,62 @@ def render_text(report: LintReport, verbose: bool = False) -> str:
 
 def render_json(report: LintReport) -> str:
     return json.dumps(report.to_dict(), indent=2)
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 — the format GitHub code scanning ingests, so CI can
+    annotate PR diffs with lint findings."""
+    rules_seen: Dict[str, dict] = {}
+    results: List[dict] = []
+    for finding in report.findings:
+        rule_class = _REGISTRY.get(finding.rule)
+        if finding.rule not in rules_seen:
+            descriptor = {
+                "id": finding.rule,
+                "shortDescription": {
+                    "text": rule_class.summary if rule_class
+                    else "meta finding"},
+            }
+            if rule_class is not None and rule_class.rationale:
+                descriptor["fullDescription"] = {
+                    "text": rule_class.rationale}
+            rules_seen[finding.rule] = descriptor
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col + 1, 1),
+                    },
+                },
+            }],
+        }
+        if finding.symbol:
+            result["partialFingerprints"] = {
+                "symbol": finding.symbol}
+        results.append(result)
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "docs/STATIC_ANALYSIS.md",
+                    "rules": [rules_seen[rule_id]
+                              for rule_id in sorted(rules_seen)],
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2)

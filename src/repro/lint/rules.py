@@ -10,6 +10,7 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from .annotations import scan_annotations
 from .findings import Finding
 from .registry import ModuleInfo, Rule, register
 
@@ -334,6 +335,7 @@ class LockDiscipline(Rule):
     include_tests = False
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        annotations = scan_annotations(module.source, module.path)
         for cls in ast.walk(module.tree):
             if not isinstance(cls, ast.ClassDef):
                 continue
@@ -343,8 +345,13 @@ class LockDiscipline(Rule):
             for method in _methods(cls):
                 if method.name in ("__init__", "__post_init__"):
                     continue
+                # ``# holds-lock:`` (and the ``*_locked`` suffix
+                # convention) declare the caller already owns the lock;
+                # the body is checked as if inside the with block.
+                held = (method.name.endswith("_locked")
+                        or method.lineno in annotations.holds_lock)
                 yield from self._check_method(module, cls, method, guarded,
-                                              lock_attrs)
+                                              lock_attrs, held)
 
     @staticmethod
     def _is_lock_attr(name: str) -> bool:
@@ -399,7 +406,8 @@ class LockDiscipline(Rule):
 
     def _check_method(self, module: ModuleInfo, cls: ast.ClassDef,
                       method: ast.FunctionDef, guarded: Set[str],
-                      lock_attrs: Set[str]) -> Iterator[Finding]:
+                      lock_attrs: Set[str],
+                      held: bool = False) -> Iterator[Finding]:
         func_nodes = {id(node.func) for node in _walk_same_scope(method.body)
                       if isinstance(node, ast.Call)}
         reported: Set[Tuple[int, str]] = set()
@@ -432,7 +440,7 @@ class LockDiscipline(Rule):
             for child in ast.iter_child_nodes(node):
                 yield from scan_node(child, locked)
 
-        yield from scan(method.body, False)
+        yield from scan(method.body, held)
 
 
 @register

@@ -160,11 +160,11 @@ class SlowQueryLog:
                  clock: Optional[Callable[[], float]] = None) -> None:
         self.threshold_ms = threshold_ms
         self.path = path
-        self._ring: Deque[Dict[str, Any]] = deque(maxlen=ring_size)
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=ring_size)  # guarded-by: _lock
         self._bucket = TokenBucket(rate_per_min, burst, clock)
         self._lock = threading.Lock()
-        self._captured = 0
-        self._sink_dropped = 0
+        self._captured = 0  # guarded-by: _lock
+        self._sink_dropped = 0  # guarded-by: _lock
 
     def consider(self, elapsed_ms: float,
                  record_fn: Callable[[], Dict[str, Any]]) -> bool:
@@ -271,7 +271,7 @@ class RuntimeRegistry(MetricsRegistry):
         self._clock = clock
 
     def counter(self, name: str) -> TimeSeriesCounter:
-        # repro-lint: disable=RL004 reason=double-checked locking; GIL-atomic dict.get fast path
+        # repro-lint: disable=RL004,RL100 reason=double-checked locking; GIL-atomic dict.get fast path
         instrument = self._counters.get(name)
         if instrument is not None:
             return instrument  # type: ignore[return-value]
@@ -286,7 +286,7 @@ class RuntimeRegistry(MetricsRegistry):
 
     def histogram(self, name: str,
                   growth: float = DEFAULT_GROWTH) -> TimeSeriesHistogram:
-        # repro-lint: disable=RL004 reason=double-checked locking; GIL-atomic dict.get fast path
+        # repro-lint: disable=RL004,RL100 reason=double-checked locking; GIL-atomic dict.get fast path
         instrument = self._histograms.get(name)
         if instrument is not None:
             return instrument  # type: ignore[return-value]
@@ -349,8 +349,10 @@ class RuntimeTelemetry:
                               self.config.slo_target,
                               self.config.window_seconds,
                               self.config.num_windows, self.config.clock)
-        self._sampled_ring: Deque[Span] = deque(maxlen=self.config.trace_ring)
-        self._slow_ring: Deque[Span] = deque(maxlen=self.config.trace_ring)
+        self._sampled_ring: Deque[Span] = deque(
+            maxlen=self.config.trace_ring)  # guarded-by: _ring_lock
+        self._slow_ring: Deque[Span] = deque(
+            maxlen=self.config.trace_ring)  # guarded-by: _ring_lock
         self._ring_lock = threading.Lock()
         self._suppress_depth = _SuppressDepth()
         self.started_at = clock()

@@ -1,0 +1,12 @@
+"""Seeded-violation fixture corpus for the RL100 concurrency family.
+
+Each rule has a ``rlNNN_violation.py`` that must produce exactly the
+seeded findings and an ``rlNNN_clean.py`` twin that must produce none.
+``tests/test_lint_concurrency.py`` runs every pair through
+:func:`repro.lint.lint_source`; a rule change that stops catching its
+violation (or starts flagging its clean twin) fails the suite.
+
+The fixtures are data, not code under test: the RL100 family sets
+``include_tests = False``, so linting the real tree never scans them,
+and the test harness passes the rules explicitly.
+"""

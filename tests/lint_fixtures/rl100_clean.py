@@ -1,0 +1,34 @@
+"""RL100 clean twin: every guarded access is under the lock, via a
+``holds-lock`` method, or via the ``_locked``-suffix convention."""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = 0  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
+
+    def record(self):
+        with self._lock:
+            self._events += 1
+
+    def drop(self):
+        with self._lock:
+            self._events += 1
+            self._dropped += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self._events, self._dropped
+
+    # holds-lock: _lock
+    def _flush_unlocked_name(self):
+        return self._events
+
+    def _drain_locked(self):
+        drained = self._events + self._dropped
+        self._events = 0
+        self._dropped = 0
+        return drained

@@ -1,0 +1,23 @@
+"""RL100 seeded violations: guarded-by fields touched without the lock."""
+
+import threading
+
+
+class Telemetry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._events = 0  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
+
+    def record(self):
+        self._events += 1  # seeded-violation
+
+    def drop(self):
+        with self._lock:
+            self._events += 1
+        self._dropped += 1  # seeded-violation
+
+    def snapshot(self):
+        with self._lock:
+            events = self._events
+        return events, self._dropped  # seeded-violation

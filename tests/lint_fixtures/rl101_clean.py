@@ -1,0 +1,21 @@
+"""RL101 clean twin: both paths honour one global order (alpha first)."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+        self.forward_steps = 0
+        self.backward_steps = 0
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:
+                self.forward_steps += 1
+
+    def backward(self):
+        with self._alpha_lock:
+            with self._beta_lock:
+                self.backward_steps += 1

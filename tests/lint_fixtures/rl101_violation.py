@@ -1,0 +1,21 @@
+"""RL101 seeded violation: the same two locks nested in both orders."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+        self.forward_steps = 0
+        self.backward_steps = 0
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # seeded-violation
+                self.forward_steps += 1
+
+    def backward(self):
+        with self._beta_lock:
+            with self._alpha_lock:
+                self.backward_steps += 1

@@ -1,0 +1,37 @@
+"""RL102 clean twin: every acquisition shape that counts as released.
+
+Covers the finally block, the ``with registry.pinned()`` manager, the
+rescue pattern (catch-all handler + ``if pin is not None`` guarded
+release), and ownership escape by return.
+"""
+
+
+def snapshot_with_finally(registry, compute):
+    pin = registry.pin()
+    try:
+        return compute(pin.items)
+    finally:
+        pin.release()
+
+
+def snapshot_with_manager(registry, compute):
+    with registry.pinned() as items:
+        return compute(items)
+
+
+def snapshot_with_rescue(registry, make_snapshot):
+    # Ownership transfers to the snapshot on success; the catch-all
+    # handler releases on any failure before the handoff.
+    pin = None
+    try:
+        pin = registry.pin()
+        return make_snapshot(pin)
+    except BaseException:
+        if pin is not None:
+            pin.release()
+        raise
+
+
+def hand_off(registry):
+    pin = registry.pin()
+    return pin

@@ -1,0 +1,18 @@
+"""RL102 seeded violations: registry pins leaked on some path."""
+
+
+def snapshot_leaks_on_exception(registry, compute):
+    pin = registry.pin()  # seeded-violation
+    # compute() may raise -> the pin is never released on that path.
+    result = compute(pin.items)
+    pin.release()
+    return result
+
+
+def early_return_leaks(registry, wanted):
+    pin = registry.pin()  # seeded-violation
+    if wanted not in pin.items:
+        return None
+    value = len(pin.items)
+    pin.release()
+    return value

@@ -1,0 +1,23 @@
+"""RL103 clean twin: transitions go through advance_state and stay on
+the ACTIVE -> COMPACTING -> SUPERSEDED -> REMOVED diagram."""
+
+from repro.compaction.lifecycle import GenerationState, advance_state
+
+
+def begin_compaction(generation):
+    generation.state = advance_state(generation.state,
+                                     GenerationState.COMPACTING)
+
+
+def supersede(generation):
+    generation.state = advance_state(GenerationState.COMPACTING,
+                                     GenerationState.SUPERSEDED)
+
+
+def reclaim(generation):
+    generation.state = advance_state(GenerationState.SUPERSEDED,
+                                     GenerationState.REMOVED)
+
+
+def dynamic_operands_are_runtime_checked(generation, target):
+    generation.state = advance_state(generation.state, target)

@@ -1,0 +1,11 @@
+"""RL103 seeded violations: lifecycle state changed outside the diagram."""
+
+from repro.compaction.lifecycle import GenerationState, advance_state
+
+
+def resurrect(generation):
+    generation.state = GenerationState.ACTIVE  # seeded-violation
+
+
+def skip_the_check(generation):
+    advance_state(GenerationState.REMOVED, GenerationState.ACTIVE)  # seeded-violation

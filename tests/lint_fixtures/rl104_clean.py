@@ -1,0 +1,18 @@
+"""RL104 clean twin: the full write -> flush -> fsync -> rename protocol,
+plus a rename of data this function never wrote (not a commit section)."""
+
+import json
+import os
+
+
+def commit_manifest(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def rotate(old_path, new_path):
+    os.replace(old_path, new_path)

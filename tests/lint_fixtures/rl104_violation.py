@@ -1,0 +1,20 @@
+"""RL104 seeded violations: rename commits data that was never fsynced."""
+
+import json
+import os
+
+
+def commit_manifest_no_fsync(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(payload))
+    os.replace(tmp, path)  # seeded-violation
+
+
+def fsync_then_write_again(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+        os.fsync(handle.fileno())
+        handle.write("\n")
+    os.replace(tmp, path)  # seeded-violation

@@ -1,0 +1,13 @@
+"""RL105 clean twin: publish strictly follows the durable commit (and a
+pure in-memory publish with no commit in sight is not a commit section)."""
+
+import os
+
+
+def commit_generation(registry, entry, manifest_tmp, manifest_path):
+    os.replace(manifest_tmp, manifest_path)
+    registry.append(entry)
+
+
+def swap_in_memory(generations, items):
+    generations.swap(items)

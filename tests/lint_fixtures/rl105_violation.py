@@ -1,0 +1,10 @@
+"""RL105 seeded violation: the registry is published before the rename
+makes the manifest durable -- a crash in between exposes state recovery
+will not rebuild."""
+
+import os
+
+
+def commit_generation(registry, entry, manifest_tmp, manifest_path):
+    registry.append(entry)  # seeded-violation
+    os.replace(manifest_tmp, manifest_path)

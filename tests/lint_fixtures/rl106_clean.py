@@ -1,0 +1,31 @@
+"""RL106 clean twin: context manager, try/finally, and the exempt
+lock-wrapper class that legitimately calls the primitives."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self, amount):
+        with self._lock:
+            self._value += amount
+
+    def bump_raw(self, amount):
+        self._lock.acquire()
+        try:
+            self._value += amount
+        finally:
+            self._lock.release()
+
+
+class TracingLock:
+    def __init__(self, inner):
+        self._inner_lock = inner
+        self.acquired = 0
+
+    def acquire(self):
+        self._inner_lock.acquire()
+        self.acquired += 1

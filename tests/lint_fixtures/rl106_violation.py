@@ -1,0 +1,19 @@
+"""RL106 seeded violations: raw acquire without release on every path."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self, amount):
+        self._lock.acquire()  # seeded-violation
+        # amount may be anything -> the += can raise with the lock held.
+        self._value += amount
+        self._lock.release()
+
+    def take_forever(self):
+        self._lock.acquire()  # seeded-violation
+        return self._value

@@ -1,0 +1,100 @@
+"""Fixture-corpus tests for the RL100 concurrency family.
+
+Every rule in the family has a seeded-violation fixture and a clean
+twin under ``tests/lint_fixtures/``.  The violation file marks each
+expected finding line with a trailing ``# seeded-violation`` comment,
+so the assertions here pin the *exact* anchor lines, not just "found
+something"; the clean twin must produce nothing at all.
+
+The fixtures are linted via :func:`repro.lint.lint_source` with a
+non-test path: the RL100 family sets ``include_tests = False``, so the
+corpus never flags itself during a real tree scan.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_source
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+MARKER = "# seeded-violation"
+
+#: rule id -> fixture stem.
+FAMILY = {
+    "RL100": "rl100",
+    "RL101": "rl101",
+    "RL102": "rl102",
+    "RL103": "rl103",
+    "RL104": "rl104",
+    "RL105": "rl105",
+    "RL106": "rl106",
+}
+
+
+def _rule(rule_id):
+    matches = [rule for rule in all_rules() if rule.rule_id == rule_id]
+    assert len(matches) == 1, f"{rule_id} not registered exactly once"
+    return matches[0]
+
+
+def _seeded_lines(source):
+    return sorted(number for number, line
+                  in enumerate(source.splitlines(), start=1)
+                  if MARKER in line)
+
+
+def _lint(source, stem, rule_id):
+    # A src/-style path so include_tests = False does not veto the rule.
+    return lint_source(source, path=f"src/{stem}.py",
+                       rules=[_rule(rule_id)])
+
+
+@pytest.mark.parametrize("rule_id", sorted(FAMILY))
+def test_violation_fixture_is_caught(rule_id):
+    stem = FAMILY[rule_id] + "_violation"
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    seeded = _seeded_lines(source)
+    assert seeded, f"{stem}.py has no {MARKER} markers"
+    findings = _lint(source, stem, rule_id)
+    assert {finding.rule for finding in findings} == {rule_id}
+    assert sorted(finding.line for finding in findings) == seeded
+
+
+@pytest.mark.parametrize("rule_id", sorted(FAMILY))
+def test_clean_twin_passes(rule_id):
+    stem = FAMILY[rule_id] + "_clean"
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    assert MARKER not in source
+    findings = _lint(source, stem, rule_id)
+    assert findings == []
+
+
+def test_fixture_corpus_is_complete():
+    stems = {path.stem for path in FIXTURES.glob("rl*.py")}
+    expected = {f"{stem}_{kind}" for stem in FAMILY.values()
+                for kind in ("violation", "clean")}
+    assert stems == expected
+
+
+def test_family_skips_test_files():
+    source = (FIXTURES / "rl106_violation.py").read_text(encoding="utf-8")
+    findings = lint_source(source, path="tests/lint_fixtures/x.py",
+                           rules=[_rule("RL106")])
+    assert findings == []
+
+
+def test_suppression_silences_a_family_finding():
+    source = (
+        "import threading\n"
+        "\n"
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    def grab(self):\n"
+        "        self._lock.acquire()  # repro-lint: disable=RL106 "
+        "reason=paired release lives in the teardown hook\n"
+    )
+    assert lint_source(source, path="src/x.py",
+                       rules=[_rule("RL106")]) == []

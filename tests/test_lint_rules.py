@@ -31,9 +31,10 @@ def findings_for(source: str, rule_id: str, path: str = SRC_PATH):
 # -- framework -------------------------------------------------------------
 
 class TestFramework:
-    def test_all_seven_rules_registered(self):
+    def test_all_rules_registered(self):
         assert lint.rule_ids() == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL100", "RL101", "RL102", "RL103", "RL104", "RL105", "RL106"]
 
     def test_syntax_error_reports_meta_finding(self):
         findings = lint_source("def broken(:\n", path=SRC_PATH)

@@ -1,0 +1,176 @@
+"""Runtime lock-sanitizer tests: inversion detection, guarded-field
+enforcement, the shared smoke workload, and the overhead budget.
+
+The overhead test is the acceptance gate for running the sanitizer
+under the concurrency hammer tests: instrumenting the hot lock of the
+merge path must stay within 1.10x of the uninstrumented run.  Timing is
+min-of-N with retries so scheduler noise cannot fail a healthy build.
+"""
+
+import threading
+import time
+
+from types import SimpleNamespace
+
+from repro.index.builder import IndexConfig
+from repro.ingest.live import LiveIndex
+from repro.lint.sanitizer import (
+    LockSanitizer,
+    SanitizedLock,
+    guard_instance,
+    instrument_lock_attr,
+    run_sanitizer_smoke,
+)
+from repro.text.analyzer import Analyzer
+
+
+class TestInversionDetection:
+    def test_sequential_opposite_orders_form_a_cycle(self):
+        sanitizer = LockSanitizer()
+        alpha = SanitizedLock(threading.Lock(), "alpha", sanitizer)
+        beta = SanitizedLock(threading.Lock(), "beta", sanitizer)
+        with alpha:
+            with beta:
+                pass
+        with beta:
+            with alpha:
+                pass
+        report = sanitizer.report()
+        assert not report.ok
+        assert report.inversions == [("alpha", "beta")]
+        assert any("potential deadlock" in line
+                   for line in report.describe())
+
+    def test_two_threads_that_never_overlap_still_flagged(self):
+        # The whole point: the inverted orders run at different times on
+        # different threads, so no test run would ever deadlock -- the
+        # observed-order graph still has the cycle.
+        sanitizer = LockSanitizer()
+        alpha = SanitizedLock(threading.Lock(), "alpha", sanitizer)
+        beta = SanitizedLock(threading.Lock(), "beta", sanitizer)
+        serializer = threading.Lock()  # plain: keeps the orders disjoint
+
+        def run(first, second):
+            with serializer:
+                with first:
+                    with second:
+                        pass
+
+        pool = [threading.Thread(target=run, args=(alpha, beta)),
+                threading.Thread(target=run, args=(beta, alpha))]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(30.0)
+        assert not any(thread.is_alive() for thread in pool)
+        assert sanitizer.report().inversions == [("alpha", "beta")]
+
+    def test_consistent_order_is_clean(self):
+        sanitizer = LockSanitizer()
+        alpha = SanitizedLock(threading.Lock(), "alpha", sanitizer)
+        beta = SanitizedLock(threading.Lock(), "beta", sanitizer)
+        for _ in range(3):
+            with alpha:
+                with beta:
+                    pass
+        report = sanitizer.report()
+        assert report.ok
+        assert report.edges == {("alpha", "beta"): 3}
+
+    def test_reentrant_acquire_is_not_an_ordering_edge(self):
+        sanitizer = LockSanitizer()
+        lock = SanitizedLock(threading.RLock(), "outer", sanitizer)
+        with lock:
+            with lock:
+                pass
+        report = sanitizer.report()
+        assert report.ok
+        assert report.edges == {}
+
+
+class TestGuardedFields:
+    def test_unguarded_access_is_recorded_once(self):
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0
+
+        sanitizer = LockSanitizer()
+        box = Box()
+        instrument_lock_attr(box, "_lock", sanitizer)
+        guard_instance(box, sanitizer, {"_value": "_lock"})
+
+        with box._lock:
+            box._value = 5  # guarded write: fine
+        assert sanitizer.report().unguarded == []
+
+        for _ in range(3):  # deduplicated
+            _ = box._value
+        report = sanitizer.report()
+        assert report.unguarded == [
+            "unguarded access: Box._value read without Box._lock held"]
+        assert not report.ok
+
+    def test_instrumentation_is_idempotent(self):
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+        sanitizer = LockSanitizer()
+        box = Box()
+        first = instrument_lock_attr(box, "_lock", sanitizer)
+        second = instrument_lock_attr(box, "_lock", sanitizer)
+        assert first is second
+
+
+class TestSmokeWorkload:
+    def test_smoke_run_on_real_registries_is_clean(self):
+        report = run_sanitizer_smoke(threads=2, iterations=120)
+        assert report.ok
+        assert report.acquisitions > 0
+
+
+# ---------------------------------------------------------------------------
+# Overhead budget
+# ---------------------------------------------------------------------------
+
+OVERHEAD_BUDGET = 1.10
+HAMMER_CALLS = 1200
+
+
+def _make_live():
+    # Hammer-shaped work: each call merges four 128-entry posting runs,
+    # with one _stats_lock acquire/release for the merge accounting --
+    # the same work:lock ratio the concurrency hammer tests have.
+    memtables = []
+    for source in range(4):
+        postings = [(source * 1000 + lsn, 1) for lsn in range(128)]
+        memtables.append(SimpleNamespace(
+            postings=lambda cell, term, max_lsn=None, p=postings: p,
+            max_lsn=0))
+    return LiveIndex(IndexConfig(), Analyzer(), memtables, [])
+
+
+def _time_hammer(live):
+    start = time.perf_counter()
+    for _ in range(HAMMER_CALLS):
+        live.postings("cell", "term")
+    return time.perf_counter() - start
+
+
+class TestOverheadBudget:
+    def test_sanitized_hammer_within_budget(self):
+        plain = _make_live()
+        sanitized = _make_live()
+        instrument_lock_attr(sanitized, "_stats_lock", LockSanitizer())
+
+        best_ratio = float("inf")
+        for _attempt in range(5):
+            base = min(_time_hammer(plain) for _ in range(3))
+            instrumented = min(_time_hammer(sanitized) for _ in range(3))
+            best_ratio = min(best_ratio, instrumented / base)
+            if best_ratio <= OVERHEAD_BUDGET:
+                break
+        assert best_ratio <= OVERHEAD_BUDGET, (
+            f"sanitized hammer ran {best_ratio:.3f}x the plain run "
+            f"(budget {OVERHEAD_BUDGET}x)")
