@@ -122,7 +122,15 @@ def _run_workload(engine: TkLUSEngine,
                   queries: Sequence[TkLUSQuery]) -> Dict[str, object]:
     """Run every query through the max-score path against a cold cache,
     returning latency quantiles, decode-work deltas, and the rankings
-    (for cross-format parity)."""
+    (for cross-format parity).
+
+    Latency and decode-work metrics come from the cold pass — that is
+    the regression being guarded.  Block-cache hit/miss accounting comes
+    from a *warm* second pass over the same queries: the cold pass
+    starts from deliberately cleared caches, so its hit rate is 0 by
+    construction (every first touch of a block misses) and says nothing
+    about steady-state cache behaviour.
+    """
     engine.index.clear_caches()
     engine.threads.clear_cache()
     before = engine.index.stats.snapshot()
@@ -135,9 +143,13 @@ def _run_workload(engine: TkLUSEngine,
         rankings.append([[uid, round(score, 9)]
                         for uid, score in result.users])
     delta = engine.index.stats.diff(before)
+    warm_before = engine.index.stats.snapshot()
+    for query in queries:
+        engine.search_max(query)
+    warm_delta = engine.index.stats.diff(warm_before)
     latencies_ms.sort()
-    hits = delta["block_cache_hits"]
-    misses = delta["block_cache_misses"]
+    hits = warm_delta["block_cache_hits"]
+    misses = warm_delta["block_cache_misses"]
     metrics: Dict[str, object] = {
         "latency_ms": {
             "p50": round(_quantile(latencies_ms, 0.50), 3),

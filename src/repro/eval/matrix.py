@@ -1,0 +1,363 @@
+"""The perf-regression benchmark matrix: scalar vs batched kernels.
+
+A fixed grid of cells — dataset size × k × radius × keyword count —
+each measured under both kernel families (the scalar reference pipeline
+and the columnar batched one).  Per cell the report records latency for
+both legs, the batched/scalar speedup, and whether the two legs returned
+**byte-identical** rankings (scores compared by ``float.hex``, not with
+a tolerance).  The committed ``BENCH_matrix.json`` at the repo root is
+this module's output; the perf contract pins its headline numbers —
+most importantly that the largest cell's batched speedup stays above an
+absolute floor and that results stay identical — so a change that
+quietly slows the batched path or breaks parity fails CI.
+
+Both legs share one engine per dataset (same corpus, same storage, same
+caches): the batched leg is a second ``MaxScoreProcessor`` over the
+same backends whose :class:`~repro.core.scoring.ScoringConfig` selects
+``kernels="batched"``.  Every leg gets a warmup pass, then the best of
+``repeats`` timed passes counts (min-of-rounds discards scheduler
+noise).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .. import columnar
+from ..core.model import TkLUSQuery
+from ..core.scoring import ScoringConfig
+from ..data.generator import generate_corpus
+from ..data.queries import QueryWorkload
+from ..query.engine import EngineConfig, TkLUSEngine
+from ..query.max_ranking import MaxScoreProcessor
+
+MATRIX_SCHEMA_VERSION = 1
+KERNELS = ("scalar", "batched")
+
+
+@dataclass(frozen=True)
+class MatrixDataset:
+    """One corpus size of the grid."""
+
+    name: str
+    num_users: int
+    num_root_tweets: int
+
+
+@dataclass(frozen=True)
+class MatrixConfig:
+    """The grid definition; the defaults match the committed
+    ``BENCH_matrix.json``."""
+
+    datasets: Tuple[MatrixDataset, ...] = (
+        MatrixDataset("small", num_users=200, num_root_tweets=1200),
+        MatrixDataset("large", num_users=500, num_root_tweets=3200),
+    )
+    k_values: Tuple[int, ...] = (5, 20)
+    radii_km: Tuple[float, ...] = (10.0, 40.0)
+    keyword_counts: Tuple[int, ...] = (1, 2)
+    queries_per_cell: int = 8
+    repeats: int = 3
+    seed: int = 42
+
+    @classmethod
+    def smoke(cls) -> "MatrixConfig":
+        """A fast grid for CI: one small dataset, fewer cells/queries.
+        Latency numbers from this config are not comparable to the
+        committed report — it exists to validate schema, parity and the
+        plumbing on every push."""
+        return cls(
+            datasets=(MatrixDataset("small", num_users=120,
+                                    num_root_tweets=600),),
+            k_values=(5,), radii_km=(10.0, 40.0), keyword_counts=(1, 2),
+            queries_per_cell=4, repeats=1)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "datasets": [{"name": d.name, "num_users": d.num_users,
+                          "num_root_tweets": d.num_root_tweets}
+                         for d in self.datasets],
+            "k_values": list(self.k_values),
+            "radii_km": list(self.radii_km),
+            "keyword_counts": list(self.keyword_counts),
+            "queries_per_cell": self.queries_per_cell,
+            "repeats": self.repeats,
+            "seed": self.seed,
+        }
+
+
+def cell_id(dataset: str, k: int, radius_km: float, keywords: int) -> str:
+    return f"{dataset}-k{k}-r{radius_km:g}-kw{keywords}"
+
+
+def list_cells(config: Optional[MatrixConfig] = None) -> List[str]:
+    """Every cell id of the grid, in run order."""
+    if config is None:
+        config = MatrixConfig()
+    return [cell_id(dataset.name, k, radius, keywords)
+            for dataset in config.datasets
+            for k in config.k_values
+            for radius in config.radii_km
+            for keywords in config.keyword_counts]
+
+
+def _measure(processor: MaxScoreProcessor, queries: Sequence[TkLUSQuery],
+             repeats: int) -> Tuple[Dict[str, float], List[List[str]]]:
+    """One leg: warmup pass (captures rankings), then the best of
+    ``repeats`` timed passes."""
+    rankings: List[List[str]] = []
+    for query in queries:
+        result = processor.search(query)
+        # float.hex round-trips exactly: parity between legs is bitwise.
+        rankings.append([f"{uid}:{score.hex()}"
+                         for uid, score in result.users])
+    best_latencies: Optional[List[float]] = None
+    for _ in range(repeats):
+        latencies: List[float] = []
+        for query in queries:
+            started = time.perf_counter()
+            processor.search(query)
+            latencies.append((time.perf_counter() - started) * 1000.0)
+        if best_latencies is None or sum(latencies) < sum(best_latencies):
+            best_latencies = latencies
+    assert best_latencies is not None
+    ordered = sorted(best_latencies)
+    metrics = {
+        "mean_ms": round(sum(ordered) / len(ordered), 4),
+        "p50_ms": round(ordered[len(ordered) // 2], 4),
+        "max_ms": round(ordered[-1], 4),
+        "total_ms": round(sum(ordered), 4),
+    }
+    return metrics, rankings
+
+
+def run_matrix(config: Optional[MatrixConfig] = None,
+               only_cell: Optional[str] = None) -> Dict[str, object]:
+    """Run the grid (or one cell of it) and return the report payload."""
+    if config is None:
+        config = MatrixConfig()
+    wanted = set(list_cells(config))
+    if only_cell is not None:
+        if only_cell not in wanted:
+            raise ValueError(f"unknown cell {only_cell!r}; "
+                             f"cells: {', '.join(sorted(wanted))}")
+        wanted = {only_cell}
+
+    cells: List[Dict[str, object]] = []
+    for dataset in config.datasets:
+        dataset_cells = [
+            (k, radius, keywords)
+            for k in config.k_values
+            for radius in config.radii_km
+            for keywords in config.keyword_counts
+            if cell_id(dataset.name, k, radius, keywords) in wanted]
+        if not dataset_cells:
+            continue
+        corpus = generate_corpus(num_users=dataset.num_users,
+                                 num_root_tweets=dataset.num_root_tweets,
+                                 seed=config.seed)
+        engine = TkLUSEngine.from_posts(corpus.posts, config=EngineConfig())
+        scoring = engine.config.scoring
+        legs = {
+            "scalar": engine.processor("max"),
+            # Same index, database, thread builder and bounds — only the
+            # kernel selection differs, so the comparison isolates the
+            # operator implementations.
+            "batched": MaxScoreProcessor(
+                engine.index, engine.database, engine.threads, engine.bounds,
+                replace(scoring, kernels="batched"), engine.metric),
+        }
+        workload = QueryWorkload(corpus, seed=config.seed)
+        for k, radius, keywords in dataset_cells:
+            queries = workload.make_queries(keywords, radius, k=k,
+                                            limit=config.queries_per_cell)
+            measured: Dict[str, Dict[str, float]] = {}
+            rankings: Dict[str, List[List[str]]] = {}
+            for leg in KERNELS:
+                measured[leg], rankings[leg] = _measure(
+                    legs[leg], queries, config.repeats)
+            batched_mean = measured["batched"]["mean_ms"]
+            speedup = (round(measured["scalar"]["mean_ms"] / batched_mean, 3)
+                       if batched_mean > 0 else None)
+            cells.append({
+                "id": cell_id(dataset.name, k, radius, keywords),
+                "dataset": dataset.name,
+                "num_posts": len(corpus.posts),
+                "k": k,
+                "radius_km": radius,
+                "keywords": keywords,
+                "queries": len(queries),
+                "scalar": measured["scalar"],
+                "batched": measured["batched"],
+                "speedup": speedup,
+                "results_identical": rankings["scalar"] == rankings["batched"],
+            })
+
+    # The largest cell anchors the contract's absolute speedup floor:
+    # most posts, then most keywords, largest k, widest radius.
+    largest = max(cells, key=lambda cell: (
+        cell["num_posts"], cell["keywords"], cell["k"], cell["radius_km"]))
+    return {
+        "schema_version": MATRIX_SCHEMA_VERSION,
+        "seed": config.seed,
+        "config": config.as_dict(),
+        "backend": columnar.active_backend(),
+        "cells": cells,
+        "largest_cell": {"id": largest["id"], "speedup": largest["speedup"]},
+        "results_identical": all(cell["results_identical"]
+                                 for cell in cells),
+    }
+
+
+def validate_matrix_report(payload: object) -> List[str]:
+    """Schema check for a matrix report; returns human-readable problems
+    (empty when valid)."""
+    problems: List[str] = []
+
+    def note(message: str) -> None:
+        problems.append(message)
+
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema_version") != MATRIX_SCHEMA_VERSION:
+        note(f"schema_version must be {MATRIX_SCHEMA_VERSION}, "
+             f"got {payload.get('schema_version')!r}")
+    if not isinstance(payload.get("seed"), int) \
+            or isinstance(payload.get("seed"), bool):
+        note("seed must be an integer")
+    if payload.get("backend") not in ("numpy", "python"):
+        note("backend must be 'numpy' or 'python'")
+    if not isinstance(payload.get("results_identical"), bool):
+        note("results_identical must be a boolean")
+    cells = payload.get("cells")
+    if not isinstance(cells, list) or not cells:
+        return problems + ["cells must be a non-empty array"]
+    seen: set = set()
+    for position, cell in enumerate(cells):
+        where = f"cells[{position}]"
+        if not isinstance(cell, dict):
+            note(f"{where} must be an object")
+            continue
+        identifier = cell.get("id")
+        if not isinstance(identifier, str) or not identifier:
+            note(f"{where}.id must be a non-empty string")
+        elif identifier in seen:
+            note(f"{where}.id duplicates {identifier!r}")
+        else:
+            seen.add(identifier)
+        for key in ("num_posts", "k", "keywords", "queries"):
+            value = cell.get(key)
+            if not (isinstance(value, int) and value > 0
+                    and not isinstance(value, bool)):
+                note(f"{where}.{key} must be a positive integer")
+        radius = cell.get("radius_km")
+        if not (isinstance(radius, (int, float)) and radius > 0):
+            note(f"{where}.radius_km must be a positive number")
+        if not isinstance(cell.get("results_identical"), bool):
+            note(f"{where}.results_identical must be a boolean")
+        speedup = cell.get("speedup")
+        if speedup is not None and not (
+                isinstance(speedup, (int, float)) and speedup > 0):
+            note(f"{where}.speedup must be null or a positive number")
+        for leg in KERNELS:
+            metrics = cell.get(leg)
+            at = f"{where}.{leg}"
+            if not isinstance(metrics, dict):
+                note(f"{at} missing")
+                continue
+            for key in ("mean_ms", "p50_ms", "max_ms", "total_ms"):
+                value = metrics.get(key)
+                if not (isinstance(value, (int, float)) and value >= 0
+                        and not isinstance(value, bool)):
+                    note(f"{at}.{key} must be a non-negative number")
+    largest = payload.get("largest_cell")
+    if not isinstance(largest, dict):
+        note("largest_cell must be an object")
+    else:
+        if not isinstance(largest.get("id"), str) \
+                or largest.get("id") not in seen:
+            note("largest_cell.id must name a cell in the report")
+        speedup = largest.get("speedup")
+        if not (isinstance(speedup, (int, float)) and speedup > 0):
+            note("largest_cell.speedup must be a positive number")
+    return problems
+
+
+def render_matrix(payload: Dict[str, object]) -> str:
+    """Terminal table: one line per cell."""
+    lines = [f"kernel matrix (backend={payload.get('backend')}, "
+             f"seed={payload.get('seed')})"]
+    header = (f"{'cell':<22} {'posts':>6} {'scalar':>10} {'batched':>10} "
+              f"{'speedup':>8}  parity")
+    lines.append(header)
+    for cell in payload["cells"]:  # type: ignore[index]
+        speedup = cell["speedup"]
+        lines.append(
+            f"{cell['id']:<22} {cell['num_posts']:>6} "
+            f"{cell['scalar']['mean_ms']:>8.2f}ms "
+            f"{cell['batched']['mean_ms']:>8.2f}ms "
+            f"{speedup if speedup is not None else 'n/a':>8} "
+            f" {'ok' if cell['results_identical'] else 'MISMATCH'}")
+    largest = payload.get("largest_cell")
+    if isinstance(largest, dict):
+        lines.append(f"largest cell {largest['id']}: "
+                     f"speedup {largest['speedup']}x")
+    parity = "ok" if payload.get("results_identical") else "MISMATCH"
+    lines.append(f"overall parity: {parity}")
+    return "\n".join(lines)
+
+
+def diff_matrix(current: Dict[str, object], committed: Dict[str, object],
+                speedup_tol: float = 0.25) -> List[str]:
+    """Compare a fresh run against the committed report.
+
+    Parity must hold in both; per-cell batched speedups may drift by
+    ``speedup_tol`` relative before they are flagged (latency on a
+    different machine is expected to move — this diff is advisory,
+    the enforced gate is the contract's headline check)."""
+    problems: List[str] = []
+    if not current.get("results_identical"):
+        problems.append("current run: results_identical is false")
+    committed_cells = {cell["id"]: cell
+                       for cell in committed.get("cells", [])}  # type: ignore[union-attr]
+    for cell in current.get("cells", []):  # type: ignore[union-attr]
+        base = committed_cells.get(cell["id"])
+        if base is None:
+            problems.append(f"{cell['id']}: not in committed report")
+            continue
+        speedup = cell.get("speedup")
+        base_speedup = base.get("speedup")
+        if speedup is None or base_speedup is None:
+            continue
+        floor = base_speedup * (1.0 - speedup_tol)
+        if speedup < floor:
+            problems.append(
+                f"{cell['id']}: speedup {speedup:g} below {floor:g} "
+                f"(committed {base_speedup:g}, tol {speedup_tol:.0%})")
+    return problems
+
+
+def write_report(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# Re-exported for the CLI's config plumbing.
+__all__ = [
+    "KERNELS",
+    "MATRIX_SCHEMA_VERSION",
+    "MatrixConfig",
+    "MatrixDataset",
+    "ScoringConfig",
+    "cell_id",
+    "diff_matrix",
+    "list_cells",
+    "render_matrix",
+    "run_matrix",
+    "validate_matrix_report",
+    "write_report",
+]

@@ -19,7 +19,10 @@ any of these (or their own).
 from __future__ import annotations
 
 import math
-from typing import Callable, Tuple
+import struct
+from typing import Any, Callable, List, Sequence, Tuple
+
+from repro import columnar
 
 Coordinate = Tuple[float, float]
 Metric = Callable[[Coordinate, Coordinate], float]
@@ -43,6 +46,115 @@ def haversine_km(a: Coordinate, b: Coordinate) -> float:
     # Clamp against floating-point drift before asin.
     h = min(1.0, max(0.0, h))
     return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+
+def haversine_km_from(origin: Coordinate) -> Callable[[Coordinate], float]:
+    """A one-argument haversine closure with the origin's trigonometry
+    hoisted out of the per-candidate loop.
+
+    ``haversine_km_from(q)(p)`` is bitwise-identical to
+    ``haversine_km(q, p)``: the hoisted ``phi1``/``cos(phi1)`` are the
+    very same intermediates the two-argument form computes, and every
+    remaining operation keeps its order and association.
+    """
+    lat1, lon1 = origin
+    phi1 = math.radians(lat1)
+    cos_phi1 = math.cos(phi1)
+    radians = math.radians
+    sin = math.sin
+    cos = math.cos
+
+    def distance(b: Coordinate) -> float:
+        lat2, lon2 = b
+        phi2 = radians(lat2)
+        dphi = radians(lat2 - lat1)
+        dlam = radians(lon2 - lon1)
+        h = sin(dphi / 2.0) ** 2 + cos_phi1 * cos(phi2) * sin(dlam / 2.0) ** 2
+        h = min(1.0, max(0.0, h))
+        return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))
+
+    return distance
+
+
+def _haversine_batch_python(origin: Coordinate, lats: Sequence[float],
+                            lons: Sequence[float]) -> List[float]:
+    distance = haversine_km_from(origin)
+    return [distance((lat, lon)) for lat, lon in zip(lats, lons)]
+
+
+def _haversine_batch_numpy(np: Any, origin: Coordinate,
+                           lats: Sequence[float],
+                           lons: Sequence[float]) -> Any:
+    lat1, lon1 = origin
+    phi1 = math.radians(lat1)
+    cos_phi1 = math.cos(phi1)
+    lat2 = np.asarray(lats, dtype=np.float64)
+    lon2 = np.asarray(lons, dtype=np.float64)
+    phi2 = np.radians(lat2)
+    dphi = np.radians(lat2 - lat1)
+    dlam = np.radians(lon2 - lon1)
+    h = np.sin(dphi / 2.0) ** 2 + cos_phi1 * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    h = np.minimum(1.0, np.maximum(0.0, h))
+    root = np.sqrt(h)
+    # np.arcsin is allowed to differ from math.asin in the last ULP (it
+    # does on SIMD builds), so the final asin runs per element through
+    # libm; everything before it is verified bitwise by the calibration
+    # probe below.
+    scale = 2.0 * EARTH_RADIUS_KM
+    out = np.fromiter((math.asin(value) for value in root.tolist()),
+                      dtype=np.float64, count=root.shape[0])
+    return out * scale
+
+
+#: Lazily computed: True once the numpy kernel proved bitwise equality
+#: with :func:`haversine_km` on this host, False if the probe failed,
+#: None before the first batched call.
+_NUMPY_KERNEL_CALIBRATED: "bool | None" = None
+
+
+def _calibrate_numpy_kernel(np: Any) -> bool:
+    """Compare the complete numpy kernel against the scalar haversine,
+    bit for bit, over a deterministic grid plus the edge cases (zero
+    distance, near-antipodal clamp, poles).  Any mismatch — e.g. a
+    platform whose vectorized sin/cos are not the libm ones — disables
+    the numpy kernel for the whole process; the python fallback is then
+    used even though numpy is importable.
+    """
+    import random
+
+    rng = random.Random(0x5EED)
+    origins = [(0.0, 0.0), (48.8566, 2.3522), (-89.9, 179.9), (90.0, -180.0)]
+    lats = [rng.uniform(-90.0, 90.0) for _ in range(512)]
+    lons = [rng.uniform(-180.0, 180.0) for _ in range(512)]
+    for origin in origins:
+        lats_case = lats + [origin[0], -origin[0], 90.0, -90.0]
+        lons_case = lons + [origin[1], 180.0 - origin[1], 0.0, 0.0]
+        batch = _haversine_batch_numpy(np, origin, lats_case, lons_case)
+        scalar = _haversine_batch_python(origin, lats_case, lons_case)
+        for got, want in zip(batch.tolist(), scalar):
+            if struct.pack("<d", got) != struct.pack("<d", want):
+                return False
+    return True
+
+
+def haversine_km_batch(origin: Coordinate, lats: Sequence[float],
+                       lons: Sequence[float]) -> Any:
+    """Distances from ``origin`` to every ``(lats[i], lons[i])``.
+
+    Returns a float column (ndarray on the numpy backend, a plain list
+    on the fallback); element ``i`` is bitwise-identical to
+    ``haversine_km(origin, (lats[i], lons[i]))``.  The numpy kernel is
+    only trusted after a one-time calibration probe; on failure the
+    process permanently falls back to the scalar loop.
+    """
+    global _NUMPY_KERNEL_CALIBRATED
+    np = columnar.numpy_module()
+    if np is not None:
+        if _NUMPY_KERNEL_CALIBRATED is None:
+            _NUMPY_KERNEL_CALIBRATED = _calibrate_numpy_kernel(np)
+        if _NUMPY_KERNEL_CALIBRATED:
+            return _haversine_batch_numpy(np, origin, lats, lons)
+    return _haversine_batch_python(origin, lats, lons)
 
 
 def equirectangular_km(a: Coordinate, b: Coordinate) -> float:

@@ -72,8 +72,9 @@ class MaxScoreProcessor:
 
     def plan_for(self, query: TkLUSQuery):
         """The physical plan this processor would run for ``query``."""
-        return self._planner.plan_for_query("max", query,
-                                            pruning=self.use_pruning)
+        return self._planner.plan_for_query(
+            "max", query, pruning=self.use_pruning,
+            kernels=self.config.resolved_kernels())
 
     def search(self, query: TkLUSQuery) -> QueryResult:
         recorder = ProfileRecorder(self.database, self.index, query, "max")

@@ -15,10 +15,19 @@ Backends plug in behind the :class:`PostingsSource` protocol
 (:class:`~repro.index.hybrid.HybridIndex` satisfies it natively).
 """
 
+from .batched import (
+    BatchCandidateFormOp,
+    BatchRankOp,
+    BatchTopKOp,
+    ColumnarTemporalClipOp,
+    FusedRadiusScoreOp,
+)
 from .context import (
+    BatchCandidateResolver,
     CandidateResolver,
     InRadiusCandidate,
     QueryContext,
+    UserLocationColumnsProvider,
     UserLocationsProvider,
 )
 from .executor import run_plan
@@ -41,10 +50,16 @@ from .planner import PhysicalPlan, Planner, PlanSpec
 from .source import GroupedPostings, PartitionedPostingsSource, PostingsSource
 
 __all__ = [
+    "BatchCandidateFormOp",
+    "BatchCandidateResolver",
+    "BatchRankOp",
+    "BatchTopKOp",
     "BoundsPruneOp",
     "CandidateFormOp",
     "CandidateResolver",
+    "ColumnarTemporalClipOp",
     "CoverOp",
+    "FusedRadiusScoreOp",
     "DatasetScanOp",
     "GroupedPostings",
     "InRadiusCandidate",
@@ -63,6 +78,7 @@ __all__ = [
     "TemporalClipOp",
     "ThreadScoreOp",
     "TopKOp",
+    "UserLocationColumnsProvider",
     "UserLocationsProvider",
     "run_plan",
 ]

@@ -1,0 +1,331 @@
+"""Batched (columnar) physical operators.
+
+These are drop-in replacements for the scalar stages in
+:mod:`.operators`, selected by the planner when a plan is built with
+``kernels="batched"``.  Each one computes over whole candidate batches —
+postings columns from :meth:`BlockPostingsReader.column_view`, one
+metadata gather per batch (:meth:`MetadataDatabase.resolve_many`), one
+vectorized haversine pass (:func:`repro.geo.distance.haversine_km_batch`)
+— instead of per-element calls, but every observable output is **bitwise
+identical** to the scalar pipeline:
+
+* distances use the calibrated batch haversine kernel, which is
+  bitwise-equal to ``haversine_km`` by construction (the final ``asin``
+  stays scalar; see the calibration probe in ``repro.geo.distance``);
+* reductions (Definition 9's average) run in the same left-to-right
+  association order as the scalar ``sum(...)``;
+* pruning decisions replay the scalar lazy-distance-part protocol
+  exactly, so the ledger (``users_pruned_*`` / ``users_scored``) and
+  every ``query.prune`` event match the scalar plan;
+* the batched top-k partial-select keeps all boundary ties before the
+  exact ``(-score, uid)`` finalize, so the returned users are the same
+  tuples the scalar sort produces.
+
+The operators degrade gracefully: when a context lacks the batch
+backends (``resolve_batch`` / ``user_location_columns`` — e.g. the
+dataset-backed test doubles) they fall back to the scalar callables
+element-wise, which is still the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ... import columnar, obs
+from ...core.scoring import user_distance_score, user_score
+from ...geo.cover import cover_cells_fully_inside
+from ...geo.distance import haversine_km, haversine_km_batch
+from ..semantics import Candidate
+from .context import InRadiusCandidate, QueryContext
+from .operators import (
+    CandidateFormOp,
+    RankOp,
+    TemporalClipOp,
+    ThreadScoreOp,
+    TopKOp,
+)
+
+__all__ = [
+    "BatchCandidateFormOp",
+    "BatchRankOp",
+    "BatchTopKOp",
+    "ColumnarTemporalClipOp",
+    "FusedRadiusScoreOp",
+    "batch_distances",
+    "batched_user_distance_part",
+]
+
+
+def batch_distances(ctx: QueryContext, lats: List[float],
+                    lons: List[float]) -> List[float]:
+    """Distances from the query point to every ``(lat, lon)`` pair.
+
+    Haversine queries go through the vectorized kernel; any other metric
+    falls back to the per-query closure element-wise.  Either way each
+    value is bitwise-identical to ``ctx.metric(query.location, point)``.
+    """
+    if ctx.metric is haversine_km:
+        column = haversine_km_batch(ctx.query.location, lats, lons)
+        return columnar.column_tolist(column)
+    distance_to = ctx.distance_to
+    assert distance_to is not None
+    return [distance_to((lat, lon)) for lat, lon in zip(lats, lons)]
+
+
+def batched_user_distance_part(ctx: QueryContext, uid: int) -> float:
+    """Definition 9's ``delta(u, q)`` via the columnar kernel.
+
+    One coordinate-column gather per user, one vectorized distance pass,
+    one vectorized per-post score select — then the scalar left-to-right
+    sum, so the result is bitwise-equal to
+    ``user_distance_score(user_locations(uid), ...)``.
+    """
+    columns = ctx.user_location_columns
+    if columns is None or ctx.metric is not haversine_km:
+        user_locations = ctx.user_locations
+        assert user_locations is not None
+        return user_distance_score(user_locations(uid), ctx.query.location,
+                                   ctx.query.radius_km, ctx.metric)
+    lats, lons = columns(uid)
+    if not lats:
+        return 0.0
+    radius_km = ctx.query.radius_km
+    distances = haversine_km_batch(ctx.query.location, lats, lons)
+    np = columnar.numpy_module()
+    if np is not None and isinstance(distances, np.ndarray):
+        # (radius - d) / radius is evaluated on every lane; the mask
+        # discards the out-of-radius lanes, whose values are finite
+        # (radius > 0) and never observed — kept lanes are bitwise-equal
+        # to the scalar distance_score.
+        scores = np.where(distances > radius_km, 0.0,
+                          (radius_km - distances) / radius_km)
+        total = sum(scores.tolist())
+    else:
+        total = sum(0.0 if distance > radius_km
+                    else (radius_km - distance) / radius_km
+                    for distance in columnar.column_tolist(distances))
+    return total / len(lats)
+
+
+class ColumnarTemporalClipOp(TemporalClipOp):
+    """Temporal clip over postings columns: block views narrow through
+    their skip table exactly like the scalar operator, while plain lists
+    are clipped with vectorized range masks (``searchsorted`` on the tid
+    column) instead of materialising tids into a Python list."""
+
+    name = "ColumnarTemporalClip"
+
+    def run(self, ctx: QueryContext) -> None:
+        temporal = ctx.query.temporal
+        window = temporal.window
+        if ctx.per_cell is not None and not window.unbounded:
+            clipped: Dict[str, Dict[str, object]] = {}
+            for cell, per_term in ctx.per_cell.items():
+                kept = {}
+                for term, postings in per_term.items():
+                    inside = self._clip(postings, window.start, window.end)
+                    if inside:
+                        kept[term] = inside
+                if kept:
+                    clipped[cell] = kept
+            ctx.per_cell = clipped  # type: ignore[assignment]
+        recency = temporal.recency
+        if recency is not None:
+            ctx.recency_reference = recency.resolve_reference(ctx.max_sid())
+
+    @staticmethod
+    def _clip(postings, start: Optional[int], end: Optional[int]):
+        clip = getattr(postings, "clip", None)
+        if clip is not None:
+            return clip(start, end)
+        if not postings:
+            return list(postings)
+        tids = columnar.int_column([tid for tid, _tf in postings])
+        lo, hi = columnar.sorted_range(tids, start, end)
+        return list(postings[lo:hi])
+
+    def describe(self) -> str:
+        return "ColumnarTemporalClip(skip-table blocks, searchsorted lists)"
+
+
+class BatchCandidateFormOp(CandidateFormOp):
+    """Candidate formation over whole postings columns.
+
+    Single-term queries — the common case in the benchmark matrix —
+    never need a merge: per cell, every posting of the term *is* a
+    candidate (AND and OR differ only in the matched-term count when
+    ``tf == 0``, which indexed postings never store but the contract is
+    preserved anyway).  Block views hand over their decoded tid/tf
+    columns in one call (:meth:`column_view`), skipping per-element
+    ``__getitem__`` varint cursor hops entirely.  Multi-term queries
+    fall back to the scalar k-way merge, which is already
+    galloping-intersection based.
+    """
+
+    name = "BatchCandidateForm"
+
+    def run(self, ctx: QueryContext) -> None:
+        assert ctx.per_cell is not None, "BatchCandidateFormOp needs postings"
+        if len(ctx.terms) != 1:
+            super().run(ctx)
+            return
+        semantics = self.semantics or ctx.query.semantics
+        count_matches = semantics.name != "AND"  # OR counts tf > 0 terms
+        term = ctx.terms[0]
+        candidates: List[Candidate] = []
+        append = candidates.append
+        for cell in sorted(ctx.per_cell):
+            postings = ctx.per_cell[cell].get(term)
+            if not postings:
+                continue
+            view = getattr(postings, "column_view", None)
+            if view is not None:
+                tid_column, tf_column = view()
+                tids = columnar.column_tolist(tid_column)
+                tfs = columnar.column_tolist(tf_column)
+            else:
+                tids = [tid for tid, _tf in postings]
+                tfs = [tf for _tid, tf in postings]
+            for tid, tf in zip(tids, tfs):
+                matched = (1 if tf > 0 else 0) if count_matches else 1
+                append(Candidate(tid, tf, matched, cell))
+        ctx.candidates = candidates
+        ctx.stats.candidates = len(candidates)
+
+    def describe(self) -> str:
+        which = self.semantics.value if self.semantics else "from query"
+        return (f"BatchCandidateForm(semantics={which}, "
+                f"single-term column fast path)")
+
+
+class FusedRadiusScoreOp(ThreadScoreOp):
+    """RadiusFilter + ThreadScore fused over candidate batches.
+
+    One batched metadata gather resolves every candidate's
+    ``(uid, lat, lon)``; one vectorized haversine pass computes every
+    candidate distance; the radius mask then replays the scalar
+    operator's accounting (cell-containment skips included).  Scoring
+    reuses the inherited :class:`ThreadScoreOp` modes — including the
+    ceiling early-exit and the lazy per-user distance parts, so pruning
+    decisions match the scalar plan decision-for-decision — with the
+    per-user Definition 9 kernel swapped for the columnar one.
+    """
+
+    name = "FusedRadiusScore"
+    paper_lines = "Alg 4/5 lines 15-33 (fused line 16)"
+    writes = ("in_radius", "candidate_uids", "keyword_parts", "queue")
+
+    def __init__(self, aggregate: str, ranked: bool = False,
+                 use_cell_containment: bool = True) -> None:
+        super().__init__(aggregate, ranked=ranked)
+        self.use_cell_containment = use_cell_containment
+
+    def run(self, ctx: QueryContext) -> None:
+        self._filter(ctx)
+        super().run(ctx)
+
+    def _distance_part(self, ctx: QueryContext, uid: int) -> float:
+        return batched_user_distance_part(ctx, uid)
+
+    def _filter(self, ctx: QueryContext) -> None:
+        query = ctx.query
+        stats = ctx.stats
+        inside_cells = frozenset()
+        if self.use_cell_containment and ctx.source is not None:
+            inside, _boundary = cover_cells_fully_inside(
+                query.location, query.radius_km,
+                ctx.source.geohash_length, ctx.metric)
+            inside_cells = frozenset(inside)
+        candidates = ctx.candidates
+        lock = ctx.lock
+        resolve_batch = ctx.resolve_batch
+        resolved: List[Optional[Tuple[int, float, float]]]
+        tids = [candidate.tid for candidate in candidates]
+        if resolve_batch is not None:
+            if lock is None:
+                resolved_map = resolve_batch(tids)
+            else:
+                with lock:
+                    resolved_map = resolve_batch(tids)
+            resolved = [resolved_map.get(tid) for tid in tids]
+        else:
+            resolve = ctx.resolve
+            assert resolve is not None, "FusedRadiusScoreOp needs a resolver"
+            if lock is None:
+                resolved = [resolve(tid) for tid in tids]
+            else:
+                with lock:
+                    resolved = [resolve(tid) for tid in tids]
+        lats: List[float] = []
+        lons: List[float] = []
+        for entry in resolved:
+            if entry is not None:
+                lats.append(entry[1])
+                lons.append(entry[2])
+        distances = batch_distances(ctx, lats, lons)
+        radius_km = query.radius_km
+        in_radius: List[InRadiusCandidate] = []
+        position = 0
+        for candidate, entry in zip(candidates, resolved):
+            if entry is None:
+                continue  # ghost candidate: posting without metadata
+            distance = distances[position]
+            position += 1
+            uid, lat, lon = entry
+            if candidate.cell in inside_cells:
+                stats.distance_checks_skipped += 1
+            elif distance > radius_km:
+                continue  # boundary cell false positive (line 16)
+            stats.candidates_in_radius += 1
+            ctx.candidate_uids.add(uid)
+            in_radius.append((candidate, uid, lat, lon))
+        ctx.in_radius = in_radius
+
+    def describe(self) -> str:
+        mode = "top-k queue" if self.ranked else "accumulate"
+        shortcut = "on" if self.use_cell_containment else "off"
+        return (f"FusedRadiusScore(aggregate={self.aggregate}, mode={mode}, "
+                f"cell_containment={shortcut}, batched resolve+haversine)")
+
+
+class BatchRankOp(RankOp):
+    """Rank with the columnar Definition 9 kernel, leaving the scored
+    list unsorted for the downstream partial top-k select (a plan with a
+    ranked queue upstream drains it exactly like the scalar operator)."""
+
+    name = "BatchRank"
+
+    def run(self, ctx: QueryContext) -> None:
+        if ctx.queue is not None:
+            ctx.scored = ctx.queue.ranked()
+            return
+        parts = ctx.keyword_parts if ctx.keyword_parts is not None else {}
+        with obs.trace("query.rank", users=len(parts)):
+            scored: List[Tuple[int, float]] = []
+            for uid, keyword_part in parts.items():
+                distance_part = batched_user_distance_part(ctx, uid)
+                scored.append((uid, user_score(keyword_part, distance_part,
+                                               ctx.config)))
+        ctx.scored = scored
+
+    def describe(self) -> str:
+        return "BatchRank(columnar delta(u,q), defer ordering to BatchTopK)"
+
+
+class BatchTopKOp(TopKOp):
+    """Top-k over the unsorted scored list: partial-select the k-th
+    score boundary, then the exact ``(-score, uid)`` finalize — the same
+    tuples the scalar sort-then-slice yields."""
+
+    name = "BatchTopK"
+
+    def run(self, ctx: QueryContext) -> None:
+        if ctx.queue is not None:
+            # Upstream ranked queue already produced a k-sorted list.
+            ctx.users = ctx.scored[:ctx.query.k]
+            return
+        selected = columnar.select_top_k(ctx.scored, ctx.query.k)
+        ctx.users = [(uid, score) for _position, uid, score in selected]
+
+    def describe(self) -> str:
+        return "BatchTopK(partial select at k-th score, exact finalize)"

@@ -34,7 +34,13 @@ from typing import (
 
 from ...core.model import TkLUSQuery
 from ...core.scoring import ScoringConfig
-from ...geo.distance import DEFAULT_METRIC, Metric
+from ...geo.distance import (
+    DEFAULT_METRIC,
+    Coordinate,
+    Metric,
+    haversine_km,
+    haversine_km_from,
+)
 from ..results import QueryResult, QueryStats
 from ..semantics import Candidate
 from ..topk import TopKUserQueue
@@ -47,8 +53,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 #: ``tid -> (uid, lat, lon)`` metadata lookup; ``None`` for ghosts.
 CandidateResolver = Callable[[int], Optional[Tuple[int, float, float]]]
+#: batch form: ``sid -> (uid, lat, lon)`` for a whole candidate list.
+BatchCandidateResolver = Callable[
+    [List[int]], Dict[int, Tuple[int, float, float]]]
 #: ``uid -> [(lat, lon), ...]`` — every post location of the user.
 UserLocationsProvider = Callable[[int], List[Tuple[float, float]]]
+#: batch form: ``uid -> (lats, lons)`` coordinate columns of ``P_u``.
+UserLocationColumnsProvider = Callable[
+    [int], Tuple[List[float], List[float]]]
 #: An in-radius candidate paired with its resolved ``(uid, lat, lon)``.
 InRadiusCandidate = Tuple[Candidate, int, float, float]
 
@@ -70,6 +82,14 @@ class QueryContext:
     bounds: Optional["BoundsManager"] = None
     resolve: Optional[CandidateResolver] = None
     user_locations: Optional[UserLocationsProvider] = None
+    #: optional batch backends consumed by the batched kernels; when
+    #: absent the fused operators fall back to the scalar callables.
+    resolve_batch: Optional[BatchCandidateResolver] = None
+    user_location_columns: Optional[UserLocationColumnsProvider] = None
+    #: per-query distance closure with the query point's trigonometry
+    #: hoisted (``__post_init__`` derives it from ``metric``); bitwise-
+    #: identical to ``metric(query.location, point)``.
+    distance_to: Optional[Callable[[Coordinate], float]] = None
     max_sid: Callable[[], int] = lambda: 0
     #: serialises metadata/thread accesses when operators run on worker
     #: threads (scatter-gather); ``None`` means no locking.
@@ -105,6 +125,13 @@ class QueryContext:
     def __post_init__(self) -> None:
         if not self.terms:
             self.terms = sorted(self.query.keywords)
+        if self.distance_to is None:
+            location = self.query.location
+            if self.metric is haversine_km:
+                self.distance_to = haversine_km_from(location)
+            else:
+                metric = self.metric
+                self.distance_to = lambda point: metric(location, point)
 
     # -- constructors -----------------------------------------------------
 
@@ -129,11 +156,20 @@ class QueryContext:
             return [(record.lat, record.lon)
                     for record in database.posts_of_user(uid)]
 
+        # Batch backends for the batched kernels, present only when the
+        # database grows them (duck-typed so test doubles keep working).
+        resolve_batch: Optional[BatchCandidateResolver] = \
+            getattr(database, "resolve_many", None)
+        user_location_columns: Optional[UserLocationColumnsProvider] = \
+            getattr(database, "user_location_columns", None)
+
         return cls(query=query, config=config, metric=metric,
                    stats=stats if stats is not None else QueryStats(),
                    profile=profile, source=source, threads=threads,
                    bounds=bounds, resolve=resolve,
                    user_locations=user_locations,
+                   resolve_batch=resolve_batch,
+                   user_location_columns=user_location_columns,
                    max_sid=lambda: database.max_sid, lock=lock)
 
     @classmethod
@@ -164,5 +200,8 @@ class QueryContext:
             stats=QueryStats(), profile=None, source=self.source,
             dataset=self.dataset, threads=self.threads, bounds=self.bounds,
             resolve=self.resolve, user_locations=self.user_locations,
+            resolve_batch=self.resolve_batch,
+            user_location_columns=self.user_location_columns,
+            distance_to=self.distance_to,
             max_sid=self.max_sid, lock=self.lock,
             track_thread_builds=False, terms=list(self.terms), cells=cells)

@@ -214,8 +214,10 @@ class RadiusFilterOp(PhysicalOperator):
                 ctx.source.geohash_length, ctx.metric)
             inside_cells = frozenset(inside)
         lock = ctx.lock
-        metric = ctx.metric
-        location = query.location
+        # Per-query closure with the fixed query point's trigonometry
+        # precomputed (bitwise-identical to metric(location, point)).
+        distance_to = ctx.distance_to
+        assert distance_to is not None
         radius_km = query.radius_km
         in_radius: List[Tuple[Candidate, int, float, float]] = []
         for candidate in ctx.candidates:
@@ -229,7 +231,7 @@ class RadiusFilterOp(PhysicalOperator):
             uid, lat, lon = resolved
             if candidate.cell in inside_cells:
                 stats.distance_checks_skipped += 1
-            elif metric(location, (lat, lon)) > radius_km:
+            elif distance_to((lat, lon)) > radius_km:
                 continue  # boundary cell false positive (line 16)
             stats.candidates_in_radius += 1
             ctx.candidate_uids.add(uid)
@@ -400,6 +402,15 @@ class ThreadScoreOp(PhysicalOperator):
         with ctx.lock:
             return ctx.threads.popularity(tid)
 
+    def _distance_part(self, ctx: QueryContext, uid: int) -> float:
+        """Definition 9's ``delta(u, q)`` for one user (the batched
+        subclass swaps in the columnar kernel; values are bitwise
+        identical either way)."""
+        user_locations = ctx.user_locations
+        assert user_locations is not None
+        return user_distance_score(user_locations(uid), ctx.query.location,
+                                   ctx.query.radius_km, ctx.metric)
+
     def _run_accumulate(self, ctx: QueryContext) -> int:
         parts: Dict[int, float] = {}
         profile = ctx.profile
@@ -465,9 +476,7 @@ class ThreadScoreOp(PhysicalOperator):
             calls += 1
             relevance = self._relevance(ctx, candidate, popularity)
             if uid not in distance_parts:
-                distance_parts[uid] = user_distance_score(
-                    user_locations(uid), query.location, query.radius_km,
-                    ctx.metric)
+                distance_parts[uid] = self._distance_part(ctx, uid)
             queue.offer(uid, user_score(relevance, distance_parts[uid],
                                         ctx.config))
             if profile is not None:

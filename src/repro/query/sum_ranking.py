@@ -55,7 +55,8 @@ class SumScoreProcessor:
 
     def plan_for(self, query: TkLUSQuery):
         """The physical plan this processor would run for ``query``."""
-        return self._planner.plan_for_query("sum", query)
+        return self._planner.plan_for_query(
+            "sum", query, kernels=self.config.resolved_kernels())
 
     def search(self, query: TkLUSQuery) -> QueryResult:
         recorder = ProfileRecorder(self.database, self.index, query, "sum")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .page import INVALID_PAGE, PAGE_SIZE, Page
 from .pager import BufferPool
@@ -230,6 +230,42 @@ class BPlusTree:
 
     def __contains__(self, key: Key) -> bool:
         return self.get(key) is not None
+
+    def get_many(self, keys: Sequence[Key]) -> Dict[Key, int]:
+        """Point lookups for a whole batch of keys in one pass.
+
+        Keys are visited in sorted order with a per-call node memo, so
+        lookups whose root-to-leaf paths overlap deserialize each node
+        once instead of once per key (``get`` re-deserializes the full
+        path every call).  Absent keys are simply missing from the
+        result.  The memo holds plain decoded nodes, never pinned
+        pages, so batch size does not constrain the buffer pool.
+        """
+        found: Dict[Key, int] = {}
+        if not keys:
+            return found
+        nodes: Dict[int, _Node] = {}
+
+        def load(page_no: int) -> _Node:
+            node = nodes.get(page_no)
+            if node is None:
+                node = self._load(page_no)
+                nodes[page_no] = node
+            return node
+
+        for key in sorted(set(keys)):
+            node = load(self._root_page)
+            while not node.is_leaf:
+                index = _bisect_keys(node.keys, key)
+                # Internal separator keys direct equal keys to the right
+                # child (same rule as _descend_to_leaf).
+                if index < len(node.keys) and node.keys[index] == key:
+                    index += 1
+                node = load(node.children[index])
+            index = _bisect_keys(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                found[key] = node.values[index]
+        return found
 
     def range(self, lo: Key = MIN_KEY, hi: Key = MAX_KEY) -> Iterator[Tuple[Key, int]]:
         """Yield ``(key, value)`` pairs with ``lo <= key <= hi`` in order."""

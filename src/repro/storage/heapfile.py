@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import contextlib
 
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, cast
 
 from .page import PageError, SlottedPage, pack_record_id, unpack_record_id
 from .pager import BufferPool
@@ -59,6 +59,25 @@ class HeapFile:
         page_no, slot = unpack_record_id(record_id)
         with self._pool.pinned(page_no) as page:
             return SlottedPage(page).read(slot)
+
+    def read_many(self, record_ids: Sequence[int]) -> List[bytes]:
+        """Batch :meth:`read`: results align with ``record_ids``.
+
+        Reads are grouped by page, so a page holding many requested
+        records is pinned (and its buffer-pool bookkeeping paid) once
+        rather than once per record; pages are visited in file order.
+        """
+        out: List[Optional[bytes]] = [None] * len(record_ids)
+        by_page: Dict[int, List[Tuple[int, int]]] = {}
+        for position, record_id in enumerate(record_ids):
+            page_no, slot = unpack_record_id(record_id)
+            by_page.setdefault(page_no, []).append((position, slot))
+        for page_no in sorted(by_page):
+            with self._pool.pinned(page_no) as page:
+                slotted = SlottedPage(page)
+                for position, slot in by_page[page_no]:
+                    out[position] = slotted.read(slot)
+        return cast(List[bytes], out)
 
     def delete(self, record_id: int) -> None:
         page_no, slot = unpack_record_id(record_id)

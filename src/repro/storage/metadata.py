@@ -30,7 +30,7 @@ from .bptree import BPlusTree
 from .heapfile import HeapFile
 from .iostats import StatsRegistry
 from .pager import BufferPool, FilePager, MemoryPager
-from .records import NO_REF, TweetRecord
+from .records import NO_REF, TweetRecord, unpack_location, unpack_resolved
 
 
 class MetadataError(RuntimeError):
@@ -56,6 +56,7 @@ class MetadataDatabase:
         self._rsid_tree = BPlusTree(rsid_pool, unique=True)
         self._uid_tree = BPlusTree(uid_pool, unique=True)
         self._reply_counts: Dict[int, int] = {}
+        self._user_columns_cache: Dict[int, "tuple[List[float], List[float]]"] = {}
         self._max_reply_fanout = 0
         self._max_sid = 0
         for (sid, _zero), _pointer in self._sid_tree.range(
@@ -159,6 +160,7 @@ class MetadataDatabase:
         if self._sid_tree.get((record.sid, 0)) is not None:
             raise MetadataError(f"duplicate sid {record.sid}")
         pointer = self._heap.insert(record.pack())
+        self._user_columns_cache.pop(record.uid, None)
         self._sid_tree.insert((record.sid, 0), pointer)
         if record.sid > self._max_sid:
             self._max_sid = record.sid
@@ -186,6 +188,52 @@ class MetadataDatabase:
         if pointer is None:
             return None
         return TweetRecord.unpack(self._heap.read(pointer))
+
+    def get_many(self, sids: Iterable[int]) -> Dict[int, TweetRecord]:
+        """Batch point lookups: one sorted index pass (shared-path node
+        memo), then page-grouped heap reads.  Absent sids are missing
+        from the result."""
+        pointers = self._sid_tree.get_many([(sid, 0) for sid in sids])
+        keys = sorted(pointers)
+        records = self._heap.read_many([pointers[key] for key in keys])
+        return {key[0]: TweetRecord.unpack(data)
+                for key, data in zip(keys, records)}
+
+    def resolve_many(self, sids: Iterable[int]
+                     ) -> Dict[int, "tuple[int, float, float]"]:
+        """Batch ``sid -> (uid, lat, lon)`` projection — the candidate
+        resolution of Algorithms 4/5 line 16 over a whole batch, without
+        materialising :class:`TweetRecord` objects."""
+        pointers = self._sid_tree.get_many([(sid, 0) for sid in sids])
+        keys = sorted(pointers)
+        records = self._heap.read_many([pointers[key] for key in keys])
+        return {key[0]: unpack_resolved(data)
+                for key, data in zip(keys, records)}
+
+    def user_location_columns(self, uid: int
+                              ) -> "tuple[List[float], List[float]]":
+        """Latitude/longitude columns of ``P_u`` in sid order — the batch
+        access path behind the vectorized Definition 9 kernel.  Heap
+        pages are each pinned once and only the coordinates are
+        unpacked.
+
+        Columns are memoised per user (a user's ``P_u`` only changes
+        when they post, which invalidates their entry in
+        :meth:`insert`).  Callers must treat the returned lists as
+        read-only.
+        """
+        cached = self._user_columns_cache.get(uid)
+        if cached is not None:
+            return cached
+        pointers = [pointer for _key, pointer in self._uid_tree.prefix(uid)]
+        lats: List[float] = []
+        lons: List[float] = []
+        for data in self._heap.read_many(pointers):
+            lat, lon = unpack_location(data)
+            lats.append(lat)
+            lons.append(lon)
+        self._user_columns_cache[uid] = (lats, lons)
+        return lats, lons
 
     def user_of(self, sid: int) -> Optional[int]:
         """``select userId where sid = ...`` (Algorithm 4 line 20)."""

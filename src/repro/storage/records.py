@@ -25,6 +25,26 @@ _RECORD = struct.Struct("<qqddqq")
 
 RECORD_SIZE = _RECORD.size
 
+#: partial views into a packed record, used by the batched read paths to
+#: skip materialising whole :class:`TweetRecord` objects
+_RESOLVED = struct.Struct("<qdd")      # uid, lat, lon
+_RESOLVED_OFFSET = struct.calcsize("<q")
+_LOCATION = struct.Struct("<dd")       # lat, lon
+_LOCATION_OFFSET = struct.calcsize("<qq")
+
+
+def unpack_resolved(data: bytes) -> "tuple[int, float, float]":
+    """``(uid, lat, lon)`` of a packed record without building the
+    dataclass — the candidate-resolution projection."""
+    uid, lat, lon = _RESOLVED.unpack_from(data, _RESOLVED_OFFSET)
+    return uid, lat, lon
+
+
+def unpack_location(data: bytes) -> "tuple[float, float]":
+    """``(lat, lon)`` of a packed record without building the dataclass."""
+    lat, lon = _LOCATION.unpack_from(data, _LOCATION_OFFSET)
+    return lat, lon
+
 
 @dataclass(frozen=True)
 class TweetRecord:

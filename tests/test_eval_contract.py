@@ -6,6 +6,7 @@ import pytest
 
 from repro.eval.contract import (
     CONTRACT_SCHEMA_VERSION,
+    MUST_BE_AT_LEAST,
     MUST_BE_TRUE,
     build_baseline,
     check_contract,
@@ -45,14 +46,30 @@ def make_ingest_payload(aps=5000.0, recovery_s=0.2, posts_match=True,
     }
 
 
+def make_matrix_payload(speedup=4.5, batched_mean_ms=5.0, identical=True):
+    return {
+        "cells": [{"id": "large-k20-r40-kw2",
+                   "batched": {"mean_ms": batched_mean_ms},
+                   "scalar": {"mean_ms": batched_mean_ms * speedup},
+                   "speedup": speedup,
+                   "results_identical": identical}],
+        "largest_cell": {"id": "large-k20-r40-kw2", "speedup": speedup},
+        "results_identical": identical,
+    }
+
+
 class TestExtractHeadlines:
     def test_full_extraction(self):
         current = extract_headlines(make_query_payload(),
-                                    make_ingest_payload())
+                                    make_ingest_payload(),
+                                    make_matrix_payload())
         assert current["query.fig8_single.results_identical"]["value"] is True
         assert current["query.telemetry.overhead_ratio"]["value"] == 1.01
         assert current["ingest.appends_per_second"]["value"] == 5000.0
         assert current["ingest.recovery.posts_match"]["value"] is True
+        assert current["matrix.results_identical"]["value"] is True
+        assert current["matrix.largest.speedup"]["value"] == 4.5
+        assert current["matrix.largest.batched_mean_ms"]["value"] == 5.0
         # Every headline carries its comparison rules.
         for entry in current.values():
             assert entry["direction"] in ("higher", "lower", "exact")
@@ -62,6 +79,7 @@ class TestExtractHeadlines:
         current = extract_headlines(make_query_payload(), None)
         assert "query.telemetry.overhead_ratio" in current
         assert not any(key.startswith("ingest.") for key in current)
+        assert not any(key.startswith("matrix.") for key in current)
 
     def test_malformed_payload_skips_headline(self):
         payload = make_query_payload()
@@ -132,7 +150,37 @@ class TestCheckContract:
 
     def test_must_be_true_covers_committed_keys(self):
         assert set(MUST_BE_TRUE) <= set(
-            extract_headlines(make_query_payload(), make_ingest_payload()))
+            extract_headlines(make_query_payload(), make_ingest_payload(),
+                              make_matrix_payload()))
+
+    def test_matrix_parity_fails_absolutely(self):
+        current = extract_headlines(None, None,
+                                    make_matrix_payload(identical=False))
+        problems = check_contract(current, {"headlines": {}})
+        assert problems == ["matrix.results_identical must be true, "
+                            "got False"]
+
+    def test_matrix_speedup_floor_is_absolute(self):
+        # Even a baseline recorded at the same (bad) speedup cannot
+        # launder a sub-2x batched path past the contract.
+        bad = make_matrix_payload(speedup=1.4)
+        baseline = build_baseline(None, None, bad)
+        current = extract_headlines(None, None, bad)
+        problems = check_contract(current, baseline)
+        assert problems == ["matrix.largest.speedup must be at least 2 "
+                            "(absolute floor), got 1.4"]
+
+    def test_matrix_speedup_above_floor_passes(self):
+        baseline = build_baseline(None, None, make_matrix_payload())
+        current = extract_headlines(None, None,
+                                    make_matrix_payload(speedup=4.0))
+        assert check_contract(current, baseline) == []
+
+    def test_must_be_at_least_keys_are_headlines(self):
+        extracted = extract_headlines(make_query_payload(),
+                                      make_ingest_payload(),
+                                      make_matrix_payload())
+        assert set(MUST_BE_AT_LEAST) <= set(extracted)
 
 
 class TestBaselineIO:
@@ -179,7 +227,12 @@ class TestCommittedArtifacts:
             query_payload = json.load(handle)
         with open("BENCH_ingest.json", encoding="utf-8") as handle:
             ingest_payload = json.load(handle)
+        with open("BENCH_matrix.json", encoding="utf-8") as handle:
+            matrix_payload = json.load(handle)
         baseline = load_baseline("benchmarks/baselines/perf_contract.json")
-        current = extract_headlines(query_payload, ingest_payload)
+        current = extract_headlines(query_payload, ingest_payload,
+                                    matrix_payload)
         assert check_contract(current, baseline) == []
         assert current["query.telemetry.within_budget"]["value"] is True
+        assert current["matrix.results_identical"]["value"] is True
+        assert current["matrix.largest.speedup"]["value"] >= 2.0

@@ -1,0 +1,143 @@
+"""Tests for the scalar-vs-batched benchmark matrix harness."""
+
+import copy
+import json
+
+import pytest
+
+from repro import columnar
+from repro.eval.matrix import (
+    MATRIX_SCHEMA_VERSION,
+    MatrixConfig,
+    cell_id,
+    diff_matrix,
+    list_cells,
+    render_matrix,
+    run_matrix,
+    validate_matrix_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return run_matrix(MatrixConfig.smoke())
+
+
+class TestGrid:
+    def test_cell_id_format(self):
+        assert cell_id("large", 20, 40.0, 2) == "large-k20-r40-kw2"
+        assert cell_id("small", 5, 12.5, 1) == "small-k5-r12.5-kw1"
+
+    def test_default_grid_shape(self):
+        config = MatrixConfig()
+        cells = list_cells(config)
+        expected = (len(config.datasets) * len(config.k_values)
+                    * len(config.radii_km) * len(config.keyword_counts))
+        assert len(cells) == expected
+        assert len(set(cells)) == expected
+
+    def test_smoke_grid_is_small(self):
+        assert len(list_cells(MatrixConfig.smoke())) <= 4
+
+
+class TestRunMatrix:
+    def test_smoke_run_is_valid_and_parity_holds(self, smoke_payload):
+        assert validate_matrix_report(smoke_payload) == []
+        assert smoke_payload["schema_version"] == MATRIX_SCHEMA_VERSION
+        assert smoke_payload["backend"] == columnar.active_backend()
+        assert smoke_payload["results_identical"] is True
+        assert all(cell["results_identical"]
+                   for cell in smoke_payload["cells"])
+        assert len(smoke_payload["cells"]) \
+            == len(list_cells(MatrixConfig.smoke()))
+
+    def test_largest_cell_anchors_the_grid(self, smoke_payload):
+        cells = {cell["id"]: cell for cell in smoke_payload["cells"]}
+        largest = max(cells.values(), key=lambda cell: (
+            cell["num_posts"], cell["keywords"], cell["k"],
+            cell["radius_km"]))
+        assert smoke_payload["largest_cell"]["id"] == largest["id"]
+        assert smoke_payload["largest_cell"]["speedup"] \
+            == largest["speedup"]
+
+    def test_only_cell_runs_one_cell(self):
+        config = MatrixConfig.smoke()
+        target = list_cells(config)[0]
+        payload = run_matrix(config, only_cell=target)
+        assert [cell["id"] for cell in payload["cells"]] == [target]
+        assert validate_matrix_report(payload) == []
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell"):
+            run_matrix(MatrixConfig.smoke(), only_cell="nope-k1-r1-kw1")
+
+    def test_report_round_trips_through_json(self, smoke_payload,
+                                             tmp_path):
+        path = tmp_path / "BENCH_matrix.json"
+        write_report(smoke_payload, str(path))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded == smoke_payload
+        assert validate_matrix_report(loaded) == []
+
+
+class TestValidate:
+    def test_rejects_non_object(self):
+        assert validate_matrix_report([]) \
+            == ["report must be an object, got list"]
+
+    def test_rejects_wrong_version(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["schema_version"] = 999
+        assert any("schema_version" in p
+                   for p in validate_matrix_report(payload))
+
+    def test_rejects_duplicate_cell_ids(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["cells"].append(copy.deepcopy(payload["cells"][0]))
+        assert any("duplicates" in p
+                   for p in validate_matrix_report(payload))
+
+    def test_rejects_unknown_largest_cell(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["largest_cell"]["id"] = "missing-k1-r1-kw1"
+        assert any("largest_cell.id" in p
+                   for p in validate_matrix_report(payload))
+
+    def test_rejects_missing_leg_metrics(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        del payload["cells"][0]["batched"]
+        assert any("batched missing" in p
+                   for p in validate_matrix_report(payload))
+
+
+class TestRenderAndDiff:
+    def test_render_lists_every_cell(self, smoke_payload):
+        text = render_matrix(smoke_payload)
+        for cell in smoke_payload["cells"]:
+            assert cell["id"] in text
+        assert "overall parity: ok" in text
+
+    def test_diff_identical_reports_clean(self, smoke_payload):
+        assert diff_matrix(smoke_payload, smoke_payload) == []
+
+    def test_diff_flags_speedup_collapse(self, smoke_payload):
+        slower = copy.deepcopy(smoke_payload)
+        for cell in slower["cells"]:
+            if cell["speedup"] is not None:
+                cell["speedup"] = cell["speedup"] / 10.0
+        problems = diff_matrix(slower, smoke_payload)
+        assert problems and all("below" in p for p in problems)
+
+    def test_diff_flags_missing_committed_cell(self, smoke_payload):
+        committed = copy.deepcopy(smoke_payload)
+        committed["cells"] = committed["cells"][1:]
+        problems = diff_matrix(smoke_payload, committed)
+        assert any("not in committed report" in p for p in problems)
+
+    def test_diff_flags_parity_break(self, smoke_payload):
+        broken = copy.deepcopy(smoke_payload)
+        broken["results_identical"] = False
+        assert "current run: results_identical is false" \
+            in diff_matrix(broken, smoke_payload)

@@ -1,0 +1,159 @@
+"""End-to-end parity of the batched (columnar) query pipeline.
+
+The contract under test: with ``ScoringConfig(kernels="batched")`` the
+max- and sum-ranking processors must return results *bitwise identical*
+to the scalar pipeline — same uids, same score bits, same pruning
+ledger — on both columnar backends.  Speed is the matrix bench's
+problem; this file only cares that the fast path cannot change an
+answer.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import columnar
+from repro.core.model import Semantics
+from repro.core.scoring import ScoringConfig
+from repro.core.temporal import TemporalSpec, TimeWindow
+from repro.query.max_ranking import MaxScoreProcessor
+from repro.query.pipeline import (
+    BatchCandidateFormOp,
+    BatchRankOp,
+    BatchTopKOp,
+    FusedRadiusScoreOp,
+    Planner,
+)
+from repro.query.sum_ranking import SumScoreProcessor
+
+BACKENDS = ["python"] + (["numpy"] if columnar.have_numpy() else [])
+
+
+@pytest.fixture(scope="module")
+def processors(engine):
+    batched = replace(engine.config.scoring, kernels="batched")
+    return {
+        ("max", "scalar"): engine.processor("max"),
+        ("sum", "scalar"): engine.processor("sum"),
+        ("max", "batched"): MaxScoreProcessor(
+            engine.index, engine.database, engine.threads, engine.bounds,
+            batched, engine.metric),
+        ("sum", "batched"): SumScoreProcessor(
+            engine.index, engine.database, engine.threads,
+            batched, engine.metric),
+    }
+
+
+def queries_under_test(engine, workload):
+    queries = []
+    for num_keywords in (1, 2):
+        for spec in workload.specs(num_keywords)[:4]:
+            queries.append(workload.bind(spec, radius_km=15.0, k=5))
+            queries.append(workload.bind(spec, radius_km=40.0, k=10,
+                                         semantics=Semantics.AND))
+    # A temporal window exercises the columnar clip.
+    max_sid = engine.database.max_sid
+    windowed = workload.bind(workload.specs(1)[0], radius_km=25.0, k=10)
+    queries.append(replace(
+        windowed,
+        temporal=TemporalSpec(window=TimeWindow(max_sid // 4, max_sid))))
+    return queries
+
+
+def fingerprint(result):
+    """Everything that must agree, with scores taken bitwise."""
+    stats = result.stats
+    profile = result.profile
+    return {
+        "users": [(uid, score.hex()) for uid, score in result.users],
+        "candidates": stats.candidates,
+        "candidates_in_radius": stats.candidates_in_radius,
+        "threads_built": stats.threads_built,
+        "threads_pruned": stats.threads_pruned,
+        "distance_checks_skipped": stats.distance_checks_skipped,
+        "ledger": None if profile is None else (
+            profile.candidates_examined, profile.candidate_users,
+            profile.users_scored, profile.users_pruned_global,
+            profile.users_pruned_hot, profile.bound_source),
+    }
+
+
+class TestBatchedParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", ["max", "sum"])
+    def test_bitwise_identical_to_scalar(self, engine, workload,
+                                         processors, method, backend):
+        scalar = processors[(method, "scalar")]
+        batched = processors[(method, "batched")]
+        with columnar.force_backend(backend):
+            for query in queries_under_test(engine, workload):
+                # First pass warms the shared thread cache so
+                # ``threads_built`` reflects the same cache state for
+                # both legs (the processors share one ThreadBuilder).
+                scalar.search(query)
+                expected = fingerprint(scalar.search(query))
+                got = fingerprint(batched.search(query))
+                assert got == expected, query
+
+    def test_backends_agree_with_each_other(self, engine, workload,
+                                            processors):
+        if len(BACKENDS) < 2:
+            pytest.skip("only one columnar backend available")
+        batched = processors[("max", "batched")]
+        query = workload.bind(workload.specs(1)[0], radius_km=30.0, k=10)
+        batched.search(query)   # warm the shared thread cache
+        prints = {}
+        for backend in BACKENDS:
+            with columnar.force_backend(backend):
+                prints[backend] = fingerprint(batched.search(query))
+        assert prints["python"] == prints["numpy"]
+
+    def test_profile_reports_kernel_family(self, engine, workload,
+                                           processors):
+        query = workload.bind(workload.specs(1)[0], radius_km=20.0, k=5)
+        assert processors[("max", "scalar")].search(query) \
+            .profile.kernels == "scalar"
+        assert processors[("max", "batched")].search(query) \
+            .profile.kernels == "batched"
+
+
+class TestBatchedPlanShape:
+    def test_batched_plan_uses_fused_operators(self):
+        plan = Planner().plan("max", kernels="batched")
+        names = [type(op).__name__ for op in plan.operators]
+        assert "FusedRadiusScoreOp" in names
+        assert "BatchCandidateFormOp" in names
+        assert "BatchRankOp" in names and "BatchTopKOp" in names
+        assert "RadiusFilterOp" not in names   # fused away
+        assert plan.spec.kernels == "batched"
+        assert "kernels=batched" in plan.describe()
+
+    def test_scalar_plan_unchanged(self):
+        plan = Planner().plan("max")
+        names = [type(op).__name__ for op in plan.operators]
+        assert "FusedRadiusScoreOp" not in names
+        assert plan.spec.kernels == "scalar"
+        assert "kernels=batched" not in plan.describe()
+
+    def test_scan_and_distributed_coerce_to_scalar(self):
+        planner = Planner()
+        assert planner.plan("max", scan=True,
+                            kernels="batched").spec.kernels == "scalar"
+        assert planner.plan("max", distributed=True,
+                            kernels="batched").spec.kernels == "scalar"
+
+    def test_operators_declare_writes(self):
+        # RL005: every operator declares what it writes into the context.
+        for op in (FusedRadiusScoreOp("max"), BatchCandidateFormOp(),
+                   BatchRankOp(), BatchTopKOp()):
+            assert op.writes
+
+
+class TestScoringConfigKernels:
+    def test_auto_resolves_to_batched(self):
+        assert ScoringConfig(kernels="auto").resolved_kernels() == "batched"
+        assert ScoringConfig().resolved_kernels() == "scalar"
+
+    def test_invalid_kernels_rejected(self):
+        with pytest.raises(ValueError, match="kernels"):
+            ScoringConfig(kernels="simd")
