@@ -544,6 +544,135 @@ def _cmd_ingest_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .eval.serve_bench import (
+        ServeBenchConfig,
+        render_serve_summary,
+        run_serve_bench,
+        validate_serve_bench_report,
+        write_serve_report,
+    )
+
+    if args.smoke:
+        config = ServeBenchConfig.smoke()
+        config.seed = args.seed
+    else:
+        config = ServeBenchConfig(
+            num_users=args.users, num_root_tweets=args.roots, seed=args.seed,
+            closed_duration_seconds=args.duration,
+            overload_duration_seconds=args.duration,
+            mixed_duration_seconds=args.duration,
+            closed_clients=args.clients)
+    if args.directory:
+        payload = run_serve_bench(args.directory, config)
+    else:
+        with tempfile.TemporaryDirectory() as scratch:
+            payload = run_serve_bench(f"{scratch}/serve", config)
+    problems = validate_serve_bench_report(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid serve bench report: {problem}", file=sys.stderr)
+        return 1
+    if args.output:
+        write_serve_report(payload, args.output)
+        print(f"wrote {args.output}")
+    print(render_serve_summary(payload))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Stand up the serving stack over a synthetic live deployment and
+    drive demonstration traffic through it (there is no network front
+    end — the subsystem under test is the pool/queue/cache)."""
+    import tempfile
+    import threading
+    import time
+
+    from .data.generator import generate_corpus
+    from .data.queries import QueryWorkload
+    from .ingest import IngestConfig, IngestService
+    from .serve import (AdmissionConfig, QueryServer, ServeConfig,
+                        run_closed_loop, run_open_loop)
+
+    corpus = generate_corpus(num_users=args.users,
+                             num_root_tweets=args.roots, seed=args.seed)
+    posts = list(corpus.posts)
+    workload = QueryWorkload(corpus, seed=args.seed)
+    queries = workload.make_queries(2, args.radius, k=args.k,
+                                    semantics=Semantics.OR, limit=16)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        service = IngestService(
+            f"{scratch}/serve",
+            ingest_config=IngestConfig(flush_posts=args.flush_posts))
+        preload = len(posts) // 2
+        for post in posts[:preload]:
+            service.append(post)
+        service.flush()
+        engine = service.build_query_engine()
+
+        server = QueryServer(engine, live=service.live, config=ServeConfig(
+            workers=args.workers,
+            default_timeout_seconds=args.timeout,
+            cache_enabled=not args.no_cache,
+            admission=AdmissionConfig(
+                max_queue_depth=args.queue_depth,
+                queue_delay_budget_ms=args.delay_budget_ms)))
+
+        stop = threading.Event()
+        appended = 0
+
+        def ingest_loop() -> None:
+            nonlocal appended
+            stream = iter(posts[preload:])
+            while not stop.is_set():
+                post = next(stream, None)
+                if post is None:
+                    return
+                service.append(post)
+                appended += 1
+                time.sleep(1.0 / max(1.0, args.ingest_rate))
+
+        ingester = None
+        with server:
+            if args.ingest_rate > 0:
+                ingester = threading.Thread(target=ingest_loop, daemon=True)
+                ingester.start()
+            if args.rate > 0:
+                result = run_open_loop(
+                    server, lambda i: queries[i % len(queries)],
+                    rate_qps=args.rate, duration_seconds=args.duration)
+            else:
+                result = run_closed_loop(
+                    server, lambda i: queries[i % len(queries)],
+                    clients=args.clients, duration_seconds=args.duration)
+            stop.set()
+            if ingester is not None:
+                ingester.join(timeout=5.0)
+            stats = server.stats()
+        service.close()
+
+    latency = result.latency_quantiles_ms()
+    print(f"served {result.completed}/{result.issued} queries in "
+          f"{result.duration_seconds:.1f}s "
+          f"({result.throughput_qps():.1f} qps, {args.workers} workers)")
+    print(f"  latency p50={latency['p50']:.2f}ms p95={latency['p95']:.2f}ms "
+          f"p99={latency['p99']:.2f}ms p999={latency['p999']:.2f}ms")
+    print(f"  shed {result.shed} ({result.shed_rate():.1%}), "
+          f"timeouts {result.timeouts}, errors {result.errors}")
+    cache = stats.get("cache")
+    if cache:
+        print(f"  cache: {cache['hits']} hits / "
+              f"{cache['hits'] + cache['misses']} lookups "
+              f"({cache['hit_rate']:.1%}), "
+              f"{cache['invalidated']} invalidated")
+    print(f"  ingest during run: {appended} appends, "
+          f"worker utilization {stats['worker_utilization']:.0%}")
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import tempfile
     import threading
@@ -554,6 +683,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from .data.queries import QueryWorkload
     from .ingest import IngestConfig, IngestService
     from .obs.top import render_top
+    from .serve import QueryServer, ServeConfig, ShedError
 
     corpus = generate_corpus(num_users=args.users,
                              num_root_tweets=args.roots, seed=args.seed)
@@ -578,10 +708,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
             service.append(post)
         service.flush()
         engine = service.build_query_engine()
+        server = QueryServer(engine, live=service.live,
+                             config=ServeConfig(workers=args.serve_workers))
 
         def worker() -> None:
             # Mixed workload: drip the remaining posts in while cycling
-            # the query set, so every dashboard panel has live data.
+            # the query set through the serving pool, so every dashboard
+            # panel — serve included — has live data.
             stream = iter(posts[preload:])
             cursor = 0
             while not stop.is_set():
@@ -589,26 +722,31 @@ def _cmd_top(args: argparse.Namespace) -> int:
                     post = next(stream, None)
                     if post is not None:
                         service.append(post)
-                engine.search_max(queries[cursor % len(queries)])
+                try:
+                    server.execute(queries[cursor % len(queries)], "max")
+                except ShedError:
+                    pass
                 cursor += 1
 
         thread = threading.Thread(target=worker, daemon=True)
-        thread.start()
-        try:
-            for _frame in range(frames):
-                time.sleep(args.interval)
-                frame = render_top(runtime, health=service.health(),
-                                   service_status=service.status(),
-                                   recent_seconds=args.recent)
-                if clear:
-                    print("\x1b[2J\x1b[H" + frame, flush=True)
-                else:
-                    print(frame, flush=True)
-        finally:
-            stop.set()
-            thread.join(timeout=5.0)
-            obs.disable_runtime()
-            service.close()
+        with server:
+            thread.start()
+            try:
+                for _frame in range(frames):
+                    time.sleep(args.interval)
+                    frame = render_top(runtime, health=service.health(),
+                                       service_status=service.status(),
+                                       serve_stats=server.stats(),
+                                       recent_seconds=args.recent)
+                    if clear:
+                        print("\x1b[2J\x1b[H" + frame, flush=True)
+                    else:
+                        print(frame, flush=True)
+            finally:
+                stop.set()
+                thread.join(timeout=5.0)
+                obs.disable_runtime()
+                service.close()
     return 0
 
 
@@ -634,10 +772,12 @@ def _cmd_perf_contract(args: argparse.Namespace) -> int:
     query_payload = read_report(args.query_report)
     ingest_payload = read_report(args.ingest_report)
     matrix_payload = read_report(args.matrix_report)
+    serve_payload = read_report(args.serve_report)
     if query_payload is None and ingest_payload is None \
-            and matrix_payload is None:
-        print(f"error: none of {args.query_report}, {args.ingest_report} "
-              f"or {args.matrix_report} exists", file=sys.stderr)
+            and matrix_payload is None and serve_payload is None:
+        print(f"error: none of {args.query_report}, {args.ingest_report}, "
+              f"{args.matrix_report} or {args.serve_report} exists",
+              file=sys.stderr)
         return 2
     if matrix_payload is not None:
         from .eval.matrix import validate_matrix_report
@@ -646,12 +786,19 @@ def _cmd_perf_contract(args: argparse.Namespace) -> int:
             for problem in matrix_problems:
                 print(f"invalid matrix report: {problem}", file=sys.stderr)
             return 1
+    if serve_payload is not None:
+        from .eval.serve_bench import validate_serve_bench_report
+        serve_problems = validate_serve_bench_report(serve_payload)
+        if serve_problems:
+            for problem in serve_problems:
+                print(f"invalid serve report: {problem}", file=sys.stderr)
+            return 1
 
     current = extract_headlines(query_payload, ingest_payload,
-                                matrix_payload)
+                                matrix_payload, serve_payload)
     if args.write_baseline:
         baseline = build_baseline(query_payload, ingest_payload,
-                                  matrix_payload)
+                                  matrix_payload, serve_payload)
         parent = os.path.dirname(args.baseline)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -974,6 +1121,63 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(e.g. BENCH_ingest.json)")
     ingest_bench.set_defaults(func=_cmd_ingest_bench)
 
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="serving bench: worker scaling, overload shedding, result "
+             "cache under mixed ingest+query traffic")
+    serve_bench.add_argument("--users", type=int, default=300,
+                             help="synthetic corpus users")
+    serve_bench.add_argument("--roots", type=int, default=1500,
+                             help="synthetic corpus root tweets")
+    serve_bench.add_argument("--seed", type=int, default=42)
+    serve_bench.add_argument("--duration", type=float, default=2.5,
+                             help="seconds per traffic phase")
+    serve_bench.add_argument("--clients", type=int, default=8,
+                             help="closed-loop client threads")
+    serve_bench.add_argument("--smoke", action="store_true",
+                             help="fast CI path: tiny corpus and "
+                                  "sub-second phases, same report schema")
+    serve_bench.add_argument("--directory", default="", metavar="DIR",
+                             help="run against DIR instead of a "
+                                  "temporary directory (kept afterwards)")
+    serve_bench.add_argument("--output", default="", metavar="FILE",
+                             help="write the JSON report to FILE "
+                                  "(e.g. BENCH_serve.json)")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    serve = commands.add_parser(
+        "serve",
+        help="stand up the serving stack and drive demo traffic")
+    serve.add_argument("--users", type=int, default=200,
+                       help="synthetic corpus users")
+    serve.add_argument("--roots", type=int, default=1000,
+                       help="synthetic corpus root tweets")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--radius", type=float, default=20.0)
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--flush-posts", type=int, default=400)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="serving worker threads")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop clients (when --rate is 0)")
+    serve.add_argument("--rate", type=float, default=0.0,
+                       help="open-loop arrival rate in qps "
+                            "(0 = closed loop)")
+    serve.add_argument("--duration", type=float, default=5.0,
+                       help="traffic duration in seconds")
+    serve.add_argument("--timeout", type=float, default=5.0,
+                       help="per-query deadline in seconds")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue bound")
+    serve.add_argument("--delay-budget-ms", type=float, default=500.0,
+                       help="estimated queue delay beyond which arrivals "
+                            "are shed")
+    serve.add_argument("--ingest-rate", type=float, default=50.0,
+                       help="background appends per second (0 = none)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the plan-keyed result cache")
+    serve.set_defaults(func=_cmd_serve)
+
     top = commands.add_parser(
         "top",
         help="live terminal dashboard over a mixed ingest+query workload")
@@ -1000,6 +1204,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="slow-query capture threshold")
     top.add_argument("--no-clear", action="store_true",
                      help="append frames instead of clearing the screen")
+    top.add_argument("--serve-workers", type=int, default=2,
+                     help="serving pool size behind the dashboard's "
+                          "query traffic")
     top.set_defaults(func=_cmd_top)
 
     contract = commands.add_parser(
@@ -1010,6 +1217,8 @@ def build_parser() -> argparse.ArgumentParser:
     contract.add_argument("--ingest-report", default="BENCH_ingest.json",
                           metavar="FILE")
     contract.add_argument("--matrix-report", default="BENCH_matrix.json",
+                          metavar="FILE")
+    contract.add_argument("--serve-report", default="BENCH_serve.json",
                           metavar="FILE")
     contract.add_argument("--baseline",
                           default="benchmarks/baselines/perf_contract.json",

@@ -37,7 +37,7 @@ class Headline:
     """One contract metric: where it comes from and how it may move."""
 
     key: str                 # dotted name in the contract file
-    source: str              # "query" | "ingest" | "matrix"
+    source: str              # "query" | "ingest" | "matrix" | "serve"
     extract: Callable[[Dict[str, Any]], Any]
     direction: str           # "higher" | "lower" | "exact"
     rel_tol: float = 0.0     # allowed regression in the bad direction
@@ -118,6 +118,26 @@ def _headlines() -> List[Headline]:
         extract=lambda p: _cell(p, p["largest_cell"]["id"])["batched"][
             "mean_ms"],
         direction="lower", rel_tol=LATENCY_TOL))
+    out.append(Headline(
+        key="serve.cached_results_identical", source="serve",
+        extract=lambda p: p["cached_results_identical"],
+        direction="exact"))
+    out.append(Headline(
+        key="serve.scaling.peak_qps", source="serve",
+        extract=lambda p: p["scaling"]["peak_qps"],
+        direction="higher", rel_tol=THROUGHPUT_TOL))
+    out.append(Headline(
+        key="serve.overload.shed_tail_bounded", source="serve",
+        extract=lambda p: p["overload"]["shed_tail_bounded"],
+        direction="exact"))
+    out.append(Headline(
+        key="serve.overload.p99_on_ms", source="serve",
+        extract=lambda p: p["overload"]["shedding_on"]["latency_ms"]["p99"],
+        direction="lower", rel_tol=LATENCY_TOL))
+    out.append(Headline(
+        key="serve.mixed.cache_hit_rate", source="serve",
+        extract=lambda p: p["mixed"]["cache_hit_rate"],
+        direction="higher", rel_tol=RATIO_TOL))
     return out
 
 
@@ -139,6 +159,7 @@ MUST_BE_TRUE = (
     "ingest.recovery.posts_match",
     "ingest.compaction.results_identical",
     "matrix.results_identical",
+    "serve.cached_results_identical",
 )
 
 #: headlines with an absolute floor, enforced regardless of baseline —
@@ -151,12 +172,13 @@ MUST_BE_AT_LEAST = {
 
 def extract_headlines(query_payload: Optional[Dict[str, Any]],
                       ingest_payload: Optional[Dict[str, Any]],
-                      matrix_payload: Optional[Dict[str, Any]] = None
+                      matrix_payload: Optional[Dict[str, Any]] = None,
+                      serve_payload: Optional[Dict[str, Any]] = None
                       ) -> Dict[str, Dict[str, Any]]:
     """Pull every headline present in the given reports.  A missing
     report just skips its headlines (the checker reports coverage)."""
     payloads = {"query": query_payload, "ingest": ingest_payload,
-                "matrix": matrix_payload}
+                "matrix": matrix_payload, "serve": serve_payload}
     out: Dict[str, Dict[str, Any]] = {}
     for headline in HEADLINES:
         payload = payloads[headline.source]
@@ -175,12 +197,13 @@ def extract_headlines(query_payload: Optional[Dict[str, Any]],
 
 def build_baseline(query_payload: Optional[Dict[str, Any]],
                    ingest_payload: Optional[Dict[str, Any]],
-                   matrix_payload: Optional[Dict[str, Any]] = None
+                   matrix_payload: Optional[Dict[str, Any]] = None,
+                   serve_payload: Optional[Dict[str, Any]] = None
                    ) -> Dict[str, Any]:
     return {
         "schema_version": CONTRACT_SCHEMA_VERSION,
         "headlines": extract_headlines(query_payload, ingest_payload,
-                                       matrix_payload),
+                                       matrix_payload, serve_payload),
     }
 
 

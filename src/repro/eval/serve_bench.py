@@ -1,0 +1,533 @@
+"""Serving bench: traffic generation against the ``repro.serve`` pool.
+
+Where the ingest bench interleaves appends and *sequential* queries,
+this harness measures the workload the serving subsystem exists for —
+concurrent clients with deadlines, overload, and a result cache that
+must never change an answer.  The phases:
+
+1. **scaling** — a closed loop (back-to-back clients) at each worker
+   count, result cache off, measuring peak sustainable throughput and
+   in-service latency per pool size (≥4 runs — the GIL bounds how far
+   pure-python workers scale; the committed report records the real
+   shape rather than an assumed one);
+2. **overload** — an open loop offering a multiple of the measured peak
+   rate, once with admission-control shedding on and once off.  The
+   shed-on arm rejects the excess at the door and keeps tail latency
+   near the queue-delay budget; the shed-off arm queues everything and
+   the tail grows with the backlog.  The report records both tails and
+   their ratio — the quantitative case for admission control;
+3. **bursty** — the open loop again with a square-wave arrival rate
+   (same average), exercising the fast/normal priority lanes;
+4. **mixed ingest+query** — closed-loop clients with the cache enabled
+   while a background thread appends posts; every append moves the
+   version token, so this phase measures the hit rate the cache earns
+   *between* invalidations, not a frozen-index fantasy;
+5. **cache identity** — the headline gate: at several watermarks
+   (appends landing between rounds), every query is answered three
+   ways — fresh uncached execution, a cache-populating serve, and a
+   cache-hit serve — and all three rankings must match exactly (same
+   uids, bit-equal scores).  ``cached_results_identical`` in the
+   report is the perf contract's MUST_BE_TRUE headline.
+
+``validate_serve_bench_report`` is the schema gate CI runs against the
+committed ``BENCH_serve.json`` and fresh smoke output.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.model import Semantics
+from ..data.generator import generate_corpus
+from ..data.queries import QueryWorkload
+from ..ingest import IngestConfig, IngestService
+from ..serve import (AdmissionConfig, QueryServer, ServeConfig,
+                     run_closed_loop, run_open_loop)
+
+SCHEMA_VERSION = 1
+
+#: latency quantile keys every latency_ms object must carry
+LATENCY_KEYS = ("p50", "p95", "p99", "p999")
+
+
+@dataclass
+class ServeBenchConfig:
+    """Knobs for one serving bench; defaults match the committed
+    ``BENCH_serve.json``."""
+
+    num_users: int = 300
+    num_root_tweets: int = 1500
+    seed: int = 42
+    preload_fraction: float = 0.6
+    flush_posts: int = 400
+    sync_every: int = 1
+    radius_km: float = 20.0
+    k: int = 10
+    keywords_per_query: int = 2
+    query_pool: int = 32
+    #: scaling phase — one closed-loop run per worker count
+    worker_counts: Sequence[int] = (1, 2, 4, 8)
+    closed_clients: int = 8
+    closed_duration_seconds: float = 2.0
+    #: overload phase — offered rate is peak * multiplier (capped)
+    overload_multiplier: float = 3.0
+    overload_rate_cap_qps: float = 2000.0
+    overload_duration_seconds: float = 2.5
+    overload_queue_depth: int = 32
+    overload_delay_budget_ms: float = 250.0
+    #: bursty phase
+    burst_factor: float = 1.8
+    burst_period_seconds: float = 1.0
+    #: mixed phase
+    mixed_duration_seconds: float = 2.5
+    mixed_appends_per_second: float = 50.0
+    mixed_workers: int = 4
+    #: identity phase
+    identity_rounds: int = 3
+    identity_queries: int = 6
+    identity_appends_per_round: int = 25
+
+    @classmethod
+    def smoke(cls) -> "ServeBenchConfig":
+        """The fast CI path: same phase structure (still ≥4 scaling
+        runs), tiny durations and corpus."""
+        return cls(num_users=80, num_root_tweets=400,
+                   closed_duration_seconds=0.4,
+                   overload_duration_seconds=0.6,
+                   mixed_duration_seconds=0.6,
+                   closed_clients=4,
+                   query_pool=12,
+                   identity_rounds=2, identity_queries=4,
+                   identity_appends_per_round=10)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_users": self.num_users,
+            "num_root_tweets": self.num_root_tweets,
+            "seed": self.seed,
+            "preload_fraction": self.preload_fraction,
+            "flush_posts": self.flush_posts,
+            "sync_every": self.sync_every,
+            "radius_km": self.radius_km,
+            "k": self.k,
+            "keywords_per_query": self.keywords_per_query,
+            "query_pool": self.query_pool,
+            "worker_counts": list(self.worker_counts),
+            "closed_clients": self.closed_clients,
+            "closed_duration_seconds": self.closed_duration_seconds,
+            "overload_multiplier": self.overload_multiplier,
+            "overload_rate_cap_qps": self.overload_rate_cap_qps,
+            "overload_duration_seconds": self.overload_duration_seconds,
+            "overload_queue_depth": self.overload_queue_depth,
+            "overload_delay_budget_ms": self.overload_delay_budget_ms,
+            "burst_factor": self.burst_factor,
+            "burst_period_seconds": self.burst_period_seconds,
+            "mixed_duration_seconds": self.mixed_duration_seconds,
+            "mixed_appends_per_second": self.mixed_appends_per_second,
+            "mixed_workers": self.mixed_workers,
+            "identity_rounds": self.identity_rounds,
+            "identity_queries": self.identity_queries,
+            "identity_appends_per_round": self.identity_appends_per_round,
+        }
+
+
+def _run_summary(result: Any, **extra: object) -> Dict[str, object]:
+    payload = result.as_dict()
+    payload.update(extra)
+    return payload
+
+
+def _run_scaling(engine: Any, make_query: Callable[[int], Any],
+                 config: ServeBenchConfig) -> Dict[str, object]:
+    runs: List[Dict[str, object]] = []
+    for workers in config.worker_counts:
+        server = QueryServer(engine, config=ServeConfig(
+            workers=workers, cache_enabled=False,
+            default_timeout_seconds=None))
+        with server:
+            result = run_closed_loop(
+                server, make_query, clients=config.closed_clients,
+                duration_seconds=config.closed_duration_seconds)
+            stats = server.stats()
+        runs.append(_run_summary(
+            result, workers=workers, clients=config.closed_clients,
+            worker_utilization=round(stats["worker_utilization"], 4)))
+    peak = max(runs, key=lambda run: run["throughput_qps"])
+    return {
+        "cache": "off",
+        "runs": runs,
+        "peak_qps": round(float(peak["throughput_qps"]), 3),
+        "peak_workers": peak["workers"],
+    }
+
+
+def _run_overload(engine: Any, make_query: Callable[[int], Any],
+                  config: ServeBenchConfig, peak_qps: float
+                  ) -> Dict[str, object]:
+    offered = min(config.overload_rate_cap_qps,
+                  max(20.0, peak_qps * config.overload_multiplier))
+    # Deadlines are set far beyond the drain time so the shed-off arm
+    # reports its true (unbounded) tail instead of a wall of timeouts.
+    timeout = config.overload_duration_seconds * 10.0 + 5.0
+    arms: Dict[str, Dict[str, object]] = {}
+    for label, shedding in (("shedding_on", True), ("shedding_off", False)):
+        server = QueryServer(engine, config=ServeConfig(
+            workers=config.mixed_workers, cache_enabled=False,
+            default_timeout_seconds=timeout,
+            admission=AdmissionConfig(
+                max_queue_depth=config.overload_queue_depth,
+                queue_delay_budget_ms=config.overload_delay_budget_ms,
+                shedding=shedding)))
+        with server:
+            result = run_open_loop(
+                server, make_query, rate_qps=offered,
+                duration_seconds=config.overload_duration_seconds)
+        arms[label] = _run_summary(result, shedding=shedding)
+    p99_on = arms["shedding_on"]["latency_ms"]["p99"]  # type: ignore[index]
+    p99_off = arms["shedding_off"]["latency_ms"]["p99"]  # type: ignore[index]
+    return {
+        "offered_qps": round(offered, 3),
+        "duration_seconds": config.overload_duration_seconds,
+        "shedding_on": arms["shedding_on"],
+        "shedding_off": arms["shedding_off"],
+        "tail_amplification_off_vs_on":
+            round(p99_off / p99_on, 3) if p99_on else 0.0,
+        # The reason admission control exists: under the same overload,
+        # shedding keeps the p99 of *served* queries below the arm that
+        # queues everything.
+        "shed_tail_bounded": bool(p99_on <= p99_off),
+    }
+
+
+def _run_bursty(engine: Any, make_query: Callable[[int], Any],
+                config: ServeBenchConfig, peak_qps: float
+                ) -> Dict[str, object]:
+    rate = min(config.overload_rate_cap_qps, max(10.0, peak_qps * 0.8))
+    server = QueryServer(engine, config=ServeConfig(
+        workers=config.mixed_workers, cache_enabled=False,
+        default_timeout_seconds=config.overload_duration_seconds * 10.0 + 5.0,
+        admission=AdmissionConfig(
+            max_queue_depth=config.overload_queue_depth,
+            queue_delay_budget_ms=config.overload_delay_budget_ms)))
+    with server:
+        result = run_open_loop(
+            server, make_query, rate_qps=rate,
+            duration_seconds=config.overload_duration_seconds,
+            burst_factor=config.burst_factor,
+            burst_period_seconds=config.burst_period_seconds)
+        queue_stats = server.queue.stats()
+    return _run_summary(
+        result, rate_qps=round(rate, 3), burst_factor=config.burst_factor,
+        fast_lane_offered=queue_stats["offered"])
+
+
+def _run_mixed(service: IngestService, engine: Any,
+               make_query: Callable[[int], Any], posts: List[Any],
+               config: ServeBenchConfig) -> Dict[str, object]:
+    server = QueryServer(engine, live=service.live, config=ServeConfig(
+        workers=config.mixed_workers, cache_enabled=True))
+    appended = 0
+    stop = threading.Event()
+
+    def ingest_loop() -> None:
+        nonlocal appended
+        interval = 1.0 / config.mixed_appends_per_second
+        for post in posts:
+            if stop.is_set():
+                break
+            service.append(post)
+            appended += 1
+            time.sleep(interval)
+
+    ingester = threading.Thread(target=ingest_loop, name="serve-bench-ingest",
+                                daemon=True)
+    with server:
+        ingester.start()
+        result = run_closed_loop(
+            server, make_query, clients=config.closed_clients,
+            duration_seconds=config.mixed_duration_seconds)
+        stop.set()
+        ingester.join()
+        cache_stats = server.cache.stats() if server.cache else {}
+    return _run_summary(result, appends=appended,
+                        ingest_rate_target=config.mixed_appends_per_second,
+                        cache=cache_stats)
+
+
+def _run_cache_identity(service: IngestService, engine: Any,
+                        queries: List[Any], posts: List[Any],
+                        config: ServeBenchConfig) -> Dict[str, object]:
+    """Phase 5: three-way answer comparison at several watermarks.
+
+    Quiesced (no concurrent ingest): at each round's watermark, for each
+    query, ``fresh`` (direct uncached engine search over the live view),
+    ``populate`` (serve-path execution against a pinned snapshot, which
+    also stores into the cache) and ``hit`` (the cached entry) must be
+    exactly equal — same uids, bit-equal float scores.
+    """
+    server = QueryServer(engine, live=service.live, config=ServeConfig(
+        workers=2, cache_enabled=True))
+    checks = 0
+    mismatches: List[Dict[str, object]] = []
+    hits_before = 0
+    stream = iter(posts)
+    with server:
+        for round_index in range(config.identity_rounds):
+            for query in queries[:config.identity_queries]:
+                fresh = engine.search(query, "max").users
+                populate = server.execute(query, "max")
+                hit = server.execute(query, "max")
+                checks += 1
+                if not (fresh == populate == hit):
+                    mismatches.append({
+                        "round": round_index,
+                        "watermark": list(service.live.version_token()),
+                        "fresh": fresh[:3],
+                        "populate": populate[:3],
+                        "hit": hit[:3],
+                    })
+            for _ in range(config.identity_appends_per_round):
+                post = next(stream, None)
+                if post is None:
+                    break
+                service.append(post)
+        cache_stats = server.cache.stats() if server.cache else {}
+        hits_before = int(cache_stats.get("hits", 0))
+    return {
+        "rounds": config.identity_rounds,
+        "checks": checks,
+        "hits_observed": hits_before,
+        "identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def run_serve_bench(directory: str,
+                    config: Optional[ServeBenchConfig] = None
+                    ) -> Dict[str, object]:
+    """Run the five phases against ``directory`` (which must be empty or
+    absent) and return the report payload."""
+    if config is None:
+        config = ServeBenchConfig()
+    corpus = generate_corpus(num_users=config.num_users,
+                             num_root_tweets=config.num_root_tweets,
+                             seed=config.seed)
+    posts = corpus.posts
+    workload = QueryWorkload(corpus, seed=config.seed)
+    queries = workload.make_queries(config.keywords_per_query,
+                                    config.radius_km, k=config.k,
+                                    semantics=Semantics.OR,
+                                    limit=config.query_pool)
+
+    def make_query(sequence: int) -> Any:
+        return queries[sequence % len(queries)]
+
+    service = IngestService(
+        directory,
+        ingest_config=IngestConfig(flush_posts=config.flush_posts,
+                                   sync_every=config.sync_every))
+    preload = int(len(posts) * config.preload_fraction)
+    for post in posts[:preload]:
+        service.append(post)
+    service.flush()
+    engine = service.build_query_engine()
+
+    scaling = _run_scaling(engine, make_query, config)
+    peak_qps = float(scaling["peak_qps"])
+    overload = _run_overload(engine, make_query, config, peak_qps)
+    bursty = _run_bursty(engine, make_query, config, peak_qps)
+
+    remaining = list(posts[preload:])
+    mixed_budget = remaining[:max(0, len(remaining)
+                                  - config.identity_rounds
+                                  * config.identity_appends_per_round)]
+    identity_budget = remaining[len(mixed_budget):]
+    mixed = _run_mixed(service, engine, make_query, mixed_budget, config)
+    identity = _run_cache_identity(service, engine, queries, identity_budget,
+                                   config)
+    service.close()
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "seed": config.seed,
+        "config": config.as_dict(),
+        "scaling": scaling,
+        "overload": overload,
+        "bursty": bursty,
+        "mixed": mixed,
+        "cache_identity": identity,
+        "cached_results_identical": bool(identity["identical"]
+                                         and identity["checks"] > 0
+                                         and identity["hits_observed"] > 0),
+    }
+
+
+def validate_serve_bench_report(payload: object) -> List[str]:
+    """Schema gate; returns human-readable problems (empty when valid)."""
+    problems: List[str] = []
+
+    def note(message: str) -> None:
+        problems.append(message)
+
+    def check_latency(obj: object, where: str) -> None:
+        if not isinstance(obj, dict):
+            note(f"{where} must be an object")
+            return
+        for key in LATENCY_KEYS:
+            value = obj.get(key)
+            if not (isinstance(value, (int, float)) and value >= 0
+                    and not isinstance(value, bool)):
+                note(f"{where}.{key} must be a non-negative number")
+
+    def check_rate(obj: Dict[str, Any], key: str, where: str,
+                   upper: Optional[float] = None) -> None:
+        value = obj.get(key)
+        if not (isinstance(value, (int, float)) and value >= 0
+                and not isinstance(value, bool)):
+            note(f"{where}.{key} must be a non-negative number")
+        elif upper is not None and value > upper:
+            note(f"{where}.{key} must be <= {upper:g}, got {value!r}")
+
+    if not isinstance(payload, dict):
+        return [f"report must be an object, got {type(payload).__name__}"]
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        note(f"schema_version must be {SCHEMA_VERSION}, "
+             f"got {payload.get('schema_version')!r}")
+    seed = payload.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        note("seed must be an integer")
+    if not isinstance(payload.get("config"), dict):
+        note("config must be an object")
+
+    scaling = payload.get("scaling")
+    if not isinstance(scaling, dict):
+        note("scaling must be an object")
+    else:
+        runs = scaling.get("runs")
+        if not isinstance(runs, list) or len(runs) < 4:
+            note("scaling.runs must be a list of at least 4 worker-count "
+                 "runs")
+        else:
+            seen_workers = set()
+            for index, run in enumerate(runs):
+                where = f"scaling.runs[{index}]"
+                if not isinstance(run, dict):
+                    note(f"{where} must be an object")
+                    continue
+                workers = run.get("workers")
+                if not (isinstance(workers, int) and workers >= 1
+                        and not isinstance(workers, bool)):
+                    note(f"{where}.workers must be a positive integer")
+                else:
+                    seen_workers.add(workers)
+                check_rate(run, "throughput_qps", where)
+                check_latency(run.get("latency_ms"), f"{where}.latency_ms")
+            if len(seen_workers) < 4:
+                note("scaling.runs must cover at least 4 distinct worker "
+                     "counts")
+        check_rate(scaling, "peak_qps", "scaling")
+
+    overload = payload.get("overload")
+    if not isinstance(overload, dict):
+        note("overload must be an object")
+    else:
+        check_rate(overload, "offered_qps", "overload")
+        for arm in ("shedding_on", "shedding_off"):
+            entry = overload.get(arm)
+            if not isinstance(entry, dict):
+                note(f"overload.{arm} must be an object")
+                continue
+            check_rate(entry, "shed_rate", f"overload.{arm}", upper=1.0)
+            check_rate(entry, "throughput_qps", f"overload.{arm}")
+            check_latency(entry.get("latency_ms"),
+                          f"overload.{arm}.latency_ms")
+        if not isinstance(overload.get("shed_tail_bounded"), bool):
+            note("overload.shed_tail_bounded must be a boolean")
+
+    bursty = payload.get("bursty")
+    if not isinstance(bursty, dict):
+        note("bursty must be an object")
+    else:
+        check_rate(bursty, "throughput_qps", "bursty")
+        check_latency(bursty.get("latency_ms"), "bursty.latency_ms")
+
+    mixed = payload.get("mixed")
+    if not isinstance(mixed, dict):
+        note("mixed must be an object")
+    else:
+        check_rate(mixed, "throughput_qps", "mixed")
+        check_rate(mixed, "cache_hit_rate", "mixed", upper=1.0)
+        check_latency(mixed.get("latency_ms"), "mixed.latency_ms")
+        appends = mixed.get("appends")
+        if not (isinstance(appends, int) and appends >= 0
+                and not isinstance(appends, bool)):
+            note("mixed.appends must be a non-negative integer")
+
+    identity = payload.get("cache_identity")
+    if not isinstance(identity, dict):
+        note("cache_identity must be an object")
+    else:
+        checks = identity.get("checks")
+        if not (isinstance(checks, int) and checks > 0):
+            note("cache_identity.checks must be a positive integer")
+        hits = identity.get("hits_observed")
+        if not (isinstance(hits, int) and hits > 0):
+            note("cache_identity.hits_observed must be a positive integer — "
+                 "the identity phase never exercised a cache hit")
+        if identity.get("identical") is not True:
+            note("cache_identity.identical must be true — a cached result "
+                 "diverged from fresh execution at the same watermark")
+    if payload.get("cached_results_identical") is not True:
+        note("cached_results_identical must be true")
+    return problems
+
+
+def render_serve_summary(payload: Dict[str, object]) -> str:
+    """Terminal summary of one serving bench run."""
+    scaling = payload["scaling"]
+    overload = payload["overload"]
+    mixed = payload["mixed"]
+    identity = payload["cache_identity"]
+    lines = [
+        "serve bench:",
+        "  scaling (cache off, closed loop):",
+    ]
+    for run in scaling["runs"]:  # type: ignore[index]
+        lines.append(
+            f"    workers={run['workers']:<2} "
+            f"{run['throughput_qps']:>8.1f} qps  "
+            f"p50={run['latency_ms']['p50']:.2f}ms "
+            f"p99={run['latency_ms']['p99']:.2f}ms "
+            f"util={run['worker_utilization']:.0%}")
+    on = overload["shedding_on"]  # type: ignore[index]
+    off = overload["shedding_off"]  # type: ignore[index]
+    lines.extend([
+        f"  overload at {overload['offered_qps']:.0f} qps offered:",  # type: ignore[index]
+        f"    shed on : {on['throughput_qps']:.1f} qps served, "
+        f"shed {on['shed_rate']:.0%}, p99={on['latency_ms']['p99']:.1f}ms "
+        f"p999={on['latency_ms']['p999']:.1f}ms",
+        f"    shed off: {off['throughput_qps']:.1f} qps served, "
+        f"shed {off['shed_rate']:.0%}, p99={off['latency_ms']['p99']:.1f}ms "
+        f"p999={off['latency_ms']['p999']:.1f}ms",
+        f"    tail amplification without shedding: "
+        f"{overload['tail_amplification_off_vs_on']}x",  # type: ignore[index]
+        f"  mixed ingest+query: {mixed['completed']} queries over "  # type: ignore[index]
+        f"{mixed['appends']} appends, "  # type: ignore[index]
+        f"cache hit rate {mixed['cache_hit_rate']:.0%}, "  # type: ignore[index]
+        f"p95={mixed['latency_ms']['p95']:.2f}ms",  # type: ignore[index]
+        f"  cache identity: {identity['checks']} checks over "  # type: ignore[index]
+        f"{identity['rounds']} watermarks, "  # type: ignore[index]
+        f"{identity['hits_observed']} hits "  # type: ignore[index]
+        f"({'identical' if identity['identical'] else 'DIVERGED'})",  # type: ignore[index]
+    ])
+    return "\n".join(lines)
+
+
+def write_serve_report(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

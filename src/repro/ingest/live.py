@@ -87,6 +87,14 @@ class LiveIndex:
         # into the same object).
         self._stats_lock = threading.Lock()
         self._merge_stats = IndexStats()  # guarded-by: _stats_lock
+        # Serialises the flush component swap (memtable prune + generation
+        # append, two statements in IngestService.flush) against snapshot()
+        # and version_token(): without it a snapshot taken between the two
+        # statements would see a torn component set.  Lock order when both
+        # are needed: components_lock FIRST, then the registry's internal
+        # lock (pin()/append() take it; both flush and snapshot follow
+        # this order).
+        self.components_lock = threading.Lock()
 
     # -- consistency --------------------------------------------------------
 
@@ -104,25 +112,53 @@ class LiveIndex:
         """The LSN a query starting now would pin."""
         return max((mem.max_lsn for mem in self.memtables), default=0)
 
+    def version_token(self) -> Tuple[int, int]:
+        """The ``(watermark LSN, generation token)`` pair identifying the
+        current database version — the serve layer's cache key component.
+
+        The watermark alone cannot key a cache: it falls back toward 0
+        when a flush retires the sealed memtable that carried the high
+        LSN.  Pairing it with a monotone generation token (the registry
+        epoch, which every flush/compaction swap advances; the list
+        length for plain-list wiring, which only ever grows) makes the
+        pair unique over the database's lifetime: the token component is
+        bumped at exactly the moments the watermark may regress, and the
+        watermark only advances between those moments.  A superseded
+        token can therefore never be observed again, so a cache entry
+        keyed on it can never be served stale.
+        """
+        with self.components_lock:
+            return self._version_token_locked()
+
+    # holds-lock: components_lock
+    def _version_token_locked(self) -> Tuple[int, int]:
+        if isinstance(self.generations, GenerationRegistry):
+            generation_token = self.generations.epoch
+        else:
+            generation_token = len(self.generations)
+        return (self.watermark(), generation_token)
+
     def snapshot(self) -> "LiveSnapshot":
         """A view frozen at the current watermark and component set;
         holds a generation-set pin until closed or collected."""
         pin: Optional[PinnedGenerations] = None
         try:
-            if isinstance(self.generations, GenerationRegistry):
-                pin = self.generations.pin()
-                items: Tuple[Any, ...] = pin.items
-            else:
-                items = tuple(self.generations)
-            # The snapshot receives a *reference* to the shared stats
-            # object together with the lock that guards it; no counter
-            # is read here.
-            return LiveSnapshot(
-                self.config, self.analyzer, tuple(self.memtables),
-                tuple(_generation_index(item) for item in items),
-                self.watermark(), pin=pin,
-                merge_stats=self._merge_stats,  # repro-lint: disable=RL100 reason=reference pass; snapshot shares the stats object and its lock
-                stats_lock=self._stats_lock)
+            with self.components_lock:
+                if isinstance(self.generations, GenerationRegistry):
+                    pin = self.generations.pin()
+                    items: Tuple[Any, ...] = pin.items
+                else:
+                    items = tuple(self.generations)
+                # The snapshot receives a *reference* to the shared stats
+                # object together with the lock that guards it; no counter
+                # is read here.
+                return LiveSnapshot(
+                    self.config, self.analyzer, tuple(self.memtables),
+                    tuple(_generation_index(item) for item in items),
+                    self.watermark(), pin=pin,
+                    merge_stats=self._merge_stats,  # repro-lint: disable=RL100 reason=reference pass; snapshot shares the stats object and its lock
+                    stats_lock=self._stats_lock,
+                    version_token=self._version_token_locked())
         except BaseException:
             # Until the snapshot owns the pin, we do: anything raising
             # between pin() and here (a component with a broken
@@ -229,11 +265,15 @@ class LiveSnapshot:
     Queries against a snapshot return identical results no matter how
     many appends, flushes or compactions land after it was taken — the
     snapshot pins its generation set, so even superseded generations'
-    files survive until it is closed (or garbage collected).  The one
-    caveat is memtables: the service only drops a sealed memtable
-    *after* its generation is committed, so a snapshot taken before a
-    flush may double-serve; take snapshots between flushes, as the
-    bench harness does.
+    files survive until it is closed (or garbage collected), and the
+    component set is captured under the owning facade's
+    ``components_lock``, so a concurrent flush can never hand it a torn
+    view (sealed memtable pruned but its generation not yet appended,
+    or vice versa).
+
+    ``version_token`` is the owning index's
+    :meth:`LiveIndex.version_token` at capture time — what the serve
+    layer keys cached results on.
     """
 
     def __init__(self, config: IndexConfig, analyzer: Analyzer,
@@ -242,12 +282,15 @@ class LiveSnapshot:
                  lsn_limit: int,
                  pin: Optional[PinnedGenerations] = None,
                  merge_stats: Optional[IndexStats] = None,
-                 stats_lock: Optional[threading.Lock] = None) -> None:
+                 stats_lock: Optional[threading.Lock] = None,
+                 version_token: Optional[Tuple[int, int]] = None) -> None:
         self.config = config
         self.analyzer = analyzer
         self.memtables = memtables
         self.generations = generations
         self.lsn_limit = lsn_limit
+        self.version_token = (version_token if version_token is not None
+                              else (lsn_limit, len(generations)))
         self._pin = pin
         # The stats object (and therefore the lock guarding it) is
         # usually shared with the owning LiveIndex.
@@ -295,6 +338,25 @@ class LiveSnapshot:
     def postings_fetch_count(self) -> int:
         return (sum(gen.stats.postings_fetches for gen in self.generations)
                 + sum(mem.stats.postings_fetches for mem in self.memtables))
+
+    @property
+    def stats(self) -> IndexStats:
+        """Aggregate counters across the frozen components plus the
+        shared merge accounting — the same shape as
+        :attr:`LiveIndex.stats`, so a snapshot can stand in as the
+        profiler's index source (``ProfileRecorder`` snapshot-diffs
+        ``source.stats``)."""
+        total = IndexStats()
+        components: List[Any] = list(self.generations)
+        components.extend(self.memtables)
+        for component in components:
+            for key, value in component.stats.snapshot().items():
+                setattr(total, key, getattr(total, key) + value)
+        with self._stats_lock:
+            merge_snapshot = self._merge_stats.snapshot()
+        for key, value in merge_snapshot.items():
+            setattr(total, key, getattr(total, key) + value)
+        return total
 
     def postings_for_query(self, cells: List[str], terms: List[str]
                            ) -> Dict[str, Dict[str, Sequence[Posting]]]:

@@ -604,11 +604,17 @@ class IngestService:
                 self.wal.delete_segment(name)
 
             hybrid = HybridIndex(forward, self.cluster, config, self.analyzer)
-            self.memtables[:] = [mem for mem in self.memtables
-                                 if not mem.sealed]
-            self.generations.append(Generation(
-                number=number, index=hybrid, post_count=len(posts),
-                tier=0, seq=seq, size_bytes=size_bytes))
+            # Swap both component lists under the live facade's lock so a
+            # concurrent snapshot()/version_token() can never observe the
+            # sealed memtable gone but its generation not yet published
+            # (lock order: components_lock, then the registry's lock
+            # inside generations.append — same order snapshot() uses).
+            with self.live.components_lock:
+                self.memtables[:] = [mem for mem in self.memtables
+                                     if not mem.sealed]
+                self.generations.append(Generation(
+                    number=number, index=hybrid, post_count=len(posts),
+                    tier=0, seq=seq, size_bytes=size_bytes))
             span.set(generation=number, posts=len(posts))
         obs.inc("ingest.flushes")
         obs.observe("ingest.flush_seconds", time.perf_counter() - flush_start)

@@ -45,7 +45,11 @@ _CONSTRUCTION_METHODS = {"__init__", "__post_init__", "__del__",
 
 
 def _is_lock_name(name: str) -> bool:
-    return "lock" in name.lower() or "mutex" in name.lower()
+    # Condition variables guard state exactly like plain locks (``with
+    # self._cond:`` acquires the underlying lock), so they participate
+    # in the guarded-by discipline too.
+    lowered = name.lower()
+    return any(token in lowered for token in ("lock", "mutex", "cond"))
 
 
 def _with_lock_attrs(stmt: ast.AST) -> List[str]:

@@ -70,10 +70,12 @@ def _counter_sparkline(runtime: RuntimeTelemetry, name: str,
 def render_top(runtime: RuntimeTelemetry,
                health: Optional[HealthReport] = None,
                service_status: Optional[Dict[str, Any]] = None,
+               serve_stats: Optional[Dict[str, Any]] = None,
                width: int = 78,
                recent_seconds: float = 30.0) -> str:
-    """One dashboard frame: throughput, tail latency, funnel, ingest and
-    health, all derived from the runtime's time-series registry."""
+    """One dashboard frame: throughput, tail latency, funnel, ingest,
+    serving and health, all derived from the runtime's time-series
+    registry (plus the optional point-in-time service/serve stats)."""
     lines: List[str] = []
     rule = "─" * width
     status = runtime.status(recent_seconds)
@@ -149,6 +151,47 @@ def render_top(runtime: RuntimeTelemetry,
                 f" — {compaction.get('compactions_committed', 0)} merges"
                 f" ({compaction.get('generations_merged', 0)} gens)"
                 + (f" — in flight: {in_flight}" if in_flight else ""))
+
+    # serving
+    if serve_stats is not None:
+        lines.append(rule)
+        served = _counter_rate(runtime, "serve.completed", recent_seconds)
+        shed = _counter_rate(runtime, "serve.shed", recent_seconds)
+        queue = serve_stats.get("queue", {})
+        cache = serve_stats.get("cache") or {}
+        total = served + shed
+        shed_pct = (shed / total) if total > 0 else 0.0
+        lines.append(
+            f"serve    {_format_rate(served):>10}  "
+            f"{_counter_sparkline(runtime, 'serve.completed', 24)}")
+        lines.append(
+            f"shed     {_format_rate(shed):>10}  "
+            f"{_counter_sparkline(runtime, 'serve.shed', 24)}"
+            f"  ({shed_pct:.1%} of offered)")
+        lines.append(
+            f"queue    depth {queue.get('depth', 0)}"
+            f" (fast {queue.get('fast_lane_depth', 0)}"
+            f" / normal {queue.get('normal_lane_depth', 0)})"
+            f" — est delay "
+            f"{queue.get('estimated_delay_ms', 0.0):.1f}ms"
+            f" — service "
+            f"{queue.get('service_time_ewma_ms', 0.0):.1f}ms ewma")
+        lines.append(
+            f"cache    hit rate {cache.get('hit_rate', 0.0):.1%}"
+            f" — {cache.get('entries', 0)}/{cache.get('capacity', 0)} entries"
+            f" — {cache.get('invalidated', 0)} invalidated"
+            f" — {cache.get('evicted', 0)} evicted")
+        latency = runtime.registry.find_histogram("serve.latency_seconds")
+        tail = ""
+        if isinstance(latency, TimeSeriesHistogram):
+            recent = latency.recent(recent_seconds)
+            tail = (f" — p95 {_format_ms(recent['p95'])}"
+                    f" (n={recent['count']:.0f})")
+        lines.append(
+            f"workers  {serve_stats.get('workers_busy', 0)}"
+            f"/{serve_stats.get('workers', 0)} busy"
+            f" — utilization {serve_stats.get('worker_utilization', 0.0):.1%}"
+            + tail)
 
     # health
     if health is not None:

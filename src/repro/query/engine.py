@@ -22,7 +22,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from ..core.model import Dataset, Post, TkLUSQuery
 from ..core.scoring import ScoringConfig
@@ -118,15 +118,22 @@ class TkLUSEngine:
 
     # -- search ----------------------------------------------------------
 
-    def search(self, query: TkLUSQuery, method: str = "max") -> QueryResult:
+    def search(self, query: TkLUSQuery, method: str = "max", *,
+               source: Any = None, cancel: Any = None) -> QueryResult:
         """Run a TkLUS query.
 
         ``method`` is ``"sum"`` (Algorithm 4) or ``"max"`` (Algorithm 5).
+        ``source`` substitutes the postings source for this execution
+        only — the serve layer passes a pinned
+        :class:`~repro.ingest.live.LiveSnapshot` so concurrent ingest
+        cannot shift the query's view mid-plan; ``cancel`` is a
+        cooperative cancellation token (``check()`` raising) honoured at
+        operator boundaries.
         """
         if method == "sum":
-            return self._sum.search(query)
+            return self._sum.search(query, source=source, cancel=cancel)
         if method == "max":
-            return self._max.search(query)
+            return self._max.search(query, source=source, cancel=cancel)
         raise ValueError(f"unknown ranking method {method!r} "
                          "(expected 'sum' or 'max')")
 

@@ -21,7 +21,7 @@ agree with the pruned run.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.model import TkLUSQuery
 from ..core.scoring import ScoringConfig
@@ -76,11 +76,16 @@ class MaxScoreProcessor:
             "max", query, pruning=self.use_pruning,
             kernels=self.config.resolved_kernels())
 
-    def search(self, query: TkLUSQuery) -> QueryResult:
-        recorder = ProfileRecorder(self.database, self.index, query, "max")
+    def search(self, query: TkLUSQuery, *, source: Any = None,
+               cancel: Any = None) -> QueryResult:
+        """``source`` overrides the postings source for this one query
+        (the serve layer passes a pinned ``LiveSnapshot``); ``cancel``
+        is a cooperative cancel token checked at operator boundaries."""
+        active = source if source is not None else self.index
+        recorder = ProfileRecorder(self.database, active, query, "max")
         ctx = QueryContext.for_database(
-            query, config=self.config, metric=self.metric, source=self.index,
+            query, config=self.config, metric=self.metric, source=active,
             database=self.database, threads=self.threads, bounds=self.bounds,
-            profile=recorder.profile)
+            profile=recorder.profile, cancel=cancel)
         return run_plan(self.plan_for(query), ctx, method="max",
                         recorder=recorder)

@@ -99,6 +99,11 @@ class QueryContext:
     track_thread_builds: bool = True
     #: active obs span scope (the enclosing ``query.search`` span).
     span: Any = None
+    #: cooperative cancellation: any object with a ``check()`` raising to
+    #: abort (the serve layer passes a ``repro.serve.CancelToken``); the
+    #: executor calls it at every operator boundary.  ``None`` = never
+    #: cancelled — the pipeline does not import the serve package.
+    cancel: Any = None
 
     # -- operator-to-operator state (in pipeline order) -------------------
     terms: List[str] = field(default_factory=list)
@@ -142,7 +147,8 @@ class QueryContext:
                      bounds: Optional["BoundsManager"] = None,
                      profile: Optional["QueryProfile"] = None,
                      stats: Optional[QueryStats] = None,
-                     lock: Any = None) -> "QueryContext":
+                     lock: Any = None,
+                     cancel: Any = None) -> "QueryContext":
         """A context whose metadata callables read the storage engine
         (heap file + B+-trees) — the Figure 3 deployment shape."""
 
@@ -170,7 +176,8 @@ class QueryContext:
                    user_locations=user_locations,
                    resolve_batch=resolve_batch,
                    user_location_columns=user_location_columns,
-                   max_sid=lambda: database.max_sid, lock=lock)
+                   max_sid=lambda: database.max_sid, lock=lock,
+                   cancel=cancel)
 
     @classmethod
     def for_dataset(cls, query: TkLUSQuery, *, config: ScoringConfig,
@@ -204,4 +211,5 @@ class QueryContext:
             user_location_columns=self.user_location_columns,
             distance_to=self.distance_to,
             max_sid=self.max_sid, lock=self.lock,
-            track_thread_builds=False, terms=list(self.terms), cells=cells)
+            track_thread_builds=False, cancel=self.cancel,
+            terms=list(self.terms), cells=cells)

@@ -11,6 +11,7 @@ implements.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -84,8 +85,19 @@ class PhysicalPlan:
     spec: Optional[PlanSpec] = field(default=None, compare=False)
 
     def execute(self, ctx: QueryContext) -> QueryContext:
-        for operator in self.operators:
-            operator.run(ctx)
+        cancel = ctx.cancel
+        if cancel is None:
+            for operator in self.operators:
+                operator.run(ctx)
+        else:
+            # Cooperative cancellation: a deadline or server-side cancel
+            # stops the query *between* operators — never inside one, so
+            # every operator either ran completely or not at all and a
+            # cancelled execution is a clean prefix of the full one.
+            for operator in self.operators:
+                cancel.check()
+                operator.run(ctx)
+            cancel.check()
         return ctx
 
     def operator_names(self) -> List[str]:
@@ -125,7 +137,8 @@ class Planner:
         self.use_cell_containment = use_cell_containment
         self.tighten_distance_bound = tighten_distance_bound
         self.max_workers = max_workers
-        self._plans: Dict[PlanSpec, PhysicalPlan] = {}
+        self._memo_lock = threading.Lock()
+        self._plans: Dict[PlanSpec, PhysicalPlan] = {}  # guarded-by: _memo_lock
 
     # -- public API --------------------------------------------------------
 
@@ -143,10 +156,20 @@ class Planner:
         spec = PlanSpec(method=method, semantics=semantics, pruning=pruning,
                         temporal=temporal, distributed=distributed, scan=scan,
                         kernels=kernels)
+        # Serve workers plan concurrently, so the memo is double-checked:
+        # the unlocked dict.get is GIL-atomic and hits for every spec
+        # after its first planning; losers of the build race discard
+        # their plan and return the published one, so a given spec always
+        # memoises exactly one PhysicalPlan object.
+        # repro-lint: disable=RL004,RL100 reason=double-checked locking; GIL-atomic dict.get fast path
         cached = self._plans.get(spec)
         if cached is None:
-            cached = self._build(spec)
-            self._plans[spec] = cached
+            built = self._build(spec)
+            with self._memo_lock:
+                cached = self._plans.get(spec)
+                if cached is None:
+                    cached = built
+                    self._plans[spec] = cached
         return cached
 
     def plan_for_query(self, method: str, query: TkLUSQuery, *,

@@ -20,7 +20,7 @@ thin shell that plans the query and binds it to the storage backends.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.model import TkLUSQuery
 from ..core.scoring import ScoringConfig
@@ -58,11 +58,16 @@ class SumScoreProcessor:
         return self._planner.plan_for_query(
             "sum", query, kernels=self.config.resolved_kernels())
 
-    def search(self, query: TkLUSQuery) -> QueryResult:
-        recorder = ProfileRecorder(self.database, self.index, query, "sum")
+    def search(self, query: TkLUSQuery, *, source: Any = None,
+               cancel: Any = None) -> QueryResult:
+        """``source`` overrides the postings source for this one query
+        (the serve layer passes a pinned ``LiveSnapshot``); ``cancel``
+        is a cooperative cancel token checked at operator boundaries."""
+        active = source if source is not None else self.index
+        recorder = ProfileRecorder(self.database, active, query, "sum")
         ctx = QueryContext.for_database(
-            query, config=self.config, metric=self.metric, source=self.index,
+            query, config=self.config, metric=self.metric, source=active,
             database=self.database, threads=self.threads,
-            profile=recorder.profile)
+            profile=recorder.profile, cancel=cancel)
         return run_plan(self.plan_for(query), ctx, method="sum",
                         recorder=recorder)

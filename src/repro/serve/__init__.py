@@ -1,0 +1,38 @@
+"""``repro.serve`` — concurrent query serving over the TkLUS engine.
+
+The subsystem that turns the paper's one-query-at-a-time engine into a
+request/response service: a worker pool executing against pinned
+:class:`~repro.ingest.live.LiveIndex` snapshots with per-query
+deadlines and cooperative cancellation, a bounded admission queue with
+load shedding and priority lanes, and a result cache keyed on
+``(PlanSpec, query, version token)`` whose hits are byte-identical to
+uncached execution.  See ``docs/SERVING.md``.
+"""
+
+from .admission import AdmissionConfig, AdmissionQueue
+from .cache import CacheKey, CachedResult, ResultCache, VersionToken
+from .deadline import (CancelToken, QueryCancelled, QueryTimeout, ServeError,
+                       ShedError)
+from .server import STATIC_TOKEN, QueryServer, ServeConfig, Ticket
+from .traffic import TrafficResult, run_closed_loop, run_open_loop
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "CacheKey",
+    "CachedResult",
+    "CancelToken",
+    "QueryCancelled",
+    "QueryServer",
+    "QueryTimeout",
+    "ResultCache",
+    "STATIC_TOKEN",
+    "ServeConfig",
+    "ServeError",
+    "ShedError",
+    "Ticket",
+    "TrafficResult",
+    "VersionToken",
+    "run_closed_loop",
+    "run_open_loop",
+]

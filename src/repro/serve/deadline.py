@@ -1,0 +1,94 @@
+"""Deadlines and cooperative cancellation for served queries.
+
+A served query carries a :class:`CancelToken`; the physical-plan
+executor calls :meth:`CancelToken.check` at every operator boundary
+(see :meth:`repro.query.pipeline.planner.PhysicalPlan.execute`), so a
+query that blows its deadline — or is cancelled by the server during
+shutdown — stops between operators instead of running to completion.
+Operators themselves stay oblivious: cancellation is purely a property
+of the execution shell, never of the relational logic, which is what
+keeps cancelled and uncancelled executions byte-identical up to the
+point of interruption.
+
+The token is deliberately tiny: one clock read per check on the hot
+path, no locks (the ``cancelled`` flag is a GIL-atomic bool write).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class QueryTimeout(ServeError):
+    """The query's deadline expired (in queue or mid-execution)."""
+
+
+class QueryCancelled(ServeError):
+    """The query was cancelled (server shutdown, client abandon)."""
+
+
+class ShedError(ServeError):
+    """Admission control rejected the query (overload backpressure).
+
+    ``retry_after_seconds`` is the server's estimate of when the queue
+    will have drained back under its delay budget — the value a real
+    front end would surface as ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
+class CancelToken:
+    """Deadline plus an explicit cancel flag, checked cooperatively.
+
+    ``deadline`` is an absolute clock value (``None`` = no deadline).
+    ``check()`` raises :class:`QueryTimeout` past the deadline and
+    :class:`QueryCancelled` once :meth:`cancel` was called; both
+    propagate out of the operator loop to the worker, which owns the
+    cleanup (snapshot pin release, ticket state).
+    """
+
+    __slots__ = ("deadline", "cancelled", "_clock")
+
+    def __init__(self, deadline: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.deadline = deadline
+        self.cancelled = False
+        self._clock = clock if clock is not None else time.monotonic
+
+    @classmethod
+    def after(cls, timeout_seconds: Optional[float],
+              clock: Optional[Callable[[], float]] = None) -> "CancelToken":
+        """A token expiring ``timeout_seconds`` from now (``None`` =
+        never)."""
+        resolved = clock if clock is not None else time.monotonic
+        deadline = (resolved() + timeout_seconds
+                    if timeout_seconds is not None else None)
+        return cls(deadline, clock)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def expired(self) -> bool:
+        return self.deadline is not None and self._clock() > self.deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` = unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self._clock()
+
+    def check(self) -> None:
+        """Raise if this execution should stop; called at operator
+        boundaries."""
+        if self.cancelled:
+            raise QueryCancelled("query cancelled")
+        if self.deadline is not None and self._clock() > self.deadline:
+            raise QueryTimeout("query deadline exceeded")

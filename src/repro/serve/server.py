@@ -1,0 +1,393 @@
+"""The serving front end: a worker pool over one TkLUS engine.
+
+``QueryServer`` turns the single-query engine plus ``LiveIndex``
+snapshots into a service:
+
+* **admission** — ``submit`` classifies the query into a priority lane
+  and offers it to the bounded :class:`~.admission.AdmissionQueue`,
+  which sheds under overload (the caller gets a
+  :class:`~.deadline.ShedError` immediately, never a queue slot it
+  cannot use);
+* **execution** — worker threads pop tickets and run them against a
+  *pinned* :class:`~repro.ingest.live.LiveSnapshot`, so concurrent
+  appends, flushes and compactions never shift a query's view
+  mid-plan; the pin is taken with ``with live.snapshot() as snap:`` so
+  it is released on every exit path — success, timeout, cancellation
+  or operator failure (the RL103 release-on-all-paths discipline);
+* **deadlines** — every ticket carries a
+  :class:`~.deadline.CancelToken`; a query that spent its deadline in
+  the queue fails without executing at all, and one that blows it
+  mid-execution stops at the next operator boundary;
+* **caching** — results are cached under ``(PlanSpec, query, version
+  token)``; the token (see
+  :meth:`~repro.ingest.live.LiveIndex.version_token`) changes with
+  every append and every flush, so a cached answer is returned only
+  while the database is *exactly* the version that produced it —
+  byte-identical to re-executing.
+
+Metrics flow through :mod:`repro.obs` under the ``serve.*`` prefix and
+feed the serve panel of ``repro top``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .. import obs
+from .admission import AdmissionConfig, AdmissionQueue
+from .cache import ResultCache, VersionToken
+from .deadline import CancelToken, QueryCancelled, QueryTimeout, ServeError
+
+#: Version token reported when serving a static (non-live) index; the
+#: index never changes, so one fixed token is exact.
+STATIC_TOKEN: VersionToken = (0, 0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Sizing and policy for one :class:`QueryServer`."""
+
+    workers: int = 4
+    #: per-query deadline when the caller does not set one (None = none)
+    default_timeout_seconds: Optional[float] = 5.0
+    cache_enabled: bool = True
+    cache_capacity: int = 1024
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    #: worker poll interval against the queue — bounds shutdown latency
+    poll_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.poll_seconds <= 0:
+            raise ValueError(f"poll_seconds must be > 0: {self.poll_seconds}")
+
+
+class Ticket:
+    """One submitted query: its cancel token, outcome and timings.
+
+    Created by :meth:`QueryServer.submit`; callers block on
+    :meth:`result` (or poll :attr:`outcome`).  All completion fields are
+    written by exactly one worker before the event is set, so readers
+    that saw the event need no lock.
+    """
+
+    __slots__ = ("query", "method", "cancel_token", "enqueued_at",
+                 "started_at", "finished_at", "cached", "users", "outcome",
+                 "error", "_done")
+
+    def __init__(self, query: Any, method: str, cancel_token: CancelToken,
+                 enqueued_at: float) -> None:
+        self.query = query
+        self.method = method
+        self.cancel_token = cancel_token
+        self.enqueued_at = enqueued_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.cached = False
+        self.users: Optional[List[Tuple[int, float]]] = None
+        self.outcome: Optional[str] = None  # ok|timeout|cancelled|error
+        self.error: Optional[BaseException] = None
+        self._done = threading.Event()
+
+    def cancel(self) -> None:
+        """Ask the server to abandon this query (cooperative: it stops
+        at the next operator boundary)."""
+        self.cancel_token.cancel()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None
+               ) -> List[Tuple[int, float]]:
+        """Block for the ranked users; re-raises the query's failure."""
+        if not self._done.wait(timeout):
+            raise QueryTimeout("timed out waiting for ticket completion")
+        if self.error is not None:
+            raise self.error
+        assert self.users is not None
+        return self.users
+
+    def latency_seconds(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.enqueued_at
+
+    # -- completion (worker side) -------------------------------------------
+
+    def _complete(self, users: List[Tuple[int, float]], cached: bool,
+                  now: float) -> None:
+        self.users = users
+        self.cached = cached
+        self.outcome = "ok"
+        self.finished_at = now
+        self._done.set()
+
+    def _fail(self, error: BaseException, outcome: str, now: float) -> None:
+        self.error = error
+        self.outcome = outcome
+        self.finished_at = now
+        self._done.set()
+
+
+class QueryServer:
+    """Concurrent query serving over one engine (optionally live)."""
+
+    def __init__(self, engine: Any, live: Optional[Any] = None,
+                 config: Optional[ServeConfig] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.engine = engine
+        # ``live`` is anything with version_token()/snapshot(); when
+        # absent we probe the engine's index (the ingest-service wiring
+        # hands a LiveIndex there) and otherwise serve the static index
+        # under one fixed token.
+        if live is None:
+            candidate = getattr(engine, "index", None)
+            if hasattr(candidate, "version_token"):
+                live = candidate
+        self.live = live
+        self.config = config if config is not None else ServeConfig()
+        self._clock = clock if clock is not None else time.monotonic
+        self.queue = AdmissionQueue(self.config.admission,
+                                    workers=self.config.workers,
+                                    clock=self._clock)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache_capacity)
+            if self.config.cache_enabled else None)
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._state_lock = threading.Lock()
+        self._started = False  # guarded-by: _state_lock
+        self._started_at: Optional[float] = None  # guarded-by: _state_lock
+        self._completed = 0  # guarded-by: _state_lock
+        self._timeouts = 0  # guarded-by: _state_lock
+        self._cancelled = 0  # guarded-by: _state_lock
+        self._errors = 0  # guarded-by: _state_lock
+        self._busy_seconds: Dict[int, float] = {}  # guarded-by: _state_lock
+        self._busy_now = 0  # guarded-by: _state_lock
+        self._last_token: Optional[VersionToken] = None  # guarded-by: _state_lock
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        with self._state_lock:
+            if self._started:
+                return self
+            self._started = True
+            self._started_at = self._clock()
+        for worker_id in range(self.config.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      args=(worker_id,),
+                                      name=f"serve-worker-{worker_id}",
+                                      daemon=True)
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut the pool down.  ``drain=True`` lets queued tickets
+        finish; ``drain=False`` fails them as cancelled."""
+        self.queue.close()
+        if not drain:
+            while True:
+                ticket = self.queue.take(timeout=0)
+                if ticket is None:
+                    break
+                ticket.cancel_token.cancel()
+                ticket._fail(QueryCancelled("server stopped"), "cancelled",
+                             self._clock())
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop()
+
+    # -- client API ---------------------------------------------------------
+
+    def submit(self, query: Any, method: str = "max",
+               timeout_seconds: Optional[float] = None) -> Ticket:
+        """Admit one query; returns its :class:`Ticket` or raises
+        :class:`~.deadline.ShedError` under overload."""
+        if timeout_seconds is None:
+            timeout_seconds = self.config.default_timeout_seconds
+        token = CancelToken.after(timeout_seconds, self._clock)
+        ticket = Ticket(query, method, token, self._clock())
+        fast = self.config.admission.is_fast(query)
+        try:
+            self.queue.offer(ticket, fast)
+        except ServeError:
+            obs.inc("serve.shed")
+            raise
+        obs.inc("serve.submitted")
+        obs.inc("serve.lane.fast" if fast else "serve.lane.normal")
+        obs.set_gauge("serve.queue_depth", self.queue.depth())
+        return ticket
+
+    def execute(self, query: Any, method: str = "max",
+                timeout_seconds: Optional[float] = None
+                ) -> List[Tuple[int, float]]:
+        """Synchronous convenience: submit and block for the ranking."""
+        return self.submit(query, method, timeout_seconds).result()
+
+    # -- worker -------------------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        # ``take`` hands each ticket to exactly one consumer, returns
+        # None on poll timeout and (immediately) once the queue is
+        # closed and drained; the stop flag is only checked on a None,
+        # so queued work always drains before a drain-mode shutdown.
+        poll = self.config.poll_seconds
+        while True:
+            ticket = self.queue.take(timeout=poll)
+            if ticket is None:
+                if self._stop.is_set():
+                    return
+                continue
+            self._run_ticket(ticket, worker_id)
+
+    def _run_ticket(self, ticket: Ticket, worker_id: int) -> None:
+        now = self._clock()
+        obs.observe("serve.queue_delay_seconds", now - ticket.enqueued_at)
+        obs.set_gauge("serve.queue_depth", self.queue.depth())
+        with self._state_lock:
+            self._busy_now += 1
+            busy = self._busy_now
+        obs.set_gauge("serve.workers_busy", busy)
+        ticket.started_at = now
+        try:
+            self._execute_ticket(ticket)
+        finally:
+            elapsed = self._clock() - now
+            self.queue.observe_service_time(elapsed)
+            with self._state_lock:
+                self._busy_now -= 1
+                busy = self._busy_now
+                self._busy_seconds[worker_id] = \
+                    self._busy_seconds.get(worker_id, 0.0) + elapsed
+            obs.set_gauge("serve.workers_busy", busy)
+
+    def _execute_ticket(self, ticket: Ticket) -> None:
+        token = ticket.cancel_token
+        try:
+            # A deadline spent entirely in the queue fails here, before
+            # any execution work (or snapshot pin) happens.
+            token.check()
+            users, cached = self._execute_query(ticket.query, ticket.method,
+                                                token)
+        except QueryTimeout as exc:
+            with self._state_lock:
+                self._timeouts += 1
+            obs.inc("serve.timeouts")
+            ticket._fail(exc, "timeout", self._clock())
+        except QueryCancelled as exc:
+            with self._state_lock:
+                self._cancelled += 1
+            obs.inc("serve.cancelled")
+            ticket._fail(exc, "cancelled", self._clock())
+        except Exception as exc:  # noqa: BLE001 - ticket carries the failure
+            with self._state_lock:
+                self._errors += 1
+            obs.inc("serve.errors")
+            ticket._fail(exc, "error", self._clock())
+        else:
+            with self._state_lock:
+                self._completed += 1
+            obs.inc("serve.completed")
+            obs.inc("serve.cache.hits" if cached else "serve.cache.misses")
+            finished = self._clock()
+            obs.observe("serve.latency_seconds", finished - ticket.enqueued_at)
+            ticket._complete(users, cached, finished)
+
+    def _plan_spec(self, query: Any, method: str) -> Any:
+        processor = self.engine.processor(method)
+        return processor.plan_for(query).spec
+
+    def _execute_query(self, query: Any, method: str, token: CancelToken
+                       ) -> Tuple[List[Tuple[int, float]], bool]:
+        """Cache-or-execute; returns ``(users, was_cache_hit)``."""
+        if self.live is None:
+            # Static index: one fixed version, cache always valid.
+            if self.cache is not None:
+                spec = self._plan_spec(query, method)
+                hit = self.cache.lookup(spec, query, STATIC_TOKEN)
+                if hit is not None:
+                    return hit, True
+                result = self.engine.search(query, method, cancel=token)
+                self.cache.store(spec, query, STATIC_TOKEN, result.users)
+                return result.users, False
+            return self.engine.search(query, method, cancel=token).users, False
+
+        spec = None
+        if self.cache is not None:
+            spec = self._plan_spec(query, method)
+            current = self.live.version_token()
+            hit = self.cache.lookup(spec, query, current)
+            if hit is not None:
+                return hit, True
+            self._maybe_purge(current)
+        # Miss (or cache off): execute against a pinned snapshot.  The
+        # ``with`` guarantees the generation-set pin is released on every
+        # exit path — timeout and cancellation included.
+        with self.live.snapshot() as snap:
+            result = self.engine.search(query, method, source=snap,
+                                        cancel=token)
+            if self.cache is not None and spec is not None:
+                # Keyed on the *snapshot's* token, not the pre-lookup
+                # one: the result is exact for the version the snapshot
+                # actually captured, even if ingest landed in between.
+                self.cache.store(spec, query, snap.version_token,
+                                 result.users)
+        return result.users, False
+
+    def _maybe_purge(self, current: VersionToken) -> None:
+        """Reclaim superseded cache entries when the token moves.
+
+        Correctness never depends on this — a stale token can never be
+        looked up again — so the purge is opportunistic, amortised to
+        token transitions."""
+        with self._state_lock:
+            changed = self._last_token != current
+            self._last_token = current
+        if changed and self.cache is not None:
+            dropped = self.cache.purge_stale(current)
+            if dropped:
+                obs.inc("serve.cache.purged", dropped)
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._state_lock:
+            uptime = (self._clock() - self._started_at
+                      if self._started_at is not None else 0.0)
+            busy_total = sum(self._busy_seconds.values())
+            completed = self._completed
+            counts = {
+                "completed": completed,
+                "timeouts": self._timeouts,
+                "cancelled": self._cancelled,
+                "errors": self._errors,
+                "workers_busy": self._busy_now,
+            }
+        capacity_seconds = uptime * self.config.workers
+        payload: Dict[str, Any] = {
+            "workers": self.config.workers,
+            "uptime_seconds": uptime,
+            "throughput_qps": (completed / uptime) if uptime > 0 else 0.0,
+            "worker_utilization": (busy_total / capacity_seconds
+                                   if capacity_seconds > 0 else 0.0),
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }
+        payload.update(counts)
+        return payload

@@ -58,11 +58,28 @@ def make_matrix_payload(speedup=4.5, batched_mean_ms=5.0, identical=True):
     }
 
 
+def make_serve_payload(peak_qps=450.0, p99_on_ms=120.0, hit_rate=0.4,
+                       tail_bounded=True, identical=True):
+    return {
+        "scaling": {"peak_qps": peak_qps, "peak_workers": 4},
+        "overload": {
+            "shed_tail_bounded": tail_bounded,
+            "shedding_on": {"latency_ms": {"p99": p99_on_ms}},
+            "shedding_off": {"latency_ms": {"p99": p99_on_ms * 8}},
+        },
+        "mixed": {"cache_hit_rate": hit_rate},
+        "cache_identity": {"identical": identical, "checks": 8,
+                           "hits_observed": 8},
+        "cached_results_identical": identical,
+    }
+
+
 class TestExtractHeadlines:
     def test_full_extraction(self):
         current = extract_headlines(make_query_payload(),
                                     make_ingest_payload(),
-                                    make_matrix_payload())
+                                    make_matrix_payload(),
+                                    make_serve_payload())
         assert current["query.fig8_single.results_identical"]["value"] is True
         assert current["query.telemetry.overhead_ratio"]["value"] == 1.01
         assert current["ingest.appends_per_second"]["value"] == 5000.0
@@ -70,6 +87,11 @@ class TestExtractHeadlines:
         assert current["matrix.results_identical"]["value"] is True
         assert current["matrix.largest.speedup"]["value"] == 4.5
         assert current["matrix.largest.batched_mean_ms"]["value"] == 5.0
+        assert current["serve.cached_results_identical"]["value"] is True
+        assert current["serve.scaling.peak_qps"]["value"] == 450.0
+        assert current["serve.overload.shed_tail_bounded"]["value"] is True
+        assert current["serve.overload.p99_on_ms"]["value"] == 120.0
+        assert current["serve.mixed.cache_hit_rate"]["value"] == 0.4
         # Every headline carries its comparison rules.
         for entry in current.values():
             assert entry["direction"] in ("higher", "lower", "exact")
@@ -80,6 +102,7 @@ class TestExtractHeadlines:
         assert "query.telemetry.overhead_ratio" in current
         assert not any(key.startswith("ingest.") for key in current)
         assert not any(key.startswith("matrix.") for key in current)
+        assert not any(key.startswith("serve.") for key in current)
 
     def test_malformed_payload_skips_headline(self):
         payload = make_query_payload()
@@ -151,7 +174,32 @@ class TestCheckContract:
     def test_must_be_true_covers_committed_keys(self):
         assert set(MUST_BE_TRUE) <= set(
             extract_headlines(make_query_payload(), make_ingest_payload(),
-                              make_matrix_payload()))
+                              make_matrix_payload(), make_serve_payload()))
+
+    def test_serve_cache_identity_fails_absolutely(self):
+        # A baseline recorded with a broken cache cannot launder a
+        # cached-result mismatch past the contract.
+        bad = make_serve_payload(identical=False)
+        baseline = build_baseline(None, None, None, bad)
+        current = extract_headlines(None, None, None, bad)
+        problems = check_contract(current, baseline)
+        assert problems == ["serve.cached_results_identical must be true, "
+                            "got False"]
+
+    def test_serve_qps_regression_fails(self):
+        baseline = build_baseline(None, None, None, make_serve_payload())
+        current = extract_headlines(None, None, None,
+                                    make_serve_payload(peak_qps=200.0))
+        problems = check_contract(current, baseline)
+        assert any("serve.scaling.peak_qps" in p for p in problems)
+
+    def test_serve_tail_bound_is_exact(self):
+        baseline = build_baseline(None, None, None, make_serve_payload())
+        current = extract_headlines(
+            None, None, None, make_serve_payload(tail_bounded=False))
+        problems = check_contract(current, baseline)
+        assert any("serve.overload.shed_tail_bounded" in p
+                   for p in problems)
 
     def test_matrix_parity_fails_absolutely(self):
         current = extract_headlines(None, None,
@@ -179,7 +227,8 @@ class TestCheckContract:
     def test_must_be_at_least_keys_are_headlines(self):
         extracted = extract_headlines(make_query_payload(),
                                       make_ingest_payload(),
-                                      make_matrix_payload())
+                                      make_matrix_payload(),
+                                      make_serve_payload())
         assert set(MUST_BE_AT_LEAST) <= set(extracted)
 
 
@@ -229,10 +278,14 @@ class TestCommittedArtifacts:
             ingest_payload = json.load(handle)
         with open("BENCH_matrix.json", encoding="utf-8") as handle:
             matrix_payload = json.load(handle)
+        with open("BENCH_serve.json", encoding="utf-8") as handle:
+            serve_payload = json.load(handle)
         baseline = load_baseline("benchmarks/baselines/perf_contract.json")
         current = extract_headlines(query_payload, ingest_payload,
-                                    matrix_payload)
+                                    matrix_payload, serve_payload)
         assert check_contract(current, baseline) == []
         assert current["query.telemetry.within_budget"]["value"] is True
         assert current["matrix.results_identical"]["value"] is True
         assert current["matrix.largest.speedup"]["value"] >= 2.0
+        assert current["serve.cached_results_identical"]["value"] is True
+        assert current["serve.overload.shed_tail_bounded"]["value"] is True

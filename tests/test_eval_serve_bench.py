@@ -1,0 +1,112 @@
+"""Tests for the serve bench harness, validator and renderer."""
+
+import copy
+import json
+
+import pytest
+
+from repro.eval.serve_bench import (
+    ServeBenchConfig,
+    render_serve_summary,
+    run_serve_bench,
+    validate_serve_bench_report,
+    write_serve_report,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_payload(tmp_path_factory):
+    """One tiny end-to-end bench run shared by the module's tests."""
+    directory = tmp_path_factory.mktemp("serve-bench")
+    config = ServeBenchConfig.smoke()
+    return run_serve_bench(str(directory / "svc"), config)
+
+
+class TestSmokeRun:
+    def test_passes_its_own_validator(self, smoke_payload):
+        assert validate_serve_bench_report(smoke_payload) == []
+
+    def test_scaling_covers_four_worker_counts(self, smoke_payload):
+        runs = smoke_payload["scaling"]["runs"]
+        assert len(runs) >= 4
+        assert len({run["workers"] for run in runs}) >= 4
+        for run in runs:
+            assert run["completed"] > 0
+            assert run["throughput_qps"] > 0
+
+    def test_overload_records_both_shedding_arms(self, smoke_payload):
+        overload = smoke_payload["overload"]
+        assert overload["shedding_on"]["shed"] > 0
+        assert overload["shedding_off"]["shed"] == 0
+        assert overload["shed_tail_bounded"] in (True, False)
+
+    def test_cache_identity_observed_real_hits(self, smoke_payload):
+        identity = smoke_payload["cache_identity"]
+        assert identity["checks"] > 0
+        assert identity["hits_observed"] > 0
+        assert identity["identical"] is True
+        assert identity["mismatches"] == []
+        assert smoke_payload["cached_results_identical"] is True
+
+    def test_render_mentions_every_phase(self, smoke_payload):
+        text = render_serve_summary(smoke_payload)
+        assert "scaling" in text
+        assert "overload" in text
+        assert "cache identity" in text
+
+    def test_write_report_round_trips(self, smoke_payload, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        write_serve_report(smoke_payload, str(path))
+        loaded = json.loads(path.read_text())
+        assert validate_serve_bench_report(loaded) == []
+        assert loaded["cached_results_identical"] is True
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_serve_bench_report([]) != []
+
+    def test_rejects_wrong_schema_version(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["schema_version"] = 999
+        assert any("schema_version" in p
+                   for p in validate_serve_bench_report(payload))
+
+    def test_rejects_too_few_scaling_runs(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["scaling"]["runs"] = payload["scaling"]["runs"][:2]
+        assert any("worker" in p.lower()
+                   for p in validate_serve_bench_report(payload))
+
+    def test_rejects_missing_latency_quantile(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        del payload["overload"]["shedding_on"]["latency_ms"]["p999"]
+        assert any("p999" in p for p in validate_serve_bench_report(payload))
+
+    def test_rejects_failed_cache_identity(self, smoke_payload):
+        payload = copy.deepcopy(smoke_payload)
+        payload["cache_identity"]["identical"] = False
+        payload["cached_results_identical"] = False
+        assert validate_serve_bench_report(payload) != []
+
+    def test_rejects_identity_without_hits(self, smoke_payload):
+        # "identical" proves nothing if the cache never actually hit.
+        payload = copy.deepcopy(smoke_payload)
+        payload["cache_identity"]["hits_observed"] = 0
+        assert any("hits" in p for p in validate_serve_bench_report(payload))
+
+
+class TestCommittedReport:
+    def test_committed_report_is_valid(self):
+        with open("BENCH_serve.json", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert validate_serve_bench_report(payload) == []
+        assert payload["cached_results_identical"] is True
+        runs = payload["scaling"]["runs"]
+        assert len({run["workers"] for run in runs}) >= 4
+        # The committed overload arm shows shedding bounding the tail.
+        overload = payload["overload"]
+        assert overload["shed_tail_bounded"] is True
+        on = overload["shedding_on"]["latency_ms"]["p99"]
+        off = overload["shedding_off"]["latency_ms"]["p99"]
+        assert on <= off

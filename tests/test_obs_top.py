@@ -64,7 +64,44 @@ class TestRenderTop:
         frame = render_top(self._populated_runtime())
         assert "health" not in frame
         assert "memtable" not in frame
+        assert "serve" not in frame
         assert "SLO" in frame
+
+    def test_serve_panel(self):
+        runtime = self._populated_runtime()
+        runtime.registry.counter("serve.completed").inc(30)
+        runtime.registry.counter("serve.shed").inc(10)
+        for value in (0.004, 0.011):
+            runtime.registry.histogram("serve.latency_seconds").observe(value)
+        serve_stats = {
+            "workers": 4,
+            "workers_busy": 2,
+            "worker_utilization": 0.625,
+            "queue": {"depth": 3, "fast_lane_depth": 1,
+                      "normal_lane_depth": 2,
+                      "estimated_delay_ms": 12.5,
+                      "service_time_ewma_ms": 4.2},
+            "cache": {"hit_rate": 0.4, "entries": 8, "capacity": 1024,
+                      "invalidated": 5, "evicted": 0},
+        }
+        frame = render_top(runtime, serve_stats=serve_stats, width=100)
+        assert "serve" in frame
+        assert "25.0% of offered" in frame
+        assert "depth 3 (fast 1 / normal 2)" in frame
+        assert "hit rate 40.0%" in frame
+        assert "8/1024 entries" in frame
+        assert "5 invalidated" in frame
+        assert "2/4 busy" in frame
+        assert "utilization 62.5%" in frame
+
+    def test_serve_panel_without_cache(self):
+        # cache=None (serving with the cache disabled) must not crash.
+        serve_stats = {"workers": 1, "workers_busy": 0,
+                       "worker_utilization": 0.0, "queue": {},
+                       "cache": None}
+        frame = render_top(self._populated_runtime(),
+                           serve_stats=serve_stats)
+        assert "hit rate 0.0%" in frame
 
     def test_width_truncates_every_line(self):
         frame = render_top(self._populated_runtime(), width=40)

@@ -1,0 +1,134 @@
+"""Unit tests for the serving layer's cache and deadline primitives."""
+
+import pytest
+
+from repro.serve import (
+    CancelToken,
+    QueryCancelled,
+    QueryTimeout,
+    ResultCache,
+    ShedError,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCancelToken:
+    def test_no_deadline_never_expires(self):
+        token = CancelToken.after(None, FakeClock())
+        assert not token.expired()
+        assert token.remaining() is None
+        token.check()   # no raise
+
+    def test_deadline_expiry_raises_timeout(self):
+        clock = FakeClock()
+        token = CancelToken.after(2.0, clock)
+        token.check()
+        assert token.remaining() == pytest.approx(2.0)
+        clock.advance(2.5)
+        assert token.expired()
+        with pytest.raises(QueryTimeout):
+            token.check()
+
+    def test_cancel_wins_over_deadline(self):
+        clock = FakeClock()
+        token = CancelToken.after(2.0, clock)
+        clock.advance(5.0)
+        token.cancel()
+        # Cancellation is reported even though the deadline also passed.
+        with pytest.raises(QueryCancelled):
+            token.check()
+
+    def test_cancel_without_deadline(self):
+        token = CancelToken.after(None, FakeClock())
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            token.check()
+
+
+class TestShedError:
+    def test_carries_retry_after(self):
+        error = ShedError("queue full", retry_after_seconds=1.5)
+        assert error.retry_after_seconds == 1.5
+        assert "queue full" in str(error)
+
+
+SPEC_A = ("max", "or")
+SPEC_B = ("sum", "or")
+Q1 = "q1"
+Q2 = "q2"
+TOKEN_1 = (10, 1)
+TOKEN_2 = (0, 2)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.lookup(SPEC_A, Q1, TOKEN_1) is None
+        cache.store(SPEC_A, Q1, TOKEN_1, [(1, 0.5)])
+        assert cache.lookup(SPEC_A, Q1, TOKEN_1) == [(1, 0.5)]
+
+    def test_key_is_the_full_triple(self):
+        cache = ResultCache()
+        cache.store(SPEC_A, Q1, TOKEN_1, [(1, 0.5)])
+        assert cache.lookup(SPEC_B, Q1, TOKEN_1) is None
+        assert cache.lookup(SPEC_A, Q2, TOKEN_1) is None
+        assert cache.lookup(SPEC_A, Q1, TOKEN_2) is None
+
+    def test_stale_token_never_hits(self):
+        # The invalidation guarantee: a lookup at the current token can
+        # never see an entry stored under a superseded one.
+        cache = ResultCache()
+        cache.store(SPEC_A, Q1, TOKEN_1, [(1, 0.5)])
+        assert cache.lookup(SPEC_A, Q1, TOKEN_2) is None
+
+    def test_purge_stale_drops_superseded_entries(self):
+        cache = ResultCache()
+        cache.store(SPEC_A, Q1, TOKEN_1, [(1, 0.5)])
+        cache.store(SPEC_A, Q2, TOKEN_2, [(2, 0.4)])
+        dropped = cache.purge_stale(TOKEN_2)
+        assert dropped == 1
+        assert len(cache) == 1
+        assert cache.lookup(SPEC_A, Q2, TOKEN_2) == [(2, 0.4)]
+        assert cache.stats()["invalidated"] == 1
+
+    def test_lru_eviction_at_capacity(self):
+        cache = ResultCache(capacity=2)
+        cache.store(SPEC_A, "a", TOKEN_1, [(1, 1.0)])
+        cache.store(SPEC_A, "b", TOKEN_1, [(2, 1.0)])
+        # Touch "a" so "b" is the LRU victim.
+        assert cache.lookup(SPEC_A, "a", TOKEN_1) is not None
+        cache.store(SPEC_A, "c", TOKEN_1, [(3, 1.0)])
+        assert cache.lookup(SPEC_A, "b", TOKEN_1) is None
+        assert cache.lookup(SPEC_A, "a", TOKEN_1) is not None
+        assert cache.stats()["evicted"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_clear_counts_as_invalidation(self):
+        cache = ResultCache()
+        cache.store(SPEC_A, Q1, TOKEN_1, [(1, 0.5)])
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["invalidated"] == 1
+
+    def test_stats_hit_rate(self):
+        cache = ResultCache()
+        cache.store(SPEC_A, Q1, TOKEN_1, [(1, 0.5)])
+        cache.lookup(SPEC_A, Q1, TOKEN_1)
+        cache.lookup(SPEC_A, Q2, TOKEN_1)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,91 @@
+"""Property test: the result cache can never serve a stale answer.
+
+For *any* interleaving of ingest appends and served (cached) queries,
+every answer the server returns must be identical to a fresh, uncached
+execution of the same query at the same watermark.  The property holds
+because the cache key embeds the ``(watermark, generation epoch)``
+version token, which moves on every append and every flush — hypothesis
+explores interleavings (including flush boundaries, where the watermark
+itself regresses and only the epoch distinguishes states).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.core.model import Semantics  # noqa: E402
+from repro.data.generator import generate_corpus  # noqa: E402
+from repro.data.queries import QueryWorkload  # noqa: E402
+from repro.ingest import IngestConfig, IngestService  # noqa: E402
+from repro.serve import QueryServer, ServeConfig  # noqa: E402
+
+NUM_QUERIES = 4
+PRELOAD = 80
+#: small enough that append bursts regularly cross flush boundaries
+FLUSH_POSTS = 25
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_users=40, num_root_tweets=200, seed=19)
+
+
+@pytest.fixture(scope="module")
+def query_pool(corpus):
+    workload = QueryWorkload(corpus, seed=5)
+    return workload.make_queries(1, 30.0, k=5, semantics=Semantics.OR,
+                                 limit=NUM_QUERIES)
+
+
+#: an operation is either an append burst (size 1-12) or a query index
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(min_value=1, max_value=12)),
+        st.tuples(st.just("query"), st.integers(min_value=0,
+                                                max_value=NUM_QUERIES - 1)),
+    ),
+    min_size=1, max_size=12)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=operations)
+def test_cached_results_match_fresh_execution(tmp_path_factory, corpus,
+                                              query_pool, ops):
+    directory = tmp_path_factory.mktemp("serve-prop")
+    service = IngestService(
+        str(directory / "svc"),
+        ingest_config=IngestConfig(flush_posts=FLUSH_POSTS))
+    posts = iter(corpus.posts)
+    for _ in range(PRELOAD):
+        service.append(next(posts))
+    service.flush()
+    engine = service.build_query_engine()
+    try:
+        with QueryServer(engine, live=service.live,
+                         config=ServeConfig(workers=2)) as server:
+            hits = 0
+            for kind, value in ops:
+                if kind == "append":
+                    for _ in range(value):
+                        post = next(posts, None)
+                        if post is None:
+                            break
+                        service.append(post)
+                else:
+                    query = query_pool[value]
+                    ticket = server.submit(query)
+                    served = ticket.result(60.0)
+                    hits += ticket.cached
+                    # Fresh uncached execution at the same watermark —
+                    # no appends run between the served result and this
+                    # check, so any difference is a stale cache entry.
+                    fresh = engine.search(query, "max").users
+                    assert served == fresh
+            stats = server.stats()["cache"]
+            assert stats["hits"] == hits
+    finally:
+        service.close()

@@ -1,0 +1,188 @@
+"""Concurrency regressions for the serving layer.
+
+Two satellite guarantees of the serve work:
+
+* the planner memo is safe under concurrent planning (double-checked
+  locking: racing builders may each build, but exactly one plan object
+  is ever published per spec);
+* the snapshot pin is released on *every* execution exit path —
+  success, queue-spent timeout, mid-plan cancellation, operator error —
+  so compaction reclamation can never be blocked by a dead query
+  (the RL103 discipline, asserted via ``pin_count``).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.data.generator import generate_corpus
+from repro.data.queries import QueryWorkload
+from repro.ingest import IngestConfig, IngestService
+from repro.query.engine import TkLUSEngine
+from repro.serve import (AdmissionConfig, QueryCancelled, QueryServer,
+                         ServeConfig)
+
+JOIN_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_users=60, num_root_tweets=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    workload = QueryWorkload(corpus, seed=3)
+    return workload.make_queries(2, 20.0, k=5, semantics=Semantics.OR,
+                                 limit=8)
+
+
+class TestPlannerMemoThreadSafety:
+    def test_concurrent_planning_publishes_one_plan_per_spec(self, corpus,
+                                                             queries):
+        engine = TkLUSEngine.from_posts(corpus.posts)
+        threads, rounds = 8, 50
+        barrier = threading.Barrier(threads)
+        seen = {}          # spec -> set of plan object ids
+        lock = threading.Lock()
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for round_index in range(rounds):
+                    for method in ("max", "sum"):
+                        query = queries[round_index % len(queries)]
+                        plan = engine.processor(method).plan_for(query)
+                        with lock:
+                            seen.setdefault(plan.spec, set()).add(id(plan))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        pool = [threading.Thread(target=hammer) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(JOIN_TIMEOUT)
+        assert not any(thread.is_alive() for thread in pool)
+        assert errors == []
+        assert seen
+        # Exactly one published plan object per memo key: losers of the
+        # build race must return the winner, never their own build.
+        for spec, identities in seen.items():
+            assert len(identities) == 1, spec
+
+
+class _TrippingToken:
+    """Duck-typed cancel token that trips after N operator boundaries —
+    deterministic mid-plan cancellation."""
+
+    def __init__(self, after_checks):
+        self.after_checks = after_checks
+        self.checks = 0
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+    def check(self):
+        self.checks += 1
+        if self.cancelled or self.checks > self.after_checks:
+            raise QueryCancelled("tripped mid-plan")
+
+
+class TestSnapshotPinRelease:
+    @pytest.fixture()
+    def live_setup(self, corpus, tmp_path):
+        service = IngestService(
+            str(tmp_path / "svc"),
+            ingest_config=IngestConfig(flush_posts=100))
+        for post in corpus.posts[:200]:
+            service.append(post)
+        service.flush()
+        engine = service.build_query_engine()
+        yield service, engine
+        service.close()
+
+    def _pin_count(self, service):
+        return service.live.generations.pin_count()
+
+    def test_success_path_releases_pin(self, live_setup, queries):
+        service, engine = live_setup
+        config = ServeConfig(workers=1, cache_enabled=False)
+        with QueryServer(engine, live=service.live, config=config) as server:
+            for query in queries:
+                server.execute(query)
+        assert self._pin_count(service) == 0
+
+    def test_mid_plan_cancellation_releases_pin(self, live_setup, queries):
+        service, engine = live_setup
+        server = QueryServer(engine, live=service.live,
+                             config=ServeConfig(workers=1))
+        for after_checks in range(0, 4):
+            token = _TrippingToken(after_checks)
+            with pytest.raises(QueryCancelled):
+                server._execute_query(queries[0], "max", token)
+            assert self._pin_count(service) == 0
+        # The aborted execution must not have poisoned the cache: a
+        # served result after cancellations equals a fresh execution.
+        with server:
+            served = server.execute(queries[0])
+        assert served == engine.search(queries[0], "max").users
+
+    def test_mixed_outcomes_under_load_release_all_pins(self, live_setup,
+                                                        queries):
+        service, engine = live_setup
+        config = ServeConfig(
+            workers=4,
+            admission=AdmissionConfig(max_queue_depth=256))
+        with QueryServer(engine, live=service.live, config=config) as server:
+            tickets = []
+            for round_index in range(10):
+                for index, query in enumerate(queries):
+                    # Mix queue-spent deadlines (guaranteed timeout)
+                    # with unbounded tickets; cancel a third of them.
+                    timeout = -1.0 if (round_index + index) % 3 == 0 else None
+                    ticket = server.submit(query, timeout_seconds=timeout)
+                    if index % 3 == 2:
+                        ticket.cancel()
+                    tickets.append(ticket)
+            for ticket in tickets:
+                assert ticket.wait(JOIN_TIMEOUT)
+        outcomes = {ticket.outcome for ticket in tickets}
+        assert "ok" in outcomes
+        assert "timeout" in outcomes
+        assert self._pin_count(service) == 0
+
+    def test_pins_released_under_concurrent_ingest(self, live_setup,
+                                                   corpus, queries):
+        service, engine = live_setup
+        stop = threading.Event()
+        errors = []
+
+        def ingester():
+            try:
+                index = 200
+                posts = corpus.posts
+                while not stop.is_set() and index < len(posts):
+                    service.append(posts[index])
+                    index += 1
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=ingester)
+        thread.start()
+        try:
+            with QueryServer(engine, live=service.live,
+                             config=ServeConfig(workers=4)) as server:
+                for _ in range(5):
+                    for query in queries:
+                        served = server.execute(query)
+                        assert isinstance(served, list)
+        finally:
+            stop.set()
+            thread.join(JOIN_TIMEOUT)
+        assert not thread.is_alive()
+        assert errors == []
+        assert self._pin_count(service) == 0

@@ -1,0 +1,215 @@
+"""End-to-end tests for :class:`repro.serve.server.QueryServer`."""
+
+import threading
+
+import pytest
+
+from repro.core.model import Semantics
+from repro.data.generator import generate_corpus
+from repro.data.queries import QueryWorkload
+from repro.ingest import IngestConfig, IngestService
+from repro.query.engine import TkLUSEngine
+from repro.serve import (
+    AdmissionConfig,
+    QueryServer,
+    QueryTimeout,
+    ServeConfig,
+    ShedError,
+)
+
+JOIN_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(num_users=60, num_root_tweets=300, seed=7)
+
+
+@pytest.fixture(scope="module")
+def engine(corpus):
+    return TkLUSEngine.from_posts(corpus.posts)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    workload = QueryWorkload(corpus, seed=3)
+    return workload.make_queries(2, 20.0, k=5, semantics=Semantics.OR,
+                                 limit=8)
+
+
+class TestStaticServing:
+    def test_execute_matches_direct_engine(self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=2)) as server:
+            for query in queries:
+                served = server.execute(query)
+                direct = engine.search(query, "max").users
+                assert served == direct
+
+    def test_sum_method(self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=1)) as server:
+            query = queries[0]
+            assert server.execute(query, "sum") == \
+                engine.search(query, "sum").users
+
+    def test_cache_hit_on_repeat(self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=1)) as server:
+            query = queries[0]
+            first = server.submit(query)
+            first.wait(JOIN_TIMEOUT)
+            second = server.submit(query)
+            second.wait(JOIN_TIMEOUT)
+            assert not first.cached
+            assert second.cached
+            assert second.users == first.users
+            assert server.stats()["cache"]["hits"] == 1
+
+    def test_cache_disabled(self, engine, queries):
+        config = ServeConfig(workers=1, cache_enabled=False)
+        with QueryServer(engine, config=config) as server:
+            query = queries[0]
+            server.execute(query)
+            ticket = server.submit(query)
+            ticket.wait(JOIN_TIMEOUT)
+            assert not ticket.cached
+            assert server.stats()["cache"] is None
+
+    def test_queue_spent_deadline_times_out_without_executing(
+            self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=1)) as server:
+            # A deadline already in the past must fail as a timeout at
+            # the worker, before any execution or snapshot pin.
+            ticket = server.submit(queries[0], timeout_seconds=-1.0)
+            ticket.wait(JOIN_TIMEOUT)
+            assert ticket.outcome == "timeout"
+            with pytest.raises(QueryTimeout):
+                ticket.result(JOIN_TIMEOUT)
+            assert server.stats()["timeouts"] == 1
+
+    def test_cancelled_before_pickup(self, engine, queries):
+        server = QueryServer(engine, config=ServeConfig(workers=1))
+        ticket = server.submit(queries[0])   # workers not started yet
+        ticket.cancel()
+        with server:
+            ticket.wait(JOIN_TIMEOUT)
+        assert ticket.outcome == "cancelled"
+        assert server.stats()["cancelled"] == 1
+
+    def test_shed_when_queue_full(self, engine, queries):
+        config = ServeConfig(
+            workers=1,
+            admission=AdmissionConfig(max_queue_depth=2))
+        server = QueryServer(engine, config=config)   # never started
+        server.submit(queries[0])
+        server.submit(queries[1])
+        with pytest.raises(ShedError):
+            server.submit(queries[2])
+
+    def test_error_ticket_carries_exception(self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=1)) as server:
+            ticket = server.submit(queries[0], method="nope")
+            ticket.wait(JOIN_TIMEOUT)
+            assert ticket.outcome == "error"
+            with pytest.raises(Exception):
+                ticket.result(JOIN_TIMEOUT)
+            assert server.stats()["errors"] == 1
+
+    def test_stop_drains_queued_work(self, engine, queries):
+        server = QueryServer(engine, config=ServeConfig(workers=2))
+        tickets = [server.submit(query) for query in queries]
+        with server:
+            pass   # __exit__ stops with drain=True
+        assert all(ticket.done() for ticket in tickets)
+        assert all(ticket.outcome == "ok" for ticket in tickets)
+
+    def test_stop_without_drain_cancels_queued_work(self, engine, queries):
+        server = QueryServer(engine, config=ServeConfig(workers=1))
+        tickets = [server.submit(query) for query in queries]
+        server.stop(drain=False)
+        assert all(ticket.done() for ticket in tickets)
+        assert all(ticket.outcome == "cancelled" for ticket in tickets)
+
+    def test_stats_shape(self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=2)) as server:
+            server.execute(queries[0])
+            stats = server.stats()
+        assert stats["workers"] == 2
+        assert stats["completed"] == 1
+        assert stats["uptime_seconds"] > 0
+        assert 0.0 <= stats["worker_utilization"] <= 1.0
+        assert set(stats["queue"]) >= {"depth", "offered", "shed"}
+        assert set(stats["cache"]) >= {"hits", "misses", "hit_rate"}
+
+    def test_concurrent_clients(self, engine, queries):
+        with QueryServer(engine, config=ServeConfig(workers=4)) as server:
+            expected = {id(q): engine.search(q, "max").users
+                        for q in queries}
+            errors = []
+
+            def client():
+                try:
+                    for query in queries:
+                        assert server.execute(query) == expected[id(query)]
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(JOIN_TIMEOUT)
+            assert not any(thread.is_alive() for thread in threads)
+            assert errors == []
+
+
+class TestLiveServing:
+    def test_ingest_invalidates_cache(self, corpus, tmp_path):
+        posts = corpus.posts
+        service = IngestService(
+            str(tmp_path / "svc"),
+            ingest_config=IngestConfig(flush_posts=100))
+        for post in posts[:200]:
+            service.append(post)
+        service.flush()
+        engine = service.build_query_engine()
+        workload = QueryWorkload(corpus, seed=3)
+        query = workload.make_queries(1, 30.0, k=5,
+                                      semantics=Semantics.OR, limit=1)[0]
+        with QueryServer(engine, live=service.live,
+                         config=ServeConfig(workers=1)) as server:
+            server.execute(query)
+            hit = server.submit(query)
+            hit.wait(JOIN_TIMEOUT)
+            assert hit.cached
+            token_before = service.live.version_token()
+            for post in posts[200:220]:
+                service.append(post)
+            assert service.live.version_token() != token_before
+            miss = server.submit(query)
+            miss.wait(JOIN_TIMEOUT)
+            assert not miss.cached
+            # Served result equals a fresh uncached execution now.
+            assert miss.users == engine.search(query, "max").users
+        service.close()
+
+    def test_flush_changes_token_but_not_results(self, corpus, tmp_path):
+        posts = corpus.posts
+        service = IngestService(
+            str(tmp_path / "svc2"),
+            ingest_config=IngestConfig(flush_posts=10_000))
+        for post in posts[:200]:
+            service.append(post)
+        engine = service.build_query_engine()
+        workload = QueryWorkload(corpus, seed=3)
+        query = workload.make_queries(1, 30.0, k=5,
+                                      semantics=Semantics.OR, limit=1)[0]
+        with QueryServer(engine, live=service.live,
+                         config=ServeConfig(workers=1)) as server:
+            before = server.execute(query)
+            token_before = service.live.version_token()
+            service.flush()   # watermark may regress; epoch must move
+            token_after = service.live.version_token()
+            assert token_after != token_before
+            after = server.execute(query)
+            assert after == before
+            assert after == engine.search(query, "max").users
+        service.close()
